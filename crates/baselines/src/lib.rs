@@ -1,0 +1,37 @@
+//! # gent-baselines — the comparison systems of §VI-A1
+//!
+//! Every baseline the paper evaluates against, adapted (as the paper adapts
+//! them) to the reclamation problem and to a common interface:
+//!
+//! * [`Alite`] — state-of-the-art data-lake integration (Khatiwada et al.):
+//!   full disjunction of the candidate tables, source-agnostic,
+//! * [`AlitePs`] — ALITE preceded by project/select against the source
+//!   (the "ALITE-PS" variant the paper introduces),
+//! * [`AutoPipeline`] — by-target query search (Yang et al.), re-implemented
+//!   as in the paper's Auto-Pipeline*: bounded best-first search over
+//!   Gen-T's operator space scoring against the target,
+//! * [`Ver`] — Query-by-Example view discovery (Gong et al.): queried with
+//!   2-column projections of the source, results aggregated,
+//! * [`NaiveLlm`] — a *simulated* stand-in for the ChatGPT baseline of
+//!   Appendix F (no network access in this reproduction): a
+//!   hallucination-prone integrator that samples candidate tuples without
+//!   error filtering. Clearly labeled simulated; see DESIGN.md.
+//! * [`GenTMethod`] — Gen-T itself behind the same trait, for the harness.
+//!
+//! All baselines consume the same candidate tables Set Similarity produces
+//! for Gen-T (or an explicit integrating set), exactly like the paper's
+//! experimental protocol.
+
+#![warn(missing_docs)]
+
+pub mod alite;
+pub mod autopipeline;
+pub mod naive_llm;
+pub mod reclaimer;
+pub mod ver;
+
+pub use alite::{Alite, AlitePs};
+pub use autopipeline::AutoPipeline;
+pub use naive_llm::NaiveLlm;
+pub use reclaimer::{conform_for_eval, GenTMethod, ReclaimError, Reclaimer};
+pub use ver::Ver;

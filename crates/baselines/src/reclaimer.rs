@@ -1,0 +1,118 @@
+//! The common [`Reclaimer`] interface every method implements, mirroring
+//! the experimental protocol of §VI: all methods receive the same candidate
+//! tables and produce a reclaimed table (or time out).
+
+use gent_core::{conform_schema, GenT, GenTConfig};
+use gent_table::Table;
+use std::fmt;
+use std::time::Duration;
+
+/// Why a method produced no output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReclaimError {
+    /// Work budget / deadline exhausted — reported as a timeout, like the
+    /// paper's "—" table entries.
+    Timeout(String),
+    /// The method cannot run on this input (e.g. keyless source).
+    Unsupported(String),
+}
+
+impl fmt::Display for ReclaimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReclaimError::Timeout(what) => write!(f, "timeout: {what}"),
+            ReclaimError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReclaimError {}
+
+/// A reclamation method: candidates in, reclaimed table out.
+///
+/// `Send + Sync` so the harness can run cases across threads.
+pub trait Reclaimer: Send + Sync {
+    /// Display name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Reclaim `source` from `candidates` within `budget` wall-clock time.
+    /// The output need not conform to the source schema; the harness
+    /// conforms it (via [`conform_for_eval`]) before evaluation.
+    fn reclaim(
+        &self,
+        source: &Table,
+        candidates: &[Table],
+        budget: Duration,
+    ) -> Result<Table, ReclaimError>;
+}
+
+/// Conform a method's raw output to the source schema for evaluation.
+pub fn conform_for_eval(output: &Table, source: &Table) -> Table {
+    conform_schema(output, source)
+}
+
+/// Gen-T behind the [`Reclaimer`] interface.
+#[derive(Debug, Clone, Default)]
+pub struct GenTMethod {
+    config: GenTConfig,
+}
+
+impl GenTMethod {
+    /// With an explicit configuration (ablations).
+    pub fn with_config(config: GenTConfig) -> Self {
+        GenTMethod { config }
+    }
+}
+
+impl Reclaimer for GenTMethod {
+    fn name(&self) -> &str {
+        "Gen-T"
+    }
+
+    fn reclaim(
+        &self,
+        source: &Table,
+        candidates: &[Table],
+        _budget: Duration,
+    ) -> Result<Table, ReclaimError> {
+        GenT::new(self.config.clone())
+            .reclaim_from_candidates(source, candidates)
+            .map(|r| r.reclaimed)
+            .map_err(|e| ReclaimError::Unsupported(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    #[test]
+    fn gen_t_method_runs() {
+        let source = Table::build(
+            "S",
+            &["id", "x"],
+            &["id"],
+            vec![vec![V::Int(1), V::str("a")], vec![V::Int(2), V::str("b")]],
+        )
+        .unwrap();
+        let cand = Table::build(
+            "C",
+            &["id", "x"],
+            &[],
+            vec![vec![V::Int(1), V::str("a")], vec![V::Int(2), V::str("b")]],
+        )
+        .unwrap();
+        let out = GenTMethod::default()
+            .reclaim(&source, &[cand], Duration::from_secs(5))
+            .unwrap();
+        assert!(gent_metrics::perfectly_reclaimed(&source, &out));
+    }
+
+    #[test]
+    fn keyless_source_unsupported() {
+        let s = Table::build("S", &["a"], &[], vec![]).unwrap();
+        let err = GenTMethod::default().reclaim(&s, &[], Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, ReclaimError::Unsupported(_)));
+    }
+}

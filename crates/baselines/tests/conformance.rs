@@ -1,0 +1,155 @@
+//! Baseline conformance: every `Reclaimer` implementation, over random
+//! fragmented/degraded candidate sets, must (a) not panic, (b) produce a
+//! table that conforms to the source schema after `conform_for_eval`,
+//! (c) yield in-range metrics, and (d) respect its time budget loosely
+//! (timeouts surface as `ReclaimError::Timeout`, not hangs).
+
+use gent_baselines::{
+    conform_for_eval, Alite, AlitePs, AutoPipeline, GenTMethod, NaiveLlm, ReclaimError, Reclaimer,
+    Ver,
+};
+use gent_metrics::evaluate;
+use gent_table::{Table, Value};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        4 => (0i64..8).prop_map(Value::Int),
+    ]
+}
+
+/// A keyed source plus a set of overlapping, degraded candidates that all
+/// carry the key column.
+fn case() -> impl Strategy<Value = (Table, Vec<Table>)> {
+    (
+        proptest::sample::subsequence((0..10i64).collect::<Vec<_>>(), 2..=6),
+        proptest::collection::vec(proptest::collection::vec(cell(), 2), 6),
+        proptest::collection::vec(any::<bool>(), 24),
+    )
+        .prop_map(|(keys, cells, mask)| {
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, c)| {
+                    let mut r = vec![Value::Int(*k)];
+                    r.extend(c.iter().cloned());
+                    r
+                })
+                .collect();
+            let source = Table::build("S", &["k", "a", "b"], &["k"], rows.clone()).unwrap();
+            let mut mi = 0usize;
+            let mut degraded = |name: &str, cols: &[usize]| {
+                let t = source.take_columns(cols, name).unwrap();
+                let rows: Vec<Vec<Value>> = t
+                    .rows()
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .enumerate()
+                            .map(|(j, v)| {
+                                let null = j != 0 && {
+                                    let b = mask[mi % mask.len()];
+                                    mi += 1;
+                                    b
+                                };
+                                if null { Value::Null } else { v.clone() }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut t2 = Table::from_rows(name, t.schema().clone(), rows).unwrap();
+                t2.schema_mut().set_key(std::iter::empty::<&str>()).unwrap();
+                t2
+            };
+            let candidates = vec![
+                degraded("c0", &[0, 1]),
+                degraded("c1", &[0, 2]),
+                degraded("c2", &[0, 1, 2]),
+            ];
+            (source, candidates)
+        })
+}
+
+fn methods() -> Vec<Box<dyn Reclaimer>> {
+    vec![
+        Box::new(GenTMethod::default()),
+        Box::new(Alite::default()),
+        Box::new(AlitePs::default()),
+        Box::new(AutoPipeline::default()),
+        Box::new(Ver::default()),
+        Box::new(NaiveLlm::default()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every method produces an evaluable, schema-conforming result (or a
+    /// clean timeout) on every generated case.
+    #[test]
+    fn all_methods_conform((source, candidates) in case()) {
+        for m in methods() {
+            match m.reclaim(&source, &candidates, Duration::from_secs(10)) {
+                Ok(out) => {
+                    let conformed = conform_for_eval(&out, &source);
+                    prop_assert_eq!(
+                        conformed.schema().columns().collect::<Vec<_>>(),
+                        source.schema().columns().collect::<Vec<_>>(),
+                        "method {}", m.name()
+                    );
+                    let rep = evaluate(&source, &conformed);
+                    for v in [rep.recall, rep.precision, rep.eis, rep.inst_div] {
+                        prop_assert!((0.0..=1.0 + 1e-9).contains(&v),
+                            "method {} metric {v} out of range", m.name());
+                    }
+                }
+                // Clean refusals are fine: a timeout under the budget, or a
+                // method-specific unsupported case (e.g. Ver finding no
+                // covering view over heavily degraded candidates). The
+                // property is "no panics, no malformed output".
+                Err(ReclaimError::Timeout(_)) | Err(ReclaimError::Unsupported(_)) => {}
+            }
+        }
+    }
+
+    /// On undamaged candidates, Gen-T and ALITE-PS reclaim perfectly and
+    /// Gen-T's precision is at least ALITE's (the Table II/III ordering).
+    #[test]
+    fn method_ordering_on_clean_fragments(
+        keys in proptest::sample::subsequence((0..10i64).collect::<Vec<_>>(), 3..=6),
+    ) {
+        let rows: Vec<Vec<Value>> = keys
+            .iter()
+            .map(|&k| vec![Value::Int(k), Value::Int(k * 2), Value::Int(k * 3)])
+            .collect();
+        let source = Table::build("S", &["k", "a", "b"], &["k"], rows).unwrap();
+        let c0 = {
+            let mut t = source.take_columns(&[0, 1], "c0").unwrap();
+            t.schema_mut().set_key(std::iter::empty::<&str>()).unwrap();
+            t
+        };
+        let c1 = {
+            let mut t = source.take_columns(&[0, 2], "c1").unwrap();
+            t.schema_mut().set_key(std::iter::empty::<&str>()).unwrap();
+            t
+        };
+        let candidates = vec![c0, c1];
+        let budget = Duration::from_secs(10);
+
+        let gent = conform_for_eval(
+            &GenTMethod::default().reclaim(&source, &candidates, budget).unwrap(),
+            &source,
+        );
+        let alite = conform_for_eval(
+            &Alite::default().reclaim(&source, &candidates, budget).unwrap(),
+            &source,
+        );
+        let g = evaluate(&source, &gent);
+        let a = evaluate(&source, &alite);
+        prop_assert!(g.perfect, "Gen-T not perfect on clean fragments");
+        prop_assert!(g.precision + 1e-9 >= a.precision,
+            "Gen-T precision {} < ALITE {}", g.precision, a.precision);
+    }
+}

@@ -1,0 +1,37 @@
+//! Ablation benches for the design choices DESIGN.md calls out: matrix
+//! encoding (three- vs two-valued), traversal pruning on/off, gated vs
+//! ungated κ/β, and candidate diversification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_core::{GenT, GenTConfig};
+use gent_datagen::suite::{build, BenchmarkId as Bid, SuiteConfig};
+use gent_discovery::DataLake;
+
+fn bench_ablation(c: &mut Criterion) {
+    let cfg = SuiteConfig { units: (30, 60, 90), ..Default::default() };
+    let bench = build(Bid::TpTrSmall, &cfg);
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let source = bench.cases[7].source.clone();
+
+    let mut no_diversify = GenTConfig::default();
+    no_diversify.set_similarity.diversify = false;
+    let variants: Vec<(&str, GenTConfig)> = vec![
+        ("full", GenTConfig::default()),
+        ("two-valued", GenTConfig { three_valued: false, ..Default::default() }),
+        ("no-traversal", GenTConfig { prune_with_traversal: false, ..Default::default() }),
+        ("ungated-kb", GenTConfig { gate_kappa_beta: false, ..Default::default() }),
+        ("no-diversify", no_diversify),
+    ];
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for (label, gcfg) in variants {
+        let gen_t = GenT::new(gcfg);
+        g.bench_function(BenchmarkId::new("gen_t", label), |b| {
+            b.iter(|| gen_t.reclaim(&source, &lake).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

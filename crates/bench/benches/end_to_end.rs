@@ -1,0 +1,30 @@
+//! End-to-end reclamation per benchmark class — the Criterion counterpart
+//! of Figure 8a at bench-friendly sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_core::GenT;
+use gent_datagen::suite::{build, BenchmarkId as Bid, SuiteConfig};
+use gent_discovery::DataLake;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let cfg = SuiteConfig { units: (30, 60, 90), santos_noise_tables: 200, ..Default::default() };
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for (label, id) in [
+        ("tp-tr-small", Bid::TpTrSmall),
+        ("tp-tr-med", Bid::TpTrMed),
+        ("santos+med", Bid::SantosLargeTpTrMed),
+    ] {
+        let bench = build(id, &cfg);
+        let lake = DataLake::from_tables(bench.lake_tables.clone());
+        let gen_t = GenT::default();
+        let source = bench.cases[7].source.clone();
+        g.bench_function(BenchmarkId::new("gen_t_reclaim", label), |b| {
+            b.iter(|| gen_t.reclaim(&source, &lake).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

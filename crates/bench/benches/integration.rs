@@ -1,0 +1,34 @@
+//! Algorithm 2 integration benchmarks, including the full-disjunction
+//! baseline cost that dominates ALITE's runtimes in Figure 8a.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_core::{integrate, matrix_traversal, GenTConfig};
+use gent_datagen::suite::{build, BenchmarkId as Bid, SuiteConfig};
+use gent_discovery::{set_similarity, DataLake, SetSimilarityConfig};
+use gent_ops::{full_disjunction, FdBudget};
+
+fn bench_integration(c: &mut Criterion) {
+    let cfg = SuiteConfig { units: (40, 80, 120), ..Default::default() };
+    let bench = build(Bid::TpTrSmall, &cfg);
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let gcfg = GenTConfig::default();
+    let case = &bench.cases[3];
+    let candidates: Vec<_> = set_similarity(&lake, &case.source, None, &SetSimilarityConfig::default())
+        .into_iter()
+        .map(|c| c.table)
+        .collect();
+    let originating = matrix_traversal(&case.source, &candidates, &gcfg).originating;
+
+    let mut g = c.benchmark_group("integration");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("gen_t_integrate", "originating set"), |b| {
+        b.iter(|| integrate(&originating, &case.source, &gcfg))
+    });
+    g.bench_function(BenchmarkId::new("full_disjunction", "originating set"), |b| {
+        b.iter(|| full_disjunction(&originating, &FdBudget::default()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_integration);
+criterion_main!(benches);

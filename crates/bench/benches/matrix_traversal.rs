@@ -1,0 +1,32 @@
+//! Matrix traversal benchmarks: the cost of simulating integration instead
+//! of performing it (§V-A3) — Gen-T's pruning advantage in Figure 8a.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_core::{matrix_traversal, AlignmentMatrix, GenTConfig};
+use gent_datagen::suite::{build, BenchmarkId as Bid, SuiteConfig};
+use gent_discovery::{set_similarity, DataLake, SetSimilarityConfig};
+
+fn bench_traversal(c: &mut Criterion) {
+    let cfg = SuiteConfig { units: (40, 80, 120), ..Default::default() };
+    let bench = build(Bid::TpTrSmall, &cfg);
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let gcfg = GenTConfig::default();
+    let case = &bench.cases[7];
+    let candidates: Vec<_> = set_similarity(&lake, &case.source, None, &SetSimilarityConfig::default())
+        .into_iter()
+        .map(|c| c.table)
+        .collect();
+
+    let mut g = c.benchmark_group("matrix_traversal");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("matrix_build", "one candidate"), |b| {
+        b.iter(|| AlignmentMatrix::build(&case.source, &candidates[0], true, 8))
+    });
+    g.bench_function(BenchmarkId::new("traversal", "full candidate set"), |b| {
+        b.iter(|| matrix_traversal(&case.source, &candidates, &gcfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

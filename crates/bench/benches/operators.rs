@@ -1,0 +1,40 @@
+//! Microbenchmarks of the integration operator algebra — the cost model
+//! behind Figure 8's integration runtimes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_datagen::{generate_tpch, TpchConfig};
+use gent_ops::{complementation, full_outer_join, inner_join, minimal_form, outer_union, subsumption};
+
+fn bench_operators(c: &mut Criterion) {
+    let tables = generate_tpch(&TpchConfig { scale_unit: 40, seed: 7 });
+    let customer = tables.iter().find(|t| t.name() == "customer").unwrap().clone();
+    let orders = tables.iter().find(|t| t.name() == "orders").unwrap().clone();
+    let nation = tables.iter().find(|t| t.name() == "nation").unwrap().clone();
+    let variants = gent_datagen::make_variants(&customer, &Default::default());
+
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(20);
+    g.bench_function(BenchmarkId::new("inner_join", "orders⋈customer"), |b| {
+        b.iter(|| inner_join(&orders, &customer).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("full_outer_join", "customer⟗nation"), |b| {
+        b.iter(|| full_outer_join(&customer, &nation).unwrap())
+    });
+    g.bench_function(BenchmarkId::new("outer_union", "cust_n1⊎cust_n2"), |b| {
+        b.iter(|| outer_union(&variants[0], &variants[1]).unwrap())
+    });
+    let unioned = outer_union(&variants[0], &variants[1]).unwrap();
+    g.bench_function(BenchmarkId::new("subsumption", "β(cust_n1⊎cust_n2)"), |b| {
+        b.iter(|| subsumption(&unioned))
+    });
+    g.bench_function(BenchmarkId::new("complementation", "κ(cust_n1⊎cust_n2)"), |b| {
+        b.iter(|| complementation(&unioned))
+    });
+    g.bench_function(BenchmarkId::new("minimal_form", "cust_n1"), |b| {
+        b.iter(|| minimal_form(&variants[0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Theorem 8 overhead: evaluating an SPJU query directly vs through its
+//! `{⊎, σ, π, κ, β}` rewriting. The rewriting exists to justify restricting
+//! Gen-T's integration search to the five representative operators — this
+//! bench quantifies what naively *executing* the rewritten form costs
+//! relative to direct join evaluation (saturating complementation is the
+//! expensive part).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_query::{rewrite, Catalog, Query};
+use gent_table::{Table, Value};
+
+fn make_catalog(rows: usize) -> Catalog {
+    let t1 = Table::build(
+        "T1",
+        &["k", "a"],
+        &[],
+        (0..rows as i64).map(|i| vec![Value::Int(i), Value::Int(i * 3)]).collect(),
+    )
+    .unwrap();
+    let t2 = Table::build(
+        "T2",
+        &["k", "b"],
+        &[],
+        (0..rows as i64).map(|i| vec![Value::Int(i), Value::Int(i * 5)]).collect(),
+    )
+    .unwrap();
+    Catalog::from_tables(vec![t1, t2])
+}
+
+fn bench_query_rewrite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem8");
+    g.sample_size(10);
+    for rows in [50usize, 200] {
+        let cat = make_catalog(rows);
+        let q = Query::scan("T1").inner_join(Query::scan("T2"));
+
+        g.bench_function(BenchmarkId::new("direct_join", rows), |b| {
+            b.iter(|| q.eval(&cat).unwrap())
+        });
+
+        let rep = rewrite(&q, &cat).unwrap();
+        g.bench_function(BenchmarkId::new("rep_operators", rows), |b| {
+            b.iter(|| rep.eval(&cat).unwrap())
+        });
+
+        g.bench_function(BenchmarkId::new("rewrite_only", rows), |b| {
+            b.iter(|| rewrite(&q, &cat).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_rewrite);
+criterion_main!(benches);

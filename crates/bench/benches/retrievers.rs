@@ -1,0 +1,99 @@
+//! First-stage retriever comparison: the exact inverted-index
+//! [`OverlapRetriever`] vs the LSH-Ensemble approximate index (paper
+//! reference \[31\]) — build cost and query cost as the lake grows, the
+//! trade-off §V-A1 alludes to when it says candidate retrieval "could be
+//! done efficiently with a system like JOSIE" (exact) while citing LSH
+//! Ensemble as the scalable approximate alternative.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_discovery::{
+    DataLake, LshConfig, LshEnsembleIndex, LshRetriever, OverlapRetriever, TableRetriever,
+};
+use gent_table::{Table, Value};
+
+/// A lake of `n` tables: 3 relevant fragments + noise.
+fn make_lake(n_tables: usize) -> (Table, DataLake) {
+    let source = Table::build(
+        "S",
+        &["id", "name", "score"],
+        &["id"],
+        (0..60)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("item{i}")),
+                    Value::Int(i * 7),
+                ]
+            })
+            .collect(),
+    )
+    .unwrap();
+    let mut tables = vec![
+        Table::build(
+            "names",
+            &["id", "name"],
+            &[],
+            (0..60).map(|i| vec![Value::Int(i), Value::str(format!("item{i}"))]).collect(),
+        )
+        .unwrap(),
+        Table::build(
+            "scores",
+            &["id", "score"],
+            &[],
+            (0..60).map(|i| vec![Value::Int(i), Value::Int(i * 7)]).collect(),
+        )
+        .unwrap(),
+    ];
+    for t in 0..n_tables.saturating_sub(2) {
+        tables.push(
+            Table::build(
+                &format!("noise{t}"),
+                &["a", "b"],
+                &[],
+                (0..40)
+                    .map(|i| {
+                        vec![
+                            Value::Int(100_000 + (t * 97 + i) as i64),
+                            Value::str(format!("n{t}_{i}")),
+                        ]
+                    })
+                    .collect(),
+            )
+            .unwrap(),
+        );
+    }
+    (source, DataLake::from_tables(tables))
+}
+
+fn bench_retrievers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("retrievers");
+    g.sample_size(10);
+    for n in [50usize, 200, 800] {
+        let (source, lake) = make_lake(n);
+
+        g.bench_function(BenchmarkId::new("lsh_build", n), |b| {
+            b.iter(|| LshEnsembleIndex::build(&lake, LshConfig::default()))
+        });
+
+        let lsh = LshRetriever::build(&lake, LshConfig::default(), 0.4);
+        g.bench_function(BenchmarkId::new("lsh_query", n), |b| {
+            b.iter(|| {
+                let top = lsh.retrieve(&lake, &source, 10);
+                assert!(top.contains(&0));
+                top
+            })
+        });
+
+        g.bench_function(BenchmarkId::new("exact_query", n), |b| {
+            b.iter(|| {
+                let top = OverlapRetriever.retrieve(&lake, &source, 10);
+                assert!(top.contains(&0));
+                top
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_retrievers);
+criterion_main!(benches);

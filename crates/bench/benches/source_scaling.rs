@@ -1,0 +1,81 @@
+//! Source-table scaling: the paper claims (§I) that Gen-T "is scalable to
+//! large source tables, with experiments on source tables containing up to
+//! 22 columns and 1K rows". This bench sweeps both dimensions against a
+//! fragmented lake and measures the full reclaim-from-candidates path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_core::{GenT, GenTConfig};
+use gent_table::{Table, Value};
+
+/// A source of `rows`×`cols` (first column is the key) plus vertical
+/// fragments covering it: one fragment per 3 value columns, each carrying
+/// the key.
+fn make_case(rows: usize, cols: usize) -> (Table, Vec<Table>) {
+    assert!(cols >= 2);
+    let col_names: Vec<String> = std::iter::once("k".to_string())
+        .chain((1..cols).map(|c| format!("v{c}")))
+        .collect();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|r| {
+            std::iter::once(Value::Int(r as i64))
+                .chain((1..cols).map(|c| Value::Int((r * 31 + c * 7) as i64)))
+                .collect()
+        })
+        .collect();
+    let source = Table::build(
+        "S",
+        &col_names.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &["k"],
+        data,
+    )
+    .unwrap();
+    let mut fragments = Vec::new();
+    let mut c = 1usize;
+    let mut fi = 0usize;
+    while c < cols {
+        let hi = (c + 3).min(cols);
+        let mut idx = vec![0usize];
+        idx.extend(c..hi);
+        let mut frag = source.take_columns(&idx, &format!("frag{fi}")).unwrap();
+        frag.schema_mut().set_key(std::iter::empty::<&str>()).unwrap();
+        fragments.push(frag);
+        c = hi;
+        fi += 1;
+    }
+    (source, fragments)
+}
+
+fn bench_source_scaling(c: &mut Criterion) {
+    let gen_t = GenT::new(GenTConfig::default());
+
+    let mut g = c.benchmark_group("source_rows");
+    g.sample_size(10);
+    for rows in [32usize, 128, 512, 1024] {
+        let (source, frags) = make_case(rows, 9);
+        g.bench_function(BenchmarkId::from_parameter(rows), |b| {
+            b.iter(|| {
+                let res = gen_t.reclaim_from_candidates(&source, &frags).unwrap();
+                assert!(res.eis > 0.99);
+                res
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("source_cols");
+    g.sample_size(10);
+    for cols in [6usize, 12, 22] {
+        let (source, frags) = make_case(128, cols);
+        g.bench_function(BenchmarkId::from_parameter(cols), |b| {
+            b.iter(|| {
+                let res = gen_t.reclaim_from_candidates(&source, &frags).unwrap();
+                assert!(res.eis > 0.99);
+                res
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_source_scaling);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Plain-text/markdown table formatting for experiment output.
+
+/// Render rows as a GitHub-flavoured markdown table. The first row is the
+/// header. Cells are padded for terminal readability.
+pub fn markdown_table(rows: &[Vec<String>]) -> String {
+    if rows.is_empty() {
+        return String::new();
+    }
+    let ncols = rows.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut widths = vec![0usize; ncols];
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    let fmt_row = |r: &[String]| -> String {
+        let cells: Vec<String> = (0..ncols)
+            .map(|i| {
+                let cell = r.get(i).map(String::as_str).unwrap_or("");
+                format!("{cell:<width$}", width = widths[i])
+            })
+            .collect();
+        format!("| {} |", cells.join(" | "))
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(&rows[0]));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&format!("| {} |\n", sep.join(" | ")));
+    for r in &rows[1..] {
+        out.push_str(&fmt_row(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with 3 decimals; infinities as `∞`.
+pub fn f3(x: f64) -> String {
+    if x.is_infinite() {
+        "∞".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let t = markdown_table(&[
+            vec!["Method".into(), "Rec".into()],
+            vec!["Gen-T".into(), "0.976".into()],
+        ]);
+        assert!(t.contains("| Method | Rec   |"));
+        assert!(t.contains("| Gen-T  | 0.976 |"));
+        assert!(t.lines().count() == 3);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert_eq!(markdown_table(&[]), "");
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.12345), "0.123");
+        assert_eq!(f3(f64::INFINITY), "∞");
+    }
+}

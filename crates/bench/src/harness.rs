@@ -1,0 +1,289 @@
+//! Running methods over benchmarks and aggregating the paper's metrics.
+
+use gent_baselines::{conform_for_eval, ReclaimError, Reclaimer};
+use gent_core::GenTConfig;
+use gent_datagen::suite::{Benchmark, SourceCase};
+use gent_discovery::{set_similarity, DataLake, OverlapRetriever, TableRetriever};
+use gent_metrics::{average_reports, evaluate, MethodReport};
+use gent_table::Table;
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// Which candidate tables a method receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateMode {
+    /// The candidates Set Similarity discovered for the source.
+    Discovery,
+    /// The known integrating set (the `w/ int. set` variants of Tables
+    /// II/III); cases without one fall back to discovery.
+    IntegratingSet,
+}
+
+/// One method to run: the reclaimer, how it is fed, and a display label.
+pub struct MethodSpec<'a> {
+    /// Label used in output tables (e.g. `"ALITE w/ int. set"`).
+    pub label: String,
+    /// The method.
+    pub method: &'a dyn Reclaimer,
+    /// Candidate feeding mode.
+    pub mode: CandidateMode,
+}
+
+impl<'a> MethodSpec<'a> {
+    /// Method under its own name, fed from discovery.
+    pub fn discovery(method: &'a dyn Reclaimer) -> Self {
+        MethodSpec { label: method.name().to_string(), method, mode: CandidateMode::Discovery }
+    }
+
+    /// Method labeled `… w/ int. set`, fed the known integrating set.
+    pub fn integrating_set(method: &'a dyn Reclaimer) -> Self {
+        MethodSpec {
+            label: format!("{} w/ int. set", method.name()),
+            method,
+            mode: CandidateMode::IntegratingSet,
+        }
+    }
+}
+
+/// Harness parameters.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Per-(case, method) wall-clock budget (the paper's timeout).
+    pub budget: Duration,
+    /// Gen-T configuration used for the shared discovery step.
+    pub gent: GenTConfig,
+    /// Worker threads for case parallelism.
+    pub threads: usize,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            budget: Duration::from_secs(30),
+            gent: GenTConfig::default(),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+/// Outcome of one (source, method) run.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// Source case id.
+    pub case_id: usize,
+    /// Query class (TP-TR only).
+    pub class: Option<gent_datagen::QueryClass>,
+    /// Method label.
+    pub method: String,
+    /// Metric report (empty-output report on timeout).
+    pub report: MethodReport,
+    /// Wall-clock time of the method (not counting shared discovery).
+    pub runtime: Duration,
+    /// Time of the shared discovery step for this case.
+    pub discovery_time: Duration,
+    /// Did the method time out / exhaust its budget?
+    pub timed_out: bool,
+    /// Number of candidate tables the method received.
+    pub n_candidates: usize,
+}
+
+/// Aggregate of one method over all cases — one row of Tables II/III/IV.
+#[derive(Debug, Clone)]
+pub struct AggregateRow {
+    /// Method label.
+    pub method: String,
+    /// Field-wise averages.
+    pub avg: MethodReport,
+    /// Number of perfectly reclaimed sources (§VI-B).
+    pub perfect: usize,
+    /// Number of timeouts.
+    pub timeouts: usize,
+    /// Average method runtime (seconds).
+    pub avg_runtime_s: f64,
+    /// Cases evaluated.
+    pub cases: usize,
+}
+
+/// Aggregate per-method rows from raw outcomes.
+pub fn aggregate(outcomes: &[CaseOutcome]) -> Vec<AggregateRow> {
+    let mut methods: Vec<String> = Vec::new();
+    for o in outcomes {
+        if !methods.contains(&o.method) {
+            methods.push(o.method.clone());
+        }
+    }
+    methods
+        .into_iter()
+        .map(|m| {
+            let of_method: Vec<&CaseOutcome> =
+                outcomes.iter().filter(|o| o.method == m).collect();
+            let reports: Vec<MethodReport> = of_method.iter().map(|o| o.report).collect();
+            AggregateRow {
+                method: m,
+                avg: average_reports(&reports).expect("non-empty"),
+                perfect: of_method.iter().filter(|o| o.report.perfect).count(),
+                timeouts: of_method.iter().filter(|o| o.timed_out).count(),
+                avg_runtime_s: of_method
+                    .iter()
+                    .map(|o| o.runtime.as_secs_f64() + o.discovery_time.as_secs_f64())
+                    .sum::<f64>()
+                    / of_method.len() as f64,
+                cases: of_method.len(),
+            }
+        })
+        .collect()
+}
+
+/// Shared discovery for one case: first-stage narrowing on big lakes, then
+/// Set Similarity, honouring the case's exclusions.
+fn discover(case: &SourceCase, lake: &DataLake, cfg: &GenTConfig) -> Vec<Table> {
+    let restrict: Option<Vec<usize>> = if lake.len() > cfg.first_stage_threshold {
+        Some(OverlapRetriever.retrieve(lake, &case.source, cfg.first_stage_k))
+    } else if !case.exclude.is_empty() {
+        Some((0..lake.len()).collect())
+    } else {
+        None
+    };
+    let restrict = restrict.map(|idx| {
+        idx.into_iter()
+            .filter(|&i| {
+                let name = lake.get(i).expect("from lake").name();
+                !case.exclude.iter().any(|e| e == name)
+            })
+            .collect::<Vec<_>>()
+    });
+    set_similarity(lake, &case.source, restrict.as_deref(), &cfg.set_similarity)
+        .into_iter()
+        .map(|c| c.table)
+        .collect()
+}
+
+/// Run all `methods` over every case of `bench`, in parallel over cases.
+pub fn run_benchmark(
+    bench: &Benchmark,
+    methods: &[MethodSpec<'_>],
+    cfg: &HarnessConfig,
+) -> Vec<CaseOutcome> {
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let results: Mutex<Vec<CaseOutcome>> = Mutex::new(Vec::new());
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..cfg.threads.max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= bench.cases.len() {
+                    break;
+                }
+                let case = &bench.cases[i];
+                let t0 = Instant::now();
+                let discovered = discover(case, &lake, &cfg.gent);
+                let discovery_time = t0.elapsed();
+                // Integrating set tables, if this benchmark has them.
+                let int_set: Vec<Table> = case
+                    .integrating_set
+                    .iter()
+                    .filter_map(|n| lake.get_by_name(n).cloned())
+                    .collect();
+                let mut outcomes = Vec::with_capacity(methods.len());
+                for spec in methods {
+                    let candidates: &[Table] =
+                        if spec.mode == CandidateMode::IntegratingSet && !int_set.is_empty() {
+                            &int_set
+                        } else {
+                            &discovered
+                        };
+                    let t1 = Instant::now();
+                    let run = spec.method.reclaim(&case.source, candidates, cfg.budget);
+                    let runtime = t1.elapsed();
+                    let (report, timed_out) = match run {
+                        Ok(out) => {
+                            let conformed = conform_for_eval(&out, &case.source);
+                            (evaluate(&case.source, &conformed), false)
+                        }
+                        Err(ReclaimError::Timeout(_)) => (MethodReport::empty_output(), true),
+                        Err(ReclaimError::Unsupported(_)) => {
+                            (MethodReport::empty_output(), false)
+                        }
+                    };
+                    outcomes.push(CaseOutcome {
+                        case_id: case.id,
+                        class: case.class,
+                        method: spec.label.clone(),
+                        report,
+                        runtime,
+                        discovery_time,
+                        timed_out,
+                        n_candidates: candidates.len(),
+                    });
+                }
+                results.lock().extend(outcomes);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    let mut out = results.into_inner();
+    out.sort_by(|a, b| a.case_id.cmp(&b.case_id).then(a.method.cmp(&b.method)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_baselines::{AlitePs, GenTMethod};
+    use gent_datagen::suite::{build, BenchmarkId, SuiteConfig};
+    use gent_datagen::webgen::WebCorpusConfig;
+
+    fn tiny_suite() -> SuiteConfig {
+        SuiteConfig {
+            units: (8, 16, 24),
+            santos_noise_tables: 10,
+            wdc_noise_tables: 10,
+            web: WebCorpusConfig {
+                n_base_tables: 6,
+                n_reclaimable: 2,
+                n_duplicates: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runs_small_benchmark_with_two_methods() {
+        let bench = build(BenchmarkId::TpTrSmall, &tiny_suite());
+        let gen_t = GenTMethod::default();
+        let alite_ps = AlitePs::default();
+        let methods = vec![MethodSpec::discovery(&gen_t), MethodSpec::discovery(&alite_ps)];
+        let cfg = HarnessConfig { threads: 2, ..Default::default() };
+        let outcomes = run_benchmark(&bench, &methods, &cfg);
+        assert_eq!(outcomes.len(), 26 * 2);
+        let rows = aggregate(&outcomes);
+        assert_eq!(rows.len(), 2);
+        let gent_row = rows.iter().find(|r| r.method == "Gen-T").unwrap();
+        let alite_row = rows.iter().find(|r| r.method == "ALITE-PS").unwrap();
+        // The headline claim, checked at miniature scale (tiny sources are
+        // dominated by value coincidences, so thresholds are loose; the
+        // experiments binary validates the full-scale numbers): Gen-T
+        // reclaims substantially and its precision is at least ALITE-PS's.
+        assert!(gent_row.avg.recall > 0.3, "gen-t recall {}", gent_row.avg.recall);
+        assert!(
+            gent_row.avg.precision >= alite_row.avg.precision - 0.05,
+            "gen-t {} vs alite-ps {}",
+            gent_row.avg.precision,
+            alite_row.avg.precision
+        );
+    }
+
+    #[test]
+    fn integrating_set_mode_uses_known_tables() {
+        let bench = build(BenchmarkId::TpTrSmall, &tiny_suite());
+        let alite_ps = AlitePs::default();
+        let methods = vec![MethodSpec::integrating_set(&alite_ps)];
+        let cfg = HarnessConfig { threads: 2, ..Default::default() };
+        let outcomes = run_benchmark(&bench, &methods, &cfg);
+        assert!(outcomes.iter().all(|o| o.method == "ALITE-PS w/ int. set"));
+        assert!(outcomes.iter().all(|o| o.n_candidates >= 4));
+    }
+}

@@ -1,0 +1,41 @@
+//! CLI error type.
+
+use std::fmt;
+
+/// Anything the CLI can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (unknown command, missing argument, bad option).
+    Usage(String),
+    /// Filesystem/IO failure.
+    Io(std::io::Error),
+    /// A CSV could not be parsed into a table.
+    Table(gent_table::TableError),
+    /// The pipeline refused (e.g. keyless source with no minable key).
+    Pipeline(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Table(e) => write!(f, "table error: {e}"),
+            CliError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<gent_table::TableError> for CliError {
+    fn from(e: gent_table::TableError) -> Self {
+        CliError::Table(e)
+    }
+}

@@ -1,0 +1,15 @@
+//! The `gent` binary: parse argv, dispatch to [`gent_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match gent_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gent: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Batch reclamation: run many sources against one lake in parallel.
+//!
+//! The paper's experiments reclaim 26 (TP-TR) or 515 (T2D Gold) sources per
+//! benchmark; §VI-D iterates *every* corpus table as a potential source.
+//! The lake and its inverted index are immutable during reclamation, so
+//! sources parallelise embarrassingly. This module provides the scoped-
+//! thread fan-out the experiment harness uses, as a public API.
+
+use crate::pipeline::{GenT, GentError, ReclamationResult};
+use gent_discovery::DataLake;
+use gent_table::Table;
+
+/// One source's slot in a batch result.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Index into the submitted source slice.
+    pub index: usize,
+    /// The source's name (for reporting).
+    pub source_name: String,
+    /// The reclamation, or the pipeline error for this source.
+    pub result: Result<ReclamationResult, GentError>,
+}
+
+/// Summary over a batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSummary {
+    /// Sources attempted.
+    pub total: usize,
+    /// Sources reclaimed perfectly.
+    pub perfect: usize,
+    /// Sources that errored (e.g. no key).
+    pub errors: usize,
+    /// Mean EIS over successful reclamations.
+    pub mean_eis: f64,
+}
+
+impl GenT {
+    /// Reclaim every source in `sources` against `lake`, using up to
+    /// `threads` worker threads (1 = sequential). Results come back in
+    /// submission order. Each source may carry an exclusion list (the
+    /// §VI-D protocol); pass `&[]` to exclude nothing.
+    pub fn reclaim_batch(
+        &self,
+        sources: &[Table],
+        lake: &DataLake,
+        excluded_per_source: &[Vec<String>],
+        threads: usize,
+    ) -> Vec<BatchItem> {
+        assert!(
+            excluded_per_source.is_empty() || excluded_per_source.len() == sources.len(),
+            "exclusion list must be empty or one entry per source"
+        );
+        let threads = threads.max(1).min(sources.len().max(1));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<BatchItem>> = (0..sources.len()).map(|_| None).collect();
+
+        if threads <= 1 {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(self.reclaim_one(i, sources, lake, excluded_per_source));
+            }
+        } else {
+            let slot_refs: Vec<std::sync::Mutex<&mut Option<BatchItem>>> =
+                slots.iter_mut().map(std::sync::Mutex::new).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= sources.len() {
+                            break;
+                        }
+                        let item = self.reclaim_one(i, sources, lake, excluded_per_source);
+                        **slot_refs[i].lock().expect("no panics while held") = Some(item);
+                    });
+                }
+            });
+        }
+        slots.into_iter().map(|s| s.expect("every slot filled")).collect()
+    }
+
+    fn reclaim_one(
+        &self,
+        i: usize,
+        sources: &[Table],
+        lake: &DataLake,
+        excluded_per_source: &[Vec<String>],
+    ) -> BatchItem {
+        let source = &sources[i];
+        let excluded: Vec<&str> = excluded_per_source
+            .get(i)
+            .map(|v| v.iter().map(|s| s.as_str()).collect())
+            .unwrap_or_default();
+        BatchItem {
+            index: i,
+            source_name: source.name().to_string(),
+            result: self.reclaim_excluding(source, lake, &excluded),
+        }
+    }
+}
+
+/// Summarise a batch.
+pub fn summarize(items: &[BatchItem]) -> BatchSummary {
+    let mut s = BatchSummary {
+        total: items.len(),
+        ..Default::default()
+    };
+    let mut eis_sum = 0.0;
+    let mut ok = 0usize;
+    for item in items {
+        match &item.result {
+            Ok(r) => {
+                ok += 1;
+                eis_sum += r.eis;
+                if r.report.perfect {
+                    s.perfect += 1;
+                }
+            }
+            Err(_) => s.errors += 1,
+        }
+    }
+    s.mean_eis = if ok > 0 { eis_sum / ok as f64 } else { 0.0 };
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn lake_and_sources(n: usize) -> (DataLake, Vec<Table>) {
+        let base = Table::build(
+            "base",
+            &["id", "x", "y"],
+            &[],
+            (0..40).map(|i| vec![V::Int(i), V::Int(i * 2), V::Int(i * 3)]).collect(),
+        )
+        .unwrap();
+        let lake = DataLake::from_tables(vec![base]);
+        let sources = (0..n)
+            .map(|k| {
+                Table::build(
+                    &format!("S{k}"),
+                    &["id", "x", "y"],
+                    &["id"],
+                    (k as i64..k as i64 + 10)
+                        .map(|i| vec![V::Int(i), V::Int(i * 2), V::Int(i * 3)])
+                        .collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        (lake, sources)
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (lake, sources) = lake_and_sources(6);
+        let gen_t = GenT::default();
+        let seq = gen_t.reclaim_batch(&sources, &lake, &[], 1);
+        let par = gen_t.reclaim_batch(&sources, &lake, &[], 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.source_name, b.source_name);
+            let (ra, rb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert!((ra.eis - rb.eis).abs() < 1e-12);
+            assert_eq!(ra.reclaimed.rows(), rb.reclaimed.rows());
+        }
+    }
+
+    #[test]
+    fn summary_counts_perfect_and_errors() {
+        let (lake, mut sources) = lake_and_sources(3);
+        // Add a keyless source → error slot.
+        sources.push(Table::build("bad", &["a"], &[], vec![vec![V::Int(1)]]).unwrap());
+        let items = GenT::default().reclaim_batch(&sources, &lake, &[], 2);
+        let s = summarize(&items);
+        assert_eq!(s.total, 4);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.perfect, 3);
+        assert!(s.mean_eis > 0.99);
+    }
+
+    #[test]
+    fn exclusions_are_applied_per_source() {
+        let (lake, sources) = lake_and_sources(2);
+        let ex = vec![vec!["base".to_string()], vec![]];
+        let items = GenT::default().reclaim_batch(&sources, &lake, &ex, 2);
+        // First source had its only evidence excluded → EIS 0.
+        assert_eq!(items[0].result.as_ref().unwrap().eis, 0.0);
+        assert!(items[1].result.as_ref().unwrap().report.perfect);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (lake, _) = lake_and_sources(0);
+        let items = GenT::default().reclaim_batch(&[], &lake, &[], 8);
+        assert!(items.is_empty());
+        let s = summarize(&items);
+        assert_eq!(s.total, 0);
+        assert_eq!(s.mean_eis, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per source")]
+    fn mismatched_exclusions_panic() {
+        let (lake, sources) = lake_and_sources(2);
+        GenT::default().reclaim_batch(&sources, &lake, &[vec![]], 1);
+    }
+}

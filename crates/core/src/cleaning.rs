@@ -1,0 +1,479 @@
+//! Imputation-combined reclamation — §VII: *"we plan to investigate if
+//! reclamation can be combined with data cleaning (for example, value
+//! imputation over missing values or entity resolution) to produce a
+//! better reclamation."*
+//!
+//! After integration, a reclaimed table still carries nulls wherever the
+//! lake had no direct value for an aligned cell. Two classical cleaning
+//! signals can fill some of them *without ever looking at the source's
+//! values* (imputation must not peek at the answer key):
+//!
+//! 1. **Approximate functional dependencies** mined from the originating
+//!    tables: when column `A` determines column `B` with high confidence
+//!    across the evidence (e.g. `nation_key → nation_name`), a row with a
+//!    known `A` and a null `B` can be filled from the dependency.
+//! 2. **Column mode**: as a (conservative, off-by-default) fallback, fill
+//!    a null with the column's most frequent evidence value when that
+//!    value dominates.
+//!
+//! Every filled cell is reported with the rule that produced it, so the
+//! user can audit the cleaning exactly like provenance (§I's analysis
+//! workflow). [`GenT::reclaim_with_cleaning`] wires the whole loop:
+//! reclaim → impute from the originating tables → re-evaluate.
+
+use crate::pipeline::{GenT, GentError, ReclamationResult};
+use gent_discovery::DataLake;
+use gent_metrics::eis;
+use gent_table::{FxHashMap, Table, Value};
+
+/// Imputation tuning.
+#[derive(Debug, Clone)]
+pub struct ImputeConfig {
+    /// Mine and apply approximate FDs from the evidence tables.
+    pub use_fds: bool,
+    /// Minimum rows a determinant value must be seen in before its FD
+    /// applies.
+    pub min_fd_support: usize,
+    /// Minimum fraction of evidence rows agreeing on the dependent value.
+    pub fd_min_confidence: f64,
+    /// Fill remaining nulls with the column mode (aggressive; default off).
+    pub use_mode: bool,
+    /// Minimum fraction of evidence values the mode must account for.
+    pub mode_min_share: f64,
+}
+
+impl Default for ImputeConfig {
+    fn default() -> Self {
+        Self {
+            use_fds: true,
+            min_fd_support: 2,
+            fd_min_confidence: 0.95,
+            use_mode: false,
+            mode_min_share: 0.9,
+        }
+    }
+}
+
+/// Which rule filled a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ImputationRule {
+    /// `determinant → dependent` functional dependency.
+    Fd {
+        /// Determinant column name.
+        determinant: String,
+        /// Dependent (filled) column name.
+        dependent: String,
+    },
+    /// Column-mode fallback.
+    Mode {
+        /// The filled column.
+        column: String,
+    },
+}
+
+/// One filled cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Imputation {
+    /// Row index in the (reclaimed) table.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+    /// The value written.
+    pub value: Value,
+    /// The rule that justified it.
+    pub rule: ImputationRule,
+}
+
+/// The result of imputing a table.
+#[derive(Debug, Clone)]
+pub struct ImputationOutcome {
+    /// The table with nulls filled where a rule applied.
+    pub table: Table,
+    /// Every filled cell, in application order.
+    pub imputations: Vec<Imputation>,
+}
+
+/// `determinant value → (dependent value counts, total)` for one column
+/// pair.
+type PairStats = FxHashMap<Value, FxHashMap<Value, usize>>;
+
+/// Mine per-column-pair value statistics from the evidence tables, keyed by
+/// (determinant column name, dependent column name). Only columns that
+/// `target` also has participate.
+fn mine_pair_stats(target: &Table, evidence: &[Table]) -> FxHashMap<(usize, usize), PairStats> {
+    let mut stats: FxHashMap<(usize, usize), PairStats> = FxHashMap::default();
+    let target_cols: Vec<&str> = target.schema().columns().collect();
+    for ev in evidence {
+        // Evidence column index per target column (by name).
+        let map: Vec<Option<usize>> = target_cols
+            .iter()
+            .map(|c| ev.schema().column_index(c))
+            .collect();
+        for row in ev.rows() {
+            for (ti, mi) in map.iter().enumerate() {
+                let Some(ei) = mi else { continue };
+                let a = &row[*ei];
+                if a.is_null_like() {
+                    continue;
+                }
+                for (tj, mj) in map.iter().enumerate() {
+                    if ti == tj {
+                        continue;
+                    }
+                    let Some(ej) = mj else { continue };
+                    let b = &row[*ej];
+                    if b.is_null_like() {
+                        continue;
+                    }
+                    *stats
+                        .entry((ti, tj))
+                        .or_default()
+                        .entry(a.clone())
+                        .or_default()
+                        .entry(b.clone())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Fill nulls in `target` using evidence tables (typically the originating
+/// tables of a reclamation). Deterministic: rules apply column-pair in
+/// index order, rows top to bottom.
+pub fn impute(target: &Table, evidence: &[Table], cfg: &ImputeConfig) -> ImputationOutcome {
+    let mut rows: Vec<Vec<Value>> = target.rows().to_vec();
+    let mut imputations = Vec::new();
+
+    if cfg.use_fds && !evidence.is_empty() {
+        let stats = mine_pair_stats(target, evidence);
+        let mut pairs: Vec<&(usize, usize)> = stats.keys().collect();
+        pairs.sort();
+        for &(det, dep) in pairs {
+            let pair_stats = &stats[&(det, dep)];
+            for (ri, row) in rows.iter_mut().enumerate() {
+                if !row[dep].is_null_like() || row[det].is_null_like() {
+                    continue;
+                }
+                let Some(counts) = pair_stats.get(&row[det]) else { continue };
+                let total: usize = counts.values().sum();
+                if total < cfg.min_fd_support {
+                    continue;
+                }
+                let (best_v, best_n) = counts
+                    .iter()
+                    .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                    .expect("non-empty");
+                if *best_n as f64 / total as f64 + 1e-12 >= cfg.fd_min_confidence {
+                    row[dep] = best_v.clone();
+                    imputations.push(Imputation {
+                        row: ri,
+                        col: dep,
+                        value: best_v.clone(),
+                        rule: ImputationRule::Fd {
+                            determinant: target
+                                .schema()
+                                .column_name(det)
+                                .expect("in range")
+                                .to_string(),
+                            dependent: target
+                                .schema()
+                                .column_name(dep)
+                                .expect("in range")
+                                .to_string(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    if cfg.use_mode && !evidence.is_empty() {
+        for cj in 0..target.n_cols() {
+            let col_name = target.schema().column_name(cj).expect("in range");
+            let mut counts: FxHashMap<Value, usize> = FxHashMap::default();
+            for ev in evidence {
+                if let Some(ej) = ev.schema().column_index(col_name) {
+                    for v in ev.column(ej) {
+                        if !v.is_null_like() {
+                            *counts.entry(v.clone()).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            let total: usize = counts.values().sum();
+            if total == 0 {
+                continue;
+            }
+            let (best_v, best_n) = counts
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .expect("non-empty");
+            if (*best_n as f64 / total as f64) + 1e-12 < cfg.mode_min_share {
+                continue;
+            }
+            for (ri, row) in rows.iter_mut().enumerate() {
+                if row[cj].is_null_like() {
+                    row[cj] = best_v.clone();
+                    imputations.push(Imputation {
+                        row: ri,
+                        col: cj,
+                        value: best_v.clone(),
+                        rule: ImputationRule::Mode { column: col_name.to_string() },
+                    });
+                }
+            }
+        }
+    }
+
+    let table = Table::from_rows(target.name(), target.schema().clone(), rows)
+        .expect("shape unchanged");
+    ImputationOutcome { table, imputations }
+}
+
+/// A reclamation followed by cleaning, with before/after scores.
+#[derive(Debug, Clone)]
+pub struct CleanedReclamation {
+    /// The plain reclamation.
+    pub base: ReclamationResult,
+    /// The reclaimed table after imputation.
+    pub cleaned: Table,
+    /// The audit trail of filled cells.
+    pub imputations: Vec<Imputation>,
+    /// EIS of the cleaned table against the source.
+    pub eis_after: f64,
+}
+
+impl GenT {
+    /// Reclaim, then impute missing values from the originating tables
+    /// (§VII's "combine reclamation with data cleaning"), keeping the
+    /// cleaned table only if it scores at least as well.
+    pub fn reclaim_with_cleaning(
+        &self,
+        source: &Table,
+        lake: &DataLake,
+        impute_cfg: &ImputeConfig,
+    ) -> Result<CleanedReclamation, GentError> {
+        let base = self.reclaim(source, lake)?;
+        let outcome = impute(&base.reclaimed, &base.originating, impute_cfg);
+        let eis_after = eis(source, &outcome.table);
+        if eis_after + 1e-12 >= base.eis {
+            Ok(CleanedReclamation {
+                eis_after,
+                cleaned: outcome.table,
+                imputations: outcome.imputations,
+                base,
+            })
+        } else {
+            // Cleaning hurt (imputed values the source contradicts): keep
+            // the plain reclamation, report no imputations applied.
+            let eis_after = base.eis;
+            Ok(CleanedReclamation {
+                eis_after,
+                cleaned: base.reclaimed.clone(),
+                imputations: Vec::new(),
+                base,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn target() -> Table {
+        Table::build(
+            "T",
+            &["id", "nation", "region"],
+            &["id"],
+            vec![
+                vec![V::Int(0), V::str("france"), V::str("europe")],
+                vec![V::Int(1), V::str("france"), V::Null], // fillable via FD
+                vec![V::Int(2), V::str("peru"), V::Null],   // no evidence
+            ],
+        )
+        .unwrap()
+    }
+
+    fn evidence() -> Vec<Table> {
+        vec![Table::build(
+            "ev",
+            &["nation", "region"],
+            &[],
+            vec![
+                vec![V::str("france"), V::str("europe")],
+                vec![V::str("france"), V::str("europe")],
+                vec![V::str("japan"), V::str("asia")],
+            ],
+        )
+        .unwrap()]
+    }
+
+    #[test]
+    fn fd_imputation_fills_supported_cells_only() {
+        let out = impute(&target(), &evidence(), &ImputeConfig::default());
+        assert_eq!(out.imputations.len(), 1);
+        let imp = &out.imputations[0];
+        assert_eq!(imp.row, 1);
+        assert_eq!(out.table.cell(1, 2), Some(&V::str("europe")));
+        assert!(matches!(&imp.rule, ImputationRule::Fd { determinant, dependent }
+            if determinant == "nation" && dependent == "region"));
+        // Peru stays null: no evidence.
+        assert_eq!(out.table.cell(2, 2), Some(&V::Null));
+    }
+
+    #[test]
+    fn low_confidence_fds_do_not_fire() {
+        let noisy = vec![Table::build(
+            "ev",
+            &["nation", "region"],
+            &[],
+            vec![
+                vec![V::str("france"), V::str("europe")],
+                vec![V::str("france"), V::str("eu")], // disagreement
+            ],
+        )
+        .unwrap()];
+        let out = impute(&target(), &noisy, &ImputeConfig::default());
+        assert!(out.imputations.is_empty());
+        // Lowering the confidence threshold lets the majority win.
+        let lax = ImputeConfig { fd_min_confidence: 0.5, ..ImputeConfig::default() };
+        let out = impute(&target(), &noisy, &lax);
+        assert_eq!(out.imputations.len(), 1);
+    }
+
+    #[test]
+    fn support_threshold_blocks_single_sightings() {
+        let thin = vec![Table::build(
+            "ev",
+            &["nation", "region"],
+            &[],
+            vec![vec![V::str("france"), V::str("europe")]],
+        )
+        .unwrap()];
+        let strict = ImputeConfig { min_fd_support: 2, ..ImputeConfig::default() };
+        assert!(impute(&target(), &thin, &strict).imputations.is_empty());
+        let lax = ImputeConfig { min_fd_support: 1, ..ImputeConfig::default() };
+        assert_eq!(impute(&target(), &thin, &lax).imputations.len(), 1);
+    }
+
+    #[test]
+    fn mode_imputation_is_opt_in_and_share_gated() {
+        let t = Table::build(
+            "T",
+            &["id", "status"],
+            &["id"],
+            vec![vec![V::Int(0), V::Null], vec![V::Int(1), V::Null]],
+        )
+        .unwrap();
+        let ev = vec![Table::build(
+            "ev",
+            &["status"],
+            &[],
+            vec![vec![V::str("ok")]; 9]
+                .into_iter()
+                .chain(std::iter::once(vec![V::str("bad")]))
+                .collect(),
+        )
+        .unwrap()];
+        // Default: off.
+        assert!(impute(&t, &ev, &ImputeConfig::default()).imputations.is_empty());
+        // On, 90% share met (9/10).
+        let cfg = ImputeConfig { use_mode: true, ..ImputeConfig::default() };
+        let out = impute(&t, &ev, &cfg);
+        assert_eq!(out.imputations.len(), 2);
+        assert_eq!(out.table.cell(0, 1), Some(&V::str("ok")));
+        // Share not met when the mode is weaker.
+        let cfg = ImputeConfig { use_mode: true, mode_min_share: 0.95, ..ImputeConfig::default() };
+        assert!(impute(&t, &ev, &cfg).imputations.is_empty());
+    }
+
+    #[test]
+    fn reclaim_with_cleaning_improves_eis_on_fd_shaped_gaps() {
+        // Source with a derivable column; the lake fragment covering that
+        // column misses one row, but the FD nation→region is visible in
+        // the fragment itself.
+        let source = Table::build(
+            "S",
+            &["id", "nation", "region"],
+            &["id"],
+            vec![
+                vec![V::Int(0), V::str("france"), V::str("europe")],
+                vec![V::Int(1), V::str("france"), V::str("europe")],
+                vec![V::Int(2), V::str("japan"), V::str("asia")],
+            ],
+        )
+        .unwrap();
+        let ids = Table::build(
+            "ids",
+            &["id", "nation"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("france")],
+                vec![V::Int(1), V::str("france")],
+                vec![V::Int(2), V::str("japan")],
+            ],
+        )
+        .unwrap();
+        let regions = Table::build(
+            "regions",
+            &["id", "nation", "region"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("france"), V::str("europe")],
+                // row 1 missing!
+                vec![V::Int(2), V::str("japan"), V::str("asia")],
+            ],
+        )
+        .unwrap();
+        let lake = DataLake::from_tables(vec![ids, regions]);
+        let gen_t = GenT::default();
+        let cfg = ImputeConfig { min_fd_support: 1, ..ImputeConfig::default() };
+        let cleaned = gen_t.reclaim_with_cleaning(&source, &lake, &cfg).unwrap();
+        assert!(
+            cleaned.eis_after >= cleaned.base.eis,
+            "after {} < before {}",
+            cleaned.eis_after,
+            cleaned.base.eis
+        );
+        if cleaned.base.eis < 1.0 - 1e-9 {
+            assert!(!cleaned.imputations.is_empty(), "imputation should fire");
+            assert!(cleaned.eis_after > cleaned.base.eis);
+        }
+    }
+
+    #[test]
+    fn cleaning_that_hurts_is_rolled_back() {
+        // Evidence FD gives the *wrong* value for a source null: mode/FD
+        // imputation would reclaim a spurious value, lowering EIS → the
+        // cleaned result must fall back to the base reclamation.
+        let source = Table::build(
+            "S",
+            &["id", "a", "b"],
+            &["id"],
+            vec![vec![V::Int(0), V::str("x"), V::Null]], // b is a correct null
+        )
+        .unwrap();
+        let frag = Table::build(
+            "frag",
+            &["id", "a"],
+            &[],
+            vec![vec![V::Int(0), V::str("x")]],
+        )
+        .unwrap();
+        let misleading = Table::build(
+            "mis",
+            &["a", "b"],
+            &[],
+            vec![vec![V::str("x"), V::str("WRONG")]; 3],
+        )
+        .unwrap();
+        let lake = DataLake::from_tables(vec![frag, misleading]);
+        let cfg = ImputeConfig { min_fd_support: 1, ..ImputeConfig::default() };
+        let cleaned = GenT::default().reclaim_with_cleaning(&source, &lake, &cfg).unwrap();
+        assert_eq!(cleaned.eis_after, cleaned.base.eis);
+    }
+}

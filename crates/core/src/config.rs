@@ -1,0 +1,63 @@
+//! Configuration for the Gen-T pipeline, including the ablation toggles
+//! DESIGN.md calls out (three-valued vs two-valued matrices, matrix
+//! traversal on/off, diversification on/off, gated vs always-applied κ/β).
+
+use gent_discovery::SetSimilarityConfig;
+
+/// Tunable parameters of [`crate::GenT`].
+#[derive(Debug, Clone)]
+pub struct GenTConfig {
+    /// Set Similarity parameters (τ, max candidates, diversification).
+    pub set_similarity: SetSimilarityConfig,
+    /// Top-k of the first-stage retriever (Starmie stand-in).
+    pub first_stage_k: usize,
+    /// Run the first-stage retriever only when the lake has more tables
+    /// than this (small lakes go straight to Set Similarity, as in the
+    /// TP-TR experiments).
+    pub first_stage_threshold: usize,
+    /// Use three-valued matrices (§V-A3). `false` falls back to the
+    /// two-valued encoding of §V-A2 — an ablation knob; the paper argues
+    /// two-valued matrices cannot distinguish nullified from erroneous
+    /// values.
+    pub three_valued: bool,
+    /// Refine candidates with Matrix Traversal (Algorithm 1). `false`
+    /// integrates all candidates directly (that is what ALITE-PS does).
+    pub prune_with_traversal: bool,
+    /// Gate κ/β during integration on non-decreasing similarity
+    /// (Algorithm 2, lines 10–13). `false` always applies them.
+    pub gate_kappa_beta: bool,
+    /// Cap on aligned tuples kept per source row in a matrix (dominance
+    /// pruning keeps the best ones); bounds the Combine blow-up.
+    pub max_aligned_per_key: usize,
+    /// Maximum join-path length Expand explores (Algorithm 5).
+    pub expand_max_depth: usize,
+}
+
+impl Default for GenTConfig {
+    fn default() -> Self {
+        GenTConfig {
+            set_similarity: SetSimilarityConfig::default(),
+            first_stage_k: 100,
+            first_stage_threshold: 200,
+            three_valued: true,
+            prune_with_traversal: true,
+            gate_kappa_beta: true,
+            max_aligned_per_key: 8,
+            expand_max_depth: 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = GenTConfig::default();
+        assert!(c.three_valued);
+        assert!(c.prune_with_traversal);
+        assert!(c.gate_kappa_beta);
+        assert!(c.set_similarity.diversify);
+    }
+}

@@ -1,0 +1,304 @@
+//! Expand (Algorithm 5, Appendix C): give every candidate table access to
+//! the source key.
+//!
+//! Matrix initialisation needs each candidate to contain the source's key
+//! column(s) so its tuples can be aligned. Candidates that lack the key are
+//! joined, via a best join path, with candidates that have it: the
+//! candidates form a graph (edge = joinable columns, weight = estimated
+//! join overlap via value containment — "standard join cardinality
+//! estimation"), and for each keyless *start* table we search for the
+//! max-weight simple path to any key-carrying *end* table, then fold the
+//! path with natural joins.
+//!
+//! The paper's DFS pseudocode relaxes node weights without re-expanding
+//! (a heuristic); with ≤ a few dozen candidates we can afford an exact
+//! bounded-depth search over simple paths, which subsumes it.
+
+use gent_table::{FxHashSet, Table, Value};
+use gent_ops::inner_join;
+
+/// Estimated edge weight between two candidate tables: the best value
+/// containment among their shared columns — a proxy for how much of `a`
+/// survives the join (standard cardinality-estimation style).
+fn join_weight(a: &Table, b: &Table) -> Option<f64> {
+    let common = a.schema().common_columns(b.schema());
+    if common.is_empty() {
+        return None;
+    }
+    let mut best = 0.0f64;
+    for col in &common {
+        let ai = a.schema().column_index(col).expect("common");
+        let bi = b.schema().column_index(col).expect("common");
+        let av: FxHashSet<Value> = a.distinct_values(ai);
+        if av.is_empty() {
+            continue;
+        }
+        let bv: FxHashSet<Value> = b.distinct_values(bi);
+        let overlap = av.iter().filter(|v| bv.contains(*v)).count() as f64 / av.len() as f64;
+        best = best.max(overlap);
+    }
+    (best > 0.0).then_some(best)
+}
+
+/// Does `t` contain every source key column (by name)?
+fn has_key(t: &Table, key_names: &[&str]) -> bool {
+    key_names.iter().all(|k| t.schema().contains(k))
+}
+
+/// How many alternative join paths each keyless candidate may expand into.
+/// Nullified/erroneous lake tables rarely cover all source keys through a
+/// single partner — e.g. a dimension must join through *both* nullified
+/// versions of the fact table to reach every key — so Expand materialises
+/// the best path to each of the strongest end nodes and lets the matrix
+/// traversal decide which expansions actually help.
+const PATHS_PER_CANDIDATE: usize = 6;
+
+/// Depth-first search for max-weight simple paths `start → … → end` where
+/// `end` carries the key. Returns the best path per distinct end node,
+/// strongest first (up to [`PATHS_PER_CANDIDATE`]), each path as candidate
+/// indices excluding `start`.
+fn best_paths(
+    start: usize,
+    tables: &[Table],
+    weights: &[Vec<Option<f64>>],
+    ends: &FxHashSet<usize>,
+    max_depth: usize,
+) -> Vec<Vec<usize>> {
+    struct Search<'a> {
+        weights: &'a [Vec<Option<f64>>],
+        ends: &'a FxHashSet<usize>,
+        max_depth: usize,
+        /// Best (weight, path) per end node.
+        best: gent_table::FxHashMap<usize, (f64, Vec<usize>)>,
+    }
+    impl Search<'_> {
+        /// Path weight is the *product* of edge containments — an estimate
+        /// of the fraction of the start table's rows surviving the whole
+        /// join chain. (The paper's pseudocode sums weights, which would
+        /// always prefer longer paths; the product matches the stated goal
+        /// of "a path that covers the most source key values".) Ties break
+        /// toward shorter paths.
+        fn dfs(&mut self, node: usize, weight: f64, path: &mut Vec<usize>, visited: &mut Vec<bool>) {
+            if self.ends.contains(&node) {
+                let better = match self.best.get(&node) {
+                    None => true,
+                    Some((w, p)) => {
+                        weight > *w + 1e-12
+                            || ((weight - *w).abs() <= 1e-12 && path.len() < p.len())
+                    }
+                };
+                if better {
+                    self.best.insert(node, (weight, path.clone()));
+                }
+                return; // a path through an end node never needs to continue
+            }
+            if path.len() >= self.max_depth {
+                return;
+            }
+            for next in 0..self.weights.len() {
+                if visited[next] {
+                    continue;
+                }
+                if let Some(w) = self.weights[node][next] {
+                    visited[next] = true;
+                    path.push(next);
+                    self.dfs(next, weight * w, path, visited);
+                    path.pop();
+                    visited[next] = false;
+                }
+            }
+        }
+    }
+    let mut search =
+        Search { weights, ends, max_depth, best: gent_table::FxHashMap::default() };
+    let mut visited = vec![false; tables.len()];
+    visited[start] = true;
+    search.dfs(start, 1.0, &mut Vec::new(), &mut visited);
+    let mut ranked: Vec<(usize, f64, Vec<usize>)> =
+        search.best.into_iter().map(|(end, (w, p))| (end, w, p)).collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then(a.2.len().cmp(&b.2.len()))
+            .then(a.0.cmp(&b.0))
+    });
+    ranked.into_iter().take(PATHS_PER_CANDIDATE).map(|(_, _, p)| p).collect()
+}
+
+/// Algorithm 5 — replace each keyless candidate by its join with a path of
+/// candidates ending in a key-carrying one; candidates with no such path
+/// are dropped (their tuples can never be aligned).
+///
+/// Returns the expanded tables, preserving input order. Key-carrying
+/// candidates pass through unchanged.
+pub fn expand(candidates: &[Table], key_names: &[&str], max_depth: usize) -> Vec<Table> {
+    let n = candidates.len();
+    let ends: FxHashSet<usize> =
+        (0..n).filter(|&i| has_key(&candidates[i], key_names)).collect();
+    if ends.len() == n {
+        return candidates.to_vec();
+    }
+    // Precompute pairwise weights.
+    let mut weights: Vec<Vec<Option<f64>>> = vec![vec![None; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let w = join_weight(&candidates[i], &candidates[j]);
+            weights[i][j] = w;
+            weights[j][i] = w;
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if ends.contains(&i) {
+            out.push(candidates[i].clone());
+            continue;
+        }
+        for (k, path) in best_paths(i, candidates, &weights, &ends, max_depth)
+            .into_iter()
+            .enumerate()
+        {
+            let mut joined = candidates[i].clone();
+            let mut ok = true;
+            for &step in &path {
+                match inner_join(&joined, &candidates[step]) {
+                    Ok(j) => joined = j,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && !joined.is_empty() && has_key(&joined, key_names) {
+                let suffix = if k == 0 { String::new() } else { format!("#{}", k + 1) };
+                joined.set_name(format!("{}+expanded{suffix}", candidates[i].name()));
+                out.push(joined);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    /// Figure 3's tables B and C lack the source key "ID"; A has it.
+    fn candidates() -> Vec<Table> {
+        let a = Table::build(
+            "A",
+            &["ID", "Name", "Education Level"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Null],
+                vec![V::Int(2), V::str("Wang"), V::str("High School")],
+            ],
+        )
+        .unwrap();
+        let b = Table::build(
+            "B",
+            &["Name", "Age"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::Int(27)],
+                vec![V::str("Brown"), V::Int(24)],
+                vec![V::str("Wang"), V::Int(32)],
+            ],
+        )
+        .unwrap();
+        let c = Table::build(
+            "C",
+            &["Name", "Gender"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::str("Male")],
+                vec![V::str("Brown"), V::str("Male")],
+                vec![V::str("Wang"), V::str("Male")],
+            ],
+        )
+        .unwrap();
+        vec![a, b, c]
+    }
+
+    #[test]
+    fn keyless_candidates_join_to_key_carriers() {
+        let cands = candidates();
+        let expanded = expand(&cands, &["ID"], 3);
+        assert_eq!(expanded.len(), 3);
+        for t in &expanded {
+            assert!(t.schema().contains("ID"), "{} lacks ID", t.name());
+        }
+        // B expanded = B ⋈ A: must now carry Smith's age with ID 0.
+        let b = expanded.iter().find(|t| t.name().starts_with("B")).unwrap();
+        let id = b.schema().column_index("ID").unwrap();
+        let age = b.schema().column_index("Age").unwrap();
+        let smith = b.rows().iter().find(|r| r[id] == V::Int(0)).unwrap();
+        assert_eq!(smith[age], V::Int(27));
+    }
+
+    #[test]
+    fn all_keyed_passthrough() {
+        let cands = candidates();
+        let only_a = vec![cands[0].clone()];
+        let expanded = expand(&only_a, &["ID"], 3);
+        assert_eq!(expanded.len(), 1);
+        assert_eq!(expanded[0].name(), "A");
+    }
+
+    #[test]
+    fn unreachable_candidates_dropped() {
+        let mut cands = candidates();
+        cands.push(
+            Table::build("Z", &["unrelated"], &[], vec![vec![V::str("zzz")]]).unwrap(),
+        );
+        let expanded = expand(&cands, &["ID"], 3);
+        assert_eq!(expanded.len(), 3, "Z shares no columns → dropped");
+    }
+
+    #[test]
+    fn multi_hop_path() {
+        // D joins C joins A; D shares no column with A directly.
+        let a = Table::build(
+            "A",
+            &["ID", "Name"],
+            &[],
+            vec![vec![V::Int(0), V::str("Smith")]],
+        )
+        .unwrap();
+        let c = Table::build(
+            "C",
+            &["Name", "Badge"],
+            &[],
+            vec![vec![V::str("Smith"), V::str("b-7")]],
+        )
+        .unwrap();
+        let d = Table::build(
+            "D",
+            &["Badge", "Clearance"],
+            &[],
+            vec![vec![V::str("b-7"), V::str("top")]],
+        )
+        .unwrap();
+        let expanded = expand(&[a, c, d], &["ID"], 3);
+        assert_eq!(expanded.len(), 3);
+        let d_exp = expanded.iter().find(|t| t.name().starts_with("D")).unwrap();
+        assert!(d_exp.schema().contains("ID"));
+        assert_eq!(d_exp.n_rows(), 1);
+        let clearance = d_exp.schema().column_index("Clearance").unwrap();
+        assert_eq!(d_exp.rows()[0][clearance], V::str("top"));
+    }
+
+    #[test]
+    fn depth_limit_blocks_long_paths() {
+        let a = Table::build("A", &["ID", "x1"], &[], vec![vec![V::Int(0), V::Int(1)]]).unwrap();
+        let m1 = Table::build("M1", &["x1", "x2"], &[], vec![vec![V::Int(1), V::Int(2)]]).unwrap();
+        let m2 = Table::build("M2", &["x2", "x3"], &[], vec![vec![V::Int(2), V::Int(3)]]).unwrap();
+        let far = Table::build("F", &["x3", "v"], &[], vec![vec![V::Int(3), V::Int(9)]]).unwrap();
+        // far needs 3 hops (m2, m1, a); depth 2 cannot reach.
+        let expanded = expand(&[a.clone(), m1.clone(), m2.clone(), far.clone()], &["ID"], 2);
+        assert!(expanded.iter().all(|t| !t.name().starts_with("F")));
+        let expanded3 = expand(&[a, m1, m2, far], &["ID"], 3);
+        assert!(expanded3.iter().any(|t| t.name().starts_with("F")));
+    }
+}

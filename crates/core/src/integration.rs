@@ -1,0 +1,413 @@
+//! Table Integration (Algorithm 2): integrate the originating tables into
+//! the reclaimed Source Table with `{⊎, σ, π, κ, β}`.
+//!
+//! Preprocessing: project/select down to the source's columns and keys,
+//! inner-union same-schema tables, *label* nulls shared with the source
+//! (so κ/β cannot over-combine a correct null away — the device Example 10
+//! and Figure 5's footnotes describe), and take each table's minimal form.
+//!
+//! Integration: fold the tables with outer union; after each step apply
+//! complementation and subsumption **only if** they do not decrease the
+//! similarity to the source (lines 10–13) — this is what keeps an erroneous
+//! value from filling a null (the `0 ∨ ¬1 = 0` behaviour the matrices
+//! simulate). Finally remove the null labels and pad any missing source
+//! columns with nulls.
+
+use crate::config::GenTConfig;
+use gent_metrics::eis;
+use gent_ops::{complementation, minimal_form, outer_union, subsumption};
+use gent_table::{FxHashMap, FxHashSet, KeyValue, Schema, Table, Value};
+
+/// ProjectSelect (line 3): keep only columns named in the source (the key
+/// columns are always among them post-Expand) and rows whose key value
+/// appears in the source.
+///
+/// Public because the ALITE-PS baseline performs exactly this step before
+/// its full disjunction.
+pub fn project_select(t: &Table, source: &Table) -> Option<Table> {
+    let keep: Vec<usize> = (0..t.n_cols())
+        .filter(|&c| {
+            source
+                .schema()
+                .contains(t.schema().column_name(c).expect("in range"))
+        })
+        .collect();
+    if keep.is_empty() {
+        return None;
+    }
+    let mut projected = t.take_columns(&keep, t.name()).ok()?;
+    // Key columns of the source, positioned in the projected table.
+    let key_cols: Option<Vec<usize>> = source
+        .schema()
+        .key_names()
+        .iter()
+        .map(|k| projected.schema().column_index(k))
+        .collect();
+    let key_cols = key_cols?;
+    let source_keys: FxHashSet<KeyValue> = (0..source.n_rows())
+        .filter_map(|i| source.key_of_row(i))
+        .collect();
+    projected.retain_rows(|row| {
+        Table::key_from_row(row, &key_cols)
+            .map(|kv| source_keys.contains(&kv))
+            .unwrap_or(false)
+    });
+    (!projected.is_empty()).then_some(projected)
+}
+
+/// InnerUnion (line 4): union tables sharing the same column set.
+fn inner_union_groups(tables: Vec<Table>) -> Vec<Table> {
+    let mut groups: FxHashMap<Vec<String>, Table> = FxHashMap::default();
+    let mut order: Vec<Vec<String>> = Vec::new();
+    for t in tables {
+        let mut cols: Vec<String> = t.schema().columns().map(str::to_string).collect();
+        cols.sort();
+        match groups.get_mut(&cols) {
+            Some(acc) => {
+                *acc = gent_ops::inner_union(acc, &t).expect("same column sets");
+            }
+            None => {
+                order.push(cols.clone());
+                groups.insert(cols, t);
+            }
+        }
+    }
+    order.into_iter().map(|k| groups.remove(&k).expect("inserted")).collect()
+}
+
+/// LabelSourceNulls (line 5): where the source has a null and an aligned
+/// table tuple also has a null in the same column, replace the table's null
+/// with a labeled null unique to the *(source row, column)* position — the
+/// same label across tables, so that agreeing "correct nulls" still unify
+/// under κ/β while never being overwritten by a real value.
+fn label_source_nulls(tables: &mut [Table], source: &Table) {
+    let skey = source.schema().key();
+    // Label ids: position-determined (source row index, source column).
+    let label_of = |si: usize, sc: usize| -> u64 { (si as u64) << 16 | sc as u64 };
+    // Source rows by key.
+    let mut by_key: FxHashMap<KeyValue, usize> = FxHashMap::default();
+    for i in 0..source.n_rows() {
+        if let Some(kv) = source.key_of_row(i) {
+            by_key.insert(kv, i);
+        }
+    }
+    for t in tables.iter_mut() {
+        let key_cols: Option<Vec<usize>> = source
+            .schema()
+            .key_names()
+            .iter()
+            .map(|k| t.schema().column_index(k))
+            .collect();
+        let Some(key_cols) = key_cols else { continue };
+        // Map of table columns → source column index.
+        let col_to_source: Vec<Option<usize>> = (0..t.n_cols())
+            .map(|c| source.schema().column_index(t.schema().column_name(c).expect("in range")))
+            .collect();
+        let n_cols = t.n_cols();
+        let schema = t.schema().clone();
+        let rows: Vec<Vec<Value>> = t
+            .rows()
+            .iter()
+            .map(|row| {
+                let Some(kv) = Table::key_from_row(row, &key_cols) else {
+                    return row.clone();
+                };
+                let Some(&si) = by_key.get(&kv) else {
+                    return row.clone();
+                };
+                let mut out = row.clone();
+                for c in 0..n_cols {
+                    if let Some(sc) = col_to_source[c] {
+                        if !skey.contains(&sc)
+                            && source.rows()[si][sc].is_null()
+                            && out[c].is_null()
+                        {
+                            out[c] = Value::LabeledNull(label_of(si, sc));
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        *t = Table::from_rows(t.name(), schema, rows).expect("schema unchanged");
+    }
+}
+
+/// RemoveLabeledNulls (line 14).
+fn remove_labeled_nulls(t: &Table) -> Table {
+    let rows: Vec<Vec<Value>> = t
+        .rows()
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    Value::LabeledNull(_) => Value::Null,
+                    other => other.clone(),
+                })
+                .collect()
+        })
+        .collect();
+    Table::from_rows(t.name(), t.schema().clone(), rows).expect("schema unchanged")
+}
+
+/// Pad the reclaimed table with all-null columns for source columns it
+/// lacks and order columns exactly as the source (lines 15–16).
+///
+/// Public so baseline outputs can be conformed for apples-to-apples
+/// evaluation.
+pub fn conform_schema(t: &Table, source: &Table) -> Table {
+    let names: Vec<&str> = source.schema().columns().collect();
+    let schema = Schema::with_key(
+        names.iter().copied(),
+        source.schema().key_names().iter().copied(),
+    )
+    .expect("source schema is valid");
+    let map: Vec<Option<usize>> = names.iter().map(|n| t.schema().column_index(n)).collect();
+    let rows: Vec<Vec<Value>> = t
+        .rows()
+        .iter()
+        .map(|r| {
+            map.iter()
+                .map(|m| m.map(|j| r[j].clone()).unwrap_or(Value::Null))
+                .collect()
+        })
+        .collect();
+    Table::from_rows("reclaimed", schema, rows).expect("layout fixed")
+}
+
+/// Algorithm 2 — integrate `originating` tables to reclaim `source`.
+///
+/// Returns a table with exactly the source's schema (named `reclaimed`).
+/// With no usable originating tables the result is empty with the source's
+/// schema — "nothing in the lake reclaims this source".
+pub fn integrate(originating: &[Table], source: &Table, cfg: &GenTConfig) -> Table {
+    // --- preprocessing (lines 3–6) --------------------------------------
+    let projected: Vec<Table> = originating
+        .iter()
+        .filter_map(|t| project_select(t, source))
+        .collect();
+    if projected.is_empty() {
+        return conform_schema(&Table::new("reclaimed", source.schema().clone()), source);
+    }
+    let mut unioned = inner_union_groups(projected);
+    label_source_nulls(&mut unioned, source);
+    let minimal: Vec<Table> = unioned.iter().map(minimal_form).collect();
+
+    // --- integration (lines 7–13) ---------------------------------------
+    let mut acc: Option<Table> = None;
+    for t in &minimal {
+        let unioned = match &acc {
+            None => t.clone(),
+            Some(a) => outer_union(a, t).expect("outer union total"),
+        };
+        let mut cur = unioned;
+        // Gated complementation.
+        let kappa = complementation(&cur);
+        if !cfg.gate_kappa_beta || eis(source, &kappa) >= eis(source, &cur) {
+            cur = kappa;
+        }
+        // Gated subsumption.
+        let beta = subsumption(&cur);
+        if !cfg.gate_kappa_beta || eis(source, &beta) >= eis(source, &cur) {
+            cur = beta;
+        }
+        acc = Some(cur);
+    }
+    let result = acc.expect("at least one table");
+
+    // --- postprocessing (lines 14–16) ------------------------------------
+    let unlabeled = remove_labeled_nulls(&result);
+    let mut conformed = conform_schema(&unlabeled, source);
+    conformed.dedup_rows();
+    conformed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_metrics::{perfectly_reclaimed, recall};
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["ID", "Name", "Age", "Gender", "Education Level"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Expanded Figure 3 tables A, B, D (B carries the key via Expand).
+    fn originating() -> Vec<Table> {
+        vec![
+            Table::build(
+                "A",
+                &["ID", "Name", "Education Level"],
+                &[],
+                vec![
+                    vec![V::Int(0), V::str("Smith"), V::str("Bachelors")],
+                    vec![V::Int(1), V::str("Brown"), V::Null],
+                    vec![V::Int(2), V::str("Wang"), V::str("High School")],
+                ],
+            )
+            .unwrap(),
+            Table::build(
+                "B+expanded",
+                &["ID", "Name", "Age"],
+                &[],
+                vec![
+                    vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                    vec![V::Int(1), V::str("Brown"), V::Int(24)],
+                    vec![V::Int(2), V::str("Wang"), V::Int(32)],
+                ],
+            )
+            .unwrap(),
+            Table::build(
+                "D",
+                &["ID", "Name", "Age", "Gender", "Education Level"],
+                &[],
+                vec![
+                    vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                    vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                    vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::Null],
+                ],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn figure3_integration_reclaims_source() {
+        // A ∪ B ∪ D contain every source value (A has Wang's education, D
+        // the rest) — integration must perfectly reclaim S.
+        let out = integrate(&originating(), &source(), &GenTConfig::default());
+        assert!(perfectly_reclaimed(&source(), &out), "output:\n{out}");
+        assert_eq!(recall(&source(), &out), 1.0);
+    }
+
+    #[test]
+    fn source_nulls_are_protected() {
+        // Smith's Gender is null in the source. Candidate E claims "Male".
+        // The gated integration must not fill the null: the best aligned
+        // tuple keeps gender null.
+        let mut tables = originating();
+        tables.push(
+            Table::build(
+                "E",
+                &["ID", "Name", "Gender"],
+                &[],
+                vec![vec![V::Int(0), V::str("Smith"), V::str("Male")]],
+            )
+            .unwrap(),
+        );
+        let s = source();
+        let out = integrate(&tables, &s, &GenTConfig::default());
+        // There must still exist an aligned tuple for Smith with null
+        // gender and all other values correct.
+        assert!(perfectly_reclaimed(&s, &out), "output:\n{out}");
+    }
+
+    #[test]
+    fn schema_always_conforms_to_source() {
+        let s = source();
+        let only_partial = vec![Table::build(
+            "P",
+            &["ID", "Name"],
+            &[],
+            vec![vec![V::Int(0), V::str("Smith")]],
+        )
+        .unwrap()];
+        let out = integrate(&only_partial, &s, &GenTConfig::default());
+        assert_eq!(
+            out.schema().columns().collect::<Vec<_>>(),
+            s.schema().columns().collect::<Vec<_>>()
+        );
+        assert_eq!(out.n_rows(), 1);
+        let age = out.schema().column_index("Age").unwrap();
+        assert!(out.rows()[0][age].is_null());
+    }
+
+    #[test]
+    fn rows_outside_source_keys_are_dropped() {
+        let s = source();
+        let with_extra = vec![Table::build(
+            "X",
+            &["ID", "Name", "Age", "Gender", "Education Level"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                vec![V::Int(99), V::str("Ghost"), V::Int(1), V::Null, V::Null],
+            ],
+        )
+        .unwrap()];
+        let out = integrate(&with_extra, &s, &GenTConfig::default());
+        let id = out.schema().column_index("ID").unwrap();
+        assert!(out.rows().iter().all(|r| r[id] != V::Int(99)));
+    }
+
+    #[test]
+    fn empty_originating_set_gives_empty_conformed_table() {
+        let s = source();
+        let out = integrate(&[], &s, &GenTConfig::default());
+        assert!(out.is_empty());
+        assert_eq!(out.n_cols(), s.n_cols());
+    }
+
+    #[test]
+    fn no_labeled_nulls_leak() {
+        let out = integrate(&originating(), &source(), &GenTConfig::default());
+        for row in out.rows() {
+            for v in row {
+                assert!(!matches!(v, V::LabeledNull(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn ungated_integration_can_fill_source_nulls_wrongly() {
+        // Ablation: with the κ/β gate off, E's erroneous "Male" can merge
+        // into Smith's tuple — demonstrating why the gate exists. The
+        // labeled null protects positions where *some* originating table
+        // kept the null aligned with the source, so drop D (whose Smith
+        // tuple carries the labeled null) to expose the effect.
+        let tables = vec![
+            Table::build(
+                "B+expanded",
+                &["ID", "Name", "Age"],
+                &[],
+                vec![vec![V::Int(0), V::str("Smith"), V::Int(27)]],
+            )
+            .unwrap(),
+            Table::build(
+                "E",
+                &["ID", "Name", "Gender"],
+                &[],
+                vec![vec![V::Int(0), V::str("Smith"), V::str("Male")]],
+            )
+            .unwrap(),
+        ];
+        let s = source();
+        let gated = integrate(&tables, &s, &GenTConfig::default());
+        let ungated = integrate(
+            &tables,
+            &s,
+            &GenTConfig { gate_kappa_beta: false, ..Default::default() },
+        );
+        let gender = s.schema().column_index("Gender").unwrap();
+        // Ungated: κ merges the two tuples → Male fills the source null.
+        assert!(ungated
+            .rows()
+            .iter()
+            .any(|r| r[gender] == V::str("Male") && r[1] == V::str("Smith")));
+        // Gated: the merge is rejected; a tuple with null gender remains.
+        assert!(gated
+            .rows()
+            .iter()
+            .any(|r| r[1] == V::str("Smith") && r[gender].is_null()));
+    }
+}

@@ -1,0 +1,199 @@
+//! Cross-lake (iterative) reclamation — §VII: *"When a table can only be
+//! partially reclaimed, we plan to investigate whether the originating
+//! tables can be embedded in a new data lake and used to possibly generate
+//! a better reclamation."*
+//!
+//! [`GenT::reclaim_across`] implements that loop: reclaim from the first
+//! lake; carry the originating tables forward and *embed* them in the next
+//! lake (they join the next lake's index as first-class tables); reclaim
+//! again; keep whichever round scored best. Because the carried tables are
+//! already renamed to the source's columns, they compose with the new
+//! lake's fragments — a second lake holding the values the first lake
+//! lacked turns a partial reclamation into a better (possibly perfect) one,
+//! even though neither lake suffices alone.
+
+use crate::pipeline::{GenT, GentError, ReclamationResult};
+use gent_discovery::DataLake;
+use gent_table::Table;
+
+/// The outcome of reclaiming across several lakes.
+#[derive(Debug, Clone)]
+pub struct MultiLakeOutcome {
+    /// One result per lake, in visit order. Round `i > 0` searched lake
+    /// `i` *plus* the originating tables carried from rounds `< i`.
+    pub rounds: Vec<ReclamationResult>,
+    /// Index (into `rounds`) of the best round by EIS (ties → earliest).
+    pub best: usize,
+}
+
+impl MultiLakeOutcome {
+    /// The best round's result.
+    pub fn best_result(&self) -> &ReclamationResult {
+        &self.rounds[self.best]
+    }
+
+    /// Did a later round beat the first lake alone?
+    pub fn improved_over_first(&self) -> bool {
+        self.best > 0 && self.rounds[self.best].eis > self.rounds[0].eis + 1e-12
+    }
+}
+
+impl GenT {
+    /// Reclaim `source` across `lakes`, embedding each round's originating
+    /// tables into the next lake (§VII's iterative-reclamation proposal).
+    ///
+    /// The carried tables keep their names; name collisions inside the
+    /// temporary lake are suffixed by the lake's own deduplication. Errors
+    /// if `lakes` is empty or the source has no key.
+    pub fn reclaim_across(
+        &self,
+        source: &Table,
+        lakes: &[&DataLake],
+    ) -> Result<MultiLakeOutcome, GentError> {
+        assert!(!lakes.is_empty(), "reclaim_across needs at least one lake");
+        let mut rounds: Vec<ReclamationResult> = Vec::with_capacity(lakes.len());
+        let mut carried: Vec<Table> = Vec::new();
+        for lake in lakes {
+            let result = if carried.is_empty() {
+                self.reclaim(source, lake)?
+            } else {
+                // Embed the carried originating tables into this lake.
+                let mut tables: Vec<Table> = lake.tables().to_vec();
+                tables.extend(carried.iter().cloned());
+                let embedded = DataLake::from_tables(tables);
+                self.reclaim(source, &embedded)?
+            };
+            // Carry forward every distinct originating table seen so far
+            // (by name+shape; exact duplicates are dropped).
+            for t in &result.originating {
+                let dup = carried
+                    .iter()
+                    .any(|c| c.name() == t.name() && c.rows() == t.rows());
+                if !dup {
+                    carried.push(t.clone());
+                }
+            }
+            rounds.push(result);
+        }
+        let best = rounds
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.eis
+                    .partial_cmp(&b.1.eis)
+                    .expect("finite EIS")
+                    .then(b.0.cmp(&a.0)) // ties → earliest round
+            })
+            .map(|(i, _)| i)
+            .expect("at least one round");
+        Ok(MultiLakeOutcome { rounds, best })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["id", "name", "age", "city"],
+            &["id"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::str("Boston")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Berlin")],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Lake A knows names+ages; lake B knows cities (keyed by name, so it
+    /// only helps once A's id↔name table is embedded alongside it).
+    fn lake_a() -> DataLake {
+        DataLake::from_tables(vec![Table::build(
+            "people",
+            &["id", "name", "age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(1), V::str("Brown"), V::Int(24)],
+            ],
+        )
+        .unwrap()])
+    }
+
+    fn lake_b() -> DataLake {
+        DataLake::from_tables(vec![Table::build(
+            "cities",
+            &["name", "city"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::str("Boston")],
+                vec![V::str("Brown"), V::str("Berlin")],
+            ],
+        )
+        .unwrap()])
+    }
+
+    #[test]
+    fn second_lake_completes_a_partial_reclamation() {
+        let s = source();
+        let a = lake_a();
+        let b = lake_b();
+        let out = GenT::default().reclaim_across(&s, &[&a, &b]).unwrap();
+        assert_eq!(out.rounds.len(), 2);
+        // Lake A alone cannot supply the city column.
+        assert!(out.rounds[0].eis < 1.0 - 1e-9, "round 0 EIS {}", out.rounds[0].eis);
+        // Lake B + the carried people table reclaims perfectly.
+        assert!(out.rounds[1].report.perfect, "round 1 EIS {}", out.rounds[1].eis);
+        assert_eq!(out.best, 1);
+        assert!(out.improved_over_first());
+        assert!(out.best_result().report.perfect);
+    }
+
+    #[test]
+    fn order_matters_but_best_round_is_tracked() {
+        // Visiting B first: B alone reclaims nothing useful (no key
+        // column), then A + carried tables reclaim at least as much as A
+        // alone — the outcome still surfaces the best round.
+        let s = source();
+        let a = lake_a();
+        let b = lake_b();
+        let out = GenT::default().reclaim_across(&s, &[&b, &a]).unwrap();
+        let best = out.best_result();
+        let solo = GenT::default().reclaim(&s, &a).unwrap();
+        assert!(best.eis + 1e-9 >= solo.eis);
+    }
+
+    #[test]
+    fn single_lake_degenerates_to_plain_reclaim() {
+        let s = source();
+        let a = lake_a();
+        let out = GenT::default().reclaim_across(&s, &[&a]).unwrap();
+        let plain = GenT::default().reclaim(&s, &a).unwrap();
+        assert_eq!(out.rounds.len(), 1);
+        assert_eq!(out.best, 0);
+        assert!((out.rounds[0].eis - plain.eis).abs() < 1e-12);
+        assert!(!out.improved_over_first());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lake")]
+    fn empty_lake_list_panics() {
+        let _ = GenT::default().reclaim_across(&source(), &[]);
+    }
+
+    #[test]
+    fn carried_tables_are_deduplicated() {
+        // Visiting the same lake twice must not multiply the carried set.
+        let s = source();
+        let a = lake_a();
+        let out = GenT::default().reclaim_across(&s, &[&a, &a, &a]).unwrap();
+        assert_eq!(out.rounds.len(), 3);
+        // EIS is stable across identical rounds.
+        for r in &out.rounds {
+            assert!((r.eis - out.rounds[0].eis).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Keyless and normalised reclamation — the paper's §VII future work.
+//!
+//! *"In future work, we will relax the key assumption with regard to source
+//! tables, and use a fast, approximate instance comparison algorithm to
+//! compare instances from a source table and data lake tables."*
+//!
+//! Two pieces implement that here:
+//!
+//! 1. [`keyless_instance_similarity`] — a greedy approximate instance
+//!    comparison that needs no key: source and reclaimed tuples are matched
+//!    one-to-one by descending shared-value count (the greedy 1/2-
+//!    approximation of maximum-weight bipartite matching), and similarity
+//!    is averaged over source tuples like Eq. 2 averages aligned tuples.
+//! 2. [`GenT::reclaim_keyless`] — runs the pipeline on a key-less source by
+//!    first *mining* a key (the paper's §II route, via
+//!    [`gent_table::key::ensure_key`]), and otherwise installing the most
+//!    selective column prefix as a **surrogate key**. Alignment through a
+//!    surrogate is approximate (several source rows may share a surrogate
+//!    value), so the outcome reports the keyless similarity alongside the
+//!    usual key-based metrics.
+//!
+//! Normalised reclamation ([`GenT::reclaim_normalized`]) covers the other
+//! §VII thread — sources whose values do not *syntactically* align with the
+//! lake — by normalising both sides with a
+//! [`gent_table::NormalizeConfig`] before running the ordinary pipeline.
+
+use crate::pipeline::{GenT, GentError, ReclamationResult};
+use gent_discovery::DataLake;
+use gent_table::key::ensure_key;
+use gent_table::{NormalizeConfig, Table, Value};
+
+/// How the source's rows were aligned for a keyless reclamation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyStrategy {
+    /// The source already declared a valid key.
+    Declared,
+    /// A minimal unique column set was mined and installed (named columns).
+    Mined(Vec<String>),
+    /// No key exists; the most selective column set was used as a surrogate
+    /// (alignment is approximate).
+    Surrogate(Vec<String>),
+}
+
+/// Result of [`GenT::reclaim_keyless`].
+#[derive(Debug, Clone)]
+pub struct KeylessOutcome {
+    /// The ordinary pipeline result (run with the chosen key columns).
+    pub result: ReclamationResult,
+    /// Key-free greedy instance similarity between source and reclaimed —
+    /// the measure that stays meaningful when the key is only a surrogate.
+    pub keyless_similarity: f64,
+    /// Which alignment strategy was used.
+    pub strategy: KeyStrategy,
+}
+
+/// Shared-value fraction between two rows under a column mapping
+/// (`None` columns read as null).
+fn row_similarity(srow: &[Value], trow: &[Value], column_map: &[Option<usize>]) -> f64 {
+    if srow.is_empty() {
+        return 0.0;
+    }
+    let mut shared = 0usize;
+    for (j, sv) in srow.iter().enumerate() {
+        let tv = column_map[j].map(|c| &trow[c]).unwrap_or(&Value::Null);
+        let equal = if sv.is_null_like() {
+            tv.is_null_like()
+        } else {
+            sv == tv
+        };
+        if equal {
+            shared += 1;
+        }
+    }
+    shared as f64 / srow.len() as f64
+}
+
+/// Greedy key-free instance similarity in `[0, 1]`: tuples are paired
+/// one-to-one by descending shared-value fraction; unpaired source tuples
+/// score 0. Columns are matched by name; reclaimed columns missing from the
+/// source are ignored, source columns missing from the reclamation read as
+/// null. `O(|S|·|T|·w)` — the "fast, approximate instance comparison" of
+/// §VII, trading the NP-hard homomorphism check for a greedy matching.
+pub fn keyless_instance_similarity(source: &Table, reclaimed: &Table) -> f64 {
+    if source.n_rows() == 0 {
+        return if reclaimed.n_rows() == 0 { 1.0 } else { 0.0 };
+    }
+    let column_map: Vec<Option<usize>> = source
+        .schema()
+        .columns()
+        .map(|c| reclaimed.schema().column_index(c))
+        .collect();
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+    for (si, srow) in source.rows().iter().enumerate() {
+        for (ti, trow) in reclaimed.rows().iter().enumerate() {
+            let sim = row_similarity(srow, trow, &column_map);
+            if sim > 0.0 {
+                pairs.push((sim, si, ti));
+            }
+        }
+    }
+    // Descending similarity, deterministic tie-break.
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then((a.1, a.2).cmp(&(b.1, b.2))));
+    let mut s_used = vec![false; source.n_rows()];
+    let mut t_used = vec![false; reclaimed.n_rows()];
+    let mut total = 0.0;
+    for (sim, si, ti) in pairs {
+        if !s_used[si] && !t_used[ti] {
+            s_used[si] = true;
+            t_used[ti] = true;
+            total += sim;
+        }
+    }
+    total / source.n_rows() as f64
+}
+
+/// The most selective column set of width ≤ `max_width`: greedily add the
+/// column that most reduces the duplicate-group count. Used as a surrogate
+/// key when no true key exists.
+fn most_selective_columns(t: &Table, max_width: usize) -> Vec<usize> {
+    use gent_table::FxHashSet;
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut best_distinct = 0usize;
+    for _ in 0..max_width.max(1) {
+        let mut best: Option<(usize, usize)> = None; // (distinct, column)
+        for c in 0..t.n_cols() {
+            if chosen.contains(&c) {
+                continue;
+            }
+            let mut cols = chosen.clone();
+            cols.push(c);
+            let distinct: FxHashSet<Vec<&Value>> = t
+                .rows()
+                .iter()
+                .map(|r| cols.iter().map(|&j| &r[j]).collect())
+                .collect();
+            let d = distinct.len();
+            if best.map(|(bd, _)| d > bd).unwrap_or(true) {
+                best = Some((d, c));
+            }
+        }
+        let Some((d, c)) = best else { break };
+        if d <= best_distinct {
+            break; // no further gain
+        }
+        best_distinct = d;
+        chosen.push(c);
+        if d == t.n_rows() {
+            break; // fully selective
+        }
+    }
+    chosen
+}
+
+impl GenT {
+    /// Reclaim a source that may lack a key: mine one if possible
+    /// (§II's key-mining route), otherwise align through the most
+    /// selective surrogate columns. Always reports the key-free greedy
+    /// instance similarity so surrogate alignments can be judged fairly.
+    pub fn reclaim_keyless(
+        &self,
+        source: &Table,
+        lake: &DataLake,
+    ) -> Result<KeylessOutcome, GentError> {
+        let (prepared, strategy) = prepare_key(source);
+        let result = self.reclaim(&prepared, lake)?;
+        let keyless_similarity = keyless_instance_similarity(&prepared, &result.reclaimed);
+        Ok(KeylessOutcome {
+            result,
+            keyless_similarity,
+            strategy,
+        })
+    }
+
+    /// Reclaim after normalising both the source and every lake table with
+    /// `norm` — the §VII "semantic similarity of instances" route for
+    /// sources that do not syntactically align with the lake. The reclaimed
+    /// table lives in normalised space.
+    pub fn reclaim_normalized(
+        &self,
+        source: &Table,
+        lake: &DataLake,
+        norm: &NormalizeConfig,
+    ) -> Result<ReclamationResult, GentError> {
+        let nsource = norm.table(source);
+        let ntables: Vec<Table> = lake.tables().iter().map(|t| norm.table(t)).collect();
+        let nlake = DataLake::from_tables(ntables);
+        self.reclaim(&nsource, &nlake)
+    }
+}
+
+/// Ensure `source` carries key columns, returning the prepared table and the
+/// strategy used.
+fn prepare_key(source: &Table) -> (Table, KeyStrategy) {
+    if source.schema().has_key() && source.key_is_valid() {
+        return (source.clone(), KeyStrategy::Declared);
+    }
+    let mut prepared = source.clone();
+    if ensure_key(&mut prepared) {
+        let names = prepared
+            .schema()
+            .key_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        return (prepared, KeyStrategy::Mined(names));
+    }
+    // No true key: surrogate.
+    let cols = most_selective_columns(source, 3);
+    let names: Vec<String> = cols
+        .iter()
+        .map(|&c| source.schema().column_name(c).expect("in range").to_string())
+        .collect();
+    prepared
+        .schema_mut()
+        .set_key(names.iter().map(|s| s.as_str()))
+        .expect("names valid");
+    (prepared, KeyStrategy::Surrogate(names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenTConfig;
+    use gent_discovery::DataLake;
+    use gent_table::Value as V;
+
+    #[test]
+    fn keyless_similarity_perfect_and_empty() {
+        let t = Table::build(
+            "t",
+            &["a", "b"],
+            &[],
+            vec![vec![V::Int(1), V::str("x")], vec![V::Int(2), V::str("y")]],
+        )
+        .unwrap();
+        assert!((keyless_instance_similarity(&t, &t) - 1.0).abs() < 1e-12);
+        let empty = Table::build("e", &["a", "b"], &[], vec![]).unwrap();
+        assert_eq!(keyless_instance_similarity(&t, &empty), 0.0);
+        assert_eq!(keyless_instance_similarity(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn keyless_similarity_is_one_to_one() {
+        // Two identical source rows but only one reclaimed copy: the copy
+        // may be used once, so similarity is 0.5, not 1.0.
+        let s = Table::build(
+            "s",
+            &["a"],
+            &[],
+            vec![vec![V::Int(1)], vec![V::Int(1)]],
+        )
+        .unwrap();
+        let r = Table::build("r", &["a"], &[], vec![vec![V::Int(1)]]).unwrap();
+        assert!((keyless_instance_similarity(&s, &r) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keyless_similarity_counts_matching_nulls() {
+        let s = Table::build("s", &["a", "b"], &[], vec![vec![V::Int(1), V::Null]]).unwrap();
+        let r = Table::build("r", &["a", "b"], &[], vec![vec![V::Int(1), V::Null]]).unwrap();
+        assert!((keyless_instance_similarity(&s, &r) - 1.0).abs() < 1e-12);
+        let r2 = Table::build("r", &["a", "b"], &[], vec![vec![V::Int(1), V::Int(9)]]).unwrap();
+        assert!((keyless_instance_similarity(&s, &r2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_selective_prefers_distinct_columns() {
+        let t = Table::build(
+            "t",
+            &["constant", "id"],
+            &[],
+            vec![
+                vec![V::str("c"), V::Int(1)],
+                vec![V::str("c"), V::Int(2)],
+                vec![V::str("c"), V::Int(3)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(most_selective_columns(&t, 3), vec![1]);
+    }
+
+    fn fragment_lake() -> DataLake {
+        let ids = Table::build(
+            "ids",
+            &["id", "name"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith")],
+                vec![V::Int(1), V::str("Brown")],
+            ],
+        )
+        .unwrap();
+        let ages = Table::build(
+            "ages",
+            &["name", "age"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::Int(27)],
+                vec![V::str("Brown"), V::Int(24)],
+            ],
+        )
+        .unwrap();
+        DataLake::from_tables(vec![ids, ages])
+    }
+
+    #[test]
+    fn reclaim_keyless_mines_a_key() {
+        // Source with a unique id column but no declared key.
+        let source = Table::build(
+            "S",
+            &["id", "name", "age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(1), V::str("Brown"), V::Int(24)],
+            ],
+        )
+        .unwrap();
+        let out = GenT::default().reclaim_keyless(&source, &fragment_lake()).unwrap();
+        assert!(matches!(out.strategy, KeyStrategy::Mined(_)));
+        assert!(out.keyless_similarity > 0.99, "sim {}", out.keyless_similarity);
+        assert!(out.result.report.perfect);
+    }
+
+    #[test]
+    fn reclaim_keyless_falls_back_to_surrogate() {
+        // Duplicate rows: no key exists at any width.
+        let source = Table::build(
+            "S",
+            &["name", "age"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::Int(27)],
+                vec![V::str("Smith"), V::Int(27)],
+            ],
+        )
+        .unwrap();
+        let out = GenT::default().reclaim_keyless(&source, &fragment_lake()).unwrap();
+        assert!(matches!(out.strategy, KeyStrategy::Surrogate(_)));
+        // Both duplicate rows match the single Smith tuple approximately;
+        // greedy matching uses the reclaimed tuple(s) at most once each.
+        assert!(out.keyless_similarity > 0.0);
+    }
+
+    #[test]
+    fn reclaim_keyless_respects_declared_keys() {
+        let source = Table::build(
+            "S",
+            &["id", "name"],
+            &["id"],
+            vec![vec![V::Int(0), V::str("Smith")]],
+        )
+        .unwrap();
+        let out = GenT::default().reclaim_keyless(&source, &fragment_lake()).unwrap();
+        assert_eq!(out.strategy, KeyStrategy::Declared);
+    }
+
+    #[test]
+    fn reclaim_normalized_bridges_case_gaps() {
+        // Lake spells names in upper case; plain reclamation finds nothing
+        // for the name column, normalised reclamation matches.
+        let loud = Table::build(
+            "loud",
+            &["id", "name"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("SMITH")],
+                vec![V::Int(1), V::str("BROWN")],
+            ],
+        )
+        .unwrap();
+        let lake = DataLake::from_tables(vec![loud]);
+        let source = Table::build(
+            "S",
+            &["id", "name"],
+            &["id"],
+            vec![
+                vec![V::Int(0), V::str("smith")],
+                vec![V::Int(1), V::str("brown")],
+            ],
+        )
+        .unwrap();
+        let plain = GenT::default().reclaim(&source, &lake).unwrap();
+        let normed = GenT::default()
+            .reclaim_normalized(&source, &lake, &NormalizeConfig::default())
+            .unwrap();
+        assert!(normed.eis > plain.eis);
+        assert!(normed.report.perfect);
+    }
+
+    #[test]
+    fn config_is_reused_for_keyless_path() {
+        // Smoke test: a non-default config flows through.
+        let cfg = GenTConfig {
+            prune_with_traversal: false,
+            ..GenTConfig::default()
+        };
+        let source = Table::build(
+            "S",
+            &["id", "name"],
+            &[],
+            vec![vec![V::Int(0), V::str("Smith")]],
+        )
+        .unwrap();
+        let out = GenT::new(cfg).reclaim_keyless(&source, &fragment_lake()).unwrap();
+        assert!(out.result.eis > 0.0);
+    }
+}

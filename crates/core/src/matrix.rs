@@ -1,0 +1,522 @@
+//! Three-valued alignment matrices (§V-A2/3) and `Combine` (Eq. 5).
+//!
+//! A candidate table is represented by a matrix with the Source Table's
+//! dimensions. For every candidate tuple aligned to source row `i` (same
+//! key value), the matrix holds a vector over the source columns with
+//! (Eq. 4):
+//!
+//! * ` 1` — candidate agrees with the source cell (including a null where
+//!   the source is null),
+//! * ` 0` — candidate has a null where the source has a value,
+//! * `-1` — candidate has a non-null value contradicting the source (or a
+//!   value where the source has a null).
+//!
+//! `Combine` (Eq. 5) simulates outer union + subsumption/complementation:
+//! two aligned tuples with *conflicting* non-zero entries at some column are
+//! kept separate (real integration would keep both tuples); otherwise they
+//! merge by element-wise maximum under the truth ordering `1 > 0 > −1`
+//! (matching Figure 5's `0 ∨ ¬1 = 0`: the simulated integration will not
+//! let an erroneous value fill a null because the similarity gate would
+//! reject it).
+//!
+//! Because combining can yield more aligned tuples per source row than
+//! either input had, each matrix stores *lists* of tuple vectors per source
+//! row, with dominance pruning and a configurable cap to bound growth —
+//! this is the dictionary encoding §V-A3 describes.
+
+use gent_table::{FxHashMap, Table};
+
+/// Three-valued alignment matrix of one (possibly partially integrated)
+/// candidate against a fixed source table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentMatrix {
+    /// `rows[i]` = aligned tuple vectors for source row `i` (possibly
+    /// empty). Each vector has one entry per source column.
+    rows: Vec<Vec<Vec<i8>>>,
+    /// Number of source columns (vector length).
+    n_cols: usize,
+    /// Indices of the source's non-key columns (the ones EIS scores).
+    non_key_cols: Vec<usize>,
+}
+
+impl AlignmentMatrix {
+    /// Build the matrix of `candidate` against `source` (Eq. 4).
+    ///
+    /// The candidate's columns are matched to the source's *by name* (Set
+    /// Similarity already renamed them); the candidate must contain every
+    /// source key column — tables that don't are first expanded
+    /// (Algorithm 5) or dropped.
+    ///
+    /// `three_valued = false` gives the §V-A2 two-valued encoding
+    /// (contradictions collapse to 0), kept for the ablation study.
+    pub fn build(
+        source: &Table,
+        candidate: &Table,
+        three_valued: bool,
+        max_aligned_per_key: usize,
+    ) -> Option<AlignmentMatrix> {
+        let skey = source.schema().key();
+        assert!(!skey.is_empty(), "source must declare a key");
+        // Candidate columns aligned to each source column.
+        let col_map: Vec<Option<usize>> = source
+            .schema()
+            .columns()
+            .map(|c| candidate.schema().column_index(c))
+            .collect();
+        // All key columns must be present in the candidate.
+        let ckey: Option<Vec<usize>> = skey.iter().map(|&k| col_map[k]).collect();
+        let ckey = ckey?;
+
+        // Index candidate rows by key value.
+        let mut cindex: FxHashMap<gent_table::KeyValue, Vec<usize>> = FxHashMap::default();
+        for (i, row) in candidate.rows().iter().enumerate() {
+            if let Some(kv) = Table::key_from_row(row, &ckey) {
+                cindex.entry(kv).or_default().push(i);
+            }
+        }
+
+        let n_cols = source.n_cols();
+        let non_key_cols = source.schema().non_key_indices();
+        let mut rows: Vec<Vec<Vec<i8>>> = Vec::with_capacity(source.n_rows());
+        for si in 0..source.n_rows() {
+            let mut aligned: Vec<Vec<i8>> = Vec::new();
+            if let Some(kv) = source.key_of_row(si) {
+                if let Some(crows) = cindex.get(&kv) {
+                    for &ci in crows {
+                        let mut vec = vec![0i8; n_cols];
+                        for j in 0..n_cols {
+                            let sv = &source.rows()[si][j];
+                            let tv = col_map[j]
+                                .map(|cj| &candidate.rows()[ci][cj]);
+                            let enc = match tv {
+                                None => {
+                                    // Candidate lacks the column entirely —
+                                    // a null against the source value.
+                                    if sv.is_null_like() {
+                                        1
+                                    } else {
+                                        0
+                                    }
+                                }
+                                Some(tv) => {
+                                    // A correctly-preserved null counts like
+                                    // a shared value (Example 6's EIS
+                                    // convention), hence the same arm as
+                                    // value equality.
+                                    if (sv.is_null_like() && tv.is_null_like()) || sv == tv {
+                                        1
+                                    } else if tv.is_null_like() {
+                                        0
+                                    } else if three_valued {
+                                        -1
+                                    } else {
+                                        0
+                                    }
+                                }
+                            };
+                            vec[j] = enc;
+                        }
+                        aligned.push(vec);
+                    }
+                }
+            }
+            prune_dominated(&mut aligned, &non_key_cols, max_aligned_per_key);
+            rows.push(aligned);
+        }
+        Some(AlignmentMatrix { rows, n_cols, non_key_cols })
+    }
+
+    /// Number of source rows covered (≥1 aligned tuple).
+    pub fn keys_covered(&self) -> usize {
+        self.rows.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// Aligned tuple vectors for source row `i`.
+    pub fn aligned(&self, i: usize) -> &[Vec<i8>] {
+        &self.rows[i]
+    }
+
+    /// evaluateSimilarity() — the EIS score implied by this matrix
+    /// (§V-A3): per source row take the best aligned tuple's
+    /// `(1 + (α − δ)/n)`, where α counts `1`s and δ counts `-1`s over
+    /// non-key columns; rows with no aligned tuple contribute 0; normalise
+    /// by `0.5 / |S|`.
+    pub fn eis(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        let n = self.non_key_cols.len();
+        let mut total = 0.0;
+        for aligned in &self.rows {
+            if aligned.is_empty() {
+                continue;
+            }
+            let best = aligned
+                .iter()
+                .map(|vec| {
+                    if n == 0 {
+                        1.0
+                    } else {
+                        let mut alpha = 0i32;
+                        let mut delta = 0i32;
+                        for &c in &self.non_key_cols {
+                            match vec[c] {
+                                1 => alpha += 1,
+                                -1 => delta += 1,
+                                _ => {}
+                            }
+                        }
+                        1.0 + (alpha - delta) as f64 / n as f64
+                    }
+                })
+                .fold(f64::NEG_INFINITY, f64::max);
+            total += best;
+        }
+        0.5 * total / self.rows.len() as f64
+    }
+
+    /// Algorithm 1's `percentCorrectVals`: the fraction of source cells the
+    /// simulated integration reproduces, net of contradictions —
+    /// `Σ_rows max_tuple (α − δ) / (n · |S|)`.
+    ///
+    /// This is the score the traversal greedily maximises. It deliberately
+    /// differs from [`AlignmentMatrix::eis`]: the EIS form `0.5·(1 + E)`
+    /// grants 0.5 per source row for *mere key coverage*, so a junk table
+    /// whose misrenamed integer column happens to contain every source key
+    /// would "improve" EIS while contributing no values at all. Counting
+    /// net correct values (the paper's "fraction of 1's in the matrix",
+    /// §V-A2) makes such tables worthless, which is exactly why Algorithm 1
+    /// can prune them.
+    pub fn net_score(&self) -> f64 {
+        let n = self.non_key_cols.len();
+        if self.rows.is_empty() || n == 0 {
+            return 0.0;
+        }
+        let mut total = 0i64;
+        for aligned in &self.rows {
+            let best = aligned
+                .iter()
+                .map(|vec| {
+                    let mut alpha = 0i64;
+                    let mut delta = 0i64;
+                    for &c in &self.non_key_cols {
+                        match vec[c] {
+                            1 => alpha += 1,
+                            -1 => delta += 1,
+                            _ => {}
+                        }
+                    }
+                    alpha - delta
+                })
+                .max()
+                .unwrap_or(0);
+            total += best.max(0);
+        }
+        total as f64 / (n as f64 * self.rows.len() as f64)
+    }
+
+    /// Eq. 5 — `Combine` two matrices into the matrix of their simulated
+    /// integration.
+    pub fn combine(&self, other: &AlignmentMatrix, max_aligned_per_key: usize) -> AlignmentMatrix {
+        assert_eq!(self.n_cols, other.n_cols, "matrices must share the source shape");
+        assert_eq!(self.rows.len(), other.rows.len());
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for (a, b) in self.rows.iter().zip(other.rows.iter()) {
+            rows.push(combine_lists(a, b, &self.non_key_cols, max_aligned_per_key));
+        }
+        AlignmentMatrix { rows, n_cols: self.n_cols, non_key_cols: self.non_key_cols.clone() }
+    }
+}
+
+/// Do two tuple vectors conflict (different non-zero values at a column)?
+#[inline]
+fn conflicts(a: &[i8], b: &[i8]) -> bool {
+    a.iter().zip(b.iter()).any(|(&x, &y)| x != 0 && y != 0 && x != y)
+}
+
+/// Element-wise OR under the truth ordering `1 > 0 > −1`.
+#[inline]
+fn or_tuples(a: &[i8], b: &[i8]) -> Vec<i8> {
+    a.iter().zip(b.iter()).map(|(&x, &y)| x.max(y)).collect()
+}
+
+/// Combine the aligned-tuple lists of one source row (Eq. 5): compatible
+/// pairs merge via OR; conflicting tuples stay separate. Tuples from either
+/// side that merged with nothing pass through (outer-union semantics).
+fn combine_lists(
+    a: &[Vec<i8>],
+    b: &[Vec<i8>],
+    non_key_cols: &[usize],
+    cap: usize,
+) -> Vec<Vec<i8>> {
+    if a.is_empty() {
+        return b.to_vec();
+    }
+    if b.is_empty() {
+        return a.to_vec();
+    }
+    let mut out: Vec<Vec<i8>> = Vec::new();
+    let mut b_merged = vec![false; b.len()];
+    for ta in a {
+        let mut merged_any = false;
+        for (bi, tb) in b.iter().enumerate() {
+            if !conflicts(ta, tb) {
+                out.push(or_tuples(ta, tb));
+                b_merged[bi] = true;
+                merged_any = true;
+            }
+        }
+        if !merged_any {
+            out.push(ta.clone());
+        }
+    }
+    for (bi, tb) in b.iter().enumerate() {
+        if !b_merged[bi] {
+            out.push(tb.clone());
+        }
+    }
+    prune_dominated(&mut out, non_key_cols, cap);
+    out
+}
+
+/// Remove tuples dominated element-wise (under `1 > 0 > −1`) by another,
+/// dedup, and cap the list at `cap` keeping the highest-scoring tuples.
+fn prune_dominated(list: &mut Vec<Vec<i8>>, non_key_cols: &[usize], cap: usize) {
+    if list.len() <= 1 {
+        return;
+    }
+    list.sort();
+    list.dedup();
+    let snapshot = list.clone();
+    list.retain(|t| {
+        !snapshot
+            .iter()
+            .any(|o| o != t && t.iter().zip(o.iter()).all(|(&x, &y)| x <= y))
+    });
+    if list.len() > cap {
+        // Keep the tuples with the best (α − δ) score.
+        let score = |t: &Vec<i8>| -> i32 {
+            non_key_cols
+                .iter()
+                .map(|&c| match t[c] {
+                    1 => 1,
+                    -1 => -1,
+                    _ => 0,
+                })
+                .sum()
+        };
+        list.sort_by_key(|t| std::cmp::Reverse(score(t)));
+        list.truncate(cap);
+        list.sort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    /// Figure 3's source and tables A, B, C (after column renaming).
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["ID", "Name", "Age", "Gender", "Education Level"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn table_a() -> Table {
+        Table::build(
+            "A",
+            &["ID", "Name", "Education Level"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Null],
+                vec![V::Int(2), V::str("Wang"), V::str("High School")],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Table B joined with the key via A (Expand would produce this); for
+    /// unit tests we give it the ID directly.
+    fn table_b_with_key() -> Table {
+        Table::build(
+            "B",
+            &["ID", "Name", "Age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(1), V::str("Brown"), V::Int(24)],
+                vec![V::Int(2), V::str("Wang"), V::Int(32)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn table_c_with_key() -> Table {
+        Table::build(
+            "C",
+            &["ID", "Name", "Gender"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::str("Male")],
+                vec![V::Int(1), V::str("Brown"), V::str("Male")],
+                vec![V::Int(2), V::str("Wang"), V::str("Male")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn figure5_matrix_a_encoding() {
+        // Matrix A (Figure 5): rows [1 1 0 ¬1? …] — concretely: A shares
+        // ID, Name, Education; lacks Age (0 vs source value), lacks Gender
+        // (source row 0 has null gender → 1; rows 1,2 have values → 0).
+        let m = AlignmentMatrix::build(&source(), &table_a(), true, 8).unwrap();
+        assert_eq!(m.aligned(0), &[vec![1, 1, 0, 1, 1]]);
+        // Brown: Education null in A but "Masters" in source → 0.
+        assert_eq!(m.aligned(1), &[vec![1, 1, 0, 0, 0]]);
+        assert_eq!(m.aligned(2), &[vec![1, 1, 0, 0, 1]]);
+    }
+
+    #[test]
+    fn figure5_matrix_c_has_contradictions() {
+        let m = AlignmentMatrix::build(&source(), &table_c_with_key(), true, 8).unwrap();
+        // Smith: source Gender null, C says Male → -1 (erroneously filled).
+        assert_eq!(m.aligned(0), &[vec![1, 1, 0, -1, 0]]);
+        // Brown: C agrees (Male) → 1.
+        assert_eq!(m.aligned(1), &[vec![1, 1, 0, 1, 0]]);
+        // Wang: source Female vs C Male → -1.
+        assert_eq!(m.aligned(2), &[vec![1, 1, 0, -1, 0]]);
+    }
+
+    #[test]
+    fn two_valued_collapses_contradictions() {
+        let m = AlignmentMatrix::build(&source(), &table_c_with_key(), false, 8).unwrap();
+        assert_eq!(m.aligned(0), &[vec![1, 1, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn figure5_combine_a_b() {
+        // OR(A, B) in Figure 5: merging fills Age with 1s everywhere.
+        let s = source();
+        let ma = AlignmentMatrix::build(&s, &table_a(), true, 8).unwrap();
+        let mb = AlignmentMatrix::build(&s, &table_b_with_key(), true, 8).unwrap();
+        let ab = ma.combine(&mb, 8);
+        assert_eq!(ab.aligned(0), &[vec![1, 1, 1, 1, 1]]);
+        assert_eq!(ab.aligned(1), &[vec![1, 1, 1, 0, 0]]);
+        assert_eq!(ab.aligned(2), &[vec![1, 1, 1, 0, 1]]);
+    }
+
+    #[test]
+    fn figure5_combine_with_c() {
+        // OR(OR(A,B), C): Smith row has 1 vs -1 on Gender → conflicting
+        // tuples are kept separate by Combine, and the dominated one
+        // ((1,1,0,-1,0) ≤ (1,1,1,1,1) element-wise) is then pruned — it can
+        // never be the best-aligned tuple. Brown merges (C agrees on Male);
+        // Wang's -1 ORs under 0 ∨ ¬1 = 0.
+        let s = source();
+        let ma = AlignmentMatrix::build(&s, &table_a(), true, 8).unwrap();
+        let mb = AlignmentMatrix::build(&s, &table_b_with_key(), true, 8).unwrap();
+        let mc = AlignmentMatrix::build(&s, &table_c_with_key(), true, 8).unwrap();
+        let abc = ma.combine(&mb, 8).combine(&mc, 8);
+        assert_eq!(abc.aligned(0), &[vec![1, 1, 1, 1, 1]]);
+        // Brown: compatible → single merged tuple, Gender 1.
+        assert_eq!(abc.aligned(1), &[vec![1, 1, 1, 1, 0]]);
+        // Wang: (1,1,1,0,1) vs (1,1,0,-1,0): 0 vs -1 is not a non-zero
+        // disagreement → merge with max: Gender max(0,-1) = 0.
+        assert_eq!(abc.aligned(2), &[vec![1, 1, 1, 0, 1]]);
+    }
+
+    #[test]
+    fn combine_keeps_non_dominated_conflicts_separate() {
+        let s = source();
+        // One candidate knows Name+Education, the other Age but with a
+        // wrong Gender — the conflict tuples don't dominate each other.
+        let left = table_a(); // Smith: [1,1,0,1,1]
+        let right = Table::build(
+            "R",
+            &["ID", "Age", "Gender"],
+            &[],
+            vec![vec![V::Int(0), V::Int(27), V::str("Male")]],
+        )
+        .unwrap(); // Smith: [1,0,1,-1,0]
+        let ml = AlignmentMatrix::build(&s, &left, true, 8).unwrap();
+        let mr = AlignmentMatrix::build(&s, &right, true, 8).unwrap();
+        let c = ml.combine(&mr, 8);
+        assert_eq!(c.aligned(0).len(), 2, "conflicting non-dominated tuples both kept");
+        assert!(c.aligned(0).contains(&vec![1, 1, 0, 1, 1]));
+        assert!(c.aligned(0).contains(&vec![1, 0, 1, -1, 0]));
+    }
+
+    #[test]
+    fn eis_of_figure5_improves_with_b_but_not_c() {
+        let s = source();
+        let ma = AlignmentMatrix::build(&s, &table_a(), true, 8).unwrap();
+        let mb = AlignmentMatrix::build(&s, &table_b_with_key(), true, 8).unwrap();
+        let mc = AlignmentMatrix::build(&s, &table_c_with_key(), true, 8).unwrap();
+        let e_a = ma.eis();
+        let ab = ma.combine(&mb, 8);
+        let e_ab = ab.eis();
+        assert!(e_ab > e_a, "adding B must improve EIS: {e_a} → {e_ab}");
+        let abc = ab.combine(&mc, 8);
+        // C contributes Brown's Gender (1) but pollutes nothing thanks to
+        // conflict separation — EIS can improve slightly via Brown.
+        let e_abc = abc.eis();
+        assert!(e_abc >= e_ab);
+    }
+
+    #[test]
+    fn missing_key_column_gives_none() {
+        let s = source();
+        let nokey = Table::build("X", &["Name", "Age"], &[], vec![]).unwrap();
+        assert!(AlignmentMatrix::build(&s, &nokey, true, 8).is_none());
+    }
+
+    #[test]
+    fn dominance_pruning_drops_weaker_tuples() {
+        let s = source();
+        // Candidate with two rows for key 0: one strictly better.
+        let c = Table::build(
+            "C",
+            &["ID", "Name", "Age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(0), V::str("Smith"), V::Null],
+            ],
+        )
+        .unwrap();
+        let m = AlignmentMatrix::build(&s, &c, true, 8).unwrap();
+        assert_eq!(m.aligned(0).len(), 1, "dominated tuple pruned");
+    }
+
+    #[test]
+    fn eis_matches_metrics_eis_on_full_tables() {
+        // The matrix EIS must agree with gent-metrics' table EIS when the
+        // candidate covers the full schema.
+        let s = source();
+        let cand = Table::build(
+            "C",
+            &["ID", "Name", "Age", "Gender", "Education Level"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::str("Male"), V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::Null],
+            ],
+        )
+        .unwrap();
+        let m = AlignmentMatrix::build(&s, &cand, true, 8).unwrap();
+        let table_eis = gent_metrics::eis(&s, &cand);
+        assert!((m.eis() - table_eis).abs() < 1e-12, "{} vs {}", m.eis(), table_eis);
+    }
+}

@@ -1,0 +1,239 @@
+//! Matrix Traversal (Algorithm 1): refine candidates to originating tables.
+//!
+//! Greedy forward selection over the alignment matrices: start from the
+//! single candidate whose matrix scores the highest EIS, then repeatedly add
+//! the candidate whose `Combine` with the current matrix *strictly*
+//! increases the score; stop when no candidate improves it ("Integration
+//! did not find more of S's values", line 19). The tables selected — in
+//! their *expanded* form when Expand had to join them to reach the key —
+//! are the originating tables handed to Table Integration.
+
+use crate::config::GenTConfig;
+use crate::expand::expand;
+use crate::matrix::AlignmentMatrix;
+use gent_table::Table;
+
+/// Outcome of the traversal: the chosen originating tables (expanded forms)
+/// in selection order, plus the matrix-estimated EIS reached.
+#[derive(Debug, Clone)]
+pub struct TraversalOutcome {
+    /// Originating tables, best-first.
+    pub originating: Vec<Table>,
+    /// EIS estimated by the final combined matrix.
+    pub estimated_eis: f64,
+}
+
+/// Algorithm 1 — select the originating tables among `candidates` for
+/// `source`. Candidates that cannot reach the source key (even via Expand)
+/// are discarded up front.
+pub fn matrix_traversal(
+    source: &Table,
+    candidates: &[Table],
+    cfg: &GenTConfig,
+) -> TraversalOutcome {
+    let key_names: Vec<&str> = source.schema().key_names();
+    // Line 3: Expand() — join tables without the source key.
+    let expanded = expand(candidates, &key_names, cfg.expand_max_depth);
+
+    // Line 4: MatrixInitialization().
+    let mut tables: Vec<Table> = Vec::with_capacity(expanded.len());
+    let mut matrices: Vec<AlignmentMatrix> = Vec::with_capacity(expanded.len());
+    for t in expanded {
+        if let Some(m) =
+            AlignmentMatrix::build(source, &t, cfg.three_valued, cfg.max_aligned_per_key)
+        {
+            tables.push(t);
+            matrices.push(m);
+        }
+    }
+    if tables.is_empty() {
+        return TraversalOutcome { originating: Vec::new(), estimated_eis: 0.0 };
+    }
+
+    if !cfg.prune_with_traversal {
+        // Ablation: skip pruning, integrate everything (ALITE-PS regime).
+        let mut combined = matrices[0].clone();
+        for m in &matrices[1..] {
+            combined = combined.combine(m, cfg.max_aligned_per_key);
+        }
+        return TraversalOutcome { originating: tables, estimated_eis: combined.eis() };
+    }
+
+    // Lines 5–6: GetStartTable — the best single matrix by
+    // percentCorrectVals (net correct values).
+    let (start, _) = matrices
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (i, m.net_score()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("score finite").then(b.0.cmp(&a.0)))
+        .expect("non-empty");
+    let mut chosen = vec![start];
+    let mut combined = matrices[start].clone();
+    let mut most_correct = combined.net_score();
+
+    // Lines 8–20: greedy extension until no strict improvement.
+    loop {
+        let mut best: Option<(usize, AlignmentMatrix, f64)> = None;
+        for (i, m) in matrices.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let c = combined.combine(m, cfg.max_aligned_per_key);
+            let score = c.net_score();
+            let better = match &best {
+                None => score > most_correct,
+                Some((_, _, bs)) => score > *bs,
+            };
+            if better {
+                best = Some((i, c, score));
+            }
+        }
+        match best {
+            Some((i, c, score)) if score > most_correct => {
+                chosen.push(i);
+                combined = c;
+                most_correct = score;
+            }
+            _ => break, // line 18–19: converged
+        }
+        if chosen.len() == tables.len() {
+            break;
+        }
+    }
+
+    let estimated_eis = combined.eis();
+    TraversalOutcome {
+        originating: chosen.into_iter().map(|i| tables[i].clone()).collect(),
+        estimated_eis,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["ID", "Name", "Age", "Gender", "Education Level"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// Figure 3 candidates (already renamed, as Set Similarity leaves them).
+    fn figure3_candidates() -> Vec<Table> {
+        vec![
+            Table::build(
+                "A",
+                &["ID", "Name", "Education Level"],
+                &[],
+                vec![
+                    vec![V::Int(0), V::str("Smith"), V::str("Bachelors")],
+                    vec![V::Int(1), V::str("Brown"), V::Null],
+                    vec![V::Int(2), V::str("Wang"), V::str("High School")],
+                ],
+            )
+            .unwrap(),
+            Table::build(
+                "B",
+                &["Name", "Age"],
+                &[],
+                vec![
+                    vec![V::str("Smith"), V::Int(27)],
+                    vec![V::str("Brown"), V::Int(24)],
+                    vec![V::str("Wang"), V::Int(32)],
+                ],
+            )
+            .unwrap(),
+            Table::build(
+                "C",
+                &["Name", "Gender"],
+                &[],
+                vec![
+                    vec![V::str("Smith"), V::str("Male")],
+                    vec![V::str("Brown"), V::str("Male")],
+                    vec![V::str("Wang"), V::str("Male")],
+                ],
+            )
+            .unwrap(),
+            Table::build(
+                "D",
+                &["ID", "Name", "Age", "Gender", "Education Level"],
+                &[],
+                vec![
+                    vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                    vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                    vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::Null],
+                ],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn example3_excludes_pure_noise_table_c() {
+        // Example 3: integrating A, B, D alone beats using all four —
+        // Table C only contributes erroneous Gender values (its one correct
+        // value, Brown=Male, is already covered by D). The traversal must
+        // not select C.
+        let out = matrix_traversal(&source(), &figure3_candidates(), &GenTConfig::default());
+        let names: Vec<&str> = out.originating.iter().map(|t| t.name()).collect();
+        assert!(
+            !names.iter().any(|n| n.starts_with("C")),
+            "C must be pruned, got {names:?}"
+        );
+        assert!(out.estimated_eis > 0.9, "eis = {}", out.estimated_eis);
+    }
+
+    #[test]
+    fn starts_with_best_table() {
+        // The start table must carry D's near-complete content — either D
+        // itself or an expansion joined through D.
+        let out = matrix_traversal(&source(), &figure3_candidates(), &GenTConfig::default());
+        let first = out.originating[0].name();
+        assert!(
+            first.starts_with("D") || first.contains("expanded"),
+            "start table {first}"
+        );
+    }
+
+    #[test]
+    fn converges_without_improvement() {
+        // Two identical candidates: the second adds nothing, traversal
+        // returns just one.
+        let d = figure3_candidates().pop().unwrap();
+        let mut d2 = d.clone();
+        d2.set_name("D2");
+        let out = matrix_traversal(&source(), &[d, d2], &GenTConfig::default());
+        assert_eq!(out.originating.len(), 1);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let out = matrix_traversal(&source(), &[], &GenTConfig::default());
+        assert!(out.originating.is_empty());
+        assert_eq!(out.estimated_eis, 0.0);
+    }
+
+    #[test]
+    fn no_pruning_ablation_keeps_all() {
+        let cfg = GenTConfig { prune_with_traversal: false, ..Default::default() };
+        let out = matrix_traversal(&source(), &figure3_candidates(), &cfg);
+        // All candidates kept (keyless ones possibly as several expansions).
+        assert!(out.originating.len() >= 4, "{}", out.originating.len());
+    }
+
+    #[test]
+    fn unalignable_candidates_skipped() {
+        let z = Table::build("Z", &["q"], &[], vec![vec![V::str("zz")]]).unwrap();
+        let out = matrix_traversal(&source(), &[z], &GenTConfig::default());
+        assert!(out.originating.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests on the Gen-T core: matrix combination, traversal
+//! guarantees, and integration invariants, over randomly fragmented and
+//! degraded lakes.
+
+use gent_core::{integrate, matrix_traversal, AlignmentMatrix, GenT, GenTConfig};
+use gent_discovery::DataLake;
+use gent_metrics::eis;
+use gent_table::{Table, Value};
+use proptest::prelude::*;
+
+/// A keyed source with 3 non-key columns and unique int keys.
+fn keyed_source() -> impl Strategy<Value = Table> {
+    (
+        proptest::sample::subsequence((0..15i64).collect::<Vec<_>>(), 2..=8),
+        proptest::collection::vec(proptest::collection::vec(0i64..9, 3), 8),
+    )
+        .prop_map(|(keys, cells)| {
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, c)| {
+                    vec![
+                        Value::Int(*k),
+                        Value::Int(c[0]),
+                        Value::Int(c[1]),
+                        Value::Int(c[2]),
+                    ]
+                })
+                .collect();
+            Table::build("S", &["k", "a", "b", "c"], &["k"], rows).unwrap()
+        })
+}
+
+/// Split `source` into column fragments (each keeps the key), then degrade
+/// each fragment by nulling cells where the mask says so.
+fn fragments(source: &Table, null_mask: &[bool]) -> Vec<Table> {
+    let col_groups: [&[usize]; 3] = [&[0, 1], &[0, 2], &[0, 1, 2, 3]];
+    let mut out = Vec::new();
+    let mut mask_i = 0usize;
+    for (gi, cols) in col_groups.iter().enumerate() {
+        let mut t = source.take_columns(cols, &format!("frag{gi}")).unwrap();
+        t.schema_mut().set_key(std::iter::empty::<&str>()).unwrap();
+        let rows: Vec<Vec<Value>> = t
+            .rows()
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(j, v)| {
+                        let nullify = j != 0 && {
+                            let bit = null_mask.get(mask_i % null_mask.len().max(1)).copied().unwrap_or(false);
+                            mask_i += 1;
+                            bit
+                        };
+                        if nullify {
+                            Value::Null
+                        } else {
+                            v.clone()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        out.push(Table::from_rows(t.name(), t.schema().clone(), rows).unwrap());
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Combining matrices never loses key coverage and never lowers the
+    /// net score below the better input (the greedy traversal invariant).
+    #[test]
+    fn combine_is_monotone(
+        s in keyed_source(),
+        nulls in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let frags = fragments(&s, &nulls);
+        let cfg = GenTConfig::default();
+        let m0 = AlignmentMatrix::build(&s, &frags[0], cfg.three_valued, cfg.max_aligned_per_key)
+            .expect("fragment carries the key");
+        let m1 = AlignmentMatrix::build(&s, &frags[1], cfg.three_valued, cfg.max_aligned_per_key)
+            .expect("fragment carries the key");
+        let combined = m0.combine(&m1, cfg.max_aligned_per_key);
+        prop_assert!(combined.keys_covered() >= m0.keys_covered().max(m1.keys_covered()));
+        prop_assert!(combined.eis() + 1e-9 >= m0.eis().max(m1.eis()),
+            "combined {} vs {} / {}", combined.eis(), m0.eis(), m1.eis());
+    }
+
+    /// Traversal returns a subset of the candidates, and integrating its
+    /// choice scores at least as well as integrating any single candidate.
+    #[test]
+    fn traversal_beats_single_candidates(
+        s in keyed_source(),
+        nulls in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let frags = fragments(&s, &nulls);
+        let cfg = GenTConfig::default();
+        let outcome = matrix_traversal(&s, &frags, &cfg);
+        prop_assert!(outcome.originating.len() <= frags.len());
+
+        let reclaimed = integrate(&outcome.originating, &s, &cfg);
+        let chosen_eis = eis(&s, &reclaimed);
+        for f in &frags {
+            let single = integrate(std::slice::from_ref(f), &s, &cfg);
+            prop_assert!(chosen_eis + 1e-9 >= eis(&s, &single),
+                "traversal EIS {} < single-table EIS {} for {}",
+                chosen_eis, eis(&s, &single), f.name());
+        }
+    }
+
+    /// Integration output always carries the source schema (same columns,
+    /// same order) and no labeled nulls escape.
+    #[test]
+    fn integration_output_is_source_shaped(
+        s in keyed_source(),
+        nulls in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let frags = fragments(&s, &nulls);
+        let cfg = GenTConfig::default();
+        let reclaimed = integrate(&frags, &s, &cfg);
+        prop_assert_eq!(
+            reclaimed.schema().columns().collect::<Vec<_>>(),
+            s.schema().columns().collect::<Vec<_>>()
+        );
+        for row in reclaimed.rows() {
+            for v in row {
+                prop_assert!(!matches!(v, Value::LabeledNull(_)), "labeled null escaped");
+            }
+        }
+    }
+
+    /// The full pipeline on undamaged fragments reclaims perfectly, and
+    /// never panics on damaged ones.
+    #[test]
+    fn pipeline_on_clean_fragments_is_perfect(s in keyed_source()) {
+        let frags = fragments(&s, &[false]);
+        let lake = DataLake::from_tables(frags);
+        let res = GenT::default().reclaim(&s, &lake).unwrap();
+        prop_assert!(res.report.perfect, "EIS {}\n{}", res.eis, res.reclaimed);
+    }
+
+    /// EIS after integration is never *hurt* by the traversal pruning
+    /// compared to integrating everything (the ALITE-PS comparison).
+    #[test]
+    fn pruning_does_not_hurt_eis(
+        s in keyed_source(),
+        nulls in proptest::collection::vec(any::<bool>(), 24),
+    ) {
+        let frags = fragments(&s, &nulls);
+        let pruned_cfg = GenTConfig::default();
+        let all_cfg = GenTConfig { prune_with_traversal: false, ..GenTConfig::default() };
+        let with_pruning = GenT::new(pruned_cfg).reclaim_from_candidates(&s, &frags).unwrap();
+        let without = GenT::new(all_cfg).reclaim_from_candidates(&s, &frags).unwrap();
+        prop_assert!(with_pruning.eis + 1e-9 >= without.eis - 1e-9,
+            "pruned EIS {} vs unpruned {}", with_pruning.eis, without.eis);
+    }
+}

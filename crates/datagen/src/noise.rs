@@ -1,0 +1,129 @@
+//! Noise-lake generator — the SANTOS-Large stand-in.
+//!
+//! SANTOS Large is a real lake of ~11K open-data tables the paper embeds
+//! TP-TR Med into, to test discovery precision under noise. Its role in the
+//! experiment is purely adversarial: thousands of tables that are
+//! irrelevant to the sources but must be filtered by retrieval + Set
+//! Similarity. This generator reproduces that role with:
+//!
+//! * pure-noise tables over a disjoint vocabulary (`noise-…` tokens),
+//! * *distractor* tables that embed overlapping value ranges (small
+//!   integers, TPC-H-like nation/region names and key ranges) so that the
+//!   inverted index returns false candidates that Set Similarity and the
+//!   matrix traversal must reject.
+
+use gent_table::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise-lake parameters.
+#[derive(Debug, Clone)]
+pub struct NoiseConfig {
+    /// Number of noise tables.
+    pub n_tables: usize,
+    /// Row-count range per table.
+    pub rows: (usize, usize),
+    /// Column-count range per table.
+    pub cols: (usize, usize),
+    /// Fraction of tables that are distractors (overlapping vocabulary).
+    pub distractor_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            n_tables: 1000,
+            rows: (10, 120),
+            cols: (3, 8),
+            distractor_frac: 0.15,
+            seed: 31,
+        }
+    }
+}
+
+const DISTRACTOR_WORDS: [&str; 12] = [
+    "AMERICA", "EUROPE", "ASIA", "FRANCE", "GERMANY", "CHINA", "JAPAN", "BRAZIL", "CANADA",
+    "AUTOMOBILE", "BUILDING", "MACHINERY",
+];
+
+/// Generate the noise lake.
+pub fn generate_noise_lake(cfg: &NoiseConfig) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.n_tables);
+    for ti in 0..cfg.n_tables {
+        let n_rows = rng.gen_range(cfg.rows.0..=cfg.rows.1);
+        let n_cols = rng.gen_range(cfg.cols.0..=cfg.cols.1);
+        let distractor = rng.gen_bool(cfg.distractor_frac);
+        let cols: Vec<String> = (0..n_cols).map(|c| format!("col{c}")).collect();
+        let rows: Vec<Vec<Value>> = (0..n_rows)
+            .map(|r| {
+                (0..n_cols)
+                    .map(|c| {
+                        if distractor {
+                            // Overlapping vocabulary: small ints and
+                            // TPC-H-ish words.
+                            if c == 0 {
+                                Value::Int(r as i64) // key-like run of ints
+                            } else if rng.gen_bool(0.5) {
+                                Value::str(
+                                    DISTRACTOR_WORDS[rng.gen_range(0..DISTRACTOR_WORDS.len())],
+                                )
+                            } else {
+                                Value::Int(rng.gen_range(0..2000))
+                            }
+                        } else if rng.gen_bool(0.3) {
+                            Value::Int(rng.gen_range(1_000_000..9_000_000))
+                        } else {
+                            Value::str(format!("noise-{:06x}", rng.gen::<u32>() & 0xFFFFFF))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        out.push(
+            Table::build(&format!("noise_{ti:05}"), &cols, &[], rows).expect("generated arity"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let lake = generate_noise_lake(&NoiseConfig { n_tables: 50, ..Default::default() });
+        assert_eq!(lake.len(), 50);
+        for t in &lake {
+            assert!(t.n_rows() >= 10 && t.n_rows() <= 120);
+            assert!(t.n_cols() >= 3 && t.n_cols() <= 8);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = NoiseConfig { n_tables: 10, ..Default::default() };
+        let a = generate_noise_lake(&cfg);
+        let b = generate_noise_lake(&cfg);
+        assert_eq!(a[3].rows(), b[3].rows());
+    }
+
+    #[test]
+    fn contains_distractors_and_pure_noise() {
+        let lake = generate_noise_lake(&NoiseConfig { n_tables: 200, ..Default::default() });
+        let distractors = lake
+            .iter()
+            .filter(|t| {
+                t.rows()
+                    .iter()
+                    .flatten()
+                    .any(|v| matches!(v, Value::Str(s) if DISTRACTOR_WORDS.contains(&s.as_ref())))
+            })
+            .count();
+        assert!(distractors > 10, "{distractors} distractors");
+        assert!(distractors < 100, "{distractors} distractors");
+    }
+}

@@ -1,0 +1,348 @@
+//! TPC-H-style relational generator.
+//!
+//! Eight relations mirroring the TPC-H schema graph. Foreign-key columns
+//! carry the *referenced key's* column name (`custkey`, `nationkey`, …) so
+//! the natural joins of `gent-ops` follow the schema graph exactly — the
+//! role TPC-H's FK structure plays for the paper's query generator.
+//!
+//! Row counts scale with a single `scale_unit` (u):
+//! region 5, nation 25, supplier 2u, customer 6u, part 8u, partsupp 12u,
+//! orders 16u, lineitem 32u — compressed versions of TPC-H's ratios that
+//! keep the full benchmark runnable at laptop scale while preserving the
+//! "dimension table ≪ fact table" shape.
+
+use gent_table::{Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Scale unit u (see module docs). u = 82 ≈ the paper's TP-TR Small
+    /// (avg ~780 rows/table); u = 1100 ≈ TP-TR Med.
+    pub scale_unit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig { scale_unit: 82, seed: 7 }
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const STATUSES: [&str; 3] = ["F", "O", "P"];
+const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+const PART_ADJ: [&str; 10] = [
+    "antique", "burnished", "chocolate", "dim", "floral", "honeydew", "ivory", "lace",
+    "metallic", "navy",
+];
+const PART_NOUN: [&str; 10] = [
+    "almond", "brass", "copper", "drab", "frosted", "gainsboro", "linen", "olive", "peru",
+    "tomato",
+];
+const PART_TYPES: [&str; 6] = [
+    "ECONOMY ANODIZED", "LARGE BRUSHED", "MEDIUM BURNISHED", "PROMO PLATED", "SMALL POLISHED",
+    "STANDARD TIN",
+];
+const MFGRS: [&str; 5] = ["Mfgr#1", "Mfgr#2", "Mfgr#3", "Mfgr#4", "Mfgr#5"];
+
+fn money(rng: &mut StdRng, lo: f64, hi: f64) -> Value {
+    let cents = (rng.gen_range(lo..hi) * 100.0).round() / 100.0;
+    Value::Float(cents)
+}
+
+fn date(rng: &mut StdRng) -> Value {
+    let y = rng.gen_range(1992..=1998);
+    let m = rng.gen_range(1..=12);
+    let d = rng.gen_range(1..=28);
+    Value::str(format!("{y:04}-{m:02}-{d:02}"))
+}
+
+fn phone(rng: &mut StdRng, nation: i64) -> Value {
+    Value::str(format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    ))
+}
+
+fn address(rng: &mut StdRng) -> Value {
+    Value::str(format!(
+        "{} {} St Apt {}",
+        rng.gen_range(1..9999),
+        PART_NOUN[rng.gen_range(0..PART_NOUN.len())],
+        rng.gen_range(1..500)
+    ))
+}
+
+/// Generate the eight relations, each with its primary key declared.
+pub fn generate_tpch(cfg: &TpchConfig) -> Vec<Table> {
+    let u = cfg.scale_unit.max(1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_supplier = 2 * u;
+    let n_customer = 6 * u;
+    let n_part = 8 * u;
+    let n_partsupp = 12 * u;
+    let n_orders = 16 * u;
+    let n_lineitem = 32 * u;
+
+    // region ------------------------------------------------------------
+    let region = Table::build(
+        "region",
+        &["regionkey", "r_name", "r_comment"],
+        &["regionkey"],
+        REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(*r),
+                    Value::str(format!("the {} region", r.to_lowercase())),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static schema");
+
+    // nation --------------------------------------------------------------
+    let nation = Table::build(
+        "nation",
+        &["nationkey", "n_name", "regionkey", "n_comment"],
+        &["nationkey"],
+        NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (n, r))| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(*n),
+                    Value::Int(*r),
+                    Value::str(format!("nation {} in region {}", n.to_lowercase(), r)),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static schema");
+
+    // supplier --------------------------------------------------------------
+    let supplier = Table::build(
+        "supplier",
+        &["suppkey", "s_name", "s_address", "nationkey", "s_phone", "s_acctbal"],
+        &["suppkey"],
+        (0..n_supplier)
+            .map(|i| {
+                let nk = rng.gen_range(0..25i64);
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(format!("Supplier#{i:06}")),
+                    address(&mut rng),
+                    Value::Int(nk),
+                    phone(&mut rng, nk),
+                    money(&mut rng, -999.0, 9999.0),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static schema");
+
+    // customer ---------------------------------------------------------------
+    let customer = Table::build(
+        "customer",
+        &["custkey", "c_name", "c_address", "nationkey", "c_phone", "c_acctbal", "c_mktsegment"],
+        &["custkey"],
+        (0..n_customer)
+            .map(|i| {
+                let nk = rng.gen_range(0..25i64);
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(format!("Customer#{i:06}")),
+                    address(&mut rng),
+                    Value::Int(nk),
+                    phone(&mut rng, nk),
+                    money(&mut rng, -999.0, 9999.0),
+                    Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static schema");
+
+    // part -----------------------------------------------------------------
+    let part = Table::build(
+        "part",
+        &["partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_retailprice"],
+        &["partkey"],
+        (0..n_part)
+            .map(|i| {
+                let mfgr = rng.gen_range(0..MFGRS.len());
+                vec![
+                    Value::Int(i as i64),
+                    Value::str(format!(
+                        "{} {} #{i}",
+                        PART_ADJ[rng.gen_range(0..PART_ADJ.len())],
+                        PART_NOUN[rng.gen_range(0..PART_NOUN.len())]
+                    )),
+                    Value::str(MFGRS[mfgr]),
+                    Value::str(format!("Brand#{}{}", mfgr + 1, rng.gen_range(1..6))),
+                    Value::str(PART_TYPES[rng.gen_range(0..PART_TYPES.len())]),
+                    Value::Int(rng.gen_range(1..51)),
+                    money(&mut rng, 900.0, 2100.0),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static schema");
+
+    // partsupp — composite key (partkey, suppkey) -----------------------
+    let mut ps_rows = Vec::with_capacity(n_partsupp);
+    let mut ps_seen = gent_table::FxHashSet::default();
+    while ps_rows.len() < n_partsupp {
+        let pk = rng.gen_range(0..n_part as i64);
+        let sk = rng.gen_range(0..n_supplier as i64);
+        if ps_seen.insert((pk, sk)) {
+            ps_rows.push(vec![
+                Value::Int(pk),
+                Value::Int(sk),
+                Value::Int(rng.gen_range(1..10000)),
+                money(&mut rng, 1.0, 1000.0),
+            ]);
+        }
+    }
+    let partsupp = Table::build(
+        "partsupp",
+        &["partkey", "suppkey", "ps_availqty", "ps_supplycost"],
+        &["partkey", "suppkey"],
+        ps_rows,
+    )
+    .expect("static schema");
+
+    // orders ------------------------------------------------------------------
+    let orders = Table::build(
+        "orders",
+        &["orderkey", "custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority"],
+        &["orderkey"],
+        (0..n_orders)
+            .map(|i| {
+                vec![
+                    Value::Int(i as i64),
+                    Value::Int(rng.gen_range(0..n_customer as i64)),
+                    Value::str(STATUSES[rng.gen_range(0..STATUSES.len())]),
+                    money(&mut rng, 800.0, 500000.0),
+                    date(&mut rng),
+                    Value::str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())]),
+                ]
+            })
+            .collect(),
+    )
+    .expect("static schema");
+
+    // lineitem — composite key (orderkey, linenumber) --------------------
+    let mut li_rows = Vec::with_capacity(n_lineitem);
+    let mut line_of_order: gent_table::FxHashMap<i64, i64> = gent_table::FxHashMap::default();
+    for _ in 0..n_lineitem {
+        let ok = rng.gen_range(0..n_orders as i64);
+        let ln = line_of_order.entry(ok).or_insert(0);
+        *ln += 1;
+        li_rows.push(vec![
+            Value::Int(ok),
+            Value::Int(*ln),
+            Value::Int(rng.gen_range(0..n_part as i64)),
+            Value::Int(rng.gen_range(0..n_supplier as i64)),
+            Value::Int(rng.gen_range(1..51)),
+            money(&mut rng, 900.0, 105000.0),
+            Value::Float((rng.gen_range(0..11) as f64) / 100.0),
+            Value::str(RETURN_FLAGS[rng.gen_range(0..RETURN_FLAGS.len())]),
+            date(&mut rng),
+        ]);
+    }
+    let lineitem = Table::build(
+        "lineitem",
+        &[
+            "orderkey", "linenumber", "partkey", "suppkey", "l_quantity", "l_extendedprice",
+            "l_discount", "l_returnflag", "l_shipdate",
+        ],
+        &["orderkey", "linenumber"],
+        li_rows,
+    )
+    .expect("static schema");
+
+    vec![region, nation, supplier, customer, part, partsupp, orders, lineitem]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate_tpch(&TpchConfig { scale_unit: 5, seed: 42 });
+        let b = generate_tpch(&TpchConfig { scale_unit: 5, seed: 42 });
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.rows(), y.rows(), "{} differs", x.name());
+        }
+        let c = generate_tpch(&TpchConfig { scale_unit: 5, seed: 43 });
+        assert_ne!(a[3].rows(), c[3].rows(), "different seed → different data");
+    }
+
+    #[test]
+    fn all_tables_have_valid_keys() {
+        for t in generate_tpch(&TpchConfig { scale_unit: 4, seed: 1 }) {
+            assert!(t.key_is_valid(), "{} key invalid", t.name());
+        }
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let ts = generate_tpch(&TpchConfig { scale_unit: 10, seed: 1 });
+        let by_name = |n: &str| ts.iter().find(|t| t.name() == n).unwrap().n_rows();
+        assert_eq!(by_name("region"), 5);
+        assert_eq!(by_name("nation"), 25);
+        assert_eq!(by_name("supplier"), 20);
+        assert_eq!(by_name("customer"), 60);
+        assert_eq!(by_name("part"), 80);
+        assert_eq!(by_name("partsupp"), 120);
+        assert_eq!(by_name("orders"), 160);
+        assert_eq!(by_name("lineitem"), 320);
+    }
+
+    #[test]
+    fn fk_columns_join_naturally() {
+        let ts = generate_tpch(&TpchConfig { scale_unit: 4, seed: 1 });
+        let customer = ts.iter().find(|t| t.name() == "customer").unwrap();
+        let nation = ts.iter().find(|t| t.name() == "nation").unwrap();
+        let j = gent_ops::inner_join(customer, nation).unwrap();
+        assert_eq!(j.n_rows(), customer.n_rows(), "every customer has a nation");
+        let orders = ts.iter().find(|t| t.name() == "orders").unwrap();
+        let oj = gent_ops::inner_join(orders, customer).unwrap();
+        assert_eq!(oj.n_rows(), orders.n_rows());
+    }
+
+    #[test]
+    fn fk_values_in_range() {
+        let ts = generate_tpch(&TpchConfig { scale_unit: 3, seed: 9 });
+        let nation = ts.iter().find(|t| t.name() == "nation").unwrap();
+        let rk = nation.schema().column_index("regionkey").unwrap();
+        for row in nation.rows() {
+            if let Value::Int(r) = row[rk] {
+                assert!((0..5).contains(&r));
+            } else {
+                panic!("regionkey not int");
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! The TP-TR variant construction (§VI-A): for each original relation,
+//! four data-lake versions — two *nullified* (random cells → null) and two
+//! *erroneous* (random cells → fresh random strings).
+//!
+//! Mask policy: the two masks of a kind are drawn **disjoint-first** — the
+//! second mask prefers cells the first mask did not touch, overlapping only
+//! when `2·p > 1`. At the paper's default p = 50% the nullified pair
+//! partitions the cells, so their union recovers every original value;
+//! this is what makes perfect reclamation achievable (the paper perfectly
+//! reclaims 15–17 of 26 sources) while the ablation's p > 50% produces
+//! irrecoverable cells and the precision drop of Figure 7.
+//!
+//! Masks never touch the original relation's **key columns**: reclamation
+//! aligns tuples by key, so a nullified/corrupted key cell would sever the
+//! whole row from alignment and make perfect reclamation statistically
+//! impossible at any injection rate — the paper's perfect-reclamation
+//! counts imply its variants preserve tuple identity too. The injected
+//! fraction is therefore over the non-key cells.
+
+use gent_table::{Table, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Variant generation parameters.
+#[derive(Debug, Clone)]
+pub struct VariantConfig {
+    /// Fraction of cells nullified in each nullified version.
+    pub null_frac: f64,
+    /// Fraction of cells corrupted in each erroneous version.
+    pub err_frac: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VariantConfig {
+    fn default() -> Self {
+        VariantConfig { null_frac: 0.5, err_frac: 0.5, seed: 11 }
+    }
+}
+
+/// Two disjoint-first masks over the maskable cells (`eligible[i]`), each
+/// covering `frac` of them: the first takes a random ⌈frac·m⌉ cells; the
+/// second takes the complement first and tops up from the first mask when
+/// `2·frac > 1`.
+fn disjoint_first_masks(eligible: &[bool], frac: f64, rng: &mut StdRng) -> (Vec<bool>, Vec<bool>) {
+    let n = eligible.len();
+    let mut order: Vec<usize> = (0..n).filter(|&i| eligible[i]).collect();
+    let k = ((order.len() as f64) * frac).round() as usize;
+    order.shuffle(rng);
+    let mut m1 = vec![false; n];
+    for &i in order.iter().take(k) {
+        m1[i] = true;
+    }
+    // Second mask: complement cells first (shuffled), then spill into m1's
+    // cells if more are needed.
+    let mut m2 = vec![false; n];
+    let mut complement: Vec<usize> = order.iter().copied().skip(k).collect();
+    complement.shuffle(rng);
+    let mut taken = 0;
+    for &i in &complement {
+        if taken == k {
+            break;
+        }
+        m2[i] = true;
+        taken += 1;
+    }
+    if taken < k {
+        let mut spill: Vec<usize> = order.iter().copied().take(k).collect();
+        spill.shuffle(rng);
+        for &i in &spill {
+            if taken == k {
+                break;
+            }
+            m2[i] = true;
+            taken += 1;
+        }
+    }
+    (m1, m2)
+}
+
+/// Apply a mask to a table, replacing masked cells via `repl(row, col, rng)`.
+fn apply_mask(
+    t: &Table,
+    name: &str,
+    mask: &[bool],
+    rng: &mut StdRng,
+    mut repl: impl FnMut(&mut StdRng) -> Value,
+) -> Table {
+    let ncols = t.n_cols();
+    let rows: Vec<Vec<Value>> = t
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            row.iter()
+                .enumerate()
+                .map(|(j, v)| if mask[i * ncols + j] { repl(rng) } else { v.clone() })
+                .collect()
+        })
+        .collect();
+    // Variants lose the key designation: data-lake tables aren't assumed to
+    // have keys, and injected nulls/errors generally break uniqueness.
+    let schema = gent_table::Schema::new(t.schema().columns()).expect("valid names");
+    Table::from_rows(name, schema, rows).expect("same arity")
+}
+
+/// Build the four TP-TR versions of `t`:
+/// `[{name}_n1, {name}_n2, {name}_e1, {name}_e2]`.
+pub fn make_variants(t: &Table, cfg: &VariantConfig) -> Vec<Table> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ hash_name(t.name()));
+    let ncols = t.n_cols();
+    // Key cells are never masked (see module docs).
+    let key = t.schema().key();
+    let eligible: Vec<bool> = (0..t.n_rows() * ncols)
+        .map(|i| !key.contains(&(i % ncols)))
+        .collect();
+    let (nm1, nm2) = disjoint_first_masks(&eligible, cfg.null_frac, &mut rng);
+    let (em1, em2) = disjoint_first_masks(&eligible, cfg.err_frac, &mut rng);
+    let null_repl = |_: &mut StdRng| Value::Null;
+    let err_repl = |rng: &mut StdRng| Value::str(format!("err-{:08x}", rng.gen::<u32>()));
+    vec![
+        apply_mask(t, &format!("{}_n1", t.name()), &nm1, &mut rng, null_repl),
+        apply_mask(t, &format!("{}_n2", t.name()), &nm2, &mut rng, null_repl),
+        apply_mask(t, &format!("{}_e1", t.name()), &em1, &mut rng, err_repl),
+        apply_mask(t, &format!("{}_e2", t.name()), &em2, &mut rng, err_repl),
+    ]
+}
+
+/// Stable tiny hash so each table gets its own stream from one seed.
+fn hash_name(name: &str) -> u64 {
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn base() -> Table {
+        let rows: Vec<Vec<V>> = (0..40)
+            .map(|i| vec![V::Int(i), V::str(format!("v{i}")), V::Int(i * 10)])
+            .collect();
+        Table::build("base", &["k", "a", "b"], &["k"], rows).unwrap()
+    }
+
+    #[test]
+    fn key_columns_never_masked() {
+        let b = base();
+        for v in make_variants(&b, &VariantConfig { null_frac: 0.9, err_frac: 0.9, seed: 2 }) {
+            for (i, row) in v.rows().iter().enumerate() {
+                assert_eq!(row[0], *b.cell(i, 0).unwrap(), "{} row {i}", v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn four_variants_with_expected_names() {
+        let vs = make_variants(&base(), &VariantConfig::default());
+        let names: Vec<&str> = vs.iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["base_n1", "base_n2", "base_e1", "base_e2"]);
+        for v in &vs {
+            assert_eq!(v.n_rows(), 40);
+            assert_eq!(v.n_cols(), 3);
+            assert!(!v.schema().has_key());
+        }
+    }
+
+    #[test]
+    fn null_fractions_respected() {
+        let vs = make_variants(&base(), &VariantConfig { null_frac: 0.5, err_frac: 0.5, seed: 3 });
+        // 40 rows × 2 non-key columns are maskable; half get nulled.
+        for v in &vs[..2] {
+            let nulls = v.rows().iter().flatten().filter(|x| x.is_null()).count();
+            assert_eq!(nulls, 40, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn nullified_pair_partitions_at_half() {
+        // At p = 0.5 the two null masks are complementary: every original
+        // value survives in at least one version.
+        let b = base();
+        let vs = make_variants(&b, &VariantConfig::default());
+        let (n1, n2) = (&vs[0], &vs[1]);
+        for i in 0..b.n_rows() {
+            for j in 0..b.n_cols() {
+                let survives = !n1.cell(i, j).unwrap().is_null() || !n2.cell(i, j).unwrap().is_null();
+                assert!(survives, "cell ({i},{j}) lost in both nullified versions");
+            }
+        }
+    }
+
+    #[test]
+    fn high_null_fraction_overlaps() {
+        let b = base();
+        let vs = make_variants(&b, &VariantConfig { null_frac: 0.9, err_frac: 0.5, seed: 5 });
+        let lost = (0..b.n_rows())
+            .flat_map(|i| (1..b.n_cols()).map(move |j| (i, j))) // non-key cols
+            .filter(|&(i, j)| {
+                vs[0].cell(i, j).unwrap().is_null() && vs[1].cell(i, j).unwrap().is_null()
+            })
+            .count();
+        // 2·0.9 − 1 = 0.8 of maskable cells must be lost in both.
+        let frac = lost as f64 / (b.n_rows() * (b.n_cols() - 1)) as f64;
+        assert!((frac - 0.8).abs() < 0.05, "lost fraction {frac}");
+    }
+
+    #[test]
+    fn erroneous_cells_are_fresh_strings() {
+        let b = base();
+        let vs = make_variants(&b, &VariantConfig::default());
+        let e1 = &vs[2];
+        let mut corrupted = 0;
+        for (i, row) in e1.rows().iter().enumerate() {
+            for (j, v) in row.iter().enumerate() {
+                if v != b.cell(i, j).unwrap() {
+                    corrupted += 1;
+                    match v {
+                        V::Str(s) => assert!(s.starts_with("err-")),
+                        other => panic!("unexpected corruption {other:?}"),
+                    }
+                }
+            }
+        }
+        assert_eq!(corrupted, 40); // half of the 80 non-key cells
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_name() {
+        let a = make_variants(&base(), &VariantConfig::default());
+        let b = make_variants(&base(), &VariantConfig::default());
+        assert_eq!(a[0].rows(), b[0].rows());
+        let c = make_variants(&base(), &VariantConfig { seed: 99, ..Default::default() });
+        assert_ne!(a[0].rows(), c[0].rows());
+    }
+}

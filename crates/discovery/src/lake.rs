@@ -1,0 +1,186 @@
+//! The [`DataLake`]: table storage plus the inverted value index.
+//!
+//! The index maps every distinct non-null cell value to the posting list of
+//! `(table, column)` pairs containing it — the data structure behind exact
+//! set-containment search (the role JOSIE plays in the paper). Posting
+//! lists are deduplicated per (table, column): multiplicity within a column
+//! does not matter for set overlap.
+
+use gent_table::{FxHashMap, FxHashSet, Table, Value};
+
+/// A posting: which table and which column a value occurs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Posting {
+    /// Index into [`DataLake::tables`].
+    pub table: u32,
+    /// Column index within that table.
+    pub column: u16,
+}
+
+/// A repository of tables with an inverted value index.
+#[derive(Debug, Clone)]
+pub struct DataLake {
+    tables: Vec<Table>,
+    by_name: FxHashMap<String, usize>,
+    index: FxHashMap<Value, Vec<Posting>>,
+}
+
+impl DataLake {
+    /// Build a lake (and its index) from tables. Duplicate table names get
+    /// a numeric suffix so lookups stay unambiguous.
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        let mut lake = DataLake {
+            tables: Vec::with_capacity(tables.len()),
+            by_name: FxHashMap::default(),
+            index: FxHashMap::default(),
+        };
+        for t in tables {
+            lake.push_table(t);
+        }
+        lake
+    }
+
+    /// Add one table, indexing its values.
+    pub fn push_table(&mut self, mut t: Table) {
+        let mut name = t.name().to_string();
+        if self.by_name.contains_key(&name) {
+            let mut k = 2;
+            while self.by_name.contains_key(&format!("{name}#{k}")) {
+                k += 1;
+            }
+            name = format!("{name}#{k}");
+            t.set_name(&name);
+        }
+        let ti = self.tables.len() as u32;
+        for (ci, _) in t.schema().columns().enumerate() {
+            let mut seen: FxHashSet<&Value> = FxHashSet::default();
+            for v in t.column(ci) {
+                if !v.is_null_like() && seen.insert(v) {
+                    self.index
+                        .entry(v.clone())
+                        .or_default()
+                        .push(Posting { table: ti, column: ci as u16 });
+                }
+            }
+        }
+        self.by_name.insert(name, self.tables.len());
+        self.tables.push(t);
+    }
+
+    /// All tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the lake holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Table by index.
+    pub fn get(&self, i: usize) -> Option<&Table> {
+        self.tables.get(i)
+    }
+
+    /// Table by name.
+    pub fn get_by_name(&self, name: &str) -> Option<&Table> {
+        self.by_name.get(name).map(|&i| &self.tables[i])
+    }
+
+    /// Posting list for a value (empty slice when unseen).
+    pub fn postings(&self, v: &Value) -> &[Posting] {
+        self.index.get(v).map(|p| p.as_slice()).unwrap_or(&[])
+    }
+
+    /// For a set of probe values, count per `(table, column)` how many of
+    /// them occur there — the core of set-containment scoring. Returns a map
+    /// from posting to hit count.
+    pub fn containment_counts<'a, I>(&self, probes: I) -> FxHashMap<Posting, u32>
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let mut counts: FxHashMap<Posting, u32> = FxHashMap::default();
+        for v in probes {
+            for p in self.postings(v) {
+                *counts.entry(*p).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Distinct non-null values of one lake column (recomputed; candidates
+    /// cache these during Set Similarity).
+    pub fn column_values(&self, p: Posting) -> FxHashSet<Value> {
+        self.tables[p.table as usize].distinct_values(p.column as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn lake() -> DataLake {
+        let a = Table::build(
+            "a",
+            &["x", "y"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("u")],
+                vec![V::Int(2), V::str("v")],
+                vec![V::Int(1), V::Null],
+            ],
+        )
+        .unwrap();
+        let b = Table::build("b", &["z"], &[], vec![vec![V::Int(1)], vec![V::Int(3)]]).unwrap();
+        DataLake::from_tables(vec![a, b])
+    }
+
+    #[test]
+    fn postings_dedup_within_column() {
+        let l = lake();
+        let p = l.postings(&V::Int(1));
+        // value 1 occurs twice in a.x but posts once; also in b.z.
+        assert_eq!(p.len(), 2);
+        assert!(p.contains(&Posting { table: 0, column: 0 }));
+        assert!(p.contains(&Posting { table: 1, column: 0 }));
+    }
+
+    #[test]
+    fn nulls_not_indexed() {
+        let l = lake();
+        assert!(l.postings(&V::Null).is_empty());
+    }
+
+    #[test]
+    fn containment_counts_accumulate() {
+        let l = lake();
+        let probes = [V::Int(1), V::Int(2), V::Int(3)];
+        let counts = l.containment_counts(probes.iter());
+        assert_eq!(counts[&Posting { table: 0, column: 0 }], 2); // 1 and 2
+        assert_eq!(counts[&Posting { table: 1, column: 0 }], 2); // 1 and 3
+    }
+
+    #[test]
+    fn duplicate_names_get_suffixed() {
+        let t1 = Table::build("t", &["x"], &[], vec![vec![V::Int(1)]]).unwrap();
+        let t2 = Table::build("t", &["x"], &[], vec![vec![V::Int(2)]]).unwrap();
+        let l = DataLake::from_tables(vec![t1, t2]);
+        assert!(l.get_by_name("t").is_some());
+        assert!(l.get_by_name("t#2").is_some());
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let l = lake();
+        assert_eq!(l.get_by_name("b").unwrap().n_rows(), 2);
+        assert_eq!(l.get(0).unwrap().name(), "a");
+        assert!(l.get(9).is_none());
+        assert_eq!(l.len(), 2);
+    }
+}

@@ -1,0 +1,42 @@
+//! # gent-discovery — data-lake discovery substrate for Gen-T
+//!
+//! Gen-T's first phase (§V-A) retrieves *candidate tables* from the lake:
+//! tables sharing enough values with the Source Table that they may have
+//! contributed to it. The paper composes two stages:
+//!
+//! 1. a scalable first-stage retriever over the whole lake (the authors use
+//!    Starmie; any data-driven top-k discovery system fits) — here the
+//!    [`TableRetriever`] trait with an exact value-overlap implementation
+//!    ([`OverlapRetriever`]), our documented substitution for Starmie,
+//! 2. **Set Similarity** (Algorithm 3) with **Diversify Candidates**
+//!    (Algorithm 4): per-source-column set-containment search (the
+//!    JOSIE/MATE role, served by an inverted value index), diversification
+//!    so near-duplicate tables don't crowd out complementary ones
+//!    (Example 9), aligned-tuple verification, subsumed-candidate removal,
+//!    and implicit schema matching by renaming candidate columns to the
+//!    source columns they overlap.
+//!
+//! The [`DataLake`] type owns the tables plus the inverted index
+//! `value → (table, column)` that both stages query.
+//!
+//! Two first-stage retrievers ship: the exact [`OverlapRetriever`] over the
+//! inverted index, and [`LshRetriever`] — an LSH-Ensemble-style approximate
+//! set-containment index (MinHash signatures, equi-depth set-size
+//! partitions, banded hashing; the paper's reference \[31\]) for lakes where
+//! exact indexing is too expensive. Both implement [`TableRetriever`].
+
+#![warn(missing_docs)]
+
+pub mod lake;
+pub mod lsh;
+pub mod mate;
+pub mod minhash;
+pub mod retriever;
+pub mod set_similarity;
+
+pub use lake::DataLake;
+pub use lsh::{LshConfig, LshEnsembleIndex, LshMatch, LshRetriever};
+pub use mate::{multi_attribute_search, MultiMatch};
+pub use minhash::{MinHashSignature, MinHasher};
+pub use retriever::{OverlapRetriever, TableRetriever};
+pub use set_similarity::{set_similarity, Candidate, SetSimilarityConfig};

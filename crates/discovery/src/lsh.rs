@@ -1,0 +1,419 @@
+//! An LSH-Ensemble-style approximate set-containment index.
+//!
+//! The paper (§V-A1) notes candidate retrieval "could be done efficiently
+//! with a system like JOSIE that computes exact set containment", and cites
+//! LSH Ensemble (Zhu et al., VLDB 2016, reference \[31\]) as the approximate
+//! alternative that scales to internet-sized lakes. The workspace's default
+//! path uses the exact inverted index in [`crate::lake::DataLake`]; this
+//! module adds the approximate path so the trade-off can be measured (see
+//! the `discovery` bench):
+//!
+//! * every lake column's distinct-value set is summarised by a MinHash
+//!   signature ([`crate::minhash`]),
+//! * columns are **partitioned by set size** (equi-depth, like LSH
+//!   Ensemble's optimal partitioning) so that the Jaccard threshold
+//!   equivalent to a *containment* threshold can be computed per partition
+//!   from its maximum set size,
+//! * each partition carries a banded LSH table: signatures are split into
+//!   `b` bands of `r` rows; two signatures collide when any band hashes
+//!   equal, giving the classic `1 - (1 - s^r)^b` collision curve,
+//! * a query probes each partition with its partition-specific band
+//!   structure and verifies collisions with the signature-based containment
+//!   estimate.
+//!
+//! [`LshRetriever`] wraps the index behind [`crate::TableRetriever`], so
+//! the whole Gen-T pipeline can run with approximate first-stage retrieval.
+
+use gent_table::{FxHashMap, FxHashSet, Table, Value};
+
+use crate::lake::{DataLake, Posting};
+use crate::minhash::{splitmix64, MinHashSignature, MinHasher};
+use crate::retriever::TableRetriever;
+
+/// Tuning knobs for [`LshEnsembleIndex`].
+#[derive(Debug, Clone)]
+pub struct LshConfig {
+    /// Permutations per signature. More = tighter estimates, slower build.
+    pub num_perm: usize,
+    /// Number of LSH bands; `num_perm` must be divisible by it.
+    pub num_bands: usize,
+    /// Number of set-size partitions (LSH Ensemble's ensemble width).
+    pub num_partitions: usize,
+    /// Seed for the hash family.
+    pub seed: u64,
+    /// Ignore lake columns with fewer distinct values than this (tiny
+    /// columns produce noisy signatures and are cheap to verify exactly).
+    pub min_column_size: usize,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self {
+            num_perm: 128,
+            num_bands: 32,
+            num_partitions: 4,
+            seed: 0x6e57_1a5b,
+            min_column_size: 1,
+        }
+    }
+}
+
+/// One indexed lake column.
+#[derive(Debug, Clone)]
+struct ColumnEntry {
+    posting: Posting,
+    size: usize,
+    signature: MinHashSignature,
+}
+
+/// One set-size partition with its banded hash tables.
+#[derive(Debug, Clone)]
+struct Partition {
+    /// Entries (indices into `LshEnsembleIndex::columns`) in this partition.
+    members: Vec<usize>,
+    /// Largest distinct-value count among members (the `u` in the
+    /// containment→Jaccard threshold conversion).
+    max_size: usize,
+    /// `band index → band hash → member positions`.
+    buckets: Vec<FxHashMap<u64, Vec<usize>>>,
+}
+
+/// A match returned by [`LshEnsembleIndex::query`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LshMatch {
+    /// Which lake column matched.
+    pub posting: Posting,
+    /// Estimated containment of the query set in that column.
+    pub containment: f64,
+}
+
+/// The LSH Ensemble index over a lake's columns.
+#[derive(Debug, Clone)]
+pub struct LshEnsembleIndex {
+    hasher: MinHasher,
+    cfg: LshConfig,
+    columns: Vec<ColumnEntry>,
+    partitions: Vec<Partition>,
+}
+
+impl LshEnsembleIndex {
+    /// Index every column of every table in `lake`.
+    pub fn build(lake: &DataLake, cfg: LshConfig) -> Self {
+        assert!(cfg.num_perm > 0 && cfg.num_bands > 0, "empty LSH configuration");
+        assert_eq!(
+            cfg.num_perm % cfg.num_bands,
+            0,
+            "num_perm must be divisible by num_bands"
+        );
+        let hasher = MinHasher::new(cfg.num_perm, cfg.seed);
+        let mut columns = Vec::new();
+        for (ti, t) in lake.tables().iter().enumerate() {
+            for ci in 0..t.n_cols() {
+                let values = t.distinct_values(ci);
+                let values: FxHashSet<&Value> =
+                    values.iter().filter(|v| !v.is_null_like()).collect();
+                if values.len() < cfg.min_column_size.max(1) {
+                    continue;
+                }
+                let signature = hasher.signature(values.iter().copied());
+                columns.push(ColumnEntry {
+                    posting: Posting {
+                        table: ti as u32,
+                        column: ci as u16,
+                    },
+                    size: values.len(),
+                    signature,
+                });
+            }
+        }
+        let partitions = Self::partition(&columns, &cfg);
+        Self {
+            hasher,
+            cfg,
+            columns,
+            partitions,
+        }
+    }
+
+    /// Equi-depth partitioning by set size, then banded buckets per
+    /// partition.
+    fn partition(columns: &[ColumnEntry], cfg: &LshConfig) -> Vec<Partition> {
+        let mut order: Vec<usize> = (0..columns.len()).collect();
+        order.sort_by_key(|&i| (columns[i].size, columns[i].posting.table, columns[i].posting.column));
+        let nparts = cfg.num_partitions.max(1).min(order.len().max(1));
+        let chunk = order.len().div_ceil(nparts.max(1)).max(1);
+        let rows_per_band = cfg.num_perm / cfg.num_bands;
+        let mut partitions = Vec::with_capacity(nparts);
+        for members in order.chunks(chunk) {
+            let max_size = members.iter().map(|&i| columns[i].size).max().unwrap_or(0);
+            let mut buckets: Vec<FxHashMap<u64, Vec<usize>>> =
+                vec![FxHashMap::default(); cfg.num_bands];
+            for &i in members {
+                for (b, bucket) in buckets.iter_mut().enumerate() {
+                    let h = band_hash(&columns[i].signature, b, rows_per_band);
+                    bucket.entry(h).or_default().push(i);
+                }
+            }
+            partitions.push(Partition {
+                members: members.to_vec(),
+                max_size,
+                buckets,
+            });
+        }
+        partitions
+    }
+
+    /// Number of indexed columns.
+    pub fn n_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of partitions actually built.
+    pub fn n_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Find lake columns whose estimated containment of `query` is at least
+    /// `threshold` (in `[0, 1]`). Results are sorted by estimated
+    /// containment, descending, deterministically tie-broken by posting.
+    pub fn query(&self, query: &FxHashSet<Value>, threshold: f64) -> Vec<LshMatch> {
+        let query: FxHashSet<&Value> = query.iter().filter(|v| !v.is_null_like()).collect();
+        if query.is_empty() {
+            return Vec::new();
+        }
+        let qsig = self.hasher.signature(query.iter().copied());
+        let qsize = query.len();
+        let rows_per_band = self.cfg.num_perm / self.cfg.num_bands;
+        let mut seen: FxHashSet<usize> = FxHashSet::default();
+        let mut out: Vec<LshMatch> = Vec::new();
+        for part in &self.partitions {
+            if part.members.is_empty() {
+                continue;
+            }
+            // Containment threshold t over a partition whose largest set
+            // has u values corresponds to Jaccard ≥ t·|Q| / (|Q| + u − t·|Q|).
+            let t_times_q = threshold * qsize as f64;
+            let jaccard_thresh =
+                t_times_q / (qsize as f64 + part.max_size as f64 - t_times_q).max(1.0);
+            // Probe bands; a collision in any band makes a candidate.
+            let mut cands: FxHashSet<usize> = FxHashSet::default();
+            for (b, bucket) in part.buckets.iter().enumerate() {
+                let h = band_hash(&qsig, b, rows_per_band);
+                if let Some(hits) = bucket.get(&h) {
+                    cands.extend(hits.iter().copied());
+                }
+            }
+            for i in cands {
+                if !seen.insert(i) {
+                    continue;
+                }
+                let e = &self.columns[i];
+                let j = qsig.jaccard(&e.signature);
+                if j + 1e-9 < jaccard_thresh {
+                    continue;
+                }
+                let c = qsig.containment_in(&e.signature, qsize, e.size);
+                if c + 1e-9 >= threshold {
+                    out.push(LshMatch {
+                        posting: e.posting,
+                        containment: c,
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            b.containment
+                .partial_cmp(&a.containment)
+                .unwrap()
+                .then((a.posting.table, a.posting.column).cmp(&(b.posting.table, b.posting.column)))
+        });
+        out
+    }
+}
+
+/// Hash one band (a contiguous run of signature slots).
+fn band_hash(sig: &MinHashSignature, band: usize, rows_per_band: usize) -> u64 {
+    let start = band * rows_per_band;
+    let mut acc = 0xcbf2_9ce4_8422_2325u64 ^ (band as u64);
+    for &slot in &sig.slots()[start..start + rows_per_band] {
+        acc = splitmix64(acc ^ slot);
+    }
+    acc
+}
+
+/// A [`TableRetriever`] over an [`LshEnsembleIndex`]: ranks tables by the
+/// sum over source columns of the best estimated containment any of the
+/// table's columns achieves — the approximate analogue of
+/// [`crate::OverlapRetriever`].
+#[derive(Debug, Clone)]
+pub struct LshRetriever {
+    index: LshEnsembleIndex,
+    /// Containment threshold below which a column match is ignored.
+    pub threshold: f64,
+}
+
+impl LshRetriever {
+    /// Build a retriever by indexing `lake`. The retriever must then be
+    /// used with the same lake (postings index into its table list).
+    pub fn build(lake: &DataLake, cfg: LshConfig, threshold: f64) -> Self {
+        Self {
+            index: LshEnsembleIndex::build(lake, cfg),
+            threshold,
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &LshEnsembleIndex {
+        &self.index
+    }
+}
+
+impl TableRetriever for LshRetriever {
+    fn retrieve(&self, _lake: &DataLake, source: &Table, k: usize) -> Vec<usize> {
+        let mut table_scores: FxHashMap<u32, f64> = FxHashMap::default();
+        for c in 0..source.n_cols() {
+            let values = source.distinct_values(c);
+            if values.is_empty() {
+                continue;
+            }
+            let matches = self.index.query(&values, self.threshold);
+            let mut best: FxHashMap<u32, f64> = FxHashMap::default();
+            for m in matches {
+                let e = best.entry(m.posting.table).or_insert(0.0);
+                if m.containment > *e {
+                    *e = m.containment;
+                }
+            }
+            for (t, c) in best {
+                *table_scores.entry(t).or_insert(0.0) += c;
+            }
+        }
+        let mut ranked: Vec<(u32, f64)> = table_scores.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.into_iter().take(k).map(|(t, _)| t as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    /// A lake with one fully-containing table, one partial, and noise.
+    fn lake() -> DataLake {
+        let full = Table::build(
+            "full",
+            &["id", "name"],
+            &[],
+            (0..60)
+                .map(|i| vec![V::Int(i), V::str(format!("name{i}"))])
+                .collect(),
+        )
+        .unwrap();
+        let partial = Table::build(
+            "partial",
+            &["id"],
+            &[],
+            (0..20).map(|i| vec![V::Int(i)]).collect(),
+        )
+        .unwrap();
+        let noise = Table::build(
+            "noise",
+            &["q"],
+            &[],
+            (5_000..5_100).map(|i| vec![V::Int(i)]).collect(),
+        )
+        .unwrap();
+        DataLake::from_tables(vec![noise, partial, full])
+    }
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["id", "name"],
+            &["id"],
+            (0..40)
+                .map(|i| vec![V::Int(i), V::str(format!("name{i}"))])
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_indexes_all_nonempty_columns() {
+        let idx = LshEnsembleIndex::build(&lake(), LshConfig::default());
+        assert_eq!(idx.n_columns(), 4); // full.id, full.name, partial.id, noise.q
+        assert!(idx.n_partitions() >= 1);
+    }
+
+    #[test]
+    fn query_finds_containing_columns() {
+        let idx = LshEnsembleIndex::build(&lake(), LshConfig::default());
+        let probe: FxHashSet<Value> = (0..40).map(V::Int).collect();
+        let hits = idx.query(&probe, 0.7);
+        // full.id contains all probes; partial.id only half → below 0.7.
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].posting, Posting { table: 2, column: 0 });
+        assert!(hits[0].containment > 0.8);
+        assert!(hits.iter().all(|m| m.posting != Posting { table: 0, column: 0 }));
+    }
+
+    #[test]
+    fn lower_threshold_admits_partial_matches() {
+        let idx = LshEnsembleIndex::build(&lake(), LshConfig::default());
+        let probe: FxHashSet<Value> = (0..40).map(V::Int).collect();
+        let hits = idx.query(&probe, 0.25);
+        let tables: FxHashSet<u32> = hits.iter().map(|m| m.posting.table).collect();
+        assert!(tables.contains(&2), "full table found");
+        assert!(tables.contains(&1), "partial table found at low threshold");
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let idx = LshEnsembleIndex::build(&lake(), LshConfig::default());
+        assert!(idx.query(&FxHashSet::default(), 0.1).is_empty());
+        let nulls: FxHashSet<Value> = [Value::Null].into_iter().collect();
+        assert!(idx.query(&nulls, 0.1).is_empty());
+    }
+
+    #[test]
+    fn retriever_ranks_like_exact_overlap() {
+        let l = lake();
+        let r = LshRetriever::build(&l, LshConfig::default(), 0.3);
+        let got = r.retrieve(&l, &source(), 10);
+        assert_eq!(got[0], 2, "full table ranked first: {got:?}");
+        assert!(got.contains(&1), "partial table retrieved");
+        assert!(!got.contains(&0), "noise not retrieved");
+    }
+
+    #[test]
+    fn retriever_agrees_with_exact_on_top_one() {
+        use crate::retriever::OverlapRetriever;
+        let l = lake();
+        let exact = OverlapRetriever.retrieve(&l, &source(), 3);
+        let approx = LshRetriever::build(&l, LshConfig::default(), 0.3).retrieve(&l, &source(), 3);
+        assert_eq!(exact[0], approx[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn bad_band_config_panics() {
+        let cfg = LshConfig {
+            num_perm: 100,
+            num_bands: 32,
+            ..LshConfig::default()
+        };
+        let _ = LshEnsembleIndex::build(&lake(), cfg);
+    }
+
+    #[test]
+    fn min_column_size_filters_tiny_columns() {
+        let cfg = LshConfig {
+            min_column_size: 30,
+            ..LshConfig::default()
+        };
+        let idx = LshEnsembleIndex::build(&lake(), cfg);
+        // Only full.id (60), full.name (60), noise.q (100) survive.
+        assert_eq!(idx.n_columns(), 3);
+    }
+}

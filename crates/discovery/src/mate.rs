@@ -1,0 +1,312 @@
+//! Multi-attribute join search — the MATE role (Esmailoghli et al.,
+//! VLDB 2022; the paper's reference \[36\]).
+//!
+//! §V-A1 notes candidate retrieval "could be done efficiently with a system
+//! like JOSIE that computes exact set containment or MATE that supports
+//! multi-attribute joins". Single-column containment (the inverted index)
+//! cannot tell a table that joins with the source on a *composite* key from
+//! one that merely shares each column's values on different rows. MATE's
+//! idea: index rows by a hash of their value combinations, so containment
+//! is checked per *row tuple* rather than per column.
+//!
+//! Implementation: for every lake table and every (bounded) combination of
+//! up to `max_width` columns, rows are summarised by an order-insensitive
+//! key fingerprint; a query with source columns `(c1..ck)` probes the
+//! fingerprints of its own rows. Like MATE, the index stores one posting
+//! per (table, row-fingerprint) — column combinations are resolved at probe
+//! time via per-table candidate columns from the single-column index.
+
+use gent_table::{FxHashMap, FxHashSet, Table, Value};
+use std::hash::{Hash, Hasher};
+
+use crate::lake::DataLake;
+
+/// A multi-attribute match: a lake table plus the column mapping that joins
+/// it with the probed source columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiMatch {
+    /// Index into the lake's table list.
+    pub table: usize,
+    /// For each probed source column (in probe order): the lake column it
+    /// maps to.
+    pub columns: Vec<usize>,
+    /// Fraction of probed source rows whose combined values occur in one
+    /// lake row under this mapping.
+    pub row_containment: f64,
+}
+
+/// Fingerprint of one row restricted to `cols` (order-sensitive: the probe
+/// supplies source columns in a fixed order and the index enumerates
+/// candidate column orders).
+fn row_fingerprint(row: &[Value], cols: &[usize]) -> Option<u64> {
+    let mut h = gent_table::fxhash::FxHasher::default();
+    for &c in cols {
+        let v = &row[c];
+        if v.is_null_like() {
+            return None; // null never joins
+        }
+        v.hash(&mut h);
+        0xa5u8.hash(&mut h); // positional separator
+    }
+    Some(h.finish())
+}
+
+/// Multi-attribute containment search over a lake.
+///
+/// For the source columns `probe_cols` of `source`, find lake tables
+/// containing at least `min_containment` of the source's row combinations
+/// under *some* injective column mapping. Candidate mappings are pruned
+/// column-first: a lake column qualifies for source column `c` only when
+/// it contains ≥ `min_containment` of `c`'s values individually.
+pub fn multi_attribute_search(
+    lake: &DataLake,
+    source: &Table,
+    probe_cols: &[usize],
+    min_containment: f64,
+) -> Vec<MultiMatch> {
+    assert!(
+        !probe_cols.is_empty() && probe_cols.len() <= 4,
+        "probe 1–4 columns (got {})",
+        probe_cols.len()
+    );
+    // Source row fingerprints (distinct; nulls never join).
+    let src_fps: FxHashSet<u64> = source
+        .rows()
+        .iter()
+        .filter_map(|r| row_fingerprint(r, probe_cols))
+        .collect();
+    if src_fps.is_empty() {
+        return Vec::new();
+    }
+
+    // Per probed source column: per table, lake columns with enough
+    // single-column containment (the column-first pruning).
+    let mut col_candidates: Vec<FxHashMap<usize, Vec<usize>>> = Vec::with_capacity(probe_cols.len());
+    for &sc in probe_cols {
+        let values = source.distinct_values(sc);
+        let mut per_table: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+        if !values.is_empty() {
+            let counts = lake.containment_counts(values.iter());
+            let denom = values.len() as f64;
+            for (p, hits) in counts {
+                if hits as f64 / denom + 1e-12 >= min_containment {
+                    per_table.entry(p.table as usize).or_default().push(p.column as usize);
+                }
+            }
+        }
+        for cols in per_table.values_mut() {
+            cols.sort_unstable();
+        }
+        col_candidates.push(per_table);
+    }
+
+    // Tables qualifying for every probed column.
+    let mut tables: Vec<usize> = col_candidates[0].keys().copied().collect();
+    tables.retain(|t| col_candidates.iter().all(|m| m.contains_key(t)));
+    tables.sort_unstable();
+
+    let mut out = Vec::new();
+    for t in tables {
+        let table = &lake.tables()[t];
+        // Enumerate injective column mappings (bounded: each source column
+        // has few candidate columns after pruning).
+        let mut mappings: Vec<Vec<usize>> = vec![Vec::new()];
+        for m in &col_candidates {
+            let opts = &m[&t];
+            let mut next = Vec::new();
+            for partial in &mappings {
+                for &c in opts {
+                    if !partial.contains(&c) {
+                        let mut p = partial.clone();
+                        p.push(c);
+                        next.push(p);
+                    }
+                }
+            }
+            mappings = next;
+            if mappings.len() > 64 {
+                mappings.truncate(64); // combinatorial guard
+            }
+        }
+        // Score each mapping by row containment; keep the best above
+        // threshold.
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for mapping in mappings {
+            let lake_fps: FxHashSet<u64> = table
+                .rows()
+                .iter()
+                .filter_map(|r| row_fingerprint(r, &mapping))
+                .collect();
+            let hits = src_fps.iter().filter(|fp| lake_fps.contains(fp)).count();
+            let score = hits as f64 / src_fps.len() as f64;
+            if score + 1e-12 >= min_containment
+                && best.as_ref().map(|(b, _)| score > *b).unwrap_or(true)
+            {
+                best = Some((score, mapping));
+            }
+        }
+        if let Some((score, mapping)) = best {
+            out.push(MultiMatch {
+                table: t,
+                columns: mapping,
+                row_containment: score,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        b.row_containment
+            .partial_cmp(&a.row_containment)
+            .unwrap()
+            .then(a.table.cmp(&b.table))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    /// Source keyed on (first, last): single columns are ambiguous, the
+    /// pair is not.
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["first", "last", "dept"],
+            &["first", "last"],
+            vec![
+                vec![V::str("Ada"), V::str("Lovelace"), V::str("math")],
+                vec![V::str("Ada"), V::str("Byron"), V::str("poetry")],
+                vec![V::str("Grace"), V::str("Hopper"), V::str("navy")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn lake() -> DataLake {
+        // `joined` contains the true (first,last) pairs.
+        let joined = Table::build(
+            "joined",
+            &["fn", "ln", "x"],
+            &[],
+            vec![
+                vec![V::str("Ada"), V::str("Lovelace"), V::Int(1)],
+                vec![V::str("Ada"), V::str("Byron"), V::Int(2)],
+                vec![V::str("Grace"), V::str("Hopper"), V::Int(3)],
+            ],
+        )
+        .unwrap();
+        // `crossed` has all the right values but the *wrong pairs* — a
+        // single-column index cannot tell it apart from `joined`.
+        let crossed = Table::build(
+            "crossed",
+            &["fn", "ln"],
+            &[],
+            vec![
+                vec![V::str("Ada"), V::str("Hopper")],
+                vec![V::str("Grace"), V::str("Lovelace")],
+                vec![V::str("Grace"), V::str("Byron")],
+            ],
+        )
+        .unwrap();
+        DataLake::from_tables(vec![crossed, joined])
+    }
+
+    #[test]
+    fn pairs_beat_single_column_aliasing() {
+        let s = source();
+        let hits = multi_attribute_search(&lake(), &s, &[0, 1], 0.9);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].table, 1); // `joined`, not `crossed`
+        assert!((hits[0].row_containment - 1.0).abs() < 1e-12);
+        assert_eq!(hits[0].columns, vec![0, 1]);
+    }
+
+    #[test]
+    fn threshold_admits_partial_row_overlap() {
+        let s = source();
+        // `crossed` shares 0/3 pairs; at a very low threshold it still
+        // fails (no row fingerprints match), so only `joined` appears.
+        let hits = multi_attribute_search(&lake(), &s, &[0, 1], 0.1);
+        assert_eq!(hits.iter().filter(|m| m.table == 0).count(), 0);
+
+        // Drop one row from `joined`: containment 2/3 — found at τ=0.5,
+        // not at τ=0.9.
+        let partial = Table::build(
+            "partial",
+            &["fn", "ln"],
+            &[],
+            vec![
+                vec![V::str("Ada"), V::str("Lovelace")],
+                vec![V::str("Grace"), V::str("Hopper")],
+            ],
+        )
+        .unwrap();
+        let lake2 = DataLake::from_tables(vec![partial]);
+        assert_eq!(multi_attribute_search(&lake2, &s, &[0, 1], 0.5).len(), 1);
+        assert!(multi_attribute_search(&lake2, &s, &[0, 1], 0.9).is_empty());
+    }
+
+    #[test]
+    fn swapped_columns_are_found_by_mapping_enumeration() {
+        let s = source();
+        let swapped = Table::build(
+            "swapped",
+            &["surname", "given"],
+            &[],
+            vec![
+                vec![V::str("Lovelace"), V::str("Ada")],
+                vec![V::str("Byron"), V::str("Ada")],
+                vec![V::str("Hopper"), V::str("Grace")],
+            ],
+        )
+        .unwrap();
+        let lake = DataLake::from_tables(vec![swapped]);
+        let hits = multi_attribute_search(&lake, &s, &[0, 1], 0.9);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].columns, vec![1, 0]); // first→given, last→surname
+    }
+
+    #[test]
+    fn null_rows_never_join() {
+        let s = Table::build(
+            "S",
+            &["a", "b"],
+            &["a"],
+            vec![vec![V::Null, V::str("x")], vec![V::Int(1), V::str("y")]],
+        )
+        .unwrap();
+        let t = Table::build(
+            "t",
+            &["a", "b"],
+            &[],
+            vec![vec![V::Null, V::str("x")], vec![V::Int(1), V::str("y")]],
+        )
+        .unwrap();
+        let lake = DataLake::from_tables(vec![t]);
+        let hits = multi_attribute_search(&lake, &s, &[0, 1], 0.9);
+        // Only the non-null row counts on both sides → containment 1.0 of
+        // the single probe-able source row.
+        assert_eq!(hits.len(), 1);
+        assert!((hits[0].row_containment - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_probe_or_all_null_source_returns_nothing() {
+        let s = Table::build(
+            "S",
+            &["a", "b"],
+            &["a"],
+            vec![vec![V::Null, V::Null]],
+        )
+        .unwrap();
+        assert!(multi_attribute_search(&lake(), &s, &[0, 1], 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "probe 1–4 columns")]
+    fn too_wide_probe_panics() {
+        let s = source();
+        multi_attribute_search(&lake(), &s, &[0, 1, 2, 0, 1], 0.5);
+    }
+}

@@ -1,0 +1,227 @@
+//! MinHash signatures for approximate set similarity.
+//!
+//! LSH Ensemble (Zhu et al., VLDB 2016 — the paper's reference \[31\] for
+//! approximate set-containment search) is built on MinHash: a column's
+//! distinct-value set is summarised by the minimum of `k` independent hash
+//! functions, so that the fraction of agreeing slots between two signatures
+//! is an unbiased estimate of the sets' Jaccard similarity. Containment
+//! `|Q ∩ X| / |Q|` is then recovered from the Jaccard estimate and the two
+//! set cardinalities (which the index stores exactly).
+//!
+//! Hash family: the cell value is first hashed with the workspace's Fx
+//! hasher, finalised with a SplitMix64 mix (Fx alone is too weakly
+//! avalanching for min-wise use), then passed through `k` pairwise
+//! independent functions `h_i(x) = a_i·x + b_i (mod 2⁶⁴)` with seeded odd
+//! multipliers.
+
+use gent_table::Value;
+use std::hash::{Hash, Hasher};
+
+/// SplitMix64 finaliser: a cheap, well-avalanched 64-bit mixer.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+/// Stable 64-bit hash of a cell value.
+#[inline]
+fn value_hash(v: &Value) -> u64 {
+    let mut h = gent_table::fxhash::FxHasher::default();
+    v.hash(&mut h);
+    splitmix64(h.finish())
+}
+
+/// A seeded family of `k` pairwise-independent hash functions, shared by
+/// every signature the index builds (signatures are only comparable when
+/// produced by the same hasher).
+#[derive(Debug, Clone)]
+pub struct MinHasher {
+    /// (multiplier, addend) per permutation; multipliers are forced odd.
+    params: Vec<(u64, u64)>,
+}
+
+impl MinHasher {
+    /// A hasher with `num_perm` permutations derived from `seed`.
+    pub fn new(num_perm: usize, seed: u64) -> Self {
+        let mut state = splitmix64(seed ^ 0x5851_f42d_4c95_7f2d);
+        let mut params = Vec::with_capacity(num_perm);
+        for _ in 0..num_perm {
+            state = splitmix64(state);
+            let a = state | 1; // odd multiplier
+            state = splitmix64(state);
+            let b = state;
+            params.push((a, b));
+        }
+        Self { params }
+    }
+
+    /// Number of permutations.
+    pub fn num_perm(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Signature of a set of values. An empty set yields the all-`u64::MAX`
+    /// signature (which matches nothing with probability ~1).
+    pub fn signature<'a, I>(&self, values: I) -> MinHashSignature
+    where
+        I: IntoIterator<Item = &'a Value>,
+    {
+        let mut mins = vec![u64::MAX; self.params.len()];
+        for v in values {
+            let h = value_hash(v);
+            for (slot, (a, b)) in mins.iter_mut().zip(self.params.iter()) {
+                let hv = a.wrapping_mul(h).wrapping_add(*b);
+                if hv < *slot {
+                    *slot = hv;
+                }
+            }
+        }
+        MinHashSignature { mins }
+    }
+}
+
+/// A MinHash signature: one minimum per permutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinHashSignature {
+    mins: Vec<u64>,
+}
+
+impl MinHashSignature {
+    /// The raw slots.
+    pub fn slots(&self) -> &[u64] {
+        &self.mins
+    }
+
+    /// Estimated Jaccard similarity with `other` (fraction of agreeing
+    /// slots). Panics if the signatures have different lengths (they came
+    /// from different hashers).
+    pub fn jaccard(&self, other: &MinHashSignature) -> f64 {
+        assert_eq!(
+            self.mins.len(),
+            other.mins.len(),
+            "signatures from different MinHashers are not comparable"
+        );
+        if self.mins.is_empty() {
+            return 0.0;
+        }
+        let agree = self
+            .mins
+            .iter()
+            .zip(other.mins.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        agree as f64 / self.mins.len() as f64
+    }
+
+    /// Estimated containment `|Q ∩ X| / |Q|` of a query set of size
+    /// `query_size` in a set of size `other_size`, recovered from the
+    /// Jaccard estimate: `I = J·(|Q|+|X|)/(1+J)`, `C = I/|Q|`, clamped to
+    /// `[0, 1]`.
+    pub fn containment_in(
+        &self,
+        other: &MinHashSignature,
+        query_size: usize,
+        other_size: usize,
+    ) -> f64 {
+        if query_size == 0 {
+            return 0.0;
+        }
+        let j = self.jaccard(other);
+        let inter = j * (query_size + other_size) as f64 / (1.0 + j);
+        (inter / query_size as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::FxHashSet;
+
+    fn int_set(range: std::ops::Range<i64>) -> FxHashSet<Value> {
+        range.map(Value::Int).collect()
+    }
+
+    #[test]
+    fn identical_sets_have_jaccard_one() {
+        let h = MinHasher::new(128, 7);
+        let s = int_set(0..50);
+        let a = h.signature(s.iter());
+        let b = h.signature(s.iter());
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_have_jaccard_near_zero() {
+        let h = MinHasher::new(128, 7);
+        let a = h.signature(int_set(0..50).iter());
+        let b = h.signature(int_set(1000..1050).iter());
+        assert!(a.jaccard(&b) < 0.05, "jaccard {}", a.jaccard(&b));
+    }
+
+    #[test]
+    fn jaccard_estimate_tracks_true_jaccard() {
+        // |A| = |B| = 100, |A ∩ B| = 50 → true J = 50/150 = 1/3.
+        let h = MinHasher::new(256, 11);
+        let a = h.signature(int_set(0..100).iter());
+        let b = h.signature(int_set(50..150).iter());
+        let est = a.jaccard(&b);
+        assert!((est - 1.0 / 3.0).abs() < 0.12, "estimate {est}");
+    }
+
+    #[test]
+    fn containment_estimate_tracks_true_containment() {
+        // Q = 0..40 fully contained in X = 0..200 → C = 1.0.
+        let h = MinHasher::new(256, 3);
+        let q = int_set(0..40);
+        let x = int_set(0..200);
+        let sq = h.signature(q.iter());
+        let sx = h.signature(x.iter());
+        let c = sq.containment_in(&sx, q.len(), x.len());
+        assert!(c > 0.8, "containment {c}");
+
+        // Half-contained query.
+        let q2 = int_set(180..220); // 20 of 40 in X
+        let sq2 = h.signature(q2.iter());
+        let c2 = sq2.containment_in(&sx, q2.len(), x.len());
+        assert!((c2 - 0.5).abs() < 0.25, "containment {c2}");
+    }
+
+    #[test]
+    fn empty_set_signature_matches_nothing() {
+        let h = MinHasher::new(64, 1);
+        let empty = h.signature(std::iter::empty());
+        let full = h.signature(int_set(0..10).iter());
+        assert_eq!(empty.containment_in(&full, 0, 10), 0.0);
+        assert!(empty.jaccard(&full) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "not comparable")]
+    fn different_lengths_panic() {
+        let a = MinHasher::new(16, 1).signature(int_set(0..5).iter());
+        let b = MinHasher::new(32, 1).signature(int_set(0..5).iter());
+        let _ = a.jaccard(&b);
+    }
+
+    #[test]
+    fn seeded_hashers_are_deterministic() {
+        let a = MinHasher::new(64, 9).signature(int_set(0..30).iter());
+        let b = MinHasher::new(64, 9).signature(int_set(0..30).iter());
+        assert_eq!(a, b);
+        let c = MinHasher::new(64, 10).signature(int_set(0..30).iter());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn int_float_value_equality_respected_by_hash() {
+        // Value::Int(3) == Value::Float(3.0) — they must hash identically
+        // or Jaccard over mixed-typed columns breaks.
+        let h = MinHasher::new(64, 5);
+        let a = h.signature([Value::Int(3)].iter());
+        let b = h.signature([Value::Float(3.0)].iter());
+        assert_eq!(a.jaccard(&b), 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! First-stage table retrieval over a large lake.
+//!
+//! For the SANTOS-Large and WDC experiments the paper first narrows the lake
+//! with Starmie (Fan et al., VLDB 2023), a contrastive-learning retriever,
+//! then runs Set Similarity on the returned top-k. Starmie's learned
+//! encoder is not reproducible offline, so we substitute an **exact
+//! value-overlap retriever** behind the same interface: rank tables by the
+//! fraction of the source's distinct values they contain, weighted per
+//! source column. The substitution preserves the role the stage plays —
+//! narrowing thousands of tables to a candidate pool — and is if anything a
+//! stronger first stage (exact rather than approximate semantics), which we
+//! note in EXPERIMENTS.md.
+
+use crate::lake::DataLake;
+use gent_table::{FxHashMap, Table};
+
+/// First-stage retriever: narrow a lake to the top-k most relevant tables
+/// for a source table.
+pub trait TableRetriever {
+    /// Return indices (into `lake.tables()`) of the top-k tables, most
+    /// relevant first.
+    fn retrieve(&self, lake: &DataLake, source: &Table, k: usize) -> Vec<usize>;
+}
+
+/// Exact value-overlap retriever (Starmie stand-in).
+///
+/// Score of table `T` = Σ over source columns `c` of
+/// `max_{column C of T} |C ∩ c| / |c|` — i.e. each source column votes with
+/// its best containment in `T`. Tables scoring 0 are never returned.
+#[derive(Debug, Clone, Default)]
+pub struct OverlapRetriever;
+
+impl TableRetriever for OverlapRetriever {
+    fn retrieve(&self, lake: &DataLake, source: &Table, k: usize) -> Vec<usize> {
+        let mut table_scores: FxHashMap<u32, f64> = FxHashMap::default();
+        for c in 0..source.n_cols() {
+            let values = source.distinct_values(c);
+            if values.is_empty() {
+                continue;
+            }
+            let counts = lake.containment_counts(values.iter());
+            // Best column per table for this source column.
+            let mut best: FxHashMap<u32, u32> = FxHashMap::default();
+            for (p, hits) in counts {
+                let e = best.entry(p.table).or_insert(0);
+                if hits > *e {
+                    *e = hits;
+                }
+            }
+            let denom = values.len() as f64;
+            for (t, hits) in best {
+                *table_scores.entry(t).or_insert(0.0) += hits as f64 / denom;
+            }
+        }
+        let mut ranked: Vec<(u32, f64)> = table_scores.into_iter().collect();
+        // Deterministic order: score desc, then table index asc.
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked.into_iter().take(k).map(|(t, _)| t as usize).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["id", "name"],
+            &["id"],
+            vec![
+                vec![V::Int(1), V::str("alpha")],
+                vec![V::Int(2), V::str("beta")],
+                vec![V::Int(3), V::str("gamma")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ranks_by_overlap() {
+        let full = Table::build(
+            "full",
+            &["id", "name"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("alpha")],
+                vec![V::Int(2), V::str("beta")],
+                vec![V::Int(3), V::str("gamma")],
+            ],
+        )
+        .unwrap();
+        let partial = Table::build(
+            "partial",
+            &["id"],
+            &[],
+            vec![vec![V::Int(1)]],
+        )
+        .unwrap();
+        let noise = Table::build("noise", &["q"], &[], vec![vec![V::str("zzz")]]).unwrap();
+        let lake = DataLake::from_tables(vec![noise, partial, full]);
+        let got = OverlapRetriever.retrieve(&lake, &source(), 10);
+        assert_eq!(got[0], 2); // full first
+        assert_eq!(got[1], 1); // partial second
+        assert_eq!(got.len(), 2); // noise excluded (zero overlap)
+    }
+
+    #[test]
+    fn k_truncates() {
+        let tables: Vec<Table> = (0..5)
+            .map(|i| {
+                Table::build(
+                    format!("t{i}").as_str(),
+                    &["id"],
+                    &[],
+                    (1..=(i + 1)).map(|v| vec![V::Int(v as i64)]).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let lake = DataLake::from_tables(tables);
+        let got = OverlapRetriever.retrieve(&lake, &source(), 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], 2); // t2 contains {1,2,3} — full containment
+    }
+
+    #[test]
+    fn empty_lake_returns_nothing() {
+        let lake = DataLake::from_tables(vec![]);
+        assert!(OverlapRetriever.retrieve(&lake, &source(), 5).is_empty());
+    }
+}

@@ -1,0 +1,668 @@
+//! Set Similarity (Algorithm 3) and Diversify Candidates (Algorithm 4).
+//!
+//! Given the lake (optionally pre-narrowed by a first-stage retriever) and a
+//! Source Table, produce the set of *candidate tables*:
+//!
+//! 1. per source column, set-containment search over the inverted index for
+//!    lake columns with overlap ≥ τ (the JOSIE/MATE role),
+//! 2. **diversification**: re-score each candidate by how much it overlaps
+//!    the source *beyond* what the previously ranked candidate already
+//!    covers (Eq. 10) — this demotes duplicate tables (Example 9: "Table E,
+//!    an exact duplicate of Table D", adds nothing),
+//! 3. per-table aggregation (average of per-column diversified scores),
+//! 4. aligned-tuple verification: within the tuples of a candidate that
+//!    actually share values with the source, each matched column must keep
+//!    overlap ≥ τ,
+//! 5. removal of candidates whose columns and values are subsumed by an
+//!    earlier candidate,
+//! 6. implicit schema matching: matched candidate columns are renamed to
+//!    the source columns they align with.
+//!
+//! Note on Algorithm 4's pseudocode: as printed, the top-ranked candidate
+//! receives no score at all (lines 7–8 `Continue` before scoring) and would
+//! be dropped by the re-ranking. That cannot be the intent — the top
+//! candidate has no predecessor to be redundant with — so we keep it with
+//! its full source overlap as the score, which matches the prose and
+//! Example 9.
+
+use crate::lake::{DataLake, Posting};
+use gent_table::{FxHashMap, FxHashSet, Table, Value};
+
+/// Configuration for Set Similarity.
+#[derive(Debug, Clone)]
+pub struct SetSimilarityConfig {
+    /// Similarity threshold τ: minimum containment of a source column in a
+    /// candidate column.
+    pub tau: f64,
+    /// Maximum number of candidate tables returned.
+    pub max_candidates: usize,
+    /// Apply Algorithm 4 diversification (ablation toggle; on in the paper).
+    pub diversify: bool,
+}
+
+impl Default for SetSimilarityConfig {
+    fn default() -> Self {
+        SetSimilarityConfig { tau: 0.2, max_candidates: 30, diversify: true }
+    }
+}
+
+/// A candidate table: the lake table with matched columns renamed to the
+/// source columns they align with.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The (renamed) candidate table.
+    pub table: Table,
+    /// Index of the originating table in the lake.
+    pub lake_index: usize,
+    /// Averaged (diversified) overlap score that ranked this candidate.
+    pub score: f64,
+    /// Source column indices this candidate matched.
+    pub matched_source_cols: Vec<usize>,
+}
+
+/// One per-column match of a lake column against a source column.
+#[derive(Debug, Clone, Copy)]
+struct ColumnMatch {
+    table: u32,
+    column: u16,
+    /// |C ∩ c| / |c| — containment of the source column in the candidate's.
+    overlap: f64,
+}
+
+/// A column mapping with its total support score: `(total, [(source col,
+/// candidate col, per-column score)])`.
+type ScoredMapping = (f64, Vec<(usize, u16, f64)>);
+
+/// Set overlap of two value sets as |a ∩ b| / |a| (containment of `a`).
+fn containment(a: &FxHashSet<Value>, b: &FxHashSet<Value>) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().filter(|v| b.contains(*v)).count() as f64 / a.len() as f64
+}
+
+/// Minimum row-consistency for a verified non-key column match: with p%
+/// injected nulls a correct column still co-occurs on ~(1−p) of aligned
+/// rows, while a wrong column only matches by coincidence.
+const PAIR_SUPPORT_MIN: f64 = 0.05;
+
+/// Instance-based schema matching with row-level verification.
+///
+/// Column renaming must be trustworthy before anything downstream (Expand's
+/// join graph, the alignment matrices) can work — and pure set containment
+/// is not trustworthy on data-lake tables full of dense integer columns
+/// (every key range "contains" every other). So every mapping is verified
+/// at the row level:
+///
+/// 1. **Key anchors** — try to map the source's key column(s) onto
+///    candidate columns (top few containment candidates per key column),
+///    align candidate rows to source rows through that key, and score every
+///    further column match by *pair consistency*: the fraction of source
+///    rows whose cell co-occurs with the candidate cell in an aligned row.
+///    A key mapping explaining no non-key column is rejected as a numeric
+///    coincidence.
+/// 2. **Single-column anchors** — when the candidate cannot host the key
+///    (a dimension table that `Expand` will join in later), try anchoring
+///    the alignment on each (source column, candidate column) containment
+///    pair instead, with the same co-occurrence requirement. This is what
+///    maps `part.partkey → partkey` (supported by `p_name` agreeing on
+///    aligned rows) instead of letting `partkey` masquerade as some other
+///    key-shaped column.
+///
+/// Returns `None` when no anchor produces a supported mapping — such
+/// candidates are discarded.
+pub fn verified_mapping(
+    source: &Table,
+    table: &Table,
+    tau: f64,
+) -> Option<Vec<(usize, u16, f64)>> {
+    let skey = source.schema().key();
+    if skey.is_empty() {
+        return None;
+    }
+    // Distinct value sets.
+    let src_sets: Vec<FxHashSet<Value>> =
+        (0..source.n_cols()).map(|c| source.distinct_values(c)).collect();
+    let cand_sets: Vec<FxHashSet<Value>> =
+        (0..table.n_cols()).map(|c| table.distinct_values(c)).collect();
+
+    // --- key anchors -----------------------------------------------------
+    let mut key_anchor_best: Option<ScoredMapping> = None;
+    let mut key_options: Vec<Vec<u16>> = Vec::with_capacity(skey.len());
+    let mut have_all_key_options = true;
+    for &kc in skey {
+        let mut opts: Vec<(u16, f64)> = (0..table.n_cols())
+            .map(|c| (c as u16, containment(&src_sets[kc], &cand_sets[c])))
+            .filter(|&(_, o)| o >= tau)
+            .collect();
+        opts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        opts.truncate(3);
+        if opts.is_empty() {
+            have_all_key_options = false;
+            break;
+        }
+        key_options.push(opts.into_iter().map(|(c, _)| c).collect());
+    }
+    if have_all_key_options {
+        // Enumerate key-mapping combos (≤ 3^|key|; keys are 1–2 columns).
+        let mut combos: Vec<Vec<u16>> = vec![Vec::new()];
+        for opts in &key_options {
+            let mut next = Vec::new();
+            for combo in &combos {
+                for &o in opts {
+                    if !combo.contains(&o) {
+                        let mut c = combo.clone();
+                        c.push(o);
+                        next.push(c);
+                    }
+                }
+            }
+            combos = next;
+        }
+        let mut src_by_key: FxHashMap<gent_table::KeyValue, usize> = FxHashMap::default();
+        for i in 0..source.n_rows() {
+            if let Some(kv) = source.key_of_row(i) {
+                src_by_key.insert(kv, i);
+            }
+        }
+        let mut best: Option<ScoredMapping> = None;
+        for key_combo in combos {
+            let key_cols: Vec<usize> = key_combo.iter().map(|&c| c as usize).collect();
+            let mut aligned_by_src: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+            for (ri, row) in table.rows().iter().enumerate() {
+                if let Some(kv) = Table::key_from_row(row, &key_cols) {
+                    if let Some(&si) = src_by_key.get(&kv) {
+                        aligned_by_src.entry(si).or_default().push(ri);
+                    }
+                }
+            }
+            if aligned_by_src.is_empty() {
+                continue;
+            }
+            let anchor_src: Vec<usize> = skey.to_vec();
+            let anchor_mapping: Vec<(usize, u16, f64)> = skey
+                .iter()
+                .zip(key_combo.iter())
+                .map(|(&sc, &cc)| (sc, cc, 1.0))
+                .collect();
+            if let Some((total, mapping)) = assign_with_support(
+                source,
+                table,
+                &aligned_by_src,
+                &anchor_src,
+                &key_combo,
+                anchor_mapping,
+            ) {
+                match &best {
+                    Some((t, _)) if *t >= total => {}
+                    _ => best = Some((total, mapping)),
+                }
+            }
+        }
+        key_anchor_best = best;
+    }
+
+    // --- single-column anchors --------------------------------------------
+    // Evaluated even when a key anchor exists: a coincidental key anchor
+    // (FK values aliasing the key range) must lose to a well-supported
+    // non-key anchor on score, not win by fiat.
+    let mut best: Option<ScoredMapping> = None;
+    for asc in 0..source.n_cols() {
+        if src_sets[asc].is_empty() {
+            continue;
+        }
+        // Top anchor columns by containment.
+        let mut opts: Vec<(u16, f64)> = (0..table.n_cols())
+            .map(|c| (c as u16, containment(&src_sets[asc], &cand_sets[c])))
+            .filter(|&(_, o)| o >= tau)
+            .collect();
+        opts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        opts.truncate(3);
+        for (acc, _) in opts {
+            // Align by value equality on the anchor pair.
+            let mut by_value: FxHashMap<&Value, Vec<usize>> = FxHashMap::default();
+            for (ri, row) in table.rows().iter().enumerate() {
+                let v = &row[acc as usize];
+                if !v.is_null_like() {
+                    by_value.entry(v).or_default().push(ri);
+                }
+            }
+            let mut aligned_by_src: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+            for (si, row) in source.rows().iter().enumerate() {
+                let v = &row[asc];
+                if v.is_null_like() {
+                    continue;
+                }
+                if let Some(rows) = by_value.get(v) {
+                    aligned_by_src.insert(si, rows.clone());
+                }
+            }
+            if aligned_by_src.is_empty() {
+                continue;
+            }
+            let anchor_mapping = vec![(asc, acc, 1.0)];
+            if let Some((total, mapping)) = assign_with_support(
+                source,
+                table,
+                &aligned_by_src,
+                &[asc],
+                &[acc],
+                anchor_mapping,
+            ) {
+                match &best {
+                    Some((t, _)) if *t >= total => {}
+                    _ => best = Some((total, mapping)),
+                }
+            }
+        }
+    }
+    // Prefer the higher-scoring anchor family; ties go to the key anchor
+    // (alignable without Expand).
+    match (key_anchor_best, best) {
+        (Some((kt, km)), Some((st, sm))) => Some(if st > kt { sm } else { km }),
+        (Some((_, km)), None) => Some(km),
+        (None, Some((_, sm))) => Some(sm),
+        (None, None) => None,
+    }
+}
+
+/// Greedy injective assignment of non-anchor source columns to candidate
+/// columns by pair-consistency support. Returns `(total score, mapping)`;
+/// `None` when not a single non-anchor column has support (the anchor is
+/// then considered a coincidence).
+fn assign_with_support(
+    source: &Table,
+    table: &Table,
+    aligned_by_src: &FxHashMap<usize, Vec<usize>>,
+    anchor_src: &[usize],
+    anchor_cand: &[u16],
+    anchor_mapping: Vec<(usize, u16, f64)>,
+) -> Option<ScoredMapping> {
+    let mut pair_scores: Vec<(usize, u16, f64)> = Vec::new();
+    let mut verifiable_cols = 0usize;
+    for sc in 0..source.n_cols() {
+        if anchor_src.contains(&sc) {
+            continue;
+        }
+        let denom = source.rows().iter().filter(|r| !r[sc].is_null_like()).count();
+        if denom == 0 {
+            continue; // an all-null source column can neither support nor refute
+        }
+        verifiable_cols += 1;
+        for cc in 0..table.n_cols() {
+            if anchor_cand.contains(&(cc as u16)) {
+                continue;
+            }
+            let mut hits = 0usize;
+            for (&si, rows) in aligned_by_src {
+                let sv = &source.rows()[si][sc];
+                if sv.is_null_like() {
+                    continue;
+                }
+                if rows.iter().any(|&ri| &table.rows()[ri][cc] == sv) {
+                    hits += 1;
+                }
+            }
+            let score = hits as f64 / denom as f64;
+            if score >= PAIR_SUPPORT_MIN {
+                pair_scores.push((sc, cc as u16, score));
+            }
+        }
+    }
+    pair_scores.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2).expect("finite").then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1))
+    });
+    let mut used_cand: FxHashSet<u16> = anchor_cand.iter().copied().collect();
+    let mut used_src: FxHashSet<usize> = anchor_src.iter().copied().collect();
+    let mut mapping = anchor_mapping;
+    let mut total = aligned_by_src.len() as f64 / source.n_rows().max(1) as f64;
+    let mut assigned = 0usize;
+    for (sc, cc, score) in pair_scores {
+        if used_src.contains(&sc) || used_cand.contains(&cc) {
+            continue;
+        }
+        used_src.insert(sc);
+        used_cand.insert(cc);
+        total += score;
+        assigned += 1;
+        mapping.push((sc, cc, score));
+    }
+    // Reject the anchor as a coincidence only when verification was
+    // actually possible: if every non-anchor source column is entirely
+    // null, the anchor alignment is all the evidence there can be.
+    if assigned == 0 && verifiable_cols > 0 {
+        return None;
+    }
+    Some((total, mapping))
+}
+
+/// Algorithm 3 — discover candidate tables for `source` in `lake`.
+///
+/// `restrict_to` optionally limits the search to a subset of lake table
+/// indices (the output of a first-stage [`crate::TableRetriever`]).
+pub fn set_similarity(
+    lake: &DataLake,
+    source: &Table,
+    restrict_to: Option<&[usize]>,
+    cfg: &SetSimilarityConfig,
+) -> Vec<Candidate> {
+    let allowed: Option<FxHashSet<u32>> =
+        restrict_to.map(|idx| idx.iter().map(|&i| i as u32).collect());
+
+    // --- per-source-column containment search + diversification ---------
+    // Accumulated diversified scores per lake table, and the best matching
+    // lake column per (table, source column).
+    let mut table_scores: FxHashMap<u32, Vec<f64>> = FxHashMap::default();
+    let mut column_assignment: FxHashMap<(u32, usize), (u16, f64)> = FxHashMap::default();
+
+    for sc in 0..source.n_cols() {
+        let src_values = source.distinct_values(sc);
+        if src_values.is_empty() {
+            continue;
+        }
+        let counts = lake.containment_counts(src_values.iter());
+        // Best column per table for this source column.
+        let mut best: FxHashMap<u32, (u16, u32)> = FxHashMap::default();
+        for (p, hits) in counts {
+            if let Some(allowed) = &allowed {
+                if !allowed.contains(&p.table) {
+                    continue;
+                }
+            }
+            let e = best.entry(p.table).or_insert((p.column, 0));
+            if hits > e.1 {
+                *e = (p.column, hits);
+            }
+        }
+        let denom = src_values.len() as f64;
+        let mut matches: Vec<ColumnMatch> = best
+            .into_iter()
+            .map(|(t, (c, hits))| ColumnMatch { table: t, column: c, overlap: hits as f64 / denom })
+            .filter(|m| m.overlap >= cfg.tau)
+            .collect();
+        // Rank by raw overlap (desc), deterministic tiebreak on table index.
+        matches.sort_by(|a, b| b.overlap.partial_cmp(&a.overlap).unwrap().then(a.table.cmp(&b.table)));
+
+        // Algorithm 4 — diversify against the previous candidate's column.
+        let scored: Vec<(ColumnMatch, f64)> = if cfg.diversify {
+            let mut scored = Vec::with_capacity(matches.len());
+            let mut prev_values: Option<FxHashSet<Value>> = None;
+            for m in &matches {
+                let vals = lake.column_values(Posting { table: m.table, column: m.column });
+                let score = match &prev_values {
+                    None => m.overlap, // top candidate keeps its full score
+                    Some(prev) => m.overlap - containment(&vals, prev),
+                };
+                scored.push((*m, score));
+                prev_values = Some(vals);
+            }
+            scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.table.cmp(&b.0.table)));
+            scored
+        } else {
+            matches.into_iter().map(|m| (m, m.overlap)).collect()
+        };
+
+        for (m, score) in scored {
+            table_scores.entry(m.table).or_default().push(score);
+            let e = column_assignment.entry((m.table, sc)).or_insert((m.column, m.overlap));
+            if m.overlap > e.1 {
+                *e = (m.column, m.overlap);
+            }
+        }
+    }
+
+    // --- rank tables by average diversified score -----------------------
+    let mut ranked: Vec<(u32, f64)> = table_scores
+        .iter()
+        .map(|(&t, scores)| (t, scores.iter().sum::<f64>() / scores.len() as f64))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+    // --- aligned-tuple verification + renaming --------------------------
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (ti, score) in ranked {
+        if candidates.len() >= cfg.max_candidates {
+            break;
+        }
+        let table = &lake.tables()[ti as usize];
+        // Containment-prior assignment: per source column, the best lake
+        // column by set containment (what the inverted index gave us).
+        let mut assignments: Vec<(usize, u16, f64)> = (0..source.n_cols())
+            .filter_map(|sc| column_assignment.get(&(ti, sc)).map(|&(c, o)| (sc, c, o)))
+            .collect();
+        assignments.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap().then(a.0.cmp(&b.0)));
+        if assignments.is_empty() {
+            continue;
+        }
+        // Pair-consistency verification (the paper's "set overlap within
+        // aligned tuples" check, §V-A1): when the candidate can map the
+        // source key, align rows by key value and score every column match
+        // by row co-occurrence — this is what stops a dense numeric column
+        // (sizes, quantities) from masquerading as a key column.
+        let mapping: Vec<(usize, u16, f64)> =
+            match verified_mapping(source, table, cfg.tau) {
+                Some(m) => m,
+                None => {
+                    // No verified key mapping — keep the containment-greedy
+                    // injective assignment for the *non-key* source columns
+                    // only (Expand joins this candidate towards the key; a
+                    // key column must never be claimed without row-level
+                    // verification).
+                    let skey = source.schema().key();
+                    let mut used: FxHashSet<u16> = FxHashSet::default();
+                    assignments
+                        .into_iter()
+                        .filter(|&(sc, _, _)| !skey.contains(&sc))
+                        .filter(|&(_, c, _)| used.insert(c))
+                        .collect()
+                }
+            };
+        if mapping.is_empty() {
+            continue;
+        }
+
+        // Rename mapped columns to their source names; resolve collisions
+        // with unmapped columns by suffixing those.
+        let mut renamed = table.clone();
+        // First free up colliding unmapped names.
+        let target_names: FxHashSet<String> = mapping
+            .iter()
+            .map(|&(sc, _, _)| source.schema().column_name(sc).expect("in range").to_string())
+            .collect();
+        let mapped_cols: FxHashSet<u16> = mapping.iter().map(|&(_, c, _)| c).collect();
+        for c in 0..renamed.n_cols() {
+            if mapped_cols.contains(&(c as u16)) {
+                continue;
+            }
+            let name = renamed.schema().column_name(c).expect("in range").to_string();
+            if target_names.contains(&name) {
+                let mut k = 1;
+                loop {
+                    let alt = format!("{name}__orig{k}");
+                    if !renamed.schema().contains(&alt) && !target_names.contains(&alt) {
+                        renamed.schema_mut().rename(c, &alt).expect("fresh name");
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        // Two-phase rename: mapped columns may swap names among themselves
+        // (e.g. a numeric column matching a different source key), so park
+        // them under fresh temporaries first.
+        for (k, &(_, c, _)) in mapping.iter().enumerate() {
+            renamed
+                .schema_mut()
+                .rename(c as usize, &format!("__gent_tmp_{k}"))
+                .expect("temp names are fresh");
+        }
+        for &(sc, c, _) in &mapping {
+            let src_name = source.schema().column_name(sc).expect("in range").to_string();
+            renamed
+                .schema_mut()
+                .rename(c as usize, &src_name)
+                .expect("collisions resolved above");
+        }
+
+        candidates.push(Candidate {
+            table: renamed,
+            lake_index: ti as usize,
+            score,
+            matched_source_cols: mapping.iter().map(|&(sc, _, _)| sc).collect(),
+        });
+    }
+
+    // --- remove candidates subsumed by an earlier (better) candidate ----
+    let mut keep: Vec<bool> = vec![true; candidates.len()];
+    for i in 0..candidates.len() {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..candidates.len() {
+            if i != j && keep[i] && keep[j] {
+                // Later candidate subsumed by earlier one → drop later.
+                let (hi, lo) = if i < j { (i, j) } else { (j, i) };
+                if keep[lo] && candidates[lo].table.subsumed_by(&candidates[hi].table) {
+                    keep[lo] = false;
+                }
+            }
+        }
+    }
+    candidates
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(c, _)| c)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    /// Figure 3's lake: tables A–D around the applicant source table.
+    fn figure3() -> (Table, DataLake) {
+        let source = Table::build(
+            "S",
+            &["ID", "Name", "Age", "Gender", "Education Level"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+            ],
+        )
+        .unwrap();
+        let a = Table::build(
+            "A",
+            &["c0", "c1", "c2"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Null],
+                vec![V::Int(2), V::str("Wang"), V::str("High School")],
+            ],
+        )
+        .unwrap();
+        let b = Table::build(
+            "B",
+            &["c0", "c1"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::Int(27)],
+                vec![V::str("Brown"), V::Int(24)],
+                vec![V::str("Wang"), V::Int(32)],
+            ],
+        )
+        .unwrap();
+        let c = Table::build(
+            "C",
+            &["c0", "c1"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::str("Male")],
+                vec![V::str("Brown"), V::str("Male")],
+                vec![V::str("Wang"), V::str("Male")],
+            ],
+        )
+        .unwrap();
+        let d = Table::build(
+            "D",
+            &["c0", "c1", "c2", "c3", "c4"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::Null],
+            ],
+        )
+        .unwrap();
+        (source, DataLake::from_tables(vec![a, b, c, d]))
+    }
+
+    #[test]
+    fn finds_and_renames_figure3_candidates() {
+        let (source, lake) = figure3();
+        let cands = set_similarity(&lake, &source, None, &SetSimilarityConfig::default());
+        assert!(cands.len() >= 3, "got {} candidates", cands.len());
+        // Every candidate's matched columns carry source names now.
+        for c in &cands {
+            assert!(
+                c.table.schema().columns().any(|n| source.schema().contains(n)),
+                "candidate {} has no source-named column",
+                c.table.name()
+            );
+        }
+        // Table B's Name column must be renamed "Name", its age col "Age".
+        let b = cands.iter().find(|c| c.table.name() == "B").expect("B retrieved");
+        assert!(b.table.schema().contains("Name"));
+        assert!(b.table.schema().contains("Age"));
+    }
+
+    #[test]
+    fn duplicate_table_demoted_by_diversification_or_subsumption() {
+        // Example 9: add Table E, an exact duplicate of D. It must not
+        // produce two copies in the candidate set.
+        let (source, lake) = figure3();
+        let mut tables: Vec<Table> = lake.tables().to_vec();
+        let mut e = tables[3].clone();
+        e.set_name("E");
+        tables.push(e);
+        let lake = DataLake::from_tables(tables);
+        let cands = set_similarity(&lake, &source, None, &SetSimilarityConfig::default());
+        let d_like = cands
+            .iter()
+            .filter(|c| c.table.name() == "D" || c.table.name() == "E")
+            .count();
+        assert_eq!(d_like, 1, "duplicate must be removed, got {d_like}");
+    }
+
+    #[test]
+    fn threshold_excludes_weak_overlaps() {
+        let (source, lake) = figure3();
+        let strict = SetSimilarityConfig { tau: 0.99, ..Default::default() };
+        let cands = set_similarity(&lake, &source, None, &strict);
+        // Only columns fully containing a source column survive τ=0.99.
+        for c in &cands {
+            assert!(!c.matched_source_cols.is_empty());
+        }
+        let loose = set_similarity(&lake, &source, None, &SetSimilarityConfig::default());
+        assert!(loose.len() >= cands.len());
+    }
+
+    #[test]
+    fn restrict_to_limits_search() {
+        let (source, lake) = figure3();
+        let cands = set_similarity(&lake, &source, Some(&[1]), &SetSimilarityConfig::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].table.name(), "B");
+    }
+
+    #[test]
+    fn empty_source_yields_nothing() {
+        let (_, lake) = figure3();
+        let empty = Table::build("S", &["ID"], &["ID"], vec![]).unwrap();
+        assert!(set_similarity(&lake, &empty, None, &SetSimilarityConfig::default()).is_empty());
+    }
+}

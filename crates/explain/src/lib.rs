@@ -1,0 +1,38 @@
+//! # gent-explain — explaining what a reclamation did (and did not) recover
+//!
+//! The point of Table Reclamation is not just the reclaimed table: §I of the
+//! paper stresses that "a user can analyze the originating tables returned
+//! by our approach to understand these differences" — which source values
+//! were confirmed by the lake, which are missing from it, and which the lake
+//! outright contradicts. §VII goes further, proposing reclamation as a way
+//! to *verify the tabular output of generative AI*: given a model-produced
+//! table, reclamation against a trusted lake tells you which of its claims
+//! are supported.
+//!
+//! This crate turns those narratives into data structures:
+//!
+//! * [`cells`] — classify every source cell against the reclaimed table:
+//!   [`cells::CellStatus::Reclaimed`], `Nullified` (the lake had no value),
+//!   `Erroneous` (the lake disagreed), `Spurious` (the reclamation invented
+//!   a value where the source had a null), or `Missing` (no aligned tuple),
+//! * [`provenance`] — per-cell support: *which originating tables* supply
+//!   each reclaimed value, and which conflict with it (the Example 1/2
+//!   analysis: "the originating tables for the Google data are European in
+//!   origin…"),
+//! * [`report`] — an [`report::Explanation`] combining both, with per-tuple
+//!   and per-column rollups and a human-readable rendering,
+//! * [`verify`] — the §VII use case: a [`verify::VerificationVerdict`] for
+//!   a claimed table against a lake reclamation, with configurable
+//!   thresholds.
+
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod provenance;
+pub mod report;
+pub mod verify;
+
+pub use cells::{classify_cells, CellGrid, CellStatus};
+pub use provenance::{trace_provenance, CellSupport, ProvenanceMap};
+pub use report::{explain, ColumnRollup, Explanation, TupleExplanation, TupleStatus};
+pub use verify::{verify_table, VerificationVerdict, VerifyConfig};

@@ -1,0 +1,244 @@
+//! Per-cell provenance: which originating tables support (or contradict)
+//! each source value.
+//!
+//! Gen-T returns the originating tables precisely so a user can trace a
+//! reclaimed value back to the lake tables it came from (Figure 2's second
+//! output; the Example 1 analysis "the user can understand that while her
+//! table is reporting US statistics, the article is reporting international
+//! numbers" is performed over exactly this mapping). The pipeline renames
+//! originating-table columns to the source columns they matched, so support
+//! can be computed by key alignment against each originating table
+//! individually.
+
+use gent_metrics::align_by_key;
+use gent_table::Table;
+
+/// Support for one source cell.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellSupport {
+    /// Indices (into the originating-table slice) of tables holding a tuple
+    /// with this key whose value equals the source's.
+    pub supporters: Vec<usize>,
+    /// Indices of tables holding a tuple with this key whose value is
+    /// non-null and *different* — the lake contradicts this cell.
+    pub conflicters: Vec<usize>,
+}
+
+impl CellSupport {
+    /// A cell is corroborated when at least one table supplies its value.
+    pub fn is_supported(&self) -> bool {
+        !self.supporters.is_empty()
+    }
+
+    /// A cell is contested when at least one table contradicts it.
+    pub fn is_contested(&self) -> bool {
+        !self.conflicters.is_empty()
+    }
+}
+
+/// Source-shaped grid of per-cell support, plus per-table contribution
+/// counts.
+#[derive(Debug, Clone)]
+pub struct ProvenanceMap {
+    /// `support[i][j]` — support for source cell (row `i`, column `j`).
+    /// Key cells carry key-membership support (tables containing the key).
+    pub support: Vec<Vec<CellSupport>>,
+    /// Names of the originating tables, in the order indices refer to.
+    pub table_names: Vec<String>,
+    /// For each originating table: how many source cells it supports.
+    pub cells_supported: Vec<usize>,
+    /// For each originating table: how many source cells it contradicts.
+    pub cells_contradicted: Vec<usize>,
+}
+
+impl ProvenanceMap {
+    /// Number of source cells supported by at least one originating table.
+    pub fn n_supported(&self) -> usize {
+        self.support
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|c| c.is_supported())
+            .count()
+    }
+
+    /// Number of source cells contradicted by at least one table.
+    pub fn n_contested(&self) -> usize {
+        self.support
+            .iter()
+            .flat_map(|r| r.iter())
+            .filter(|c| c.is_contested())
+            .count()
+    }
+
+    /// Tables that support nothing — returning them was unnecessary for
+    /// value coverage (they may still matter for key coverage).
+    pub fn idle_tables(&self) -> Vec<&str> {
+        self.table_names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.cells_supported[*i] == 0)
+            .map(|(_, n)| n.as_str())
+            .collect()
+    }
+}
+
+/// Trace every source cell through the originating tables.
+///
+/// Each originating table is aligned to the source by key (it carries the
+/// source's column names after discovery's implicit schema matching; tables
+/// lacking the key columns support nothing). For every non-null source cell
+/// in an aligned tuple, a table *supports* the cell when any of its aligned
+/// rows equals the source value, and *conflicts* when none does but some
+/// aligned row holds a different non-null value.
+pub fn trace_provenance(source: &Table, originating: &[Table]) -> ProvenanceMap {
+    let n_rows = source.n_rows();
+    let n_cols = source.n_cols();
+    let mut support = vec![vec![CellSupport::default(); n_cols]; n_rows];
+    let mut cells_supported = vec![0usize; originating.len()];
+    let mut cells_contradicted = vec![0usize; originating.len()];
+
+    for (oi, orig) in originating.iter().enumerate() {
+        let alignment = align_by_key(source, orig);
+        for (si, srow) in source.rows().iter().enumerate() {
+            let matches = &alignment.matches[si];
+            if matches.is_empty() {
+                continue;
+            }
+            for (j, sv) in srow.iter().enumerate() {
+                if sv.is_null_like() {
+                    continue;
+                }
+                // Key columns: presence of the key value *is* the support.
+                if source.schema().key().contains(&j) {
+                    support[si][j].supporters.push(oi);
+                    cells_supported[oi] += 1;
+                    continue;
+                }
+                let mut any_equal = false;
+                let mut any_diff = false;
+                for &ti in matches {
+                    let tv = alignment.reclaimed_cell(orig, ti, j);
+                    if tv.is_null_like() {
+                        continue;
+                    }
+                    if tv == sv {
+                        any_equal = true;
+                        break;
+                    }
+                    any_diff = true;
+                }
+                if any_equal {
+                    support[si][j].supporters.push(oi);
+                    cells_supported[oi] += 1;
+                } else if any_diff {
+                    support[si][j].conflicters.push(oi);
+                    cells_contradicted[oi] += 1;
+                }
+            }
+        }
+    }
+
+    ProvenanceMap {
+        support,
+        table_names: originating.iter().map(|t| t.name().to_string()).collect(),
+        cells_supported,
+        cells_contradicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["ID", "Name", "Age"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(1), V::str("Brown"), V::Int(24)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn supporters_and_conflicters_are_separated() {
+        let s = source();
+        let good = Table::build(
+            "good",
+            &["ID", "Name", "Age"],
+            &[],
+            vec![vec![V::Int(0), V::str("Smith"), V::Int(27)]],
+        )
+        .unwrap();
+        let bad = Table::build(
+            "bad",
+            &["ID", "Age"],
+            &[],
+            vec![vec![V::Int(0), V::Int(99)]],
+        )
+        .unwrap();
+        let p = trace_provenance(&s, &[good, bad]);
+        // Smith's age: supported by `good` (index 0), contradicted by `bad`.
+        assert_eq!(p.support[0][2].supporters, vec![0]);
+        assert_eq!(p.support[0][2].conflicters, vec![1]);
+        assert!(p.support[0][2].is_supported() && p.support[0][2].is_contested());
+        // Brown appears in neither table.
+        assert!(p.support[1][1].supporters.is_empty());
+        assert_eq!(p.cells_supported[0], 3); // ID + Name + Age of Smith
+        assert_eq!(p.cells_contradicted[1], 1);
+    }
+
+    #[test]
+    fn equal_beats_conflict_within_one_table() {
+        // A table with two aligned rows, one agreeing and one differing,
+        // supports the cell (outer union keeps both; one of them is right).
+        let s = source();
+        let t = Table::build(
+            "t",
+            &["ID", "Age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::Int(99)],
+                vec![V::Int(0), V::Int(27)],
+            ],
+        )
+        .unwrap();
+        let p = trace_provenance(&s, &[t]);
+        assert_eq!(p.support[0][2].supporters, vec![0]);
+        assert!(p.support[0][2].conflicters.is_empty());
+    }
+
+    #[test]
+    fn tables_without_key_columns_support_nothing() {
+        let s = source();
+        let t = Table::build("t", &["Name"], &[], vec![vec![V::str("Smith")]]).unwrap();
+        let p = trace_provenance(&s, &[t]);
+        assert_eq!(p.n_supported(), 0);
+        assert_eq!(p.idle_tables(), vec!["t"]);
+    }
+
+    #[test]
+    fn aggregate_counts() {
+        let s = source();
+        let full = {
+            let mut t = s.clone();
+            t.set_name("full");
+            t
+        };
+        let p = trace_provenance(&s, &[full]);
+        assert_eq!(p.n_supported(), 6);
+        assert_eq!(p.n_contested(), 0);
+        assert!(p.idle_tables().is_empty());
+    }
+
+    #[test]
+    fn empty_originating_set() {
+        let p = trace_provenance(&source(), &[]);
+        assert_eq!(p.n_supported(), 0);
+        assert!(p.table_names.is_empty());
+    }
+}

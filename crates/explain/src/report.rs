@@ -1,0 +1,326 @@
+//! The combined [`Explanation`]: cell grid + provenance + rollups + a
+//! human-readable rendering.
+
+use gent_table::Table;
+use std::fmt::Write as _;
+
+use crate::cells::{classify_cells, CellGrid, CellStatus};
+use crate::provenance::{trace_provenance, ProvenanceMap};
+
+/// Status of one whole source tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleStatus {
+    /// Every cell reclaimed correctly.
+    Perfect,
+    /// Key aligned but some cells nullified/erroneous/spurious.
+    Partial,
+    /// Key not found in the reclamation.
+    Missing,
+}
+
+/// Explanation of one source tuple.
+#[derive(Debug, Clone)]
+pub struct TupleExplanation {
+    /// Source row index.
+    pub row: usize,
+    /// Overall status.
+    pub status: TupleStatus,
+    /// Columns (by name) whose source value the lake lacked.
+    pub nullified: Vec<String>,
+    /// Columns whose source value the lake contradicted, with the
+    /// reclaimed value rendered textually.
+    pub erroneous: Vec<(String, String)>,
+    /// Columns where the reclamation invented a value for a source null.
+    pub spurious: Vec<(String, String)>,
+}
+
+/// Per-column rollup across all tuples.
+#[derive(Debug, Clone)]
+pub struct ColumnRollup {
+    /// Column name.
+    pub column: String,
+    /// Cells correctly reclaimed (incl. key cells and correct nulls).
+    pub reclaimed: usize,
+    /// Cells the lake lacked.
+    pub nullified: usize,
+    /// Cells the lake contradicted.
+    pub erroneous: usize,
+    /// Source nulls the reclamation filled in.
+    pub spurious: usize,
+    /// Cells in missing tuples.
+    pub missing: usize,
+}
+
+/// Everything there is to say about one reclamation.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Per-cell statuses.
+    pub grid: CellGrid,
+    /// Per-cell provenance through the originating tables.
+    pub provenance: ProvenanceMap,
+    /// Per-tuple explanations, in source row order.
+    pub tuples: Vec<TupleExplanation>,
+    /// Per-column rollups, in source column order.
+    pub columns: Vec<ColumnRollup>,
+    /// Source table name (for rendering).
+    source_name: String,
+}
+
+impl Explanation {
+    /// Number of perfectly-reclaimed tuples.
+    pub fn n_perfect(&self) -> usize {
+        self.tuples
+            .iter()
+            .filter(|t| t.status == TupleStatus::Perfect)
+            .count()
+    }
+
+    /// Number of missing tuples.
+    pub fn n_missing(&self) -> usize {
+        self.tuples
+            .iter()
+            .filter(|t| t.status == TupleStatus::Missing)
+            .count()
+    }
+
+    /// True when every tuple is perfect.
+    pub fn is_perfect(&self) -> bool {
+        self.n_perfect() == self.tuples.len()
+    }
+
+    /// Multi-line human-readable report (the text a data scientist reads to
+    /// understand what the lake could and could not confirm).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Reclamation of `{}`: {}/{} tuples perfect, {} partial, {} missing ({:.1}% of cells reclaimed)",
+            self.source_name,
+            self.n_perfect(),
+            self.tuples.len(),
+            self.tuples.len() - self.n_perfect() - self.n_missing(),
+            self.n_missing(),
+            self.grid.fraction_good() * 100.0,
+        );
+        for t in &self.tuples {
+            match t.status {
+                TupleStatus::Perfect => {}
+                TupleStatus::Missing => {
+                    let _ = writeln!(out, "  row {}: NOT derivable from the lake", t.row);
+                }
+                TupleStatus::Partial => {
+                    let mut parts = Vec::new();
+                    if !t.nullified.is_empty() {
+                        parts.push(format!("lake lacks [{}]", t.nullified.join(", ")));
+                    }
+                    for (c, v) in &t.erroneous {
+                        parts.push(format!("lake says {c}={v}"));
+                    }
+                    for (c, v) in &t.spurious {
+                        parts.push(format!("lake adds {c}={v} for a source null"));
+                    }
+                    let _ = writeln!(out, "  row {}: {}", t.row, parts.join("; "));
+                }
+            }
+        }
+        let contested = self.provenance.n_contested();
+        if contested > 0 {
+            let _ = writeln!(out, "  {} cell(s) are contested by some originating table", contested);
+        }
+        for (i, name) in self.provenance.table_names.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  originating `{name}`: supports {} cell(s), contradicts {}",
+                self.provenance.cells_supported[i], self.provenance.cells_contradicted[i],
+            );
+        }
+        out
+    }
+}
+
+/// Explain `reclaimed` (produced from `originating`) against `source`.
+pub fn explain(source: &Table, reclaimed: &Table, originating: &[Table]) -> Explanation {
+    let grid = classify_cells(source, reclaimed);
+    let provenance = trace_provenance(source, originating);
+
+    let col_name =
+        |j: usize| source.schema().column_name(j).expect("in range").to_string();
+
+    let mut tuples = Vec::with_capacity(source.n_rows());
+    for (i, row_status) in grid.statuses.iter().enumerate() {
+        if row_status.iter().all(|&s| s == CellStatus::Missing) && !row_status.is_empty() {
+            tuples.push(TupleExplanation {
+                row: i,
+                status: TupleStatus::Missing,
+                nullified: Vec::new(),
+                erroneous: Vec::new(),
+                spurious: Vec::new(),
+            });
+            continue;
+        }
+        let mut nullified = Vec::new();
+        let mut erroneous = Vec::new();
+        let mut spurious = Vec::new();
+        for (j, s) in row_status.iter().enumerate() {
+            match s {
+                CellStatus::Nullified => nullified.push(col_name(j)),
+                CellStatus::Erroneous => {
+                    let shown = reclaimed_value_for(source, reclaimed, &grid, i, j);
+                    erroneous.push((col_name(j), shown));
+                }
+                CellStatus::Spurious => {
+                    let shown = reclaimed_value_for(source, reclaimed, &grid, i, j);
+                    spurious.push((col_name(j), shown));
+                }
+                _ => {}
+            }
+        }
+        let status = if nullified.is_empty() && erroneous.is_empty() && spurious.is_empty() {
+            TupleStatus::Perfect
+        } else {
+            TupleStatus::Partial
+        };
+        tuples.push(TupleExplanation {
+            row: i,
+            status,
+            nullified,
+            erroneous,
+            spurious,
+        });
+    }
+
+    let mut columns = Vec::with_capacity(source.n_cols());
+    for j in 0..source.n_cols() {
+        let mut roll = ColumnRollup {
+            column: col_name(j),
+            reclaimed: 0,
+            nullified: 0,
+            erroneous: 0,
+            spurious: 0,
+            missing: 0,
+        };
+        for row_status in &grid.statuses {
+            match row_status[j] {
+                CellStatus::Key | CellStatus::Reclaimed => roll.reclaimed += 1,
+                CellStatus::Nullified => roll.nullified += 1,
+                CellStatus::Erroneous => roll.erroneous += 1,
+                CellStatus::Spurious => roll.spurious += 1,
+                CellStatus::Missing => roll.missing += 1,
+            }
+        }
+        columns.push(roll);
+    }
+
+    Explanation {
+        grid,
+        provenance,
+        tuples,
+        columns,
+        source_name: source.name().to_string(),
+    }
+}
+
+/// Textual rendering of the reclaimed cell judged for source cell (i, j).
+fn reclaimed_value_for(
+    source: &Table,
+    reclaimed: &Table,
+    grid: &CellGrid,
+    i: usize,
+    j: usize,
+) -> String {
+    let Some(ti) = grid.best_rows[i] else {
+        return "⊥".to_string();
+    };
+    let col = source.schema().column_name(j).expect("in range");
+    match reclaimed.schema().column_index(col) {
+        Some(tj) => reclaimed.cell(ti, tj).expect("row in range").to_string(),
+        None => "⊥".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["ID", "Name", "Age"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(1), V::str("Brown"), V::Int(24)],
+                vec![V::Int(2), V::str("Wang"), V::Int(32)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn reclaimed() -> Table {
+        Table::build(
+            "R",
+            &["ID", "Name", "Age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)], // perfect
+                vec![V::Int(1), V::str("Brown"), V::Int(99)], // erroneous age
+                                                              // Wang missing
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tuple_statuses_and_rollups() {
+        let s = source();
+        let e = explain(&s, &reclaimed(), &[]);
+        assert_eq!(e.tuples[0].status, TupleStatus::Perfect);
+        assert_eq!(e.tuples[1].status, TupleStatus::Partial);
+        assert_eq!(e.tuples[1].erroneous, vec![("Age".to_string(), "99".to_string())]);
+        assert_eq!(e.tuples[2].status, TupleStatus::Missing);
+        assert_eq!(e.n_perfect(), 1);
+        assert_eq!(e.n_missing(), 1);
+        assert!(!e.is_perfect());
+
+        let age = &e.columns[2];
+        assert_eq!(age.reclaimed, 1);
+        assert_eq!(age.erroneous, 1);
+        assert_eq!(age.missing, 1);
+    }
+
+    #[test]
+    fn render_mentions_failures_and_provenance() {
+        let s = source();
+        let orig = Table::build(
+            "frag",
+            &["ID", "Name"],
+            &[],
+            vec![vec![V::Int(0), V::str("Smith")]],
+        )
+        .unwrap();
+        let text = explain(&s, &reclaimed(), &[orig]).render();
+        assert!(text.contains("1/3 tuples perfect"), "{text}");
+        assert!(text.contains("row 1: lake says Age=99"), "{text}");
+        assert!(text.contains("row 2: NOT derivable"), "{text}");
+        assert!(text.contains("originating `frag`"), "{text}");
+    }
+
+    #[test]
+    fn perfect_reclamation_renders_clean() {
+        let s = source();
+        let e = explain(&s, &s.clone(), &[]);
+        assert!(e.is_perfect());
+        let text = e.render();
+        assert!(text.contains("3/3 tuples perfect"));
+        assert!(!text.contains("NOT derivable"));
+    }
+
+    #[test]
+    fn empty_source_explains_trivially() {
+        let s = Table::build("S", &["ID"], &["ID"], vec![]).unwrap();
+        let e = explain(&s, &s.clone(), &[]);
+        assert_eq!(e.tuples.len(), 0);
+        assert!(e.is_perfect()); // vacuously
+    }
+}

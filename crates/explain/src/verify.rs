@@ -1,0 +1,230 @@
+//! Verification of claimed tables against a reclamation — the §VII use
+//! case: "Table reclamation can also be used to verify the tabular results
+//! of generative AI … users who generate summary tables would find it
+//! useful to verify model outputs and examine what data was used to
+//! generate them."
+//!
+//! Given a *claimed* table (e.g. an LLM-generated summary) and the result
+//! of reclaiming it from a trusted lake, [`verify_table`] issues a
+//! [`VerificationVerdict`]: which claims the lake confirms, which it cannot
+//! derive, and which it contradicts.
+
+use gent_table::Table;
+
+use crate::report::{explain, Explanation};
+
+/// Thresholds for the verdict.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyConfig {
+    /// Minimum fraction of correctly-reclaimed cells for a `Verified`
+    /// verdict (1.0 = every cell must be confirmed).
+    pub verified_threshold: f64,
+    /// Maximum fraction of contradicted cells tolerated before the verdict
+    /// becomes `Contradicted` regardless of coverage.
+    pub contradiction_tolerance: f64,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self {
+            verified_threshold: 1.0,
+            contradiction_tolerance: 0.0,
+        }
+    }
+}
+
+/// The outcome of verifying a claimed table against a lake.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerificationVerdict {
+    /// Every claim (up to the configured threshold) is derivable from the
+    /// lake.
+    Verified {
+        /// Fraction of cells confirmed.
+        coverage: f64,
+    },
+    /// Some claims could not be derived, but none (beyond tolerance) were
+    /// contradicted — the lake is silent, not opposed.
+    PartiallyVerified {
+        /// Fraction of cells confirmed.
+        coverage: f64,
+        /// Number of cells the lake had no value for.
+        unconfirmed_cells: usize,
+        /// Number of whole tuples absent from the lake.
+        missing_tuples: usize,
+    },
+    /// The lake actively disagrees with some claims.
+    Contradicted {
+        /// Fraction of cells confirmed.
+        coverage: f64,
+        /// Number of cells whose lake value differs from the claim.
+        contradicted_cells: usize,
+    },
+}
+
+impl VerificationVerdict {
+    /// The confirmed-cell fraction, whatever the verdict.
+    pub fn coverage(&self) -> f64 {
+        match self {
+            VerificationVerdict::Verified { coverage }
+            | VerificationVerdict::PartiallyVerified { coverage, .. }
+            | VerificationVerdict::Contradicted { coverage, .. } => *coverage,
+        }
+    }
+}
+
+/// Verify `claimed` against its reclamation from a trusted lake.
+///
+/// `reclaimed` and `originating` are the outputs of running Gen-T with
+/// `claimed` as the source table. Returns the verdict plus the full
+/// [`Explanation`] for drill-down.
+pub fn verify_table(
+    claimed: &Table,
+    reclaimed: &Table,
+    originating: &[Table],
+    cfg: &VerifyConfig,
+) -> (VerificationVerdict, Explanation) {
+    use crate::cells::CellStatus;
+    let e = explain(claimed, reclaimed, originating);
+    let n = e.grid.n_cells().max(1);
+    let coverage = e.grid.fraction_good();
+    let contradicted =
+        e.grid.count(CellStatus::Erroneous) + e.grid.count(CellStatus::Spurious);
+    let nullified = e.grid.count(CellStatus::Nullified);
+    let missing_cells = e.grid.count(CellStatus::Missing);
+
+    let verdict = if contradicted as f64 / n as f64 > cfg.contradiction_tolerance {
+        VerificationVerdict::Contradicted {
+            coverage,
+            contradicted_cells: contradicted,
+        }
+    } else if coverage + 1e-12 >= cfg.verified_threshold {
+        VerificationVerdict::Verified { coverage }
+    } else {
+        VerificationVerdict::PartiallyVerified {
+            coverage,
+            unconfirmed_cells: nullified + missing_cells,
+            missing_tuples: e.n_missing(),
+        }
+    };
+    (verdict, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn claimed() -> Table {
+        Table::build(
+            "claim",
+            &["Company", "PctWhite", "Total"],
+            &["Company"],
+            vec![
+                vec![V::str("Microsoft"), V::Int(54), V::Int(181_000)],
+                vec![V::str("Google"), V::Int(51), V::Int(156_500)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn full_reclamation_verifies() {
+        let c = claimed();
+        let (v, e) = verify_table(&c, &c.clone(), &[], &VerifyConfig::default());
+        assert_eq!(v, VerificationVerdict::Verified { coverage: 1.0 });
+        assert!(e.is_perfect());
+    }
+
+    #[test]
+    fn silence_is_partial_not_contradicted() {
+        let c = claimed();
+        let r = Table::build(
+            "R",
+            &["Company", "PctWhite", "Total"],
+            &[],
+            vec![vec![V::str("Microsoft"), V::Int(54), V::Null]],
+        )
+        .unwrap();
+        let (v, _) = verify_table(&c, &r, &[], &VerifyConfig::default());
+        match v {
+            VerificationVerdict::PartiallyVerified {
+                unconfirmed_cells,
+                missing_tuples,
+                coverage,
+            } => {
+                assert_eq!(unconfirmed_cells, 1 + 3); // null Total + Google row
+                assert_eq!(missing_tuples, 1);
+                assert!(coverage < 1.0);
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disagreement_is_contradicted() {
+        let c = claimed();
+        let r = Table::build(
+            "R",
+            &["Company", "PctWhite", "Total"],
+            &[],
+            vec![
+                vec![V::str("Microsoft"), V::Int(49), V::Int(181_000)], // 49 ≠ 54
+                vec![V::str("Google"), V::Int(51), V::Int(156_500)],
+            ],
+        )
+        .unwrap();
+        let (v, _) = verify_table(&c, &r, &[], &VerifyConfig::default());
+        match v {
+            VerificationVerdict::Contradicted { contradicted_cells, .. } => {
+                assert_eq!(contradicted_cells, 1);
+            }
+            other => panic!("expected contradicted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thresholds_relax_the_verdict() {
+        let c = claimed();
+        let r = Table::build(
+            "R",
+            &["Company", "PctWhite", "Total"],
+            &[],
+            vec![
+                vec![V::str("Microsoft"), V::Int(54), V::Null],
+                vec![V::str("Google"), V::Int(51), V::Int(156_500)],
+            ],
+        )
+        .unwrap();
+        // 5/6 cells good; with a 0.8 threshold this counts as verified.
+        let cfg = VerifyConfig {
+            verified_threshold: 0.8,
+            contradiction_tolerance: 0.0,
+        };
+        let (v, _) = verify_table(&c, &r, &[], &cfg);
+        assert!(matches!(v, VerificationVerdict::Verified { .. }));
+        assert!(v.coverage() > 0.8);
+    }
+
+    #[test]
+    fn contradiction_tolerance_downgrades_gracefully() {
+        let c = claimed();
+        let r = Table::build(
+            "R",
+            &["Company", "PctWhite", "Total"],
+            &[],
+            vec![
+                vec![V::str("Microsoft"), V::Int(49), V::Int(181_000)],
+                vec![V::str("Google"), V::Int(51), V::Int(156_500)],
+            ],
+        )
+        .unwrap();
+        let cfg = VerifyConfig {
+            verified_threshold: 0.8,
+            contradiction_tolerance: 0.5,
+        };
+        let (v, _) = verify_table(&c, &r, &[], &cfg);
+        // One contradiction in six cells is within tolerance → verified by
+        // coverage (5/6 > 0.8).
+        assert!(matches!(v, VerificationVerdict::Verified { .. }));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for explanation invariants: the cell grid partitions
+//! every source cell into exactly one status, rollups are conservative
+//! (sums match), and verification verdicts agree with the grid.
+
+use gent_explain::{classify_cells, explain, verify_table, CellStatus, TupleStatus,
+    VerificationVerdict, VerifyConfig};
+use gent_table::{Table, Value};
+use proptest::prelude::*;
+
+fn cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        5 => (0i64..5).prop_map(Value::Int),
+    ]
+}
+
+/// A keyed source and a derived "reclamation" with random degradation:
+/// per row, drop it, or mutate cells (null them or corrupt them).
+fn source_and_reclaimed() -> impl Strategy<Value = (Table, Table)> {
+    (
+        proptest::sample::subsequence((0..12i64).collect::<Vec<_>>(), 1..=6),
+        proptest::collection::vec(proptest::collection::vec(cell(), 3), 6),
+        proptest::collection::vec((any::<bool>(), 0usize..3, 0u8..3), 6),
+    )
+        .prop_map(|(keys, cells, degradation)| {
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, c)| {
+                    let mut r = vec![Value::Int(*k)];
+                    r.extend(c.iter().cloned());
+                    r
+                })
+                .collect();
+            let source = Table::build("S", &["k", "a", "b", "c"], &["k"], rows.clone()).unwrap();
+            let mut rec_rows = Vec::new();
+            for (i, row) in rows.iter().enumerate() {
+                let (drop, col, action) = degradation.get(i).copied().unwrap_or((false, 0, 0));
+                if drop {
+                    continue;
+                }
+                let mut r = row.clone();
+                match action {
+                    1 => r[col + 1] = Value::Null,
+                    2 => r[col + 1] = Value::Int(99),
+                    _ => {}
+                }
+                rec_rows.push(r);
+            }
+            let reclaimed = Table::build("R", &["k", "a", "b", "c"], &[], rec_rows).unwrap();
+            (source, reclaimed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every source cell gets exactly one status and the counts partition
+    /// the grid.
+    #[test]
+    fn statuses_partition_the_grid((s, r) in source_and_reclaimed()) {
+        let grid = classify_cells(&s, &r);
+        let total: usize = [
+            CellStatus::Key,
+            CellStatus::Reclaimed,
+            CellStatus::Nullified,
+            CellStatus::Erroneous,
+            CellStatus::Spurious,
+            CellStatus::Missing,
+        ]
+        .iter()
+        .map(|&st| grid.count(st))
+        .sum();
+        prop_assert_eq!(total, grid.n_cells());
+        prop_assert_eq!(grid.n_cells(), s.n_rows() * s.n_cols());
+    }
+
+    /// Tuple statuses agree with the grid: Perfect ⇔ all good, Missing ⇔
+    /// all Missing, and per-tuple failure lists match the statuses.
+    #[test]
+    fn tuple_rollups_agree_with_grid((s, r) in source_and_reclaimed()) {
+        let e = explain(&s, &r, &[]);
+        for (i, t) in e.tuples.iter().enumerate() {
+            let row = &e.grid.statuses[i];
+            match t.status {
+                TupleStatus::Perfect => prop_assert!(row.iter().all(|st| st.is_good())),
+                TupleStatus::Missing => {
+                    prop_assert!(row.iter().all(|&st| st == CellStatus::Missing))
+                }
+                TupleStatus::Partial => {
+                    prop_assert!(row.iter().any(|st| !st.is_good()));
+                    prop_assert!(row.iter().any(|&st| st != CellStatus::Missing));
+                }
+            }
+            let nullified = row.iter().filter(|&&st| st == CellStatus::Nullified).count();
+            let erroneous = row.iter().filter(|&&st| st == CellStatus::Erroneous).count();
+            let spurious = row.iter().filter(|&&st| st == CellStatus::Spurious).count();
+            prop_assert_eq!(t.nullified.len(), nullified);
+            prop_assert_eq!(t.erroneous.len(), erroneous);
+            prop_assert_eq!(t.spurious.len(), spurious);
+        }
+    }
+
+    /// Column rollups sum to the row count per column.
+    #[test]
+    fn column_rollups_are_complete((s, r) in source_and_reclaimed()) {
+        let e = explain(&s, &r, &[]);
+        prop_assert_eq!(e.columns.len(), s.n_cols());
+        for roll in &e.columns {
+            let sum = roll.reclaimed + roll.nullified + roll.erroneous + roll.spurious
+                + roll.missing;
+            prop_assert_eq!(sum, s.n_rows());
+        }
+    }
+
+    /// Verification verdicts agree with the grid: contradictions ⇒
+    /// Contradicted (zero tolerance), full coverage ⇒ Verified, else
+    /// Partial. Coverage always equals the grid's fraction_good.
+    #[test]
+    fn verdicts_agree_with_grid((s, r) in source_and_reclaimed()) {
+        prop_assume!(s.n_rows() > 0);
+        let (v, e) = verify_table(&s, &r, &[], &VerifyConfig::default());
+        let contradictions =
+            e.grid.count(CellStatus::Erroneous) + e.grid.count(CellStatus::Spurious);
+        prop_assert!((v.coverage() - e.grid.fraction_good()).abs() < 1e-12);
+        match v {
+            VerificationVerdict::Contradicted { contradicted_cells, .. } => {
+                prop_assert_eq!(contradicted_cells, contradictions);
+                prop_assert!(contradictions > 0);
+            }
+            VerificationVerdict::Verified { coverage } => {
+                prop_assert_eq!(contradictions, 0);
+                prop_assert!(coverage >= 1.0 - 1e-12);
+            }
+            VerificationVerdict::PartiallyVerified { coverage, .. } => {
+                prop_assert_eq!(contradictions, 0);
+                prop_assert!(coverage < 1.0);
+            }
+        }
+    }
+
+    /// Rendering never panics and always reports the perfect-tuple count.
+    #[test]
+    fn rendering_is_total((s, r) in source_and_reclaimed()) {
+        let e = explain(&s, &r, &[]);
+        let text = e.render();
+        let needle = format!("{}/{} tuples perfect", e.n_perfect(), e.tuples.len());
+        let found = text.contains(&needle);
+        prop_assert!(found, "`{}` not in rendering:\n{}", needle, text);
+    }
+}

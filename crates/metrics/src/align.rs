@@ -1,0 +1,211 @@
+//! Key-based tuple alignment between a Source Table and a reclaimed table.
+//!
+//! §IV-A: "We will align data lake tuples with a single source tuple where
+//! the lake and source tuple share the same key value. Hence, multiple lake
+//! tuples may align with the same source tuple, and some will align with no
+//! source tuple. But a lake tuple will align with at most one source tuple."
+//!
+//! The reclaimed table is matched to the source *by column name*: its key
+//! columns are the columns named like the source's key, and its value
+//! columns are looked up the same way (reclaimed tables produced by the
+//! pipeline always carry the source's column names; anything missing is
+//! treated as all-null).
+
+use gent_table::{FxHashMap, KeyValue, Table, Value};
+
+/// The alignment of a reclaimed table `T` against a source `S`.
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    /// For every source row index: the reclaimed row indices sharing its key
+    /// (`m(s)` in the paper; possibly empty).
+    pub matches: Vec<Vec<usize>>,
+    /// For each column index of `S`: the corresponding column index in `T`,
+    /// or `None` when `T` lacks that column (treated as null).
+    pub column_map: Vec<Option<usize>>,
+    /// Number of source rows whose key was found in `T` at least once.
+    pub keys_found: usize,
+    /// Indices (into `S`'s schema) of the source's non-key columns.
+    pub non_key_cols: Vec<usize>,
+}
+
+impl Alignment {
+    /// `Q(K)` of Eq. 12: the fraction of source keys found in the reclaimed
+    /// table.
+    pub fn key_coverage(&self, n_source_rows: usize) -> f64 {
+        if n_source_rows == 0 {
+            return 0.0;
+        }
+        self.keys_found as f64 / n_source_rows as f64
+    }
+
+    /// Value of the reclaimed cell aligned with source column `s_col` in
+    /// reclaimed row `t_row`, or `Null` when the column is missing.
+    pub fn reclaimed_cell<'a>(&self, reclaimed: &'a Table, t_row: usize, s_col: usize) -> &'a Value {
+        match self.column_map[s_col] {
+            Some(j) => reclaimed.cell(t_row, j).expect("row in range"),
+            None => &Value::Null,
+        }
+    }
+}
+
+/// Align `reclaimed` to `source` by the source's key columns.
+///
+/// Panics if the source declares no key — that is a precondition of the
+/// whole problem statement (§II), enforced loudly rather than silently
+/// producing empty alignments.
+pub fn align_by_key(source: &Table, reclaimed: &Table) -> Alignment {
+    let skey = source.schema().key();
+    assert!(
+        !skey.is_empty(),
+        "source table `{}` must declare a key for alignment",
+        source.name()
+    );
+    // Columns of the reclaimed table corresponding to each source column.
+    let column_map: Vec<Option<usize>> = source
+        .schema()
+        .columns()
+        .map(|c| reclaimed.schema().column_index(c))
+        .collect();
+    // Key columns in the reclaimed table; if any key column is missing, no
+    // tuple can align.
+    let tkey: Option<Vec<usize>> = skey.iter().map(|&k| column_map[k]).collect();
+    let mut matches: Vec<Vec<usize>> = vec![Vec::new(); source.n_rows()];
+    let mut keys_found = 0usize;
+    if let Some(tkey) = tkey {
+        // Index reclaimed rows by key value.
+        let mut tindex: FxHashMap<KeyValue, Vec<usize>> = FxHashMap::default();
+        for (i, row) in reclaimed.rows().iter().enumerate() {
+            if let Some(kv) = Table::key_from_row(row, &tkey) {
+                tindex.entry(kv).or_default().push(i);
+            }
+        }
+        for (si, srow) in source.rows().iter().enumerate() {
+            if let Some(kv) = Table::key_from_row(srow, skey) {
+                if let Some(rows) = tindex.get(&kv) {
+                    matches[si] = rows.clone();
+                    keys_found += 1;
+                }
+            }
+        }
+    }
+    Alignment {
+        matches,
+        column_map,
+        keys_found,
+        non_key_cols: source.schema().non_key_indices(),
+    }
+}
+
+/// For each source row, the single best-aligned reclaimed row (the one
+/// sharing the most non-key values, §VI-A2), or `None` when no tuple aligns.
+/// Ties break toward the lowest row index (deterministic).
+pub fn best_aligned_rows(source: &Table, reclaimed: &Table, alignment: &Alignment) -> Vec<Option<usize>> {
+    (0..source.n_rows())
+        .map(|si| {
+            alignment.matches[si]
+                .iter()
+                .copied()
+                .map(|ti| {
+                    let shared = alignment
+                        .non_key_cols
+                        .iter()
+                        .filter(|&&c| {
+                            let sv = &source.rows()[si][c];
+                            let tv = alignment.reclaimed_cell(reclaimed, ti, c);
+                            !sv.is_null_like() && sv == tv
+                        })
+                        .count();
+                    (shared, ti)
+                })
+                // max_by_key takes the *last* max; invert index for lowest.
+                .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
+                .map(|(_, ti)| ti)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["ID", "Name", "Age"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(1), V::str("Brown"), V::Int(24)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aligns_by_key_with_multiplicity() {
+        let s = source();
+        let t = Table::build(
+            "T",
+            &["ID", "Name", "Age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Null],
+                vec![V::Int(0), V::Null, V::Int(27)],
+                vec![V::Int(9), V::str("Ghost"), V::Int(1)],
+            ],
+        )
+        .unwrap();
+        let a = align_by_key(&s, &t);
+        assert_eq!(a.matches[0], vec![0, 1]);
+        assert!(a.matches[1].is_empty());
+        assert_eq!(a.keys_found, 1);
+        assert!((a.key_coverage(s.n_rows()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_columns_read_as_null() {
+        let s = source();
+        let t = Table::build("T", &["ID", "Name"], &[], vec![vec![V::Int(1), V::str("Brown")]]).unwrap();
+        let a = align_by_key(&s, &t);
+        assert_eq!(a.column_map, vec![Some(0), Some(1), None]);
+        assert_eq!(a.reclaimed_cell(&t, 0, 2), &V::Null);
+    }
+
+    #[test]
+    fn missing_key_column_aligns_nothing() {
+        let s = source();
+        let t = Table::build("T", &["Name"], &[], vec![vec![V::str("Smith")]]).unwrap();
+        let a = align_by_key(&s, &t);
+        assert_eq!(a.keys_found, 0);
+        assert!(a.matches.iter().all(|m| m.is_empty()));
+    }
+
+    #[test]
+    fn best_row_maximises_shared_values() {
+        let s = source();
+        let t = Table::build(
+            "T",
+            &["ID", "Name", "Age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::Null, V::Null],
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(0), V::str("Smith"), V::Null],
+            ],
+        )
+        .unwrap();
+        let a = align_by_key(&s, &t);
+        let best = best_aligned_rows(&s, &t, &a);
+        assert_eq!(best[0], Some(1));
+        assert_eq!(best[1], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must declare a key")]
+    fn keyless_source_panics() {
+        let s = Table::build("S", &["a"], &[], vec![]).unwrap();
+        let t = Table::build("T", &["a"], &[], vec![]).unwrap();
+        align_by_key(&s, &t);
+    }
+}

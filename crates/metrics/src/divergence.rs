@@ -1,0 +1,224 @@
+//! Divergence measures (§VI-A2 and Appendix E).
+//!
+//! *Instance Divergence* is simply `1 − instance similarity` and captures
+//! missing (nullified) values in the best-aligned tuples.
+//!
+//! *Conditional KL-divergence* (Eq. 11–12) captures erroneous values, with a
+//! penalisation that makes a wrong non-null value cost more than a null:
+//!
+//! ```text
+//! D_KL(Q‖P) = − Σ_{x,k} P(x|k) · log( Q(x|k) · (1 − Q(¬x|k)) / P(x|k) )
+//! D_KL(T)   =   Σ_i D_KL(Q_i‖P_i) / (Q(K) · n)
+//! ```
+//!
+//! Because the Source Table has a key, `P(x|k)` is 1 for the single source
+//! value of each key — the per-key term reduces to
+//! `−log(Q(x_k|k) · (1 − Q(¬x_k|k)))`. `Q` is estimated from the aligned
+//! reclaimed tuples for key `k`; probabilities are clamped to `[ε, 1−ε]`
+//! (configurable, default ε = 1e-3) so that a missing value costs `−log ε`
+//! and an erroneous value costs `≈ −2·log ε` — strictly more, as the paper
+//! requires. The score is `∞` when no source key appears in the reclaimed
+//! table ("naturally approaches ∞", Appendix E).
+
+use crate::align::align_by_key;
+use crate::similarity::instance_similarity;
+use gent_table::{FxHashMap, Table, Value};
+
+/// Configuration for the conditional KL-divergence estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct KlConfig {
+    /// Probability clamp ε.
+    pub epsilon: f64,
+}
+
+impl Default for KlConfig {
+    fn default() -> Self {
+        KlConfig { epsilon: 1e-3 }
+    }
+}
+
+/// Instance Divergence = `1 − instance similarity` (Eq. 2 inverse).
+pub fn instance_divergence(source: &Table, reclaimed: &Table) -> f64 {
+    1.0 - instance_similarity(source, reclaimed)
+}
+
+/// Conditional KL-divergence of a reclaimed table w.r.t. the source
+/// (Eq. 12). Returns `f64::INFINITY` when no source key is found.
+pub fn conditional_kl_divergence(source: &Table, reclaimed: &Table, cfg: &KlConfig) -> f64 {
+    let alignment = align_by_key(source, reclaimed);
+    let n = alignment.non_key_cols.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let q_k = alignment.key_coverage(source.n_rows());
+    if q_k == 0.0 {
+        return f64::INFINITY;
+    }
+    let eps = cfg.epsilon;
+    let clamp = |p: f64| p.clamp(eps, 1.0 - eps);
+    let mut total = 0.0; // Σ_i D_KL(Q_i ‖ P_i)
+    for &col in &alignment.non_key_cols {
+        let mut col_sum = 0.0;
+        let mut keys_with_source_value = 0usize;
+        for (si, matches) in alignment.matches.iter().enumerate() {
+            if matches.is_empty() {
+                continue;
+            }
+            let x_k = &source.rows()[si][col];
+            if x_k.is_null_like() {
+                // No source value to reproduce for this key — conditioning
+                // on x ∈ X of the source column skips it.
+                continue;
+            }
+            keys_with_source_value += 1;
+            // Empirical Q over aligned tuples: frequency of the correct
+            // value, and of contradicting non-null values.
+            let mut counts: FxHashMap<&Value, usize> = FxHashMap::default();
+            for &ti in matches {
+                let tv = alignment.reclaimed_cell(reclaimed, ti, col);
+                *counts.entry(tv).or_insert(0) += 1;
+            }
+            let total_t = matches.len() as f64;
+            let q_correct = counts.get(x_k).copied().unwrap_or(0) as f64 / total_t;
+            let q_wrong = counts
+                .iter()
+                .filter(|(v, _)| !v.is_null_like() && **v != x_k)
+                .map(|(_, c)| *c)
+                .sum::<usize>() as f64
+                / total_t;
+            col_sum += -(clamp(q_correct).ln() + clamp(1.0 - q_wrong).ln());
+        }
+        if keys_with_source_value > 0 {
+            total += col_sum / keys_with_source_value as f64;
+        }
+    }
+    total / (q_k * n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["id", "a", "b"],
+            &["id"],
+            vec![
+                vec![V::Int(1), V::str("x"), V::Int(10)],
+                vec![V::Int(2), V::str("y"), V::Int(20)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn perfect_reclamation_has_zero_ish_dkl() {
+        let s = source();
+        let d = conditional_kl_divergence(&s, &s, &KlConfig::default());
+        assert!(d < 0.01, "d = {d}");
+        assert!(instance_divergence(&s, &s) < 1e-12);
+    }
+
+    #[test]
+    fn nulls_cost_less_than_errors() {
+        let s = source();
+        let nulled = Table::build(
+            "N",
+            &["id", "a", "b"],
+            &[],
+            vec![
+                vec![V::Int(1), V::Null, V::Int(10)],
+                vec![V::Int(2), V::str("y"), V::Int(20)],
+            ],
+        )
+        .unwrap();
+        let wrong = Table::build(
+            "W",
+            &["id", "a", "b"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("WRONG"), V::Int(10)],
+                vec![V::Int(2), V::str("y"), V::Int(20)],
+            ],
+        )
+        .unwrap();
+        let cfg = KlConfig::default();
+        let d_null = conditional_kl_divergence(&s, &nulled, &cfg);
+        let d_wrong = conditional_kl_divergence(&s, &wrong, &cfg);
+        assert!(d_wrong > d_null, "wrong {d_wrong} vs null {d_null}");
+        assert!(d_null > 0.0);
+    }
+
+    #[test]
+    fn no_keys_found_is_infinite() {
+        let s = source();
+        let t = Table::build(
+            "T",
+            &["id", "a", "b"],
+            &[],
+            vec![vec![V::Int(99), V::str("z"), V::Int(0)]],
+        )
+        .unwrap();
+        assert!(conditional_kl_divergence(&s, &t, &KlConfig::default()).is_infinite());
+    }
+
+    #[test]
+    fn partial_key_coverage_scales_up_divergence() {
+        let s = source();
+        // Same per-key quality, half the coverage → larger D_KL.
+        let full = s.clone();
+        let half = Table::build(
+            "H",
+            &["id", "a", "b"],
+            &[],
+            vec![vec![V::Int(1), V::str("x"), V::Int(10)]],
+        )
+        .unwrap();
+        let cfg = KlConfig::default();
+        let d_full = conditional_kl_divergence(&s, &full, &cfg);
+        let d_half = conditional_kl_divergence(&s, &half, &cfg);
+        assert!(d_half > d_full);
+    }
+
+    #[test]
+    fn multiple_aligned_tuples_average() {
+        let s = source();
+        // Two aligned tuples for key 1: one correct, one erroneous — Q is
+        // split, divergence strictly between perfect and fully wrong.
+        let t = Table::build(
+            "T",
+            &["id", "a", "b"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("x"), V::Int(10)],
+                vec![V::Int(1), V::str("BAD"), V::Int(10)],
+                vec![V::Int(2), V::str("y"), V::Int(20)],
+            ],
+        )
+        .unwrap();
+        let cfg = KlConfig::default();
+        let d_mixed = conditional_kl_divergence(&s, &t, &cfg);
+        let d_perfect = conditional_kl_divergence(&s, &s, &cfg);
+        assert!(d_mixed > d_perfect);
+        assert!(d_mixed.is_finite());
+    }
+
+    #[test]
+    fn source_nulls_are_skipped_in_conditioning() {
+        let s = Table::build(
+            "S",
+            &["id", "a"],
+            &["id"],
+            vec![vec![V::Int(1), V::Null]],
+        )
+        .unwrap();
+        // Reclaimed has a value where the source has null — conditioning on
+        // source values skips the cell entirely (Inst-Div / EIS penalise it
+        // instead).
+        let t = Table::build("T", &["id", "a"], &[], vec![vec![V::Int(1), V::str("v")]]).unwrap();
+        let d = conditional_kl_divergence(&s, &t, &KlConfig::default());
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! One-call evaluation bundling every §VI metric — the row format of
+//! Tables II, III and IV.
+
+use crate::divergence::{conditional_kl_divergence, instance_divergence, KlConfig};
+use crate::similarity::{eis, instance_similarity, perfectly_reclaimed};
+use crate::tuplewise::{f1, precision, recall};
+use gent_table::Table;
+
+/// All evaluation metrics for one (source, reclaimed) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodReport {
+    /// Tuple-level recall `|S ∩ Ŝ|/|S|`.
+    pub recall: f64,
+    /// Tuple-level precision `|S ∩ Ŝ|/|Ŝ|`.
+    pub precision: f64,
+    /// Harmonic mean of the two.
+    pub f1: f64,
+    /// Instance Divergence (`1 − Eq. 2`).
+    pub inst_div: f64,
+    /// Conditional KL-divergence (Eq. 12).
+    pub dkl: f64,
+    /// Error-aware instance similarity (Eq. 3).
+    pub eis: f64,
+    /// Plain instance similarity (Eq. 2).
+    pub instance_similarity: f64,
+    /// Whether the reclamation is perfect (all values incl. nulls).
+    pub perfect: bool,
+    /// `|Ŝ| cells / |S| cells` — the output-size ratio of Figure 8b.
+    pub size_ratio: f64,
+}
+
+impl MethodReport {
+    /// A report representing "method produced nothing" (timeout / failure):
+    /// all similarities 0, divergences at their worst.
+    pub fn empty_output() -> Self {
+        MethodReport {
+            recall: 0.0,
+            precision: 0.0,
+            f1: 0.0,
+            inst_div: 1.0,
+            dkl: f64::INFINITY,
+            eis: 0.0,
+            instance_similarity: 0.0,
+            perfect: false,
+            size_ratio: 0.0,
+        }
+    }
+}
+
+/// Evaluate `reclaimed` against `source` on every metric.
+pub fn evaluate(source: &Table, reclaimed: &Table) -> MethodReport {
+    let kl_cfg = KlConfig::default();
+    MethodReport {
+        recall: recall(source, reclaimed),
+        precision: precision(source, reclaimed),
+        f1: f1(source, reclaimed),
+        inst_div: instance_divergence(source, reclaimed),
+        dkl: conditional_kl_divergence(source, reclaimed, &kl_cfg),
+        eis: eis(source, reclaimed),
+        instance_similarity: instance_similarity(source, reclaimed),
+        perfect: perfectly_reclaimed(source, reclaimed),
+        size_ratio: if source.n_cells() == 0 {
+            0.0
+        } else {
+            reclaimed.n_cells() as f64 / source.n_cells() as f64
+        },
+    }
+}
+
+/// Average a slice of reports field-wise (infinite `dkl` values are averaged
+/// as a large sentinel of 1000, mirroring how timeouts are reported
+/// alongside finite runs in the paper's tables).
+pub fn average_reports(reports: &[MethodReport]) -> Option<MethodReport> {
+    if reports.is_empty() {
+        return None;
+    }
+    let n = reports.len() as f64;
+    let cap_dkl = |d: f64| if d.is_finite() { d } else { 1000.0 };
+    Some(MethodReport {
+        recall: reports.iter().map(|r| r.recall).sum::<f64>() / n,
+        precision: reports.iter().map(|r| r.precision).sum::<f64>() / n,
+        f1: reports.iter().map(|r| r.f1).sum::<f64>() / n,
+        inst_div: reports.iter().map(|r| r.inst_div).sum::<f64>() / n,
+        dkl: reports.iter().map(|r| cap_dkl(r.dkl)).sum::<f64>() / n,
+        eis: reports.iter().map(|r| r.eis).sum::<f64>() / n,
+        instance_similarity: reports.iter().map(|r| r.instance_similarity).sum::<f64>() / n,
+        perfect: false,
+        size_ratio: reports.iter().map(|r| r.size_ratio).sum::<f64>() / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    #[test]
+    fn perfect_report() {
+        let s = Table::build(
+            "S",
+            &["id", "x"],
+            &["id"],
+            vec![vec![V::Int(1), V::str("a")]],
+        )
+        .unwrap();
+        let r = evaluate(&s, &s);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.precision, 1.0);
+        assert!(r.perfect);
+        assert!((r.eis - 1.0).abs() < 1e-12);
+        assert!((r.size_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averaging() {
+        let a = MethodReport {
+            recall: 1.0,
+            precision: 0.5,
+            f1: 2.0 / 3.0,
+            inst_div: 0.0,
+            dkl: 1.0,
+            eis: 1.0,
+            instance_similarity: 1.0,
+            perfect: true,
+            size_ratio: 2.0,
+        };
+        let mut b = a;
+        b.recall = 0.0;
+        b.dkl = f64::INFINITY;
+        let avg = average_reports(&[a, b]).unwrap();
+        assert!((avg.recall - 0.5).abs() < 1e-12);
+        assert!((avg.dkl - 500.5).abs() < 1e-9);
+        assert!(average_reports(&[]).is_none());
+    }
+}

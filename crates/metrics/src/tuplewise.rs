@@ -1,0 +1,181 @@
+//! Tuple-level Recall and Precision (§VI-A2).
+//!
+//! Derived from ALITE's Tuple Difference Ratio:
+//! `Rec = |S ∩ Ŝ| / |S|` and `Pre = |S ∩ Ŝ| / |Ŝ|`, where the intersection
+//! is over exact tuples (the reclaimed table's columns are matched to the
+//! source's by name; extra reclaimed columns are ignored, missing ones read
+//! as null). Tables are treated as sets of distinct tuples.
+
+use gent_table::{FxHashSet, Table, Value};
+
+/// Rows of `t` re-expressed in `source`'s column order (missing columns →
+/// null), as a set of distinct tuples.
+fn rows_in_source_layout(source: &Table, t: &Table) -> FxHashSet<Vec<Value>> {
+    let map: Vec<Option<usize>> = source
+        .schema()
+        .columns()
+        .map(|c| t.schema().column_index(c))
+        .collect();
+    t.rows()
+        .iter()
+        .map(|r| {
+            map.iter()
+                .map(|m| match m {
+                    Some(j) => match &r[*j] {
+                        // Labeled nulls are internal bookkeeping; a tuple
+                        // containing one can never equal a source tuple, but
+                        // normalising keeps set sizes honest.
+                        Value::LabeledNull(_) => Value::Null,
+                        v => v.clone(),
+                    },
+                    None => Value::Null,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Number of distinct source tuples that appear exactly in `reclaimed`.
+pub fn tuple_intersection(source: &Table, reclaimed: &Table) -> usize {
+    let s_rows: FxHashSet<Vec<Value>> = source.rows().iter().cloned().collect();
+    let t_rows = rows_in_source_layout(source, reclaimed);
+    s_rows.iter().filter(|r| t_rows.contains(*r)).count()
+}
+
+/// `Rec = |S ∩ Ŝ| / |S|` over distinct tuples.
+pub fn recall(source: &Table, reclaimed: &Table) -> f64 {
+    let s_distinct: FxHashSet<&[Value]> = source.row_set();
+    if s_distinct.is_empty() {
+        return 0.0;
+    }
+    tuple_intersection(source, reclaimed) as f64 / s_distinct.len() as f64
+}
+
+/// `Pre = |S ∩ Ŝ| / |Ŝ|` over distinct tuples. An empty reclaimed table has
+/// precision 0 by convention.
+pub fn precision(source: &Table, reclaimed: &Table) -> f64 {
+    let t_rows = rows_in_source_layout(source, reclaimed);
+    if t_rows.is_empty() {
+        return 0.0;
+    }
+    tuple_intersection(source, reclaimed) as f64 / t_rows.len() as f64
+}
+
+/// Harmonic mean of recall and precision (Figure 9c).
+pub fn f1(source: &Table, reclaimed: &Table) -> f64 {
+    let r = recall(source, reclaimed);
+    let p = precision(source, reclaimed);
+    if r + p == 0.0 {
+        0.0
+    } else {
+        2.0 * r * p / (r + p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["id", "x"],
+            &["id"],
+            vec![
+                vec![V::Int(1), V::str("a")],
+                vec![V::Int(2), V::str("b")],
+                vec![V::Int(3), V::str("c")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_copy_scores_one() {
+        let s = source();
+        assert_eq!(recall(&s, &s), 1.0);
+        assert_eq!(precision(&s, &s), 1.0);
+        assert_eq!(f1(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn extra_tuples_hurt_precision_not_recall() {
+        let s = source();
+        let mut t = s.clone();
+        t.push_row(vec![V::Int(4), V::str("d")]).unwrap();
+        assert_eq!(recall(&s, &t), 1.0);
+        assert!((precision(&s, &t) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_tuples_hurt_recall() {
+        let s = source();
+        let t = Table::build("T", &["id", "x"], &[], vec![vec![V::Int(1), V::str("a")]]).unwrap();
+        assert!((recall(&s, &t) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision(&s, &t), 1.0);
+    }
+
+    #[test]
+    fn column_order_is_irrelevant() {
+        let s = source();
+        let t = Table::build(
+            "T",
+            &["x", "id"],
+            &[],
+            vec![vec![V::str("a"), V::Int(1)], vec![V::str("b"), V::Int(2)]],
+        )
+        .unwrap();
+        assert!((recall(&s, &t) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision(&s, &t), 1.0);
+    }
+
+    #[test]
+    fn near_miss_values_do_not_count() {
+        let s = source();
+        let t = Table::build("T", &["id", "x"], &[], vec![vec![V::Int(1), V::str("A")]]).unwrap();
+        assert_eq!(recall(&s, &t), 0.0);
+        assert_eq!(precision(&s, &t), 0.0);
+        assert_eq!(f1(&s, &t), 0.0);
+    }
+
+    #[test]
+    fn duplicates_in_reclaimed_are_collapsed() {
+        let s = source();
+        let t = Table::build(
+            "T",
+            &["id", "x"],
+            &[],
+            vec![vec![V::Int(1), V::str("a")]; 5],
+        )
+        .unwrap();
+        assert_eq!(precision(&s, &t), 1.0); // 5 copies of one correct tuple
+    }
+
+    #[test]
+    fn empty_reclaimed() {
+        let s = source();
+        let t = Table::build("T", &["id", "x"], &[], vec![]).unwrap();
+        assert_eq!(recall(&s, &t), 0.0);
+        assert_eq!(precision(&s, &t), 0.0);
+    }
+
+    #[test]
+    fn labeled_nulls_normalise_to_null() {
+        let s = Table::build(
+            "S",
+            &["id", "x"],
+            &["id"],
+            vec![vec![V::Int(1), V::Null]],
+        )
+        .unwrap();
+        let t = Table::build(
+            "T",
+            &["id", "x"],
+            &[],
+            vec![vec![V::Int(1), V::LabeledNull(7)]],
+        )
+        .unwrap();
+        assert_eq!(recall(&s, &t), 1.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests on the similarity/divergence measures: boundedness, the
+//! identities the definitions imply, and the error-penalty behaviour that
+//! motivates EIS over plain instance similarity (Example 6 of the paper).
+
+use gent_metrics::{
+    eis, evaluate, f1, instance_divergence, instance_similarity, perfectly_reclaimed, precision,
+    recall,
+};
+use gent_table::{Table, Value};
+use proptest::prelude::*;
+
+/// A non-key cell: null sometimes, else a small int.
+fn cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        5 => (0i64..6).prop_map(Value::Int),
+    ]
+}
+
+/// A keyed source table (unique int key "k") with 2 value columns.
+fn keyed_source() -> impl Strategy<Value = Table> {
+    (
+        proptest::sample::subsequence((0..15i64).collect::<Vec<_>>(), 1..=8),
+        proptest::collection::vec(proptest::collection::vec(cell(), 2), 8),
+    )
+        .prop_map(|(keys, cells)| {
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, c)| {
+                    let mut r = vec![Value::Int(*k)];
+                    r.extend(c.iter().cloned());
+                    r
+                })
+                .collect();
+            Table::build("S", &["k", "a", "b"], &["k"], rows).unwrap()
+        })
+}
+
+/// A "reclaimed" table derived from the source by dropping/nulling some
+/// cells and rows — the well-behaved (error-free) degradation.
+fn degraded(source: &Table, drop_mask: &[bool], null_mask: &[(bool, bool)]) -> Table {
+    let mut rows = Vec::new();
+    for (i, row) in source.rows().iter().enumerate() {
+        if *drop_mask.get(i).unwrap_or(&false) {
+            continue;
+        }
+        let (na, nb) = null_mask.get(i).copied().unwrap_or((false, false));
+        let mut r = row.clone();
+        if na {
+            r[1] = Value::Null;
+        }
+        if nb {
+            r[2] = Value::Null;
+        }
+        rows.push(r);
+    }
+    Table::build("R", &["k", "a", "b"], &[], rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Self-reclamation is perfect: EIS = 1, recall = precision = 1. Plain
+    /// instance similarity (Eq. 2) does *not* count correctly-preserved
+    /// nulls (the paper's Example 6 scores Ŝ2's first tuple 2/4 under
+    /// Eq. 2 but 3/4 under EIS), so for the identity it equals the average
+    /// fraction of non-null non-key cells instead of 1.
+    #[test]
+    fn identity_is_perfect(s in keyed_source()) {
+        let r = {
+            let mut t = s.clone();
+            t.set_name("R");
+            t
+        };
+        prop_assert!((eis(&s, &r) - 1.0).abs() < 1e-9);
+        prop_assert!((recall(&s, &r) - 1.0).abs() < 1e-9);
+        prop_assert!((precision(&s, &r) - 1.0).abs() < 1e-9);
+        prop_assert!(perfectly_reclaimed(&s, &r));
+        let rep = evaluate(&s, &r);
+        prop_assert!(rep.perfect);
+
+        // Eq. 2 on the identity = avg fraction of non-null non-key cells.
+        let n = 2.0;
+        let expected: f64 = s
+            .rows()
+            .iter()
+            .map(|row| row[1..].iter().filter(|v| !v.is_null_like()).count() as f64 / n)
+            .sum::<f64>()
+            / s.n_rows() as f64;
+        prop_assert!((instance_similarity(&s, &r) - expected).abs() < 1e-9);
+        prop_assert!((instance_divergence(&s, &r) - (1.0 - expected)).abs() < 1e-9);
+    }
+
+    /// All measures stay in their documented ranges on degraded tables.
+    #[test]
+    fn measures_are_bounded(
+        s in keyed_source(),
+        drops in proptest::collection::vec(any::<bool>(), 8),
+        nulls in proptest::collection::vec((any::<bool>(), any::<bool>()), 8),
+    ) {
+        let r = degraded(&s, &drops, &nulls);
+        for v in [eis(&s, &r), instance_similarity(&s, &r), recall(&s, &r), precision(&s, &r), f1(&s, &r)] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "out of range: {v}");
+        }
+        let d = instance_divergence(&s, &r);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d));
+        // Instance divergence is 1 − instance similarity by definition.
+        prop_assert!((d - (1.0 - instance_similarity(&s, &r))).abs() < 1e-9);
+    }
+
+    /// Without erroneous values and with every key aligned,
+    /// `EIS = 0.5·(1 + Eq.2-similarity + both-null fraction)`: the two
+    /// measures differ exactly by the correctly-preserved nulls that EIS
+    /// credits (Example 6) and Eq. 2 ignores.
+    #[test]
+    fn eis_decomposes_into_sim_plus_preserved_nulls(
+        s in keyed_source(),
+        nulls in proptest::collection::vec((any::<bool>(), any::<bool>()), 8),
+    ) {
+        let r = degraded(&s, &[], &nulls); // keep all rows, only nullify
+        // Fraction of non-key cells where source and reclamation are both
+        // null, averaged over rows (rows align 1:1 here by construction).
+        let n = 2.0;
+        let both_null: f64 = s
+            .rows()
+            .iter()
+            .zip(r.rows().iter())
+            .map(|(srow, rrow)| {
+                srow[1..]
+                    .iter()
+                    .zip(rrow[1..].iter())
+                    .filter(|(sv, rv)| sv.is_null_like() && rv.is_null_like())
+                    .count() as f64
+                    / n
+            })
+            .sum::<f64>()
+            / s.n_rows() as f64;
+        let lhs = eis(&s, &r);
+        let rhs = 0.5 * (1.0 + instance_similarity(&s, &r) + both_null);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "eis {lhs} vs {rhs}");
+    }
+
+    /// Example 6's motivation: a wrong value is worse than a null under
+    /// EIS, but *not* under plain instance similarity.
+    #[test]
+    fn errors_cost_more_than_nulls(s in keyed_source(), row in 0usize..8) {
+        prop_assume!(row < s.n_rows());
+        // Only meaningful when the chosen source cell is non-null.
+        prop_assume!(!s.rows()[row][1].is_null());
+
+        let mut nulled = s.clone();
+        let mut wronged = s.clone();
+        let mut nrows = nulled.rows().to_vec();
+        nrows[row][1] = Value::Null;
+        let mut wrows = wronged.rows().to_vec();
+        wrows[row][1] = Value::Int(999); // never generated → guaranteed wrong
+        nulled = Table::build("N", &["k", "a", "b"], &[], nrows).unwrap();
+        wronged = Table::build("W", &["k", "a", "b"], &[], wrows).unwrap();
+
+        prop_assert!(eis(&s, &nulled) > eis(&s, &wronged));
+        prop_assert!(
+            (instance_similarity(&s, &nulled) - instance_similarity(&s, &wronged)).abs() < 1e-9
+        );
+    }
+
+    /// Dropping tuples can only lower recall; precision of a subset of the
+    /// source stays 1.
+    #[test]
+    fn subset_has_perfect_precision(
+        s in keyed_source(),
+        drops in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let r = degraded(&s, &drops, &[]);
+        if r.n_rows() > 0 {
+            prop_assert!((precision(&s, &r) - 1.0).abs() < 1e-9);
+        }
+        prop_assert!(recall(&s, &r) <= 1.0 + 1e-12);
+        let expected_recall = r.n_rows() as f64 / s.n_rows() as f64;
+        prop_assert!((recall(&s, &r) - expected_recall).abs() < 1e-9);
+    }
+
+    /// The aggregate report is internally consistent.
+    #[test]
+    fn report_is_consistent(
+        s in keyed_source(),
+        drops in proptest::collection::vec(any::<bool>(), 8),
+        nulls in proptest::collection::vec((any::<bool>(), any::<bool>()), 8),
+    ) {
+        let r = degraded(&s, &drops, &nulls);
+        let rep = evaluate(&s, &r);
+        prop_assert!((rep.eis - eis(&s, &r)).abs() < 1e-9);
+        prop_assert!((rep.recall - recall(&s, &r)).abs() < 1e-9);
+        prop_assert!((rep.precision - precision(&s, &r)).abs() < 1e-9);
+        prop_assert!((rep.inst_div - instance_divergence(&s, &r)).abs() < 1e-9);
+        prop_assert_eq!(rep.perfect, perfectly_reclaimed(&s, &r));
+        if rep.recall + rep.precision > 0.0 {
+            let expect_f1 = 2.0 * rep.recall * rep.precision / (rep.recall + rep.precision);
+            prop_assert!((rep.f1 - expect_f1).abs() < 1e-9);
+        }
+    }
+
+    /// EIS never rewards extra junk tuples: appending unaligned tuples
+    /// (fresh keys) leaves EIS unchanged.
+    #[test]
+    fn unaligned_tuples_do_not_change_eis(s in keyed_source()) {
+        let r = {
+            let mut t = s.clone();
+            t.set_name("R");
+            t
+        };
+        let base = eis(&s, &r);
+        let mut rows = r.rows().to_vec();
+        rows.push(vec![Value::Int(999), Value::Int(1), Value::Int(2)]);
+        let noisy = Table::build("R2", &["k", "a", "b"], &[], rows).unwrap();
+        prop_assert!((eis(&s, &noisy) - base).abs() < 1e-9);
+        // But precision drops.
+        prop_assert!(precision(&s, &noisy) < 1.0);
+    }
+}

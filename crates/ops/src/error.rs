@@ -1,0 +1,45 @@
+//! Errors for the operator algebra.
+
+use gent_table::TableError;
+use std::fmt;
+
+/// Errors produced by integration operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpError {
+    /// Underlying table error (bad column, arity, …).
+    Table(TableError),
+    /// A join/union was attempted between tables with no common columns
+    /// where the operator requires them.
+    NoCommonColumns {
+        /// Left table name.
+        left: String,
+        /// Right table name.
+        right: String,
+    },
+    /// A work budget (tuple count or deadline) was exhausted. Mirrors the
+    /// paper's experiment timeouts for ALITE/Auto-Pipeline on large lakes.
+    BudgetExhausted {
+        /// Human-readable description of the exceeded budget.
+        what: String,
+    },
+}
+
+impl fmt::Display for OpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpError::Table(e) => write!(f, "table error: {e}"),
+            OpError::NoCommonColumns { left, right } => {
+                write!(f, "tables `{left}` and `{right}` share no columns")
+            }
+            OpError::BudgetExhausted { what } => write!(f, "work budget exhausted: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OpError {}
+
+impl From<TableError> for OpError {
+    fn from(e: TableError) -> Self {
+        OpError::Table(e)
+    }
+}

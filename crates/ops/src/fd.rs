@@ -1,0 +1,299 @@
+//! Full disjunction (FD) — the integration primitive of ALITE.
+//!
+//! Full disjunction (Galindo-Legaria, SIGMOD 1994) is the commutative,
+//! associative generalisation of the full outer join to n tables: it
+//! maximally combines join-consistent tuples across all input tables. ALITE
+//! (Khatiwada et al., VLDB 2022) integrates data-lake tables by computing
+//! their FD; the paper uses ALITE as its main integration baseline, and
+//! observes that FD "is exponential in time and times out for the last two
+//! benchmarks" (§VI-C). We therefore implement FD with an explicit
+//! [`FdBudget`] so the experiment harness can reproduce those timeouts
+//! deterministically instead of hanging.
+//!
+//! The algorithm here mirrors ALITE's outer-union-then-combine approach:
+//!
+//! 1. outer union all tables (labeled nulls distinguish "missing because the
+//!    table lacked the column" cells when requested),
+//! 2. saturate under *complement-merge*: for every pair of tuples that agree
+//!    on all mutually non-null attributes and share at least one equal
+//!    non-null value, add their merge (keeping the originals — unlike κ,
+//!    which replaces; FD must retain every maximal combination),
+//! 3. apply subsumption β to keep only maximal tuples.
+
+use crate::error::OpError;
+use crate::unary::{merge_tuples, subsumption};
+use crate::union::outer_union_all;
+use gent_table::{FxHashSet, Table, Value};
+use std::time::Instant;
+
+/// Work budget for full disjunction.
+#[derive(Debug, Clone)]
+pub struct FdBudget {
+    /// Maximum number of distinct tuples the saturation may materialise.
+    pub max_tuples: usize,
+    /// Wall-clock deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for FdBudget {
+    fn default() -> Self {
+        FdBudget { max_tuples: 200_000, deadline: None }
+    }
+}
+
+impl FdBudget {
+    /// Budget with a tuple cap only.
+    pub fn with_max_tuples(max_tuples: usize) -> Self {
+        FdBudget { max_tuples, deadline: None }
+    }
+
+    fn check(&self, tuples: usize) -> Result<(), OpError> {
+        if tuples > self.max_tuples {
+            return Err(OpError::BudgetExhausted {
+                what: format!("full disjunction exceeded {} tuples", self.max_tuples),
+            });
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(OpError::BudgetExhausted {
+                    what: "full disjunction deadline reached".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Two tuples are *join-consistent with overlap*: agree on all mutually
+/// non-null attributes and share ≥ 1 equal non-null value.
+#[inline]
+fn joinable(a: &[Value], b: &[Value]) -> bool {
+    let mut shared = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if let (false, false) = (x.is_null(), y.is_null()) {
+            if x != y {
+                return false;
+            }
+            shared = true;
+        }
+    }
+    shared
+}
+
+/// Does the merge add information over both parents? (Otherwise one parent
+/// subsumes the other and β will handle it.)
+#[inline]
+fn merge_is_new(a: &[Value], b: &[Value]) -> bool {
+    let mut a_fills = false;
+    let mut b_fills = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        match (x.is_null(), y.is_null()) {
+            (false, true) => a_fills = true,
+            (true, false) => b_fills = true,
+            _ => {}
+        }
+    }
+    a_fills && b_fills
+}
+
+/// κ* — *saturating* complementation: add the merge of every joinable pair
+/// while keeping the originals, to a fixpoint.
+///
+/// This differs from the κ operator of `unary` (which *replaces* the pair by
+/// the merge, as Algorithm 2's `TakeMinimalForm` requires). The lemma proofs
+/// of Appendix A implicitly use this saturating form — with replacement
+/// semantics, e.g. the cross-product equivalence of Lemma 15 would drop
+/// tuples as soon as either input has more than one row. The Theorem 8
+/// property tests exercise the lemmas against κ*.
+pub fn saturating_complementation(t: &Table, budget: &FdBudget) -> Result<Table, OpError> {
+    let mut tuples: Vec<Vec<Value>> = Vec::new();
+    let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+    for row in t.rows() {
+        if seen.insert(row.clone()) {
+            tuples.push(row.clone());
+        }
+    }
+    budget.check(tuples.len())?;
+    // Work-list of tuple indices whose pairings are unexplored.
+    let mut frontier: Vec<usize> = (0..tuples.len()).collect();
+    let mut scanned: u64 = 0;
+    while let Some(i) = frontier.pop() {
+        let mut j = 0;
+        while j < tuples.len() {
+            // The pairwise scan is quadratic even when nothing merges —
+            // check the deadline periodically, not just on growth.
+            scanned += 1;
+            if scanned.is_multiple_of(65_536) {
+                budget.check(tuples.len())?;
+            }
+            if j != i && joinable(&tuples[i], &tuples[j]) && merge_is_new(&tuples[i], &tuples[j]) {
+                let merged = merge_tuples(&tuples[i], &tuples[j]);
+                if seen.insert(merged.clone()) {
+                    tuples.push(merged);
+                    frontier.push(tuples.len() - 1);
+                    budget.check(tuples.len())?;
+                }
+            }
+            j += 1;
+        }
+    }
+    Ok(Table::from_rows(t.name(), t.schema().clone(), tuples).expect("schema fixed"))
+}
+
+/// Compute the full disjunction of `tables` under `budget`:
+/// `β(κ*(T1 ⊎ … ⊎ Tn))`.
+///
+/// Returns `Ok(None)` for an empty input. Exceeding the budget returns
+/// [`OpError::BudgetExhausted`] — the harness reports this as a timeout, as
+/// the paper does for ALITE on TP-TR Large.
+pub fn full_disjunction(tables: &[Table], budget: &FdBudget) -> Result<Option<Table>, OpError> {
+    let base = match outer_union_all(tables)? {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    let saturated = saturating_complementation(&base, budget)?;
+    Ok(Some(subsumption(&saturated)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    /// The paper's Figure 3: FD(A, B, C, D) over the applicant tables.
+    fn paper_tables() -> Vec<Table> {
+        let a = Table::build(
+            "A",
+            &["ID", "Name", "Education Level"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Null],
+                vec![V::Int(2), V::str("Wang"), V::str("High School")],
+            ],
+        )
+        .unwrap();
+        let b = Table::build(
+            "B",
+            &["Name", "Age"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::Int(27)],
+                vec![V::str("Brown"), V::Int(24)],
+                vec![V::str("Wang"), V::Int(32)],
+            ],
+        )
+        .unwrap();
+        let c = Table::build(
+            "C",
+            &["Name", "Gender"],
+            &[],
+            vec![
+                vec![V::str("Smith"), V::str("Male")],
+                vec![V::str("Brown"), V::str("Male")],
+                vec![V::str("Wang"), V::str("Male")],
+            ],
+        )
+        .unwrap();
+        let d = Table::build(
+            "D",
+            &["ID", "Name", "Age", "Gender", "Education Level"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
+                vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
+                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::Null],
+            ],
+        )
+        .unwrap();
+        vec![a, b, c, d]
+    }
+
+    #[test]
+    fn fd_of_paper_figure3() {
+        // Figure 3 shows FD(A,B,C,D) producing 4 tuples: Smith and Brown
+        // fully merged, and Wang split because C says Male while D says
+        // Female.
+        let fd = full_disjunction(&paper_tables(), &FdBudget::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(fd.n_rows(), 4);
+        let id = fd.schema().column_index("ID").unwrap();
+        let gender = fd.schema().column_index("Gender").unwrap();
+        let edu = fd.schema().column_index("Education Level").unwrap();
+        let wang_rows: Vec<_> = fd
+            .rows()
+            .iter()
+            .filter(|r| r[id] == V::Int(2) || r.iter().any(|v| *v == V::str("Wang")))
+            .collect();
+        assert_eq!(wang_rows.len(), 2);
+        let genders: FxHashSet<&V> = wang_rows.iter().map(|r| &r[gender]).collect();
+        assert!(genders.contains(&V::str("Male")));
+        assert!(genders.contains(&V::str("Female")));
+        // Smith merged to a single full tuple with Male + Bachelors.
+        let smith: Vec<_> = fd
+            .rows()
+            .iter()
+            .filter(|r| r.iter().any(|v| *v == V::str("Smith")))
+            .collect();
+        assert_eq!(smith.len(), 1);
+        assert_eq!(smith[0][gender], V::str("Male"));
+        assert_eq!(smith[0][edu], V::str("Bachelors"));
+    }
+
+    #[test]
+    fn fd_empty_input() {
+        assert!(full_disjunction(&[], &FdBudget::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn fd_single_table_is_minimalised_identity() {
+        let t = Table::build(
+            "t",
+            &["a", "b"],
+            &[],
+            vec![vec![V::Int(1), V::Int(2)], vec![V::Int(1), V::Int(2)]],
+        )
+        .unwrap();
+        let fd = full_disjunction(&[t], &FdBudget::default()).unwrap().unwrap();
+        assert_eq!(fd.n_rows(), 1);
+    }
+
+    #[test]
+    fn fd_budget_exhaustion() {
+        // Many mutually joinable sparse tuples blow up the saturation.
+        let mut rows = Vec::new();
+        for i in 0..12 {
+            let mut r = vec![V::Null; 13];
+            r[0] = V::Int(1); // shared anchor
+            r[i + 1] = V::Int(i as i64 + 10);
+            rows.push(r);
+        }
+        let cols: Vec<String> = (0..13).map(|i| format!("c{i}")).collect();
+        let t = Table::build("t", &cols, &[], rows).unwrap();
+        let res = full_disjunction(&[t], &FdBudget::with_max_tuples(100));
+        assert!(matches!(res, Err(OpError::BudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn fd_is_order_insensitive() {
+        let tables = paper_tables();
+        let fd1 = full_disjunction(&tables, &FdBudget::default()).unwrap().unwrap();
+        let rev: Vec<Table> = tables.into_iter().rev().collect();
+        let fd2 = full_disjunction(&rev, &FdBudget::default()).unwrap().unwrap();
+        assert_eq!(fd1.n_rows(), fd2.n_rows());
+        // Compare as sets after remapping fd2's columns to fd1's order.
+        let map: Vec<usize> = fd1
+            .schema()
+            .columns()
+            .map(|c| fd2.schema().column_index(c).unwrap())
+            .collect();
+        let set1: FxHashSet<Vec<V>> = fd1.rows().iter().cloned().collect();
+        let set2: FxHashSet<Vec<V>> = fd2
+            .rows()
+            .iter()
+            .map(|r| map.iter().map(|&j| r[j].clone()).collect())
+            .collect();
+        assert_eq!(set1, set2);
+    }
+}

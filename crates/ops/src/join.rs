@@ -1,0 +1,331 @@
+//! Binary join operators: natural inner join, left join, full outer join,
+//! and cross product.
+//!
+//! Joins are *natural*: the join columns are the columns the two schemas
+//! share by name (Gen-T renames candidate columns to source column names
+//! during discovery, so name-sharing is meaningful). Null join keys never
+//! match, as in SQL. These operators are used by `Expand` (joining keyless
+//! candidates onto key-carrying ones), by the Auto-Pipeline*/Ver baselines,
+//! and by the property tests of Theorem 8's lemmas (Appendix A):
+//!
+//! * Lemma 12: `T1 ⋈ T2  =  σ(T1.C = T2.C ≠ ⊥, β(κ(T1 ⊎ T2)))`
+//! * Lemma 13: `T1 ⟕ T2  =  β((T1 ⋈ T2) ⊎ T1)`
+//! * Lemma 14: `T1 ⟗ T2  =  β(β((T1 ⋈ T2) ⊎ T1) ⊎ T2)`
+//! * Lemma 15: `T1 × T2  =  κ(π((T1.C, c), T1) ⊎ π((T2.C, c), T2))`
+
+use crate::error::OpError;
+use crate::unary::group_by_columns;
+use gent_table::{Schema, Table, Value};
+
+/// The column layout of a join result: the output schema, the common column
+/// indices in the left table, the common column indices in the right table,
+/// and the right table's extra (non-common) column indices.
+type JoinLayout = (Schema, Vec<usize>, Vec<usize>, Vec<usize>);
+
+/// The column layout of a join result: all of `left`'s columns followed by
+/// `right`'s non-common columns.
+fn join_layout(left: &Table, right: &Table) -> Result<JoinLayout, OpError> {
+    let common = left.schema().common_columns(right.schema());
+    if common.is_empty() {
+        return Err(OpError::NoCommonColumns {
+            left: left.name().to_string(),
+            right: right.name().to_string(),
+        });
+    }
+    let lcols: Vec<usize> = common
+        .iter()
+        .map(|c| left.schema().column_index(c).expect("common"))
+        .collect();
+    let rcols: Vec<usize> = common
+        .iter()
+        .map(|c| right.schema().column_index(c).expect("common"))
+        .collect();
+    let rextra: Vec<usize> = (0..right.n_cols())
+        .filter(|j| !rcols.contains(j))
+        .collect();
+    let mut names: Vec<String> = left.schema().columns().map(str::to_string).collect();
+    for &j in &rextra {
+        names.push(right.schema().column_name(j).expect("in range").to_string());
+    }
+    let schema = Schema::new(names.iter().map(|s| s.as_str()))?;
+    Ok((schema, lcols, rcols, rextra))
+}
+
+/// Build one joined row from a left row and a right row.
+fn joined_row(lrow: &[Value], rrow: &[Value], rextra: &[usize]) -> Vec<Value> {
+    let mut row = Vec::with_capacity(lrow.len() + rextra.len());
+    row.extend_from_slice(lrow);
+    for &j in rextra {
+        row.push(rrow[j].clone());
+    }
+    row
+}
+
+/// A left row padded with nulls for the right side (outer-join dangling row).
+fn dangling_left(lrow: &[Value], extra: usize) -> Vec<Value> {
+    let mut row = Vec::with_capacity(lrow.len() + extra);
+    row.extend_from_slice(lrow);
+    row.extend(std::iter::repeat_n(Value::Null, extra));
+    row
+}
+
+/// A right row padded with nulls for the left side, with the common columns
+/// filled from the right row.
+fn dangling_right(
+    rrow: &[Value],
+    left_cols: usize,
+    lcols: &[usize],
+    rcols: &[usize],
+    rextra: &[usize],
+) -> Vec<Value> {
+    let mut row = vec![Value::Null; left_cols + rextra.len()];
+    for (li, ri) in lcols.iter().zip(rcols.iter()) {
+        row[*li] = rrow[*ri].clone();
+    }
+    for (k, &j) in rextra.iter().enumerate() {
+        row[left_cols + k] = rrow[j].clone();
+    }
+    row
+}
+
+/// Natural inner join (⋈) on the common columns.
+pub fn inner_join(left: &Table, right: &Table) -> Result<Table, OpError> {
+    let (schema, lcols, rcols, rextra) = join_layout(left, right)?;
+    let rindex = group_by_columns(right, &rcols);
+    let mut out = Table::new(format!("{}⋈{}", left.name(), right.name()), schema);
+    for lrow in left.rows() {
+        let mut key = Vec::with_capacity(lcols.len());
+        let mut has_null = false;
+        for &c in &lcols {
+            if lrow[c].is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(&lrow[c]);
+        }
+        if has_null {
+            continue;
+        }
+        if let Some(matches) = rindex.get(&key) {
+            for &ri in matches {
+                out.push_row(joined_row(lrow, &right.rows()[ri], &rextra))
+                    .expect("layout fixed");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Natural left (outer) join (⟕): inner join plus dangling left rows padded
+/// with nulls.
+pub fn left_join(left: &Table, right: &Table) -> Result<Table, OpError> {
+    let (schema, lcols, rcols, rextra) = join_layout(left, right)?;
+    let rindex = group_by_columns(right, &rcols);
+    let mut out = Table::new(format!("{}⟕{}", left.name(), right.name()), schema);
+    for lrow in left.rows() {
+        let mut key = Vec::with_capacity(lcols.len());
+        let mut has_null = false;
+        for &c in &lcols {
+            if lrow[c].is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(&lrow[c]);
+        }
+        let matches = if has_null { None } else { rindex.get(&key) };
+        match matches {
+            Some(ms) if !ms.is_empty() => {
+                for &ri in ms {
+                    out.push_row(joined_row(lrow, &right.rows()[ri], &rextra))
+                        .expect("layout fixed");
+                }
+            }
+            _ => out
+                .push_row(dangling_left(lrow, rextra.len()))
+                .expect("layout fixed"),
+        }
+    }
+    Ok(out)
+}
+
+/// Natural full outer join (⟗): inner join plus dangling rows from both
+/// sides.
+pub fn full_outer_join(left: &Table, right: &Table) -> Result<Table, OpError> {
+    let (schema, lcols, rcols, rextra) = join_layout(left, right)?;
+    let rindex = group_by_columns(right, &rcols);
+    let mut matched_right: Vec<bool> = vec![false; right.n_rows()];
+    let mut out = Table::new(format!("{}⟗{}", left.name(), right.name()), schema);
+    for lrow in left.rows() {
+        let mut key = Vec::with_capacity(lcols.len());
+        let mut has_null = false;
+        for &c in &lcols {
+            if lrow[c].is_null() {
+                has_null = true;
+                break;
+            }
+            key.push(&lrow[c]);
+        }
+        let matches = if has_null { None } else { rindex.get(&key) };
+        match matches {
+            Some(ms) if !ms.is_empty() => {
+                for &ri in ms {
+                    matched_right[ri] = true;
+                    out.push_row(joined_row(lrow, &right.rows()[ri], &rextra))
+                        .expect("layout fixed");
+                }
+            }
+            _ => out
+                .push_row(dangling_left(lrow, rextra.len()))
+                .expect("layout fixed"),
+        }
+    }
+    for (ri, rrow) in right.rows().iter().enumerate() {
+        if !matched_right[ri] {
+            out.push_row(dangling_right(rrow, left.n_cols(), &lcols, &rcols, &rextra))
+                .expect("layout fixed");
+        }
+    }
+    Ok(out)
+}
+
+/// Cross product (×). The tables must share no columns; result columns are
+/// left's then right's.
+pub fn cross_product(left: &Table, right: &Table) -> Result<Table, OpError> {
+    let common = left.schema().common_columns(right.schema());
+    if !common.is_empty() {
+        return Err(OpError::Table(gent_table::TableError::DuplicateColumn(
+            common[0].to_string(),
+        )));
+    }
+    let names: Vec<String> = left
+        .schema()
+        .columns()
+        .chain(right.schema().columns())
+        .map(str::to_string)
+        .collect();
+    let schema = Schema::new(names.iter().map(|s| s.as_str()))?;
+    let mut out = Table::new(format!("{}×{}", left.name(), right.name()), schema);
+    for lrow in left.rows() {
+        for rrow in right.rows() {
+            let mut row = Vec::with_capacity(lrow.len() + rrow.len());
+            row.extend_from_slice(lrow);
+            row.extend_from_slice(rrow);
+            out.push_row(row).expect("layout fixed");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn left() -> Table {
+        Table::build(
+            "L",
+            &["id", "name"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("a")],
+                vec![V::Int(2), V::str("b")],
+                vec![V::Null, V::str("n")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn right() -> Table {
+        Table::build(
+            "R",
+            &["id", "score"],
+            &[],
+            vec![
+                vec![V::Int(1), V::Int(10)],
+                vec![V::Int(1), V::Int(11)],
+                vec![V::Int(3), V::Int(30)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches_and_skips_nulls() {
+        let j = inner_join(&left(), &right()).unwrap();
+        assert_eq!(j.n_rows(), 2); // id=1 matches twice; null id never joins
+        assert_eq!(
+            j.schema().columns().collect::<Vec<_>>(),
+            vec!["id", "name", "score"]
+        );
+        let mut scores: Vec<&V> = j.rows().iter().map(|r| &r[2]).collect();
+        scores.sort();
+        assert_eq!(scores, vec![&V::Int(10), &V::Int(11)]);
+    }
+
+    #[test]
+    fn no_common_columns_is_error() {
+        let a = Table::build("a", &["x"], &[], vec![]).unwrap();
+        let b = Table::build("b", &["y"], &[], vec![]).unwrap();
+        assert!(matches!(
+            inner_join(&a, &b),
+            Err(OpError::NoCommonColumns { .. })
+        ));
+    }
+
+    #[test]
+    fn left_join_keeps_dangling() {
+        let j = left_join(&left(), &right()).unwrap();
+        assert_eq!(j.n_rows(), 4); // 2 matches + dangling id=2 + dangling null-id
+        let dangling: Vec<_> = j.rows().iter().filter(|r| r[2].is_null()).collect();
+        assert_eq!(dangling.len(), 2);
+    }
+
+    #[test]
+    fn full_outer_join_keeps_both_sides() {
+        let j = full_outer_join(&left(), &right()).unwrap();
+        assert_eq!(j.n_rows(), 5); // 2 matched + 2 left-dangling + 1 right-dangling
+        let right_dangling: Vec<_> = j
+            .rows()
+            .iter()
+            .filter(|r| r[1].is_null() && !r[0].is_null())
+            .collect();
+        assert_eq!(right_dangling.len(), 1);
+        assert_eq!(right_dangling[0][0], V::Int(3));
+        assert_eq!(right_dangling[0][2], V::Int(30));
+    }
+
+    #[test]
+    fn cross_product_sizes() {
+        let a = Table::build("a", &["x"], &[], vec![vec![V::Int(1)], vec![V::Int(2)]]).unwrap();
+        let b = Table::build("b", &["y"], &[], vec![vec![V::str("u")]; 3]).unwrap();
+        let c = cross_product(&a, &b).unwrap();
+        assert_eq!(c.n_rows(), 6);
+        assert_eq!(c.n_cols(), 2);
+        assert!(cross_product(&a, &a).is_err());
+    }
+
+    #[test]
+    fn composite_join_keys() {
+        let a = Table::build(
+            "a",
+            &["k1", "k2", "v"],
+            &[],
+            vec![
+                vec![V::Int(1), V::Int(1), V::str("x")],
+                vec![V::Int(1), V::Int(2), V::str("y")],
+            ],
+        )
+        .unwrap();
+        let b = Table::build(
+            "b",
+            &["k1", "k2", "w"],
+            &[],
+            vec![vec![V::Int(1), V::Int(2), V::str("z")]],
+        )
+        .unwrap();
+        let j = inner_join(&a, &b).unwrap();
+        assert_eq!(j.n_rows(), 1);
+        assert_eq!(j.row(0).unwrap()[2], V::str("y"));
+        assert_eq!(j.row(0).unwrap()[3], V::str("z"));
+    }
+}

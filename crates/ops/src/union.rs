@@ -1,0 +1,167 @@
+//! Outer union (⊎) and inner union (∪).
+//!
+//! Outer union (Codd 1979) is the single binary operator of Gen-T's
+//! representative set: union two tables even when their schemas differ; the
+//! result has the union of the columns, and rows are padded with nulls for
+//! the columns their table lacked. It is commutative and associative (tested
+//! by property tests), and equals inner union when the schemas coincide
+//! (Lemma 11).
+
+use crate::error::OpError;
+use gent_table::{Schema, Table, Value};
+
+/// ⊎ — outer union. Result columns: `left`'s columns in order, then
+/// `right`'s columns not in `left`. The key designation of `left` is kept
+/// when present (the pipeline unions tables already aligned to the source
+/// schema), otherwise `right`'s is kept if all its key columns exist.
+pub fn outer_union(left: &Table, right: &Table) -> Result<Table, OpError> {
+    let mut names: Vec<String> = left.schema().columns().map(str::to_string).collect();
+    for c in right.schema().columns() {
+        if !left.schema().contains(c) {
+            names.push(c.to_string());
+        }
+    }
+    let key_names: Vec<String> = if left.schema().has_key() {
+        left.schema().key_names().iter().map(|s| s.to_string()).collect()
+    } else if right.schema().has_key() {
+        right.schema().key_names().iter().map(|s| s.to_string()).collect()
+    } else {
+        Vec::new()
+    };
+    let schema = if key_names.is_empty() {
+        Schema::new(names.iter().map(|s| s.as_str()))?
+    } else {
+        Schema::with_key(names.iter().map(|s| s.as_str()), key_names.iter().map(|s| s.as_str()))?
+    };
+    let ncols = schema.len();
+    // Column mapping for right rows.
+    let rmap: Vec<usize> = right
+        .schema()
+        .columns()
+        .map(|c| schema.column_index(c).expect("all right columns present"))
+        .collect();
+    let mut out = Table::new(format!("{}⊎{}", left.name(), right.name()), schema);
+    for lrow in left.rows() {
+        let mut row = Vec::with_capacity(ncols);
+        row.extend_from_slice(lrow);
+        row.extend(std::iter::repeat_n(Value::Null, ncols - lrow.len()));
+        out.push_row(row).expect("layout fixed");
+    }
+    for rrow in right.rows() {
+        let mut row = vec![Value::Null; ncols];
+        for (j, &target) in rmap.iter().enumerate() {
+            row[target] = rrow[j].clone();
+        }
+        out.push_row(row).expect("layout fixed");
+    }
+    Ok(out)
+}
+
+/// ⊎ folded over a slice of tables (associative, so the fold order only
+/// affects column order, not content).
+pub fn outer_union_all(tables: &[Table]) -> Result<Option<Table>, OpError> {
+    let mut iter = tables.iter();
+    let first = match iter.next() {
+        Some(t) => t.clone(),
+        None => return Ok(None),
+    };
+    let mut acc = first;
+    for t in iter {
+        acc = outer_union(&acc, t)?;
+    }
+    Ok(Some(acc))
+}
+
+/// ∪ — inner union: requires identical column sets (any order); rows of
+/// `right` are remapped to `left`'s column order. Deduplicates (set union).
+pub fn inner_union(left: &Table, right: &Table) -> Result<Table, OpError> {
+    if left.schema().len() != right.schema().len()
+        || !left.schema().columns().all(|c| right.schema().contains(c))
+    {
+        return Err(OpError::Table(gent_table::TableError::UnknownColumn(format!(
+            "inner union requires equal column sets ({} vs {})",
+            left.name(),
+            right.name()
+        ))));
+    }
+    let rmap: Vec<usize> = left
+        .schema()
+        .columns()
+        .map(|c| right.schema().column_index(c).expect("checked"))
+        .collect();
+    let mut out = left.clone();
+    out.set_name(format!("{}∪{}", left.name(), right.name()));
+    for rrow in right.rows() {
+        let row: Vec<Value> = rmap.iter().map(|&j| rrow[j].clone()).collect();
+        out.push_row(row).expect("same arity");
+    }
+    out.dedup_rows();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    #[test]
+    fn outer_union_pads_with_nulls() {
+        let a = Table::build("a", &["id", "x"], &[], vec![vec![V::Int(1), V::str("u")]]).unwrap();
+        let b = Table::build("b", &["id", "y"], &[], vec![vec![V::Int(2), V::str("v")]]).unwrap();
+        let u = outer_union(&a, &b).unwrap();
+        assert_eq!(u.schema().columns().collect::<Vec<_>>(), vec!["id", "x", "y"]);
+        assert_eq!(u.n_rows(), 2);
+        assert_eq!(u.row(0).unwrap(), &[V::Int(1), V::str("u"), V::Null]);
+        assert_eq!(u.row(1).unwrap(), &[V::Int(2), V::Null, V::str("v")]);
+    }
+
+    #[test]
+    fn outer_union_same_schema_is_append() {
+        let a = Table::build("a", &["id"], &[], vec![vec![V::Int(1)]]).unwrap();
+        let b = Table::build("b", &["id"], &[], vec![vec![V::Int(2)]]).unwrap();
+        let u = outer_union(&a, &b).unwrap();
+        assert_eq!(u.n_rows(), 2);
+        assert_eq!(u.n_cols(), 1);
+    }
+
+    #[test]
+    fn outer_union_keeps_left_key() {
+        let a = Table::build("a", &["id", "x"], &["id"], vec![]).unwrap();
+        let b = Table::build("b", &["y"], &[], vec![]).unwrap();
+        let u = outer_union(&a, &b).unwrap();
+        assert_eq!(u.schema().key_names(), vec!["id"]);
+    }
+
+    #[test]
+    fn outer_union_all_folds() {
+        let a = Table::build("a", &["x"], &[], vec![vec![V::Int(1)]]).unwrap();
+        let b = Table::build("b", &["y"], &[], vec![vec![V::Int(2)]]).unwrap();
+        let c = Table::build("c", &["z"], &[], vec![vec![V::Int(3)]]).unwrap();
+        let u = outer_union_all(&[a, b, c]).unwrap().unwrap();
+        assert_eq!(u.n_cols(), 3);
+        assert_eq!(u.n_rows(), 3);
+        assert!(outer_union_all(&[]).unwrap().is_none());
+    }
+
+    #[test]
+    fn inner_union_remaps_and_dedups() {
+        let a = Table::build("a", &["x", "y"], &[], vec![vec![V::Int(1), V::Int(2)]]).unwrap();
+        let b = Table::build(
+            "b",
+            &["y", "x"],
+            &[],
+            vec![vec![V::Int(2), V::Int(1)], vec![V::Int(9), V::Int(8)]],
+        )
+        .unwrap();
+        let u = inner_union(&a, &b).unwrap();
+        assert_eq!(u.n_rows(), 2); // (1,2) deduped, (8,9) added
+        assert!(u.rows().contains(&vec![V::Int(8), V::Int(9)]));
+    }
+
+    #[test]
+    fn inner_union_rejects_mismatched_schemas() {
+        let a = Table::build("a", &["x"], &[], vec![]).unwrap();
+        let b = Table::build("b", &["y"], &[], vec![]).unwrap();
+        assert!(inner_union(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Property tests for Theorem 8 and the lemmas of Appendix A.
+//!
+//! Theorem 8: over duplicate-free tables in minimal form, every SPJU query
+//! has an equivalent query using only `{⊎, σ, π, κ, β}`. The appendix proves
+//! this via per-operator equivalences; we check each one on randomly
+//! generated tables.
+//!
+//! Generator regime: the shared (join) column `k` is unique and non-null
+//! within each table. This matches the lemmas' preconditions — the tables
+//! are automatically in minimal form (every pair of tuples disagrees on the
+//! non-null key, so nothing subsumes or complements), and the join is
+//! one-to-one where it matches. The lemma proofs use the *saturating*
+//! complementation κ* (merges are added, originals kept until β removes
+//! them), which is `gent_ops::saturating_complementation`.
+
+use gent_ops::{
+    cross_product, full_disjunction, full_outer_join, inner_join, inner_union, left_join,
+    outer_union, saturating_complementation, subsumption, FdBudget,
+};
+use gent_table::{FxHashSet, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// A generated cell: null sometimes, else a small int.
+fn cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        2 => Just(Value::Null),
+        5 => (0i64..6).prop_map(Value::Int),
+    ]
+}
+
+/// A table named `name` with a unique non-null key column "k" (drawn from
+/// 0..12 without replacement) and `extra` named non-key columns.
+fn keyed_table(name: &'static str, extra: &'static [&'static str]) -> impl Strategy<Value = Table> {
+    let ncols = extra.len();
+    (
+        proptest::sample::subsequence((0..12i64).collect::<Vec<_>>(), 0..=6),
+        proptest::collection::vec(proptest::collection::vec(cell(), ncols), 6),
+    )
+        .prop_map(move |(keys, cells)| {
+            let mut cols: Vec<&str> = vec!["k"];
+            cols.extend_from_slice(extra);
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, row)| {
+                    let mut r = vec![Value::Int(*k)];
+                    r.extend(row.iter().cloned());
+                    r
+                })
+                .collect();
+            Table::build(name, &cols, &[], rows).unwrap()
+        })
+}
+
+/// Row set of `t` with columns remapped to `target` schema order.
+fn row_set_as(t: &Table, target: &Schema) -> FxHashSet<Vec<Value>> {
+    let map: Vec<usize> = target
+        .columns()
+        .map(|c| t.schema().column_index(c).unwrap_or_else(|| panic!("column {c} missing in {}", t.name())))
+        .collect();
+    t.rows()
+        .iter()
+        .map(|r| map.iter().map(|&j| r[j].clone()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Lemma 11: inner union = outer union when schemas are equal
+    /// (comparing as tuple sets, since inner union deduplicates).
+    #[test]
+    fn lemma11_inner_union_is_outer_union(
+        t1 in keyed_table("T1", &["a", "b"]),
+        t2 in keyed_table("T2", &["a", "b"]),
+    ) {
+        let iu = inner_union(&t1, &t2).unwrap();
+        let ou = outer_union(&t1, &t2).unwrap();
+        prop_assert_eq!(row_set_as(&iu, ou.schema()), ou.row_set().into_iter().map(|r| r.to_vec()).collect::<FxHashSet<_>>());
+    }
+
+    /// Lemma 12: T1 ⋈ T2 = σ(T1.C = T2.C ≠ ⊥, β(κ*(T1 ⊎ T2))).
+    #[test]
+    fn lemma12_inner_join_from_outer_union(
+        t1 in keyed_table("T1", &["a", "b"]),
+        t2 in keyed_table("T2", &["c"]),
+    ) {
+        let join = inner_join(&t1, &t2).unwrap();
+
+        let u = outer_union(&t1, &t2).unwrap();
+        let sat = saturating_complementation(&u, &FdBudget::default()).unwrap();
+        let beta = subsumption(&sat);
+        // σ(T1.C = T2.C ≠ ⊥): keep tuples whose k value appears in both
+        // tables' key projections.
+        let k1: FxHashSet<Value> = t1.distinct_values(0);
+        let k2: FxHashSet<Value> = t2.distinct_values(0);
+        let kidx = beta.schema().column_index("k").unwrap();
+        let selected = gent_ops::select(&beta, |row| {
+            !row[kidx].is_null() && k1.contains(&row[kidx]) && k2.contains(&row[kidx])
+        });
+
+        prop_assert_eq!(
+            row_set_as(&selected, join.schema()),
+            join.rows().iter().cloned().collect::<FxHashSet<_>>()
+        );
+    }
+
+    /// Lemma 13: T1 ⟕ T2 = β((T1 ⋈ T2) ⊎ T1).
+    #[test]
+    fn lemma13_left_join_from_outer_union(
+        t1 in keyed_table("T1", &["a", "b"]),
+        t2 in keyed_table("T2", &["c"]),
+    ) {
+        let lj = left_join(&t1, &t2).unwrap();
+        let ij = inner_join(&t1, &t2).unwrap();
+        let rhs = subsumption(&outer_union(&ij, &t1).unwrap());
+        prop_assert_eq!(
+            row_set_as(&rhs, lj.schema()),
+            lj.rows().iter().cloned().collect::<FxHashSet<_>>()
+        );
+    }
+
+    /// Lemma 14: T1 ⟗ T2 = β(β((T1 ⋈ T2) ⊎ T1) ⊎ T2).
+    #[test]
+    fn lemma14_full_outer_join_from_outer_union(
+        t1 in keyed_table("T1", &["a", "b"]),
+        t2 in keyed_table("T2", &["c"]),
+    ) {
+        let foj = full_outer_join(&t1, &t2).unwrap();
+        let ij = inner_join(&t1, &t2).unwrap();
+        let inner1 = subsumption(&outer_union(&ij, &t1).unwrap());
+        let rhs = subsumption(&outer_union(&inner1, &t2).unwrap());
+        prop_assert_eq!(
+            row_set_as(&rhs, foj.schema()),
+            foj.rows().iter().cloned().collect::<FxHashSet<_>>()
+        );
+    }
+
+    /// Lemma 15: T1 × T2 = κ*(π((T1.C, c), T1) ⊎ π((T2.C, c), T2)), via a
+    /// constant column c, then dropping c. Inputs must be fully non-null for
+    /// the equivalence (null-bearing tuples merge ambiguously).
+    #[test]
+    fn lemma15_cross_product_from_outer_union(
+        keys1 in proptest::sample::subsequence((0..8i64).collect::<Vec<_>>(), 1..=4),
+        keys2 in proptest::sample::subsequence((10..18i64).collect::<Vec<_>>(), 1..=4),
+    ) {
+        let t1 = Table::build(
+            "T1", &["x"], &[],
+            keys1.iter().map(|&v| vec![Value::Int(v)]).collect(),
+        ).unwrap();
+        let t2 = Table::build(
+            "T2", &["y"], &[],
+            keys2.iter().map(|&v| vec![Value::Int(v)]).collect(),
+        ).unwrap();
+        let cp = cross_product(&t1, &t2).unwrap();
+
+        // Append the constant column c to both.
+        let with_c = |t: &Table, cols: &[&str]| {
+            let mut names: Vec<&str> = cols.to_vec();
+            names.push("c");
+            let rows: Vec<Vec<Value>> = t
+                .rows()
+                .iter()
+                .map(|r| {
+                    let mut row = r.clone();
+                    row.push(Value::Int(999));
+                    row
+                })
+                .collect();
+            Table::build(t.name(), &names, &[], rows).unwrap()
+        };
+        let u = outer_union(&with_c(&t1, &["x"]), &with_c(&t2, &["y"])).unwrap();
+        let sat = saturating_complementation(&u, &FdBudget::default()).unwrap();
+        // Keep only fully-merged tuples (both x and y non-null) and drop c.
+        let xi = sat.schema().column_index("x").unwrap();
+        let yi = sat.schema().column_index("y").unwrap();
+        let merged = gent_ops::select(&sat, |row| !row[xi].is_null() && !row[yi].is_null());
+        let rhs = gent_ops::project_named(&merged, &["x", "y"]).unwrap();
+
+        prop_assert_eq!(
+            row_set_as(&rhs, cp.schema()),
+            cp.rows().iter().cloned().collect::<FxHashSet<_>>()
+        );
+    }
+
+    /// ⊎ is commutative and associative up to column order.
+    #[test]
+    fn outer_union_commutative_associative(
+        t1 in keyed_table("T1", &["a"]),
+        t2 in keyed_table("T2", &["b"]),
+        t3 in keyed_table("T3", &["c"]),
+    ) {
+        let ab = outer_union(&t1, &t2).unwrap();
+        let ba = outer_union(&t2, &t1).unwrap();
+        prop_assert_eq!(row_set_as(&ba, ab.schema()), ab.rows().iter().cloned().collect::<FxHashSet<_>>());
+
+        let ab_c = outer_union(&ab, &t3).unwrap();
+        let a_bc = outer_union(&t1, &outer_union(&t2, &t3).unwrap()).unwrap();
+        prop_assert_eq!(row_set_as(&a_bc, ab_c.schema()), ab_c.rows().iter().cloned().collect::<FxHashSet<_>>());
+    }
+
+    /// β and minimal form are idempotent.
+    #[test]
+    fn beta_idempotent(t in keyed_table("T", &["a", "b"])) {
+        let b1 = subsumption(&t);
+        let b2 = subsumption(&b1);
+        prop_assert_eq!(b1.rows(), b2.rows());
+        let m1 = gent_ops::minimal_form(&t);
+        let m2 = gent_ops::minimal_form(&m1);
+        prop_assert_eq!(m1.rows(), m2.rows());
+    }
+
+    /// β never removes a tuple that is not subsumed: every original tuple is
+    /// subsumed-or-equal to some kept tuple.
+    #[test]
+    fn beta_is_a_cover(t in keyed_table("T", &["a", "b"])) {
+        let b = subsumption(&t);
+        for orig in t.rows() {
+            let covered = b.rows().iter().any(|kept| {
+                kept == orig
+                    || orig
+                        .iter()
+                        .zip(kept.iter())
+                        .all(|(o, k)| o.is_null() || o == k)
+            });
+            prop_assert!(covered);
+        }
+    }
+
+    /// Full disjunction is insensitive to input order.
+    #[test]
+    fn fd_order_insensitive(
+        t1 in keyed_table("T1", &["a"]),
+        t2 in keyed_table("T2", &["b"]),
+        t3 in keyed_table("T3", &["c"]),
+    ) {
+        let fwd = full_disjunction(&[t1.clone(), t2.clone(), t3.clone()], &FdBudget::default())
+            .unwrap().unwrap();
+        let rev = full_disjunction(&[t3, t2, t1], &FdBudget::default()).unwrap().unwrap();
+        prop_assert_eq!(
+            row_set_as(&rev, fwd.schema()),
+            fwd.rows().iter().cloned().collect::<FxHashSet<_>>()
+        );
+    }
+}

@@ -1,0 +1,472 @@
+//! The SPJU query AST.
+//!
+//! Mirrors the operator set the paper's benchmark queries draw from
+//! (§VI-A): projection π, selection σ, inner/left/full natural joins and
+//! cross product, inner union ∪ and outer union ⊎, plus the unary
+//! integration operators subsumption β and complementation κ. The paper's 26
+//! Source-Table queries combine 2–9 of these; [`Query::complexity_class`]
+//! buckets a query into the three classes Figure 6 reports on.
+
+use gent_table::FxHashSet;
+use std::fmt;
+
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::predicate::Predicate;
+
+/// Which join a [`Query::Join`] node performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    /// Natural inner join (⋈) on the common columns.
+    Inner,
+    /// Natural left outer join (⟕).
+    Left,
+    /// Natural full outer join (⟗).
+    Full,
+    /// Cross product (×); the inputs must share no columns.
+    Cross,
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinKind::Inner => "⋈",
+            JoinKind::Left => "⟕",
+            JoinKind::Full => "⟗",
+            JoinKind::Cross => "×",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which union a [`Query::Union`] node performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnionKind {
+    /// ∪ — requires equal column sets, deduplicates.
+    Inner,
+    /// ⊎ — outer union: union of columns, null-padded.
+    Outer,
+}
+
+impl fmt::Display for UnionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnionKind::Inner => "∪",
+            UnionKind::Outer => "⊎",
+        })
+    }
+}
+
+/// The query complexity classes of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// "Project/Select + Union 0–4 Tables" — no joins.
+    ProjectSelectUnion,
+    /// "One Join + Union 1–4 Tables".
+    OneJoin,
+    /// "Multiple Joins + Union 0–4 Tables".
+    MultiJoin,
+}
+
+impl fmt::Display for QueryClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QueryClass::ProjectSelectUnion => "project/select+union",
+            QueryClass::OneJoin => "one join+union",
+            QueryClass::MultiJoin => "multiple joins+union",
+        })
+    }
+}
+
+/// An SPJU query plan over named base tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Read a base table from the catalog.
+    Scan(String),
+    /// π — project onto (and reorder to) the named columns.
+    Project {
+        /// Input plan.
+        input: Box<Query>,
+        /// Output columns in order.
+        columns: Vec<String>,
+    },
+    /// σ — keep rows satisfying the predicate.
+    Select {
+        /// Input plan.
+        input: Box<Query>,
+        /// Row filter.
+        predicate: Predicate,
+    },
+    /// A binary join.
+    Join {
+        /// Inner / left / full / cross.
+        kind: JoinKind,
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// A union.
+    Union {
+        /// Inner (∪) or outer (⊎).
+        kind: UnionKind,
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// β — remove subsumed tuples.
+    Subsume(Box<Query>),
+    /// κ — merge complementing tuples.
+    Complement(Box<Query>),
+}
+
+impl Query {
+    /// Scan a base table.
+    pub fn scan(name: impl Into<String>) -> Self {
+        Query::Scan(name.into())
+    }
+
+    /// π — project this plan onto the named columns.
+    pub fn project<S: AsRef<str>>(self, columns: &[S]) -> Self {
+        Query::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|s| s.as_ref().to_string()).collect(),
+        }
+    }
+
+    /// σ — filter this plan.
+    pub fn select(self, predicate: Predicate) -> Self {
+        Query::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// ⋈ — natural inner join with `other`.
+    pub fn inner_join(self, other: Query) -> Self {
+        self.join(JoinKind::Inner, other)
+    }
+
+    /// ⟕ — natural left join with `other`.
+    pub fn left_join(self, other: Query) -> Self {
+        self.join(JoinKind::Left, other)
+    }
+
+    /// ⟗ — natural full outer join with `other`.
+    pub fn full_join(self, other: Query) -> Self {
+        self.join(JoinKind::Full, other)
+    }
+
+    /// × — cross product with `other`.
+    pub fn cross(self, other: Query) -> Self {
+        self.join(JoinKind::Cross, other)
+    }
+
+    /// Join with an explicit kind.
+    pub fn join(self, kind: JoinKind, other: Query) -> Self {
+        Query::Join {
+            kind,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// ∪ — inner union with `other`.
+    pub fn union(self, other: Query) -> Self {
+        Query::Union {
+            kind: UnionKind::Inner,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// ⊎ — outer union with `other`.
+    pub fn outer_union(self, other: Query) -> Self {
+        Query::Union {
+            kind: UnionKind::Outer,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// β — subsumption of this plan's result.
+    pub fn subsume(self) -> Self {
+        Query::Subsume(Box::new(self))
+    }
+
+    /// κ — complementation of this plan's result.
+    pub fn complement(self) -> Self {
+        Query::Complement(Box::new(self))
+    }
+
+    /// Number of operator nodes (scans excluded), the "number of operations"
+    /// the paper counts when it says its queries range from 2 to 9 ops.
+    pub fn n_ops(&self) -> usize {
+        match self {
+            Query::Scan(_) => 0,
+            Query::Project { input, .. }
+            | Query::Select { input, .. }
+            | Query::Subsume(input)
+            | Query::Complement(input) => 1 + input.n_ops(),
+            Query::Join { left, right, .. } | Query::Union { left, right, .. } => {
+                1 + left.n_ops() + right.n_ops()
+            }
+        }
+    }
+
+    /// Number of join nodes (cross products count).
+    pub fn n_joins(&self) -> usize {
+        match self {
+            Query::Scan(_) => 0,
+            Query::Project { input, .. }
+            | Query::Select { input, .. }
+            | Query::Subsume(input)
+            | Query::Complement(input) => input.n_joins(),
+            Query::Join { left, right, .. } => 1 + left.n_joins() + right.n_joins(),
+            Query::Union { left, right, .. } => left.n_joins() + right.n_joins(),
+        }
+    }
+
+    /// Number of union nodes (inner or outer).
+    pub fn n_unions(&self) -> usize {
+        match self {
+            Query::Scan(_) => 0,
+            Query::Project { input, .. }
+            | Query::Select { input, .. }
+            | Query::Subsume(input)
+            | Query::Complement(input) => input.n_unions(),
+            Query::Union { left, right, .. } => 1 + left.n_unions() + right.n_unions(),
+            Query::Join { left, right, .. } => left.n_unions() + right.n_unions(),
+        }
+    }
+
+    /// Names of all base tables this plan scans (with duplicates, in plan
+    /// order).
+    pub fn base_tables(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_bases(&mut out);
+        out
+    }
+
+    fn collect_bases<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Query::Scan(n) => out.push(n),
+            Query::Project { input, .. }
+            | Query::Select { input, .. }
+            | Query::Subsume(input)
+            | Query::Complement(input) => input.collect_bases(out),
+            Query::Join { left, right, .. } | Query::Union { left, right, .. } => {
+                left.collect_bases(out);
+                right.collect_bases(out);
+            }
+        }
+    }
+
+    /// The Figure 6 complexity class of this query.
+    pub fn complexity_class(&self) -> QueryClass {
+        match self.n_joins() {
+            0 => QueryClass::ProjectSelectUnion,
+            1 => QueryClass::OneJoin,
+            _ => QueryClass::MultiJoin,
+        }
+    }
+
+    /// Infer the output column names (in order) of this plan against a
+    /// catalog, checking the same conditions evaluation would check:
+    /// unknown tables/columns, join compatibility, union compatibility.
+    pub fn output_columns(&self, catalog: &Catalog) -> Result<Vec<String>, QueryError> {
+        match self {
+            Query::Scan(name) => {
+                let t = catalog
+                    .get(name)
+                    .ok_or_else(|| QueryError::UnknownTable(name.clone()))?;
+                Ok(t.schema().columns().map(str::to_string).collect())
+            }
+            Query::Project { input, columns } => {
+                let in_cols = input.output_columns(catalog)?;
+                let mut seen = FxHashSet::default();
+                for c in columns {
+                    if !in_cols.iter().any(|ic| ic == c) {
+                        return Err(QueryError::UnknownColumn {
+                            column: c.clone(),
+                            context: format!("π over {input}"),
+                        });
+                    }
+                    if !seen.insert(c.clone()) {
+                        return Err(QueryError::DuplicateProjection(c.clone()));
+                    }
+                }
+                Ok(columns.clone())
+            }
+            Query::Select { input, predicate } => {
+                let in_cols = input.output_columns(catalog)?;
+                for c in predicate.columns() {
+                    if !in_cols.iter().any(|ic| ic == c) {
+                        return Err(QueryError::UnknownColumn {
+                            column: c.to_string(),
+                            context: format!("σ over {input}"),
+                        });
+                    }
+                }
+                Ok(in_cols)
+            }
+            Query::Join { kind, left, right } => {
+                let l = left.output_columns(catalog)?;
+                let r = right.output_columns(catalog)?;
+                let common: Vec<&String> = l.iter().filter(|c| r.contains(c)).collect();
+                match kind {
+                    JoinKind::Cross => {
+                        if let Some(c) = common.first() {
+                            return Err(QueryError::SharedColumnsInCross((*c).clone()));
+                        }
+                        Ok(l.iter().chain(r.iter()).cloned().collect())
+                    }
+                    _ => {
+                        if common.is_empty() {
+                            return Err(QueryError::NoCommonColumns {
+                                left: left.to_string(),
+                                right: right.to_string(),
+                            });
+                        }
+                        let mut out = l.clone();
+                        out.extend(r.iter().filter(|c| !l.contains(c)).cloned());
+                        Ok(out)
+                    }
+                }
+            }
+            Query::Union { kind, left, right } => {
+                let l = left.output_columns(catalog)?;
+                let r = right.output_columns(catalog)?;
+                match kind {
+                    UnionKind::Inner => {
+                        let same = l.len() == r.len() && l.iter().all(|c| r.contains(c));
+                        if !same {
+                            return Err(QueryError::UnionSchemaMismatch {
+                                left: left.to_string(),
+                                right: right.to_string(),
+                            });
+                        }
+                        Ok(l)
+                    }
+                    UnionKind::Outer => {
+                        let mut out = l.clone();
+                        out.extend(r.iter().filter(|c| !l.contains(c)).cloned());
+                        Ok(out)
+                    }
+                }
+            }
+            Query::Subsume(input) | Query::Complement(input) => input.output_columns(catalog),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Scan(n) => f.write_str(n),
+            Query::Project { input, columns } => {
+                write!(f, "π({}, {input})", columns.join(","))
+            }
+            Query::Select { input, predicate } => write!(f, "σ({predicate}, {input})"),
+            Query::Join { kind, left, right } => write!(f, "({left} {kind} {right})"),
+            Query::Union { kind, left, right } => write!(f, "({left} {kind} {right})"),
+            Query::Subsume(input) => write!(f, "β({input})"),
+            Query::Complement(input) => write!(f, "κ({input})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::{Table, Value};
+
+    fn catalog() -> Catalog {
+        let a = Table::build("A", &["id", "x"], &[], vec![vec![Value::Int(1), Value::Int(2)]])
+            .unwrap();
+        let b = Table::build("B", &["id", "y"], &[], vec![vec![Value::Int(1), Value::Int(3)]])
+            .unwrap();
+        let c = Table::build("C", &["z"], &[], vec![vec![Value::Int(9)]]).unwrap();
+        Catalog::from_tables(vec![a, b, c])
+    }
+
+    #[test]
+    fn builders_compose_and_count_ops() {
+        let q = Query::scan("A")
+            .inner_join(Query::scan("B"))
+            .select(Predicate::eq("x", Value::Int(2)))
+            .project(&["id", "y"]);
+        assert_eq!(q.n_ops(), 3);
+        assert_eq!(q.n_joins(), 1);
+        assert_eq!(q.n_unions(), 0);
+        assert_eq!(q.base_tables(), vec!["A", "B"]);
+        assert_eq!(q.complexity_class(), QueryClass::OneJoin);
+    }
+
+    #[test]
+    fn complexity_classes() {
+        let psu = Query::scan("A").project(&["id"]).union(Query::scan("B").project(&["id"]));
+        assert_eq!(psu.complexity_class(), QueryClass::ProjectSelectUnion);
+        let multi = Query::scan("A")
+            .inner_join(Query::scan("B"))
+            .cross(Query::scan("C"));
+        assert_eq!(multi.complexity_class(), QueryClass::MultiJoin);
+    }
+
+    #[test]
+    fn output_columns_join_and_union() {
+        let cat = catalog();
+        let j = Query::scan("A").inner_join(Query::scan("B"));
+        assert_eq!(j.output_columns(&cat).unwrap(), vec!["id", "x", "y"]);
+
+        let u = Query::scan("A").outer_union(Query::scan("B"));
+        assert_eq!(u.output_columns(&cat).unwrap(), vec!["id", "x", "y"]);
+
+        let x = Query::scan("A").cross(Query::scan("C"));
+        assert_eq!(x.output_columns(&cat).unwrap(), vec!["id", "x", "z"]);
+    }
+
+    #[test]
+    fn output_columns_rejects_bad_plans() {
+        let cat = catalog();
+        assert!(matches!(
+            Query::scan("Z").output_columns(&cat),
+            Err(QueryError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            Query::scan("A").project(&["nope"]).output_columns(&cat),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            Query::scan("A").project(&["id", "id"]).output_columns(&cat),
+            Err(QueryError::DuplicateProjection(_))
+        ));
+        assert!(matches!(
+            Query::scan("A").inner_join(Query::scan("C")).output_columns(&cat),
+            Err(QueryError::NoCommonColumns { .. })
+        ));
+        assert!(matches!(
+            Query::scan("A").cross(Query::scan("B")).output_columns(&cat),
+            Err(QueryError::SharedColumnsInCross(_))
+        ));
+        assert!(matches!(
+            Query::scan("A").union(Query::scan("B")).output_columns(&cat),
+            Err(QueryError::UnionSchemaMismatch { .. })
+        ));
+        assert!(matches!(
+            Query::scan("A")
+                .select(Predicate::eq("w", Value::Int(0)))
+                .output_columns(&cat),
+            Err(QueryError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn display_renders_algebra() {
+        let q = Query::scan("A")
+            .inner_join(Query::scan("B"))
+            .project(&["id"]);
+        assert_eq!(q.to_string(), "π(id, (A ⋈ B))");
+    }
+}

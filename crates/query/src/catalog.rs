@@ -1,0 +1,102 @@
+//! A named collection of base tables that queries scan.
+//!
+//! In the paper's benchmark construction the catalog is the set of original
+//! TPC-H tables over which the 26 Source-Table queries run; in downstream
+//! use it can be any set of tables a user wants to query or generate
+//! workloads over.
+
+use gent_table::{FxHashMap, Table};
+
+/// Named base tables. Names are the tables' own [`Table::name`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: FxHashMap<String, Table>,
+    /// Insertion order, so iteration (and random generation) is
+    /// deterministic.
+    order: Vec<String>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from tables, keyed by each table's name. A later table replaces
+    /// an earlier one with the same name.
+    pub fn from_tables(tables: Vec<Table>) -> Self {
+        let mut c = Self::new();
+        for t in tables {
+            c.insert(t);
+        }
+        c
+    }
+
+    /// Insert (or replace) a table under its own name.
+    pub fn insert(&mut self, table: Table) {
+        let name = table.name().to_string();
+        if self.tables.insert(name.clone(), table).is_none() {
+            self.order.push(name);
+        }
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Table names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.order.iter().map(|s| s.as_str())
+    }
+
+    /// Tables in insertion order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.order.iter().map(|n| &self.tables[n])
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the catalog holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value;
+
+    #[test]
+    fn insert_get_replace() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.insert(Table::build("t", &["a"], &[], vec![vec![Value::Int(1)]]).unwrap());
+        c.insert(Table::build("u", &["b"], &[], vec![]).unwrap());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("t").unwrap().n_rows(), 1);
+
+        // Replacement keeps the order stable and does not duplicate.
+        c.insert(Table::build("t", &["a"], &[], vec![]).unwrap());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("t").unwrap().n_rows(), 0);
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["t", "u"]);
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut c = Catalog::new();
+        for name in ["z", "a", "m"] {
+            c.insert(Table::build(name, &["x"], &[], vec![]).unwrap());
+        }
+        assert_eq!(c.names().collect::<Vec<_>>(), vec!["z", "a", "m"]);
+        assert_eq!(
+            c.tables().map(|t| t.name().to_string()).collect::<Vec<_>>(),
+            vec!["z", "a", "m"]
+        );
+    }
+}

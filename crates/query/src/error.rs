@@ -1,0 +1,74 @@
+//! Errors raised while type-checking, evaluating, or rewriting queries.
+
+use gent_ops::OpError;
+use std::fmt;
+
+/// Anything that can go wrong while inferring schemas, evaluating, or
+/// rewriting a query.
+#[derive(Debug)]
+pub enum QueryError {
+    /// A `Scan` names a table the catalog does not contain.
+    UnknownTable(String),
+    /// A projection or predicate references a column the input lacks.
+    UnknownColumn {
+        /// The missing column.
+        column: String,
+        /// Rendering of the sub-plan whose output lacks it.
+        context: String,
+    },
+    /// A join was attempted between inputs sharing no columns.
+    NoCommonColumns {
+        /// Rendering of the left sub-plan.
+        left: String,
+        /// Rendering of the right sub-plan.
+        right: String,
+    },
+    /// A cross product was attempted between inputs that share columns
+    /// (natural-join semantics would kick in instead).
+    SharedColumnsInCross(String),
+    /// An inner union was attempted between inputs with different column
+    /// sets.
+    UnionSchemaMismatch {
+        /// Rendering of the left sub-plan.
+        left: String,
+        /// Rendering of the right sub-plan.
+        right: String,
+    },
+    /// A projection listed the same column twice.
+    DuplicateProjection(String),
+    /// An underlying operator failed (e.g. a complementation budget was
+    /// exhausted).
+    Op(OpError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownTable(t) => write!(f, "unknown table `{t}` in catalog"),
+            QueryError::UnknownColumn { column, context } => {
+                write!(f, "unknown column `{column}` in {context}")
+            }
+            QueryError::NoCommonColumns { left, right } => {
+                write!(f, "no common columns to join {left} with {right}")
+            }
+            QueryError::SharedColumnsInCross(c) => {
+                write!(f, "cross product inputs share column `{c}`")
+            }
+            QueryError::UnionSchemaMismatch { left, right } => {
+                write!(f, "inner union requires equal column sets: {left} vs {right}")
+            }
+            QueryError::DuplicateProjection(c) => {
+                write!(f, "column `{c}` listed twice in projection")
+            }
+            QueryError::Op(e) => write!(f, "operator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<OpError> for QueryError {
+    fn from(e: OpError) -> Self {
+        QueryError::Op(e)
+    }
+}

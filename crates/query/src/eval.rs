@@ -1,0 +1,153 @@
+//! Direct evaluation of [`Query`] plans over a [`Catalog`].
+//!
+//! Each AST node maps onto the corresponding operator in `gent-ops`; the
+//! evaluator adds schema checking (via [`Query::output_columns`]-equivalent
+//! checks performed by the operators themselves) and predicate binding.
+
+use gent_ops::{
+    complementation, cross_product, full_outer_join, inner_join, inner_union, left_join,
+    outer_union, project_named, select, subsumption,
+};
+use gent_table::Table;
+
+use crate::ast::{JoinKind, Query, UnionKind};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+
+impl Query {
+    /// Evaluate this plan against `catalog`.
+    pub fn eval(&self, catalog: &Catalog) -> Result<Table, QueryError> {
+        eval(self, catalog)
+    }
+}
+
+/// Evaluate `q` against `catalog`.
+pub fn eval(q: &Query, catalog: &Catalog) -> Result<Table, QueryError> {
+    match q {
+        Query::Scan(name) => catalog
+            .get(name)
+            .cloned()
+            .ok_or_else(|| QueryError::UnknownTable(name.clone())),
+        Query::Project { input, columns } => {
+            let t = eval(input, catalog)?;
+            Ok(project_named(&t, columns)?)
+        }
+        Query::Select { input, predicate } => {
+            let t = eval(input, catalog)?;
+            let bound = predicate.bind(t.schema())?;
+            Ok(select(&t, |row| bound.eval(row)))
+        }
+        Query::Join { kind, left, right } => {
+            let l = eval(left, catalog)?;
+            let r = eval(right, catalog)?;
+            Ok(match kind {
+                JoinKind::Inner => inner_join(&l, &r)?,
+                JoinKind::Left => left_join(&l, &r)?,
+                JoinKind::Full => full_outer_join(&l, &r)?,
+                JoinKind::Cross => cross_product(&l, &r)?,
+            })
+        }
+        Query::Union { kind, left, right } => {
+            let l = eval(left, catalog)?;
+            let r = eval(right, catalog)?;
+            Ok(match kind {
+                UnionKind::Inner => inner_union(&l, &r)?,
+                UnionKind::Outer => outer_union(&l, &r)?,
+            })
+        }
+        Query::Subsume(input) => Ok(subsumption(&eval(input, catalog)?)),
+        Query::Complement(input) => Ok(complementation(&eval(input, catalog)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use gent_table::Value as V;
+
+    fn catalog() -> Catalog {
+        let people = Table::build(
+            "people",
+            &["id", "name"],
+            &[],
+            vec![
+                vec![V::Int(0), V::str("Smith")],
+                vec![V::Int(1), V::str("Brown")],
+                vec![V::Int(2), V::str("Wang")],
+            ],
+        )
+        .unwrap();
+        let ages = Table::build(
+            "ages",
+            &["id", "age"],
+            &[],
+            vec![
+                vec![V::Int(0), V::Int(27)],
+                vec![V::Int(1), V::Int(24)],
+            ],
+        )
+        .unwrap();
+        let more_people = Table::build(
+            "more_people",
+            &["id", "name"],
+            &[],
+            vec![vec![V::Int(3), V::str("Kim")], vec![V::Int(0), V::str("Smith")]],
+        )
+        .unwrap();
+        Catalog::from_tables(vec![people, ages, more_people])
+    }
+
+    #[test]
+    fn scan_project_select() {
+        let cat = catalog();
+        let q = Query::scan("people")
+            .select(Predicate::eq("name", V::str("Brown")))
+            .project(&["id"]);
+        let t = q.eval(&cat).unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.cell(0, 0), Some(&V::Int(1)));
+    }
+
+    #[test]
+    fn join_kinds() {
+        let cat = catalog();
+        let inner = Query::scan("people").inner_join(Query::scan("ages")).eval(&cat).unwrap();
+        assert_eq!(inner.n_rows(), 2);
+        let left = Query::scan("people").left_join(Query::scan("ages")).eval(&cat).unwrap();
+        assert_eq!(left.n_rows(), 3); // Wang dangles
+        let full = Query::scan("people").full_join(Query::scan("ages")).eval(&cat).unwrap();
+        assert_eq!(full.n_rows(), 3); // every ages row matched
+    }
+
+    #[test]
+    fn unions_dedup_or_pad() {
+        let cat = catalog();
+        let iu = Query::scan("people").union(Query::scan("more_people")).eval(&cat).unwrap();
+        assert_eq!(iu.n_rows(), 4); // Smith deduplicated
+        let ou = Query::scan("people").outer_union(Query::scan("ages")).eval(&cat).unwrap();
+        assert_eq!(ou.n_cols(), 3);
+        assert_eq!(ou.n_rows(), 5);
+    }
+
+    #[test]
+    fn unknown_table_is_error() {
+        assert!(matches!(
+            Query::scan("ghost").eval(&catalog()),
+            Err(QueryError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn nested_query_evaluates() {
+        // (people ⋈ ages) ∪ π(id,name,…)? — keep it simple: join then select.
+        let cat = catalog();
+        let q = Query::scan("people")
+            .inner_join(Query::scan("ages"))
+            .select(Predicate::cmp("age", crate::predicate::CmpOp::Ge, V::Int(25)))
+            .project(&["name", "age"]);
+        let t = q.eval(&cat).unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.cell(0, 0), Some(&V::str("Smith")));
+    }
+}

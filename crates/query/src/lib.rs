@@ -1,0 +1,78 @@
+//! # gent-query — SPJU queries over data-lake tables
+//!
+//! The Gen-T paper (Fan, Shraga & Miller, ICDE 2024) frames table
+//! reclamation around **SPJU queries**: the Source Tables of its benchmarks
+//! are produced by randomly generated Select-Project-Join-Union queries over
+//! base tables (§VI-A), and Theorem 8 proves that every SPJU query has an
+//! equivalent form using only the *representative operators*
+//! `{⊎, σ, π, κ, β}` (outer union, selection, projection, complementation,
+//! subsumption) — which is why Gen-T's integration search can restrict
+//! itself to those five operators.
+//!
+//! This crate makes both halves of that story a first-class, testable
+//! artifact:
+//!
+//! * [`ast::Query`] — an SPJU query AST (scan, σ, π, inner/left/full joins,
+//!   cross product, inner/outer union, β, κ) with builder methods and an
+//!   algebra-notation `Display`,
+//! * [`predicate::Predicate`] — a small selection-predicate language with
+//!   schema-checked binding,
+//! * [`catalog::Catalog`] — a named collection of base tables,
+//! * [`eval`] — a direct evaluator for [`ast::Query`] plans,
+//! * [`rewrite`](mod@rewrite) — the **Theorem 8 rewriter**: translates any `Query` into a
+//!   [`rewrite::RepQuery`] that uses only the five representative operators
+//!   (via the constructions of Appendix A, Lemmas 11–15), plus an evaluator
+//!   for the rewritten form so the equivalence can be checked empirically,
+//! * [`randgen`] — a seeded random SPJU query generator in the paper's three
+//!   complexity classes (project/select+union, one join+union, multiple
+//!   joins+union), mirroring how the 26 benchmark Source Tables were built.
+//!
+//! ```
+//! use gent_query::prelude::*;
+//! use gent_table::{Table, Value};
+//!
+//! let people = Table::build("people", &["id", "name"], &[],
+//!     vec![vec![Value::Int(0), Value::str("Smith")],
+//!          vec![Value::Int(1), Value::str("Brown")]]).unwrap();
+//! let ages = Table::build("ages", &["id", "age"], &[],
+//!     vec![vec![Value::Int(0), Value::Int(27)],
+//!          vec![Value::Int(1), Value::Int(24)]]).unwrap();
+//! let catalog = Catalog::from_tables(vec![people, ages]);
+//!
+//! // π(name, age, people ⋈ ages)
+//! let q = Query::scan("people").inner_join(Query::scan("ages"))
+//!     .project(&["name", "age"]);
+//!
+//! let direct = q.eval(&catalog).unwrap();
+//! let rewritten = rewrite(&q, &catalog).unwrap(); // only {⊎, σ, π, κ, β}
+//! let via_rep = rewritten.eval(&catalog).unwrap();
+//! assert_eq!(direct.row_set(), via_rep.row_set());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod parser;
+pub mod predicate;
+pub mod randgen;
+pub mod rewrite;
+
+pub use ast::{JoinKind, Query, QueryClass, UnionKind};
+pub use catalog::Catalog;
+pub use error::QueryError;
+pub use parser::{parse_query, ParseError};
+pub use predicate::{BoundPredicate, CmpOp, Predicate};
+pub use randgen::{QueryGenConfig, RandomQueryGen};
+pub use rewrite::{rewrite, RepOpCounts, RepQuery};
+
+/// Single-import surface.
+pub mod prelude {
+    pub use crate::ast::{JoinKind, Query, QueryClass, UnionKind};
+    pub use crate::catalog::Catalog;
+    pub use crate::predicate::{CmpOp, Predicate};
+    pub use crate::randgen::{QueryGenConfig, RandomQueryGen};
+    pub use crate::rewrite::{rewrite, RepQuery};
+}

@@ -1,0 +1,343 @@
+//! Selection predicates (the σ of SPJU).
+//!
+//! The paper's benchmark queries apply selections like "σ on 2021" (its
+//! Example 1): equality and range comparisons against constants, possibly
+//! combined.
+//! This module gives those predicates a small AST, an algebra-style
+//! rendering, and a *bound* form where column names have been resolved to
+//! indices against a concrete schema (so evaluation does no per-row string
+//! lookups and unknown columns fail once, at bind time).
+//!
+//! Null semantics: any comparison (`=`, `≠`, `<`, …) against a null-like
+//! cell is **false**; use [`Predicate::IsNull`] / [`Predicate::NotNull`] to
+//! test for missing values. `Not` is plain boolean negation of that
+//! two-valued result (a deliberate simplification of SQL's three-valued
+//! logic, matching how the reference implementation filters pandas frames).
+
+use gent_table::{Schema, Value};
+use std::fmt;
+
+use crate::error::QueryError;
+
+/// A comparison operator against a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the comparison. Null-like operands make every comparison false.
+    pub fn eval(self, cell: &Value, constant: &Value) -> bool {
+        if cell.is_null_like() || constant.is_null_like() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => cell == constant,
+            CmpOp::Ne => cell != constant,
+            CmpOp::Lt => cell < constant,
+            CmpOp::Le => cell <= constant,
+            CmpOp::Gt => cell > constant,
+            CmpOp::Ge => cell >= constant,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "≠",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "≤",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => "≥",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A selection predicate over named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (σ(True, T) = T).
+    True,
+    /// The named column is null.
+    IsNull(String),
+    /// The named column is non-null.
+    NotNull(String),
+    /// Compare the named column against a constant.
+    Cmp {
+        /// Column to test.
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// The named column's value is one of the listed constants.
+    In {
+        /// Column to test.
+        column: String,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// Both sub-predicates hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either sub-predicate holds.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// The sub-predicate does not hold (two-valued negation).
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `column = value`.
+    pub fn eq(column: impl Into<String>, value: Value) -> Self {
+        Predicate::Cmp {
+            column: column.into(),
+            op: CmpOp::Eq,
+            value,
+        }
+    }
+
+    /// `column op value`.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: Value) -> Self {
+        Predicate::Cmp {
+            column: column.into(),
+            op,
+            value,
+        }
+    }
+
+    /// `column IN (values…)`.
+    pub fn is_in(column: impl Into<String>, values: Vec<Value>) -> Self {
+        Predicate::In {
+            column: column.into(),
+            values,
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// All column names this predicate references (with duplicates).
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::IsNull(c) | Predicate::NotNull(c) => out.push(c),
+            Predicate::Cmp { column, .. } | Predicate::In { column, .. } => out.push(column),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+
+    /// Resolve column names against `schema`, producing an index-based
+    /// predicate that evaluates without string lookups.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundPredicate, QueryError> {
+        let lookup = |c: &str| {
+            schema.column_index(c).ok_or_else(|| QueryError::UnknownColumn {
+                column: c.to_string(),
+                context: "selection predicate".to_string(),
+            })
+        };
+        Ok(match self {
+            Predicate::True => BoundPredicate::True,
+            Predicate::IsNull(c) => BoundPredicate::IsNull(lookup(c)?),
+            Predicate::NotNull(c) => BoundPredicate::NotNull(lookup(c)?),
+            Predicate::Cmp { column, op, value } => BoundPredicate::Cmp {
+                column: lookup(column)?,
+                op: *op,
+                value: value.clone(),
+            },
+            Predicate::In { column, values } => BoundPredicate::In {
+                column: lookup(column)?,
+                values: values.clone(),
+            },
+            Predicate::And(a, b) => {
+                BoundPredicate::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Predicate::Or(a, b) => {
+                BoundPredicate::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
+            }
+            Predicate::Not(p) => BoundPredicate::Not(Box::new(p.bind(schema)?)),
+        })
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "true"),
+            Predicate::IsNull(c) => write!(f, "{c} is ⊥"),
+            Predicate::NotNull(c) => write!(f, "{c} ≠ ⊥"),
+            Predicate::Cmp { column, op, value } => write!(f, "{column} {op} {value}"),
+            Predicate::In { column, values } => {
+                write!(f, "{column} ∈ {{")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Predicate::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Predicate::Not(p) => write!(f, "¬({p})"),
+        }
+    }
+}
+
+/// A predicate with columns resolved to indices of a specific schema.
+#[derive(Debug, Clone)]
+pub enum BoundPredicate {
+    /// Always true.
+    True,
+    /// Cell at index is null-like.
+    IsNull(usize),
+    /// Cell at index is not null-like.
+    NotNull(usize),
+    /// Compare cell at index against a constant.
+    Cmp {
+        /// Column index.
+        column: usize,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Constant.
+        value: Value,
+    },
+    /// Cell at index is one of the constants.
+    In {
+        /// Column index.
+        column: usize,
+        /// Accepted values.
+        values: Vec<Value>,
+    },
+    /// Conjunction.
+    And(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Disjunction.
+    Or(Box<BoundPredicate>, Box<BoundPredicate>),
+    /// Negation.
+    Not(Box<BoundPredicate>),
+}
+
+impl BoundPredicate {
+    /// Evaluate against one row.
+    pub fn eval(&self, row: &[Value]) -> bool {
+        match self {
+            BoundPredicate::True => true,
+            BoundPredicate::IsNull(j) => row[*j].is_null_like(),
+            BoundPredicate::NotNull(j) => !row[*j].is_null_like(),
+            BoundPredicate::Cmp { column, op, value } => op.eval(&row[*column], value),
+            BoundPredicate::In { column, values } => {
+                !row[*column].is_null_like() && values.contains(&row[*column])
+            }
+            BoundPredicate::And(a, b) => a.eval(row) && b.eval(row),
+            BoundPredicate::Or(a, b) => a.eval(row) || b.eval(row),
+            BoundPredicate::Not(p) => !p.eval(row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["id", "name", "age"]).unwrap()
+    }
+
+    #[test]
+    fn cmp_null_is_false_for_every_operator() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert!(!op.eval(&Value::Null, &Value::Int(1)));
+            assert!(!op.eval(&Value::Int(1), &Value::Null));
+            assert!(!op.eval(&Value::LabeledNull(3), &Value::Int(1)));
+        }
+    }
+
+    #[test]
+    fn cmp_operators_on_ints() {
+        assert!(CmpOp::Eq.eval(&Value::Int(2), &Value::Int(2)));
+        assert!(CmpOp::Ne.eval(&Value::Int(2), &Value::Int(3)));
+        assert!(CmpOp::Lt.eval(&Value::Int(2), &Value::Int(3)));
+        assert!(CmpOp::Le.eval(&Value::Int(3), &Value::Int(3)));
+        assert!(CmpOp::Gt.eval(&Value::Int(4), &Value::Int(3)));
+        assert!(CmpOp::Ge.eval(&Value::Int(3), &Value::Int(3)));
+        assert!(!CmpOp::Lt.eval(&Value::Int(3), &Value::Int(3)));
+    }
+
+    #[test]
+    fn bind_resolves_columns_and_rejects_unknown() {
+        let p = Predicate::eq("age", Value::Int(27)).and(Predicate::NotNull("name".into()));
+        let b = p.bind(&schema()).unwrap();
+        assert!(b.eval(&[Value::Int(0), Value::str("Smith"), Value::Int(27)]));
+        assert!(!b.eval(&[Value::Int(0), Value::Null, Value::Int(27)]));
+
+        let bad = Predicate::eq("salary", Value::Int(1)).bind(&schema());
+        assert!(matches!(bad, Err(QueryError::UnknownColumn { .. })));
+    }
+
+    #[test]
+    fn in_predicate_matches_membership_not_nulls() {
+        let p = Predicate::is_in("id", vec![Value::Int(1), Value::Int(2)]);
+        let b = p.bind(&schema()).unwrap();
+        assert!(b.eval(&[Value::Int(1), Value::Null, Value::Null]));
+        assert!(!b.eval(&[Value::Int(3), Value::Null, Value::Null]));
+        assert!(!b.eval(&[Value::Null, Value::Null, Value::Null]));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = Predicate::eq("id", Value::Int(1))
+            .or(Predicate::eq("id", Value::Int(2)))
+            .not();
+        let b = p.bind(&schema()).unwrap();
+        assert!(!b.eval(&[Value::Int(1), Value::Null, Value::Null]));
+        assert!(b.eval(&[Value::Int(5), Value::Null, Value::Null]));
+    }
+
+    #[test]
+    fn display_is_algebraic() {
+        let p = Predicate::eq("year", Value::Int(2021)).and(Predicate::IsNull("note".into()));
+        assert_eq!(p.to_string(), "(year = 2021 ∧ note is ⊥)");
+    }
+
+    #[test]
+    fn columns_lists_all_references() {
+        let p = Predicate::eq("a", Value::Int(1)).and(Predicate::is_in("b", vec![]));
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,586 @@
+//! The Theorem 8 rewriter: any SPJU [`Query`] → a plan over only the five
+//! *representative operators* `{⊎, σ, π, κ, β}`.
+//!
+//! Theorem 8 of the paper states that, over duplicate-free tables in minimal
+//! form, every SPJU query has an equivalent query built from outer union and
+//! the four unary operators. Appendix A proves it constructively:
+//!
+//! * Lemma 11 — `T1 ∪ T2 = T1 ⊎ T2` when the schemas are equal (as tuple
+//!   *sets*; ∪ deduplicates where ⊎ does not),
+//! * Lemma 12 — `T1 ⋈ T2 = σ(T1.C = T2.C ≠ ⊥, β(κ*(T1 ⊎ T2)))`,
+//! * Lemma 13 — `T1 ⟕ T2 = β((T1 ⋈ T2) ⊎ T1)`,
+//! * Lemma 14 — `T1 ⟗ T2 = β(β((T1 ⋈ T2) ⊎ T1) ⊎ T2)`,
+//! * Lemma 15 — `T1 × T2 = κ*(π((T1.C, c), T1) ⊎ π((T2.C, c), T2))` via a
+//!   constant column `c` (dropped afterwards).
+//!
+//! `κ*` is the *saturating* complementation used in the proofs (merged
+//! tuples are added while the originals are kept until β removes them) —
+//! [`gent_ops::saturating_complementation`].
+//!
+//! [`rewrite`] applies these constructions bottom-up. The output
+//! [`RepQuery`] has two selection forms beyond plain predicates, because the
+//! lemmas' selections are not row-local: `σ(T1.C = T2.C ≠ ⊥, ·)` keeps rows
+//! whose join-column values occur in *both* inputs, which requires the
+//! inputs' column value sets at evaluation time.
+//!
+//! The equivalence holds under the theorem's preconditions (inputs in
+//! minimal form; for ⋈/⟕/⟗ a shared column acting as a one-to-one match
+//! key; for × null-free inputs) and up to duplicates for ∪. The property
+//! tests in `tests/rewrite_equiv.rs` check it empirically under exactly that
+//! generator regime, mirroring `gent-ops`'s per-lemma tests.
+
+use gent_ops::{outer_union, project_named, saturating_complementation, select, subsumption,
+    FdBudget};
+use gent_table::{FxHashSet, Schema, Table, Value};
+use std::fmt;
+
+use crate::ast::{JoinKind, Query, UnionKind};
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+use crate::predicate::Predicate;
+
+/// The name of the constant column introduced by the Lemma 15 cross-product
+/// construction. Chosen to be out of the way of real data-lake column names.
+pub const CROSS_CONST_COLUMN: &str = "__gent_cross_c";
+
+/// A query plan over only the representative operators `{⊎, σ, π, κ, β}`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepQuery {
+    /// Read a base table.
+    Scan(String),
+    /// π — project onto the named columns.
+    Project {
+        /// Input plan.
+        input: Box<RepQuery>,
+        /// Output columns.
+        columns: Vec<String>,
+    },
+    /// π extended with a constant column (the `π((T.C, c), T)` of Lemma 15:
+    /// keep all input columns and append constant `c`).
+    ExtendConst {
+        /// Input plan.
+        input: Box<RepQuery>,
+        /// Name of the constant column.
+        column: String,
+        /// The constant value.
+        value: Value,
+    },
+    /// σ with an ordinary row predicate.
+    Select {
+        /// Input plan.
+        input: Box<RepQuery>,
+        /// Row filter.
+        predicate: Predicate,
+    },
+    /// The Lemma 12 selection `σ(T1.C = T2.C ≠ ⊥, input)`: keep rows whose
+    /// value in every common column of `left` and `right` is non-null and
+    /// occurs in both `left`'s and `right`'s column value sets.
+    SelectJoinCond {
+        /// The β(κ*(T1 ⊎ T2)) plan being filtered.
+        input: Box<RepQuery>,
+        /// The plan standing for T1.
+        left: Box<RepQuery>,
+        /// The plan standing for T2.
+        right: Box<RepQuery>,
+    },
+    /// The Lemma 15 merge filter: keep rows where *all* the named columns
+    /// are non-null (i.e. the tuple is a genuine cross-product merge, not a
+    /// leftover one-sided tuple).
+    SelectAllNonNull {
+        /// Input plan.
+        input: Box<RepQuery>,
+        /// Columns that must all be non-null.
+        columns: Vec<String>,
+    },
+    /// ⊎ — outer union.
+    OuterUnion {
+        /// Left input.
+        left: Box<RepQuery>,
+        /// Right input.
+        right: Box<RepQuery>,
+    },
+    /// β — subsumption (also drops duplicate tuples).
+    Subsume(Box<RepQuery>),
+    /// κ* — saturating complementation.
+    Complement(Box<RepQuery>),
+}
+
+/// How many of each representative operator a [`RepQuery`] contains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepOpCounts {
+    /// Base-table scans.
+    pub scans: usize,
+    /// π nodes (including constant-extension projections).
+    pub projections: usize,
+    /// σ nodes of any selection form.
+    pub selections: usize,
+    /// ⊎ nodes.
+    pub unions: usize,
+    /// β nodes.
+    pub subsumptions: usize,
+    /// κ nodes.
+    pub complementations: usize,
+}
+
+impl RepOpCounts {
+    /// Total operator nodes (scans excluded).
+    pub fn total_ops(&self) -> usize {
+        self.projections + self.selections + self.unions + self.subsumptions
+            + self.complementations
+    }
+}
+
+impl RepQuery {
+    /// Count operator nodes by kind. `SelectJoinCond`'s `left`/`right`
+    /// sub-plans are counted too (they are evaluated at run time).
+    pub fn op_counts(&self) -> RepOpCounts {
+        let mut c = RepOpCounts::default();
+        self.count_into(&mut c);
+        c
+    }
+
+    fn count_into(&self, c: &mut RepOpCounts) {
+        match self {
+            RepQuery::Scan(_) => c.scans += 1,
+            RepQuery::Project { input, .. } => {
+                c.projections += 1;
+                input.count_into(c);
+            }
+            RepQuery::ExtendConst { input, .. } => {
+                c.projections += 1;
+                input.count_into(c);
+            }
+            RepQuery::Select { input, .. } | RepQuery::SelectAllNonNull { input, .. } => {
+                c.selections += 1;
+                input.count_into(c);
+            }
+            RepQuery::SelectJoinCond { input, left, right } => {
+                c.selections += 1;
+                input.count_into(c);
+                left.count_into(c);
+                right.count_into(c);
+            }
+            RepQuery::OuterUnion { left, right } => {
+                c.unions += 1;
+                left.count_into(c);
+                right.count_into(c);
+            }
+            RepQuery::Subsume(input) => {
+                c.subsumptions += 1;
+                input.count_into(c);
+            }
+            RepQuery::Complement(input) => {
+                c.complementations += 1;
+                input.count_into(c);
+            }
+        }
+    }
+
+    /// Evaluate against `catalog` with the default complementation budget.
+    pub fn eval(&self, catalog: &Catalog) -> Result<Table, QueryError> {
+        self.eval_with_budget(catalog, &FdBudget::default())
+    }
+
+    /// Evaluate against `catalog`, bounding every κ* application by
+    /// `budget` (saturating complementation can square a table's row count;
+    /// the budget turns a blow-up into an error instead of an OOM).
+    pub fn eval_with_budget(
+        &self,
+        catalog: &Catalog,
+        budget: &FdBudget,
+    ) -> Result<Table, QueryError> {
+        match self {
+            RepQuery::Scan(name) => catalog
+                .get(name)
+                .cloned()
+                .ok_or_else(|| QueryError::UnknownTable(name.clone())),
+            RepQuery::Project { input, columns } => {
+                let t = input.eval_with_budget(catalog, budget)?;
+                Ok(project_named(&t, columns)?)
+            }
+            RepQuery::ExtendConst { input, column, value } => {
+                let t = input.eval_with_budget(catalog, budget)?;
+                extend_const(&t, column, value)
+            }
+            RepQuery::Select { input, predicate } => {
+                let t = input.eval_with_budget(catalog, budget)?;
+                let bound = predicate.bind(t.schema())?;
+                Ok(select(&t, |row| bound.eval(row)))
+            }
+            RepQuery::SelectJoinCond { input, left, right } => {
+                let t = input.eval_with_budget(catalog, budget)?;
+                let l = left.eval_with_budget(catalog, budget)?;
+                let r = right.eval_with_budget(catalog, budget)?;
+                select_join_cond(&t, &l, &r)
+            }
+            RepQuery::SelectAllNonNull { input, columns } => {
+                let t = input.eval_with_budget(catalog, budget)?;
+                let idx: Result<Vec<usize>, QueryError> = columns
+                    .iter()
+                    .map(|c| {
+                        t.schema().column_index(c).ok_or_else(|| QueryError::UnknownColumn {
+                            column: c.clone(),
+                            context: "σ(all non-null)".to_string(),
+                        })
+                    })
+                    .collect();
+                let idx = idx?;
+                Ok(select(&t, |row| idx.iter().all(|&j| !row[j].is_null())))
+            }
+            RepQuery::OuterUnion { left, right } => {
+                let l = left.eval_with_budget(catalog, budget)?;
+                let r = right.eval_with_budget(catalog, budget)?;
+                Ok(outer_union(&l, &r)?)
+            }
+            RepQuery::Subsume(input) => {
+                Ok(subsumption(&input.eval_with_budget(catalog, budget)?))
+            }
+            RepQuery::Complement(input) => {
+                let t = input.eval_with_budget(catalog, budget)?;
+                Ok(saturating_complementation(&t, budget)?)
+            }
+        }
+    }
+}
+
+impl fmt::Display for RepQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepQuery::Scan(n) => f.write_str(n),
+            RepQuery::Project { input, columns } => {
+                write!(f, "π({}, {input})", columns.join(","))
+            }
+            RepQuery::ExtendConst { input, column, value } => {
+                write!(f, "π(*∪{{{column}={value}}}, {input})")
+            }
+            RepQuery::Select { input, predicate } => write!(f, "σ({predicate}, {input})"),
+            RepQuery::SelectJoinCond { input, left, right } => {
+                write!(f, "σ({left}.C = {right}.C ≠ ⊥, {input})")
+            }
+            RepQuery::SelectAllNonNull { input, columns } => {
+                write!(f, "σ({} ≠ ⊥, {input})", columns.join(","))
+            }
+            RepQuery::OuterUnion { left, right } => write!(f, "({left} ⊎ {right})"),
+            RepQuery::Subsume(input) => write!(f, "β({input})"),
+            RepQuery::Complement(input) => write!(f, "κ({input})"),
+        }
+    }
+}
+
+/// Append a constant column to every row of `t`.
+fn extend_const(t: &Table, column: &str, value: &Value) -> Result<Table, QueryError> {
+    let mut names: Vec<String> = t.schema().columns().map(str::to_string).collect();
+    if names.iter().any(|c| c == column) {
+        return Err(QueryError::DuplicateProjection(column.to_string()));
+    }
+    names.push(column.to_string());
+    let schema = Schema::new(names.iter().map(|s| s.as_str()))
+        .map_err(gent_ops::OpError::Table)?;
+    let mut out = Table::new(t.name(), schema);
+    for row in t.rows() {
+        let mut r = row.clone();
+        r.push(value.clone());
+        out.push_row(r).expect("layout fixed");
+    }
+    Ok(out)
+}
+
+/// The Lemma 12 selection: keep rows of `t` whose value in every common
+/// column of `l` and `r` is non-null and occurs in both sides' value sets.
+fn select_join_cond(t: &Table, l: &Table, r: &Table) -> Result<Table, QueryError> {
+    let common = l.schema().common_columns(r.schema());
+    if common.is_empty() {
+        return Err(QueryError::NoCommonColumns {
+            left: l.name().to_string(),
+            right: r.name().to_string(),
+        });
+    }
+    let mut checks: Vec<(usize, FxHashSet<Value>, FxHashSet<Value>)> =
+        Vec::with_capacity(common.len());
+    for c in &common {
+        let tj = t.schema().column_index(c).ok_or_else(|| QueryError::UnknownColumn {
+            column: c.to_string(),
+            context: "σ(T1.C = T2.C ≠ ⊥)".to_string(),
+        })?;
+        let lv = l.distinct_values(l.schema().column_index(c).expect("common"));
+        let rv = r.distinct_values(r.schema().column_index(c).expect("common"));
+        checks.push((tj, lv, rv));
+    }
+    Ok(select(t, |row| {
+        checks.iter().all(|(j, lv, rv)| {
+            let v = &row[*j];
+            !v.is_null() && lv.contains(v) && rv.contains(v)
+        })
+    }))
+}
+
+/// Rewrite `q` into an equivalent [`RepQuery`] over `{⊎, σ, π, κ, β}` using
+/// the Lemma 11–15 constructions. `catalog` is needed to infer sub-plan
+/// schemas for the join and cross-product constructions.
+pub fn rewrite(q: &Query, catalog: &Catalog) -> Result<RepQuery, QueryError> {
+    Ok(match q {
+        Query::Scan(n) => RepQuery::Scan(n.clone()),
+        Query::Project { input, columns } => RepQuery::Project {
+            input: Box::new(rewrite(input, catalog)?),
+            columns: columns.clone(),
+        },
+        Query::Select { input, predicate } => RepQuery::Select {
+            input: Box::new(rewrite(input, catalog)?),
+            predicate: predicate.clone(),
+        },
+        // Lemma 11: ∪ = ⊎ on equal schemas (up to duplicates; β would
+        // restore set semantics, and callers comparing row sets need not
+        // care). We validate schema equality so ill-typed plans still fail.
+        Query::Union { kind: UnionKind::Inner, left, right } => {
+            let l = left.output_columns(catalog)?;
+            let r = right.output_columns(catalog)?;
+            let same = l.len() == r.len() && l.iter().all(|c| r.contains(c));
+            if !same {
+                return Err(QueryError::UnionSchemaMismatch {
+                    left: left.to_string(),
+                    right: right.to_string(),
+                });
+            }
+            RepQuery::OuterUnion {
+                left: Box::new(rewrite(left, catalog)?),
+                right: Box::new(rewrite(right, catalog)?),
+            }
+        }
+        Query::Union { kind: UnionKind::Outer, left, right } => RepQuery::OuterUnion {
+            left: Box::new(rewrite(left, catalog)?),
+            right: Box::new(rewrite(right, catalog)?),
+        },
+        Query::Join { kind, left, right } => {
+            rewrite_join(*kind, left, right, catalog)?
+        }
+        Query::Subsume(input) => RepQuery::Subsume(Box::new(rewrite(input, catalog)?)),
+        Query::Complement(input) => RepQuery::Complement(Box::new(rewrite(input, catalog)?)),
+    })
+}
+
+/// Lemma 12: the inner-join construction over already-rewritten inputs.
+fn inner_join_rep(l: RepQuery, r: RepQuery) -> RepQuery {
+    RepQuery::SelectJoinCond {
+        input: Box::new(RepQuery::Subsume(Box::new(RepQuery::Complement(Box::new(
+            RepQuery::OuterUnion {
+                left: Box::new(l.clone()),
+                right: Box::new(r.clone()),
+            },
+        ))))),
+        left: Box::new(l),
+        right: Box::new(r),
+    }
+}
+
+fn rewrite_join(
+    kind: JoinKind,
+    left: &Query,
+    right: &Query,
+    catalog: &Catalog,
+) -> Result<RepQuery, QueryError> {
+    // Validate join compatibility up front (shared vs. disjoint columns)
+    // with the same checks direct evaluation performs.
+    let lcols = left.output_columns(catalog)?;
+    let rcols = right.output_columns(catalog)?;
+    let common: Vec<&String> = lcols.iter().filter(|c| rcols.contains(c)).collect();
+    let l = rewrite(left, catalog)?;
+    let r = rewrite(right, catalog)?;
+    Ok(match kind {
+        JoinKind::Inner => {
+            if common.is_empty() {
+                return Err(QueryError::NoCommonColumns {
+                    left: left.to_string(),
+                    right: right.to_string(),
+                });
+            }
+            inner_join_rep(l, r)
+        }
+        // Lemma 13: T1 ⟕ T2 = β((T1 ⋈ T2) ⊎ T1).
+        JoinKind::Left => {
+            if common.is_empty() {
+                return Err(QueryError::NoCommonColumns {
+                    left: left.to_string(),
+                    right: right.to_string(),
+                });
+            }
+            RepQuery::Subsume(Box::new(RepQuery::OuterUnion {
+                left: Box::new(inner_join_rep(l.clone(), r)),
+                right: Box::new(l),
+            }))
+        }
+        // Lemma 14: T1 ⟗ T2 = β(β((T1 ⋈ T2) ⊎ T1) ⊎ T2).
+        JoinKind::Full => {
+            if common.is_empty() {
+                return Err(QueryError::NoCommonColumns {
+                    left: left.to_string(),
+                    right: right.to_string(),
+                });
+            }
+            RepQuery::Subsume(Box::new(RepQuery::OuterUnion {
+                left: Box::new(RepQuery::Subsume(Box::new(RepQuery::OuterUnion {
+                    left: Box::new(inner_join_rep(l.clone(), r.clone())),
+                    right: Box::new(l),
+                }))),
+                right: Box::new(r),
+            }))
+        }
+        // Lemma 15: T1 × T2 = π(T1.C∪T2.C, σ(all non-null,
+        //   κ*(π((T1.C,c),T1) ⊎ π((T2.C,c),T2)))) — constant column c is
+        // appended to both sides, complementation merges every pair through
+        // the shared c, the merge filter drops one-sided leftovers, and the
+        // final π removes c. Requires null-free inputs.
+        JoinKind::Cross => {
+            if let Some(c) = common.first() {
+                return Err(QueryError::SharedColumnsInCross((*c).clone()));
+            }
+            let mut out_cols = lcols.clone();
+            out_cols.extend(rcols.iter().cloned());
+            let all_cols = out_cols.clone();
+            RepQuery::Project {
+                input: Box::new(RepQuery::SelectAllNonNull {
+                    input: Box::new(RepQuery::Complement(Box::new(RepQuery::OuterUnion {
+                        left: Box::new(RepQuery::ExtendConst {
+                            input: Box::new(l),
+                            column: CROSS_CONST_COLUMN.to_string(),
+                            value: Value::Int(0),
+                        }),
+                        right: Box::new(RepQuery::ExtendConst {
+                            input: Box::new(r),
+                            column: CROSS_CONST_COLUMN.to_string(),
+                            value: Value::Int(0),
+                        }),
+                    }))),
+                    columns: all_cols,
+                }),
+                columns: out_cols,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn catalog() -> Catalog {
+        let a = Table::build(
+            "A",
+            &["k", "x"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("u")],
+                vec![V::Int(2), V::str("v")],
+            ],
+        )
+        .unwrap();
+        let b = Table::build(
+            "B",
+            &["k", "y"],
+            &[],
+            vec![
+                vec![V::Int(1), V::Int(10)],
+                vec![V::Int(3), V::Int(30)],
+            ],
+        )
+        .unwrap();
+        let c = Table::build("C", &["z"], &[], vec![vec![V::Int(7)], vec![V::Int(8)]]).unwrap();
+        Catalog::from_tables(vec![a, b, c])
+    }
+
+    fn rows(t: &Table) -> FxHashSet<Vec<Value>> {
+        t.rows().iter().cloned().collect()
+    }
+
+    /// Row set of `t` remapped to `target` column order.
+    fn rows_as(t: &Table, target: &Table) -> FxHashSet<Vec<Value>> {
+        let map: Vec<usize> = target
+            .schema()
+            .columns()
+            .map(|c| t.schema().column_index(c).expect("column present"))
+            .collect();
+        t.rows()
+            .iter()
+            .map(|r| map.iter().map(|&j| r[j].clone()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn inner_join_rewrite_is_equivalent() {
+        let cat = catalog();
+        let q = Query::scan("A").inner_join(Query::scan("B"));
+        let direct = q.eval(&cat).unwrap();
+        let rep = rewrite(&q, &cat).unwrap();
+        let via = rep.eval(&cat).unwrap();
+        assert_eq!(rows_as(&via, &direct), rows(&direct));
+        // The rewritten plan really only uses the representative operators.
+        let counts = rep.op_counts();
+        assert_eq!(counts.unions, 1);
+        assert_eq!(counts.subsumptions, 1);
+        assert_eq!(counts.complementations, 1);
+        assert_eq!(counts.selections, 1);
+    }
+
+    #[test]
+    fn left_and_full_join_rewrites_are_equivalent() {
+        let cat = catalog();
+        for q in [
+            Query::scan("A").left_join(Query::scan("B")),
+            Query::scan("A").full_join(Query::scan("B")),
+        ] {
+            let direct = q.eval(&cat).unwrap();
+            let via = rewrite(&q, &cat).unwrap().eval(&cat).unwrap();
+            assert_eq!(rows_as(&via, &direct), rows(&direct), "query {q}");
+        }
+    }
+
+    #[test]
+    fn cross_product_rewrite_is_equivalent() {
+        let cat = catalog();
+        let q = Query::scan("A").cross(Query::scan("C"));
+        let direct = q.eval(&cat).unwrap();
+        let via = rewrite(&q, &cat).unwrap().eval(&cat).unwrap();
+        assert_eq!(via.n_rows(), 4);
+        assert_eq!(rows_as(&via, &direct), rows(&direct));
+        // The helper column does not leak.
+        assert!(via.schema().column_index(CROSS_CONST_COLUMN).is_none());
+    }
+
+    #[test]
+    fn inner_union_rewrite_validates_schemas() {
+        let cat = catalog();
+        let bad = Query::scan("A").union(Query::scan("C"));
+        assert!(matches!(
+            rewrite(&bad, &cat),
+            Err(QueryError::UnionSchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_query_rewrites_end_to_end() {
+        let cat = catalog();
+        let q = Query::scan("A")
+            .inner_join(Query::scan("B"))
+            .select(Predicate::eq("k", V::Int(1)))
+            .project(&["k", "y"]);
+        let direct = q.eval(&cat).unwrap();
+        let via = rewrite(&q, &cat).unwrap().eval(&cat).unwrap();
+        assert_eq!(rows_as(&via, &direct), rows(&direct));
+    }
+
+    #[test]
+    fn extend_const_rejects_existing_column() {
+        let t = Table::build("t", &["a"], &[], vec![]).unwrap();
+        assert!(extend_const(&t, "a", &V::Int(0)).is_err());
+    }
+
+    #[test]
+    fn rep_display_mentions_only_representative_ops() {
+        let cat = catalog();
+        let q = Query::scan("A").inner_join(Query::scan("B"));
+        let rep = rewrite(&q, &cat).unwrap();
+        let s = rep.to_string();
+        assert!(s.contains('⊎') && s.contains('β') && s.contains('κ') && s.contains('σ'));
+        assert!(!s.contains('⋈'));
+    }
+}

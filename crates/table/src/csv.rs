@@ -1,0 +1,219 @@
+//! Minimal CSV reader/writer (RFC-4180-style quoting) for persisting lakes.
+//!
+//! The authors' benchmarks are directories of CSV files; this module lets the
+//! Rust reproduction load/store the same shape of data without an external
+//! dependency. Values are re-inferred on load via [`Value::parse`].
+
+use crate::error::TableError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parse one CSV record starting at `line`; consumes more lines from `lines`
+/// when a quoted field spans newlines. Returns the fields.
+fn parse_record<I: Iterator<Item = std::io::Result<String>>>(
+    mut line: String,
+    lines: &mut I,
+    lineno: &mut usize,
+) -> Result<Vec<String>, TableError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    loop {
+        let mut chars = line.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_quotes {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    field.push(c);
+                }
+            } else {
+                match c {
+                    '"' => in_quotes = true,
+                    ',' => fields.push(std::mem::take(&mut field)),
+                    '\r' => {}
+                    _ => field.push(c),
+                }
+            }
+        }
+        if in_quotes {
+            // Quoted field continues on the next physical line.
+            match lines.next() {
+                Some(next) => {
+                    *lineno += 1;
+                    field.push('\n');
+                    line = next.map_err(|e| TableError::Csv {
+                        line: *lineno,
+                        message: e.to_string(),
+                    })?;
+                }
+                None => {
+                    return Err(TableError::Csv {
+                        line: *lineno,
+                        message: "unterminated quoted field".into(),
+                    })
+                }
+            }
+        } else {
+            fields.push(field);
+            return Ok(fields);
+        }
+    }
+}
+
+/// Read a table from CSV text. The first record is the header. No key is set.
+pub fn read_csv<R: Read>(name: &str, reader: R) -> Result<Table, TableError> {
+    let buf = BufReader::new(reader);
+    let mut lines = buf.lines();
+    let mut lineno = 0usize;
+    let header_line = match lines.next() {
+        Some(l) => {
+            lineno += 1;
+            l.map_err(|e| TableError::Csv { line: lineno, message: e.to_string() })?
+        }
+        None => {
+            return Err(TableError::Csv { line: 0, message: "empty csv".into() });
+        }
+    };
+    let header = parse_record(header_line, &mut lines, &mut lineno)?;
+    let schema = Schema::new(header.iter().map(|h| h.trim()))?;
+    let mut table = Table::new(name, schema);
+    while let Some(l) = lines.next() {
+        lineno += 1;
+        let l = l.map_err(|e| TableError::Csv { line: lineno, message: e.to_string() })?;
+        if l.is_empty() {
+            // For a one-column table an empty line *is* a record (a single
+            // null field) — that is how an all-null row serialises. Wider
+            // tables cannot produce an empty line, so there a blank line is
+            // a separator and is skipped.
+            if table.n_cols() == 1 {
+                table.push_row(vec![Value::Null])?;
+            }
+            continue;
+        }
+        let fields = parse_record(l, &mut lines, &mut lineno)?;
+        if fields.len() != table.n_cols() {
+            return Err(TableError::Csv {
+                line: lineno,
+                message: format!("expected {} fields, got {}", table.n_cols(), fields.len()),
+            });
+        }
+        let row: Vec<Value> = fields.iter().map(|f| Value::parse(f)).collect();
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Quote a field when it contains a comma, quote or newline.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Write a table as CSV (header + rows). Nulls become empty fields; labeled
+/// nulls are serialised as their display form and will round-trip as strings
+/// — persist only label-free tables.
+pub fn write_csv<W: Write>(table: &Table, writer: &mut W) -> Result<(), TableError> {
+    let header: Vec<String> = table.schema().columns().map(quote).collect();
+    writeln!(writer, "{}", header.join(","))?;
+    for row in table.rows() {
+        let cells: Vec<String> = row.iter().map(|v| quote(&v.to_string())).collect();
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+/// Load a table from a CSV file; the table is named after the file stem.
+pub fn read_csv_file(path: &Path) -> Result<Table, TableError> {
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table").to_string();
+    let file = std::fs::File::open(path)?;
+    read_csv(&name, file)
+}
+
+/// Save a table to a CSV file.
+pub fn write_csv_file(table: &Table, path: &Path) -> Result<(), TableError> {
+    let mut file = std::fs::File::create(path)?;
+    write_csv(table, &mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value as V;
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = Table::build(
+            "t",
+            &["id", "name", "score"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("alice"), V::Float(3.5)],
+                vec![V::Int(2), V::Null, V::Int(7)],
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv("t", buf.as_slice()).unwrap();
+        assert_eq!(back.n_rows(), 2);
+        assert_eq!(back.cell(0, 1), Some(&V::str("alice")));
+        assert_eq!(back.cell(1, 1), Some(&V::Null));
+        assert_eq!(back.cell(1, 2), Some(&V::Int(7)));
+    }
+
+    #[test]
+    fn quoting_commas_and_quotes() {
+        let t = Table::build(
+            "t",
+            &["a"],
+            &[],
+            vec![vec![V::str("hello, world")], vec![V::str("say \"hi\"")]],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv("t", buf.as_slice()).unwrap();
+        assert_eq!(back.cell(0, 0), Some(&V::str("hello, world")));
+        assert_eq!(back.cell(1, 0), Some(&V::str("say \"hi\"")));
+    }
+
+    #[test]
+    fn multiline_quoted_field() {
+        let csv = "a,b\n\"line1\nline2\",x\n";
+        let t = read_csv("t", csv.as_bytes()).unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.cell(0, 0), Some(&V::str("line1\nline2")));
+    }
+
+    #[test]
+    fn field_count_mismatch_is_error() {
+        let csv = "a,b\n1\n";
+        assert!(matches!(
+            read_csv("t", csv.as_bytes()),
+            Err(TableError::Csv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_is_error() {
+        assert!(read_csv("t", "".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let csv = "a\n\"unclosed\n";
+        assert!(read_csv("t", csv.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the table substrate.
+
+use std::fmt;
+
+/// Errors produced when building or manipulating tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A row had a different arity than the schema.
+    ArityMismatch {
+        /// Columns in the schema.
+        expected: usize,
+        /// Cells in the offending row.
+        got: usize,
+        /// Row index (0-based) if known.
+        row: Option<usize>,
+    },
+    /// A referenced column name does not exist in the schema.
+    UnknownColumn(String),
+    /// A referenced column index is out of bounds.
+    ColumnIndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of columns.
+        ncols: usize,
+    },
+    /// Duplicate column name in a schema.
+    DuplicateColumn(String),
+    /// A key was declared over columns that do not exist.
+    InvalidKey(String),
+    /// CSV parsing failed.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// I/O failure wrapped with context.
+    Io(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ArityMismatch { expected, got, row } => match row {
+                Some(r) => write!(f, "row {r} has {got} cells but schema has {expected} columns"),
+                None => write!(f, "row has {got} cells but schema has {expected} columns"),
+            },
+            TableError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            TableError::ColumnIndexOutOfBounds { index, ncols } => {
+                write!(f, "column index {index} out of bounds ({ncols} columns)")
+            }
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
+            TableError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
+            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TableError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}

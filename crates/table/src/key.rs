@@ -1,0 +1,188 @@
+//! Key discovery for source tables.
+//!
+//! The paper assumes the Source Table has a (possibly multi-attribute) key
+//! "which can be found using existing mining techniques \[21\], \[22\]" (§II).
+//! This module is our stand-in for those techniques: a small miner that
+//! searches for a minimal set of columns whose combined values are unique and
+//! non-null across all rows, preferring single columns, then pairs, then
+//! triples, and within a size class preferring leftmost columns (keys tend to
+//! lead in published tables).
+
+use crate::fxhash::FxHashSet;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Does the column set `cols` form a unique, null-free key over `t`?
+fn is_key(t: &Table, cols: &[usize]) -> bool {
+    let mut seen: FxHashSet<Vec<&Value>> = FxHashSet::default();
+    seen.reserve(t.n_rows());
+    for row in t.rows() {
+        let mut kv = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let v = &row[c];
+            if v.is_null_like() {
+                return false;
+            }
+            kv.push(v);
+        }
+        if !seen.insert(kv) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Find a minimal key of size ≤ `max_width`, preferring small and leftmost
+/// column sets. Returns column indices, or `None` when no key exists within
+/// the width bound (e.g. duplicate rows).
+pub fn discover_key(t: &Table, max_width: usize) -> Option<Vec<usize>> {
+    let n = t.n_cols();
+    if n == 0 || t.n_rows() == 0 {
+        return None;
+    }
+    // Size 1
+    for c in 0..n {
+        if is_key(t, &[c]) {
+            return Some(vec![c]);
+        }
+    }
+    if max_width < 2 {
+        return None;
+    }
+    // Size 2
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if is_key(t, &[a, b]) {
+                return Some(vec![a, b]);
+            }
+        }
+    }
+    if max_width < 3 {
+        return None;
+    }
+    // Size 3
+    for a in 0..n {
+        for b in (a + 1)..n {
+            for c in (b + 1)..n {
+                if is_key(t, &[a, b, c]) {
+                    return Some(vec![a, b, c]);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Discover and install a key on `t` (up to 3 columns wide). Returns whether
+/// a key was found.
+pub fn ensure_key(t: &mut Table) -> bool {
+    if t.schema().has_key() && t.key_is_valid() {
+        return true;
+    }
+    match discover_key(t, 3) {
+        Some(cols) => {
+            let names: Vec<String> = cols
+                .iter()
+                .map(|&c| t.schema().column_name(c).expect("in range").to_string())
+                .collect();
+            t.schema_mut().set_key(names.iter().map(|s| s.as_str())).expect("names valid");
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value as V;
+
+    #[test]
+    fn single_column_key_found_leftmost() {
+        let t = Table::build(
+            "t",
+            &["id", "name"],
+            &[],
+            vec![
+                vec![V::Int(1), V::str("a")],
+                vec![V::Int(2), V::str("a")],
+            ],
+        )
+        .unwrap();
+        assert_eq!(discover_key(&t, 3), Some(vec![0]));
+    }
+
+    #[test]
+    fn composite_key_when_no_single_column_unique() {
+        let t = Table::build(
+            "t",
+            &["a", "b"],
+            &[],
+            vec![
+                vec![V::Int(1), V::Int(1)],
+                vec![V::Int(1), V::Int(2)],
+                vec![V::Int(2), V::Int(1)],
+            ],
+        )
+        .unwrap();
+        assert_eq!(discover_key(&t, 3), Some(vec![0, 1]));
+        assert_eq!(discover_key(&t, 1), None);
+    }
+
+    #[test]
+    fn null_columns_cannot_be_keys() {
+        let t = Table::build(
+            "t",
+            &["a", "b"],
+            &[],
+            vec![vec![V::Null, V::Int(1)], vec![V::Int(2), V::Int(2)]],
+        )
+        .unwrap();
+        assert_eq!(discover_key(&t, 3), Some(vec![1]));
+    }
+
+    #[test]
+    fn duplicate_rows_have_no_key() {
+        let t = Table::build(
+            "t",
+            &["a"],
+            &[],
+            vec![vec![V::Int(1)], vec![V::Int(1)]],
+        )
+        .unwrap();
+        assert_eq!(discover_key(&t, 3), None);
+    }
+
+    #[test]
+    fn ensure_key_installs() {
+        let mut t = Table::build(
+            "t",
+            &["x", "id"],
+            &[],
+            vec![
+                vec![V::str("u"), V::Int(1)],
+                vec![V::str("u"), V::Int(2)],
+            ],
+        )
+        .unwrap();
+        assert!(ensure_key(&mut t));
+        assert_eq!(t.schema().key_names(), vec!["id"]);
+        assert!(t.key_is_valid());
+    }
+
+    #[test]
+    fn ensure_key_respects_existing_valid_key() {
+        let mut t = Table::build(
+            "t",
+            &["x", "id"],
+            &["x"],
+            vec![
+                vec![V::str("a"), V::Int(1)],
+                vec![V::str("b"), V::Int(1)],
+            ],
+        )
+        .unwrap();
+        assert!(ensure_key(&mut t));
+        assert_eq!(t.schema().key_names(), vec!["x"]); // kept, still valid
+    }
+}

@@ -1,0 +1,210 @@
+//! Value normalization for *semantically* matching instances.
+//!
+//! §VII of the paper: "we plan to consider the case in which values from a
+//! source table do not syntactically align with values from a data lake, in
+//! which case we can explore the semantic similarity of instances." Full
+//! embedding-based semantics is out of scope offline; this module provides
+//! the deterministic normalisations that close most syntactic gaps in real
+//! lakes — case, whitespace, punctuation, and float precision — behind a
+//! single [`NormalizeConfig`]. Normalising both the source and the lake
+//! before reclamation makes `"Microsoft Corp."` and `"microsoft corp"`
+//! overlap without touching the core pipeline.
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Which normalisations to apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizeConfig {
+    /// Lower-case strings.
+    pub case_insensitive: bool,
+    /// Trim leading/trailing whitespace.
+    pub trim: bool,
+    /// Collapse internal whitespace runs to a single space.
+    pub collapse_whitespace: bool,
+    /// Drop ASCII punctuation from strings.
+    pub strip_punctuation: bool,
+    /// Round floats to this many decimal places (`None` = keep exact).
+    pub float_precision: Option<u32>,
+    /// Re-parse strings that look numeric/boolean into typed values
+    /// (`"42"` → `Int(42)`), closing CSV-typing gaps between tables.
+    pub retype_strings: bool,
+}
+
+impl Default for NormalizeConfig {
+    fn default() -> Self {
+        Self {
+            case_insensitive: true,
+            trim: true,
+            collapse_whitespace: true,
+            strip_punctuation: false,
+            float_precision: None,
+            retype_strings: true,
+        }
+    }
+}
+
+impl NormalizeConfig {
+    /// The identity configuration (normalisation is a no-op).
+    pub fn off() -> Self {
+        Self {
+            case_insensitive: false,
+            trim: false,
+            collapse_whitespace: false,
+            strip_punctuation: false,
+            float_precision: None,
+            retype_strings: false,
+        }
+    }
+
+    /// An aggressive configuration for very noisy web tables.
+    pub fn aggressive() -> Self {
+        Self {
+            case_insensitive: true,
+            trim: true,
+            collapse_whitespace: true,
+            strip_punctuation: true,
+            float_precision: Some(6),
+            retype_strings: true,
+        }
+    }
+
+    /// Normalise one value.
+    pub fn value(&self, v: &Value) -> Value {
+        match v {
+            Value::Str(s) => {
+                let mut out = s.to_string();
+                if self.strip_punctuation {
+                    out.retain(|c| !c.is_ascii_punctuation());
+                }
+                if self.collapse_whitespace {
+                    let mut collapsed = String::with_capacity(out.len());
+                    let mut prev_space = false;
+                    for ch in out.chars() {
+                        if ch.is_whitespace() {
+                            if !prev_space {
+                                collapsed.push(' ');
+                            }
+                            prev_space = true;
+                        } else {
+                            collapsed.push(ch);
+                            prev_space = false;
+                        }
+                    }
+                    out = collapsed;
+                }
+                if self.trim {
+                    out = out.trim().to_string();
+                }
+                if self.case_insensitive {
+                    out = out.to_lowercase();
+                }
+                if out.is_empty() {
+                    return Value::Null;
+                }
+                if self.retype_strings {
+                    let re = Value::parse(&out);
+                    if !matches!(re, Value::Str(_)) {
+                        return self.value(&re); // apply float rounding etc.
+                    }
+                }
+                Value::str(out)
+            }
+            Value::Float(f) => match self.float_precision {
+                Some(p) => {
+                    let scale = 10f64.powi(p as i32);
+                    Value::Float((f * scale).round() / scale)
+                }
+                None => v.clone(),
+            },
+            _ => v.clone(),
+        }
+    }
+
+    /// Normalise every cell of a table (schema and key unchanged).
+    pub fn table(&self, t: &Table) -> Table {
+        let schema: Schema = t.schema().clone();
+        let mut out = Table::new(t.name(), schema);
+        for row in t.rows() {
+            let new_row: Vec<Value> = row.iter().map(|v| self.value(v)).collect();
+            out.push_row(new_row).expect("same arity");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_folds_case_and_whitespace() {
+        let n = NormalizeConfig::default();
+        assert_eq!(n.value(&Value::str("  Microsoft   Corp ")), Value::str("microsoft corp"));
+    }
+
+    #[test]
+    fn off_is_identity() {
+        let n = NormalizeConfig::off();
+        for v in [
+            Value::str("  MiXeD "),
+            Value::Int(3),
+            Value::Float(1.23456789),
+            Value::Null,
+        ] {
+            assert_eq!(n.value(&v), v);
+        }
+    }
+
+    #[test]
+    fn punctuation_stripping() {
+        let n = NormalizeConfig::aggressive();
+        assert_eq!(n.value(&Value::str("Smith, J.R.")), Value::str("smith jr"));
+    }
+
+    #[test]
+    fn float_rounding_unifies_near_equal() {
+        let n = NormalizeConfig {
+            float_precision: Some(2),
+            ..NormalizeConfig::off()
+        };
+        assert_eq!(n.value(&Value::Float(0.123_49)), n.value(&Value::Float(0.120_01)));
+        assert_ne!(n.value(&Value::Float(0.13)), n.value(&Value::Float(0.12)));
+    }
+
+    #[test]
+    fn retype_strings_closes_csv_gaps() {
+        let n = NormalizeConfig::default();
+        assert_eq!(n.value(&Value::str("42")), Value::Int(42));
+        assert_eq!(n.value(&Value::str("TRUE")), Value::Bool(true));
+        // A trimmed-to-empty string becomes null.
+        assert_eq!(n.value(&Value::str("   ")), Value::Null);
+    }
+
+    #[test]
+    fn nulls_and_labeled_nulls_pass_through() {
+        let n = NormalizeConfig::aggressive();
+        assert_eq!(n.value(&Value::Null), Value::Null);
+        assert_eq!(n.value(&Value::LabeledNull(7)), Value::LabeledNull(7));
+    }
+
+    #[test]
+    fn table_normalisation_preserves_shape_and_key() {
+        let t = Table::build(
+            "t",
+            &["id", "name"],
+            &["id"],
+            vec![
+                vec![Value::Int(1), Value::str(" Alice ")],
+                vec![Value::Int(2), Value::str("BOB")],
+            ],
+        )
+        .unwrap();
+        let n = NormalizeConfig::default().table(&t);
+        assert_eq!(n.n_rows(), 2);
+        assert_eq!(n.schema().key_names(), vec!["id"]);
+        assert_eq!(n.cell(0, 1), Some(&Value::str("alice")));
+        assert_eq!(n.cell(1, 1), Some(&Value::str("bob")));
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-table and per-lake statistics — the numbers behind Table I of the
+//! paper ("Statistics on Data lakes of each benchmark": #tables, #cols,
+//! avg rows, size).
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Cells that are plain nulls.
+    pub nulls: usize,
+    /// Approximate in-memory size in bytes (values only).
+    pub bytes: usize,
+}
+
+/// Approximate byte footprint of one value.
+fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Null => 1,
+        Value::LabeledNull(_) => 9,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 8,
+        Value::Float(_) => 8,
+        Value::Str(s) => s.len(),
+    }
+}
+
+/// Compute [`TableStats`] for `t`.
+pub fn table_stats(t: &Table) -> TableStats {
+    let mut nulls = 0usize;
+    let mut bytes = 0usize;
+    for row in t.rows() {
+        for v in row {
+            if v.is_null() {
+                nulls += 1;
+            }
+            bytes += value_bytes(v);
+        }
+    }
+    TableStats { rows: t.n_rows(), cols: t.n_cols(), nulls, bytes }
+}
+
+/// Aggregate statistics over a lake (a slice of tables) — one row of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LakeStats {
+    /// Number of tables.
+    pub tables: usize,
+    /// Total number of columns across tables.
+    pub total_cols: usize,
+    /// Average rows per table.
+    pub avg_rows: f64,
+    /// Total approximate size in megabytes.
+    pub size_mb: f64,
+}
+
+/// Compute [`LakeStats`] over `lake`.
+pub fn lake_stats(lake: &[Table]) -> LakeStats {
+    let mut total_cols = 0usize;
+    let mut total_rows = 0usize;
+    let mut bytes = 0usize;
+    for t in lake {
+        let s = table_stats(t);
+        total_cols += s.cols;
+        total_rows += s.rows;
+        bytes += s.bytes;
+    }
+    LakeStats {
+        tables: lake.len(),
+        total_cols,
+        avg_rows: if lake.is_empty() { 0.0 } else { total_rows as f64 / lake.len() as f64 },
+        size_mb: bytes as f64 / (1024.0 * 1024.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value as V;
+
+    #[test]
+    fn counts_nulls_and_sizes() {
+        let t = Table::build(
+            "t",
+            &["a", "b"],
+            &[],
+            vec![vec![V::Int(1), V::Null], vec![V::str("xy"), V::Float(2.0)]],
+        )
+        .unwrap();
+        let s = table_stats(&t);
+        assert_eq!(s.rows, 2);
+        assert_eq!(s.cols, 2);
+        assert_eq!(s.nulls, 1);
+        assert_eq!(s.bytes, 8 + 1 + 2 + 8);
+    }
+
+    #[test]
+    fn lake_aggregation() {
+        let t1 = Table::build("a", &["x"], &[], vec![vec![V::Int(1)]]).unwrap();
+        let t2 = Table::build("b", &["x", "y"], &[], vec![vec![V::Int(1), V::Int(2)]; 3]).unwrap();
+        let s = lake_stats(&[t1, t2]);
+        assert_eq!(s.tables, 2);
+        assert_eq!(s.total_cols, 3);
+        assert!((s.avg_rows - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_lake() {
+        let s = lake_stats(&[]);
+        assert_eq!(s.tables, 0);
+        assert_eq!(s.avg_rows, 0.0);
+    }
+}

@@ -1,0 +1,455 @@
+//! The [`Table`] type: a named, row-major relation.
+//!
+//! Tables are the unit of everything in Gen-T: the Source Table, the data
+//! lake entries, the candidate/originating sets, and the reclaimed output.
+//! The representation is deliberately simple — `Vec<Vec<Value>>` guarded by
+//! arity checks — because the operator algebra (`gent-ops`) rewrites tables
+//! wholesale and the hot paths (discovery, matrix traversal) work over
+//! derived indexes, not this storage.
+
+use crate::error::TableError;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A key tuple: the values of a row's key attributes, in key order.
+///
+/// Tuple alignment between a reclaimed table and the Source Table is done by
+/// equality on these (§IV-A: "aligned tuples iff they share the same values
+/// on key attributes").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyValue(pub Vec<Value>);
+
+impl KeyValue {
+    /// True when any component is a (plain) null — such rows can never align.
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+}
+
+impl fmt::Display for KeyValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|v| v.to_string()).collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+/// A named, row-major relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: Arc<str>,
+    schema: Schema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// An empty table over `schema`.
+    pub fn new(name: impl AsRef<str>, schema: Schema) -> Self {
+        Table { name: Arc::from(name.as_ref()), schema, rows: Vec::new() }
+    }
+
+    /// Build from rows, checking arity.
+    pub fn from_rows(
+        name: impl AsRef<str>,
+        schema: Schema,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self, TableError> {
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != schema.len() {
+                return Err(TableError::ArityMismatch {
+                    expected: schema.len(),
+                    got: r.len(),
+                    row: Some(i),
+                });
+            }
+        }
+        Ok(Table { name: Arc::from(name.as_ref()), schema, rows })
+    }
+
+    /// Convenience constructor used heavily in tests and examples: columns,
+    /// key names (may be empty) and rows of `Value`-convertible cells.
+    pub fn build<S: AsRef<str>>(
+        name: &str,
+        columns: &[S],
+        key: &[&str],
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self, TableError> {
+        let schema = if key.is_empty() {
+            Schema::new(columns.iter().map(|c| c.as_ref()))?
+        } else {
+            Schema::with_key(columns.iter().map(|c| c.as_ref()), key.iter().copied())?
+        };
+        Self::from_rows(name, schema, rows)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table.
+    pub fn set_name(&mut self, name: impl AsRef<str>) {
+        self.name = Arc::from(name.as_ref());
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Mutable schema access (rename columns, set keys).
+    pub fn schema_mut(&mut self) -> &mut Schema {
+        &mut self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Total number of cells (`rows × cols`) — the paper's "output size".
+    pub fn n_cells(&self) -> usize {
+        self.n_rows() * self.n_cols()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Row `i`.
+    pub fn row(&self, i: usize) -> Option<&[Value]> {
+        self.rows.get(i).map(|r| r.as_slice())
+    }
+
+    /// Cell at row `i`, column `j`.
+    pub fn cell(&self, i: usize, j: usize) -> Option<&Value> {
+        self.rows.get(i).and_then(|r| r.get(j))
+    }
+
+    /// Cell at row `i` in the column named `col`.
+    pub fn cell_by_name(&self, i: usize, col: &str) -> Option<&Value> {
+        let j = self.schema.column_index(col)?;
+        self.cell(i, j)
+    }
+
+    /// Append a row, checking arity.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), TableError> {
+        if row.len() != self.schema.len() {
+            return Err(TableError::ArityMismatch {
+                expected: self.schema.len(),
+                got: row.len(),
+                row: Some(self.rows.len()),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Iterate over the values of column `j`.
+    pub fn column(&self, j: usize) -> impl Iterator<Item = &Value> {
+        self.rows.iter().map(move |r| &r[j])
+    }
+
+    /// Distinct non-null values of column `j`.
+    pub fn distinct_values(&self, j: usize) -> FxHashSet<Value> {
+        let mut set = FxHashSet::default();
+        for v in self.column(j) {
+            if !v.is_null_like() {
+                set.insert(v.clone());
+            }
+        }
+        set
+    }
+
+    /// Distinct non-null values over the whole table.
+    pub fn all_values(&self) -> FxHashSet<Value> {
+        let mut set = FxHashSet::default();
+        for r in &self.rows {
+            for v in r {
+                if !v.is_null_like() {
+                    set.insert(v.clone());
+                }
+            }
+        }
+        set
+    }
+
+    /// Extract the key tuple of row `i` using this table's own key columns.
+    /// Returns `None` when the table has no key or any key cell is null.
+    pub fn key_of_row(&self, i: usize) -> Option<KeyValue> {
+        if !self.schema.has_key() {
+            return None;
+        }
+        let row = self.rows.get(i)?;
+        let kv: Vec<Value> = self.schema.key().iter().map(|&k| row[k].clone()).collect();
+        let kv = KeyValue(kv);
+        if kv.has_null() {
+            None
+        } else {
+            Some(kv)
+        }
+    }
+
+    /// Extract a key tuple from `row` using explicit column indices; `None`
+    /// if any cell is null-like (nulls never align tuples).
+    pub fn key_from_row(row: &[Value], key_cols: &[usize]) -> Option<KeyValue> {
+        let mut kv = Vec::with_capacity(key_cols.len());
+        for &k in key_cols {
+            let v = row.get(k)?;
+            if v.is_null_like() {
+                return None;
+            }
+            kv.push(v.clone());
+        }
+        Some(KeyValue(kv))
+    }
+
+    /// Map from key tuple → row indices. Multiple rows may share a key in
+    /// lake tables (only the Source Table is required to satisfy its key).
+    pub fn key_index(&self) -> FxHashMap<KeyValue, Vec<usize>> {
+        let mut idx: FxHashMap<KeyValue, Vec<usize>> = FxHashMap::default();
+        for i in 0..self.n_rows() {
+            if let Some(kv) = self.key_of_row(i) {
+                idx.entry(kv).or_default().push(i);
+            }
+        }
+        idx
+    }
+
+    /// True if the declared key is actually unique over the rows.
+    pub fn key_is_valid(&self) -> bool {
+        if !self.schema.has_key() {
+            return false;
+        }
+        let mut seen = FxHashSet::default();
+        for i in 0..self.n_rows() {
+            match self.key_of_row(i) {
+                Some(kv) => {
+                    if !seen.insert(kv) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Remove exact duplicate rows, preserving first occurrences.
+    pub fn dedup_rows(&mut self) {
+        let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
+        self.rows.retain(|r| seen.insert(r.clone()));
+    }
+
+    /// Keep only rows satisfying `pred` (row-slice predicate).
+    pub fn retain_rows<F: FnMut(&[Value]) -> bool>(&mut self, mut pred: F) {
+        self.rows.retain(|r| pred(r));
+    }
+
+    /// Low-level column projection by index, preserving this table's key
+    /// designation where the key columns survive. Higher-level `project`
+    /// (by name) lives in `gent-ops`.
+    pub fn take_columns(&self, indices: &[usize], new_name: &str) -> Result<Table, TableError> {
+        for &i in indices {
+            if i >= self.n_cols() {
+                return Err(TableError::ColumnIndexOutOfBounds { index: i, ncols: self.n_cols() });
+            }
+        }
+        let names: Vec<&str> = indices
+            .iter()
+            .map(|&i| self.schema.column_name(i).expect("checked above"))
+            .collect();
+        let surviving_key: Vec<&str> = self
+            .schema
+            .key()
+            .iter()
+            .filter(|k| indices.contains(k))
+            .map(|&k| self.schema.column_name(k).expect("key in schema"))
+            .collect();
+        // Only keep the key if *all* key columns survive — a partial key is
+        // not a key.
+        let keep_key = self.schema.has_key()
+            && surviving_key.len() == self.schema.key().len();
+        let schema = if keep_key {
+            Schema::with_key(names.iter().copied(), surviving_key.iter().copied())?
+        } else {
+            Schema::new(names.iter().copied())?
+        };
+        let rows: Vec<Vec<Value>> = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
+            .collect();
+        Table::from_rows(new_name, schema, rows)
+    }
+
+    /// True when every row of `self` appears in `other` *and* every column
+    /// name of `self` appears in `other` — the "candidate table subsumed by
+    /// another candidate" test of Set Similarity (Algorithm 3, line 15).
+    pub fn subsumed_by(&self, other: &Table) -> bool {
+        if !self.schema.columns().all(|c| other.schema.contains(c)) {
+            return false;
+        }
+        let mapping: Vec<usize> = self
+            .schema
+            .columns()
+            .map(|c| other.schema.column_index(c).expect("checked contains"))
+            .collect();
+        let other_rows: FxHashSet<Vec<&Value>> = other
+            .rows
+            .iter()
+            .map(|r| mapping.iter().map(|&j| &r[j]).collect())
+            .collect();
+        self.rows.iter().all(|r| other_rows.contains(&r.iter().collect::<Vec<_>>()))
+    }
+
+    /// Count non-null-like cells.
+    pub fn non_null_cells(&self) -> usize {
+        self.rows.iter().flat_map(|r| r.iter()).filter(|v| !v.is_null_like()).count()
+    }
+
+    /// Distinct row multiset view used by tuple-level precision/recall.
+    pub fn row_set(&self) -> FxHashSet<&[Value]> {
+        self.rows.iter().map(|r| r.as_slice()).collect()
+    }
+}
+
+impl fmt::Display for Table {
+    /// Pretty-print up to 20 rows — debugging/examples aid.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} rows)", self.name, self.n_rows())?;
+        let cols: Vec<&str> = self.schema.columns().collect();
+        writeln!(f, "| {} |", cols.join(" | "))?;
+        for r in self.rows.iter().take(20) {
+            let cells: Vec<String> = r.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "| {} |", cells.join(" | "))?;
+        }
+        if self.n_rows() > 20 {
+            writeln!(f, "… {} more rows", self.n_rows() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value as V;
+
+    fn sample() -> Table {
+        Table::build(
+            "people",
+            &["id", "name", "age"],
+            &["id"],
+            vec![
+                vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                vec![V::Int(1), V::str("Brown"), V::Int(24)],
+                vec![V::Int(2), V::str("Wang"), V::Int(32)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_arity() {
+        let schema = Schema::new(["a", "b"]).unwrap();
+        let err = Table::from_rows("t", schema, vec![vec![V::Int(1)]]);
+        assert!(matches!(err, Err(TableError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn key_extraction_and_index() {
+        let t = sample();
+        assert_eq!(t.key_of_row(0), Some(KeyValue(vec![V::Int(0)])));
+        let idx = t.key_index();
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx[&KeyValue(vec![V::Int(1)])], vec![1]);
+        assert!(t.key_is_valid());
+    }
+
+    #[test]
+    fn null_keys_do_not_align() {
+        let mut t = sample();
+        t.push_row(vec![V::Null, V::str("Ghost"), V::Null]).unwrap();
+        assert_eq!(t.key_of_row(3), None);
+        assert!(!t.key_is_valid());
+    }
+
+    #[test]
+    fn duplicate_keys_invalidate() {
+        let mut t = sample();
+        t.push_row(vec![V::Int(0), V::str("Smith2"), V::Int(99)]).unwrap();
+        assert!(!t.key_is_valid());
+        assert_eq!(t.key_index()[&KeyValue(vec![V::Int(0)])].len(), 2);
+    }
+
+    #[test]
+    fn dedup_preserves_first() {
+        let mut t = sample();
+        t.push_row(vec![V::Int(0), V::str("Smith"), V::Int(27)]).unwrap();
+        assert_eq!(t.n_rows(), 4);
+        t.dedup_rows();
+        assert_eq!(t.n_rows(), 3);
+    }
+
+    #[test]
+    fn take_columns_keeps_full_keys_only() {
+        let t = sample();
+        let p = t.take_columns(&[0, 1], "p").unwrap();
+        assert_eq!(p.schema().key(), &[0]); // id survives → key kept
+        let q = t.take_columns(&[1, 2], "q").unwrap();
+        assert!(!q.schema().has_key()); // id dropped → no key
+    }
+
+    #[test]
+    fn take_columns_reorders() {
+        let t = sample();
+        let p = t.take_columns(&[2, 0], "p").unwrap();
+        assert_eq!(p.schema().columns().collect::<Vec<_>>(), vec!["age", "id"]);
+        assert_eq!(p.cell(0, 0), Some(&V::Int(27)));
+        assert_eq!(p.cell(0, 1), Some(&V::Int(0)));
+    }
+
+    #[test]
+    fn subsumption_between_tables() {
+        let t = sample();
+        let small = t.take_columns(&[0, 1], "small").unwrap();
+        assert!(small.subsumed_by(&t));
+        assert!(!t.subsumed_by(&small)); // t has extra column
+        let mut other = small.clone();
+        other.push_row(vec![V::Int(9), V::str("New")]).unwrap();
+        assert!(!other.subsumed_by(&t)); // extra row not in t
+    }
+
+    #[test]
+    fn distinct_values_skip_nulls() {
+        let mut t = sample();
+        t.push_row(vec![V::Int(3), V::Null, V::Null]).unwrap();
+        t.push_row(vec![V::Int(4), V::LabeledNull(1), V::Int(27)]).unwrap();
+        let names = t.distinct_values(1);
+        assert_eq!(names.len(), 3); // Smith, Brown, Wang — no nulls/labels
+        let ages = t.distinct_values(2);
+        assert_eq!(ages.len(), 3); // 27, 24, 32 (27 dup collapses)
+    }
+
+    #[test]
+    fn cell_by_name() {
+        let t = sample();
+        assert_eq!(t.cell_by_name(2, "name"), Some(&V::str("Wang")));
+        assert_eq!(t.cell_by_name(2, "zzz"), None);
+    }
+}

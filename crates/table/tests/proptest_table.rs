@@ -1,0 +1,181 @@
+//! Property tests on the table substrate: value semantics, CSV persistence,
+//! normalisation, and key discovery.
+
+use gent_table::key::{discover_key, ensure_key};
+use gent_table::{csv, NormalizeConfig, Table, Value};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+/// Any value, including the messy cross-type cases.
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        1 => (0u64..50).prop_map(Value::LabeledNull),
+        1 => any::<bool>().prop_map(Value::Bool),
+        3 => (-100i64..100).prop_map(Value::Int),
+        3 => (-100i64..100).prop_map(|i| Value::Float(i as f64 / 4.0)),
+        3 => "[a-zA-Z0-9 ,\"]{0,12}".prop_map(Value::str),
+    ]
+}
+
+/// A CSV-safe cell: the kind of value CSV persistence is specified over
+/// (labeled nulls are documented not to round-trip).
+fn csv_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        2 => any::<bool>().prop_map(Value::Bool),
+        3 => (-1000i64..1000).prop_map(Value::Int),
+        3 => (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 8.0)),
+        3 => "[a-zA-Z][a-zA-Z0-9 ,\"_-]{0,10}".prop_map(Value::str),
+    ]
+}
+
+fn small_table() -> impl Strategy<Value = Table> {
+    (1usize..5).prop_flat_map(|ncols| {
+        proptest::collection::vec(
+            proptest::collection::vec(csv_value(), ncols),
+            0..8,
+        )
+        .prop_map(move |rows| {
+            let cols: Vec<String> = (0..ncols).map(|i| format!("c{i}")).collect();
+            Table::build(
+                "t",
+                &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+                &[],
+                rows,
+            )
+            .unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Eq and Hash are consistent — the HashMap/HashSet contract, which the
+    /// inverted index and minhash rely on (especially across Int/Float).
+    #[test]
+    fn eq_implies_same_hash(a in any_value(), b in any_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// The ordering is total and consistent with equality.
+    #[test]
+    fn ordering_is_total_and_consistent(a in any_value(), b in any_value(), c in any_value()) {
+        // Antisymmetry + consistency.
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+            Ordering::Less => prop_assert_eq!(b.cmp(&a), Ordering::Greater),
+            Ordering::Greater => prop_assert_eq!(b.cmp(&a), Ordering::Less),
+        }
+        // Transitivity.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    /// CSV persistence is a fixpoint after one round trip: parsing
+    /// normalises types once, then write→read→write is stable.
+    #[test]
+    fn csv_roundtrip_fixpoint(t in small_table()) {
+        let mut first = Vec::new();
+        csv::write_csv(&t, &mut first).unwrap();
+        let back = csv::read_csv("t", first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        csv::write_csv(&back, &mut second).unwrap();
+        let back2 = csv::read_csv("t", second.as_slice()).unwrap();
+        prop_assert_eq!(back.rows(), back2.rows());
+        prop_assert_eq!(back.n_cols(), t.n_cols());
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+    }
+
+    /// Normalisation is idempotent for every shipped configuration.
+    #[test]
+    fn normalization_is_idempotent(v in any_value()) {
+        for cfg in [NormalizeConfig::default(), NormalizeConfig::aggressive(), NormalizeConfig::off()] {
+            let once = cfg.value(&v);
+            let twice = cfg.value(&once);
+            prop_assert_eq!(&once, &twice, "config {:?}", cfg);
+        }
+    }
+
+    /// A discovered key really is a key: installing it validates.
+    #[test]
+    fn discovered_keys_are_valid(t in small_table()) {
+        if let Some(cols) = discover_key(&t, 3) {
+            let names: Vec<String> = cols
+                .iter()
+                .map(|&c| t.schema().column_name(c).unwrap().to_string())
+                .collect();
+            let mut keyed = t.clone();
+            keyed.schema_mut().set_key(names.iter().map(|s| s.as_str())).unwrap();
+            prop_assert!(keyed.key_is_valid());
+        }
+        // ensure_key agrees with discover_key on feasibility.
+        let mut u = t.clone();
+        prop_assert_eq!(ensure_key(&mut u), discover_key(&t, 3).is_some() || (t.schema().has_key() && t.key_is_valid()));
+    }
+
+    /// dedup_rows removes exactly the duplicate multiplicity.
+    #[test]
+    fn dedup_leaves_distinct_rows(t in small_table()) {
+        let mut d = t.clone();
+        d.dedup_rows();
+        let distinct: std::collections::HashSet<Vec<Value>> =
+            t.rows().iter().cloned().collect();
+        prop_assert_eq!(d.n_rows(), distinct.len());
+        for row in d.rows() {
+            prop_assert!(distinct.contains(row));
+        }
+    }
+
+    /// take_columns projects without touching row count, and errors on
+    /// out-of-range indices.
+    #[test]
+    fn take_columns_shapes(t in small_table()) {
+        let all: Vec<usize> = (0..t.n_cols()).collect();
+        let p = t.take_columns(&all, "p").unwrap();
+        prop_assert_eq!(p.n_rows(), t.n_rows());
+        prop_assert_eq!(p.n_cols(), t.n_cols());
+        prop_assert!(t.take_columns(&[t.n_cols() + 1], "bad").is_err());
+    }
+}
+
+#[test]
+fn empty_csv_is_an_error() {
+    assert!(csv::read_csv("t", "".as_bytes()).is_err());
+}
+
+#[test]
+fn ragged_csv_is_an_error() {
+    let data = "a,b\n1,2\n3\n";
+    assert!(csv::read_csv("t", data.as_bytes()).is_err());
+}
+
+#[test]
+fn quoted_fields_round_trip() {
+    let t = Table::build(
+        "q",
+        &["text"],
+        &[],
+        vec![
+            vec![Value::str("hello, world")],
+            vec![Value::str("she said \"hi\"")],
+        ],
+    )
+    .unwrap();
+    let mut buf = Vec::new();
+    csv::write_csv(&t, &mut buf).unwrap();
+    let back = csv::read_csv("q", buf.as_slice()).unwrap();
+    assert_eq!(back.rows(), t.rows());
+}

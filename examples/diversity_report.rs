@@ -1,0 +1,102 @@
+//! The paper's motivating scenario (§I, Figure 1): a news article reports
+//! employee demographics for top tech companies; an analyst holding one
+//! company's own diversity report wants to know whether *any* combination
+//! of tables in her lake reproduces the article's numbers — and which
+//! tables those are.
+//!
+//! Run with: `cargo run --example diversity_report`
+
+use gen_t::prelude::*;
+
+fn pct(v: i64) -> Value {
+    Value::Int(v)
+}
+
+fn main() {
+    // The news article's table (the Source). Key: company name.
+    let article = Table::build(
+        "news_article",
+        &["Company", "% White", "% Asian", "% Black", "% Hispanic", "# Total Emps"],
+        &["Company"],
+        vec![
+            vec![Value::str("Microsoft"), pct(54), pct(21), pct(13), pct(7), Value::Int(181_000)],
+            vec![Value::str("Amazon"), pct(54), pct(21), pct(12), pct(9), Value::Int(1_608_000)],
+            vec![Value::str("Google"), pct(51), pct(24), pct(7), pct(12), Value::Int(156_500)],
+        ],
+    )
+    .expect("static schema");
+
+    // The analyst's data lake: worldwide ethnicity splits, a worldwide
+    // headcount table, the (contradicting, US-only) internal report, and an
+    // unrelated gender table.
+    let world_ethnicity = Table::build(
+        "World_Ethnicity",
+        &["company_name", "white", "asian", "black", "hispanic"],
+        &[],
+        vec![
+            vec![Value::str("Microsoft"), pct(54), pct(21), pct(13), pct(7)],
+            vec![Value::str("Amazon"), pct(54), pct(21), pct(12), pct(9)],
+            vec![Value::str("Google"), pct(51), pct(24), pct(7), pct(12)],
+        ],
+    )
+    .expect("static schema");
+    let world_employees = Table::build(
+        "World_Employees",
+        &["company_name", "total_employees"],
+        &[],
+        vec![
+            vec![Value::str("Microsoft"), Value::Int(181_000)],
+            vec![Value::str("Amazon"), Value::Int(1_608_000)],
+            vec![Value::str("Google"), Value::Int(156_500)],
+        ],
+    )
+    .expect("static schema");
+    // US-only numbers that *contradict* the article — reclamation must not
+    // pull these in.
+    let us_report = Table::build(
+        "MS_US_Diversity_Report",
+        &["company_name", "white", "asian", "black", "hispanic", "total_employees"],
+        &[],
+        vec![vec![
+            Value::str("Microsoft"),
+            pct(49),
+            pct(35),
+            pct(6),
+            pct(7),
+            Value::Int(103_000),
+        ]],
+    )
+    .expect("static schema");
+    let gender = Table::build(
+        "Gender_Demographics",
+        &["company_name", "male", "female"],
+        &[],
+        vec![
+            vec![Value::str("Microsoft"), pct(61), pct(39)],
+            vec![Value::str("Amazon"), pct(55), pct(45)],
+        ],
+    )
+    .expect("static schema");
+
+    let lake = DataLake::from_tables(vec![world_ethnicity, world_employees, us_report, gender]);
+    let result = GenT::new(GenTConfig::default())
+        .reclaim(&article, &lake)
+        .expect("article table has a key");
+
+    println!("Reclaimed article table:\n{}", result.reclaimed);
+    println!(
+        "Originating tables: {:?}",
+        result.originating.iter().map(|t| t.name()).collect::<Vec<_>>()
+    );
+    println!("Recall = {:.3}, Precision = {:.3}", result.report.recall, result.report.precision);
+
+    // The analyst's takeaway: the article is reclaimable from the *world*
+    // tables — so the discrepancy with the US report is a US-vs-world scope
+    // difference, not an error.
+    assert!(result.report.recall >= 0.99, "article must be reclaimable from world tables");
+    assert!(
+        result.originating.iter().all(|t| !t.name().contains("US_Diversity")),
+        "the contradicting US report must be filtered out"
+    );
+    println!("=> The article's numbers come from the worldwide tables; the US report only *seems* to contradict it.");
+}

@@ -1,0 +1,91 @@
+//! Verifying an LLM-generated table against a trusted data lake — the §VII
+//! use case: "Table reclamation can also be used to verify the tabular
+//! results of generative AI or large language models."
+//!
+//! A model produced a demographics summary (the paper's Figure 1 scenario).
+//! We reclaim that claimed table from a lake of trusted reports; the
+//! verification verdict tells us which claims the lake confirms, which it
+//! cannot derive, and which it contradicts.
+//!
+//! Run with: `cargo run --example llm_verification`
+
+use gen_t::prelude::*;
+
+fn main() {
+    // The table a model generated (a claim to be checked). Key: Company.
+    let claimed = Table::build(
+        "llm_summary",
+        &["Company", "PctWhite", "PctAsian", "TotalEmps"],
+        &["Company"],
+        vec![
+            vec![Value::str("Microsoft"), Value::Int(54), Value::Int(21), Value::Int(181_000)],
+            vec![Value::str("Amazon"), Value::Int(54), Value::Int(21), Value::Int(1_608_000)],
+            // The model hallucinated Google's Asian percentage (20 vs 24).
+            vec![Value::str("Google"), Value::Int(51), Value::Int(20), Value::Int(156_500)],
+            // And invented a company the lake knows nothing about.
+            vec![Value::str("Initech"), Value::Int(40), Value::Int(30), Value::Int(5_000)],
+        ],
+    )
+    .expect("static schema");
+
+    // The trusted lake: separate ethnicity and headcount reports.
+    let ethnicity = Table::build(
+        "world_ethnicity_2021",
+        &["org", "white_pct", "asian_pct"],
+        &[],
+        vec![
+            vec![Value::str("Microsoft"), Value::Int(54), Value::Int(21)],
+            vec![Value::str("Amazon"), Value::Int(54), Value::Int(21)],
+            vec![Value::str("Google"), Value::Int(51), Value::Int(24)],
+        ],
+    )
+    .expect("static schema");
+    let headcount = Table::build(
+        "world_headcount_2021",
+        &["org", "employees"],
+        &[],
+        vec![
+            vec![Value::str("Microsoft"), Value::Int(181_000)],
+            vec![Value::str("Amazon"), Value::Int(1_608_000)],
+            vec![Value::str("Google"), Value::Int(156_500)],
+        ],
+    )
+    .expect("static schema");
+    let lake = DataLake::from_tables(vec![ethnicity, headcount]);
+
+    // Reclaim the claimed table, then verify.
+    let result = GenT::new(GenTConfig::default())
+        .reclaim(&claimed, &lake)
+        .expect("claimed table has a key");
+    let (verdict, explanation) = verify_table(
+        &claimed,
+        &result.reclaimed,
+        &result.originating,
+        &VerifyConfig::default(),
+    );
+
+    match &verdict {
+        VerificationVerdict::Verified { coverage } => {
+            println!("VERIFIED ({:.0}% of cells confirmed)", coverage * 100.0)
+        }
+        VerificationVerdict::PartiallyVerified { coverage, unconfirmed_cells, missing_tuples } => {
+            println!(
+                "PARTIALLY VERIFIED ({:.0}% confirmed, {unconfirmed_cells} unconfirmed cells, {missing_tuples} underivable rows)",
+                coverage * 100.0
+            )
+        }
+        VerificationVerdict::Contradicted { coverage, contradicted_cells } => {
+            println!(
+                "CONTRADICTED ({contradicted_cells} cells disagree; {:.0}% confirmed)",
+                coverage * 100.0
+            )
+        }
+    }
+    println!();
+    print!("{}", explanation.render());
+
+    // The lake contradicts the hallucinated 20% (it says 24%), so the
+    // verdict must be Contradicted — silence about Initech alone would
+    // only have been a partial verification.
+    assert!(matches!(verdict, VerificationVerdict::Contradicted { .. }));
+}

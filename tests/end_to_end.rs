@@ -1,0 +1,193 @@
+//! Cross-crate integration tests: the full pipeline from generated
+//! benchmarks through discovery, traversal and integration to evaluation.
+
+use gen_t::baselines::{AlitePs, GenTMethod, Reclaimer};
+use gen_t::datagen::suite::{build, BenchmarkId, SuiteConfig};
+use gen_t::datagen::webgen::WebCorpusConfig;
+use gen_t::prelude::*;
+use std::time::Duration;
+
+fn small_suite() -> SuiteConfig {
+    SuiteConfig {
+        units: (40, 60, 90),
+        santos_noise_tables: 60,
+        wdc_noise_tables: 60,
+        web: WebCorpusConfig {
+            n_base_tables: 12,
+            n_reclaimable: 3,
+            n_duplicates: 2,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn figure3_pipeline_is_perfect() {
+    let source = Table::build(
+        "S",
+        &["ID", "Name", "Age", "Gender", "Education Level"],
+        &["ID"],
+        vec![
+            vec![Value::Int(0), Value::str("Smith"), Value::Int(27), Value::Null, Value::str("Bachelors")],
+            vec![Value::Int(1), Value::str("Brown"), Value::Int(24), Value::str("Male"), Value::str("Masters")],
+            vec![Value::Int(2), Value::str("Wang"), Value::Int(32), Value::str("Female"), Value::str("High School")],
+        ],
+    )
+    .unwrap();
+    let lake = DataLake::from_tables(vec![
+        Table::build(
+            "A",
+            &["id", "nm", "edu"],
+            &[],
+            vec![
+                vec![Value::Int(0), Value::str("Smith"), Value::str("Bachelors")],
+                vec![Value::Int(1), Value::str("Brown"), Value::Null],
+                vec![Value::Int(2), Value::str("Wang"), Value::str("High School")],
+            ],
+        )
+        .unwrap(),
+        Table::build(
+            "B",
+            &["who", "age"],
+            &[],
+            vec![
+                vec![Value::str("Smith"), Value::Int(27)],
+                vec![Value::str("Brown"), Value::Int(24)],
+                vec![Value::str("Wang"), Value::Int(32)],
+            ],
+        )
+        .unwrap(),
+        Table::build(
+            "D",
+            &["id", "nm", "age", "sex", "edu"],
+            &[],
+            vec![
+                vec![Value::Int(0), Value::str("Smith"), Value::Int(27), Value::Null, Value::str("Bachelors")],
+                vec![Value::Int(1), Value::str("Brown"), Value::Int(24), Value::str("Male"), Value::str("Masters")],
+                vec![Value::Int(2), Value::str("Wang"), Value::Int(32), Value::str("Female"), Value::Null],
+            ],
+        )
+        .unwrap(),
+    ]);
+    let res = GenT::new(GenTConfig::default()).reclaim(&source, &lake).unwrap();
+    assert!(res.report.perfect);
+    assert!((res.eis - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn tp_tr_project_select_sources_reclaim_perfectly() {
+    // Class A sources must be fully reclaimable from the two nullified
+    // variants — the core TP-TR construction guarantee.
+    let bench = build(BenchmarkId::TpTrSmall, &small_suite());
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let gen_t = GenT::default();
+    let class_a: Vec<_> = bench
+        .cases
+        .iter()
+        .filter(|c| c.class == Some(gen_t::datagen::QueryClass::ProjectSelectUnion))
+        .collect();
+    assert_eq!(class_a.len(), 9);
+    let mut perfect = 0;
+    for case in &class_a {
+        let res = gen_t.reclaim(&case.source, &lake).unwrap();
+        if res.report.perfect {
+            perfect += 1;
+        }
+    }
+    assert!(perfect >= 8, "only {perfect}/9 class-A sources perfectly reclaimed");
+}
+
+#[test]
+fn gen_t_beats_alite_ps_on_precision() {
+    let bench = build(BenchmarkId::TpTrSmall, &small_suite());
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let gen_t = GenTMethod::default();
+    let alite_ps = AlitePs::default();
+    let budget = Duration::from_secs(20);
+    let mut gent_pre = 0.0;
+    let mut alite_pre = 0.0;
+    let mut n = 0.0;
+    for case in bench.cases.iter().take(10) {
+        let candidates: Vec<Table> = gen_t::discovery::set_similarity(
+            &lake,
+            &case.source,
+            None,
+            &Default::default(),
+        )
+        .into_iter()
+        .map(|c| c.table)
+        .collect();
+        if let Ok(out) = gen_t.reclaim(&case.source, &candidates, budget) {
+            gent_pre += precision(&case.source, &out);
+        }
+        if let Ok(out) = alite_ps.reclaim(&case.source, &candidates, budget) {
+            alite_pre += precision(&case.source, &out);
+        }
+        n += 1.0;
+    }
+    assert!(n > 0.0);
+    assert!(
+        gent_pre / n >= alite_pre / n,
+        "Gen-T precision {:.3} must be ≥ ALITE-PS {:.3}",
+        gent_pre / n,
+        alite_pre / n
+    );
+}
+
+#[test]
+fn noise_never_reaches_originating_tables() {
+    let bench = build(BenchmarkId::SantosLargeTpTrMed, &small_suite());
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let gen_t = GenT::default();
+    for case in bench.cases.iter().take(5) {
+        let res = gen_t.reclaim(&case.source, &lake).unwrap();
+        assert!(
+            res.originating.iter().all(|t| !t.name().starts_with("noise_")),
+            "noise table selected for S{}",
+            case.id
+        );
+    }
+}
+
+#[test]
+fn web_corpus_duplicates_are_rediscovered() {
+    let bench = build(BenchmarkId::T2dGold, &small_suite());
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let gen_t = GenT::default();
+    // The duplicated bases must reclaim perfectly from their twins.
+    let corpus = gen_t::datagen::webgen::generate_web_corpus(&small_suite().web);
+    let mut found = 0;
+    for (base, _) in &corpus.duplicates {
+        let case = bench
+            .cases
+            .iter()
+            .find(|c| c.source.name() == base.as_str())
+            .expect("duplicate base is a case");
+        let excl: Vec<&str> = case.exclude.iter().map(|s| s.as_str()).collect();
+        let res = gen_t.reclaim_excluding(&case.source, &lake, &excl).unwrap();
+        if res.report.perfect {
+            found += 1;
+        }
+    }
+    assert!(found >= 1, "no duplicate rediscovered");
+}
+
+#[test]
+fn eis_is_bounded_and_consistent_across_pipeline() {
+    let bench = build(BenchmarkId::TpTrSmall, &small_suite());
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let gen_t = GenT::default();
+    for case in bench.cases.iter().take(8) {
+        let res = gen_t.reclaim(&case.source, &lake).unwrap();
+        assert!((0.0..=1.0 + 1e-9).contains(&res.eis), "eis {} out of range", res.eis);
+        // Reclaimed table always conforms to the source schema.
+        assert_eq!(
+            res.reclaimed.schema().columns().collect::<Vec<_>>(),
+            case.source.schema().columns().collect::<Vec<_>>()
+        );
+        // EIS from the result must equal recomputing it.
+        let recomputed = eis(&case.source, &res.reclaimed);
+        assert!((res.eis - recomputed).abs() < 1e-9);
+    }
+}

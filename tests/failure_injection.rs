@@ -1,0 +1,227 @@
+//! Failure-injection tests: budgets, malformed inputs, and degenerate lakes
+//! must produce errors or graceful degradation, never panics or silent
+//! corruption.
+
+use gen_t::core::{GenT, GenTConfig, GentError};
+use gen_t::ops::{full_disjunction, saturating_complementation, FdBudget, OpError};
+use gen_t::prelude::*;
+use gen_t::query::{rewrite, Catalog, Query, QueryError};
+use gen_t::table::csv;
+
+fn v(i: i64) -> Value {
+    Value::Int(i)
+}
+
+/// Tables whose full disjunction explodes combinatorially: many rows that
+/// all complement each other through a shared column.
+fn explosive_tables() -> Vec<Table> {
+    // Each table has the shared column "s" constant and a private column —
+    // complementation must merge every row of one with every row of the
+    // other.
+    (0..3)
+        .map(|t| {
+            let cols = ["s".to_string(), format!("p{t}")];
+            let rows: Vec<Vec<Value>> = (0..20)
+                .map(|i| vec![v(1), v(100 * t + i)])
+                .collect();
+            Table::build(
+                &format!("explosive{t}"),
+                &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+                &[],
+                rows,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+#[test]
+fn fd_budget_exhaustion_is_an_error_not_an_oom() {
+    let tables = explosive_tables();
+    let tight = FdBudget::with_max_tuples(50);
+    match full_disjunction(&tables, &tight) {
+        Err(OpError::BudgetExhausted { .. }) => {}
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+    // A generous budget succeeds on the same input.
+    let roomy = FdBudget::with_max_tuples(1_000_000);
+    assert!(full_disjunction(&tables, &roomy).is_ok());
+}
+
+#[test]
+fn saturating_complementation_respects_budget() {
+    let t = {
+        let rows: Vec<Vec<Value>> = (0..30)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![v(1), v(i), Value::Null]
+                } else {
+                    vec![v(1), Value::Null, v(i)]
+                }
+            })
+            .collect();
+        Table::build("t", &["s", "a", "b"], &[], rows).unwrap()
+    };
+    let tight = FdBudget::with_max_tuples(40);
+    match saturating_complementation(&t, &tight) {
+        Err(OpError::BudgetExhausted { .. }) => {}
+        Ok(out) => {
+            // Acceptable only if the result actually stayed within budget.
+            assert!(out.n_rows() <= 40 + t.n_rows());
+        }
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
+fn rep_query_eval_propagates_budget_errors() {
+    // κ* over the explosive union must surface the ops error as a
+    // QueryError::Op, not panic.
+    let tables = explosive_tables();
+    let cat = Catalog::from_tables(tables);
+    let q = Query::scan("explosive0").inner_join(Query::scan("explosive1"));
+    let rep = rewrite(&q, &cat).unwrap();
+    let tight = FdBudget::with_max_tuples(10);
+    match rep.eval_with_budget(&cat, &tight) {
+        Err(QueryError::Op(OpError::BudgetExhausted { .. })) => {}
+        other => panic!("expected Op(BudgetExhausted), got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_csvs_error_with_line_numbers() {
+    // Ragged row.
+    let err = csv::read_csv("t", "a,b\n1,2\n3\n".as_bytes()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("expected 2 fields"), "{msg}");
+
+    // Empty input.
+    assert!(csv::read_csv("t", "".as_bytes()).is_err());
+
+    // Unterminated quote (spans to EOF).
+    let res = csv::read_csv("t", "a\n\"unterminated\n".as_bytes());
+    // Either an error or a single string cell — but never a panic.
+    if let Ok(t) = res {
+        assert_eq!(t.n_cols(), 1);
+    }
+}
+
+#[test]
+fn keyless_source_is_rejected_loudly() {
+    let s = Table::build("S", &["a", "b"], &[], vec![vec![v(1), v(2)]]).unwrap();
+    let lake = DataLake::from_tables(vec![]);
+    assert_eq!(
+        GenT::default().reclaim(&s, &lake).unwrap_err(),
+        GentError::SourceHasNoKey
+    );
+}
+
+#[test]
+fn source_with_zero_rows_reclaims_trivially() {
+    let s = Table::build("S", &["id", "x"], &["id"], vec![]).unwrap();
+    let lake = DataLake::from_tables(vec![Table::build(
+        "t",
+        &["id", "x"],
+        &[],
+        vec![vec![v(1), v(2)]],
+    )
+    .unwrap()]);
+    let res = GenT::default().reclaim(&s, &lake).unwrap();
+    assert_eq!(res.eis, 0.0); // no tuples to reclaim → vacuous zero, not a crash
+}
+
+#[test]
+fn all_null_value_columns_do_not_crash_discovery() {
+    let s = Table::build(
+        "S",
+        &["id", "x"],
+        &["id"],
+        vec![vec![v(1), Value::Null], vec![v(2), Value::Null]],
+    )
+    .unwrap();
+    let keys_only = Table::build("keys", &["id"], &[], vec![vec![v(1)], vec![v(2)]]).unwrap();
+    let lake = DataLake::from_tables(vec![keys_only]);
+    let res = GenT::default().reclaim(&s, &lake).unwrap();
+    // Keys can be reclaimed; the null column is correctly reproduced as
+    // nulls → perfect reclamation of what exists.
+    assert!(res.eis > 0.9, "eis {}", res.eis);
+}
+
+#[test]
+fn duplicate_lake_table_names_stay_addressable() {
+    let a = Table::build("dup", &["id"], &[], vec![vec![v(1)]]).unwrap();
+    let b = Table::build("dup", &["id"], &[], vec![vec![v(2)]]).unwrap();
+    let lake = DataLake::from_tables(vec![a, b]);
+    assert!(lake.get_by_name("dup").is_some());
+    assert!(lake.get_by_name("dup#2").is_some());
+    assert_eq!(lake.len(), 2);
+}
+
+#[test]
+fn pathological_wide_source_is_handled() {
+    // 30 columns, one row — wider than anything the paper tests (22 cols).
+    let cols: Vec<String> = (0..30).map(|i| format!("c{i}")).collect();
+    let row: Vec<Value> = (0..30).map(v).collect();
+    let s = Table::build(
+        "wide",
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &["c0"],
+        vec![row.clone()],
+    )
+    .unwrap();
+    let mut lake_table = Table::build(
+        "fragment",
+        &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        &[],
+        vec![row],
+    )
+    .unwrap();
+    lake_table.set_name("fragment");
+    let lake = DataLake::from_tables(vec![lake_table]);
+    let res = GenT::default().reclaim(&s, &lake).unwrap();
+    assert!(res.report.perfect);
+}
+
+#[test]
+fn contradictory_lake_tables_do_not_poison_the_result() {
+    // Correct fragment + an aggressively wrong twin: traversal must prefer
+    // the correct one (Example 3's Table C scenario, stress version).
+    let s = Table::build(
+        "S",
+        &["id", "x", "y"],
+        &["id"],
+        (0..10).map(|i| vec![v(i), v(i * 10), v(i * 100)]).collect(),
+    )
+    .unwrap();
+    let good = Table::build(
+        "good",
+        &["id", "x", "y"],
+        &[],
+        (0..10).map(|i| vec![v(i), v(i * 10), v(i * 100)]).collect(),
+    )
+    .unwrap();
+    let evil = Table::build(
+        "evil",
+        &["id", "x", "y"],
+        &[],
+        (0..10).map(|i| vec![v(i), v(i * 10 + 1), v(i * 100 + 1)]).collect(),
+    )
+    .unwrap();
+    let lake = DataLake::from_tables(vec![evil, good]);
+    let res = GenT::default().reclaim(&s, &lake).unwrap();
+    assert!(res.report.perfect, "reclaimed:\n{}", res.reclaimed);
+    assert!(res.report.precision > 0.99);
+}
+
+#[test]
+fn zero_max_aligned_per_key_is_clamped_not_divide_by_zero() {
+    let s = Table::build("S", &["id", "x"], &["id"], vec![vec![v(1), v(2)]]).unwrap();
+    let t = Table::build("t", &["id", "x"], &[], vec![vec![v(1), v(2)]]).unwrap();
+    let cfg = GenTConfig {
+        max_aligned_per_key: 0, // pathological configuration
+        ..GenTConfig::default()
+    };
+    // Must not panic; any EIS in [0,1] is acceptable.
+    let res = GenT::new(cfg).reclaim_from_candidates(&s, &[t]).unwrap();
+    assert!((0.0..=1.0).contains(&res.eis));
+}
