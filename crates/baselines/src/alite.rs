@@ -34,10 +34,7 @@ impl Default for Alite {
 }
 
 fn run_fd(tables: &[Table], max_tuples: usize, budget: Duration) -> Result<Table, ReclaimError> {
-    let fd_budget = FdBudget {
-        max_tuples,
-        deadline: Some(Instant::now() + budget),
-    };
+    let fd_budget = FdBudget { max_tuples, deadline: Some(Instant::now() + budget) };
     match full_disjunction(tables, &fd_budget) {
         Ok(Some(t)) => Ok(t),
         Ok(None) => Err(ReclaimError::Unsupported("no candidate tables".into())),
@@ -85,14 +82,10 @@ impl Reclaimer for AlitePs {
         candidates: &[Table],
         budget: Duration,
     ) -> Result<Table, ReclaimError> {
-        let projected: Vec<Table> = candidates
-            .iter()
-            .filter_map(|t| project_select(t, source))
-            .collect();
+        let projected: Vec<Table> =
+            candidates.iter().filter_map(|t| project_select(t, source)).collect();
         if projected.is_empty() {
-            return Err(ReclaimError::Unsupported(
-                "no candidate overlaps the source".into(),
-            ));
+            return Err(ReclaimError::Unsupported("no candidate overlaps the source".into()));
         }
         run_fd(&projected, self.max_tuples, budget)
     }
@@ -142,9 +135,8 @@ mod tests {
 
     #[test]
     fn alite_reclaims_but_keeps_extras() {
-        let out = Alite::default()
-            .reclaim(&source(), &candidates(), Duration::from_secs(5))
-            .unwrap();
+        let out =
+            Alite::default().reclaim(&source(), &candidates(), Duration::from_secs(5)).unwrap();
         let s = source();
         assert_eq!(recall(&s, &out), 1.0);
         // The extra tuple (ID 7) survives — ALITE is not target-driven.
@@ -153,9 +145,8 @@ mod tests {
 
     #[test]
     fn alite_ps_filters_to_source_keys() {
-        let out = AlitePs::default()
-            .reclaim(&source(), &candidates(), Duration::from_secs(5))
-            .unwrap();
+        let out =
+            AlitePs::default().reclaim(&source(), &candidates(), Duration::from_secs(5)).unwrap();
         let s = source();
         assert_eq!(recall(&s, &out), 1.0);
         assert_eq!(precision(&s, &out), 1.0); // ID 7 projected away

@@ -50,12 +50,7 @@ struct State {
 
 impl AutoPipeline {
     /// All successor tables of `t` using one operator application.
-    fn successors(
-        &self,
-        t: &Table,
-        candidates: &[Table],
-        source: &Table,
-    ) -> Vec<Table> {
+    fn successors(&self, t: &Table, candidates: &[Table], source: &Table) -> Vec<Table> {
         let mut out = Vec::new();
         // π/σ against the source (the "shaping" moves).
         if let Some(ps) = project_select(t, source) {
@@ -193,9 +188,8 @@ mod tests {
             vec![vec![V::Int(0), V::Int(27)], vec![V::Int(1), V::Int(24)]],
         )
         .unwrap();
-        let out = AutoPipeline::default()
-            .reclaim(&source(), &[a, b], Duration::from_secs(10))
-            .unwrap();
+        let out =
+            AutoPipeline::default().reclaim(&source(), &[a, b], Duration::from_secs(10)).unwrap();
         assert_eq!(recall(&source(), &out), 1.0);
     }
 
@@ -222,9 +216,7 @@ mod tests {
     #[test]
     fn single_perfect_candidate_is_found_immediately() {
         let c = source();
-        let out = AutoPipeline::default()
-            .reclaim(&source(), &[c], Duration::from_secs(5))
-            .unwrap();
+        let out = AutoPipeline::default().reclaim(&source(), &[c], Duration::from_secs(5)).unwrap();
         assert!(gent_metrics::perfectly_reclaimed(&source(), &out));
     }
 }

@@ -68,12 +68,8 @@ impl Reclaimer for NaiveLlm {
         let mut acc: Option<Table> = None;
         for t in picked {
             // Sample rows.
-            let mut kept: Vec<Vec<Value>> = t
-                .rows()
-                .iter()
-                .filter(|_| rng.gen_bool(self.row_keep))
-                .cloned()
-                .collect();
+            let mut kept: Vec<Vec<Value>> =
+                t.rows().iter().filter(|_| rng.gen_bool(self.row_keep)).cloned().collect();
             // Hallucinate alignment on a fraction of rows: rotate non-first
             // cells so values land in the wrong columns.
             for row in kept.iter_mut() {
@@ -92,9 +88,8 @@ impl Reclaimer for NaiveLlm {
                     .map_err(|e| ReclaimError::Unsupported(e.to_string()))?,
             });
         }
-        let out = acc.ok_or_else(|| {
-            ReclaimError::Unsupported("the model reproduced no rows".into())
-        })?;
+        let out =
+            acc.ok_or_else(|| ReclaimError::Unsupported("the model reproduced no rows".into()))?;
         Ok(conform_schema(&out, source))
     }
 }
@@ -107,7 +102,14 @@ mod tests {
 
     fn source() -> Table {
         let rows: Vec<Vec<Value>> = (0..40)
-            .map(|i| vec![V::Int(i), V::str(format!("name-{i}")), V::Int(20 + i), V::str(format!("city-{i}"))])
+            .map(|i| {
+                vec![
+                    V::Int(i),
+                    V::str(format!("name-{i}")),
+                    V::Int(20 + i),
+                    V::str(format!("city-{i}")),
+                ]
+            })
             .collect();
         Table::build("S", &["id", "name", "age", "city"], &["id"], rows).unwrap()
     }

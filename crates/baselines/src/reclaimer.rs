@@ -103,9 +103,7 @@ mod tests {
             vec![vec![V::Int(1), V::str("a")], vec![V::Int(2), V::str("b")]],
         )
         .unwrap();
-        let out = GenTMethod::default()
-            .reclaim(&source, &[cand], Duration::from_secs(5))
-            .unwrap();
+        let out = GenTMethod::default().reclaim(&source, &[cand], Duration::from_secs(5)).unwrap();
         assert!(gent_metrics::perfectly_reclaimed(&source, &out));
     }
 

@@ -54,7 +54,11 @@ fn case() -> impl Strategy<Value = (Table, Vec<Table>)> {
                                     mi += 1;
                                     b
                                 };
-                                if null { Value::Null } else { v.clone() }
+                                if null {
+                                    Value::Null
+                                } else {
+                                    v.clone()
+                                }
                             })
                             .collect()
                     })
@@ -63,11 +67,8 @@ fn case() -> impl Strategy<Value = (Table, Vec<Table>)> {
                 t2.schema_mut().set_key(std::iter::empty::<&str>()).unwrap();
                 t2
             };
-            let candidates = vec![
-                degraded("c0", &[0, 1]),
-                degraded("c1", &[0, 2]),
-                degraded("c2", &[0, 1, 2]),
-            ];
+            let candidates =
+                vec![degraded("c0", &[0, 1]), degraded("c1", &[0, 2]), degraded("c2", &[0, 1, 2])];
             (source, candidates)
         })
 }

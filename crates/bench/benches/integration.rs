@@ -13,10 +13,11 @@ fn bench_integration(c: &mut Criterion) {
     let lake = DataLake::from_tables(bench.lake_tables.clone());
     let gcfg = GenTConfig::default();
     let case = &bench.cases[3];
-    let candidates: Vec<_> = set_similarity(&lake, &case.source, None, &SetSimilarityConfig::default())
-        .into_iter()
-        .map(|c| c.table)
-        .collect();
+    let candidates: Vec<_> =
+        set_similarity(&lake, &case.source, None, &SetSimilarityConfig::default())
+            .into_iter()
+            .map(|c| c.table)
+            .collect();
     let originating = matrix_traversal(&case.source, &candidates, &gcfg).originating;
 
     let mut g = c.benchmark_group("integration");

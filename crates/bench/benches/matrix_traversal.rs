@@ -12,10 +12,11 @@ fn bench_traversal(c: &mut Criterion) {
     let lake = DataLake::from_tables(bench.lake_tables.clone());
     let gcfg = GenTConfig::default();
     let case = &bench.cases[7];
-    let candidates: Vec<_> = set_similarity(&lake, &case.source, None, &SetSimilarityConfig::default())
-        .into_iter()
-        .map(|c| c.table)
-        .collect();
+    let candidates: Vec<_> =
+        set_similarity(&lake, &case.source, None, &SetSimilarityConfig::default())
+            .into_iter()
+            .map(|c| c.table)
+            .collect();
 
     let mut g = c.benchmark_group("matrix_traversal");
     g.sample_size(10);

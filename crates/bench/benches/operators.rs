@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gent_datagen::{generate_tpch, TpchConfig};
-use gent_ops::{complementation, full_outer_join, inner_join, minimal_form, outer_union, subsumption};
+use gent_ops::{
+    complementation, full_outer_join, inner_join, minimal_form, outer_union, subsumption,
+};
 
 fn bench_operators(c: &mut Criterion) {
     let tables = generate_tpch(&TpchConfig { scale_unit: 40, seed: 7 });

@@ -18,13 +18,7 @@ fn make_lake(n_tables: usize) -> (Table, DataLake) {
         &["id", "name", "score"],
         &["id"],
         (0..60)
-            .map(|i| {
-                vec![
-                    Value::Int(i),
-                    Value::str(format!("item{i}")),
-                    Value::Int(i * 7),
-                ]
-            })
+            .map(|i| vec![Value::Int(i), Value::str(format!("item{i}")), Value::Int(i * 7)])
             .collect(),
     )
     .unwrap();

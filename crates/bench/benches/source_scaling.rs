@@ -12,9 +12,8 @@ use gent_table::{Table, Value};
 /// the key.
 fn make_case(rows: usize, cols: usize) -> (Table, Vec<Table>) {
     assert!(cols >= 2);
-    let col_names: Vec<String> = std::iter::once("k".to_string())
-        .chain((1..cols).map(|c| format!("v{c}")))
-        .collect();
+    let col_names: Vec<String> =
+        std::iter::once("k".to_string()).chain((1..cols).map(|c| format!("v{c}"))).collect();
     let data: Vec<Vec<Value>> = (0..rows)
         .map(|r| {
             std::iter::once(Value::Int(r as i64))
@@ -22,13 +21,9 @@ fn make_case(rows: usize, cols: usize) -> (Table, Vec<Table>) {
                 .collect()
         })
         .collect();
-    let source = Table::build(
-        "S",
-        &col_names.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
-        &["k"],
-        data,
-    )
-    .unwrap();
+    let source =
+        Table::build("S", &col_names.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &["k"], data)
+            .unwrap();
     let mut fragments = Vec::new();
     let mut c = 1usize;
     let mut fi = 0usize;

@@ -27,8 +27,7 @@
 use gent_baselines::{Alite, AlitePs, AutoPipeline, GenTMethod, NaiveLlm, Reclaimer, Ver};
 use gent_bench::format::f3;
 use gent_bench::{
-    aggregate, markdown_table, run_benchmark, AggregateRow, CaseOutcome, HarnessConfig,
-    MethodSpec,
+    aggregate, markdown_table, run_benchmark, AggregateRow, CaseOutcome, HarnessConfig, MethodSpec,
 };
 use gent_core::GenTConfig;
 use gent_datagen::suite::{build, BenchmarkId, SuiteConfig};
@@ -166,9 +165,9 @@ fn print_effectiveness(title: &str, rows: &[AggregateRow]) {
 fn table1(cli: &Cli) {
     let cfg = suite_config(cli);
     println!("\n## Table I — data-lake statistics (scale: {})\n", cli.scale);
-    let mut rows = vec![
-        ["Benchmark", "# Tables", "# Cols", "Avg Rows", "Size (MB)"].map(String::from).to_vec(),
-    ];
+    let mut rows = vec![["Benchmark", "# Tables", "# Cols", "Avg Rows", "Size (MB)"]
+        .map(String::from)
+        .to_vec()];
     for id in [
         BenchmarkId::TpTrSmall,
         BenchmarkId::TpTrMed,
@@ -199,11 +198,7 @@ fn table2(cli: &Cli) {
     let alite = Alite::default();
     let alite_ps = AlitePs::default();
     let gen_t = GenTMethod::default();
-    for id in [
-        BenchmarkId::TpTrMed,
-        BenchmarkId::SantosLargeTpTrMed,
-        BenchmarkId::TpTrLarge,
-    ] {
+    for id in [BenchmarkId::TpTrMed, BenchmarkId::SantosLargeTpTrMed, BenchmarkId::TpTrLarge] {
         let bench = build(id, &cfg);
         let methods = vec![
             MethodSpec::discovery(&alite),
@@ -266,18 +261,14 @@ fn table4(cli: &Cli) {
     // paper's "33 common sources" filter).
     let mut common: Vec<usize> = Vec::new();
     for case_id in outcomes.iter().map(|o| o.case_id).collect::<std::collections::BTreeSet<_>>() {
-        let all_nonempty = outcomes
-            .iter()
-            .filter(|o| o.case_id == case_id)
-            .all(|o| o.report.size_ratio > 0.0);
+        let all_nonempty =
+            outcomes.iter().filter(|o| o.case_id == case_id).all(|o| o.report.size_ratio > 0.0);
         if all_nonempty {
             common.push(case_id);
         }
     }
-    let filtered: Vec<CaseOutcome> = outcomes
-        .into_iter()
-        .filter(|o| common.contains(&o.case_id))
-        .collect();
+    let filtered: Vec<CaseOutcome> =
+        outcomes.into_iter().filter(|o| common.contains(&o.case_id)).collect();
     println!("common non-empty sources: {}\n", common.len());
     if !filtered.is_empty() {
         print_effectiveness("WDC Sample+T2D Gold (common sources)", &aggregate(&filtered));
@@ -304,16 +295,11 @@ fn fig6(cli: &Cli) {
         println!("\n### {} (by query class)\n", id.label());
         let mut rows =
             vec![["Method", "Query class", "Recall", "Precision"].map(String::from).to_vec()];
-        for class in [
-            QueryClass::ProjectSelectUnion,
-            QueryClass::OneJoinUnion,
-            QueryClass::MultiJoinUnion,
-        ] {
-            let of_class: Vec<CaseOutcome> = outcomes
-                .iter()
-                .filter(|o| o.class == Some(class))
-                .cloned()
-                .collect();
+        for class in
+            [QueryClass::ProjectSelectUnion, QueryClass::OneJoinUnion, QueryClass::MultiJoinUnion]
+        {
+            let of_class: Vec<CaseOutcome> =
+                outcomes.iter().filter(|o| o.class == Some(class)).cloned().collect();
             for row in aggregate(&of_class) {
                 rows.push(vec![
                     row.method.clone(),
@@ -335,11 +321,10 @@ fn fig7(cli: &Cli) {
     println!("\n## Figure 7 — Gen-T precision vs % erroneous / % nullified values\n");
     println!("(TP-TR Med; one sweep holds nulls at 50% and varies errors, the other vice versa)\n");
     let gen_t = GenTMethod::default();
-    let mut rows = vec![
-        ["% injected", "Precision (vary % erroneous)", "Precision (vary % nullified)"]
+    let mut rows =
+        vec![["% injected", "Precision (vary % erroneous)", "Precision (vary % nullified)"]
             .map(String::from)
-            .to_vec(),
-    ];
+            .to_vec()];
     for pct in [10, 20, 30, 40, 50, 60, 70, 80, 90] {
         let p = pct as f64 / 100.0;
         let precision_of = |null_frac: f64, err_frac: f64| -> f64 {
@@ -367,11 +352,10 @@ fn fig8(cli: &Cli) {
     let alite_ps = AlitePs::default();
     let auto = AutoPipeline::default();
     let gen_t = GenTMethod::default();
-    let mut runtime_rows = vec![
-        ["Benchmark", "Method", "Avg runtime (s)", "Timeouts", "Avg |out|/|S|"]
+    let mut runtime_rows =
+        vec![["Benchmark", "Method", "Avg runtime (s)", "Timeouts", "Avg |out|/|S|"]
             .map(String::from)
-            .to_vec(),
-    ];
+            .to_vec()];
     for id in [
         BenchmarkId::TpTrSmall,
         BenchmarkId::TpTrMed,
@@ -412,11 +396,17 @@ fn fig9(cli: &Cli) {
     let gen_t = GenTMethod::default();
     let methods = vec![MethodSpec::discovery(&alite_ps), MethodSpec::discovery(&gen_t)];
     let outcomes = run_benchmark(&bench, &methods, &hc);
-    let mut rows = vec![
-        ["Source", "Gen-T Rec", "ALITE-PS Rec", "Gen-T Pre", "ALITE-PS Pre", "Gen-T F1", "ALITE-PS F1"]
-            .map(String::from)
-            .to_vec(),
-    ];
+    let mut rows = vec![[
+        "Source",
+        "Gen-T Rec",
+        "ALITE-PS Rec",
+        "Gen-T Pre",
+        "ALITE-PS Pre",
+        "Gen-T F1",
+        "ALITE-PS F1",
+    ]
+    .map(String::from)
+    .to_vec()];
     for case_id in 0..bench.cases.len() {
         let get = |m: &str| -> Option<&CaseOutcome> {
             outcomes.iter().find(|o| o.case_id == case_id && o.method == m)
@@ -502,7 +492,8 @@ fn ablation(cli: &Cli) {
     println!("\n## Ablations — Gen-T design choices (TP-TR Small)\n");
     let bench = build(BenchmarkId::TpTrSmall, &cfg);
     let full = GenTMethod::default();
-    let two_valued = GenTMethod::with_config(GenTConfig { three_valued: false, ..Default::default() });
+    let two_valued =
+        GenTMethod::with_config(GenTConfig { three_valued: false, ..Default::default() });
     let no_traversal =
         GenTMethod::with_config(GenTConfig { prune_with_traversal: false, ..Default::default() });
     let ungated =
@@ -556,9 +547,8 @@ fn ext(cli: &Cli) {
             })
             .collect()
     };
-    let mut rows = vec![
-        ["Source", "|truth|", "exact recall@k", "LSH recall@k"].map(String::from).to_vec(),
-    ];
+    let mut rows =
+        vec![["Source", "|truth|", "exact recall@k", "LSH recall@k"].map(String::from).to_vec()];
     let (mut exact_sum, mut lsh_sum) = (0.0, 0.0);
     let n_cases = bench.cases.len().min(8);
     for case in bench.cases.iter().take(n_cases) {
@@ -574,12 +564,7 @@ fn ext(cli: &Cli) {
         let lr = truth.iter().filter(|i| approx.contains(i)).count() as f64 / truth.len() as f64;
         exact_sum += er;
         lsh_sum += lr;
-        rows.push(vec![
-            format!("S{}", case.id),
-            truth.len().to_string(),
-            f3(er),
-            f3(lr),
-        ]);
+        rows.push(vec![format!("S{}", case.id), truth.len().to_string(), f3(er), f3(lr)]);
     }
     println!("{}", markdown_table(&rows));
     println!(
@@ -600,9 +585,8 @@ fn ext(cli: &Cli) {
     let hard_lake = DataLake::from_tables(hard.lake_tables.clone());
     let gen_t = GenT::new(GenTConfig::default());
     let impute_cfg = ImputeConfig { min_fd_support: 1, ..ImputeConfig::default() };
-    let mut rows = vec![
-        ["Source", "EIS before", "EIS after", "# imputations"].map(String::from).to_vec(),
-    ];
+    let mut rows =
+        vec![["Source", "EIS before", "EIS after", "# imputations"].map(String::from).to_vec()];
     let mut improved = 0usize;
     for case in hard.cases.iter().take(n_cases) {
         match gen_t.reclaim_with_cleaning(&case.source, &hard_lake, &impute_cfg) {
@@ -617,11 +601,18 @@ fn ext(cli: &Cli) {
                     c.imputations.len().to_string(),
                 ]);
             }
-            Err(e) => rows.push(vec![format!("S{}", case.id), format!("error: {e}"), String::new(), String::new()]),
+            Err(e) => rows.push(vec![
+                format!("S{}", case.id),
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+            ]),
         }
     }
     println!("{}", markdown_table(&rows));
-    println!("\ncleaning improved {improved}/{n_cases} sources (never hurt — rollback on regression)");
+    println!(
+        "\ncleaning improved {improved}/{n_cases} sources (never hurt — rollback on regression)"
+    );
 }
 
 fn main() {

@@ -115,8 +115,7 @@ pub fn aggregate(outcomes: &[CaseOutcome]) -> Vec<AggregateRow> {
     methods
         .into_iter()
         .map(|m| {
-            let of_method: Vec<&CaseOutcome> =
-                outcomes.iter().filter(|o| o.method == m).collect();
+            let of_method: Vec<&CaseOutcome> = outcomes.iter().filter(|o| o.method == m).collect();
             let reports: Vec<MethodReport> = of_method.iter().map(|o| o.report).collect();
             AggregateRow {
                 method: m,
@@ -202,9 +201,7 @@ pub fn run_benchmark(
                             (evaluate(&case.source, &conformed), false)
                         }
                         Err(ReclaimError::Timeout(_)) => (MethodReport::empty_output(), true),
-                        Err(ReclaimError::Unsupported(_)) => {
-                            (MethodReport::empty_output(), false)
-                        }
+                        Err(ReclaimError::Unsupported(_)) => (MethodReport::empty_output(), false),
                     };
                     outcomes.push(CaseOutcome {
                         case_id: case.id,

@@ -24,6 +24,5 @@ pub mod harness;
 
 pub use format::markdown_table;
 pub use harness::{
-    aggregate, run_benchmark, AggregateRow, CandidateMode, CaseOutcome, HarnessConfig,
-    MethodSpec,
+    aggregate, run_benchmark, AggregateRow, CandidateMode, CaseOutcome, HarnessConfig, MethodSpec,
 };

@@ -65,11 +65,7 @@ impl ParsedArgs {
 
     /// Value of `--name`, if given.
     pub fn option(&self, name: &str) -> Option<&str> {
-        self.options
-            .iter()
-            .rev()
-            .find(|(n, _)| n == name)
-            .and_then(|(_, v)| v.as_deref())
+        self.options.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
     /// True when `--name` was given as a flag.

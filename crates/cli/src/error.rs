@@ -13,6 +13,8 @@ pub enum CliError {
     Table(gent_table::TableError),
     /// The pipeline refused (e.g. keyless source with no minable key).
     Pipeline(String),
+    /// A lake snapshot could not be written or read.
+    Store(gent_store::StoreError),
 }
 
 impl fmt::Display for CliError {
@@ -22,6 +24,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Table(e) => write!(f, "table error: {e}"),
             CliError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            CliError::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -37,5 +40,11 @@ impl From<std::io::Error> for CliError {
 impl From<gent_table::TableError> for CliError {
     fn from(e: gent_table::TableError) -> Self {
         CliError::Table(e)
+    }
+}
+
+impl From<gent_store::StoreError> for CliError {
+    fn from(e: gent_store::StoreError) -> Self {
+        CliError::Store(e)
     }
 }

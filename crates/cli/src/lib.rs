@@ -48,11 +48,19 @@ gent — table reclamation in data lakes (Gen-T, ICDE 2024)
 
 USAGE:
   gent stats    <lake-dir>
-  gent reclaim  <source.csv> <lake-dir> [--key a,b] [--out out.csv] [--explain] [--keyless] [--normalize]
+  gent reclaim  <source.csv> <lake-dir | --lake snap.gentlake> [--key a,b] [--out out.csv]
+                [--explain] [--keyless] [--normalize]
   gent verify   <claimed.csv> <lake-dir> [--key a,b] [--threshold 1.0]
   gent query    '<expr>' <lake-dir> [--out out.csv] [--rewrite]
   gent generate <out-dir> [--benchmark tp-tr-small|tp-tr-med|t2d-gold] [--seed 7]
+  gent lake     build <lake-dir> --out snap.gentlake [--lsh] [--threads N]
+                build --suite tp-tr-small --out snap.gentlake [--seed 7] [--lsh]
+                stat  <snap.gentlake>
   gent help
+
+A lake snapshot (`lake build`) persists the tables together with the
+inverted value index and optional LSH bands; `reclaim --lake` and
+`lake stat` reopen it without rebuilding anything.
 
 QUERY SYNTAX (SPJU):
   project(cols; q)  select(pred; q)  join(q, q)  leftjoin  fulljoin  cross
@@ -74,6 +82,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "verify" => cmd_verify(rest, out),
         "query" => cmd_query(rest, out),
         "generate" => cmd_generate(rest, out),
+        "lake" => cmd_lake(rest, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -105,13 +114,12 @@ fn load_source(path: &Path, key: Option<&str>) -> Result<Table, CliError> {
     let mut t = csv::read_csv_file(path)?;
     match key {
         Some(spec) => {
-            let cols: Vec<&str> = spec.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+            let cols: Vec<&str> =
+                spec.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
             if cols.is_empty() {
                 return Err(CliError::Usage("--key lists no columns".into()));
             }
-            t.schema_mut()
-                .set_key(cols.iter().copied())
-                .map_err(CliError::Table)?;
+            t.schema_mut().set_key(cols.iter().copied()).map_err(CliError::Table)?;
         }
         None => {
             if !ensure_key(&mut t) {
@@ -139,22 +147,26 @@ fn cmd_stats(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_reclaim(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let p = ParsedArgs::parse(
-        args,
-        &["key", "out"],
-        &["explain", "keyless", "normalize"],
-    )?;
+    let p = ParsedArgs::parse(args, &["key", "out", "lake"], &["explain", "keyless", "normalize"])?;
     let source_path = Path::new(p.required(0, "source.csv")?);
-    let lake_dir = Path::new(p.required(1, "lake-dir")?);
 
-    let lake = DataLake::from_tables(load_lake_dir(lake_dir)?);
+    let lake = match p.option("lake") {
+        Some(snapshot) => {
+            if p.positional(1).is_some() {
+                return Err(CliError::Usage(
+                    "pass either a <lake-dir> or --lake <snapshot>, not both".into(),
+                ));
+            }
+            gent_store::open_lake(Path::new(snapshot))?
+        }
+        None => DataLake::from_tables(load_lake_dir(Path::new(p.required(1, "lake-dir")?))?),
+    };
     let gen_t = GenT::new(GenTConfig::default());
 
     let (source, result, strategy_note) = if p.flag("keyless") {
         let source = csv::read_csv_file(source_path)?;
-        let outcome = gen_t
-            .reclaim_keyless(&source, &lake)
-            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        let outcome =
+            gen_t.reclaim_keyless(&source, &lake).map_err(|e| CliError::Pipeline(e.to_string()))?;
         let note = format!(
             "key strategy: {:?}; keyless similarity: {:.3}",
             outcome.strategy, outcome.keyless_similarity
@@ -183,11 +195,7 @@ fn cmd_reclaim(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     writeln!(out, "  precision:  {:.3}", result.report.precision)?;
     writeln!(out, "  inst-div:   {:.3}", result.report.inst_div)?;
     writeln!(out, "  perfect:    {}", result.report.perfect)?;
-    writeln!(
-        out,
-        "  originating tables ({}):",
-        result.originating.len()
-    )?;
+    writeln!(out, "  originating tables ({}):", result.originating.len())?;
     for t in &result.originating {
         writeln!(out, "    - {} ({} rows)", t.name(), t.n_rows())?;
     }
@@ -213,34 +221,23 @@ fn cmd_verify(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 
     let claimed = load_source(claimed_path, p.option("key"))?;
     let lake = DataLake::from_tables(load_lake_dir(lake_dir)?);
-    let result = GenT::default()
-        .reclaim(&claimed, &lake)
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let cfg = VerifyConfig {
-        verified_threshold: threshold,
-        contradiction_tolerance: 0.0,
-    };
+    let result =
+        GenT::default().reclaim(&claimed, &lake).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let cfg = VerifyConfig { verified_threshold: threshold, contradiction_tolerance: 0.0 };
     let (verdict, explanation) =
         verify_table(&claimed, &result.reclaimed, &result.originating, &cfg);
     match &verdict {
         VerificationVerdict::Verified { coverage } => {
             writeln!(out, "VERIFIED — {:.1}% of cells confirmed by the lake", coverage * 100.0)?;
         }
-        VerificationVerdict::PartiallyVerified {
-            coverage,
-            unconfirmed_cells,
-            missing_tuples,
-        } => {
+        VerificationVerdict::PartiallyVerified { coverage, unconfirmed_cells, missing_tuples } => {
             writeln!(
                 out,
                 "PARTIALLY VERIFIED — {:.1}% confirmed; {} cell(s) unconfirmed, {} tuple(s) not derivable",
                 coverage * 100.0, unconfirmed_cells, missing_tuples
             )?;
         }
-        VerificationVerdict::Contradicted {
-            coverage,
-            contradicted_cells,
-        } => {
+        VerificationVerdict::Contradicted { coverage, contradicted_cells } => {
             writeln!(
                 out,
                 "CONTRADICTED — the lake disagrees on {} cell(s) ({:.1}% confirmed)",
@@ -266,9 +263,7 @@ fn cmd_query(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         let rep = rewrite(&q, &catalog).map_err(|e| CliError::Pipeline(e.to_string()))?;
         writeln!(out, "Theorem 8 form: {rep}")?;
     }
-    let result = q
-        .eval(&catalog)
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let result = q.eval(&catalog).map_err(|e| CliError::Pipeline(e.to_string()))?;
     writeln!(out, "{result}")?;
     if let Some(path) = p.option("out") {
         csv::write_csv_file(&result, Path::new(path))?;
@@ -277,23 +272,27 @@ fn cmd_query(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Map a benchmark name to its [`gent_datagen::suite::BenchmarkId`].
+fn parse_benchmark_id(name: &str) -> Result<gent_datagen::suite::BenchmarkId, CliError> {
+    use gent_datagen::suite::BenchmarkId;
+    match name {
+        "tp-tr-small" => Ok(BenchmarkId::TpTrSmall),
+        "tp-tr-med" => Ok(BenchmarkId::TpTrMed),
+        "tp-tr-large" => Ok(BenchmarkId::TpTrLarge),
+        "santos-large" => Ok(BenchmarkId::SantosLargeTpTrMed),
+        "t2d-gold" => Ok(BenchmarkId::T2dGold),
+        "wdc-t2d" => Ok(BenchmarkId::WdcT2dGold),
+        other => Err(CliError::Usage(format!(
+            "unknown benchmark `{other}` (try tp-tr-small, tp-tr-med, tp-tr-large, santos-large, t2d-gold, wdc-t2d)"
+        ))),
+    }
+}
+
 fn cmd_generate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    use gent_datagen::suite::{build, BenchmarkId, SuiteConfig};
+    use gent_datagen::suite::{build, SuiteConfig};
     let p = ParsedArgs::parse(args, &["benchmark", "seed"], &[])?;
     let out_dir = PathBuf::from(p.required(0, "out-dir")?);
-    let bench = match p.option("benchmark").unwrap_or("tp-tr-small") {
-        "tp-tr-small" => BenchmarkId::TpTrSmall,
-        "tp-tr-med" => BenchmarkId::TpTrMed,
-        "tp-tr-large" => BenchmarkId::TpTrLarge,
-        "santos-large" => BenchmarkId::SantosLargeTpTrMed,
-        "t2d-gold" => BenchmarkId::T2dGold,
-        "wdc-t2d" => BenchmarkId::WdcT2dGold,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown benchmark `{other}` (try tp-tr-small, tp-tr-med, tp-tr-large, santos-large, t2d-gold, wdc-t2d)"
-            )))
-        }
-    };
+    let bench = parse_benchmark_id(p.option("benchmark").unwrap_or("tp-tr-small"))?;
     let mut cfg = SuiteConfig::default();
     if let Some(seed) = p.option_parse::<u64>("seed")? {
         cfg.seed = seed;
@@ -308,10 +307,7 @@ fn cmd_generate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         csv::write_csv_file(t, &lake_dir.join(format!("{}.csv", sanitise(t.name()))))?;
     }
     for c in &b.cases {
-        csv::write_csv_file(
-            &c.source,
-            &src_dir.join(format!("S{}.csv", c.id)),
-        )?;
+        csv::write_csv_file(&c.source, &src_dir.join(format!("S{}.csv", c.id)))?;
     }
     writeln!(
         out,
@@ -322,6 +318,105 @@ fn cmd_generate(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         b.cases.len(),
         src_dir.display()
     )?;
+    Ok(())
+}
+
+fn cmd_lake(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let Some(sub) = args.first() else {
+        return Err(CliError::Usage("lake needs a subcommand: build | stat".into()));
+    };
+    let rest = &args[1..];
+    match sub.as_str() {
+        "build" => cmd_lake_build(rest, out),
+        "stat" => cmd_lake_stat(rest, out),
+        other => {
+            Err(CliError::Usage(format!("unknown lake subcommand `{other}` (try build, stat)")))
+        }
+    }
+}
+
+/// `lake build`: ingest a CSV directory (or a generated benchmark suite)
+/// once — in parallel — and persist the lake plus its indexes.
+fn cmd_lake_build(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use gent_store::{ingest_tables, snapshot, IngestOptions};
+    use std::time::Instant;
+
+    let p = ParsedArgs::parse(args, &["out", "suite", "seed", "threads"], &["lsh"])?;
+    let out_path = PathBuf::from(
+        p.option("out")
+            .ok_or_else(|| CliError::Usage("lake build requires --out <snapshot>".into()))?,
+    );
+
+    let t0 = Instant::now();
+    let (tables, origin) = match p.option("suite") {
+        Some(suite) => {
+            use gent_datagen::suite::{build, SuiteConfig};
+            if p.positional(0).is_some() {
+                return Err(CliError::Usage(
+                    "pass either a <lake-dir> or --suite <benchmark>, not both".into(),
+                ));
+            }
+            let bench = parse_benchmark_id(suite)?;
+            let mut cfg = SuiteConfig::default();
+            if let Some(seed) = p.option_parse::<u64>("seed")? {
+                cfg.seed = seed;
+            }
+            (build(bench, &cfg).lake_tables, format!("suite `{suite}`"))
+        }
+        None => {
+            let dir = Path::new(p.required(0, "lake-dir")?);
+            (load_lake_dir(dir)?, format!("`{}`", dir.display()))
+        }
+    };
+    let load_time = t0.elapsed();
+
+    let options = IngestOptions {
+        threads: p.option_parse::<usize>("threads")?.unwrap_or(0),
+        lsh: p.flag("lsh").then(gent_discovery::LshConfig::default),
+    };
+    let t1 = Instant::now();
+    let ingested = ingest_tables(tables, &options);
+    let ingest_time = t1.elapsed();
+    snapshot::save(&out_path, &ingested.lake, ingested.lsh.as_ref())?;
+
+    let s = snapshot::stat(&out_path)?;
+    writeln!(out, "built lake from {origin}")?;
+    writeln!(out, "  tables:        {}", s.header.n_tables)?;
+    writeln!(out, "  rows:          {}", s.header.total_rows)?;
+    writeln!(out, "  index values:  {}", s.header.n_index_entries)?;
+    writeln!(out, "  lsh columns:   {}", s.header.n_lsh_columns)?;
+    writeln!(out, "  snapshot:      {} ({} bytes)", out_path.display(), s.file_bytes)?;
+    writeln!(
+        out,
+        "  timing:        load {:.3}s, ingest+index {:.3}s",
+        load_time.as_secs_f64(),
+        ingest_time.as_secs_f64()
+    )?;
+    Ok(())
+}
+
+/// `lake stat`: summarise a snapshot from its header (no body read).
+fn cmd_lake_stat(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use gent_store::snapshot;
+    let p = ParsedArgs::parse(args, &[], &[])?;
+    let path = Path::new(p.required(0, "snapshot")?);
+    let s = snapshot::stat(path)?;
+    writeln!(out, "snapshot: {}", path.display())?;
+    writeln!(out, "  format version: {}", s.header.version)?;
+    writeln!(out, "  tables:         {}", s.header.n_tables)?;
+    writeln!(out, "  rows:           {}", s.header.total_rows)?;
+    writeln!(out, "  columns:        {}", s.header.total_cols)?;
+    writeln!(out, "  index values:   {}", s.header.n_index_entries)?;
+    writeln!(
+        out,
+        "  lsh:            {}",
+        if s.header.has_lsh() {
+            format!("{} columns", s.header.n_lsh_columns)
+        } else {
+            "absent".to_string()
+        }
+    )?;
+    writeln!(out, "  size (bytes):   {}", s.file_bytes)?;
     Ok(())
 }
 

@@ -14,10 +14,8 @@ struct Scratch(PathBuf);
 impl Scratch {
     fn new(tag: &str) -> Self {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let dir = std::env::temp_dir().join(format!(
-            "gent-cli-test-{tag}-{}-{n}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("gent-cli-test-{tag}-{}-{n}", std::process::id()));
         fs::create_dir_all(&dir).unwrap();
         Scratch(dir)
     }
@@ -61,16 +59,8 @@ fn run_err(args: &[&str]) -> CliError {
 fn make_lake(s: &Scratch) -> PathBuf {
     let lake = s.path().join("lake");
     fs::create_dir_all(&lake).unwrap();
-    fs::write(
-        lake.join("ids.csv"),
-        "id,name\n0,Smith\n1,Brown\n2,Wang\n",
-    )
-    .unwrap();
-    fs::write(
-        lake.join("ages.csv"),
-        "name,age\nSmith,27\nBrown,24\nWang,32\n",
-    )
-    .unwrap();
+    fs::write(lake.join("ids.csv"), "id,name\n0,Smith\n1,Brown\n2,Wang\n").unwrap();
+    fs::write(lake.join("ages.csv"), "name,age\nSmith,27\nBrown,24\nWang,32\n").unwrap();
     fs::write(lake.join("noise.csv"), "q\nzzz\nyyy\n").unwrap();
     lake
 }
@@ -127,10 +117,7 @@ fn reclaim_explain_prints_tuple_report() {
     let s = Scratch::new("explain");
     let lake = make_lake(&s);
     // A source with one tuple the lake cannot know about.
-    let src = s.file(
-        "source.csv",
-        "id,name,age\n0,Smith,27\n9,Ghost,99\n",
-    );
+    let src = s.file("source.csv", "id,name,age\n0,Smith,27\n9,Ghost,99\n");
     let text = run_ok(&[
         "reclaim",
         src.to_str().unwrap(),
@@ -147,12 +134,7 @@ fn reclaim_keyless_flag_works() {
     let s = Scratch::new("keyless");
     let lake = make_lake(&s);
     let src = s.file("source.csv", SOURCE_CSV);
-    let text = run_ok(&[
-        "reclaim",
-        src.to_str().unwrap(),
-        lake.to_str().unwrap(),
-        "--keyless",
-    ]);
+    let text = run_ok(&["reclaim", src.to_str().unwrap(), lake.to_str().unwrap(), "--keyless"]);
     assert!(text.contains("key strategy"), "{text}");
     assert!(text.contains("keyless similarity"), "{text}");
 }
@@ -164,35 +146,17 @@ fn verify_verdicts() {
 
     // Fully supported claim.
     let good = s.file("good.csv", SOURCE_CSV);
-    let text = run_ok(&[
-        "verify",
-        good.to_str().unwrap(),
-        lake.to_str().unwrap(),
-        "--key",
-        "id",
-    ]);
+    let text = run_ok(&["verify", good.to_str().unwrap(), lake.to_str().unwrap(), "--key", "id"]);
     assert!(text.starts_with("VERIFIED"), "{text}");
 
     // Claim the lake contradicts (Brown's age).
     let bad = s.file("bad.csv", "id,name,age\n0,Smith,27\n1,Brown,99\n");
-    let text = run_ok(&[
-        "verify",
-        bad.to_str().unwrap(),
-        lake.to_str().unwrap(),
-        "--key",
-        "id",
-    ]);
+    let text = run_ok(&["verify", bad.to_str().unwrap(), lake.to_str().unwrap(), "--key", "id"]);
     assert!(text.starts_with("CONTRADICTED"), "{text}");
 
     // Claim with tuples the lake has never heard of.
     let ghost = s.file("ghost.csv", "id,name,age\n0,Smith,27\n7,Ghost,1\n");
-    let text = run_ok(&[
-        "verify",
-        ghost.to_str().unwrap(),
-        lake.to_str().unwrap(),
-        "--key",
-        "id",
-    ]);
+    let text = run_ok(&["verify", ghost.to_str().unwrap(), lake.to_str().unwrap(), "--key", "id"]);
     assert!(text.starts_with("PARTIALLY VERIFIED"), "{text}");
 }
 
@@ -217,14 +181,8 @@ fn verify_threshold_is_validated() {
 fn generate_writes_benchmark_csvs() {
     let s = Scratch::new("generate");
     let out_dir = s.path().join("bench");
-    let text = run_ok(&[
-        "generate",
-        out_dir.to_str().unwrap(),
-        "--benchmark",
-        "t2d-gold",
-        "--seed",
-        "3",
-    ]);
+    let text =
+        run_ok(&["generate", out_dir.to_str().unwrap(), "--benchmark", "t2d-gold", "--seed", "3"]);
     assert!(text.contains("generated"), "{text}");
     let lake_files = fs::read_dir(out_dir.join("lake")).unwrap().count();
     let src_files = fs::read_dir(out_dir.join("sources")).unwrap().count();
@@ -235,12 +193,7 @@ fn generate_writes_benchmark_csvs() {
 #[test]
 fn generate_rejects_unknown_benchmark() {
     let s = Scratch::new("genbad");
-    let e = run_err(&[
-        "generate",
-        s.path().to_str().unwrap(),
-        "--benchmark",
-        "nope",
-    ]);
+    let e = run_err(&["generate", s.path().to_str().unwrap(), "--benchmark", "nope"]);
     assert!(matches!(e, CliError::Usage(_)));
 }
 
@@ -249,23 +202,9 @@ fn generated_benchmark_round_trips_through_reclaim() {
     // generate → pick a source → reclaim it from the generated lake.
     let s = Scratch::new("roundtrip");
     let out_dir = s.path().join("bench");
-    run_ok(&[
-        "generate",
-        out_dir.to_str().unwrap(),
-        "--benchmark",
-        "t2d-gold",
-    ]);
-    let src = fs::read_dir(out_dir.join("sources"))
-        .unwrap()
-        .next()
-        .unwrap()
-        .unwrap()
-        .path();
-    let text = run_ok(&[
-        "reclaim",
-        src.to_str().unwrap(),
-        out_dir.join("lake").to_str().unwrap(),
-    ]);
+    run_ok(&["generate", out_dir.to_str().unwrap(), "--benchmark", "t2d-gold"]);
+    let src = fs::read_dir(out_dir.join("sources")).unwrap().next().unwrap().unwrap().path();
+    let text = run_ok(&["reclaim", src.to_str().unwrap(), out_dir.join("lake").to_str().unwrap()]);
     assert!(text.contains("EIS:"), "{text}");
 }
 
@@ -292,12 +231,7 @@ fn query_command_runs_spju_plans() {
 fn query_command_rewrite_flag_shows_theorem8_form() {
     let s = Scratch::new("queryrw");
     let lake = make_lake(&s);
-    let text = run_ok(&[
-        "query",
-        "join(ids, ages)",
-        lake.to_str().unwrap(),
-        "--rewrite",
-    ]);
+    let text = run_ok(&["query", "join(ids, ages)", lake.to_str().unwrap(), "--rewrite"]);
     assert!(text.contains("Theorem 8 form"), "{text}");
     assert!(text.contains('⊎'), "{text}");
 }
@@ -310,4 +244,98 @@ fn query_command_rejects_bad_syntax_and_unknown_tables() {
     assert!(matches!(e, CliError::Usage(_)));
     let e = run_err(&["query", "ghost_table", lake.to_str().unwrap()]);
     assert!(matches!(e, CliError::Pipeline(_)));
+}
+
+#[test]
+fn lake_build_stat_and_reclaim_from_snapshot() {
+    let s = Scratch::new("lake-snap");
+    let lake = make_lake(&s);
+    let snap = s.path().join("lake.gentlake");
+
+    let text = run_ok(&[
+        "lake",
+        "build",
+        lake.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+        "--lsh",
+    ]);
+    assert!(text.contains("tables:        3"), "{text}");
+    assert!(snap.is_file(), "snapshot written");
+
+    let text = run_ok(&["lake", "stat", snap.to_str().unwrap()]);
+    assert!(text.contains("format version: 1"), "{text}");
+    assert!(text.contains("tables:         3"), "{text}");
+    assert!(text.contains("columns"), "{text}");
+    assert!(!text.contains("absent"), "lsh stored: {text}");
+
+    // Reclaiming against the snapshot matches reclaiming against the dir.
+    let src = s.file("source.csv", SOURCE_CSV);
+    let from_dir =
+        run_ok(&["reclaim", src.to_str().unwrap(), lake.to_str().unwrap(), "--key", "id"]);
+    let from_snap = run_ok(&[
+        "reclaim",
+        src.to_str().unwrap(),
+        "--lake",
+        snap.to_str().unwrap(),
+        "--key",
+        "id",
+    ]);
+    assert!(from_snap.contains("perfect:    true"), "{from_snap}");
+    let metrics = |t: &str| {
+        t.lines()
+            .filter(|l| {
+                ["EIS:", "recall:", "precision:", "originating"].iter().any(|k| l.contains(k))
+            })
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(metrics(&from_dir), metrics(&from_snap), "snapshot diverges from dir");
+}
+
+#[test]
+fn lake_build_from_suite_round_trips() {
+    let s = Scratch::new("lake-suite");
+    let snap = s.path().join("suite.gentlake");
+    let text = run_ok(&[
+        "lake",
+        "build",
+        "--suite",
+        "tp-tr-small",
+        "--seed",
+        "3",
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(text.contains("suite `tp-tr-small`"), "{text}");
+    let text = run_ok(&["lake", "stat", snap.to_str().unwrap()]);
+    assert!(text.contains("tables:         32"), "{text}");
+    assert!(text.contains("lsh:            absent"), "{text}");
+}
+
+#[test]
+fn lake_usage_errors() {
+    let e = run_err(&["lake"]);
+    assert!(matches!(e, CliError::Usage(_)));
+    let e = run_err(&["lake", "frobnicate"]);
+    assert!(matches!(e, CliError::Usage(_)));
+    let e = run_err(&["lake", "build", "somewhere"]);
+    assert!(matches!(e, CliError::Usage(_)), "missing --out must be a usage error");
+    let e = run_err(&["lake", "build", "somewhere", "--suite", "tp-tr-small", "--out", "x"]);
+    assert!(matches!(e, CliError::Usage(_)), "dir + --suite must be rejected, not ignored");
+    let e = run_err(&["lake", "stat", "/definitely/not/a/snapshot"]);
+    assert!(matches!(e, CliError::Store(_)));
+
+    // reclaim refuses both a lake dir and a snapshot.
+    let s = Scratch::new("lake-both");
+    let lake = make_lake(&s);
+    let src = s.file("source.csv", SOURCE_CSV);
+    let e = run_err(&[
+        "reclaim",
+        src.to_str().unwrap(),
+        lake.to_str().unwrap(),
+        "--lake",
+        "whatever.gentlake",
+    ]);
+    assert!(matches!(e, CliError::Usage(_)));
 }

@@ -99,10 +99,7 @@ impl GenT {
 
 /// Summarise a batch.
 pub fn summarize(items: &[BatchItem]) -> BatchSummary {
-    let mut s = BatchSummary {
-        total: items.len(),
-        ..Default::default()
-    };
+    let mut s = BatchSummary { total: items.len(), ..Default::default() };
     let mut eis_sum = 0.0;
     let mut ok = 0usize;
     for item in items {

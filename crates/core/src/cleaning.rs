@@ -105,10 +105,8 @@ fn mine_pair_stats(target: &Table, evidence: &[Table]) -> FxHashMap<(usize, usiz
     let target_cols: Vec<&str> = target.schema().columns().collect();
     for ev in evidence {
         // Evidence column index per target column (by name).
-        let map: Vec<Option<usize>> = target_cols
-            .iter()
-            .map(|c| ev.schema().column_index(c))
-            .collect();
+        let map: Vec<Option<usize>> =
+            target_cols.iter().map(|c| ev.schema().column_index(c)).collect();
         for row in ev.rows() {
             for (ti, mi) in map.iter().enumerate() {
                 let Some(ei) = mi else { continue };
@@ -227,8 +225,8 @@ pub fn impute(target: &Table, evidence: &[Table], cfg: &ImputeConfig) -> Imputat
         }
     }
 
-    let table = Table::from_rows(target.name(), target.schema().clone(), rows)
-        .expect("shape unchanged");
+    let table =
+        Table::from_rows(target.name(), target.schema().clone(), rows).expect("shape unchanged");
     ImputationOutcome { table, imputations }
 }
 
@@ -457,20 +455,11 @@ mod tests {
             vec![vec![V::Int(0), V::str("x"), V::Null]], // b is a correct null
         )
         .unwrap();
-        let frag = Table::build(
-            "frag",
-            &["id", "a"],
-            &[],
-            vec![vec![V::Int(0), V::str("x")]],
-        )
-        .unwrap();
-        let misleading = Table::build(
-            "mis",
-            &["a", "b"],
-            &[],
-            vec![vec![V::str("x"), V::str("WRONG")]; 3],
-        )
-        .unwrap();
+        let frag =
+            Table::build("frag", &["id", "a"], &[], vec![vec![V::Int(0), V::str("x")]]).unwrap();
+        let misleading =
+            Table::build("mis", &["a", "b"], &[], vec![vec![V::str("x"), V::str("WRONG")]; 3])
+                .unwrap();
         let lake = DataLake::from_tables(vec![frag, misleading]);
         let cfg = ImputeConfig { min_fd_support: 1, ..ImputeConfig::default() };
         let cleaned = GenT::default().reclaim_with_cleaning(&source, &lake, &cfg).unwrap();

@@ -14,8 +14,8 @@
 //! (a heuristic); with ≤ a few dozen candidates we can afford an exact
 //! bounded-depth search over simple paths, which subsumes it.
 
-use gent_table::{FxHashSet, Table, Value};
 use gent_ops::inner_join;
+use gent_table::{FxHashSet, Table, Value};
 
 /// Estimated edge weight between two candidate tables: the best value
 /// containment among their shared columns — a proxy for how much of `a`
@@ -78,7 +78,13 @@ fn best_paths(
         /// always prefer longer paths; the product matches the stated goal
         /// of "a path that covers the most source key values".) Ties break
         /// toward shorter paths.
-        fn dfs(&mut self, node: usize, weight: f64, path: &mut Vec<usize>, visited: &mut Vec<bool>) {
+        fn dfs(
+            &mut self,
+            node: usize,
+            weight: f64,
+            path: &mut Vec<usize>,
+            visited: &mut Vec<bool>,
+        ) {
             if self.ends.contains(&node) {
                 let better = match self.best.get(&node) {
                     None => true,
@@ -109,18 +115,14 @@ fn best_paths(
             }
         }
     }
-    let mut search =
-        Search { weights, ends, max_depth, best: gent_table::FxHashMap::default() };
+    let mut search = Search { weights, ends, max_depth, best: gent_table::FxHashMap::default() };
     let mut visited = vec![false; tables.len()];
     visited[start] = true;
     search.dfs(start, 1.0, &mut Vec::new(), &mut visited);
     let mut ranked: Vec<(usize, f64, Vec<usize>)> =
         search.best.into_iter().map(|(end, (w, p))| (end, w, p)).collect();
     ranked.sort_by(|a, b| {
-        b.1.partial_cmp(&a.1)
-            .expect("finite")
-            .then(a.2.len().cmp(&b.2.len()))
-            .then(a.0.cmp(&b.0))
+        b.1.partial_cmp(&a.1).expect("finite").then(a.2.len().cmp(&b.2.len())).then(a.0.cmp(&b.0))
     });
     ranked.into_iter().take(PATHS_PER_CANDIDATE).map(|(_, _, p)| p).collect()
 }
@@ -133,8 +135,7 @@ fn best_paths(
 /// candidates pass through unchanged.
 pub fn expand(candidates: &[Table], key_names: &[&str], max_depth: usize) -> Vec<Table> {
     let n = candidates.len();
-    let ends: FxHashSet<usize> =
-        (0..n).filter(|&i| has_key(&candidates[i], key_names)).collect();
+    let ends: FxHashSet<usize> = (0..n).filter(|&i| has_key(&candidates[i], key_names)).collect();
     if ends.len() == n {
         return candidates.to_vec();
     }
@@ -153,9 +154,8 @@ pub fn expand(candidates: &[Table], key_names: &[&str], max_depth: usize) -> Vec
             out.push(candidates[i].clone());
             continue;
         }
-        for (k, path) in best_paths(i, candidates, &weights, &ends, max_depth)
-            .into_iter()
-            .enumerate()
+        for (k, path) in
+            best_paths(i, candidates, &weights, &ends, max_depth).into_iter().enumerate()
         {
             let mut joined = candidates[i].clone();
             let mut ok = true;
@@ -249,9 +249,7 @@ mod tests {
     #[test]
     fn unreachable_candidates_dropped() {
         let mut cands = candidates();
-        cands.push(
-            Table::build("Z", &["unrelated"], &[], vec![vec![V::str("zzz")]]).unwrap(),
-        );
+        cands.push(Table::build("Z", &["unrelated"], &[], vec![vec![V::str("zzz")]]).unwrap());
         let expanded = expand(&cands, &["ID"], 3);
         assert_eq!(expanded.len(), 3, "Z shares no columns → dropped");
     }
@@ -259,20 +257,11 @@ mod tests {
     #[test]
     fn multi_hop_path() {
         // D joins C joins A; D shares no column with A directly.
-        let a = Table::build(
-            "A",
-            &["ID", "Name"],
-            &[],
-            vec![vec![V::Int(0), V::str("Smith")]],
-        )
-        .unwrap();
-        let c = Table::build(
-            "C",
-            &["Name", "Badge"],
-            &[],
-            vec![vec![V::str("Smith"), V::str("b-7")]],
-        )
-        .unwrap();
+        let a = Table::build("A", &["ID", "Name"], &[], vec![vec![V::Int(0), V::str("Smith")]])
+            .unwrap();
+        let c =
+            Table::build("C", &["Name", "Badge"], &[], vec![vec![V::str("Smith"), V::str("b-7")]])
+                .unwrap();
         let d = Table::build(
             "D",
             &["Badge", "Clearance"],

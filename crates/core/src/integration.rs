@@ -26,31 +26,20 @@ use gent_table::{FxHashMap, FxHashSet, KeyValue, Schema, Table, Value};
 /// its full disjunction.
 pub fn project_select(t: &Table, source: &Table) -> Option<Table> {
     let keep: Vec<usize> = (0..t.n_cols())
-        .filter(|&c| {
-            source
-                .schema()
-                .contains(t.schema().column_name(c).expect("in range"))
-        })
+        .filter(|&c| source.schema().contains(t.schema().column_name(c).expect("in range")))
         .collect();
     if keep.is_empty() {
         return None;
     }
     let mut projected = t.take_columns(&keep, t.name()).ok()?;
     // Key columns of the source, positioned in the projected table.
-    let key_cols: Option<Vec<usize>> = source
-        .schema()
-        .key_names()
-        .iter()
-        .map(|k| projected.schema().column_index(k))
-        .collect();
+    let key_cols: Option<Vec<usize>> =
+        source.schema().key_names().iter().map(|k| projected.schema().column_index(k)).collect();
     let key_cols = key_cols?;
-    let source_keys: FxHashSet<KeyValue> = (0..source.n_rows())
-        .filter_map(|i| source.key_of_row(i))
-        .collect();
+    let source_keys: FxHashSet<KeyValue> =
+        (0..source.n_rows()).filter_map(|i| source.key_of_row(i)).collect();
     projected.retain_rows(|row| {
-        Table::key_from_row(row, &key_cols)
-            .map(|kv| source_keys.contains(&kv))
-            .unwrap_or(false)
+        Table::key_from_row(row, &key_cols).map(|kv| source_keys.contains(&kv)).unwrap_or(false)
     });
     (!projected.is_empty()).then_some(projected)
 }
@@ -92,12 +81,8 @@ fn label_source_nulls(tables: &mut [Table], source: &Table) {
         }
     }
     for t in tables.iter_mut() {
-        let key_cols: Option<Vec<usize>> = source
-            .schema()
-            .key_names()
-            .iter()
-            .map(|k| t.schema().column_index(k))
-            .collect();
+        let key_cols: Option<Vec<usize>> =
+            source.schema().key_names().iter().map(|k| t.schema().column_index(k)).collect();
         let Some(key_cols) = key_cols else { continue };
         // Map of table columns → source column index.
         let col_to_source: Vec<Option<usize>> = (0..t.n_cols())
@@ -157,20 +142,14 @@ fn remove_labeled_nulls(t: &Table) -> Table {
 /// evaluation.
 pub fn conform_schema(t: &Table, source: &Table) -> Table {
     let names: Vec<&str> = source.schema().columns().collect();
-    let schema = Schema::with_key(
-        names.iter().copied(),
-        source.schema().key_names().iter().copied(),
-    )
-    .expect("source schema is valid");
+    let schema =
+        Schema::with_key(names.iter().copied(), source.schema().key_names().iter().copied())
+            .expect("source schema is valid");
     let map: Vec<Option<usize>> = names.iter().map(|n| t.schema().column_index(n)).collect();
     let rows: Vec<Vec<Value>> = t
         .rows()
         .iter()
-        .map(|r| {
-            map.iter()
-                .map(|m| m.map(|j| r[j].clone()).unwrap_or(Value::Null))
-                .collect()
-        })
+        .map(|r| map.iter().map(|m| m.map(|j| r[j].clone()).unwrap_or(Value::Null)).collect())
         .collect();
     Table::from_rows("reclaimed", schema, rows).expect("layout fixed")
 }
@@ -182,10 +161,8 @@ pub fn conform_schema(t: &Table, source: &Table) -> Table {
 /// schema — "nothing in the lake reclaims this source".
 pub fn integrate(originating: &[Table], source: &Table, cfg: &GenTConfig) -> Table {
     // --- preprocessing (lines 3–6) --------------------------------------
-    let projected: Vec<Table> = originating
-        .iter()
-        .filter_map(|t| project_select(t, source))
-        .collect();
+    let projected: Vec<Table> =
+        originating.iter().filter_map(|t| project_select(t, source)).collect();
     if projected.is_empty() {
         return conform_schema(&Table::new("reclaimed", source.schema().clone()), source);
     }
@@ -236,7 +213,13 @@ mod tests {
             vec![
                 vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
                 vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
-                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+                vec![
+                    V::Int(2),
+                    V::str("Wang"),
+                    V::Int(32),
+                    V::str("Female"),
+                    V::str("High School"),
+                ],
             ],
         )
         .unwrap()
@@ -315,13 +298,9 @@ mod tests {
     #[test]
     fn schema_always_conforms_to_source() {
         let s = source();
-        let only_partial = vec![Table::build(
-            "P",
-            &["ID", "Name"],
-            &[],
-            vec![vec![V::Int(0), V::str("Smith")]],
-        )
-        .unwrap()];
+        let only_partial =
+            vec![Table::build("P", &["ID", "Name"], &[], vec![vec![V::Int(0), V::str("Smith")]])
+                .unwrap()];
         let out = integrate(&only_partial, &s, &GenTConfig::default());
         assert_eq!(
             out.schema().columns().collect::<Vec<_>>(),
@@ -393,11 +372,8 @@ mod tests {
         ];
         let s = source();
         let gated = integrate(&tables, &s, &GenTConfig::default());
-        let ungated = integrate(
-            &tables,
-            &s,
-            &GenTConfig { gate_kappa_beta: false, ..Default::default() },
-        );
+        let ungated =
+            integrate(&tables, &s, &GenTConfig { gate_kappa_beta: false, ..Default::default() });
         let gender = s.schema().column_index("Gender").unwrap();
         // Ungated: κ merges the two tuples → Male fills the source null.
         assert!(ungated
@@ -405,9 +381,6 @@ mod tests {
             .iter()
             .any(|r| r[gender] == V::str("Male") && r[1] == V::str("Smith")));
         // Gated: the merge is rejected; a tuple with null gender remains.
-        assert!(gated
-            .rows()
-            .iter()
-            .any(|r| r[1] == V::str("Smith") && r[gender].is_null()));
+        assert!(gated.rows().iter().any(|r| r[1] == V::str("Smith") && r[gender].is_null()));
     }
 }

@@ -66,9 +66,7 @@ impl GenT {
             // Carry forward every distinct originating table seen so far
             // (by name+shape; exact duplicates are dropped).
             for t in &result.originating {
-                let dup = carried
-                    .iter()
-                    .any(|c| c.name() == t.name() && c.rows() == t.rows());
+                let dup = carried.iter().any(|c| c.name() == t.name() && c.rows() == t.rows());
                 if !dup {
                     carried.push(t.clone());
                 }
@@ -79,10 +77,8 @@ impl GenT {
             .iter()
             .enumerate()
             .max_by(|a, b| {
-                a.1.eis
-                    .partial_cmp(&b.1.eis)
-                    .expect("finite EIS")
-                    .then(b.0.cmp(&a.0)) // ties → earliest round
+                a.1.eis.partial_cmp(&b.1.eis).expect("finite EIS").then(b.0.cmp(&a.0))
+                // ties → earliest round
             })
             .map(|(i, _)| i)
             .expect("at least one round");
@@ -128,10 +124,7 @@ mod tests {
             "cities",
             &["name", "city"],
             &[],
-            vec![
-                vec![V::str("Smith"), V::str("Boston")],
-                vec![V::str("Brown"), V::str("Berlin")],
-            ],
+            vec![vec![V::str("Smith"), V::str("Boston")], vec![V::str("Brown"), V::str("Berlin")]],
         )
         .unwrap()])
     }

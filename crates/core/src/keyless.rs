@@ -62,11 +62,7 @@ fn row_similarity(srow: &[Value], trow: &[Value], column_map: &[Option<usize>]) 
     let mut shared = 0usize;
     for (j, sv) in srow.iter().enumerate() {
         let tv = column_map[j].map(|c| &trow[c]).unwrap_or(&Value::Null);
-        let equal = if sv.is_null_like() {
-            tv.is_null_like()
-        } else {
-            sv == tv
-        };
+        let equal = if sv.is_null_like() { tv.is_null_like() } else { sv == tv };
         if equal {
             shared += 1;
         }
@@ -84,11 +80,8 @@ pub fn keyless_instance_similarity(source: &Table, reclaimed: &Table) -> f64 {
     if source.n_rows() == 0 {
         return if reclaimed.n_rows() == 0 { 1.0 } else { 0.0 };
     }
-    let column_map: Vec<Option<usize>> = source
-        .schema()
-        .columns()
-        .map(|c| reclaimed.schema().column_index(c))
-        .collect();
+    let column_map: Vec<Option<usize>> =
+        source.schema().columns().map(|c| reclaimed.schema().column_index(c)).collect();
     let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
     for (si, srow) in source.rows().iter().enumerate() {
         for (ti, trow) in reclaimed.rows().iter().enumerate() {
@@ -128,11 +121,8 @@ fn most_selective_columns(t: &Table, max_width: usize) -> Vec<usize> {
             }
             let mut cols = chosen.clone();
             cols.push(c);
-            let distinct: FxHashSet<Vec<&Value>> = t
-                .rows()
-                .iter()
-                .map(|r| cols.iter().map(|&j| &r[j]).collect())
-                .collect();
+            let distinct: FxHashSet<Vec<&Value>> =
+                t.rows().iter().map(|r| cols.iter().map(|&j| &r[j]).collect()).collect();
             let d = distinct.len();
             if best.map(|(bd, _)| d > bd).unwrap_or(true) {
                 best = Some((d, c));
@@ -164,11 +154,7 @@ impl GenT {
         let (prepared, strategy) = prepare_key(source);
         let result = self.reclaim(&prepared, lake)?;
         let keyless_similarity = keyless_instance_similarity(&prepared, &result.reclaimed);
-        Ok(KeylessOutcome {
-            result,
-            keyless_similarity,
-            strategy,
-        })
+        Ok(KeylessOutcome { result, keyless_similarity, strategy })
     }
 
     /// Reclaim after normalising both the source and every lake table with
@@ -196,12 +182,7 @@ fn prepare_key(source: &Table) -> (Table, KeyStrategy) {
     }
     let mut prepared = source.clone();
     if ensure_key(&mut prepared) {
-        let names = prepared
-            .schema()
-            .key_names()
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let names = prepared.schema().key_names().iter().map(|s| s.to_string()).collect();
         return (prepared, KeyStrategy::Mined(names));
     }
     // No true key: surrogate.
@@ -210,10 +191,7 @@ fn prepare_key(source: &Table) -> (Table, KeyStrategy) {
         .iter()
         .map(|&c| source.schema().column_name(c).expect("in range").to_string())
         .collect();
-    prepared
-        .schema_mut()
-        .set_key(names.iter().map(|s| s.as_str()))
-        .expect("names valid");
+    prepared.schema_mut().set_key(names.iter().map(|s| s.as_str())).expect("names valid");
     (prepared, KeyStrategy::Surrogate(names))
 }
 
@@ -243,13 +221,7 @@ mod tests {
     fn keyless_similarity_is_one_to_one() {
         // Two identical source rows but only one reclaimed copy: the copy
         // may be used once, so similarity is 0.5, not 1.0.
-        let s = Table::build(
-            "s",
-            &["a"],
-            &[],
-            vec![vec![V::Int(1)], vec![V::Int(1)]],
-        )
-        .unwrap();
+        let s = Table::build("s", &["a"], &[], vec![vec![V::Int(1)], vec![V::Int(1)]]).unwrap();
         let r = Table::build("r", &["a"], &[], vec![vec![V::Int(1)]]).unwrap();
         assert!((keyless_instance_similarity(&s, &r) - 0.5).abs() < 1e-12);
     }
@@ -284,20 +256,14 @@ mod tests {
             "ids",
             &["id", "name"],
             &[],
-            vec![
-                vec![V::Int(0), V::str("Smith")],
-                vec![V::Int(1), V::str("Brown")],
-            ],
+            vec![vec![V::Int(0), V::str("Smith")], vec![V::Int(1), V::str("Brown")]],
         )
         .unwrap();
         let ages = Table::build(
             "ages",
             &["name", "age"],
             &[],
-            vec![
-                vec![V::str("Smith"), V::Int(27)],
-                vec![V::str("Brown"), V::Int(24)],
-            ],
+            vec![vec![V::str("Smith"), V::Int(27)], vec![V::str("Brown"), V::Int(24)]],
         )
         .unwrap();
         DataLake::from_tables(vec![ids, ages])
@@ -329,10 +295,7 @@ mod tests {
             "S",
             &["name", "age"],
             &[],
-            vec![
-                vec![V::str("Smith"), V::Int(27)],
-                vec![V::str("Smith"), V::Int(27)],
-            ],
+            vec![vec![V::str("Smith"), V::Int(27)], vec![V::str("Smith"), V::Int(27)]],
         )
         .unwrap();
         let out = GenT::default().reclaim_keyless(&source, &fragment_lake()).unwrap();
@@ -344,13 +307,9 @@ mod tests {
 
     #[test]
     fn reclaim_keyless_respects_declared_keys() {
-        let source = Table::build(
-            "S",
-            &["id", "name"],
-            &["id"],
-            vec![vec![V::Int(0), V::str("Smith")]],
-        )
-        .unwrap();
+        let source =
+            Table::build("S", &["id", "name"], &["id"], vec![vec![V::Int(0), V::str("Smith")]])
+                .unwrap();
         let out = GenT::default().reclaim_keyless(&source, &fragment_lake()).unwrap();
         assert_eq!(out.strategy, KeyStrategy::Declared);
     }
@@ -363,10 +322,7 @@ mod tests {
             "loud",
             &["id", "name"],
             &[],
-            vec![
-                vec![V::Int(0), V::str("SMITH")],
-                vec![V::Int(1), V::str("BROWN")],
-            ],
+            vec![vec![V::Int(0), V::str("SMITH")], vec![V::Int(1), V::str("BROWN")]],
         )
         .unwrap();
         let lake = DataLake::from_tables(vec![loud]);
@@ -374,10 +330,7 @@ mod tests {
             "S",
             &["id", "name"],
             &["id"],
-            vec![
-                vec![V::Int(0), V::str("smith")],
-                vec![V::Int(1), V::str("brown")],
-            ],
+            vec![vec![V::Int(0), V::str("smith")], vec![V::Int(1), V::str("brown")]],
         )
         .unwrap();
         let plain = GenT::default().reclaim(&source, &lake).unwrap();
@@ -391,17 +344,10 @@ mod tests {
     #[test]
     fn config_is_reused_for_keyless_path() {
         // Smoke test: a non-default config flows through.
-        let cfg = GenTConfig {
-            prune_with_traversal: false,
-            ..GenTConfig::default()
-        };
-        let source = Table::build(
-            "S",
-            &["id", "name"],
-            &[],
-            vec![vec![V::Int(0), V::str("Smith")]],
-        )
-        .unwrap();
+        let cfg = GenTConfig { prune_with_traversal: false, ..GenTConfig::default() };
+        let source =
+            Table::build("S", &["id", "name"], &[], vec![vec![V::Int(0), V::str("Smith")]])
+                .unwrap();
         let out = GenT::new(cfg).reclaim_keyless(&source, &fragment_lake()).unwrap();
         assert!(out.result.eis > 0.0);
     }

@@ -19,7 +19,10 @@
 //!   originating tables with `{⊎, σ, π, κ, β}`, with labeled source nulls
 //!   and similarity-gated κ/β,
 //! * [`pipeline`] — the [`GenT`] entry point tying discovery + reclamation
-//!   together and reporting timings,
+//!   together and reporting timings. The lake it reclaims against can be
+//!   built in memory (`DataLake::from_tables`) or reopened warm from a
+//!   `gent-store` snapshot (`gent_store::SnapshotFile`) — retrieval results
+//!   are identical either way,
 //! * [`keyless`] — the §VII future-work extensions: keyless reclamation
 //!   (key mining + surrogate keys + greedy key-free instance similarity)
 //!   and normalised ("semantic") reclamation.
@@ -40,10 +43,10 @@ pub mod traversal;
 pub use batch::{summarize, BatchItem, BatchSummary};
 pub use cleaning::{impute, CleanedReclamation, Imputation, ImputationRule, ImputeConfig};
 pub use config::GenTConfig;
+pub use expand::expand;
 pub use integration::{conform_schema, integrate, project_select};
 pub use iterative::MultiLakeOutcome;
 pub use keyless::{keyless_instance_similarity, KeyStrategy, KeylessOutcome};
 pub use matrix::AlignmentMatrix;
 pub use pipeline::{GenT, GentError, ReclamationResult, Timings};
 pub use traversal::{matrix_traversal, TraversalOutcome};
-pub use expand::expand;

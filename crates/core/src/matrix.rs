@@ -58,11 +58,8 @@ impl AlignmentMatrix {
         let skey = source.schema().key();
         assert!(!skey.is_empty(), "source must declare a key");
         // Candidate columns aligned to each source column.
-        let col_map: Vec<Option<usize>> = source
-            .schema()
-            .columns()
-            .map(|c| candidate.schema().column_index(c))
-            .collect();
+        let col_map: Vec<Option<usize>> =
+            source.schema().columns().map(|c| candidate.schema().column_index(c)).collect();
         // All key columns must be present in the candidate.
         let ckey: Option<Vec<usize>> = skey.iter().map(|&k| col_map[k]).collect();
         let ckey = ckey?;
@@ -86,8 +83,7 @@ impl AlignmentMatrix {
                         let mut vec = vec![0i8; n_cols];
                         for j in 0..n_cols {
                             let sv = &source.rows()[si][j];
-                            let tv = col_map[j]
-                                .map(|cj| &candidate.rows()[ci][cj]);
+                            let tv = col_map[j].map(|cj| &candidate.rows()[ci][cj]);
                             let enc = match tv {
                                 None => {
                                     // Candidate lacks the column entirely —
@@ -243,12 +239,7 @@ fn or_tuples(a: &[i8], b: &[i8]) -> Vec<i8> {
 /// Combine the aligned-tuple lists of one source row (Eq. 5): compatible
 /// pairs merge via OR; conflicting tuples stay separate. Tuples from either
 /// side that merged with nothing pass through (outer-union semantics).
-fn combine_lists(
-    a: &[Vec<i8>],
-    b: &[Vec<i8>],
-    non_key_cols: &[usize],
-    cap: usize,
-) -> Vec<Vec<i8>> {
+fn combine_lists(a: &[Vec<i8>], b: &[Vec<i8>], non_key_cols: &[usize], cap: usize) -> Vec<Vec<i8>> {
     if a.is_empty() {
         return b.to_vec();
     }
@@ -289,9 +280,7 @@ fn prune_dominated(list: &mut Vec<Vec<i8>>, non_key_cols: &[usize], cap: usize) 
     list.dedup();
     let snapshot = list.clone();
     list.retain(|t| {
-        !snapshot
-            .iter()
-            .any(|o| o != t && t.iter().zip(o.iter()).all(|(&x, &y)| x <= y))
+        !snapshot.iter().any(|o| o != t && t.iter().zip(o.iter()).all(|(&x, &y)| x <= y))
     });
     if list.len() > cap {
         // Keep the tuples with the best (α − δ) score.
@@ -325,7 +314,13 @@ mod tests {
             vec![
                 vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
                 vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
-                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+                vec![
+                    V::Int(2),
+                    V::str("Wang"),
+                    V::Int(32),
+                    V::str("Female"),
+                    V::str("High School"),
+                ],
             ],
         )
         .unwrap()

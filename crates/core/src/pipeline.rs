@@ -118,12 +118,8 @@ impl GenT {
                 })
                 .collect::<Vec<_>>()
         });
-        let candidates = set_similarity(
-            lake,
-            source,
-            restrict.as_deref(),
-            &self.config.set_similarity,
-        );
+        let candidates =
+            set_similarity(lake, source, restrict.as_deref(), &self.config.set_similarity);
         let discovery = t0.elapsed();
         let tables: Vec<Table> = candidates.into_iter().map(|c| c.table).collect();
         let mut result = self.reclaim_from_candidates(source, &tables)?;
@@ -174,7 +170,13 @@ mod tests {
             vec![
                 vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
                 vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
-                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+                vec![
+                    V::Int(2),
+                    V::str("Wang"),
+                    V::Int(32),
+                    V::str("Female"),
+                    V::str("High School"),
+                ],
             ],
         )
         .unwrap()
@@ -242,10 +244,7 @@ mod tests {
     #[test]
     fn keyless_source_is_an_error() {
         let s = Table::build("S", &["a"], &[], vec![]).unwrap();
-        assert_eq!(
-            GenT::default().reclaim(&s, &lake()).unwrap_err(),
-            GentError::SourceHasNoKey
-        );
+        assert_eq!(GenT::default().reclaim(&s, &lake()).unwrap_err(), GentError::SourceHasNoKey);
     }
 
     #[test]

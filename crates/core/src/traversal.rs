@@ -121,7 +121,13 @@ mod tests {
             vec![
                 vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
                 vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
-                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+                vec![
+                    V::Int(2),
+                    V::str("Wang"),
+                    V::Int(32),
+                    V::str("Female"),
+                    V::str("High School"),
+                ],
             ],
         )
         .unwrap()
@@ -185,10 +191,7 @@ mod tests {
         // not select C.
         let out = matrix_traversal(&source(), &figure3_candidates(), &GenTConfig::default());
         let names: Vec<&str> = out.originating.iter().map(|t| t.name()).collect();
-        assert!(
-            !names.iter().any(|n| n.starts_with("C")),
-            "C must be pruned, got {names:?}"
-        );
+        assert!(!names.iter().any(|n| n.starts_with("C")), "C must be pruned, got {names:?}");
         assert!(out.estimated_eis > 0.9, "eis = {}", out.estimated_eis);
     }
 
@@ -198,10 +201,7 @@ mod tests {
         // itself or an expansion joined through D.
         let out = matrix_traversal(&source(), &figure3_candidates(), &GenTConfig::default());
         let first = out.originating[0].name();
-        assert!(
-            first.starts_with("D") || first.contains("expanded"),
-            "start table {first}"
-        );
+        assert!(first.starts_with("D") || first.contains("expanded"), "start table {first}");
     }
 
     #[test]

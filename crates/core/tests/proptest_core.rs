@@ -19,12 +19,7 @@ fn keyed_source() -> impl Strategy<Value = Table> {
                 .iter()
                 .zip(cells.iter())
                 .map(|(k, c)| {
-                    vec![
-                        Value::Int(*k),
-                        Value::Int(c[0]),
-                        Value::Int(c[1]),
-                        Value::Int(c[2]),
-                    ]
+                    vec![Value::Int(*k), Value::Int(c[0]), Value::Int(c[1]), Value::Int(c[2])]
                 })
                 .collect();
             Table::build("S", &["k", "a", "b", "c"], &["k"], rows).unwrap()
@@ -48,7 +43,10 @@ fn fragments(source: &Table, null_mask: &[bool]) -> Vec<Table> {
                     .enumerate()
                     .map(|(j, v)| {
                         let nullify = j != 0 && {
-                            let bit = null_mask.get(mask_i % null_mask.len().max(1)).copied().unwrap_or(false);
+                            let bit = null_mask
+                                .get(mask_i % null_mask.len().max(1))
+                                .copied()
+                                .unwrap_or(false);
                             mask_i += 1;
                             bit
                         };

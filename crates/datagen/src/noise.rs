@@ -44,8 +44,18 @@ impl Default for NoiseConfig {
 }
 
 const DISTRACTOR_WORDS: [&str; 12] = [
-    "AMERICA", "EUROPE", "ASIA", "FRANCE", "GERMANY", "CHINA", "JAPAN", "BRAZIL", "CANADA",
-    "AUTOMOBILE", "BUILDING", "MACHINERY",
+    "AMERICA",
+    "EUROPE",
+    "ASIA",
+    "FRANCE",
+    "GERMANY",
+    "CHINA",
+    "JAPAN",
+    "BRAZIL",
+    "CANADA",
+    "AUTOMOBILE",
+    "BUILDING",
+    "MACHINERY",
 ];
 
 /// Generate the noise lake.
@@ -114,15 +124,14 @@ mod tests {
     #[test]
     fn contains_distractors_and_pure_noise() {
         let lake = generate_noise_lake(&NoiseConfig { n_tables: 200, ..Default::default() });
-        let distractors = lake
-            .iter()
-            .filter(|t| {
-                t.rows()
-                    .iter()
-                    .flatten()
-                    .any(|v| matches!(v, Value::Str(s) if DISTRACTOR_WORDS.contains(&s.as_ref())))
-            })
-            .count();
+        let distractors =
+            lake.iter()
+                .filter(|t| {
+                    t.rows().iter().flatten().any(
+                        |v| matches!(v, Value::Str(s) if DISTRACTOR_WORDS.contains(&s.as_ref())),
+                    )
+                })
+                .count();
         assert!(distractors > 10, "{distractors} distractors");
         assert!(distractors < 100, "{distractors} distractors");
     }

@@ -111,14 +111,10 @@ pub fn key_of(table: &str) -> &'static [&'static str] {
 fn draw_windows(rng: &mut StdRng, k: usize, total: f64) -> Vec<(f64, f64)> {
     let width = total / k as f64;
     // k starts in [0,1) with gaps.
-    let mut starts: Vec<f64> = (0..k)
-        .map(|i| (i as f64 + rng.gen_range(0.05..0.6)) / k as f64)
-        .collect();
+    let mut starts: Vec<f64> =
+        (0..k).map(|i| (i as f64 + rng.gen_range(0.05..0.6)) / k as f64).collect();
     starts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    starts
-        .iter()
-        .map(|&s| (s, (s + width).min(1.0)))
-        .collect()
+    starts.iter().map(|&s| (s, (s + width).min(1.0))).collect()
 }
 
 /// Generate the 26 query specs (9 class A, 9 class B, 8 class C).
@@ -223,10 +219,7 @@ pub fn generate_specs(seed: u64, columns_of: impl Fn(&str) -> Vec<String>) -> Ve
 /// Table `S{id}` with the spine key installed.
 pub fn execute(spec: &QuerySpec, tables: &[Table]) -> Result<Table, TableError> {
     let by_name = |n: &str| -> &Table {
-        tables
-            .iter()
-            .find(|t| t.name() == n)
-            .unwrap_or_else(|| panic!("relation {n} missing"))
+        tables.iter().find(|t| t.name() == n).unwrap_or_else(|| panic!("relation {n} missing"))
     };
     // Join chain.
     let mut joined = by_name(spec.spine).clone();
@@ -235,10 +228,7 @@ pub fn execute(spec: &QuerySpec, tables: &[Table]) -> Result<Table, TableError> 
     }
     // Selection windows over the sorted first-key-column domain.
     let key_cols = key_of(spec.spine);
-    let k0 = joined
-        .schema()
-        .column_index(key_cols[0])
-        .expect("spine key in result");
+    let k0 = joined.schema().column_index(key_cols[0]).expect("spine key in result");
     let mut domain: Vec<Value> = joined.distinct_values(k0).into_iter().collect();
     domain.sort();
     let n = domain.len();
@@ -258,18 +248,12 @@ pub fn execute(spec: &QuerySpec, tables: &[Table]) -> Result<Table, TableError> 
         sliced = gent_ops::select(&joined, |row| row[k0] <= domain[(n / 4).min(n - 1)]);
     }
     // Projection (spine keys guaranteed present).
-    let projected: Vec<&str> = spec
-        .projected
-        .iter()
-        .map(|s| s.as_str())
-        .filter(|c| sliced.schema().contains(c))
-        .collect();
+    let projected: Vec<&str> =
+        spec.projected.iter().map(|s| s.as_str()).filter(|c| sliced.schema().contains(c)).collect();
     let mut out = project_named(&sliced, &projected).expect("columns exist");
     out.dedup_rows();
     out.set_name(format!("S{}", spec.id));
-    out.schema_mut()
-        .set_key(key_cols.iter().copied())
-        .expect("key projected");
+    out.schema_mut().set_key(key_cols.iter().copied()).expect("key projected");
     Ok(out)
 }
 

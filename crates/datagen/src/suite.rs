@@ -17,7 +17,7 @@ use crate::noise::{generate_noise_lake, NoiseConfig};
 use crate::queries::{execute, generate_specs, QueryClass, QuerySpec};
 use crate::tpch::{generate_tpch, TpchConfig};
 use crate::variants::{make_variants, VariantConfig};
-use crate::webgen::{generate_web_corpus, generate_wdc_noise, WebCorpusConfig};
+use crate::webgen::{generate_wdc_noise, generate_web_corpus, WebCorpusConfig};
 use gent_table::Table;
 
 /// The six benchmarks of Table I.
@@ -173,12 +173,8 @@ pub fn build_web(id: BenchmarkId, cfg: &SuiteConfig) -> Benchmark {
         .iter()
         .enumerate()
         .map(|(i, name)| {
-            let source = corpus
-                .tables
-                .iter()
-                .find(|t| t.name() == name)
-                .expect("base in corpus")
-                .clone();
+            let source =
+                corpus.tables.iter().find(|t| t.name() == name).expect("base in corpus").clone();
             SourceCase {
                 id: i,
                 class: None,
@@ -234,10 +230,7 @@ mod tests {
             assert!(!c.integrating_set.is_empty());
             // integrating set names exist in the lake
             for n in &c.integrating_set {
-                assert!(
-                    b.lake_tables.iter().any(|t| t.name() == n),
-                    "{n} missing from lake"
-                );
+                assert!(b.lake_tables.iter().any(|t| t.name() == n), "{n} missing from lake");
             }
         }
     }

@@ -33,11 +33,30 @@ impl Default for TpchConfig {
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [(&str, i64); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
@@ -45,15 +64,35 @@ const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIE
 const STATUSES: [&str; 3] = ["F", "O", "P"];
 const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 const PART_ADJ: [&str; 10] = [
-    "antique", "burnished", "chocolate", "dim", "floral", "honeydew", "ivory", "lace",
-    "metallic", "navy",
+    "antique",
+    "burnished",
+    "chocolate",
+    "dim",
+    "floral",
+    "honeydew",
+    "ivory",
+    "lace",
+    "metallic",
+    "navy",
 ];
 const PART_NOUN: [&str; 10] = [
-    "almond", "brass", "copper", "drab", "frosted", "gainsboro", "linen", "olive", "peru",
+    "almond",
+    "brass",
+    "copper",
+    "drab",
+    "frosted",
+    "gainsboro",
+    "linen",
+    "olive",
+    "peru",
     "tomato",
 ];
 const PART_TYPES: [&str; 6] = [
-    "ECONOMY ANODIZED", "LARGE BRUSHED", "MEDIUM BURNISHED", "PROMO PLATED", "SMALL POLISHED",
+    "ECONOMY ANODIZED",
+    "LARGE BRUSHED",
+    "MEDIUM BURNISHED",
+    "PROMO PLATED",
+    "SMALL POLISHED",
     "STANDARD TIN",
 ];
 const MFGRS: [&str; 5] = ["Mfgr#1", "Mfgr#2", "Mfgr#3", "Mfgr#4", "Mfgr#5"];
@@ -273,8 +312,15 @@ pub fn generate_tpch(cfg: &TpchConfig) -> Vec<Table> {
     let lineitem = Table::build(
         "lineitem",
         &[
-            "orderkey", "linenumber", "partkey", "suppkey", "l_quantity", "l_extendedprice",
-            "l_discount", "l_returnflag", "l_shipdate",
+            "orderkey",
+            "linenumber",
+            "partkey",
+            "suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_returnflag",
+            "l_shipdate",
         ],
         &["orderkey", "linenumber"],
         li_rows,

@@ -112,9 +112,8 @@ pub fn make_variants(t: &Table, cfg: &VariantConfig) -> Vec<Table> {
     let ncols = t.n_cols();
     // Key cells are never masked (see module docs).
     let key = t.schema().key();
-    let eligible: Vec<bool> = (0..t.n_rows() * ncols)
-        .map(|i| !key.contains(&(i % ncols)))
-        .collect();
+    let eligible: Vec<bool> =
+        (0..t.n_rows() * ncols).map(|i| !key.contains(&(i % ncols))).collect();
     let (nm1, nm2) = disjoint_first_masks(&eligible, cfg.null_frac, &mut rng);
     let (em1, em2) = disjoint_first_masks(&eligible, cfg.err_frac, &mut rng);
     let null_repl = |_: &mut StdRng| Value::Null;
@@ -129,9 +128,7 @@ pub fn make_variants(t: &Table, cfg: &VariantConfig) -> Vec<Table> {
 
 /// Stable tiny hash so each table gets its own stream from one seed.
 fn hash_name(name: &str) -> u64 {
-    name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x100000001b3)
-    })
+    name.bytes().fold(0xcbf29ce484222325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100000001b3))
 }
 
 #[cfg(test)]
@@ -140,9 +137,8 @@ mod tests {
     use gent_table::Value as V;
 
     fn base() -> Table {
-        let rows: Vec<Vec<V>> = (0..40)
-            .map(|i| vec![V::Int(i), V::str(format!("v{i}")), V::Int(i * 10)])
-            .collect();
+        let rows: Vec<Vec<V>> =
+            (0..40).map(|i| vec![V::Int(i), V::str(format!("v{i}")), V::Int(i * 10)]).collect();
         Table::build("base", &["k", "a", "b"], &["k"], rows).unwrap()
     }
 
@@ -187,7 +183,8 @@ mod tests {
         let (n1, n2) = (&vs[0], &vs[1]);
         for i in 0..b.n_rows() {
             for j in 0..b.n_cols() {
-                let survives = !n1.cell(i, j).unwrap().is_null() || !n2.cell(i, j).unwrap().is_null();
+                let survives =
+                    !n1.cell(i, j).unwrap().is_null() || !n2.cell(i, j).unwrap().is_null();
                 assert!(survives, "cell ({i},{j}) lost in both nullified versions");
             }
         }

@@ -182,7 +182,8 @@ mod tests {
         assert_eq!(c.duplicates.len(), 6);
         // fragments exist for reclaimable bases
         for r in &c.reclaimable {
-            let frags = c.tables.iter().filter(|t| t.name().starts_with(&format!("{r}_frag"))).count();
+            let frags =
+                c.tables.iter().filter(|t| t.name().starts_with(&format!("{r}_frag"))).count();
             assert!((4..=6).contains(&frags), "{r} has {frags} fragments");
         }
     }
@@ -223,13 +224,9 @@ mod tests {
             .columns()
             .map(|c| out.schema().column_index(c).expect("covered"))
             .collect();
-        let set: FxHashSet<Vec<gent_table::Value>> = out
-            .rows()
-            .iter()
-            .map(|r| map.iter().map(|&j| r[j].clone()).collect())
-            .collect();
-        source.rows().iter().filter(|r| set.contains(*r)).count() as f64
-            / source.n_rows() as f64
+        let set: FxHashSet<Vec<gent_table::Value>> =
+            out.rows().iter().map(|r| map.iter().map(|&j| r[j].clone()).collect()).collect();
+        source.rows().iter().filter(|r| set.contains(*r)).count() as f64 / source.n_rows() as f64
     }
 
     #[test]

@@ -1,0 +1,378 @@
+//! [`FrozenIndex`]: the inverted value index in its *serving layout* —
+//! an open-addressing hash table whose backing arrays are plain `u32`/`u64`/
+//! byte vectors.
+//!
+//! The point of freezing is persistence: `gent-store` writes the five
+//! arrays to disk verbatim and reads them back with bulk array decodes, so
+//! reopening a snapshot costs O(bytes) sequential reads instead of
+//! re-inserting every distinct value into a fresh hash map. A frozen index
+//! answers [`FrozenIndex::get`] exactly like the `FxHashMap` it was built
+//! from, because keys are compared as *canonical value bytes*
+//! ([`gent_table::binary::encode_value_canonical`]), under which byte
+//! equality coincides with [`Value`] equality (including `3 == 3.0`,
+//! NaN-collapsing, and `-0.0 == 0.0`).
+
+use crate::lake::Posting;
+use gent_table::binary::{decode_value, encode_value_canonical, fold64, BinReader, BinWriter};
+use gent_table::{FxHashMap, Value};
+
+/// Bucket sentinel for "empty".
+const EMPTY: u32 = u32::MAX;
+
+/// Borrowed views of the six frozen arrays, in [`FrozenIndex::from_raw_parts`]
+/// order: buckets, hashes, value offsets, value blob, posting offsets, arena.
+pub type RawParts<'a> = (&'a [u32], &'a [u64], &'a [u32], &'a [u8], &'a [u32], &'a [Posting]);
+
+/// An immutable, serialisable inverted index: canonical value bytes →
+/// posting list, laid out as flat arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrozenIndex {
+    /// Open-addressing table: entry id or [`EMPTY`]; length a power of two,
+    /// load factor ≤ 0.5, linear probing.
+    buckets: Vec<u32>,
+    /// Per entry: `fold64` of its canonical key bytes (probe fast-reject).
+    hashes: Vec<u64>,
+    /// Per entry: start of its key in `blob`; `n + 1` offsets, monotone.
+    value_offsets: Vec<u32>,
+    /// Canonically encoded keys, concatenated in entry order.
+    blob: Vec<u8>,
+    /// Per entry: start of its postings in `arena`; `n + 1` offsets.
+    posting_offsets: Vec<u32>,
+    /// All posting lists, concatenated in entry order.
+    arena: Vec<Posting>,
+}
+
+impl FrozenIndex {
+    /// Freeze a mutable index. Entries are laid out in canonical-byte order,
+    /// so equal maps freeze to identical structures (and identical
+    /// snapshots) regardless of hash-map iteration order.
+    pub fn from_map(map: &FxHashMap<Value, Vec<Posting>>) -> Self {
+        let mut items: Vec<(Vec<u8>, &[Posting])> = map
+            .iter()
+            .map(|(v, p)| {
+                let mut w = BinWriter::new();
+                encode_value_canonical(v, &mut w);
+                (w.into_bytes(), p.as_slice())
+            })
+            .collect();
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let n = items.len();
+        let mut hashes = Vec::with_capacity(n);
+        let mut value_offsets = Vec::with_capacity(n + 1);
+        let mut blob = Vec::new();
+        let mut posting_offsets = Vec::with_capacity(n + 1);
+        let mut arena = Vec::new();
+        value_offsets.push(0);
+        posting_offsets.push(0);
+        for (bytes, postings) in &items {
+            hashes.push(fold64(bytes));
+            blob.extend_from_slice(bytes);
+            arena.extend_from_slice(postings);
+            // Offsets are u32 to keep snapshots compact; fail loudly rather
+            // than wrap if a lake ever outgrows them (≥4 GiB of distinct
+            // value bytes or ≥2³² postings).
+            assert!(
+                blob.len() <= u32::MAX as usize && arena.len() <= u32::MAX as usize,
+                "lake too large to freeze: {} value bytes / {} postings exceed the u32 \
+                 offset range of snapshot format v1",
+                blob.len(),
+                arena.len()
+            );
+            value_offsets.push(blob.len() as u32);
+            posting_offsets.push(arena.len() as u32);
+        }
+
+        let n_buckets = (n.max(8) * 2).next_power_of_two();
+        let mut buckets = vec![EMPTY; n_buckets];
+        let mask = n_buckets - 1;
+        for (i, &h) in hashes.iter().enumerate() {
+            let mut slot = h as usize & mask;
+            while buckets[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            buckets[slot] = i as u32;
+        }
+
+        FrozenIndex { buckets, hashes, value_offsets, blob, posting_offsets, arena }
+    }
+
+    /// Reassemble from raw arrays (the snapshot load path). Validates every
+    /// structural invariant the probe loop relies on, so a corrupt file can
+    /// produce an error but never an out-of-bounds access or infinite probe.
+    pub fn from_raw_parts(
+        buckets: Vec<u32>,
+        hashes: Vec<u64>,
+        value_offsets: Vec<u32>,
+        blob: Vec<u8>,
+        posting_offsets: Vec<u32>,
+        arena: Vec<Posting>,
+    ) -> Result<Self, String> {
+        let n = hashes.len();
+        if value_offsets.len() != n + 1 || posting_offsets.len() != n + 1 {
+            return Err(format!(
+                "offset arrays have lengths {}/{}, expected {}",
+                value_offsets.len(),
+                posting_offsets.len(),
+                n + 1
+            ));
+        }
+        if !buckets.len().is_power_of_two() || buckets.len() < (n.max(8) * 2).next_power_of_two() {
+            return Err(format!("bucket table size {} invalid for {n} entries", buckets.len()));
+        }
+        let mono = |offs: &[u32], end: usize, what: &str| -> Result<(), String> {
+            if offs[0] != 0 || offs[n] as usize != end {
+                return Err(format!("{what} offsets do not span the data"));
+            }
+            if offs.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{what} offsets not monotone"));
+            }
+            Ok(())
+        };
+        mono(&value_offsets, blob.len(), "value")?;
+        mono(&posting_offsets, arena.len(), "posting")?;
+        let mut seen = vec![false; n];
+        let mut occupied = 0usize;
+        for &b in &buckets {
+            if b == EMPTY {
+                continue;
+            }
+            let i = b as usize;
+            if i >= n || seen[i] {
+                return Err(format!("bucket references entry {b} (n = {n}) twice or out of range"));
+            }
+            seen[i] = true;
+            occupied += 1;
+        }
+        if occupied != n {
+            return Err(format!("{occupied} bucket entries for {n} index entries"));
+        }
+        Ok(FrozenIndex { buckets, hashes, value_offsets, blob, posting_offsets, arena })
+    }
+
+    /// The raw arrays, in `from_raw_parts` order — what snapshots persist.
+    pub fn raw_parts(&self) -> RawParts<'_> {
+        (
+            &self.buckets,
+            &self.hashes,
+            &self.value_offsets,
+            &self.blob,
+            &self.posting_offsets,
+            &self.arena,
+        )
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when the index holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Posting list for `v` (empty when unseen) — the frozen counterpart of
+    /// the map lookup.
+    pub fn get(&self, v: &Value) -> &[Posting] {
+        let mut w = BinWriter::new();
+        encode_value_canonical(v, &mut w);
+        self.get_by_key_bytes(w.as_bytes())
+    }
+
+    /// Posting list for pre-encoded canonical key bytes.
+    pub fn get_by_key_bytes(&self, key: &[u8]) -> &[Posting] {
+        if self.hashes.is_empty() {
+            return &[];
+        }
+        let h = fold64(key);
+        let mask = self.buckets.len() - 1;
+        let mut slot = h as usize & mask;
+        loop {
+            match self.buckets[slot] {
+                EMPTY => return &[],
+                e => {
+                    let i = e as usize;
+                    if self.hashes[i] == h && self.key_bytes(i) == key {
+                        return self.postings_of(i);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn key_bytes(&self, i: usize) -> &[u8] {
+        &self.blob[self.value_offsets[i] as usize..self.value_offsets[i + 1] as usize]
+    }
+
+    fn postings_of(&self, i: usize) -> &[Posting] {
+        &self.arena[self.posting_offsets[i] as usize..self.posting_offsets[i + 1] as usize]
+    }
+
+    /// Iterate `(value, postings)` in entry (canonical-byte) order, decoding
+    /// each value from the blob.
+    pub fn entries(&self) -> impl Iterator<Item = (Value, &[Posting])> + '_ {
+        (0..self.len()).map(|i| {
+            let mut r = BinReader::new(self.key_bytes(i));
+            let v = decode_value(&mut r).expect("frozen blob holds valid canonical values");
+            (v, self.postings_of(i))
+        })
+    }
+
+    /// Thaw back into a mutable map (used when tables are pushed into a
+    /// snapshot-loaded lake).
+    pub fn to_map(&self) -> FxHashMap<Value, Vec<Posting>> {
+        let mut map = FxHashMap::with_capacity_and_hasher(self.len(), Default::default());
+        for (v, postings) in self.entries() {
+            map.insert(v, postings.to_vec());
+        }
+        map
+    }
+
+    /// Largest posting `table` field, for bounds validation against a lake.
+    pub fn max_table_index(&self) -> Option<u32> {
+        self.arena.iter().map(|p| p.table).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> FxHashMap<Value, Vec<Posting>> {
+        let mut m: FxHashMap<Value, Vec<Posting>> = FxHashMap::default();
+        let p = |t, c| Posting { table: t, column: c };
+        m.insert(Value::Int(1), vec![p(0, 0), p(1, 0)]);
+        m.insert(Value::str("hello"), vec![p(0, 1)]);
+        m.insert(Value::Float(2.5), vec![p(2, 3)]);
+        m.insert(Value::Bool(true), vec![p(1, 1)]);
+        m.insert(Value::LabeledNull(9), vec![p(2, 0)]);
+        for i in 10..200i64 {
+            m.insert(Value::Int(i), vec![p((i % 5) as u32, (i % 3) as u16)]);
+        }
+        m
+    }
+
+    #[test]
+    fn frozen_answers_like_the_map() {
+        let m = map();
+        let f = FrozenIndex::from_map(&m);
+        assert_eq!(f.len(), m.len());
+        for (v, postings) in &m {
+            assert_eq!(f.get(v), postings.as_slice(), "lookup({v:?})");
+        }
+        assert!(f.get(&Value::Int(-777)).is_empty());
+        assert!(f.get(&Value::str("absent")).is_empty());
+    }
+
+    #[test]
+    fn cross_type_equality_is_preserved() {
+        let mut m: FxHashMap<Value, Vec<Posting>> = FxHashMap::default();
+        m.insert(Value::Int(3), vec![Posting { table: 4, column: 2 }]);
+        m.insert(Value::Float(0.5), vec![Posting { table: 1, column: 1 }]);
+        let f = FrozenIndex::from_map(&m);
+        // The map itself would answer these (Value::Eq is cross-type):
+        assert_eq!(f.get(&Value::Float(3.0)), m[&Value::Int(3)].as_slice());
+        assert_eq!(f.get(&Value::Float(0.5)), m[&Value::Float(0.5)].as_slice());
+        assert!(f.get(&Value::Float(3.5)).is_empty());
+    }
+
+    #[test]
+    fn freezing_is_deterministic() {
+        // Two maps with identical content but different insertion order.
+        let a = FrozenIndex::from_map(&map());
+        let mut m2 = FxHashMap::default();
+        let mut entries: Vec<_> = map().into_iter().collect();
+        entries.reverse();
+        for (k, v) in entries {
+            m2.insert(k, v);
+        }
+        let b = FrozenIndex::from_map(&m2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn raw_parts_round_trip() {
+        let f = FrozenIndex::from_map(&map());
+        let (b, h, vo, bl, po, ar) = f.raw_parts();
+        let back = FrozenIndex::from_raw_parts(
+            b.to_vec(),
+            h.to_vec(),
+            vo.to_vec(),
+            bl.to_vec(),
+            po.to_vec(),
+            ar.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_corruption() {
+        let f = FrozenIndex::from_map(&map());
+        let (b, h, vo, bl, po, ar) = f.raw_parts();
+        // Truncated offsets.
+        assert!(FrozenIndex::from_raw_parts(
+            b.to_vec(),
+            h.to_vec(),
+            vo[..vo.len() - 1].to_vec(),
+            bl.to_vec(),
+            po.to_vec(),
+            ar.to_vec()
+        )
+        .is_err());
+        // Non-power-of-two bucket table.
+        assert!(FrozenIndex::from_raw_parts(
+            b[..b.len() - 1].to_vec(),
+            h.to_vec(),
+            vo.to_vec(),
+            bl.to_vec(),
+            po.to_vec(),
+            ar.to_vec()
+        )
+        .is_err());
+        // Dangling bucket reference.
+        let mut bad = b.to_vec();
+        let slot = bad.iter().position(|&x| x != super::EMPTY).unwrap();
+        bad[slot] = 10_000;
+        assert!(FrozenIndex::from_raw_parts(
+            bad,
+            h.to_vec(),
+            vo.to_vec(),
+            bl.to_vec(),
+            po.to_vec(),
+            ar.to_vec()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn entries_and_thaw_reconstruct_the_map() {
+        let m = map();
+        let f = FrozenIndex::from_map(&m);
+        let thawed = f.to_map();
+        assert_eq!(thawed.len(), m.len());
+        for (v, postings) in &m {
+            assert_eq!(thawed.get(v), Some(postings), "thawed({v:?})");
+        }
+        // entries() are sorted by canonical bytes — stable across runs.
+        let keys: Vec<Vec<u8>> = f
+            .entries()
+            .map(|(v, _)| {
+                let mut w = BinWriter::new();
+                encode_value_canonical(&v, &mut w);
+                w.into_bytes()
+            })
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_index_works() {
+        let f = FrozenIndex::from_map(&FxHashMap::default());
+        assert!(f.is_empty());
+        assert!(f.get(&Value::Int(1)).is_empty());
+        assert_eq!(f.entries().count(), 0);
+    }
+}

@@ -6,6 +6,7 @@
 //! lists are deduplicated per (table, column): multiplicity within a column
 //! does not matter for set overlap.
 
+use crate::frozen::FrozenIndex;
 use gent_table::{FxHashMap, FxHashSet, Table, Value};
 
 /// A posting: which table and which column a value occurs in.
@@ -17,12 +18,21 @@ pub struct Posting {
     pub column: u16,
 }
 
+/// The inverted index's two backings: a mutable hash map while a lake is
+/// being built, or a [`FrozenIndex`] when reopened from a snapshot (flat
+/// arrays, loadable without per-value inserts). Lookups behave identically.
+#[derive(Debug, Clone)]
+enum LakeIndex {
+    Map(FxHashMap<Value, Vec<Posting>>),
+    Frozen(FrozenIndex),
+}
+
 /// A repository of tables with an inverted value index.
 #[derive(Debug, Clone)]
 pub struct DataLake {
     tables: Vec<Table>,
     by_name: FxHashMap<String, usize>,
-    index: FxHashMap<Value, Vec<Posting>>,
+    index: LakeIndex,
 }
 
 impl DataLake {
@@ -32,7 +42,7 @@ impl DataLake {
         let mut lake = DataLake {
             tables: Vec::with_capacity(tables.len()),
             by_name: FxHashMap::default(),
-            index: FxHashMap::default(),
+            index: LakeIndex::Map(FxHashMap::default()),
         };
         for t in tables {
             lake.push_table(t);
@@ -40,8 +50,47 @@ impl DataLake {
         lake
     }
 
-    /// Add one table, indexing its values.
-    pub fn push_table(&mut self, mut t: Table) {
+    /// Add one table, indexing its values. Returns the table's index; if the
+    /// name was taken, the table is renamed with a `#k` suffix and registered
+    /// in `by_name` under that new name (its original name keeps resolving to
+    /// the first table that claimed it).
+    pub fn push_table(&mut self, mut t: Table) -> usize {
+        let name = self.claim_name(&mut t);
+        let ti = self.tables.len();
+        let index = self.index_map_mut();
+        for (ci, _) in t.schema().columns().enumerate() {
+            let mut seen: FxHashSet<&Value> = FxHashSet::default();
+            for v in t.column(ci) {
+                if !v.is_null_like() && seen.insert(v) {
+                    index
+                        .entry(v.clone())
+                        .or_default()
+                        .push(Posting { table: ti as u32, column: ci as u16 });
+                }
+            }
+        }
+        self.by_name.insert(name, ti);
+        self.tables.push(t);
+        ti
+    }
+
+    /// Mutable access to the map backing, thawing a frozen index first
+    /// (documented cost: pushing into a snapshot-loaded lake re-expands the
+    /// frozen arrays into a hash map once).
+    fn index_map_mut(&mut self) -> &mut FxHashMap<Value, Vec<Posting>> {
+        if let LakeIndex::Frozen(f) = &self.index {
+            self.index = LakeIndex::Map(f.to_map());
+        }
+        match &mut self.index {
+            LakeIndex::Map(m) => m,
+            LakeIndex::Frozen(_) => unreachable!("thawed above"),
+        }
+    }
+
+    /// Resolve `t`'s name against `by_name`: rename with the first free `#k`
+    /// suffix on collision. Returns the name the table must be registered
+    /// under.
+    fn claim_name(&self, t: &mut Table) -> String {
         let mut name = t.name().to_string();
         if self.by_name.contains_key(&name) {
             let mut k = 2;
@@ -51,20 +100,55 @@ impl DataLake {
             name = format!("{name}#{k}");
             t.set_name(&name);
         }
-        let ti = self.tables.len() as u32;
-        for (ci, _) in t.schema().columns().enumerate() {
-            let mut seen: FxHashSet<&Value> = FxHashSet::default();
-            for v in t.column(ci) {
-                if !v.is_null_like() && seen.insert(v) {
-                    self.index
-                        .entry(v.clone())
-                        .or_default()
-                        .push(Posting { table: ti, column: ci as u16 });
-                }
-            }
+        name
+    }
+
+    /// Reassemble a lake from already-built parts — tables plus their
+    /// inverted index — without re-scanning any cell. This is the warm-start
+    /// hook parallel ingest builds through; `postings` must index into
+    /// `tables` exactly as [`DataLake::push_table`] would have built them.
+    /// Table names are re-uniquified defensively (a no-op for snapshot data,
+    /// whose names were uniquified at ingest).
+    pub fn from_parts(tables: Vec<Table>, index: FxHashMap<Value, Vec<Posting>>) -> Self {
+        Self::assemble(tables, LakeIndex::Map(index))
+    }
+
+    /// Reassemble a lake around a [`FrozenIndex`] — the snapshot load path.
+    /// No per-value work happens here; the frozen arrays serve lookups
+    /// directly.
+    pub fn from_frozen(tables: Vec<Table>, index: FrozenIndex) -> Self {
+        Self::assemble(tables, LakeIndex::Frozen(index))
+    }
+
+    fn assemble(tables: Vec<Table>, index: LakeIndex) -> Self {
+        let mut lake = DataLake {
+            tables: Vec::with_capacity(tables.len()),
+            by_name: FxHashMap::default(),
+            index,
+        };
+        for mut t in tables {
+            let name = lake.claim_name(&mut t);
+            lake.by_name.insert(name, lake.tables.len());
+            lake.tables.push(t);
         }
-        self.by_name.insert(name, self.tables.len());
-        self.tables.push(t);
+        lake
+    }
+
+    /// The frozen backing, when this lake was loaded from a snapshot.
+    pub fn frozen_index(&self) -> Option<&FrozenIndex> {
+        match &self.index {
+            LakeIndex::Frozen(f) => Some(f),
+            LakeIndex::Map(_) => None,
+        }
+    }
+
+    /// A frozen view of the index, cloning only when already frozen —
+    /// what snapshot saving serialises.
+    pub fn freeze_index(&self) -> FrozenIndex {
+        match &self.index {
+            LakeIndex::Map(m) => FrozenIndex::from_map(m),
+            LakeIndex::Frozen(f) => f.clone(),
+        }
     }
 
     /// All tables.
@@ -94,7 +178,29 @@ impl DataLake {
 
     /// Posting list for a value (empty slice when unseen).
     pub fn postings(&self, v: &Value) -> &[Posting] {
-        self.index.get(v).map(|p| p.as_slice()).unwrap_or(&[])
+        match &self.index {
+            LakeIndex::Map(m) => m.get(v).map(|p| p.as_slice()).unwrap_or(&[]),
+            LakeIndex::Frozen(f) => f.get(v),
+        }
+    }
+
+    /// Number of distinct values in the inverted index.
+    pub fn index_len(&self) -> usize {
+        match &self.index {
+            LakeIndex::Map(m) => m.len(),
+            LakeIndex::Frozen(f) => f.len(),
+        }
+    }
+
+    /// Iterate over the inverted index: every distinct value with its
+    /// posting list. Iteration order is unspecified (hash order for
+    /// map-backed lakes, canonical-byte order for frozen ones); consumers
+    /// that need determinism must sort.
+    pub fn index_entries(&self) -> Box<dyn Iterator<Item = (Value, &[Posting])> + '_> {
+        match &self.index {
+            LakeIndex::Map(m) => Box::new(m.iter().map(|(v, p)| (v.clone(), p.as_slice()))),
+            LakeIndex::Frozen(f) => Box::new(f.entries()),
+        }
     }
 
     /// For a set of probe values, count per `(table, column)` how many of
@@ -173,6 +279,77 @@ mod tests {
         let l = DataLake::from_tables(vec![t1, t2]);
         assert!(l.get_by_name("t").is_some());
         assert!(l.get_by_name("t#2").is_some());
+    }
+
+    /// Regression: every renamed duplicate must be registered in `by_name`
+    /// under its new name — three same-named tables stay individually
+    /// addressable and keep their own rows.
+    #[test]
+    fn three_same_named_tables_all_registered() {
+        let mk = |i: i64| Table::build("t", &["x"], &[], vec![vec![V::Int(i)]]).unwrap();
+        let mut l = DataLake::from_tables(vec![mk(1), mk(2)]);
+        let idx = l.push_table(mk(3));
+        assert_eq!(idx, 2);
+        assert_eq!(l.len(), 3);
+        for (name, val, at) in [("t", 1, 0usize), ("t#2", 2, 1), ("t#3", 3, 2)] {
+            let t = l.get_by_name(name).unwrap_or_else(|| panic!("`{name}` not in by_name"));
+            assert_eq!(t.cell(0, 0), Some(&V::Int(val)), "`{name}` resolves to wrong table");
+            assert_eq!(t.name(), name, "table was renamed but not updated");
+            assert_eq!(l.get(at).unwrap().name(), name);
+        }
+        // The index points each value at the right physical table.
+        assert_eq!(l.postings(&V::Int(3)), &[Posting { table: 2, column: 0 }]);
+    }
+
+    /// A pre-existing table already holding the `#k` name forces the next
+    /// collision to skip to the following suffix.
+    #[test]
+    fn suffix_collision_skips_taken_names() {
+        let named = |n: &str, i: i64| Table::build(n, &["x"], &[], vec![vec![V::Int(i)]]).unwrap();
+        let l = DataLake::from_tables(vec![named("t", 1), named("t#2", 2), named("t", 3)]);
+        assert_eq!(l.get_by_name("t").unwrap().cell(0, 0), Some(&V::Int(1)));
+        assert_eq!(l.get_by_name("t#2").unwrap().cell(0, 0), Some(&V::Int(2)));
+        assert_eq!(l.get_by_name("t#3").unwrap().cell(0, 0), Some(&V::Int(3)));
+    }
+
+    #[test]
+    fn from_parts_rebuilds_identical_lookups() {
+        let l = lake();
+        let tables = l.tables().to_vec();
+        let index: FxHashMap<Value, Vec<Posting>> =
+            l.index_entries().map(|(v, p)| (v, p.to_vec())).collect();
+        let rebuilt = DataLake::from_parts(tables, index);
+        assert_eq!(rebuilt.len(), l.len());
+        assert_eq!(rebuilt.index_len(), l.index_len());
+        for probe in [V::Int(1), V::Int(2), V::Int(3), V::str("u")] {
+            assert_eq!(rebuilt.postings(&probe), l.postings(&probe), "postings for {probe}");
+        }
+        assert_eq!(rebuilt.get_by_name("a").unwrap().rows(), l.get_by_name("a").unwrap().rows());
+    }
+
+    #[test]
+    fn frozen_lake_serves_identical_lookups() {
+        let l = lake();
+        let frozen = DataLake::from_frozen(l.tables().to_vec(), l.freeze_index());
+        assert!(frozen.frozen_index().is_some());
+        assert_eq!(frozen.index_len(), l.index_len());
+        for probe in [V::Int(1), V::Int(2), V::Int(3), V::str("u"), V::str("zz")] {
+            assert_eq!(frozen.postings(&probe), l.postings(&probe), "postings for {probe}");
+        }
+        let counts = frozen.containment_counts([V::Int(1), V::Int(3)].iter());
+        assert_eq!(counts, l.containment_counts([V::Int(1), V::Int(3)].iter()));
+    }
+
+    #[test]
+    fn pushing_into_frozen_lake_thaws_it() {
+        let l = lake();
+        let mut frozen = DataLake::from_frozen(l.tables().to_vec(), l.freeze_index());
+        let t = Table::build("c", &["w"], &[], vec![vec![V::Int(99)]]).unwrap();
+        let idx = frozen.push_table(t);
+        assert!(frozen.frozen_index().is_none(), "thawed back to a map");
+        assert_eq!(frozen.postings(&V::Int(99)), &[Posting { table: idx as u32, column: 0 }]);
+        // Old entries survive the thaw.
+        assert_eq!(frozen.postings(&V::Int(1)), l.postings(&V::Int(1)));
     }
 
     #[test]

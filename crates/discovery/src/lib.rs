@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod frozen;
 pub mod lake;
 pub mod lsh;
 pub mod mate;
@@ -34,8 +35,12 @@ pub mod minhash;
 pub mod retriever;
 pub mod set_similarity;
 
+pub use frozen::FrozenIndex;
 pub use lake::DataLake;
-pub use lsh::{LshConfig, LshEnsembleIndex, LshMatch, LshRetriever};
+pub use lsh::{
+    LshColumnExport, LshConfig, LshEnsembleIndex, LshIndexExport, LshMatch, LshPartitionExport,
+    LshRetriever,
+};
 pub use mate::{multi_attribute_search, MultiMatch};
 pub use minhash::{MinHashSignature, MinHasher};
 pub use retriever::{OverlapRetriever, TableRetriever};

@@ -31,7 +31,7 @@ use crate::minhash::{splitmix64, MinHashSignature, MinHasher};
 use crate::retriever::TableRetriever;
 
 /// Tuning knobs for [`LshEnsembleIndex`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LshConfig {
     /// Permutations per signature. More = tighter estimates, slower build.
     pub num_perm: usize,
@@ -99,15 +99,21 @@ pub struct LshEnsembleIndex {
 impl LshEnsembleIndex {
     /// Index every column of every table in `lake`.
     pub fn build(lake: &DataLake, cfg: LshConfig) -> Self {
+        Self::build_parallel(lake, cfg, 1)
+    }
+
+    /// Index every column of every table in `lake`, computing the per-table
+    /// MinHash signatures on `threads` scoped worker threads. Signature
+    /// hashing dominates index construction cost and is embarrassingly
+    /// parallel per table; results are deterministic regardless of thread
+    /// count (workers fill disjoint per-table slots, merged in table order).
+    pub fn build_parallel(lake: &DataLake, cfg: LshConfig, threads: usize) -> Self {
         assert!(cfg.num_perm > 0 && cfg.num_bands > 0, "empty LSH configuration");
-        assert_eq!(
-            cfg.num_perm % cfg.num_bands,
-            0,
-            "num_perm must be divisible by num_bands"
-        );
+        assert_eq!(cfg.num_perm % cfg.num_bands, 0, "num_perm must be divisible by num_bands");
         let hasher = MinHasher::new(cfg.num_perm, cfg.seed);
-        let mut columns = Vec::new();
-        for (ti, t) in lake.tables().iter().enumerate() {
+
+        let sign_table = |ti: usize, t: &gent_table::Table| -> Vec<ColumnEntry> {
+            let mut out = Vec::with_capacity(t.n_cols());
             for ci in 0..t.n_cols() {
                 let values = t.distinct_values(ci);
                 let values: FxHashSet<&Value> =
@@ -116,30 +122,56 @@ impl LshEnsembleIndex {
                     continue;
                 }
                 let signature = hasher.signature(values.iter().copied());
-                columns.push(ColumnEntry {
-                    posting: Posting {
-                        table: ti as u32,
-                        column: ci as u16,
-                    },
+                out.push(ColumnEntry {
+                    posting: Posting { table: ti as u32, column: ci as u16 },
                     size: values.len(),
                     signature,
                 });
             }
-        }
+            out
+        };
+
+        let tables = lake.tables();
+        let threads = threads.max(1).min(tables.len().max(1));
+        let columns: Vec<ColumnEntry> = if threads <= 1 {
+            tables.iter().enumerate().flat_map(|(ti, t)| sign_table(ti, t)).collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut per_table: Vec<(usize, Vec<ColumnEntry>)> = std::thread::scope(|scope| {
+                let workers: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let ti = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if ti >= tables.len() {
+                                    return local;
+                                }
+                                local.push((ti, sign_table(ti, &tables[ti])));
+                            }
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("signature worker panicked"))
+                    .collect()
+            });
+            per_table.sort_by_key(|(ti, _)| *ti);
+            per_table.into_iter().flat_map(|(_, entries)| entries).collect()
+        };
+
         let partitions = Self::partition(&columns, &cfg);
-        Self {
-            hasher,
-            cfg,
-            columns,
-            partitions,
-        }
+        Self { hasher, cfg, columns, partitions }
     }
 
     /// Equi-depth partitioning by set size, then banded buckets per
     /// partition.
     fn partition(columns: &[ColumnEntry], cfg: &LshConfig) -> Vec<Partition> {
         let mut order: Vec<usize> = (0..columns.len()).collect();
-        order.sort_by_key(|&i| (columns[i].size, columns[i].posting.table, columns[i].posting.column));
+        order.sort_by_key(|&i| {
+            (columns[i].size, columns[i].posting.table, columns[i].posting.column)
+        });
         let nparts = cfg.num_partitions.max(1).min(order.len().max(1));
         let chunk = order.len().div_ceil(nparts.max(1)).max(1);
         let rows_per_band = cfg.num_perm / cfg.num_bands;
@@ -154,11 +186,7 @@ impl LshEnsembleIndex {
                     bucket.entry(h).or_default().push(i);
                 }
             }
-            partitions.push(Partition {
-                members: members.to_vec(),
-                max_size,
-                buckets,
-            });
+            partitions.push(Partition { members: members.to_vec(), max_size, buckets });
         }
         partitions
     }
@@ -214,10 +242,7 @@ impl LshEnsembleIndex {
                 }
                 let c = qsig.containment_in(&e.signature, qsize, e.size);
                 if c + 1e-9 >= threshold {
-                    out.push(LshMatch {
-                        posting: e.posting,
-                        containment: c,
-                    });
+                    out.push(LshMatch { posting: e.posting, containment: c });
                 }
             }
         }
@@ -228,6 +253,169 @@ impl LshEnsembleIndex {
                 .then((a.posting.table, a.posting.column).cmp(&(b.posting.table, b.posting.column)))
         });
         out
+    }
+}
+
+/// Serializable mirror of one indexed column ([`LshIndexExport`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LshColumnExport {
+    /// Which lake column this entry summarises.
+    pub posting: Posting,
+    /// Distinct-value count of that column.
+    pub size: u64,
+    /// The MinHash signature slots.
+    pub slots: Vec<u64>,
+}
+
+/// Serializable mirror of one set-size partition ([`LshIndexExport`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LshPartitionExport {
+    /// Column positions (into [`LshIndexExport::columns`]) in this partition.
+    pub members: Vec<u32>,
+    /// Largest distinct-value count among members.
+    pub max_size: u64,
+    /// Per band: `(band hash, column positions)` buckets, sorted by hash so
+    /// repeated exports of the same index are byte-identical.
+    pub buckets: Vec<Vec<(u64, Vec<u32>)>>,
+}
+
+/// A fully serializable snapshot of a built [`LshEnsembleIndex`]: the
+/// configuration (from which the hash family is re-derived), every column's
+/// signature, and the banded buckets. `gent-store` persists this so a
+/// reopened lake warm-starts retrieval without rehashing a single value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LshIndexExport {
+    /// Index configuration; `num_perm`/`seed` reproduce the hash family.
+    pub cfg: LshConfig,
+    /// One entry per indexed lake column.
+    pub columns: Vec<LshColumnExport>,
+    /// The set-size partitions with their band buckets.
+    pub partitions: Vec<LshPartitionExport>,
+}
+
+impl LshEnsembleIndex {
+    /// Export the index for persistence.
+    pub fn export(&self) -> LshIndexExport {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| LshColumnExport {
+                posting: c.posting,
+                size: c.size as u64,
+                slots: c.signature.slots().to_vec(),
+            })
+            .collect();
+        let partitions = self
+            .partitions
+            .iter()
+            .map(|p| LshPartitionExport {
+                members: p.members.iter().map(|&m| m as u32).collect(),
+                max_size: p.max_size as u64,
+                buckets: p
+                    .buckets
+                    .iter()
+                    .map(|band| {
+                        let mut entries: Vec<(u64, Vec<u32>)> = band
+                            .iter()
+                            .map(|(h, ms)| (*h, ms.iter().map(|&m| m as u32).collect()))
+                            .collect();
+                        entries.sort_by_key(|(h, _)| *h);
+                        entries
+                    })
+                    .collect(),
+            })
+            .collect();
+        LshIndexExport { cfg: self.cfg.clone(), columns, partitions }
+    }
+
+    /// Rebuild an index from an export without touching any lake value —
+    /// the warm-start path. The hash family is re-derived from the stored
+    /// configuration, so queries against the rebuilt index return exactly
+    /// what the original index would have returned. Fails on internally
+    /// inconsistent exports (wrong slot counts, dangling member positions).
+    pub fn from_export(e: LshIndexExport) -> Result<Self, String> {
+        if e.cfg.num_perm == 0
+            || e.cfg.num_bands == 0
+            || !e.cfg.num_perm.is_multiple_of(e.cfg.num_bands)
+        {
+            return Err(format!(
+                "invalid LSH config: num_perm {} not divisible by num_bands {}",
+                e.cfg.num_perm, e.cfg.num_bands
+            ));
+        }
+        let n_columns = e.columns.len();
+        let columns: Vec<ColumnEntry> = e
+            .columns
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if c.slots.len() != e.cfg.num_perm {
+                    return Err(format!(
+                        "column {i}: {} signature slots, expected {}",
+                        c.slots.len(),
+                        e.cfg.num_perm
+                    ));
+                }
+                Ok(ColumnEntry {
+                    posting: c.posting,
+                    size: c.size as usize,
+                    signature: MinHashSignature::from_slots(c.slots),
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let check_member = |m: u32| -> Result<usize, String> {
+            if (m as usize) < n_columns {
+                Ok(m as usize)
+            } else {
+                Err(format!("partition member {m} out of range ({n_columns} columns)"))
+            }
+        };
+        let partitions: Vec<Partition> = e
+            .partitions
+            .into_iter()
+            .map(|p| {
+                if p.buckets.len() != e.cfg.num_bands {
+                    return Err(format!(
+                        "partition has {} bands, expected {}",
+                        p.buckets.len(),
+                        e.cfg.num_bands
+                    ));
+                }
+                Ok(Partition {
+                    members: p
+                        .members
+                        .iter()
+                        .map(|&m| check_member(m))
+                        .collect::<Result<_, _>>()?,
+                    max_size: p.max_size as usize,
+                    buckets: p
+                        .buckets
+                        .into_iter()
+                        .map(|band| {
+                            band.into_iter()
+                                .map(|(h, ms)| {
+                                    Ok((
+                                        h,
+                                        ms.iter()
+                                            .map(|&m| check_member(m))
+                                            .collect::<Result<_, _>>()?,
+                                    ))
+                                })
+                                .collect::<Result<_, String>>()
+                        })
+                        .collect::<Result<_, String>>()?,
+                })
+            })
+            .collect::<Result<_, String>>()?;
+        let hasher = MinHasher::new(e.cfg.num_perm, e.cfg.seed);
+        Ok(Self { hasher, cfg: e.cfg, columns, partitions })
+    }
+}
+
+impl LshRetriever {
+    /// Wrap an already-built (e.g. snapshot-loaded) index as a retriever.
+    pub fn from_index(index: LshEnsembleIndex, threshold: f64) -> Self {
+        Self { index, threshold }
     }
 }
 
@@ -256,10 +444,7 @@ impl LshRetriever {
     /// Build a retriever by indexing `lake`. The retriever must then be
     /// used with the same lake (postings index into its table list).
     pub fn build(lake: &DataLake, cfg: LshConfig, threshold: f64) -> Self {
-        Self {
-            index: LshEnsembleIndex::build(lake, cfg),
-            threshold,
-        }
+        Self { index: LshEnsembleIndex::build(lake, cfg), threshold }
     }
 
     /// The underlying index.
@@ -305,25 +490,15 @@ mod tests {
             "full",
             &["id", "name"],
             &[],
-            (0..60)
-                .map(|i| vec![V::Int(i), V::str(format!("name{i}"))])
-                .collect(),
+            (0..60).map(|i| vec![V::Int(i), V::str(format!("name{i}"))]).collect(),
         )
         .unwrap();
-        let partial = Table::build(
-            "partial",
-            &["id"],
-            &[],
-            (0..20).map(|i| vec![V::Int(i)]).collect(),
-        )
-        .unwrap();
-        let noise = Table::build(
-            "noise",
-            &["q"],
-            &[],
-            (5_000..5_100).map(|i| vec![V::Int(i)]).collect(),
-        )
-        .unwrap();
+        let partial =
+            Table::build("partial", &["id"], &[], (0..20).map(|i| vec![V::Int(i)]).collect())
+                .unwrap();
+        let noise =
+            Table::build("noise", &["q"], &[], (5_000..5_100).map(|i| vec![V::Int(i)]).collect())
+                .unwrap();
         DataLake::from_tables(vec![noise, partial, full])
     }
 
@@ -332,9 +507,7 @@ mod tests {
             "S",
             &["id", "name"],
             &["id"],
-            (0..40)
-                .map(|i| vec![V::Int(i), V::str(format!("name{i}"))])
-                .collect(),
+            (0..40).map(|i| vec![V::Int(i), V::str(format!("name{i}"))]).collect(),
         )
         .unwrap()
     }
@@ -398,20 +571,54 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible")]
     fn bad_band_config_panics() {
-        let cfg = LshConfig {
-            num_perm: 100,
-            num_bands: 32,
-            ..LshConfig::default()
-        };
+        let cfg = LshConfig { num_perm: 100, num_bands: 32, ..LshConfig::default() };
         let _ = LshEnsembleIndex::build(&lake(), cfg);
     }
 
     #[test]
+    fn export_import_round_trip_preserves_queries() {
+        let l = lake();
+        let idx = LshEnsembleIndex::build(&l, LshConfig::default());
+        let rebuilt = LshEnsembleIndex::from_export(idx.export()).unwrap();
+        assert_eq!(rebuilt.n_columns(), idx.n_columns());
+        assert_eq!(rebuilt.n_partitions(), idx.n_partitions());
+        for threshold in [0.1, 0.25, 0.7] {
+            let probe: FxHashSet<Value> = (0..40).map(V::Int).collect();
+            assert_eq!(
+                rebuilt.query(&probe, threshold),
+                idx.query(&probe, threshold),
+                "divergence at threshold {threshold}"
+            );
+        }
+        // Export of the rebuilt index is identical — snapshots are stable.
+        assert_eq!(rebuilt.export(), idx.export());
+    }
+
+    #[test]
+    fn from_export_rejects_inconsistent_data() {
+        let idx = LshEnsembleIndex::build(&lake(), LshConfig::default());
+        let mut bad = idx.export();
+        bad.columns[0].slots.pop();
+        assert!(LshEnsembleIndex::from_export(bad).is_err(), "short signature accepted");
+        let mut bad = idx.export();
+        bad.partitions[0].members.push(9999);
+        assert!(LshEnsembleIndex::from_export(bad).is_err(), "dangling member accepted");
+        let mut bad = idx.export();
+        bad.cfg.num_bands = 7;
+        assert!(LshEnsembleIndex::from_export(bad).is_err(), "bad band config accepted");
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let l = lake();
+        let serial = LshEnsembleIndex::build(&l, LshConfig::default());
+        let parallel = LshEnsembleIndex::build_parallel(&l, LshConfig::default(), 4);
+        assert_eq!(parallel.export(), serial.export());
+    }
+
+    #[test]
     fn min_column_size_filters_tiny_columns() {
-        let cfg = LshConfig {
-            min_column_size: 30,
-            ..LshConfig::default()
-        };
+        let cfg = LshConfig { min_column_size: 30, ..LshConfig::default() };
         let idx = LshEnsembleIndex::build(&lake(), cfg);
         // Only full.id (60), full.name (60), noise.q (100) survive.
         assert_eq!(idx.n_columns(), 3);

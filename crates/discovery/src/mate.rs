@@ -70,18 +70,16 @@ pub fn multi_attribute_search(
         probe_cols.len()
     );
     // Source row fingerprints (distinct; nulls never join).
-    let src_fps: FxHashSet<u64> = source
-        .rows()
-        .iter()
-        .filter_map(|r| row_fingerprint(r, probe_cols))
-        .collect();
+    let src_fps: FxHashSet<u64> =
+        source.rows().iter().filter_map(|r| row_fingerprint(r, probe_cols)).collect();
     if src_fps.is_empty() {
         return Vec::new();
     }
 
     // Per probed source column: per table, lake columns with enough
     // single-column containment (the column-first pruning).
-    let mut col_candidates: Vec<FxHashMap<usize, Vec<usize>>> = Vec::with_capacity(probe_cols.len());
+    let mut col_candidates: Vec<FxHashMap<usize, Vec<usize>>> =
+        Vec::with_capacity(probe_cols.len());
     for &sc in probe_cols {
         let values = source.distinct_values(sc);
         let mut per_table: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
@@ -132,11 +130,8 @@ pub fn multi_attribute_search(
         // threshold.
         let mut best: Option<(f64, Vec<usize>)> = None;
         for mapping in mappings {
-            let lake_fps: FxHashSet<u64> = table
-                .rows()
-                .iter()
-                .filter_map(|r| row_fingerprint(r, &mapping))
-                .collect();
+            let lake_fps: FxHashSet<u64> =
+                table.rows().iter().filter_map(|r| row_fingerprint(r, &mapping)).collect();
             let hits = src_fps.iter().filter(|fp| lake_fps.contains(fp)).count();
             let score = hits as f64 / src_fps.len() as f64;
             if score + 1e-12 >= min_containment
@@ -146,18 +141,11 @@ pub fn multi_attribute_search(
             }
         }
         if let Some((score, mapping)) = best {
-            out.push(MultiMatch {
-                table: t,
-                columns: mapping,
-                row_containment: score,
-            });
+            out.push(MultiMatch { table: t, columns: mapping, row_containment: score });
         }
     }
     out.sort_by(|a, b| {
-        b.row_containment
-            .partial_cmp(&a.row_containment)
-            .unwrap()
-            .then(a.table.cmp(&b.table))
+        b.row_containment.partial_cmp(&a.row_containment).unwrap().then(a.table.cmp(&b.table))
     });
     out
 }
@@ -236,10 +224,7 @@ mod tests {
             "partial",
             &["fn", "ln"],
             &[],
-            vec![
-                vec![V::str("Ada"), V::str("Lovelace")],
-                vec![V::str("Grace"), V::str("Hopper")],
-            ],
+            vec![vec![V::str("Ada"), V::str("Lovelace")], vec![V::str("Grace"), V::str("Hopper")]],
         )
         .unwrap();
         let lake2 = DataLake::from_tables(vec![partial]);
@@ -293,13 +278,7 @@ mod tests {
 
     #[test]
     fn empty_probe_or_all_null_source_returns_nothing() {
-        let s = Table::build(
-            "S",
-            &["a", "b"],
-            &["a"],
-            vec![vec![V::Null, V::Null]],
-        )
-        .unwrap();
+        let s = Table::build("S", &["a", "b"], &["a"], vec![vec![V::Null, V::Null]]).unwrap();
         assert!(multi_attribute_search(&lake(), &s, &[0, 1], 0.5).is_empty());
     }
 

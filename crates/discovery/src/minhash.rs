@@ -90,6 +90,14 @@ pub struct MinHashSignature {
 }
 
 impl MinHashSignature {
+    /// Rebuild a signature from stored slots (snapshot warm-start). The
+    /// caller must pair it only with signatures from the hasher that
+    /// originally produced the slots — `gent-store` guarantees this by
+    /// persisting the hasher's configuration alongside.
+    pub fn from_slots(mins: Vec<u64>) -> Self {
+        MinHashSignature { mins }
+    }
+
     /// The raw slots.
     pub fn slots(&self) -> &[u64] {
         &self.mins
@@ -107,12 +115,7 @@ impl MinHashSignature {
         if self.mins.is_empty() {
             return 0.0;
         }
-        let agree = self
-            .mins
-            .iter()
-            .zip(other.mins.iter())
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = self.mins.iter().zip(other.mins.iter()).filter(|(a, b)| a == b).count();
         agree as f64 / self.mins.len() as f64
     }
 

@@ -91,13 +91,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let partial = Table::build(
-            "partial",
-            &["id"],
-            &[],
-            vec![vec![V::Int(1)]],
-        )
-        .unwrap();
+        let partial = Table::build("partial", &["id"], &[], vec![vec![V::Int(1)]]).unwrap();
         let noise = Table::build("noise", &["q"], &[], vec![vec![V::str("zzz")]]).unwrap();
         let lake = DataLake::from_tables(vec![noise, partial, full]);
         let got = OverlapRetriever.retrieve(&lake, &source(), 10);

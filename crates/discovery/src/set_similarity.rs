@@ -111,11 +111,7 @@ const PAIR_SUPPORT_MIN: f64 = 0.05;
 ///
 /// Returns `None` when no anchor produces a supported mapping — such
 /// candidates are discarded.
-pub fn verified_mapping(
-    source: &Table,
-    table: &Table,
-    tau: f64,
-) -> Option<Vec<(usize, u16, f64)>> {
+pub fn verified_mapping(source: &Table, table: &Table, tau: f64) -> Option<Vec<(usize, u16, f64)>> {
     let skey = source.schema().key();
     if skey.is_empty() {
         return None;
@@ -180,11 +176,8 @@ pub fn verified_mapping(
                 continue;
             }
             let anchor_src: Vec<usize> = skey.to_vec();
-            let anchor_mapping: Vec<(usize, u16, f64)> = skey
-                .iter()
-                .zip(key_combo.iter())
-                .map(|(&sc, &cc)| (sc, cc, 1.0))
-                .collect();
+            let anchor_mapping: Vec<(usize, u16, f64)> =
+                skey.iter().zip(key_combo.iter()).map(|(&sc, &cc)| (sc, cc, 1.0)).collect();
             if let Some((total, mapping)) = assign_with_support(
                 source,
                 table,
@@ -241,14 +234,9 @@ pub fn verified_mapping(
                 continue;
             }
             let anchor_mapping = vec![(asc, acc, 1.0)];
-            if let Some((total, mapping)) = assign_with_support(
-                source,
-                table,
-                &aligned_by_src,
-                &[asc],
-                &[acc],
-                anchor_mapping,
-            ) {
+            if let Some((total, mapping)) =
+                assign_with_support(source, table, &aligned_by_src, &[asc], &[acc], anchor_mapping)
+            {
                 match &best {
                     Some((t, _)) if *t >= total => {}
                     _ => best = Some((total, mapping)),
@@ -381,7 +369,8 @@ pub fn set_similarity(
             .filter(|m| m.overlap >= cfg.tau)
             .collect();
         // Rank by raw overlap (desc), deterministic tiebreak on table index.
-        matches.sort_by(|a, b| b.overlap.partial_cmp(&a.overlap).unwrap().then(a.table.cmp(&b.table)));
+        matches
+            .sort_by(|a, b| b.overlap.partial_cmp(&a.overlap).unwrap().then(a.table.cmp(&b.table)));
 
         // Algorithm 4 — diversify against the previous candidate's column.
         let scored: Vec<(ColumnMatch, f64)> = if cfg.diversify {
@@ -439,24 +428,23 @@ pub fn set_similarity(
         // source key, align rows by key value and score every column match
         // by row co-occurrence — this is what stops a dense numeric column
         // (sizes, quantities) from masquerading as a key column.
-        let mapping: Vec<(usize, u16, f64)> =
-            match verified_mapping(source, table, cfg.tau) {
-                Some(m) => m,
-                None => {
-                    // No verified key mapping — keep the containment-greedy
-                    // injective assignment for the *non-key* source columns
-                    // only (Expand joins this candidate towards the key; a
-                    // key column must never be claimed without row-level
-                    // verification).
-                    let skey = source.schema().key();
-                    let mut used: FxHashSet<u16> = FxHashSet::default();
-                    assignments
-                        .into_iter()
-                        .filter(|&(sc, _, _)| !skey.contains(&sc))
-                        .filter(|&(_, c, _)| used.insert(c))
-                        .collect()
-                }
-            };
+        let mapping: Vec<(usize, u16, f64)> = match verified_mapping(source, table, cfg.tau) {
+            Some(m) => m,
+            None => {
+                // No verified key mapping — keep the containment-greedy
+                // injective assignment for the *non-key* source columns
+                // only (Expand joins this candidate towards the key; a
+                // key column must never be claimed without row-level
+                // verification).
+                let skey = source.schema().key();
+                let mut used: FxHashSet<u16> = FxHashSet::default();
+                assignments
+                    .into_iter()
+                    .filter(|&(sc, _, _)| !skey.contains(&sc))
+                    .filter(|&(_, c, _)| used.insert(c))
+                    .collect()
+            }
+        };
         if mapping.is_empty() {
             continue;
         }
@@ -498,10 +486,7 @@ pub fn set_similarity(
         }
         for &(sc, c, _) in &mapping {
             let src_name = source.schema().column_name(sc).expect("in range").to_string();
-            renamed
-                .schema_mut()
-                .rename(c as usize, &src_name)
-                .expect("collisions resolved above");
+            renamed.schema_mut().rename(c as usize, &src_name).expect("collisions resolved above");
         }
 
         candidates.push(Candidate {
@@ -528,12 +513,7 @@ pub fn set_similarity(
             }
         }
     }
-    candidates
-        .into_iter()
-        .zip(keep)
-        .filter(|(_, k)| *k)
-        .map(|(c, _)| c)
-        .collect()
+    candidates.into_iter().zip(keep).filter(|(_, k)| *k).map(|(c, _)| c).collect()
 }
 
 #[cfg(test)]
@@ -550,7 +530,13 @@ mod tests {
             vec![
                 vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
                 vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
-                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+                vec![
+                    V::Int(2),
+                    V::str("Wang"),
+                    V::Int(32),
+                    V::str("Female"),
+                    V::str("High School"),
+                ],
             ],
         )
         .unwrap();
@@ -631,10 +617,8 @@ mod tests {
         tables.push(e);
         let lake = DataLake::from_tables(tables);
         let cands = set_similarity(&lake, &source, None, &SetSimilarityConfig::default());
-        let d_like = cands
-            .iter()
-            .filter(|c| c.table.name() == "D" || c.table.name() == "E")
-            .count();
+        let d_like =
+            cands.iter().filter(|c| c.table.name() == "D" || c.table.name() == "E").count();
         assert_eq!(d_like, 1, "duplicate must be removed, got {d_like}");
     }
 

@@ -53,11 +53,7 @@ pub struct CellGrid {
 impl CellGrid {
     /// Count cells with the given status.
     pub fn count(&self, status: CellStatus) -> usize {
-        self.statuses
-            .iter()
-            .flat_map(|r| r.iter())
-            .filter(|&&s| s == status)
-            .count()
+        self.statuses.iter().flat_map(|r| r.iter()).filter(|&&s| s == status).count()
     }
 
     /// Total number of cells (rows × columns of the source).
@@ -71,12 +67,7 @@ impl CellGrid {
         if n == 0 {
             return 0.0;
         }
-        let good = self
-            .statuses
-            .iter()
-            .flat_map(|r| r.iter())
-            .filter(|s| s.is_good())
-            .count();
+        let good = self.statuses.iter().flat_map(|r| r.iter()).filter(|s| s.is_good()).count();
         good as f64 / n as f64
     }
 }
@@ -116,10 +107,7 @@ pub fn classify_cells(source: &Table, reclaimed: &Table) -> CellGrid {
         }
         statuses.push(row_status);
     }
-    CellGrid {
-        statuses,
-        best_rows: best,
-    }
+    CellGrid { statuses, best_rows: best }
 }
 
 /// Convenience: true when `v` counts as a value for classification.

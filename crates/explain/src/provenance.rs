@@ -54,20 +54,12 @@ pub struct ProvenanceMap {
 impl ProvenanceMap {
     /// Number of source cells supported by at least one originating table.
     pub fn n_supported(&self) -> usize {
-        self.support
-            .iter()
-            .flat_map(|r| r.iter())
-            .filter(|c| c.is_supported())
-            .count()
+        self.support.iter().flat_map(|r| r.iter()).filter(|c| c.is_supported()).count()
     }
 
     /// Number of source cells contradicted by at least one table.
     pub fn n_contested(&self) -> usize {
-        self.support
-            .iter()
-            .flat_map(|r| r.iter())
-            .filter(|c| c.is_contested())
-            .count()
+        self.support.iter().flat_map(|r| r.iter()).filter(|c| c.is_contested()).count()
     }
 
     /// Tables that support nothing — returning them was unnecessary for
@@ -174,13 +166,8 @@ mod tests {
             vec![vec![V::Int(0), V::str("Smith"), V::Int(27)]],
         )
         .unwrap();
-        let bad = Table::build(
-            "bad",
-            &["ID", "Age"],
-            &[],
-            vec![vec![V::Int(0), V::Int(99)]],
-        )
-        .unwrap();
+        let bad =
+            Table::build("bad", &["ID", "Age"], &[], vec![vec![V::Int(0), V::Int(99)]]).unwrap();
         let p = trace_provenance(&s, &[good, bad]);
         // Smith's age: supported by `good` (index 0), contradicted by `bad`.
         assert_eq!(p.support[0][2].supporters, vec![0]);
@@ -201,10 +188,7 @@ mod tests {
             "t",
             &["ID", "Age"],
             &[],
-            vec![
-                vec![V::Int(0), V::Int(99)],
-                vec![V::Int(0), V::Int(27)],
-            ],
+            vec![vec![V::Int(0), V::Int(99)], vec![V::Int(0), V::Int(27)]],
         )
         .unwrap();
         let p = trace_provenance(&s, &[t]);

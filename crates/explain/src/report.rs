@@ -69,18 +69,12 @@ pub struct Explanation {
 impl Explanation {
     /// Number of perfectly-reclaimed tuples.
     pub fn n_perfect(&self) -> usize {
-        self.tuples
-            .iter()
-            .filter(|t| t.status == TupleStatus::Perfect)
-            .count()
+        self.tuples.iter().filter(|t| t.status == TupleStatus::Perfect).count()
     }
 
     /// Number of missing tuples.
     pub fn n_missing(&self) -> usize {
-        self.tuples
-            .iter()
-            .filter(|t| t.status == TupleStatus::Missing)
-            .count()
+        self.tuples.iter().filter(|t| t.status == TupleStatus::Missing).count()
     }
 
     /// True when every tuple is perfect.
@@ -125,7 +119,8 @@ impl Explanation {
         }
         let contested = self.provenance.n_contested();
         if contested > 0 {
-            let _ = writeln!(out, "  {} cell(s) are contested by some originating table", contested);
+            let _ =
+                writeln!(out, "  {} cell(s) are contested by some originating table", contested);
         }
         for (i, name) in self.provenance.table_names.iter().enumerate() {
             let _ = writeln!(
@@ -143,8 +138,7 @@ pub fn explain(source: &Table, reclaimed: &Table, originating: &[Table]) -> Expl
     let grid = classify_cells(source, reclaimed);
     let provenance = trace_provenance(source, originating);
 
-    let col_name =
-        |j: usize| source.schema().column_name(j).expect("in range").to_string();
+    let col_name = |j: usize| source.schema().column_name(j).expect("in range").to_string();
 
     let mut tuples = Vec::with_capacity(source.n_rows());
     for (i, row_status) in grid.statuses.iter().enumerate() {
@@ -180,13 +174,7 @@ pub fn explain(source: &Table, reclaimed: &Table, originating: &[Table]) -> Expl
         } else {
             TupleStatus::Partial
         };
-        tuples.push(TupleExplanation {
-            row: i,
-            status,
-            nullified,
-            erroneous,
-            spurious,
-        });
+        tuples.push(TupleExplanation { row: i, status, nullified, erroneous, spurious });
     }
 
     let mut columns = Vec::with_capacity(source.n_cols());
@@ -211,13 +199,7 @@ pub fn explain(source: &Table, reclaimed: &Table, originating: &[Table]) -> Expl
         columns.push(roll);
     }
 
-    Explanation {
-        grid,
-        provenance,
-        tuples,
-        columns,
-        source_name: source.name().to_string(),
-    }
+    Explanation { grid, provenance, tuples, columns, source_name: source.name().to_string() }
 }
 
 /// Textual rendering of the reclaimed cell judged for source cell (i, j).
@@ -292,13 +274,9 @@ mod tests {
     #[test]
     fn render_mentions_failures_and_provenance() {
         let s = source();
-        let orig = Table::build(
-            "frag",
-            &["ID", "Name"],
-            &[],
-            vec![vec![V::Int(0), V::str("Smith")]],
-        )
-        .unwrap();
+        let orig =
+            Table::build("frag", &["ID", "Name"], &[], vec![vec![V::Int(0), V::str("Smith")]])
+                .unwrap();
         let text = explain(&s, &reclaimed(), &[orig]).render();
         assert!(text.contains("1/3 tuples perfect"), "{text}");
         assert!(text.contains("row 1: lake says Age=99"), "{text}");

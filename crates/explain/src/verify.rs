@@ -26,10 +26,7 @@ pub struct VerifyConfig {
 
 impl Default for VerifyConfig {
     fn default() -> Self {
-        Self {
-            verified_threshold: 1.0,
-            contradiction_tolerance: 0.0,
-        }
+        Self { verified_threshold: 1.0, contradiction_tolerance: 0.0 }
     }
 }
 
@@ -87,16 +84,12 @@ pub fn verify_table(
     let e = explain(claimed, reclaimed, originating);
     let n = e.grid.n_cells().max(1);
     let coverage = e.grid.fraction_good();
-    let contradicted =
-        e.grid.count(CellStatus::Erroneous) + e.grid.count(CellStatus::Spurious);
+    let contradicted = e.grid.count(CellStatus::Erroneous) + e.grid.count(CellStatus::Spurious);
     let nullified = e.grid.count(CellStatus::Nullified);
     let missing_cells = e.grid.count(CellStatus::Missing);
 
     let verdict = if contradicted as f64 / n as f64 > cfg.contradiction_tolerance {
-        VerificationVerdict::Contradicted {
-            coverage,
-            contradicted_cells: contradicted,
-        }
+        VerificationVerdict::Contradicted { coverage, contradicted_cells: contradicted }
     } else if coverage + 1e-12 >= cfg.verified_threshold {
         VerificationVerdict::Verified { coverage }
     } else {
@@ -196,10 +189,7 @@ mod tests {
         )
         .unwrap();
         // 5/6 cells good; with a 0.8 threshold this counts as verified.
-        let cfg = VerifyConfig {
-            verified_threshold: 0.8,
-            contradiction_tolerance: 0.0,
-        };
+        let cfg = VerifyConfig { verified_threshold: 0.8, contradiction_tolerance: 0.0 };
         let (v, _) = verify_table(&c, &r, &[], &cfg);
         assert!(matches!(v, VerificationVerdict::Verified { .. }));
         assert!(v.coverage() > 0.8);
@@ -218,10 +208,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let cfg = VerifyConfig {
-            verified_threshold: 0.8,
-            contradiction_tolerance: 0.5,
-        };
+        let cfg = VerifyConfig { verified_threshold: 0.8, contradiction_tolerance: 0.5 };
         let (v, _) = verify_table(&c, &r, &[], &cfg);
         // One contradiction in six cells is within tolerance → verified by
         // coverage (5/6 > 0.8).

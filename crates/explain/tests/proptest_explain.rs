@@ -2,8 +2,10 @@
 //! every source cell into exactly one status, rollups are conservative
 //! (sums match), and verification verdicts agree with the grid.
 
-use gent_explain::{classify_cells, explain, verify_table, CellStatus, TupleStatus,
-    VerificationVerdict, VerifyConfig};
+use gent_explain::{
+    classify_cells, explain, verify_table, CellStatus, TupleStatus, VerificationVerdict,
+    VerifyConfig,
+};
 use gent_table::{Table, Value};
 use proptest::prelude::*;
 

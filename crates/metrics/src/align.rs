@@ -40,7 +40,12 @@ impl Alignment {
 
     /// Value of the reclaimed cell aligned with source column `s_col` in
     /// reclaimed row `t_row`, or `Null` when the column is missing.
-    pub fn reclaimed_cell<'a>(&self, reclaimed: &'a Table, t_row: usize, s_col: usize) -> &'a Value {
+    pub fn reclaimed_cell<'a>(
+        &self,
+        reclaimed: &'a Table,
+        t_row: usize,
+        s_col: usize,
+    ) -> &'a Value {
         match self.column_map[s_col] {
             Some(j) => reclaimed.cell(t_row, j).expect("row in range"),
             None => &Value::Null,
@@ -55,17 +60,10 @@ impl Alignment {
 /// producing empty alignments.
 pub fn align_by_key(source: &Table, reclaimed: &Table) -> Alignment {
     let skey = source.schema().key();
-    assert!(
-        !skey.is_empty(),
-        "source table `{}` must declare a key for alignment",
-        source.name()
-    );
+    assert!(!skey.is_empty(), "source table `{}` must declare a key for alignment", source.name());
     // Columns of the reclaimed table corresponding to each source column.
-    let column_map: Vec<Option<usize>> = source
-        .schema()
-        .columns()
-        .map(|c| reclaimed.schema().column_index(c))
-        .collect();
+    let column_map: Vec<Option<usize>> =
+        source.schema().columns().map(|c| reclaimed.schema().column_index(c)).collect();
     // Key columns in the reclaimed table; if any key column is missing, no
     // tuple can align.
     let tkey: Option<Vec<usize>> = skey.iter().map(|&k| column_map[k]).collect();
@@ -88,18 +86,17 @@ pub fn align_by_key(source: &Table, reclaimed: &Table) -> Alignment {
             }
         }
     }
-    Alignment {
-        matches,
-        column_map,
-        keys_found,
-        non_key_cols: source.schema().non_key_indices(),
-    }
+    Alignment { matches, column_map, keys_found, non_key_cols: source.schema().non_key_indices() }
 }
 
 /// For each source row, the single best-aligned reclaimed row (the one
 /// sharing the most non-key values, §VI-A2), or `None` when no tuple aligns.
 /// Ties break toward the lowest row index (deterministic).
-pub fn best_aligned_rows(source: &Table, reclaimed: &Table, alignment: &Alignment) -> Vec<Option<usize>> {
+pub fn best_aligned_rows(
+    source: &Table,
+    reclaimed: &Table,
+    alignment: &Alignment,
+) -> Vec<Option<usize>> {
     (0..source.n_rows())
         .map(|si| {
             alignment.matches[si]
@@ -166,7 +163,8 @@ mod tests {
     #[test]
     fn missing_columns_read_as_null() {
         let s = source();
-        let t = Table::build("T", &["ID", "Name"], &[], vec![vec![V::Int(1), V::str("Brown")]]).unwrap();
+        let t = Table::build("T", &["ID", "Name"], &[], vec![vec![V::Int(1), V::str("Brown")]])
+            .unwrap();
         let a = align_by_key(&s, &t);
         assert_eq!(a.column_map, vec![Some(0), Some(1), None]);
         assert_eq!(a.reclaimed_cell(&t, 0, 2), &V::Null);

@@ -128,10 +128,7 @@ mod tests {
             "N",
             &["id", "a", "b"],
             &[],
-            vec![
-                vec![V::Int(1), V::Null, V::Int(10)],
-                vec![V::Int(2), V::str("y"), V::Int(20)],
-            ],
+            vec![vec![V::Int(1), V::Null, V::Int(10)], vec![V::Int(2), V::str("y"), V::Int(20)]],
         )
         .unwrap();
         let wrong = Table::build(
@@ -207,13 +204,7 @@ mod tests {
 
     #[test]
     fn source_nulls_are_skipped_in_conditioning() {
-        let s = Table::build(
-            "S",
-            &["id", "a"],
-            &["id"],
-            vec![vec![V::Int(1), V::Null]],
-        )
-        .unwrap();
+        let s = Table::build("S", &["id", "a"], &["id"], vec![vec![V::Int(1), V::Null]]).unwrap();
         // Reclaimed has a value where the source has null — conditioning on
         // source values skips the cell entirely (Inst-Div / EIS penalise it
         // instead).

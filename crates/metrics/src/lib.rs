@@ -32,7 +32,6 @@ pub use align::{align_by_key, best_aligned_rows, Alignment};
 pub use divergence::{conditional_kl_divergence, instance_divergence, KlConfig};
 pub use report::{average_reports, evaluate, MethodReport};
 pub use similarity::{
-    eis, eis_with_alignment, error_aware_tuple_similarity, instance_similarity,
-    perfectly_reclaimed,
+    eis, eis_with_alignment, error_aware_tuple_similarity, instance_similarity, perfectly_reclaimed,
 };
 pub use tuplewise::{f1, precision, recall, tuple_intersection};

@@ -96,13 +96,8 @@ mod tests {
 
     #[test]
     fn perfect_report() {
-        let s = Table::build(
-            "S",
-            &["id", "x"],
-            &["id"],
-            vec![vec![V::Int(1), V::str("a")]],
-        )
-        .unwrap();
+        let s =
+            Table::build("S", &["id", "x"], &["id"], vec![vec![V::Int(1), V::str("a")]]).unwrap();
         let r = evaluate(&s, &s);
         assert_eq!(r.recall, 1.0);
         assert_eq!(r.precision, 1.0);

@@ -169,7 +169,13 @@ mod tests {
             vec![
                 vec![V::Int(0), V::str("Smith"), V::Int(27), V::Null, V::str("Bachelors")],
                 vec![V::Int(1), V::str("Brown"), V::Int(24), V::str("Male"), V::str("Masters")],
-                vec![V::Int(2), V::str("Wang"), V::Int(32), V::str("Female"), V::str("High School")],
+                vec![
+                    V::Int(2),
+                    V::str("Wang"),
+                    V::Int(32),
+                    V::str("Female"),
+                    V::str("High School"),
+                ],
             ],
         )
         .unwrap()

@@ -11,11 +11,8 @@ use gent_table::{FxHashSet, Table, Value};
 /// Rows of `t` re-expressed in `source`'s column order (missing columns →
 /// null), as a set of distinct tuples.
 fn rows_in_source_layout(source: &Table, t: &Table) -> FxHashSet<Vec<Value>> {
-    let map: Vec<Option<usize>> = source
-        .schema()
-        .columns()
-        .map(|c| t.schema().column_index(c))
-        .collect();
+    let map: Vec<Option<usize>> =
+        source.schema().columns().map(|c| t.schema().column_index(c)).collect();
     t.rows()
         .iter()
         .map(|r| {
@@ -142,13 +139,8 @@ mod tests {
     #[test]
     fn duplicates_in_reclaimed_are_collapsed() {
         let s = source();
-        let t = Table::build(
-            "T",
-            &["id", "x"],
-            &[],
-            vec![vec![V::Int(1), V::str("a")]; 5],
-        )
-        .unwrap();
+        let t =
+            Table::build("T", &["id", "x"], &[], vec![vec![V::Int(1), V::str("a")]; 5]).unwrap();
         assert_eq!(precision(&s, &t), 1.0); // 5 copies of one correct tuple
     }
 
@@ -162,20 +154,9 @@ mod tests {
 
     #[test]
     fn labeled_nulls_normalise_to_null() {
-        let s = Table::build(
-            "S",
-            &["id", "x"],
-            &["id"],
-            vec![vec![V::Int(1), V::Null]],
-        )
-        .unwrap();
-        let t = Table::build(
-            "T",
-            &["id", "x"],
-            &[],
-            vec![vec![V::Int(1), V::LabeledNull(7)]],
-        )
-        .unwrap();
+        let s = Table::build("S", &["id", "x"], &["id"], vec![vec![V::Int(1), V::Null]]).unwrap();
+        let t =
+            Table::build("T", &["id", "x"], &[], vec![vec![V::Int(1), V::LabeledNull(7)]]).unwrap();
         assert_eq!(recall(&s, &t), 1.0);
     }
 }

@@ -214,9 +214,7 @@ mod tests {
         // Figure 3 shows FD(A,B,C,D) producing 4 tuples: Smith and Brown
         // fully merged, and Wang split because C says Male while D says
         // Female.
-        let fd = full_disjunction(&paper_tables(), &FdBudget::default())
-            .unwrap()
-            .unwrap();
+        let fd = full_disjunction(&paper_tables(), &FdBudget::default()).unwrap().unwrap();
         assert_eq!(fd.n_rows(), 4);
         let id = fd.schema().column_index("ID").unwrap();
         let gender = fd.schema().column_index("Gender").unwrap();
@@ -231,11 +229,8 @@ mod tests {
         assert!(genders.contains(&V::str("Male")));
         assert!(genders.contains(&V::str("Female")));
         // Smith merged to a single full tuple with Male + Bachelors.
-        let smith: Vec<_> = fd
-            .rows()
-            .iter()
-            .filter(|r| r.iter().any(|v| *v == V::str("Smith")))
-            .collect();
+        let smith: Vec<_> =
+            fd.rows().iter().filter(|r| r.iter().any(|v| *v == V::str("Smith"))).collect();
         assert_eq!(smith.len(), 1);
         assert_eq!(smith[0][gender], V::str("Male"));
         assert_eq!(smith[0][edu], V::str("Bachelors"));
@@ -283,17 +278,11 @@ mod tests {
         let fd2 = full_disjunction(&rev, &FdBudget::default()).unwrap().unwrap();
         assert_eq!(fd1.n_rows(), fd2.n_rows());
         // Compare as sets after remapping fd2's columns to fd1's order.
-        let map: Vec<usize> = fd1
-            .schema()
-            .columns()
-            .map(|c| fd2.schema().column_index(c).unwrap())
-            .collect();
+        let map: Vec<usize> =
+            fd1.schema().columns().map(|c| fd2.schema().column_index(c).unwrap()).collect();
         let set1: FxHashSet<Vec<V>> = fd1.rows().iter().cloned().collect();
-        let set2: FxHashSet<Vec<V>> = fd2
-            .rows()
-            .iter()
-            .map(|r| map.iter().map(|&j| r[j].clone()).collect())
-            .collect();
+        let set2: FxHashSet<Vec<V>> =
+            fd2.rows().iter().map(|r| map.iter().map(|&j| r[j].clone()).collect()).collect();
         assert_eq!(set1, set2);
     }
 }

@@ -32,17 +32,11 @@ fn join_layout(left: &Table, right: &Table) -> Result<JoinLayout, OpError> {
             right: right.name().to_string(),
         });
     }
-    let lcols: Vec<usize> = common
-        .iter()
-        .map(|c| left.schema().column_index(c).expect("common"))
-        .collect();
-    let rcols: Vec<usize> = common
-        .iter()
-        .map(|c| right.schema().column_index(c).expect("common"))
-        .collect();
-    let rextra: Vec<usize> = (0..right.n_cols())
-        .filter(|j| !rcols.contains(j))
-        .collect();
+    let lcols: Vec<usize> =
+        common.iter().map(|c| left.schema().column_index(c).expect("common")).collect();
+    let rcols: Vec<usize> =
+        common.iter().map(|c| right.schema().column_index(c).expect("common")).collect();
+    let rextra: Vec<usize> = (0..right.n_cols()).filter(|j| !rcols.contains(j)).collect();
     let mut names: Vec<String> = left.schema().columns().map(str::to_string).collect();
     for &j in &rextra {
         names.push(right.schema().column_name(j).expect("in range").to_string());
@@ -108,8 +102,7 @@ pub fn inner_join(left: &Table, right: &Table) -> Result<Table, OpError> {
         }
         if let Some(matches) = rindex.get(&key) {
             for &ri in matches {
-                out.push_row(joined_row(lrow, &right.rows()[ri], &rextra))
-                    .expect("layout fixed");
+                out.push_row(joined_row(lrow, &right.rows()[ri], &rextra)).expect("layout fixed");
             }
         }
     }
@@ -140,9 +133,7 @@ pub fn left_join(left: &Table, right: &Table) -> Result<Table, OpError> {
                         .expect("layout fixed");
                 }
             }
-            _ => out
-                .push_row(dangling_left(lrow, rextra.len()))
-                .expect("layout fixed"),
+            _ => out.push_row(dangling_left(lrow, rextra.len())).expect("layout fixed"),
         }
     }
     Ok(out)
@@ -174,9 +165,7 @@ pub fn full_outer_join(left: &Table, right: &Table) -> Result<Table, OpError> {
                         .expect("layout fixed");
                 }
             }
-            _ => out
-                .push_row(dangling_left(lrow, rextra.len()))
-                .expect("layout fixed"),
+            _ => out.push_row(dangling_left(lrow, rextra.len())).expect("layout fixed"),
         }
     }
     for (ri, rrow) in right.rows().iter().enumerate() {
@@ -193,16 +182,10 @@ pub fn full_outer_join(left: &Table, right: &Table) -> Result<Table, OpError> {
 pub fn cross_product(left: &Table, right: &Table) -> Result<Table, OpError> {
     let common = left.schema().common_columns(right.schema());
     if !common.is_empty() {
-        return Err(OpError::Table(gent_table::TableError::DuplicateColumn(
-            common[0].to_string(),
-        )));
+        return Err(OpError::Table(gent_table::TableError::DuplicateColumn(common[0].to_string())));
     }
-    let names: Vec<String> = left
-        .schema()
-        .columns()
-        .chain(right.schema().columns())
-        .map(str::to_string)
-        .collect();
+    let names: Vec<String> =
+        left.schema().columns().chain(right.schema().columns()).map(str::to_string).collect();
     let schema = Schema::new(names.iter().map(|s| s.as_str()))?;
     let mut out = Table::new(format!("{}×{}", left.name(), right.name()), schema);
     for lrow in left.rows() {
@@ -253,10 +236,7 @@ mod tests {
     fn inner_join_matches_and_skips_nulls() {
         let j = inner_join(&left(), &right()).unwrap();
         assert_eq!(j.n_rows(), 2); // id=1 matches twice; null id never joins
-        assert_eq!(
-            j.schema().columns().collect::<Vec<_>>(),
-            vec!["id", "name", "score"]
-        );
+        assert_eq!(j.schema().columns().collect::<Vec<_>>(), vec!["id", "name", "score"]);
         let mut scores: Vec<&V> = j.rows().iter().map(|r| &r[2]).collect();
         scores.sort();
         assert_eq!(scores, vec![&V::Int(10), &V::Int(11)]);
@@ -266,10 +246,7 @@ mod tests {
     fn no_common_columns_is_error() {
         let a = Table::build("a", &["x"], &[], vec![]).unwrap();
         let b = Table::build("b", &["y"], &[], vec![]).unwrap();
-        assert!(matches!(
-            inner_join(&a, &b),
-            Err(OpError::NoCommonColumns { .. })
-        ));
+        assert!(matches!(inner_join(&a, &b), Err(OpError::NoCommonColumns { .. })));
     }
 
     #[test]
@@ -284,11 +261,8 @@ mod tests {
     fn full_outer_join_keeps_both_sides() {
         let j = full_outer_join(&left(), &right()).unwrap();
         assert_eq!(j.n_rows(), 5); // 2 matched + 2 left-dangling + 1 right-dangling
-        let right_dangling: Vec<_> = j
-            .rows()
-            .iter()
-            .filter(|r| r[1].is_null() && !r[0].is_null())
-            .collect();
+        let right_dangling: Vec<_> =
+            j.rows().iter().filter(|r| r[1].is_null() && !r[0].is_null()).collect();
         assert_eq!(right_dangling.len(), 1);
         assert_eq!(right_dangling[0][0], V::Int(3));
         assert_eq!(right_dangling[0][2], V::Int(30));
@@ -310,10 +284,7 @@ mod tests {
             "a",
             &["k1", "k2", "v"],
             &[],
-            vec![
-                vec![V::Int(1), V::Int(1), V::str("x")],
-                vec![V::Int(1), V::Int(2), V::str("y")],
-            ],
+            vec![vec![V::Int(1), V::Int(1), V::str("x")], vec![V::Int(1), V::Int(2), V::str("y")]],
         )
         .unwrap();
         let b = Table::build(

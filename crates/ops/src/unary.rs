@@ -83,11 +83,8 @@ pub fn subsumption(t: &Table) -> Table {
     // subsumed by one with strictly more non-nulls, so we only compare
     // against rows with larger counts.
     let mut order: Vec<usize> = (0..out.n_rows()).collect();
-    let counts: Vec<usize> = out
-        .rows()
-        .iter()
-        .map(|r| r.iter().filter(|v| !v.is_null()).count())
-        .collect();
+    let counts: Vec<usize> =
+        out.rows().iter().map(|r| r.iter().filter(|v| !v.is_null()).count()).collect();
     order.sort_by(|&a, &b| counts[b].cmp(&counts[a]));
     let rows = out.rows();
     let mut keep = vec![true; rows.len()];
@@ -102,12 +99,8 @@ pub fn subsumption(t: &Table) -> Table {
             }
         }
     }
-    let kept: Vec<Vec<Value>> = rows
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| keep[*i])
-        .map(|(_, r)| r.clone())
-        .collect();
+    let kept: Vec<Vec<Value>> =
+        rows.iter().enumerate().filter(|(i, _)| keep[*i]).map(|(_, r)| r.clone()).collect();
     Table::from_rows(t.name(), t.schema().clone(), kept).expect("schema unchanged")
 }
 
@@ -138,10 +131,7 @@ pub(crate) fn complements(t1: &[Value], t2: &[Value]) -> bool {
 /// Merge two complementing tuples: non-null wins at each position.
 #[inline]
 pub(crate) fn merge_tuples(t1: &[Value], t2: &[Value]) -> Vec<Value> {
-    t1.iter()
-        .zip(t2.iter())
-        .map(|(a, b)| if a.is_null() { b.clone() } else { a.clone() })
-        .collect()
+    t1.iter().zip(t2.iter()).map(|(a, b)| if a.is_null() { b.clone() } else { a.clone() }).collect()
 }
 
 /// κ — repeatedly replace complementing pairs by their merge until no pair
@@ -240,10 +230,7 @@ mod tests {
     #[test]
     fn labeled_nulls_block_subsumption() {
         // A labeled null is non-null: (1, ⊥₁) is NOT subsumed by (1, 2).
-        assert!(!subsumes(
-            &[V::Int(1), V::Int(2)],
-            &[V::Int(1), V::LabeledNull(1)]
-        ));
+        assert!(!subsumes(&[V::Int(1), V::Int(2)], &[V::Int(1), V::LabeledNull(1)]));
     }
 
     #[test]
@@ -274,33 +261,18 @@ mod tests {
     #[test]
     fn complements_definition() {
         // share c0, each fills the other's null
-        assert!(complements(
-            &[V::Int(1), V::Int(2), V::Null],
-            &[V::Int(1), V::Null, V::Int(3)]
-        ));
+        assert!(complements(&[V::Int(1), V::Int(2), V::Null], &[V::Int(1), V::Null, V::Int(3)]));
         // disagree on shared non-null
-        assert!(!complements(
-            &[V::Int(1), V::Int(2), V::Null],
-            &[V::Int(1), V::Int(9), V::Int(3)]
-        ));
+        assert!(!complements(&[V::Int(1), V::Int(2), V::Null], &[V::Int(1), V::Int(9), V::Int(3)]));
         // no shared non-null value
-        assert!(!complements(
-            &[V::Int(1), V::Null],
-            &[V::Null, V::Int(3)]
-        ));
+        assert!(!complements(&[V::Int(1), V::Null], &[V::Null, V::Int(3)]));
         // one-directional fill = subsumption case, not complementation
-        assert!(!complements(
-            &[V::Int(1), V::Int(2)],
-            &[V::Int(1), V::Null]
-        ));
+        assert!(!complements(&[V::Int(1), V::Int(2)], &[V::Int(1), V::Null]));
     }
 
     #[test]
     fn kappa_merges_pairs() {
-        let x = t(vec![
-            vec![V::Int(1), V::Int(2), V::Null],
-            vec![V::Int(1), V::Null, V::Int(3)],
-        ]);
+        let x = t(vec![vec![V::Int(1), V::Int(2), V::Null], vec![V::Int(1), V::Null, V::Int(3)]]);
         let k = complementation(&x);
         assert_eq!(k.n_rows(), 1);
         assert_eq!(k.row(0).unwrap(), &[V::Int(1), V::Int(2), V::Int(3)]);
@@ -316,18 +288,12 @@ mod tests {
         ]);
         let k = complementation(&x);
         assert_eq!(k.n_rows(), 1);
-        assert_eq!(
-            k.row(0).unwrap(),
-            &[V::Int(1), V::Int(2), V::Int(3), V::Int(4)]
-        );
+        assert_eq!(k.row(0).unwrap(), &[V::Int(1), V::Int(2), V::Int(3), V::Int(4)]);
     }
 
     #[test]
     fn kappa_keeps_contradicting_tuples() {
-        let x = t(vec![
-            vec![V::Int(1), V::Int(2)],
-            vec![V::Int(1), V::Int(9)],
-        ]);
+        let x = t(vec![vec![V::Int(1), V::Int(2)], vec![V::Int(1), V::Int(9)]]);
         // They share c0 but disagree on c1 → kept apart (also neither has a
         // null to fill, so not complementable on two grounds).
         assert_eq!(complementation(&x).n_rows(), 2);
@@ -348,10 +314,7 @@ mod tests {
 
     #[test]
     fn minimal_form_idempotent() {
-        let x = t(vec![
-            vec![V::Int(1), V::Int(2), V::Null],
-            vec![V::Int(4), V::Null, V::Int(5)],
-        ]);
+        let x = t(vec![vec![V::Int(1), V::Int(2), V::Null], vec![V::Int(4), V::Null, V::Int(5)]]);
         let m1 = minimal_form(&x);
         let m2 = minimal_form(&m1);
         assert_eq!(m1.rows(), m2.rows());

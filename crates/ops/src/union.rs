@@ -84,11 +84,8 @@ pub fn inner_union(left: &Table, right: &Table) -> Result<Table, OpError> {
             right.name()
         ))));
     }
-    let rmap: Vec<usize> = left
-        .schema()
-        .columns()
-        .map(|c| right.schema().column_index(c).expect("checked"))
-        .collect();
+    let rmap: Vec<usize> =
+        left.schema().columns().map(|c| right.schema().column_index(c).expect("checked")).collect();
     let mut out = left.clone();
     out.set_name(format!("{}∪{}", left.name(), right.name()));
     for rrow in right.rows() {

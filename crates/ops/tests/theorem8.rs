@@ -56,12 +56,13 @@ fn keyed_table(name: &'static str, extra: &'static [&'static str]) -> impl Strat
 fn row_set_as(t: &Table, target: &Schema) -> FxHashSet<Vec<Value>> {
     let map: Vec<usize> = target
         .columns()
-        .map(|c| t.schema().column_index(c).unwrap_or_else(|| panic!("column {c} missing in {}", t.name())))
+        .map(|c| {
+            t.schema()
+                .column_index(c)
+                .unwrap_or_else(|| panic!("column {c} missing in {}", t.name()))
+        })
         .collect();
-    t.rows()
-        .iter()
-        .map(|r| map.iter().map(|&j| r[j].clone()).collect())
-        .collect()
+    t.rows().iter().map(|r| map.iter().map(|&j| r[j].clone()).collect()).collect()
 }
 
 proptest! {

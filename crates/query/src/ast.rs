@@ -137,10 +137,7 @@ impl Query {
 
     /// σ — filter this plan.
     pub fn select(self, predicate: Predicate) -> Self {
-        Query::Select {
-            input: Box::new(self),
-            predicate,
-        }
+        Query::Select { input: Box::new(self), predicate }
     }
 
     /// ⋈ — natural inner join with `other`.
@@ -165,29 +162,17 @@ impl Query {
 
     /// Join with an explicit kind.
     pub fn join(self, kind: JoinKind, other: Query) -> Self {
-        Query::Join {
-            kind,
-            left: Box::new(self),
-            right: Box::new(other),
-        }
+        Query::Join { kind, left: Box::new(self), right: Box::new(other) }
     }
 
     /// ∪ — inner union with `other`.
     pub fn union(self, other: Query) -> Self {
-        Query::Union {
-            kind: UnionKind::Inner,
-            left: Box::new(self),
-            right: Box::new(other),
-        }
+        Query::Union { kind: UnionKind::Inner, left: Box::new(self), right: Box::new(other) }
     }
 
     /// ⊎ — outer union with `other`.
     pub fn outer_union(self, other: Query) -> Self {
-        Query::Union {
-            kind: UnionKind::Outer,
-            left: Box::new(self),
-            right: Box::new(other),
-        }
+        Query::Union { kind: UnionKind::Outer, left: Box::new(self), right: Box::new(other) }
     }
 
     /// β — subsumption of this plan's result.
@@ -278,9 +263,7 @@ impl Query {
     pub fn output_columns(&self, catalog: &Catalog) -> Result<Vec<String>, QueryError> {
         match self {
             Query::Scan(name) => {
-                let t = catalog
-                    .get(name)
-                    .ok_or_else(|| QueryError::UnknownTable(name.clone()))?;
+                let t = catalog.get(name).ok_or_else(|| QueryError::UnknownTable(name.clone()))?;
                 Ok(t.schema().columns().map(str::to_string).collect())
             }
             Query::Project { input, columns } => {
@@ -383,10 +366,10 @@ mod tests {
     use gent_table::{Table, Value};
 
     fn catalog() -> Catalog {
-        let a = Table::build("A", &["id", "x"], &[], vec![vec![Value::Int(1), Value::Int(2)]])
-            .unwrap();
-        let b = Table::build("B", &["id", "y"], &[], vec![vec![Value::Int(1), Value::Int(3)]])
-            .unwrap();
+        let a =
+            Table::build("A", &["id", "x"], &[], vec![vec![Value::Int(1), Value::Int(2)]]).unwrap();
+        let b =
+            Table::build("B", &["id", "y"], &[], vec![vec![Value::Int(1), Value::Int(3)]]).unwrap();
         let c = Table::build("C", &["z"], &[], vec![vec![Value::Int(9)]]).unwrap();
         Catalog::from_tables(vec![a, b, c])
     }
@@ -408,9 +391,7 @@ mod tests {
     fn complexity_classes() {
         let psu = Query::scan("A").project(&["id"]).union(Query::scan("B").project(&["id"]));
         assert_eq!(psu.complexity_class(), QueryClass::ProjectSelectUnion);
-        let multi = Query::scan("A")
-            .inner_join(Query::scan("B"))
-            .cross(Query::scan("C"));
+        let multi = Query::scan("A").inner_join(Query::scan("B")).cross(Query::scan("C"));
         assert_eq!(multi.complexity_class(), QueryClass::MultiJoin);
     }
 
@@ -430,10 +411,7 @@ mod tests {
     #[test]
     fn output_columns_rejects_bad_plans() {
         let cat = catalog();
-        assert!(matches!(
-            Query::scan("Z").output_columns(&cat),
-            Err(QueryError::UnknownTable(_))
-        ));
+        assert!(matches!(Query::scan("Z").output_columns(&cat), Err(QueryError::UnknownTable(_))));
         assert!(matches!(
             Query::scan("A").project(&["nope"]).output_columns(&cat),
             Err(QueryError::UnknownColumn { .. })
@@ -455,18 +433,14 @@ mod tests {
             Err(QueryError::UnionSchemaMismatch { .. })
         ));
         assert!(matches!(
-            Query::scan("A")
-                .select(Predicate::eq("w", Value::Int(0)))
-                .output_columns(&cat),
+            Query::scan("A").select(Predicate::eq("w", Value::Int(0))).output_columns(&cat),
             Err(QueryError::UnknownColumn { .. })
         ));
     }
 
     #[test]
     fn display_renders_algebra() {
-        let q = Query::scan("A")
-            .inner_join(Query::scan("B"))
-            .project(&["id"]);
+        let q = Query::scan("A").inner_join(Query::scan("B")).project(&["id"]);
         assert_eq!(q.to_string(), "π(id, (A ⋈ B))");
     }
 }

@@ -24,10 +24,9 @@ impl Query {
 /// Evaluate `q` against `catalog`.
 pub fn eval(q: &Query, catalog: &Catalog) -> Result<Table, QueryError> {
     match q {
-        Query::Scan(name) => catalog
-            .get(name)
-            .cloned()
-            .ok_or_else(|| QueryError::UnknownTable(name.clone())),
+        Query::Scan(name) => {
+            catalog.get(name).cloned().ok_or_else(|| QueryError::UnknownTable(name.clone()))
+        }
         Query::Project { input, columns } => {
             let t = eval(input, catalog)?;
             Ok(project_named(&t, columns)?)
@@ -82,10 +81,7 @@ mod tests {
             "ages",
             &["id", "age"],
             &[],
-            vec![
-                vec![V::Int(0), V::Int(27)],
-                vec![V::Int(1), V::Int(24)],
-            ],
+            vec![vec![V::Int(0), V::Int(27)], vec![V::Int(1), V::Int(24)]],
         )
         .unwrap();
         let more_people = Table::build(
@@ -101,9 +97,8 @@ mod tests {
     #[test]
     fn scan_project_select() {
         let cat = catalog();
-        let q = Query::scan("people")
-            .select(Predicate::eq("name", V::str("Brown")))
-            .project(&["id"]);
+        let q =
+            Query::scan("people").select(Predicate::eq("name", V::str("Brown"))).project(&["id"]);
         let t = q.eval(&cat).unwrap();
         assert_eq!(t.n_rows(), 1);
         assert_eq!(t.cell(0, 0), Some(&V::Int(1)));
@@ -132,10 +127,7 @@ mod tests {
 
     #[test]
     fn unknown_table_is_error() {
-        assert!(matches!(
-            Query::scan("ghost").eval(&catalog()),
-            Err(QueryError::UnknownTable(_))
-        ));
+        assert!(matches!(Query::scan("ghost").eval(&catalog()), Err(QueryError::UnknownTable(_))));
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl std::error::Error for ParseError {}
 
 impl From<ParseError> for QueryError {
     fn from(e: ParseError) -> Self {
-        QueryError::UnknownColumn {
-            column: String::new(),
-            context: e.to_string(),
-        }
+        QueryError::UnknownColumn { column: String::new(), context: e.to_string() }
     }
 }
 
@@ -385,9 +382,7 @@ mod tests {
             "nation",
             &["n_key", "n_name"],
             &[],
-            (0..3)
-                .map(|i| vec![Value::Int(i), Value::str(format!("n{i}"))])
-                .collect(),
+            (0..3).map(|i| vec![Value::Int(i), Value::str(format!("n{i}"))]).collect(),
         )
         .unwrap();
         Catalog::from_tables(vec![a, b])

@@ -103,28 +103,17 @@ pub enum Predicate {
 impl Predicate {
     /// `column = value`.
     pub fn eq(column: impl Into<String>, value: Value) -> Self {
-        Predicate::Cmp {
-            column: column.into(),
-            op: CmpOp::Eq,
-            value,
-        }
+        Predicate::Cmp { column: column.into(), op: CmpOp::Eq, value }
     }
 
     /// `column op value`.
     pub fn cmp(column: impl Into<String>, op: CmpOp, value: Value) -> Self {
-        Predicate::Cmp {
-            column: column.into(),
-            op,
-            value,
-        }
+        Predicate::Cmp { column: column.into(), op, value }
     }
 
     /// `column IN (values…)`.
     pub fn is_in(column: impl Into<String>, values: Vec<Value>) -> Self {
-        Predicate::In {
-            column: column.into(),
-            values,
-        }
+        Predicate::In { column: column.into(), values }
     }
 
     /// Conjunction.
@@ -176,15 +165,12 @@ impl Predicate {
             Predicate::True => BoundPredicate::True,
             Predicate::IsNull(c) => BoundPredicate::IsNull(lookup(c)?),
             Predicate::NotNull(c) => BoundPredicate::NotNull(lookup(c)?),
-            Predicate::Cmp { column, op, value } => BoundPredicate::Cmp {
-                column: lookup(column)?,
-                op: *op,
-                value: value.clone(),
-            },
-            Predicate::In { column, values } => BoundPredicate::In {
-                column: lookup(column)?,
-                values: values.clone(),
-            },
+            Predicate::Cmp { column, op, value } => {
+                BoundPredicate::Cmp { column: lookup(column)?, op: *op, value: value.clone() }
+            }
+            Predicate::In { column, values } => {
+                BoundPredicate::In { column: lookup(column)?, values: values.clone() }
+            }
             Predicate::And(a, b) => {
                 BoundPredicate::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
             }
@@ -321,9 +307,7 @@ mod tests {
 
     #[test]
     fn boolean_connectives() {
-        let p = Predicate::eq("id", Value::Int(1))
-            .or(Predicate::eq("id", Value::Int(2)))
-            .not();
+        let p = Predicate::eq("id", Value::Int(1)).or(Predicate::eq("id", Value::Int(2))).not();
         let b = p.bind(&schema()).unwrap();
         assert!(!b.eval(&[Value::Int(1), Value::Null, Value::Null]));
         assert!(b.eval(&[Value::Int(5), Value::Null, Value::Null]));

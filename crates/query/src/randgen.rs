@@ -55,11 +55,7 @@ pub struct RandomQueryGen<'a> {
 impl<'a> RandomQueryGen<'a> {
     /// A generator over `catalog` with the given config and seed.
     pub fn new(catalog: &'a Catalog, cfg: QueryGenConfig, seed: u64) -> Self {
-        Self {
-            catalog,
-            cfg,
-            rng: StdRng::seed_from_u64(seed),
-        }
+        Self { catalog, cfg, rng: StdRng::seed_from_u64(seed) }
     }
 
     /// Generate one query of the given class. Returns `None` when the
@@ -89,11 +85,7 @@ impl<'a> RandomQueryGen<'a> {
     /// like the paper's 26-query benchmark mixes complexities. Classes the
     /// catalog cannot support are skipped.
     pub fn generate_suite(&mut self, n: usize) -> Vec<(QueryClass, Query)> {
-        let classes = [
-            QueryClass::ProjectSelectUnion,
-            QueryClass::OneJoin,
-            QueryClass::MultiJoin,
-        ];
+        let classes = [QueryClass::ProjectSelectUnion, QueryClass::OneJoin, QueryClass::MultiJoin];
         let mut out = Vec::with_capacity(n);
         let mut i = 0;
         let mut misses = 0;
@@ -123,9 +115,7 @@ impl<'a> RandomQueryGen<'a> {
             .filter(|t| t.name() != base.name() && t.schema().same_columns(base.schema()))
             .collect();
         if !compatible.is_empty() && self.cfg.max_union_tables > 1 {
-            let n = self
-                .rng
-                .gen_range(0..self.cfg.max_union_tables.min(compatible.len() + 1));
+            let n = self.rng.gen_range(0..self.cfg.max_union_tables.min(compatible.len() + 1));
             let mut picks = compatible;
             picks.shuffle(&mut self.rng);
             for t in picks.into_iter().take(n) {
@@ -239,13 +229,7 @@ mod tests {
             &["n_key", "n_name", "r_key"],
             &[],
             (0..6)
-                .map(|i| {
-                    vec![
-                        Value::Int(i),
-                        Value::str(format!("nation{i}")),
-                        Value::Int(i % 2),
-                    ]
-                })
+                .map(|i| vec![Value::Int(i), Value::str(format!("nation{i}")), Value::Int(i % 2)])
                 .collect(),
         )
         .unwrap();
@@ -253,10 +237,7 @@ mod tests {
             "region",
             &["r_key", "r_name"],
             &[],
-            vec![
-                vec![Value::Int(0), Value::str("east")],
-                vec![Value::Int(1), Value::str("west")],
-            ],
+            vec![vec![Value::Int(0), Value::str("east")], vec![Value::Int(1), Value::str("west")]],
         )
         .unwrap();
         let customer = Table::build(
@@ -264,13 +245,7 @@ mod tests {
             &["c_key", "n_key", "c_name"],
             &[],
             (0..8)
-                .map(|i| {
-                    vec![
-                        Value::Int(i),
-                        Value::Int(i % 6),
-                        Value::str(format!("cust{i}")),
-                    ]
-                })
+                .map(|i| vec![Value::Int(i), Value::Int(i % 6), Value::str(format!("cust{i}"))])
                 .collect(),
         )
         .unwrap();
@@ -288,11 +263,7 @@ mod tests {
     fn generated_queries_match_their_class_and_evaluate() {
         let cat = catalog();
         let mut g = RandomQueryGen::new(&cat, QueryGenConfig::default(), 7);
-        for class in [
-            QueryClass::ProjectSelectUnion,
-            QueryClass::OneJoin,
-            QueryClass::MultiJoin,
-        ] {
+        for class in [QueryClass::ProjectSelectUnion, QueryClass::OneJoin, QueryClass::MultiJoin] {
             for _ in 0..5 {
                 let q = g.generate(class).expect("catalog supports all classes");
                 assert_eq!(q.complexity_class(), class, "query {q}");

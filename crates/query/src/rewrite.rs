@@ -29,8 +29,9 @@
 //! tests in `tests/rewrite_equiv.rs` check it empirically under exactly that
 //! generator regime, mirroring `gent-ops`'s per-lemma tests.
 
-use gent_ops::{outer_union, project_named, saturating_complementation, select, subsumption,
-    FdBudget};
+use gent_ops::{
+    outer_union, project_named, saturating_complementation, select, subsumption, FdBudget,
+};
 use gent_table::{FxHashSet, Schema, Table, Value};
 use std::fmt;
 
@@ -125,8 +126,7 @@ pub struct RepOpCounts {
 impl RepOpCounts {
     /// Total operator nodes (scans excluded).
     pub fn total_ops(&self) -> usize {
-        self.projections + self.selections + self.unions + self.subsumptions
-            + self.complementations
+        self.projections + self.selections + self.unions + self.subsumptions + self.complementations
     }
 }
 
@@ -190,10 +190,9 @@ impl RepQuery {
         budget: &FdBudget,
     ) -> Result<Table, QueryError> {
         match self {
-            RepQuery::Scan(name) => catalog
-                .get(name)
-                .cloned()
-                .ok_or_else(|| QueryError::UnknownTable(name.clone())),
+            RepQuery::Scan(name) => {
+                catalog.get(name).cloned().ok_or_else(|| QueryError::UnknownTable(name.clone()))
+            }
             RepQuery::Project { input, columns } => {
                 let t = input.eval_with_budget(catalog, budget)?;
                 Ok(project_named(&t, columns)?)
@@ -232,9 +231,7 @@ impl RepQuery {
                 let r = right.eval_with_budget(catalog, budget)?;
                 Ok(outer_union(&l, &r)?)
             }
-            RepQuery::Subsume(input) => {
-                Ok(subsumption(&input.eval_with_budget(catalog, budget)?))
-            }
+            RepQuery::Subsume(input) => Ok(subsumption(&input.eval_with_budget(catalog, budget)?)),
             RepQuery::Complement(input) => {
                 let t = input.eval_with_budget(catalog, budget)?;
                 Ok(saturating_complementation(&t, budget)?)
@@ -274,8 +271,7 @@ fn extend_const(t: &Table, column: &str, value: &Value) -> Result<Table, QueryEr
         return Err(QueryError::DuplicateProjection(column.to_string()));
     }
     names.push(column.to_string());
-    let schema = Schema::new(names.iter().map(|s| s.as_str()))
-        .map_err(gent_ops::OpError::Table)?;
+    let schema = Schema::new(names.iter().map(|s| s.as_str())).map_err(gent_ops::OpError::Table)?;
     let mut out = Table::new(t.name(), schema);
     for row in t.rows() {
         let mut r = row.clone();
@@ -350,9 +346,7 @@ pub fn rewrite(q: &Query, catalog: &Catalog) -> Result<RepQuery, QueryError> {
             left: Box::new(rewrite(left, catalog)?),
             right: Box::new(rewrite(right, catalog)?),
         },
-        Query::Join { kind, left, right } => {
-            rewrite_join(*kind, left, right, catalog)?
-        }
+        Query::Join { kind, left, right } => rewrite_join(*kind, left, right, catalog)?,
         Query::Subsume(input) => RepQuery::Subsume(Box::new(rewrite(input, catalog)?)),
         Query::Complement(input) => RepQuery::Complement(Box::new(rewrite(input, catalog)?)),
     })
@@ -362,10 +356,7 @@ pub fn rewrite(q: &Query, catalog: &Catalog) -> Result<RepQuery, QueryError> {
 fn inner_join_rep(l: RepQuery, r: RepQuery) -> RepQuery {
     RepQuery::SelectJoinCond {
         input: Box::new(RepQuery::Subsume(Box::new(RepQuery::Complement(Box::new(
-            RepQuery::OuterUnion {
-                left: Box::new(l.clone()),
-                right: Box::new(r.clone()),
-            },
+            RepQuery::OuterUnion { left: Box::new(l.clone()), right: Box::new(r.clone()) },
         ))))),
         left: Box::new(l),
         right: Box::new(r),
@@ -468,20 +459,14 @@ mod tests {
             "A",
             &["k", "x"],
             &[],
-            vec![
-                vec![V::Int(1), V::str("u")],
-                vec![V::Int(2), V::str("v")],
-            ],
+            vec![vec![V::Int(1), V::str("u")], vec![V::Int(2), V::str("v")]],
         )
         .unwrap();
         let b = Table::build(
             "B",
             &["k", "y"],
             &[],
-            vec![
-                vec![V::Int(1), V::Int(10)],
-                vec![V::Int(3), V::Int(30)],
-            ],
+            vec![vec![V::Int(1), V::Int(10)], vec![V::Int(3), V::Int(30)]],
         )
         .unwrap();
         let c = Table::build("C", &["z"], &[], vec![vec![V::Int(7)], vec![V::Int(8)]]).unwrap();
@@ -499,10 +484,7 @@ mod tests {
             .columns()
             .map(|c| t.schema().column_index(c).expect("column present"))
             .collect();
-        t.rows()
-            .iter()
-            .map(|r| map.iter().map(|&j| r[j].clone()).collect())
-            .collect()
+        t.rows().iter().map(|r| map.iter().map(|&j| r[j].clone()).collect()).collect()
     }
 
     #[test]
@@ -550,10 +532,7 @@ mod tests {
     fn inner_union_rewrite_validates_schemas() {
         let cat = catalog();
         let bad = Query::scan("A").union(Query::scan("C"));
-        assert!(matches!(
-            rewrite(&bad, &cat),
-            Err(QueryError::UnionSchemaMismatch { .. })
-        ));
+        assert!(matches!(rewrite(&bad, &cat), Err(QueryError::UnionSchemaMismatch { .. })));
     }
 
     #[test]

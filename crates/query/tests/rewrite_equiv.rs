@@ -54,10 +54,7 @@ fn rows_as(t: &Table, target: &Table) -> FxHashSet<Vec<Value>> {
                 .unwrap_or_else(|| panic!("column {c} missing in {}", t.name()))
         })
         .collect();
-    t.rows()
-        .iter()
-        .map(|r| map.iter().map(|&j| r[j].clone()).collect())
-        .collect()
+    t.rows().iter().map(|r| map.iter().map(|&j| r[j].clone()).collect()).collect()
 }
 
 fn rows(t: &Table) -> FxHashSet<Vec<Value>> {
@@ -68,16 +65,8 @@ fn rows(t: &Table) -> FxHashSet<Vec<Value>> {
 fn assert_equiv(q: &Query, cat: &Catalog) -> Result<(), TestCaseError> {
     let direct = q.eval(cat).map_err(|e| TestCaseError::fail(format!("direct eval: {e}")))?;
     let rep = rewrite(q, cat).map_err(|e| TestCaseError::fail(format!("rewrite: {e}")))?;
-    let via = rep
-        .eval(cat)
-        .map_err(|e| TestCaseError::fail(format!("rep eval: {e}")))?;
-    prop_assert_eq!(
-        rows_as(&via, &direct),
-        rows(&direct),
-        "query {} vs rewriting {}",
-        q,
-        rep
-    );
+    let via = rep.eval(cat).map_err(|e| TestCaseError::fail(format!("rep eval: {e}")))?;
+    prop_assert_eq!(rows_as(&via, &direct), rows(&direct), "query {} vs rewriting {}", q, rep);
     Ok(())
 }
 

@@ -1,0 +1,171 @@
+//! The on-disk snapshot container format.
+//!
+//! ```text
+//! file    := header | body | fold64(header‖body) u64
+//! header  := MAGIC "GENTLAKE" (8) | version u16 | flags u16
+//!          | n_tables u32 | total_rows u64 | total_cols u64
+//!          | n_index_entries u64 | n_lsh_columns u32 | reserved u32
+//! body    := strtab | tables | index | [lsh]   (lsh iff flags bit 0)
+//! strtab  := deduplicated strings shared by all tables
+//!            (gent_table::binary::StringTableBuilder)
+//! tables  := columnar table payload × n_tables
+//!            (gent_table::binary::encode_table_columnar)
+//! index   := the FrozenIndex arrays, verbatim: buckets u32[], hashes
+//!            u64[], value_offsets u32[], blob bytes, posting_offsets
+//!            u32[], arena (u32[] tables ‖ u16[] columns)
+//! lsh     := cfg | columns (bulk signature slots) | partitions
+//! ```
+//!
+//! The design goal is an *open path at memory-copy speed*: the inverted
+//! index is persisted in its serving layout ([`gent_discovery::FrozenIndex`]
+//! — no per-value hash-map inserts on load), table columns are packed (no
+//! per-cell tags for homogeneous columns), and strings are interned once per
+//! snapshot (a cell costs a refcount bump, not an allocation). Everything
+//! reuses the little-endian primitives of [`gent_table::binary`]; the single
+//! trailing checksum covers header and body, so any bit flip anywhere in the
+//! file is detected at open time.
+
+use crate::error::StoreError;
+use gent_table::binary::{BinReader, BinWriter};
+
+/// Magic prefix of a lake snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"GENTLAKE";
+
+/// Current container format version.
+pub const SNAPSHOT_FORMAT_VERSION: u16 = 1;
+
+/// Header flag: the snapshot carries a serialized LSH Ensemble index.
+pub const FLAG_HAS_LSH: u16 = 1 << 0;
+
+/// Byte length of the fixed header.
+pub const HEADER_LEN: usize = 8 + 2 + 2 + 4 + 8 + 8 + 8 + 4 + 4;
+
+/// Byte length of the trailing checksum.
+pub const TRAILER_LEN: usize = 8;
+
+/// The decoded fixed header — also the payload of `lake stat`, which reads
+/// only these bytes and the file length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Container format version.
+    pub version: u16,
+    /// Feature flags ([`FLAG_HAS_LSH`]).
+    pub flags: u16,
+    /// Number of tables in the lake.
+    pub n_tables: u32,
+    /// Total rows across all tables.
+    pub total_rows: u64,
+    /// Total columns across all tables.
+    pub total_cols: u64,
+    /// Distinct values in the inverted index.
+    pub n_index_entries: u64,
+    /// Columns summarised by the LSH index (0 when absent).
+    pub n_lsh_columns: u32,
+}
+
+impl SnapshotHeader {
+    /// True when the snapshot carries an LSH index.
+    pub fn has_lsh(&self) -> bool {
+        self.flags & FLAG_HAS_LSH != 0
+    }
+
+    /// Append the header to `w`.
+    pub fn encode(&self, w: &mut BinWriter) {
+        w.put_raw(SNAPSHOT_MAGIC);
+        w.put_u16(self.version);
+        w.put_u16(self.flags);
+        w.put_u32(self.n_tables);
+        w.put_u64(self.total_rows);
+        w.put_u64(self.total_cols);
+        w.put_u64(self.n_index_entries);
+        w.put_u32(self.n_lsh_columns);
+        w.put_u32(0); // reserved
+    }
+
+    /// Decode and validate a header from the front of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StoreError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(StoreError::Corrupt(format!(
+                "file too short for a snapshot header ({} bytes, need {HEADER_LEN})",
+                bytes.len()
+            )));
+        }
+        let mut r = BinReader::new(bytes);
+        let magic = r.take(8).expect("length checked");
+        if magic != SNAPSHOT_MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "bad magic {magic:02x?}: not a gent lake snapshot"
+            )));
+        }
+        let version = r.get_u16().expect("length checked");
+        if version != SNAPSHOT_FORMAT_VERSION {
+            return Err(StoreError::Version { found: version, supported: SNAPSHOT_FORMAT_VERSION });
+        }
+        let flags = r.get_u16().expect("length checked");
+        let n_tables = r.get_u32().expect("length checked");
+        let total_rows = r.get_u64().expect("length checked");
+        let total_cols = r.get_u64().expect("length checked");
+        let n_index_entries = r.get_u64().expect("length checked");
+        let n_lsh_columns = r.get_u32().expect("length checked");
+        let _reserved = r.get_u32().expect("length checked");
+        Ok(SnapshotHeader {
+            version,
+            flags,
+            n_tables,
+            total_rows,
+            total_cols,
+            n_index_entries,
+            n_lsh_columns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotHeader {
+        SnapshotHeader {
+            version: SNAPSHOT_FORMAT_VERSION,
+            flags: FLAG_HAS_LSH,
+            n_tables: 3,
+            total_rows: 120,
+            total_cols: 9,
+            n_index_entries: 450,
+            n_lsh_columns: 9,
+        }
+    }
+
+    #[test]
+    fn header_round_trip() {
+        let h = sample();
+        let mut w = BinWriter::new();
+        h.encode(&mut w);
+        assert_eq!(w.len(), HEADER_LEN);
+        assert_eq!(SnapshotHeader::decode(w.as_bytes()).unwrap(), h);
+        assert!(h.has_lsh());
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut w = BinWriter::new();
+        sample().encode(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(SnapshotHeader::decode(&bytes), Err(StoreError::Corrupt(_))));
+
+        let mut w = BinWriter::new();
+        let mut h = sample();
+        h.version = 99;
+        h.encode(&mut w);
+        assert!(matches!(
+            SnapshotHeader::decode(w.as_bytes()),
+            Err(StoreError::Version { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn short_file_rejected() {
+        assert!(matches!(SnapshotHeader::decode(b"GENT"), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,182 @@
+//! Parallel lake ingestion.
+//!
+//! `DataLake::from_tables` scans every cell of every table on one thread.
+//! For a one-off in-memory lake that is fine; for `lake build` — which
+//! ingests thousands of CSV tables and then snapshots them — this module
+//! fans the per-table scans out over scoped worker threads and merges the
+//! results into exactly the structures `push_table` would have built:
+//! posting lists are ordered by `(table, column)` just as sequential
+//! insertion orders them, so a parallel-ingested lake is indistinguishable
+//! from (and snapshots byte-identically to) a sequentially built one.
+
+use gent_discovery::lake::Posting;
+use gent_discovery::{DataLake, LshConfig, LshEnsembleIndex};
+use gent_table::{FxHashMap, FxHashSet, Table, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Options for [`ingest_tables`].
+#[derive(Debug, Clone, Default)]
+pub struct IngestOptions {
+    /// Worker threads for per-table scans (0 → all available cores).
+    pub threads: usize,
+    /// Also build an LSH Ensemble index with this configuration, so the
+    /// snapshot can warm-start approximate retrieval.
+    pub lsh: Option<LshConfig>,
+}
+
+impl IngestOptions {
+    fn effective_threads(&self, n_tables: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, n_tables.max(1))
+    }
+}
+
+/// The product of [`ingest_tables`]: a ready lake plus the optional LSH
+/// index, both built in parallel.
+#[derive(Debug, Clone)]
+pub struct IngestedLake {
+    /// The lake with its inverted index.
+    pub lake: DataLake,
+    /// The LSH index, when [`IngestOptions::lsh`] was set.
+    pub lsh: Option<LshEnsembleIndex>,
+}
+
+/// Build a [`DataLake`] (and optionally an LSH index) from `tables`,
+/// parallelising the per-table value scans across scoped threads.
+pub fn ingest_tables(mut tables: Vec<Table>, opts: &IngestOptions) -> IngestedLake {
+    // Uniquify names up front, exactly as sequential `push_table` would:
+    // first claimant keeps the name, later ones get the first free `#k`.
+    let mut taken: FxHashSet<String> = FxHashSet::default();
+    for t in &mut tables {
+        let mut name = t.name().to_string();
+        if !taken.insert(name.clone()) {
+            let mut k = 2;
+            loop {
+                let candidate = format!("{name}#{k}");
+                if taken.insert(candidate.clone()) {
+                    name = candidate;
+                    break;
+                }
+                k += 1;
+            }
+            t.set_name(&name);
+        }
+    }
+
+    let threads = opts.effective_threads(tables.len());
+
+    // Per-table scans: distinct (value, column) pairs in first-occurrence
+    // order, the same order `push_table` appends postings in.
+    let scan = |t: &Table| -> Vec<(Value, u16)> {
+        let mut out = Vec::new();
+        for ci in 0..t.n_cols() {
+            let mut seen: FxHashSet<&Value> = FxHashSet::default();
+            for v in t.column(ci) {
+                if !v.is_null_like() && seen.insert(v) {
+                    out.push((v.clone(), ci as u16));
+                }
+            }
+        }
+        out
+    };
+
+    let scans: Vec<(usize, Vec<(Value, u16)>)> = if threads <= 1 {
+        tables.iter().enumerate().map(|(ti, t)| (ti, scan(t))).collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let tables_ref = &tables;
+        let mut scans: Vec<(usize, Vec<(Value, u16)>)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let ti = next.fetch_add(1, Ordering::Relaxed);
+                            if ti >= tables_ref.len() {
+                                return local;
+                            }
+                            local.push((ti, scan(&tables_ref[ti])));
+                        }
+                    })
+                })
+                .collect();
+            workers.into_iter().flat_map(|w| w.join().expect("ingest worker panicked")).collect()
+        });
+        scans.sort_by_key(|(ti, _)| *ti);
+        scans
+    };
+
+    // Sequential merge in table order preserves push_table's posting order.
+    let mut index: FxHashMap<Value, Vec<Posting>> = FxHashMap::default();
+    for (ti, pairs) in scans {
+        for (v, column) in pairs {
+            index.entry(v).or_default().push(Posting { table: ti as u32, column });
+        }
+    }
+
+    let lake = DataLake::from_parts(tables, index);
+    let lsh =
+        opts.lsh.as_ref().map(|cfg| LshEnsembleIndex::build_parallel(&lake, cfg.clone(), threads));
+    IngestedLake { lake, lsh }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn tables() -> Vec<Table> {
+        (0..6)
+            .map(|t| {
+                // Two duplicate names exercise renaming.
+                let name = if t % 3 == 0 { "dup".to_string() } else { format!("t{t}") };
+                Table::build(
+                    &name,
+                    &["a", "b"],
+                    &[],
+                    (0..30).map(|i| vec![V::Int(i + t), V::str(format!("s{}", i % 9))]).collect(),
+                )
+                .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential_lake() {
+        let sequential = DataLake::from_tables(tables());
+        let parallel = ingest_tables(tables(), &IngestOptions { threads: 4, lsh: None }).lake;
+        assert_eq!(parallel.len(), sequential.len());
+        assert_eq!(parallel.index_len(), sequential.index_len());
+        for (v, postings) in sequential.index_entries() {
+            assert_eq!(parallel.postings(&v), postings, "postings({v}) diverge");
+        }
+        for t in sequential.tables() {
+            assert_eq!(
+                parallel.get_by_name(t.name()).map(|p| p.rows()),
+                Some(t.rows()),
+                "table `{}` diverges",
+                t.name()
+            );
+        }
+    }
+
+    #[test]
+    fn single_thread_path_matches_too() {
+        let sequential = DataLake::from_tables(tables());
+        let one = ingest_tables(tables(), &IngestOptions { threads: 1, lsh: None }).lake;
+        assert_eq!(one.index_len(), sequential.index_len());
+    }
+
+    #[test]
+    fn lsh_option_builds_index() {
+        let got =
+            ingest_tables(tables(), &IngestOptions { threads: 2, lsh: Some(LshConfig::default()) });
+        let lsh = got.lsh.expect("lsh built");
+        let direct = LshEnsembleIndex::build(&got.lake, LshConfig::default());
+        assert_eq!(lsh.export(), direct.export());
+    }
+}

@@ -1,0 +1,58 @@
+//! # gent-store — a persistent, indexed data-lake store
+//!
+//! Gen-T's pipeline assumes a long-lived data lake queried by many source
+//! tables, yet building a [`gent_discovery::DataLake`] is all cold-start
+//! work: every cell is scanned for the inverted value index, and the LSH
+//! retriever rehashes every column. Systems the paper compares against
+//! (JOSIE-style exact containment, MATE-style join search) are viable
+//! precisely because their indexes are built *once* and persisted. This
+//! crate gives the reproduction the same property:
+//!
+//! * [`snapshot`] — a versioned, checksummed on-disk format
+//!   (`"GENTLAKE"` magic) holding the tables **plus** their derived
+//!   structures: the inverted value index and, optionally, the LSH
+//!   Ensemble bands. [`snapshot::save`] / [`snapshot::load`] /
+//!   [`snapshot::stat`];
+//! * [`ingest`] — parallel lake construction over scoped threads,
+//!   producing bit-identical structures to sequential `push_table`;
+//! * [`source`] — the [`LakeSource`] trait with [`InMemory`] (cold) and
+//!   [`SnapshotFile`] (warm) implementations, so pipelines can take
+//!   "a lake from wherever" without caring which;
+//! * [`format`] — the container header shared by save/load/stat.
+//!
+//! The codec primitives live in [`gent_table::binary`]; this crate owns the
+//! container layout and the discovery warm-start wiring
+//! ([`gent_discovery::DataLake::from_parts`],
+//! [`gent_discovery::LshEnsembleIndex::from_export`]).
+//!
+//! ```no_run
+//! use gent_store::{snapshot, InMemory, LakeSource, SnapshotFile};
+//! # fn main() -> Result<(), gent_store::StoreError> {
+//! # let tables = vec![];
+//! // Ingest once…
+//! let built = InMemory::new(tables).load_lake()?;
+//! snapshot::save("lake.gentlake".as_ref(), &built.lake, built.lsh.as_ref())?;
+//! // …reopen in milliseconds, retrieval-identical to the original.
+//! let warm = SnapshotFile("lake.gentlake".into()).load_lake()?;
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod ingest;
+pub mod snapshot;
+pub mod source;
+
+pub use error::StoreError;
+pub use format::{SnapshotHeader, SNAPSHOT_FORMAT_VERSION};
+pub use ingest::{ingest_tables, IngestOptions, IngestedLake};
+pub use snapshot::{LoadedLake, SnapshotStat};
+pub use source::{InMemory, LakeSource, SnapshotFile};
+
+/// Convenience: open just the [`gent_discovery::DataLake`] from a snapshot,
+/// discarding any stored LSH index.
+pub fn open_lake(path: &std::path::Path) -> Result<gent_discovery::DataLake, StoreError> {
+    Ok(snapshot::load(path)?.lake)
+}

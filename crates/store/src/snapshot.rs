@@ -1,0 +1,441 @@
+//! Saving and loading lake snapshots.
+//!
+//! A snapshot persists a [`DataLake`] *together with its derived
+//! structures* — the inverted value index and, optionally, the LSH Ensemble
+//! index — so reopening a lake costs one sequential read plus decode instead
+//! of re-scanning and re-hashing every cell. Reopened lakes answer every
+//! retrieval query identically to the lake they were saved from (see
+//! `tests/snapshot_roundtrip.rs`).
+
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+
+use gent_discovery::lake::Posting;
+use gent_discovery::{
+    DataLake, FrozenIndex, LshColumnExport, LshConfig, LshEnsembleIndex, LshIndexExport,
+    LshPartitionExport,
+};
+use gent_table::binary::{
+    decode_string_table, decode_table_columnar, encode_table_columnar, fold64, BinReader,
+    BinWriter, StringTableBuilder,
+};
+
+use crate::error::StoreError;
+use crate::format::{
+    SnapshotHeader, FLAG_HAS_LSH, HEADER_LEN, SNAPSHOT_FORMAT_VERSION, TRAILER_LEN,
+};
+
+/// A lake loaded from a snapshot: the tables + inverted index, and the LSH
+/// index when the snapshot carries one.
+#[derive(Debug, Clone)]
+pub struct LoadedLake {
+    /// The lake, ready for discovery (index already built).
+    pub lake: DataLake,
+    /// The warm-started LSH index, if the snapshot was built with one.
+    pub lsh: Option<LshEnsembleIndex>,
+}
+
+/// Summary of a snapshot file, read from the fixed header only — `lake stat`
+/// on a multi-gigabyte snapshot touches a few dozen bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStat {
+    /// The decoded header.
+    pub header: SnapshotHeader,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+/// Serialize `lake` (and optionally a built LSH index) to `path`.
+/// The write is atomic: bytes are assembled in memory, written to a
+/// temporary sibling file, and renamed over `path`, so a crash mid-save can
+/// neither leave a half-written snapshot nor destroy the previous one.
+pub fn save(
+    path: &Path,
+    lake: &DataLake,
+    lsh: Option<&LshEnsembleIndex>,
+) -> Result<(), StoreError> {
+    let mut w = BinWriter::new();
+    let lsh_export = lsh.map(|i| i.export());
+    let header = SnapshotHeader {
+        version: SNAPSHOT_FORMAT_VERSION,
+        flags: if lsh_export.is_some() { FLAG_HAS_LSH } else { 0 },
+        n_tables: lake.len() as u32,
+        total_rows: lake.tables().iter().map(|t| t.n_rows() as u64).sum(),
+        total_cols: lake.tables().iter().map(|t| t.n_cols() as u64).sum(),
+        n_index_entries: lake.index_len() as u64,
+        n_lsh_columns: lsh_export.as_ref().map_or(0, |e| e.columns.len() as u32),
+    };
+    header.encode(&mut w);
+
+    // Tables are encoded into a side buffer so the string table they fill
+    // can be written first (decode needs it before the first table).
+    let mut strings = StringTableBuilder::new();
+    let mut tables_w = BinWriter::new();
+    for t in lake.tables() {
+        encode_table_columnar(t, &mut tables_w, &mut strings);
+    }
+    strings.encode(&mut w);
+    w.put_raw(tables_w.as_bytes());
+
+    // The index is persisted in its serving layout (FrozenIndex arrays);
+    // freezing sorts entries canonically, so identical lakes → identical
+    // bytes regardless of hash-map iteration order. An already-frozen lake
+    // (one loaded from a snapshot) serializes its arrays without copying.
+    let frozen_built;
+    let frozen = match lake.frozen_index() {
+        Some(f) => f,
+        None => {
+            frozen_built = lake.freeze_index();
+            &frozen_built
+        }
+    };
+    let (buckets, hashes, value_offsets, blob, posting_offsets, arena) = frozen.raw_parts();
+    w.put_u32_array(buckets);
+    w.put_u64_array(hashes);
+    w.put_u32_array(value_offsets);
+    w.put_u64(blob.len() as u64);
+    w.put_raw(blob);
+    w.put_u32_array(posting_offsets);
+    let arena_tables: Vec<u32> = arena.iter().map(|p| p.table).collect();
+    let arena_cols: Vec<u16> = arena.iter().map(|p| p.column).collect();
+    w.put_u32_array(&arena_tables);
+    w.put_u16_array(&arena_cols);
+
+    if let Some(e) = &lsh_export {
+        encode_lsh(e, &mut w);
+    }
+
+    let checksum = fold64(w.as_bytes());
+    w.put_u64(checksum);
+    // Write-then-rename keeps the previous snapshot intact until the new
+    // one is fully on disk.
+    let tmp = path.with_extension("gentlake.tmp");
+    fs::write(&tmp, w.as_bytes()).map_err(|e| StoreError::io(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        StoreError::io(path, e)
+    })
+}
+
+/// Load a snapshot written by [`save`]. Verifies magic, version and the
+/// whole-file checksum before decoding anything.
+pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
+    let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "file is {} bytes — too short for a snapshot",
+            bytes.len()
+        )));
+    }
+    let header = SnapshotHeader::decode(&bytes)?;
+    let body_end = bytes.len() - TRAILER_LEN;
+    let mut tail = BinReader::new(&bytes[body_end..]);
+    let stored = tail.get_u64().expect("trailer length checked");
+    let computed = fold64(&bytes[..body_end]);
+    if stored != computed {
+        return Err(StoreError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        )));
+    }
+
+    let mut r = BinReader::new(&bytes[HEADER_LEN..body_end]);
+
+    let strings = decode_string_table(&mut r)?;
+    // Every count that sizes an allocation is sanity-checked against the
+    // bytes actually present, so a crafted header cannot force a huge
+    // `with_capacity` before per-entry reads fail.
+    if header.n_tables as usize > r.remaining() {
+        return Err(StoreError::Corrupt(format!(
+            "header claims {} tables with {} bytes left",
+            header.n_tables,
+            r.remaining()
+        )));
+    }
+    let mut tables = Vec::with_capacity(header.n_tables as usize);
+    for _ in 0..header.n_tables {
+        tables.push(decode_table_columnar(&mut r, &strings)?);
+    }
+
+    let buckets = r.get_u32_array()?;
+    let hashes = r.get_u64_array()?;
+    if hashes.len() as u64 != header.n_index_entries {
+        return Err(StoreError::Corrupt(format!(
+            "index has {} entries, header promised {}",
+            hashes.len(),
+            header.n_index_entries
+        )));
+    }
+    let value_offsets = r.get_u32_array()?;
+    let blob_len = r.get_u64()? as usize;
+    let blob = r.take(blob_len)?.to_vec();
+    let posting_offsets = r.get_u32_array()?;
+    let arena_tables = r.get_u32_array()?;
+    let arena_cols = r.get_u16_array()?;
+    if arena_tables.len() != arena_cols.len() {
+        return Err(StoreError::Corrupt(format!(
+            "posting arrays disagree: {} tables vs {} columns",
+            arena_tables.len(),
+            arena_cols.len()
+        )));
+    }
+    let ncols: Vec<u16> = tables.iter().map(|t| t.n_cols() as u16).collect();
+    let mut arena = Vec::with_capacity(arena_tables.len());
+    for (&table, &column) in arena_tables.iter().zip(&arena_cols) {
+        match ncols.get(table as usize) {
+            Some(&nc) if column < nc => arena.push(Posting { table, column }),
+            Some(_) => {
+                return Err(StoreError::Corrupt(format!(
+                    "posting references column {column} of table {table} (too few columns)"
+                )))
+            }
+            None => {
+                return Err(StoreError::Corrupt(format!(
+                    "posting references table {table}, but the lake has {} tables",
+                    tables.len()
+                )))
+            }
+        }
+    }
+    let frozen =
+        FrozenIndex::from_raw_parts(buckets, hashes, value_offsets, blob, posting_offsets, arena)
+            .map_err(StoreError::Corrupt)?;
+
+    let lsh = if header.has_lsh() {
+        let export = decode_lsh(&mut r)?;
+        Some(LshEnsembleIndex::from_export(export).map_err(StoreError::Corrupt)?)
+    } else {
+        None
+    };
+
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after snapshot body",
+            r.remaining()
+        )));
+    }
+
+    Ok(LoadedLake { lake: DataLake::from_frozen(tables, frozen), lsh })
+}
+
+/// Read a snapshot's summary from its fixed header without loading (or
+/// checksumming) the body.
+pub fn stat(path: &Path) -> Result<SnapshotStat, StoreError> {
+    let mut f = fs::File::open(path).map_err(|e| StoreError::io(path, e))?;
+    let file_bytes = f.metadata().map_err(|e| StoreError::io(path, e))?.len();
+    let mut head = vec![0u8; HEADER_LEN];
+    f.read_exact(&mut head).map_err(|_| {
+        StoreError::Corrupt(format!("file is {file_bytes} bytes — too short for a snapshot"))
+    })?;
+    Ok(SnapshotStat { header: SnapshotHeader::decode(&head)?, file_bytes })
+}
+
+fn encode_lsh(e: &LshIndexExport, w: &mut BinWriter) {
+    w.put_u32(e.cfg.num_perm as u32);
+    w.put_u32(e.cfg.num_bands as u32);
+    w.put_u32(e.cfg.num_partitions as u32);
+    w.put_u64(e.cfg.seed);
+    w.put_u32(e.cfg.min_column_size as u32);
+
+    w.put_u32(e.columns.len() as u32);
+    for c in &e.columns {
+        w.put_u32(c.posting.table);
+        w.put_u16(c.posting.column);
+        w.put_u64(c.size);
+        for &slot in &c.slots {
+            w.put_u64(slot);
+        }
+    }
+
+    w.put_u32(e.partitions.len() as u32);
+    for p in &e.partitions {
+        w.put_u32(p.members.len() as u32);
+        for &m in &p.members {
+            w.put_u32(m);
+        }
+        w.put_u64(p.max_size);
+        for band in &p.buckets {
+            w.put_u32(band.len() as u32);
+            for (hash, members) in band {
+                w.put_u64(*hash);
+                w.put_u32(members.len() as u32);
+                for &m in members {
+                    w.put_u32(m);
+                }
+            }
+        }
+    }
+}
+
+fn decode_lsh(r: &mut BinReader<'_>) -> Result<LshIndexExport, StoreError> {
+    let num_perm = r.get_u32()? as usize;
+    let num_bands = r.get_u32()? as usize;
+    let num_partitions = r.get_u32()? as usize;
+    let seed = r.get_u64()?;
+    let min_column_size = r.get_u32()? as usize;
+    let cfg = LshConfig { num_perm, num_bands, num_partitions, seed, min_column_size };
+    if num_perm == 0 || num_perm > 1 << 20 {
+        return Err(StoreError::Corrupt(format!("implausible LSH num_perm {num_perm}")));
+    }
+    if num_bands == 0 || num_bands > num_perm {
+        return Err(StoreError::Corrupt(format!("implausible LSH num_bands {num_bands}")));
+    }
+
+    // As in `load`: never size an allocation from an on-disk count without
+    // checking the bytes are actually there (each entry costs ≥ 1 byte).
+    let guard = |n: usize, left: usize, what: &str| -> Result<(), StoreError> {
+        if n > left {
+            Err(StoreError::Corrupt(format!(
+                "LSH section claims {n} {what} with {left} bytes left"
+            )))
+        } else {
+            Ok(())
+        }
+    };
+
+    let n_columns = r.get_u32()? as usize;
+    guard(n_columns, r.remaining(), "columns")?;
+    let mut columns = Vec::with_capacity(n_columns);
+    for _ in 0..n_columns {
+        let table = r.get_u32()?;
+        let column = r.get_u16()?;
+        let size = r.get_u64()?;
+        let slots = r.get_u64s(num_perm)?;
+        columns.push(LshColumnExport { posting: Posting { table, column }, size, slots });
+    }
+
+    let n_parts = r.get_u32()? as usize;
+    guard(n_parts, r.remaining(), "partitions")?;
+    let mut partitions = Vec::with_capacity(n_parts);
+    for _ in 0..n_parts {
+        let n_members = r.get_u32()? as usize;
+        guard(n_members, r.remaining(), "members")?;
+        let mut members = Vec::with_capacity(n_members);
+        for _ in 0..n_members {
+            members.push(r.get_u32()?);
+        }
+        let max_size = r.get_u64()?;
+        let mut buckets = Vec::with_capacity(num_bands);
+        for _ in 0..num_bands {
+            let n_buckets = r.get_u32()? as usize;
+            guard(n_buckets, r.remaining(), "buckets")?;
+            let mut band = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                let hash = r.get_u64()?;
+                let n = r.get_u32()? as usize;
+                guard(n, r.remaining(), "bucket members")?;
+                let mut ms = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ms.push(r.get_u32()?);
+                }
+                band.push((hash, ms));
+            }
+            buckets.push(band);
+        }
+        partitions.push(LshPartitionExport { members, max_size, buckets });
+    }
+
+    Ok(LshIndexExport { cfg, columns, partitions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::{Table, Value as V};
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gent-store-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("scratch dir");
+        dir.join(name)
+    }
+
+    fn lake() -> DataLake {
+        let a = Table::build(
+            "customers",
+            &["id", "name"],
+            &[],
+            (0..40).map(|i| vec![V::Int(i), V::str(format!("c{i}"))]).collect(),
+        )
+        .unwrap();
+        let b = Table::build(
+            "orders",
+            &["oid", "cust"],
+            &[],
+            (0..25).map(|i| vec![V::Int(1000 + i), V::Int(i % 7)]).collect(),
+        )
+        .unwrap();
+        DataLake::from_tables(vec![a, b])
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let l = lake();
+        let path = scratch("roundtrip.gentlake");
+        save(&path, &l, None).unwrap();
+        let loaded = load(&path).unwrap();
+        assert!(loaded.lsh.is_none());
+        assert_eq!(loaded.lake.len(), l.len());
+        assert_eq!(loaded.lake.index_len(), l.index_len());
+        for probe in [V::Int(3), V::Int(1005), V::str("c7"), V::str("nope")] {
+            assert_eq!(loaded.lake.postings(&probe), l.postings(&probe), "postings({probe})");
+        }
+        assert_eq!(
+            loaded.lake.get_by_name("orders").unwrap().rows(),
+            l.get_by_name("orders").unwrap().rows()
+        );
+    }
+
+    #[test]
+    fn save_load_with_lsh() {
+        let l = lake();
+        let lsh = LshEnsembleIndex::build(&l, LshConfig::default());
+        let path = scratch("with-lsh.gentlake");
+        save(&path, &l, Some(&lsh)).unwrap();
+        let loaded = load(&path).unwrap();
+        let warm = loaded.lsh.expect("lsh present");
+        assert_eq!(warm.export(), lsh.export());
+    }
+
+    #[test]
+    fn stat_reads_header_only() {
+        let l = lake();
+        let path = scratch("stat.gentlake");
+        save(&path, &l, None).unwrap();
+        let s = stat(&path).unwrap();
+        assert_eq!(s.header.n_tables, 2);
+        assert_eq!(s.header.total_rows, 65);
+        assert_eq!(s.header.total_cols, 4);
+        assert!(!s.header.has_lsh());
+        assert_eq!(s.header.n_index_entries as usize, l.index_len());
+        assert!(s.file_bytes > (HEADER_LEN + TRAILER_LEN) as u64);
+    }
+
+    #[test]
+    fn identical_lakes_produce_identical_bytes() {
+        let p1 = scratch("stable-1.gentlake");
+        let p2 = scratch("stable-2.gentlake");
+        save(&p1, &lake(), None).unwrap();
+        save(&p2, &lake(), None).unwrap();
+        assert_eq!(fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+    }
+
+    #[test]
+    fn corruption_detected_on_load() {
+        let path = scratch("corrupt.gentlake");
+        save(&path, &lake(), None).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn non_snapshot_file_rejected() {
+        let path = scratch("not-a-snapshot.txt");
+        fs::write(&path, b"hello,world\n1,2\n").unwrap();
+        assert!(matches!(load(&path), Err(StoreError::Corrupt(_))));
+        assert!(matches!(stat(&path), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,82 @@
+//! Where a lake comes from: the [`LakeSource`] abstraction.
+//!
+//! Discovery used to have exactly one construction path — build everything
+//! in memory from a `Vec<Table>`. The store adds a second: reopen a
+//! persisted snapshot. Callers that only need "a lake, however it is
+//! obtained" (the CLI's `reclaim`, the bench harness) take a `LakeSource`
+//! and stay agnostic:
+//!
+//! * [`InMemory`] — ingest tables now (parallel scans, optional LSH build),
+//! * [`SnapshotFile`] — decode a `lake build` snapshot, warm-starting the
+//!   inverted index and any stored LSH bands without rehashing a value.
+
+use std::path::PathBuf;
+
+use gent_table::Table;
+
+use crate::error::StoreError;
+use crate::ingest::{ingest_tables, IngestOptions};
+use crate::snapshot::{self, LoadedLake};
+
+/// A source a [`gent_discovery::DataLake`] can be realised from.
+pub trait LakeSource {
+    /// Produce the lake (and any warm-started LSH index).
+    fn load_lake(self) -> Result<LoadedLake, StoreError>;
+}
+
+/// Build the lake in memory from tables (the cold path).
+#[derive(Debug, Clone, Default)]
+pub struct InMemory {
+    /// The tables to ingest.
+    pub tables: Vec<Table>,
+    /// Ingest options (thread count, optional LSH).
+    pub options: IngestOptions,
+}
+
+impl InMemory {
+    /// Ingest `tables` with default options.
+    pub fn new(tables: Vec<Table>) -> Self {
+        InMemory { tables, options: IngestOptions::default() }
+    }
+}
+
+impl LakeSource for InMemory {
+    fn load_lake(self) -> Result<LoadedLake, StoreError> {
+        let ingested = ingest_tables(self.tables, &self.options);
+        Ok(LoadedLake { lake: ingested.lake, lsh: ingested.lsh })
+    }
+}
+
+/// Reopen a snapshot written by [`crate::snapshot::save`] (the warm path).
+#[derive(Debug, Clone)]
+pub struct SnapshotFile(pub PathBuf);
+
+impl LakeSource for SnapshotFile {
+    fn load_lake(self) -> Result<LoadedLake, StoreError> {
+        snapshot::load(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_table::Value as V;
+
+    fn tables() -> Vec<Table> {
+        vec![
+            Table::build("x", &["a"], &[], (0..12).map(|i| vec![V::Int(i)]).collect()).unwrap(),
+            Table::build("y", &["b"], &[], (6..18).map(|i| vec![V::Int(i)]).collect()).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn in_memory_and_snapshot_sources_agree() {
+        let cold = InMemory::new(tables()).load_lake().unwrap();
+        let path =
+            std::env::temp_dir().join(format!("gent-store-source-{}.gentlake", std::process::id()));
+        snapshot::save(&path, &cold.lake, None).unwrap();
+        let warm = SnapshotFile(path).load_lake().unwrap();
+        assert_eq!(warm.lake.len(), cold.lake.len());
+        assert_eq!(warm.lake.postings(&V::Int(7)), cold.lake.postings(&V::Int(7)));
+    }
+}

@@ -50,10 +50,8 @@ fn parse_record<I: Iterator<Item = std::io::Result<String>>>(
                 Some(next) => {
                     *lineno += 1;
                     field.push('\n');
-                    line = next.map_err(|e| TableError::Csv {
-                        line: *lineno,
-                        message: e.to_string(),
-                    })?;
+                    line = next
+                        .map_err(|e| TableError::Csv { line: *lineno, message: e.to_string() })?;
                 }
                 None => {
                     return Err(TableError::Csv {
@@ -200,10 +198,7 @@ mod tests {
     #[test]
     fn field_count_mismatch_is_error() {
         let csv = "a,b\n1\n";
-        assert!(matches!(
-            read_csv("t", csv.as_bytes()),
-            Err(TableError::Csv { line: 2, .. })
-        ));
+        assert!(matches!(read_csv("t", csv.as_bytes()), Err(TableError::Csv { line: 2, .. })));
     }
 
     #[test]

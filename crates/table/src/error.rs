@@ -36,6 +36,8 @@ pub enum TableError {
     },
     /// I/O failure wrapped with context.
     Io(String),
+    /// Binary decoding failed (bad magic/version, corruption, truncation).
+    Binary(String),
 }
 
 impl fmt::Display for TableError {
@@ -51,8 +53,11 @@ impl fmt::Display for TableError {
             }
             TableError::DuplicateColumn(name) => write!(f, "duplicate column name `{name}`"),
             TableError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
-            TableError::Csv { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+            TableError::Csv { line, message } => {
+                write!(f, "csv parse error at line {line}: {message}")
+            }
             TableError::Io(msg) => write!(f, "i/o error: {msg}"),
+            TableError::Binary(msg) => write!(f, "binary decode error: {msg}"),
         }
     }
 }

@@ -103,10 +103,7 @@ mod tests {
             "t",
             &["id", "name"],
             &[],
-            vec![
-                vec![V::Int(1), V::str("a")],
-                vec![V::Int(2), V::str("a")],
-            ],
+            vec![vec![V::Int(1), V::str("a")], vec![V::Int(2), V::str("a")]],
         )
         .unwrap();
         assert_eq!(discover_key(&t, 3), Some(vec![0]));
@@ -143,13 +140,7 @@ mod tests {
 
     #[test]
     fn duplicate_rows_have_no_key() {
-        let t = Table::build(
-            "t",
-            &["a"],
-            &[],
-            vec![vec![V::Int(1)], vec![V::Int(1)]],
-        )
-        .unwrap();
+        let t = Table::build("t", &["a"], &[], vec![vec![V::Int(1)], vec![V::Int(1)]]).unwrap();
         assert_eq!(discover_key(&t, 3), None);
     }
 
@@ -159,10 +150,7 @@ mod tests {
             "t",
             &["x", "id"],
             &[],
-            vec![
-                vec![V::str("u"), V::Int(1)],
-                vec![V::str("u"), V::Int(2)],
-            ],
+            vec![vec![V::str("u"), V::Int(1)], vec![V::str("u"), V::Int(2)]],
         )
         .unwrap();
         assert!(ensure_key(&mut t));
@@ -176,10 +164,7 @@ mod tests {
             "t",
             &["x", "id"],
             &["x"],
-            vec![
-                vec![V::str("a"), V::Int(1)],
-                vec![V::str("b"), V::Int(1)],
-            ],
+            vec![vec![V::str("a"), V::Int(1)], vec![V::str("b"), V::Int(1)]],
         )
         .unwrap();
         assert!(ensure_key(&mut t));

@@ -12,6 +12,8 @@
 //!   checks,
 //! * [`csv`] — a small dependency-free CSV reader/writer so lakes can be
 //!   persisted and inspected,
+//! * [`binary`] — a stable, versioned, checksummed binary codec for values,
+//!   schemas and tables; the foundation of `gent-store` snapshots,
 //! * [`key`] — key discovery for source tables (the paper assumes the Source
 //!   Table has a key and cites mining techniques to find one; we ship a
 //!   minimal-unique-column-set miner),
@@ -25,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod csv;
 pub mod error;
 pub mod fxhash;

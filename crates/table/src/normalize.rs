@@ -147,12 +147,7 @@ mod tests {
     #[test]
     fn off_is_identity() {
         let n = NormalizeConfig::off();
-        for v in [
-            Value::str("  MiXeD "),
-            Value::Int(3),
-            Value::Float(1.23456789),
-            Value::Null,
-        ] {
+        for v in [Value::str("  MiXeD "), Value::Int(3), Value::Float(1.23456789), Value::Null] {
             assert_eq!(n.value(&v), v);
         }
     }
@@ -165,10 +160,7 @@ mod tests {
 
     #[test]
     fn float_rounding_unifies_near_equal() {
-        let n = NormalizeConfig {
-            float_precision: Some(2),
-            ..NormalizeConfig::off()
-        };
+        let n = NormalizeConfig { float_precision: Some(2), ..NormalizeConfig::off() };
         assert_eq!(n.value(&Value::Float(0.123_49)), n.value(&Value::Float(0.120_01)));
         assert_ne!(n.value(&Value::Float(0.13)), n.value(&Value::Float(0.12)));
     }

@@ -194,14 +194,8 @@ mod tests {
     #[test]
     fn rejects_duplicates_and_bad_keys() {
         assert!(matches!(Schema::new(["x", "x"]), Err(TableError::DuplicateColumn(_))));
-        assert!(matches!(
-            Schema::with_key(["a"], ["zz"]),
-            Err(TableError::InvalidKey(_))
-        ));
-        assert!(matches!(
-            Schema::with_key(["a", "b"], ["a", "a"]),
-            Err(TableError::InvalidKey(_))
-        ));
+        assert!(matches!(Schema::with_key(["a"], ["zz"]), Err(TableError::InvalidKey(_))));
+        assert!(matches!(Schema::with_key(["a", "b"], ["a", "a"]), Err(TableError::InvalidKey(_))));
     }
 
     #[test]

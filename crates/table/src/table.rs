@@ -269,10 +269,8 @@ impl Table {
                 return Err(TableError::ColumnIndexOutOfBounds { index: i, ncols: self.n_cols() });
             }
         }
-        let names: Vec<&str> = indices
-            .iter()
-            .map(|&i| self.schema.column_name(i).expect("checked above"))
-            .collect();
+        let names: Vec<&str> =
+            indices.iter().map(|&i| self.schema.column_name(i).expect("checked above")).collect();
         let surviving_key: Vec<&str> = self
             .schema
             .key()
@@ -282,18 +280,14 @@ impl Table {
             .collect();
         // Only keep the key if *all* key columns survive — a partial key is
         // not a key.
-        let keep_key = self.schema.has_key()
-            && surviving_key.len() == self.schema.key().len();
+        let keep_key = self.schema.has_key() && surviving_key.len() == self.schema.key().len();
         let schema = if keep_key {
             Schema::with_key(names.iter().copied(), surviving_key.iter().copied())?
         } else {
             Schema::new(names.iter().copied())?
         };
-        let rows: Vec<Vec<Value>> = self
-            .rows
-            .iter()
-            .map(|r| indices.iter().map(|&i| r[i].clone()).collect())
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            self.rows.iter().map(|r| indices.iter().map(|&i| r[i].clone()).collect()).collect();
         Table::from_rows(new_name, schema, rows)
     }
 
@@ -309,11 +303,8 @@ impl Table {
             .columns()
             .map(|c| other.schema.column_index(c).expect("checked contains"))
             .collect();
-        let other_rows: FxHashSet<Vec<&Value>> = other
-            .rows
-            .iter()
-            .map(|r| mapping.iter().map(|&j| &r[j]).collect())
-            .collect();
+        let other_rows: FxHashSet<Vec<&Value>> =
+            other.rows.iter().map(|r| mapping.iter().map(|&j| &r[j]).collect()).collect();
         self.rows.iter().all(|r| other_rows.contains(&r.iter().collect::<Vec<_>>()))
     }
 

@@ -109,9 +109,7 @@ impl PartialEq for Value {
             (Value::LabeledNull(a), Value::LabeledNull(b)) => a == b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_bits(*a) == Value::float_bits(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_bits(*a) == Value::float_bits(*b),
             // Ints and floats representing the same number compare equal so
             // that CSV round-trips (e.g. "3" vs "3.0") do not break value
             // overlap; data lakes are that messy.
@@ -280,12 +278,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_type_ranked() {
-        let mut vals = [Value::str("b"),
+        let mut vals = [
+            Value::str("b"),
             Value::Int(2),
             Value::Null,
             Value::Float(1.5),
             Value::Bool(true),
-            Value::LabeledNull(7)];
+            Value::LabeledNull(7),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::LabeledNull(7));

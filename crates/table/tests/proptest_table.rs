@@ -40,20 +40,13 @@ fn csv_value() -> impl Strategy<Value = Value> {
 
 fn small_table() -> impl Strategy<Value = Table> {
     (1usize..5).prop_flat_map(|ncols| {
-        proptest::collection::vec(
-            proptest::collection::vec(csv_value(), ncols),
-            0..8,
+        proptest::collection::vec(proptest::collection::vec(csv_value(), ncols), 0..8).prop_map(
+            move |rows| {
+                let cols: Vec<String> = (0..ncols).map(|i| format!("c{i}")).collect();
+                Table::build("t", &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(), &[], rows)
+                    .unwrap()
+            },
         )
-        .prop_map(move |rows| {
-            let cols: Vec<String> = (0..ncols).map(|i| format!("c{i}")).collect();
-            Table::build(
-                "t",
-                &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
-                &[],
-                rows,
-            )
-            .unwrap()
-        })
     })
 }
 
@@ -168,10 +161,7 @@ fn quoted_fields_round_trip() {
         "q",
         &["text"],
         &[],
-        vec![
-            vec![Value::str("hello, world")],
-            vec![Value::str("she said \"hi\"")],
-        ],
+        vec![vec![Value::str("hello, world")], vec![Value::str("she said \"hi\"")]],
     )
     .unwrap();
     let mut buf = Vec::new();

@@ -25,16 +25,19 @@ fn main() {
     let mut reclaimed = Vec::new();
     for name in &corpus.source_names {
         let source = lake.get_by_name(name).expect("base in corpus").clone();
-        let result = gen_t
-            .reclaim_excluding(&source, &lake, &[name.as_str()])
-            .expect("bases have keys");
+        let result =
+            gen_t.reclaim_excluding(&source, &lake, &[name.as_str()]).expect("bases have keys");
         if result.report.perfect && !result.reclaimed.is_empty() {
             reclaimed.push((name.clone(), result.originating.len()));
         }
     }
 
     println!("corpus: {} tables ({} sources audited)", lake.len(), corpus.source_names.len());
-    println!("ground truth: {} fragment-reclaimable, {} duplicated", corpus.reclaimable.len(), corpus.duplicates.len());
+    println!(
+        "ground truth: {} fragment-reclaimable, {} duplicated",
+        corpus.reclaimable.len(),
+        corpus.duplicates.len()
+    );
     println!("perfectly reclaimable from the rest of the lake:");
     for (name, n_orig) in &reclaimed {
         let kind = if corpus.reclaimable.contains(name) {
@@ -48,11 +51,8 @@ fn main() {
     }
     // Every ground-truth duplicate must be rediscovered; fragment cases
     // should mostly be (the corpus is adversarial by construction).
-    let dup_found = corpus
-        .duplicates
-        .iter()
-        .filter(|(a, _)| reclaimed.iter().any(|(n, _)| n == a))
-        .count();
+    let dup_found =
+        corpus.duplicates.iter().filter(|(a, _)| reclaimed.iter().any(|(n, _)| n == a)).count();
     println!("duplicates rediscovered: {dup_found}/{}", corpus.duplicates.len());
     assert!(dup_found >= corpus.duplicates.len() / 2);
 }

@@ -57,14 +57,7 @@ fn main() {
         "MS_US_Diversity_Report",
         &["company_name", "white", "asian", "black", "hispanic", "total_employees"],
         &[],
-        vec![vec![
-            Value::str("Microsoft"),
-            pct(49),
-            pct(35),
-            pct(6),
-            pct(7),
-            Value::Int(103_000),
-        ]],
+        vec![vec![Value::str("Microsoft"), pct(49), pct(35), pct(6), pct(7), Value::Int(103_000)]],
     )
     .expect("static schema");
     let gender = Table::build(
@@ -79,9 +72,8 @@ fn main() {
     .expect("static schema");
 
     let lake = DataLake::from_tables(vec![world_ethnicity, world_employees, us_report, gender]);
-    let result = GenT::new(GenTConfig::default())
-        .reclaim(&article, &lake)
-        .expect("article table has a key");
+    let result =
+        GenT::new(GenTConfig::default()).reclaim(&article, &lake).expect("article table has a key");
 
     println!("Reclaimed article table:\n{}", result.reclaimed);
     println!(

@@ -55,9 +55,7 @@ fn main() {
     println!("corporate lake alone: EIS = {:.3}", solo_corp.eis);
 
     // Across both lakes: round 2 embeds round 1's originating tables.
-    let out = gen_t
-        .reclaim_across(&source, &[&corporate, &public])
-        .expect("keyed source");
+    let out = gen_t.reclaim_across(&source, &[&corporate, &public]).expect("keyed source");
     for (i, r) in out.rounds.iter().enumerate() {
         println!(
             "round {i}: EIS = {:.3} (originating: {:?})",

@@ -54,15 +54,10 @@ fn main() {
     let lake = DataLake::from_tables(vec![ethnicity, headcount]);
 
     // Reclaim the claimed table, then verify.
-    let result = GenT::new(GenTConfig::default())
-        .reclaim(&claimed, &lake)
-        .expect("claimed table has a key");
-    let (verdict, explanation) = verify_table(
-        &claimed,
-        &result.reclaimed,
-        &result.originating,
-        &VerifyConfig::default(),
-    );
+    let result =
+        GenT::new(GenTConfig::default()).reclaim(&claimed, &lake).expect("claimed table has a key");
+    let (verdict, explanation) =
+        verify_table(&claimed, &result.reclaimed, &result.originating, &VerifyConfig::default());
 
     match &verdict {
         VerificationVerdict::Verified { coverage } => {

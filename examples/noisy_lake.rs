@@ -11,11 +11,7 @@ use gen_t::datagen::suite::{build, BenchmarkId, SuiteConfig};
 use gen_t::prelude::*;
 
 fn main() {
-    let cfg = SuiteConfig {
-        units: (40, 60, 90),
-        santos_noise_tables: 400,
-        ..Default::default()
-    };
+    let cfg = SuiteConfig { units: (40, 60, 90), santos_noise_tables: 400, ..Default::default() };
     let clean = build(BenchmarkId::TpTrSmall, &cfg);
     let noisy = build(BenchmarkId::SantosLargeTpTrMed, &cfg); // med + noise
 
@@ -46,11 +42,7 @@ fn main() {
         // generator plants *distractors* with overlapping vocabulary, so a
         // rare leak on small sources is genuine value overlap — but it
         // must stay rare.
-        leaked += r_noisy
-            .originating
-            .iter()
-            .filter(|t| t.name().starts_with("noise_"))
-            .count();
+        leaked += r_noisy.originating.iter().filter(|t| t.name().starts_with("noise_")).count();
     }
     println!(
         "avg EIS: clean {:.3} vs noisy {:.3}; distractors leaked into originating sets: {leaked}",

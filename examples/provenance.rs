@@ -45,9 +45,8 @@ fn main() {
     .expect("static schema");
 
     let lake = DataLake::from_tables(vec![us_report, world_report]);
-    let result = GenT::new(GenTConfig::default())
-        .reclaim(&source, &lake)
-        .expect("source has a key");
+    let result =
+        GenT::new(GenTConfig::default()).reclaim(&source, &lake).expect("source has a key");
 
     println!("Reclaimed:\n{}", result.reclaimed);
 
@@ -67,8 +66,5 @@ fn main() {
 
     // Google's Hispanic share could not be reclaimed (nullified).
     let google = &e.tuples[1];
-    println!(
-        "\nGoogle row status: {:?}; lake lacks {:?}",
-        google.status, google.nullified
-    );
+    println!("\nGoogle row status: {:?}; lake lacks {:?}", google.status, google.nullified);
 }

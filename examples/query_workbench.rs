@@ -27,10 +27,7 @@ fn main() {
         "region",
         &["r_key", "r_name"],
         &[],
-        vec![
-            vec![Value::Int(0), Value::str("east")],
-            vec![Value::Int(1), Value::str("west")],
-        ],
+        vec![vec![Value::Int(0), Value::str("east")], vec![Value::Int(1), Value::str("west")]],
     )
     .expect("static schema");
     let catalog = Catalog::from_tables(vec![nation.clone(), region.clone()]);
@@ -53,17 +50,16 @@ fn main() {
     let counts = rep.op_counts();
     println!(
         "rep ops:    {} σ, {} π, {} ⊎, {} β, {} κ",
-        counts.selections, counts.projections, counts.unions, counts.subsumptions,
+        counts.selections,
+        counts.projections,
+        counts.unions,
+        counts.subsumptions,
         counts.complementations
     );
 
     let direct = q.eval(&catalog).expect("valid plan");
     let via_rep = rep.eval(&catalog).expect("valid plan");
-    assert_eq!(
-        direct.row_set().len(),
-        via_rep.row_set().len(),
-        "Theorem 8 equivalence"
-    );
+    assert_eq!(direct.row_set().len(), via_rep.row_set().len(), "Theorem 8 equivalence");
     println!("\nquery result ({} rows):\n{direct}", direct.n_rows());
 
     // Use the query result as a Source Table and reclaim it from the lake
@@ -72,9 +68,8 @@ fn main() {
     source.set_name("S");
     assert!(ensure_key(&mut source), "query output has a key column");
     let lake = DataLake::from_tables(vec![nation, region]);
-    let result = GenT::new(GenTConfig::default())
-        .reclaim(&source, &lake)
-        .expect("source has a key");
+    let result =
+        GenT::new(GenTConfig::default()).reclaim(&source, &lake).expect("source has a key");
     println!("reclaimed with EIS = {:.3} (perfect = {})", result.eis, result.report.perfect);
     assert!(result.report.perfect);
 }

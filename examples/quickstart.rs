@@ -17,9 +17,27 @@ fn main() {
         &["ID", "Name", "Age", "Gender", "Education Level"],
         &["ID"],
         vec![
-            vec![Value::Int(0), Value::str("Smith"), Value::Int(27), Value::Null, Value::str("Bachelors")],
-            vec![Value::Int(1), Value::str("Brown"), Value::Int(24), Value::str("Male"), Value::str("Masters")],
-            vec![Value::Int(2), Value::str("Wang"), Value::Int(32), Value::str("Female"), Value::str("High School")],
+            vec![
+                Value::Int(0),
+                Value::str("Smith"),
+                Value::Int(27),
+                Value::Null,
+                Value::str("Bachelors"),
+            ],
+            vec![
+                Value::Int(1),
+                Value::str("Brown"),
+                Value::Int(24),
+                Value::str("Male"),
+                Value::str("Masters"),
+            ],
+            vec![
+                Value::Int(2),
+                Value::str("Wang"),
+                Value::Int(32),
+                Value::str("Female"),
+                Value::str("High School"),
+            ],
         ],
     )
     .expect("static schema");
@@ -65,9 +83,27 @@ fn main() {
         &["id", "name", "age", "gender", "education"],
         &[],
         vec![
-            vec![Value::Int(0), Value::str("Smith"), Value::Int(27), Value::Null, Value::str("Bachelors")],
-            vec![Value::Int(1), Value::str("Brown"), Value::Int(24), Value::str("Male"), Value::str("Masters")],
-            vec![Value::Int(2), Value::str("Wang"), Value::Int(32), Value::str("Female"), Value::Null],
+            vec![
+                Value::Int(0),
+                Value::str("Smith"),
+                Value::Int(27),
+                Value::Null,
+                Value::str("Bachelors"),
+            ],
+            vec![
+                Value::Int(1),
+                Value::str("Brown"),
+                Value::Int(24),
+                Value::str("Male"),
+                Value::str("Masters"),
+            ],
+            vec![
+                Value::Int(2),
+                Value::str("Wang"),
+                Value::Int(32),
+                Value::str("Female"),
+                Value::Null,
+            ],
         ],
     )
     .expect("static schema");

@@ -10,6 +10,16 @@
 //! reproduce the Source Table as closely as possible, and returns both the
 //! originating tables and the reclaimed table.
 //!
+//! The workspace is layered: [`table`] (values/schemas/tables + CSV and
+//! binary codecs) → [`ops`] (the operator algebra) → [`discovery`] (inverted
+//! value index, Set Similarity, MinHash/LSH) → [`core`] (matrices,
+//! traversal, integration — Gen-T itself), with [`metrics`], [`explain`],
+//! [`query`], [`datagen`], and [`baselines`] alongside. [`store`] adds the
+//! persistence layer: versioned lake snapshots (`*.gentlake`) that persist a
+//! lake *with* its discovery indexes, so long-lived lakes are ingested once
+//! and reopened at memory-copy speed (see `examples/persistent_lake.rs` and
+//! `gent lake build`).
+//!
 //! ```
 //! use gen_t::prelude::*;
 //!
@@ -41,6 +51,7 @@ pub use gent_explain as explain;
 pub use gent_metrics as metrics;
 pub use gent_ops as ops;
 pub use gent_query as query;
+pub use gent_store as store;
 pub use gent_table as table;
 
 /// Convenient single-import surface for examples and downstream users.

@@ -29,9 +29,27 @@ fn figure3_pipeline_is_perfect() {
         &["ID", "Name", "Age", "Gender", "Education Level"],
         &["ID"],
         vec![
-            vec![Value::Int(0), Value::str("Smith"), Value::Int(27), Value::Null, Value::str("Bachelors")],
-            vec![Value::Int(1), Value::str("Brown"), Value::Int(24), Value::str("Male"), Value::str("Masters")],
-            vec![Value::Int(2), Value::str("Wang"), Value::Int(32), Value::str("Female"), Value::str("High School")],
+            vec![
+                Value::Int(0),
+                Value::str("Smith"),
+                Value::Int(27),
+                Value::Null,
+                Value::str("Bachelors"),
+            ],
+            vec![
+                Value::Int(1),
+                Value::str("Brown"),
+                Value::Int(24),
+                Value::str("Male"),
+                Value::str("Masters"),
+            ],
+            vec![
+                Value::Int(2),
+                Value::str("Wang"),
+                Value::Int(32),
+                Value::str("Female"),
+                Value::str("High School"),
+            ],
         ],
     )
     .unwrap();
@@ -63,9 +81,27 @@ fn figure3_pipeline_is_perfect() {
             &["id", "nm", "age", "sex", "edu"],
             &[],
             vec![
-                vec![Value::Int(0), Value::str("Smith"), Value::Int(27), Value::Null, Value::str("Bachelors")],
-                vec![Value::Int(1), Value::str("Brown"), Value::Int(24), Value::str("Male"), Value::str("Masters")],
-                vec![Value::Int(2), Value::str("Wang"), Value::Int(32), Value::str("Female"), Value::Null],
+                vec![
+                    Value::Int(0),
+                    Value::str("Smith"),
+                    Value::Int(27),
+                    Value::Null,
+                    Value::str("Bachelors"),
+                ],
+                vec![
+                    Value::Int(1),
+                    Value::str("Brown"),
+                    Value::Int(24),
+                    Value::str("Male"),
+                    Value::str("Masters"),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::str("Wang"),
+                    Value::Int(32),
+                    Value::str("Female"),
+                    Value::Null,
+                ],
             ],
         )
         .unwrap(),
@@ -109,15 +145,11 @@ fn gen_t_beats_alite_ps_on_precision() {
     let mut alite_pre = 0.0;
     let mut n = 0.0;
     for case in bench.cases.iter().take(10) {
-        let candidates: Vec<Table> = gen_t::discovery::set_similarity(
-            &lake,
-            &case.source,
-            None,
-            &Default::default(),
-        )
-        .into_iter()
-        .map(|c| c.table)
-        .collect();
+        let candidates: Vec<Table> =
+            gen_t::discovery::set_similarity(&lake, &case.source, None, &Default::default())
+                .into_iter()
+                .map(|c| c.table)
+                .collect();
         if let Ok(out) = gen_t.reclaim(&case.source, &candidates, budget) {
             gent_pre += precision(&case.source, &out);
         }

@@ -21,9 +21,7 @@ fn explosive_tables() -> Vec<Table> {
     (0..3)
         .map(|t| {
             let cols = ["s".to_string(), format!("p{t}")];
-            let rows: Vec<Vec<Value>> = (0..20)
-                .map(|i| vec![v(1), v(100 * t + i)])
-                .collect();
+            let rows: Vec<Vec<Value>> = (0..20).map(|i| vec![v(1), v(100 * t + i)]).collect();
             Table::build(
                 &format!("explosive{t}"),
                 &cols.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
@@ -110,22 +108,16 @@ fn malformed_csvs_error_with_line_numbers() {
 fn keyless_source_is_rejected_loudly() {
     let s = Table::build("S", &["a", "b"], &[], vec![vec![v(1), v(2)]]).unwrap();
     let lake = DataLake::from_tables(vec![]);
-    assert_eq!(
-        GenT::default().reclaim(&s, &lake).unwrap_err(),
-        GentError::SourceHasNoKey
-    );
+    assert_eq!(GenT::default().reclaim(&s, &lake).unwrap_err(), GentError::SourceHasNoKey);
 }
 
 #[test]
 fn source_with_zero_rows_reclaims_trivially() {
     let s = Table::build("S", &["id", "x"], &["id"], vec![]).unwrap();
-    let lake = DataLake::from_tables(vec![Table::build(
-        "t",
-        &["id", "x"],
-        &[],
-        vec![vec![v(1), v(2)]],
-    )
-    .unwrap()]);
+    let lake =
+        DataLake::from_tables(vec![
+            Table::build("t", &["id", "x"], &[], vec![vec![v(1), v(2)]]).unwrap()
+        ]);
     let res = GenT::default().reclaim(&s, &lake).unwrap();
     assert_eq!(res.eis, 0.0); // no tuples to reclaim → vacuous zero, not a crash
 }

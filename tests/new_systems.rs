@@ -6,7 +6,9 @@
 use gen_t::discovery::{LshConfig, LshRetriever, TableRetriever};
 use gen_t::explain::{explain, verify_table, TupleStatus, VerificationVerdict, VerifyConfig};
 use gen_t::prelude::*;
-use gen_t::query::{rewrite, Catalog, Predicate, Query, QueryClass, QueryGenConfig, RandomQueryGen};
+use gen_t::query::{
+    rewrite, Catalog, Predicate, Query, QueryClass, QueryGenConfig, RandomQueryGen,
+};
 use gen_t::table::key::ensure_key;
 
 fn v(i: i64) -> Value {
@@ -19,28 +21,21 @@ fn base_catalog() -> Catalog {
         "nation",
         &["n_key", "n_name", "r_key"],
         &[],
-        (0..8)
-            .map(|i| vec![v(i), Value::str(format!("nation{i}")), v(i % 2)])
-            .collect(),
+        (0..8).map(|i| vec![v(i), Value::str(format!("nation{i}")), v(i % 2)]).collect(),
     )
     .unwrap();
     let region = Table::build(
         "region",
         &["r_key", "r_name"],
         &[],
-        vec![
-            vec![v(0), Value::str("east")],
-            vec![v(1), Value::str("west")],
-        ],
+        vec![vec![v(0), Value::str("east")], vec![v(1), Value::str("west")]],
     )
     .unwrap();
     let customer = Table::build(
         "customer",
         &["c_key", "n_key", "c_name"],
         &[],
-        (0..12)
-            .map(|i| vec![v(i), v(i % 8), Value::str(format!("cust{i}"))])
-            .collect(),
+        (0..12).map(|i| vec![v(i), v(i % 8), Value::str(format!("cust{i}"))]).collect(),
     )
     .unwrap();
     Catalog::from_tables(vec![nation, region, customer])
@@ -54,11 +49,7 @@ fn query_built_sources_are_reclaimable_from_their_base_tables() {
     let cat = base_catalog();
     let q = Query::scan("customer")
         .inner_join(Query::scan("nation"))
-        .select(Predicate::cmp(
-            "c_key",
-            gen_t::query::CmpOp::Le,
-            v(7),
-        ))
+        .select(Predicate::cmp("c_key", gen_t::query::CmpOp::Le, v(7)))
         .project(&["c_key", "c_name", "n_name"]);
     let mut source = q.eval(&cat).unwrap();
     source.set_name("S");
@@ -66,11 +57,7 @@ fn query_built_sources_are_reclaimable_from_their_base_tables() {
 
     let lake = DataLake::from_tables(cat.tables().cloned().collect());
     let res = GenT::new(GenTConfig::default()).reclaim(&source, &lake).unwrap();
-    assert!(
-        res.report.perfect,
-        "EIS {} reclaimed:\n{}",
-        res.eis, res.reclaimed
-    );
+    assert!(res.report.perfect, "EIS {} reclaimed:\n{}", res.eis, res.reclaimed);
 }
 
 /// The Theorem 8 rewriting of a benchmark-style query evaluates to the same
@@ -80,26 +67,17 @@ fn random_benchmark_queries_survive_rewriting() {
     let cat = base_catalog();
     let mut g = RandomQueryGen::new(&cat, QueryGenConfig::default(), 11);
     let mut checked = 0;
-    for class in [
-        QueryClass::ProjectSelectUnion,
-        QueryClass::OneJoin,
-    ] {
+    for class in [QueryClass::ProjectSelectUnion, QueryClass::OneJoin] {
         for _ in 0..3 {
             let Some(q) = g.generate(class) else { continue };
             let direct = q.eval(&cat).unwrap();
             let rep = rewrite(&q, &cat).unwrap();
             let via = rep.eval(&cat).unwrap();
             // Compare as row sets over the direct result's column order.
-            let map: Vec<usize> = direct
-                .schema()
-                .columns()
-                .map(|c| via.schema().column_index(c).unwrap())
-                .collect();
-            let via_rows: std::collections::HashSet<Vec<Value>> = via
-                .rows()
-                .iter()
-                .map(|r| map.iter().map(|&j| r[j].clone()).collect())
-                .collect();
+            let map: Vec<usize> =
+                direct.schema().columns().map(|c| via.schema().column_index(c).unwrap()).collect();
+            let via_rows: std::collections::HashSet<Vec<Value>> =
+                via.rows().iter().map(|r| map.iter().map(|&j| r[j].clone()).collect()).collect();
             let direct_rows: std::collections::HashSet<Vec<Value>> =
                 direct.rows().iter().cloned().collect();
             assert_eq!(via_rows, direct_rows, "query {q}");
@@ -117,9 +95,7 @@ fn lsh_first_stage_feeds_the_pipeline() {
         "S",
         &["id", "name", "score"],
         &["id"],
-        (0..30)
-            .map(|i| vec![v(i), Value::str(format!("item{i}")), v(i * 7)])
-            .collect(),
+        (0..30).map(|i| vec![v(i), Value::str(format!("item{i}")), v(i * 7)]).collect(),
     )
     .unwrap();
     let names = Table::build(
@@ -184,10 +160,7 @@ fn explanation_and_verification_agree_with_reclamation() {
         "frag",
         &["id", "name", "age"],
         &[],
-        vec![
-            vec![v(0), Value::str("Smith"), v(27)],
-            vec![v(1), Value::str("Brown"), v(24)],
-        ],
+        vec![vec![v(0), Value::str("Smith"), v(27)], vec![v(1), Value::str("Brown"), v(24)]],
     )
     .unwrap();
     let lake = DataLake::from_tables(vec![frag]);
@@ -200,12 +173,8 @@ fn explanation_and_verification_agree_with_reclamation() {
     // Provenance: the fragment supports Smith's and Brown's cells.
     assert!(e.provenance.n_supported() >= 4);
 
-    let (verdict, _) = verify_table(
-        &source,
-        &res.reclaimed,
-        &res.originating,
-        &VerifyConfig::default(),
-    );
+    let (verdict, _) =
+        verify_table(&source, &res.reclaimed, &res.originating, &VerifyConfig::default());
     match verdict {
         VerificationVerdict::PartiallyVerified { missing_tuples, .. } => {
             assert_eq!(missing_tuples, 1);
@@ -223,10 +192,7 @@ fn keyless_and_normalized_paths_compose() {
         "loud",
         &["id", "name"],
         &[],
-        vec![
-            vec![v(0), Value::str("ALPHA")],
-            vec![v(1), Value::str("BETA")],
-        ],
+        vec![vec![v(0), Value::str("ALPHA")], vec![v(1), Value::str("BETA")]],
     )
     .unwrap();
     let lake = DataLake::from_tables(vec![loud]);
@@ -235,10 +201,7 @@ fn keyless_and_normalized_paths_compose() {
         "S",
         &["id", "name"],
         &[],
-        vec![
-            vec![v(0), Value::str("alpha")],
-            vec![v(1), Value::str("beta")],
-        ],
+        vec![vec![v(0), Value::str("alpha")], vec![v(1), Value::str("beta")]],
     )
     .unwrap();
     // Normalise manually, then go through the keyless path.

@@ -44,7 +44,9 @@ fn oracle_eis(source: &Table, candidates: &[Table], cfg: &GenTConfig) -> (f64, u
 fn make_case(seed: u64, n_bad: usize) -> (Table, Vec<Table>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let rows: Vec<Vec<Value>> = (0..12)
-        .map(|i| vec![v(i), v(rng.gen_range(0..50)), v(rng.gen_range(0..50)), v(rng.gen_range(0..50))])
+        .map(|i| {
+            vec![v(i), v(rng.gen_range(0..50)), v(rng.gen_range(0..50)), v(rng.gen_range(0..50))]
+        })
         .collect();
     let source = Table::build("S", &["k", "a", "b", "c"], &["k"], rows.clone()).unwrap();
 
@@ -58,17 +60,20 @@ fn make_case(seed: u64, n_bad: usize) -> (Table, Vec<Table>) {
             .map(|(i, r)| {
                 r.iter()
                     .enumerate()
-                    .map(|(j, cell)| {
-                        if j != 0 && (i % 2 == vi) {
-                            Value::Null
-                        } else {
-                            cell.clone()
-                        }
-                    })
+                    .map(
+                        |(j, cell)| {
+                            if j != 0 && (i % 2 == vi) {
+                                Value::Null
+                            } else {
+                                cell.clone()
+                            }
+                        },
+                    )
                     .collect()
             })
             .collect();
-        candidates.push(Table::build(&format!("null{vi}"), &["k", "a", "b", "c"], &[], vrows).unwrap());
+        candidates
+            .push(Table::build(&format!("null{vi}"), &["k", "a", "b", "c"], &[], vrows).unwrap());
     }
     // Corrupted variants: wrong values in half the cells.
     for bi in 0..n_bad {
@@ -87,7 +92,8 @@ fn make_case(seed: u64, n_bad: usize) -> (Table, Vec<Table>) {
                     .collect()
             })
             .collect();
-        candidates.push(Table::build(&format!("bad{bi}"), &["k", "a", "b", "c"], &[], brows).unwrap());
+        candidates
+            .push(Table::build(&format!("bad{bi}"), &["k", "a", "b", "c"], &[], brows).unwrap());
     }
     (source, candidates)
 }
@@ -126,10 +132,7 @@ fn greedy_stays_within_five_percent_of_oracle_under_heavy_noise() {
         let ratio = if best > 0.0 { res.eis / best } else { 1.0 };
         worst_ratio = worst_ratio.min(ratio);
     }
-    assert!(
-        worst_ratio >= 0.95,
-        "greedy fell to {worst_ratio:.3} of the oracle"
-    );
+    assert!(worst_ratio >= 0.95, "greedy fell to {worst_ratio:.3} of the oracle");
 }
 
 #[test]

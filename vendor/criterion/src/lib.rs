@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The build image has no network access, so the workspace vendors the API
+//! slice its benches use: `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is simple
+//! wall-clock timing — warm up once, then run a capped number of timed
+//! iterations and report min/mean — rather than criterion's full statistical
+//! machinery. Good enough to compare cold vs. warm paths by an order of
+//! magnitude, which is all the workspace's benches assert.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the closure of `bench_function`; `iter` times the workload.
+pub struct Bencher {
+    /// Samples recorded by the most recent `iter` call.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then timed iterations until the sample
+    /// budget or the time budget (whichever first) is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let budget = Duration::from_millis(300);
+        let t_start = Instant::now();
+        self.samples.clear();
+        while self.samples.len() < 10 && t_start.elapsed() < budget {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its timing line.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b);
+        let (min, mean) = summarize(&b.samples);
+        println!(
+            "bench {:<40} min {:>12?}  mean {:>12?}  ({} samples)",
+            format!("{}/{}", self.name, id),
+            min,
+            mean,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// End the group (matches criterion's API; nothing to flush here).
+    pub fn finish(self) {}
+}
+
+fn summarize(samples: &[Duration]) -> (Duration, Duration) {
+    if samples.is_empty() {
+        return (Duration::ZERO, Duration::ZERO);
+    }
+    let min = samples.iter().min().copied().unwrap_or(Duration::ZERO);
+    let total: Duration = samples.iter().sum();
+    (min, total / samples.len() as u32)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+}
+
+/// Bundle bench functions under a group name, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        let mut runs = 0usize;
+        g.sample_size(10).bench_function(BenchmarkId::new("noop", 1), |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 2, "warm-up plus at least one timed run, got {runs}");
+    }
+}

@@ -1,0 +1,765 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build image has no network access, so the workspace vendors the API
+//! slice its property tests use: the [`Strategy`] trait (`prop_map`,
+//! `prop_flat_map`, `boxed`), range/tuple/`Just`/`prop_oneof!` strategies,
+//! `collection::vec`, `sample::subsequence`, `any::<T>()`, and the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberate for a dependency-free image:
+//! no shrinking (failures report the case number and seed instead of a
+//! minimised input), and generation is seeded deterministically per test
+//! (FNV of the test's module path + name), so failures reproduce exactly
+//! across runs.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! The deterministic RNG driving generation.
+
+    /// SplitMix64 generator seeded per test.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed deterministically from a test's fully qualified name.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        /// Next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Why a generated case did not count as a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — draw another case.
+    Reject,
+    /// `prop_assert!`-family failure — the property is violated.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Constructor used by upstream-style `map_err` call sites.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// Reject constructor, mirroring upstream.
+    pub fn reject(_reason: impl Into<String>) -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Filter generated values; rejected draws are retried (up to a cap,
+    /// then the last draw is kept to guarantee termination).
+    fn prop_filter<F>(self, _reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe view of [`Strategy`] used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..64 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        self.inner.generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy behind `any::<T>()` for primitive `T`.
+pub struct AnyPrimitive<T>(PhantomData<T>);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(PhantomData)
+    }
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(PhantomData)
+            }
+        }
+    )*};
+}
+
+any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// String-pattern strategies: upstream proptest treats `&str` as a regex
+/// generating matching strings. This shim supports the subset the workspace
+/// uses: a sequence of atoms, each a literal character (with `\` escapes) or
+/// a character class `[..]` with ranges, optionally followed by a `{lo,hi}`
+/// (or `{n}`) repetition.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Parse the regex subset into `(alphabet, min_reps, max_reps)` atoms.
+fn parse_pattern(pattern: &str) -> Vec<(Vec<char>, usize, usize)> {
+    let mut atoms: Vec<(Vec<char>, usize, usize)> = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let alphabet: Vec<char> = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    match it.next() {
+                        None => panic!("unterminated character class in `{pattern}`"),
+                        Some(']') => break,
+                        Some('\\') => {
+                            let e = it.next().expect("escape at end of pattern");
+                            class.push(e);
+                            prev = Some(e);
+                        }
+                        Some('-') if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                            let hi = it.next().expect("range end");
+                            let lo = prev.take().expect("range start");
+                            // `lo` is already in `class`; append the rest.
+                            class
+                                .extend(((lo as u32 + 1)..=(hi as u32)).filter_map(char::from_u32));
+                        }
+                        Some(ch) => {
+                            class.push(ch);
+                            prev = Some(ch);
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty character class in `{pattern}`");
+                class
+            }
+            '\\' => vec![it.next().expect("escape at end of pattern")],
+            '{' | '}' => panic!("repetition without preceding atom in `{pattern}`"),
+            lit => vec![lit],
+        };
+        let (lo, hi) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for r in it.by_ref() {
+                if r == '}' {
+                    break;
+                }
+                spec.push(r);
+            }
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().expect("repetition lower bound"),
+                    b.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "bad repetition {{{lo},{hi}}} in `{pattern}`");
+        atoms.push((alphabet, lo, hi));
+    }
+    atoms
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) {}
+}
+
+/// Size specification for collection strategies (`n`, `a..b`, or `a..=b`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeSpec {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl SizeSpec {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below(self.hi - self.lo + 1)
+    }
+}
+
+impl From<usize> for SizeSpec {
+    fn from(n: usize) -> Self {
+        SizeSpec { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeSpec {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeSpec { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeSpec {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeSpec { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{SizeSpec, Strategy, TestRng};
+
+    /// Strategy for vectors of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeSpec,
+    }
+
+    /// `vec(elem, size)` — a vector whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeSpec>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::{SizeSpec, Strategy, TestRng};
+
+    /// Strategy generating order-preserving subsequences of a base vector.
+    pub struct Subsequence<T> {
+        items: Vec<T>,
+        size: SizeSpec,
+    }
+
+    /// `subsequence(items, size)` — a random subset of `items`, in their
+    /// original order, with a size drawn from `size`.
+    pub fn subsequence<T: Clone>(items: Vec<T>, size: impl Into<SizeSpec>) -> Subsequence<T> {
+        let size = size.into();
+        assert!(
+            size.hi <= items.len(),
+            "subsequence size bound {} exceeds {} items",
+            size.hi,
+            items.len()
+        );
+        Subsequence { items, size }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.size.pick(rng);
+            // Partial Fisher–Yates over indices, then restore order.
+            let mut idx: Vec<usize> = (0..self.items.len()).collect();
+            for i in 0..n {
+                let j = i + rng.below(idx.len() - i);
+                idx.swap(i, j);
+            }
+            let mut chosen = idx[..n].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.items[i].clone()).collect()
+        }
+    }
+}
+
+pub mod strategy {
+    //! Combinator strategies referenced by macros.
+
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// Weighted choice among boxed strategies (`prop_oneof!`).
+    pub struct OneOf<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> OneOf<V> {
+        /// Build from `(weight, strategy)` arms.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            OneOf { arms, total }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights sum covered above")
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Weighted/unweighted choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            a,
+            b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($a),
+            stringify!($b),
+            a
+        );
+    }};
+}
+
+/// Discard the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests. Accepts the upstream form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0..10i64, (a, b) in pair()) { .. }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let strategies = ($($strat,)*);
+            let mut accepted: u32 = 0;
+            let mut rejected: u64 = 0;
+            let mut case_index: u64 = 0;
+            while accepted < cfg.cases {
+                case_index += 1;
+                let ($($arg,)*) = $crate::Strategy::generate(&strategies, &mut rng);
+                let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected < 4096 + 16 * cfg.cases as u64,
+                            "proptest: too many rejected cases ({rejected})"
+                        );
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case #{case_index} failed: {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<i64>> {
+        crate::collection::vec(0..5i64, 1..=4usize)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 2..9i64, y in 1..=3u8) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((1..=3).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (0..4usize, 10..20i64)) {
+            prop_assert!(a < 4);
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map(v in small_vec().prop_map(|mut v| { v.push(0); v })) {
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(*v.last().unwrap(), 0);
+        }
+
+        #[test]
+        fn oneof_weighted(x in prop_oneof![1 => Just(1i64), 3 => 10..20i64]) {
+            prop_assert!(x == 1 || (10..20).contains(&x));
+        }
+
+        #[test]
+        fn subsequence_keeps_order(s in crate::sample::subsequence((0..12i64).collect::<Vec<_>>(), 0..=6)) {
+            prop_assert!(s.len() <= 6);
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0..10i64) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn any_bool_generates_both(b in any::<bool>()) {
+            // Coverage of both branches is implied by 64 cases; just check
+            // the value is usable in a condition.
+            let seen = if b { 1 } else { 0 };
+            prop_assert!(seen <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failure_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0..10i64) {
+                prop_assert!(false, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}
