@@ -18,7 +18,11 @@
 //! * `verify` — the §VII generative-AI verification use case: a verdict of
 //!   `VERIFIED` / `PARTIALLY VERIFIED` / `CONTRADICTED` with cell counts,
 //! * `generate` — materialise one of the paper's benchmark lakes as CSVs
-//!   (lake tables plus a `sources/` directory of reclamation targets).
+//!   (lake tables plus a `sources/` directory of reclamation targets),
+//! * `lake build` / `lake stat` — persist a lake with its indexes as a
+//!   `*.gentlake` snapshot, and summarise one,
+//! * `serve` — open a snapshot warm and run the `gent-serve` HTTP daemon,
+//!   answering reclamation requests against the shared lake until killed.
 //!
 //! All command logic lives in [`run`] (writing to any `io::Write`) so the
 //! binary is testable without spawning processes.
@@ -56,11 +60,14 @@ USAGE:
   gent lake     build <lake-dir> --out snap.gentlake [--lsh] [--threads N]
                 build --suite tp-tr-small --out snap.gentlake [--seed 7] [--lsh]
                 stat  <snap.gentlake>
+  gent serve    --lake snap.gentlake [--addr 127.0.0.1:7744] [--threads N]
   gent help
 
 A lake snapshot (`lake build`) persists the tables together with the
 inverted value index and optional LSH bands; `reclaim --lake` and
-`lake stat` reopen it without rebuilding anything.
+`lake stat` reopen it without rebuilding anything, and `serve` keeps it
+open: a daemon answering POST /reclaim, GET /lake/stat and GET /healthz
+against the warm lake (JSON in, JSON out; see gent-serve).
 
 QUERY SYNTAX (SPJU):
   project(cols; q)  select(pred; q)  join(q, q)  leftjoin  fulljoin  cross
@@ -83,6 +90,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "query" => cmd_query(rest, out),
         "generate" => cmd_generate(rest, out),
         "lake" => cmd_lake(rest, out),
+        "serve" => cmd_serve(rest, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -418,6 +426,44 @@ fn cmd_lake_stat(args: &[String], out: &mut impl Write) -> Result<(), CliError> 
     )?;
     writeln!(out, "  size (bytes):   {}", s.file_bytes)?;
     Ok(())
+}
+
+/// `gent serve`: open one snapshot warm and answer reclamation requests
+/// against it until killed. The lake (tables + FrozenIndex + LSH bands) is
+/// opened exactly once and shared by every worker thread.
+fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use gent_serve::{LakeService, ServeConfig, Server};
+    use gent_store::{LakeSource, SnapshotFile};
+    use std::time::Instant;
+
+    let p = ParsedArgs::parse(args, &["lake", "addr", "threads"], &[])?;
+    let snap = PathBuf::from(
+        p.option("lake")
+            .ok_or_else(|| CliError::Usage("serve requires --lake <snapshot>".into()))?,
+    );
+
+    let t0 = Instant::now();
+    let loaded = SnapshotFile(snap.clone()).load_lake()?;
+    let open_time = t0.elapsed();
+
+    let cfg = ServeConfig {
+        addr: p.option("addr").unwrap_or("127.0.0.1:7744").to_string(),
+        threads: p.option_parse::<usize>("threads")?.unwrap_or(0),
+        ..ServeConfig::default()
+    };
+    let n_tables = loaded.lake.len();
+    let service = LakeService::new(loaded, GenTConfig::default(), snap.display().to_string());
+    let server = Server::bind(&cfg, service).map_err(CliError::Io)?;
+    writeln!(
+        out,
+        "serving {} ({} tables, opened warm in {:.3}s) on http://{}",
+        snap.display(),
+        n_tables,
+        open_time.as_secs_f64(),
+        server.local_addr()?
+    )?;
+    out.flush()?;
+    server.run().map_err(CliError::Io)
 }
 
 /// Make a table name filesystem-safe.

@@ -28,6 +28,7 @@ use crate::pipeline::{GenT, GentError, ReclamationResult};
 use gent_discovery::DataLake;
 use gent_table::key::ensure_key;
 use gent_table::{NormalizeConfig, Table, Value};
+use std::borrow::Cow;
 
 /// How the source's rows were aligned for a keyless reclamation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -175,15 +176,17 @@ impl GenT {
 }
 
 /// Ensure `source` carries key columns, returning the prepared table and the
-/// strategy used.
-fn prepare_key(source: &Table) -> (Table, KeyStrategy) {
+/// strategy used. A source with a valid declared key is borrowed, not
+/// cloned — the common serving case (every request carries an explicit key)
+/// must not copy the table just to hand it back unchanged.
+fn prepare_key(source: &Table) -> (Cow<'_, Table>, KeyStrategy) {
     if source.schema().has_key() && source.key_is_valid() {
-        return (source.clone(), KeyStrategy::Declared);
+        return (Cow::Borrowed(source), KeyStrategy::Declared);
     }
     let mut prepared = source.clone();
     if ensure_key(&mut prepared) {
         let names = prepared.schema().key_names().iter().map(|s| s.to_string()).collect();
-        return (prepared, KeyStrategy::Mined(names));
+        return (Cow::Owned(prepared), KeyStrategy::Mined(names));
     }
     // No true key: surrogate.
     let cols = most_selective_columns(source, 3);
@@ -192,7 +195,7 @@ fn prepare_key(source: &Table) -> (Table, KeyStrategy) {
         .map(|&c| source.schema().column_name(c).expect("in range").to_string())
         .collect();
     prepared.schema_mut().set_key(names.iter().map(|s| s.as_str())).expect("names valid");
-    (prepared, KeyStrategy::Surrogate(names))
+    (Cow::Owned(prepared), KeyStrategy::Surrogate(names))
 }
 
 #[cfg(test)]

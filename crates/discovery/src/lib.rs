@@ -24,6 +24,29 @@
 //! set-containment index (MinHash signatures, equi-depth set-size
 //! partitions, banded hashing; the paper's reference \[31\]) for lakes where
 //! exact indexing is too expensive. Both implement [`TableRetriever`].
+//!
+//! # Examples
+//!
+//! Build a lake, probe its inverted index, and run candidate discovery:
+//!
+//! ```
+//! use gent_discovery::{set_similarity, DataLake, SetSimilarityConfig};
+//! use gent_table::{Table, Value};
+//!
+//! let t = Table::build("people", &["id", "name"], &[],
+//!     vec![vec![Value::Int(1), Value::str("Smith")],
+//!          vec![Value::Int(2), Value::str("Brown")]]).unwrap();
+//! let lake = DataLake::from_tables(vec![t]);
+//!
+//! // The inverted index: every distinct value → its (table, column) postings.
+//! assert_eq!(lake.postings(&Value::str("Smith")).len(), 1);
+//!
+//! // Candidate discovery for a source table (Algorithms 3–4).
+//! let source = Table::build("S", &["id", "name"], &["id"],
+//!     vec![vec![Value::Int(1), Value::str("Smith")]]).unwrap();
+//! let candidates = set_similarity(&lake, &source, None, &SetSimilarityConfig::default());
+//! assert_eq!(candidates.len(), 1);
+//! ```
 
 #![warn(missing_docs)]
 

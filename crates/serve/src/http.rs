@@ -1,0 +1,333 @@
+//! A hand-rolled HTTP/1.1 layer over `std::net`.
+//!
+//! The daemon needs exactly enough HTTP to answer JSON requests from `curl`
+//! and the bundled client: request-line + headers + `Content-Length` body in,
+//! status + JSON body out, one request per connection (`Connection: close`).
+//! No chunked encoding, no keep-alive, no TLS — and no network crates, per
+//! the workspace's offline constraint.
+//!
+//! Every malformed input maps to a *structured* failure ([`HttpError`]) that
+//! the server turns into a 4xx JSON response; nothing a client sends can
+//! bring the daemon down.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Maximum accepted request-line + header bytes.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted body size (a reclamation source is a small table; a
+/// larger body is a mistake, not a workload).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The HTTP method, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// The request path (query strings are not used by the API and are kept
+    /// attached verbatim).
+    pub path: String,
+    /// Lower-cased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The bytes on the wire are not an HTTP/1.1 request.
+    Malformed(String),
+    /// The head or body exceeds the configured limits.
+    TooLarge(String),
+    /// The connection ended (or timed out) before `Content-Length` bytes of
+    /// body arrived.
+    Truncated {
+        /// Bytes promised by `Content-Length`.
+        expected: usize,
+        /// Bytes actually received.
+        got: usize,
+    },
+    /// The client stalled before finishing the request line or headers
+    /// (read timeout with no `Content-Length` in play yet).
+    Timeout,
+    /// An I/O failure on the socket.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Truncated { expected, got } => {
+                write!(f, "truncated body: Content-Length promised {expected} bytes, got {got}")
+            }
+            HttpError::Timeout => write!(f, "timed out waiting for the request head"),
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A `Read` adapter enforcing an *overall* deadline on a `TcpStream`.
+///
+/// A plain socket read timeout resets on every successful read, so a client
+/// trickling one byte per interval can hold a worker forever (slowloris).
+/// This wrapper gives the whole request a fixed time budget: each read gets
+/// only the time remaining, and an exhausted budget reads as `TimedOut`.
+pub struct DeadlineStream<'a> {
+    stream: &'a TcpStream,
+    deadline: Instant,
+}
+
+impl<'a> DeadlineStream<'a> {
+    /// Wrap `stream`, allowing `budget` for everything read through this
+    /// adapter.
+    pub fn new(stream: &'a TcpStream, budget: Duration) -> Self {
+        DeadlineStream { stream, deadline: Instant::now() + budget }
+    }
+}
+
+impl Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(std::io::Error::new(ErrorKind::TimedOut, "request deadline exhausted"));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        let mut inner = self.stream;
+        inner.read(buf)
+    }
+}
+
+/// Read one request from `stream` (any `Read`; in the daemon, a
+/// [`DeadlineStream`] over the `TcpStream`). A timeout mid-head surfaces as
+/// [`HttpError::Timeout`], mid-body as [`HttpError::Truncated`].
+pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
+    read_request_inner(stream, None)
+}
+
+/// Like [`read_request`], but answers `Expect: 100-continue` on `sink`
+/// before reading the body — without this, `curl -d` with a body over 1 KiB
+/// stalls ~1 s waiting for the interim response.
+pub fn read_request_answering_expect<R: Read>(
+    stream: R,
+    sink: &mut dyn Write,
+) -> Result<Request, HttpError> {
+    read_request_inner(stream, Some(sink))
+}
+
+fn read_request_inner<R: Read>(
+    stream: R,
+    continue_sink: Option<&mut dyn Write>,
+) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+
+    let request_line = read_line(&mut reader)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty() && m.bytes().all(|b| b.is_ascii_uppercase()))
+        .ok_or_else(|| HttpError::Malformed(format!("bad request line `{request_line}`")))?
+        .to_string();
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or_else(|| HttpError::Malformed(format!("bad request line `{request_line}`")))?
+        .to_string();
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        other => {
+            return Err(HttpError::Malformed(format!(
+                "expected an HTTP/1.x version, got `{}`",
+                other.unwrap_or("")
+            )))
+        }
+    }
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_line(&mut reader)?;
+        head_bytes += line.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!("headers exceed {MAX_HEAD_BYTES} bytes")));
+        }
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!("header line without `:`: `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{v}`")))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "Content-Length {content_length} exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    // `curl -d` sends `Expect: 100-continue` for bodies over 1 KiB and
+    // waits up to a second for the go-ahead before transmitting the body.
+    if content_length > 0 {
+        let expects_continue =
+            headers.iter().any(|(n, v)| n == "expect" && v.eq_ignore_ascii_case("100-continue"));
+        if expects_continue {
+            if let Some(sink) = continue_sink {
+                let _ =
+                    sink.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").and_then(|()| sink.flush());
+            }
+        }
+    }
+
+    // Grow the buffer as bytes actually arrive — never allocate the full
+    // Content-Length up front, or headers alone could pin 64 MiB per
+    // stalled connection.
+    let mut body = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    while body.len() < content_length {
+        let want = chunk.len().min(content_length - body.len());
+        match reader.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(HttpError::Truncated { expected: content_length, got: body.len() })
+            }
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::Truncated { expected: content_length, got: body.len() })
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+
+    Ok(Request { method, path, headers, body })
+}
+
+/// Read one CRLF- (or LF-) terminated line as UTF-8, without the terminator.
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::new();
+    loop {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!("header line exceeds {MAX_HEAD_BYTES} bytes")));
+        }
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Err(HttpError::Malformed("connection closed before request".into()));
+                }
+                return Err(HttpError::Malformed("connection closed mid-line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return String::from_utf8(buf)
+                        .map_err(|_| HttpError::Malformed("non-UTF-8 bytes in head".into()));
+                }
+                buf.push(byte[0]);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::Timeout)
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// A response ready to be written; the body is always JSON.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body text.
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 with the given JSON body.
+    pub fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+
+    /// The standard reason phrase for the status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            _ => "",
+        }
+    }
+
+    /// Serialize head + body to `out` (one request per connection, so the
+    /// response always closes).
+    pub fn write(&self, out: &mut impl Write) -> std::io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            self.reason(),
+            self.body.len()
+        )?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_line_strips_crlf() {
+        let mut c = Cursor::new(b"GET / HTTP/1.1\r\nrest".to_vec());
+        assert_eq!(read_line(&mut c).unwrap(), "GET / HTTP/1.1");
+    }
+
+    #[test]
+    fn response_serializes_with_content_length() {
+        let mut out = Vec::new();
+        Response::ok("{\"a\":1}".into()).write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn reason_phrases_cover_api_statuses() {
+        for (status, phrase) in
+            [(200, "OK"), (400, "Bad Request"), (404, "Not Found"), (405, "Method Not Allowed")]
+        {
+            assert_eq!(Response { status, body: String::new() }.reason(), phrase);
+        }
+    }
+}

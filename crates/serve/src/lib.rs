@@ -1,0 +1,73 @@
+//! # gent-serve — the `gent serve` warm-lake reclamation daemon
+//!
+//! The Gen-T pipeline is a batch algorithm, but the workloads it targets are
+//! not: a data lake is built once and queried by many source tables over a
+//! long lifetime. `gent-store` makes the lake *reopenable* in milliseconds
+//! (`*.gentlake` snapshots persist the inverted index in its serving layout
+//! plus the LSH bands); this crate makes it *servable* — a long-running
+//! daemon that opens one snapshot once and answers reclamation requests
+//! against the warm lake over HTTP:
+//!
+//! ```text
+//! gent lake build lake-dir/ --out lake.gentlake     # ingest + index once
+//! gent serve --lake lake.gentlake --addr 127.0.0.1:7744
+//! curl -s localhost:7744/healthz
+//! curl -s -X POST localhost:7744/reclaim -d '{"source": {...}}'
+//! ```
+//!
+//! Everything is built on `std::net` — the build image has no network
+//! crates, so the HTTP/1.1 layer ([`http`]) and the JSON codec ([`json`])
+//! are hand-rolled, and the worker pool ([`server`]) uses the vendored
+//! `crossbeam` scoped threads and `parking_lot` mutex.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Body | Answer |
+//! |---|---|---|
+//! | `GET /healthz` | — | liveness, uptime, request count |
+//! | `GET /lake/stat` | — | table/row/index counts of the warm lake |
+//! | `POST /reclaim` | `{"source": {...}}` or `{"source_name": "t"}` | metrics + reclaimed table + originating tables |
+//!
+//! Errors are structured: every 4xx/5xx body is
+//! `{"error": {"kind": "...", "message": "..."}}`, and no client input can
+//! kill the daemon (malformed HTTP, bad JSON, truncated bodies and panicking
+//! handlers all map to error responses).
+//!
+//! ## The sharing contract
+//!
+//! The daemon's whole point is that concurrent requests share one lake
+//! handle: [`service::LakeService`] owns the `DataLake` (and its
+//! `FrozenIndex` + LSH ensemble) exactly once, the server wraps it in an
+//! `Arc`, and request handlers *borrow* it — `GenT::reclaim` takes
+//! `&DataLake`, so serving N concurrent requests re-derives and copies
+//! nothing per request.
+//!
+//! # Examples
+//!
+//! Boot a daemon on an ephemeral port and query it:
+//!
+//! ```no_run
+//! use gent_serve::{LakeService, ServeConfig, Server};
+//! use gent_core::GenTConfig;
+//! use gent_store::{LakeSource, SnapshotFile};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let loaded = SnapshotFile("lake.gentlake".into()).load_lake()?;
+//! let service = LakeService::new(loaded, GenTConfig::default(), "lake.gentlake");
+//! let server = Server::bind(&ServeConfig::default(), service)?;
+//! println!("serving on http://{}", server.local_addr()?);
+//! server.run()?; // blocks until ServerHandle::stop
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod service;
+
+pub use http::{DeadlineStream, HttpError, Request, Response};
+pub use json::{Json, JsonError};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use service::{table_from_json, table_to_json, ApiError, LakeService};

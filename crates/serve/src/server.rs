@@ -1,0 +1,255 @@
+//! The TCP accept loop and worker thread pool.
+//!
+//! One `TcpListener`, N workers: the accept loop pushes connections into a
+//! *bounded* channel; workers pull from the shared receiver (guarded by a
+//! `parking_lot::Mutex`), read one request, answer it, and close. All
+//! workers borrow the same [`LakeService`] through an `Arc` — the warm lake
+//! is opened exactly once, no matter how many requests run concurrently.
+//!
+//! The bounded queue is the backpressure mechanism: when every worker is
+//! busy and [`QUEUE_DEPTH`] connections are already waiting, the accept
+//! loop blocks on `send`, the kernel's listen backlog fills, and further
+//! clients queue (or get refused) at the OS level instead of the daemon
+//! accumulating file descriptors without bound.
+//!
+//! The pool runs inside a `crossbeam::thread::scope`, so `run()` owns every
+//! worker and cannot leak threads; [`ServerHandle::stop`] unblocks the
+//! accept loop for a clean shutdown (used by tests and benches).
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::http::{read_request_answering_expect, DeadlineStream, Response};
+use crate::service::LakeService;
+
+/// Accepted-but-unserved connections held by the daemon before the accept
+/// loop blocks (per-connection cost: one fd + one `TcpStream`).
+pub const QUEUE_DEPTH: usize = 128;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads (0 → all available cores).
+    pub threads: usize,
+    /// Overall time budget for reading one request (head + body). A client
+    /// stalling — or trickling bytes to reset a naive per-read timeout —
+    /// gets a structured `timeout`/`truncated_body` error when the budget
+    /// runs out instead of pinning a worker.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7744".to_string(),
+            threads: 0,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    service: Arc<LakeService>,
+    threads: usize,
+    read_timeout: Duration,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// A handle that can stop a running [`Server`] from another thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// Ask the server to stop: the accept loop exits after the in-flight
+    /// requests finish. Idempotent.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `accept`; poke it awake.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Server {
+    /// Bind `cfg.addr` and prepare `service` for serving. The lake inside
+    /// `service` is shared — wrapped in an `Arc` here, borrowed by every
+    /// worker, never cloned per request.
+    pub fn bind(cfg: &ServeConfig, service: LakeService) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            cfg.threads
+        };
+        Ok(Server {
+            listener,
+            service: Arc::new(service),
+            threads: threads.max(1),
+            read_timeout: cfg.read_timeout,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop this server from another thread.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle { addr: self.local_addr()?, shutdown: Arc::clone(&self.shutdown) })
+    }
+
+    /// Serve until [`ServerHandle::stop`] is called. Blocks the calling
+    /// thread; connections are handled on the worker pool.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, service, threads, read_timeout, shutdown } = self;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(QUEUE_DEPTH);
+        let rx = Arc::new(Mutex::new(rx));
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = Arc::clone(&rx);
+                let service = Arc::clone(&service);
+                scope.spawn(move |_| loop {
+                    // Take the receiver lock only to pull the next job, so
+                    // idle workers queue on the channel, not on each other.
+                    let next = rx.lock().recv();
+                    match next {
+                        Ok(stream) => serve_connection(&service, stream, read_timeout),
+                        Err(_) => break, // accept loop gone: drain done
+                    }
+                });
+            }
+
+            for conn in listener.incoming() {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    // Transient accept errors (aborted handshakes) must not
+                    // kill the daemon.
+                    Err(e) if e.kind() == ErrorKind::ConnectionAborted => continue,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    // Persistent errors (e.g. EMFILE when the process is out
+                    // of fds) would otherwise busy-spin this loop at 100%
+                    // CPU; back off briefly so in-flight requests can finish
+                    // and release descriptors.
+                    Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+            // Dropping the sender ends every worker's recv loop.
+            drop(tx);
+        })
+        .expect("serve scope");
+        Ok(())
+    }
+}
+
+/// Handle one connection: read a request, answer it, close.
+fn serve_connection(service: &LakeService, stream: TcpStream, read_timeout: Duration) {
+    let _ = stream.set_write_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    // One overall deadline per request: a client trickling bytes cannot
+    // reset the clock and pin this worker (see `DeadlineStream`).
+    let reader = DeadlineStream::new(&stream, read_timeout);
+    let mut write_half = &stream;
+    let request = read_request_answering_expect(reader, &mut write_half);
+    let response: Response = service.respond(request);
+    // The client may already be gone; a failed write only loses its answer.
+    let _ = response.write(&mut (&stream));
+}
+
+/// Resolve `addr`, preferring IPv4 loopback results for predictability.
+fn resolve(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(ErrorKind::InvalidInput, format!("`{addr}` resolves to no address"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_core::GenTConfig;
+    use gent_store::{InMemory, LakeSource};
+    use gent_table::{Table, Value as V};
+    use std::io::{Read, Write};
+
+    fn test_server() -> Server {
+        let tables = vec![Table::build(
+            "t",
+            &["id", "v"],
+            &[],
+            vec![vec![V::Int(1), V::str("a")], vec![V::Int(2), V::str("b")]],
+        )
+        .unwrap()];
+        let loaded = InMemory::new(tables).load_lake().unwrap();
+        let service = LakeService::new(loaded, GenTConfig::default(), "unit test");
+        let cfg = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            read_timeout: Duration::from_millis(500),
+        };
+        Server::bind(&cfg, service).unwrap()
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        let status: u16 =
+            text.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+        let body = text.split("\r\n\r\n").nth(1).unwrap_or("").to_string();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_healthz_and_stops_cleanly() {
+        let server = test_server();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let runner = std::thread::spawn(move || server.run());
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200, "body: {body}");
+        assert!(body.contains("\"ok\""));
+
+        handle.stop();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_requests_all_answered() {
+        let server = test_server();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let runner = std::thread::spawn(move || server.run());
+
+        let fetches: Vec<_> =
+            (0..6).map(|_| std::thread::spawn(move || get(addr, "/lake/stat"))).collect();
+        for f in fetches {
+            let (status, body) = f.join().unwrap();
+            assert_eq!(status, 200, "body: {body}");
+        }
+
+        handle.stop();
+        runner.join().unwrap().unwrap();
+    }
+}

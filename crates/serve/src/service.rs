@@ -1,0 +1,514 @@
+//! Request routing and the reclamation service over one warm lake.
+//!
+//! A [`LakeService`] owns the lake exactly once — tables, inverted index
+//! (usually a `FrozenIndex` straight from a snapshot) and any LSH bands —
+//! and every request borrows it. Nothing is re-derived or cloned per
+//! request: the server wraps the service in an `Arc` and all worker threads
+//! reclaim against the same handle, which is what makes warm serving cheap
+//! (see `crates/bench/benches/serve_smoke.rs`).
+
+use std::borrow::Cow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use gent_core::{GenT, GenTConfig};
+use gent_discovery::{DataLake, LshEnsembleIndex};
+use gent_store::LoadedLake;
+use gent_table::key::ensure_key;
+use gent_table::Table;
+
+use crate::http::{HttpError, Request, Response};
+use crate::json::Json;
+
+/// An API failure: an HTTP status plus a machine-readable error kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status to answer with (always 4xx/5xx).
+    pub status: u16,
+    /// Stable, machine-readable kind (e.g. `unknown_table`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError { status, kind, message: message.into() }
+    }
+
+    /// Render as the wire-format error response.
+    pub fn to_response(&self) -> Response {
+        let body = Json::Object(vec![(
+            "error".into(),
+            Json::Object(vec![
+                ("kind".into(), Json::str(self.kind)),
+                ("message".into(), Json::str(self.message.clone())),
+            ]),
+        )]);
+        Response { status: self.status, body: body.render() }
+    }
+}
+
+/// The reclamation service: one warm lake, shared by every request.
+pub struct LakeService {
+    lake: DataLake,
+    /// Kept alive so the warm-started bands survive for the daemon's whole
+    /// life; retrieval warm starts reuse them instead of rehashing.
+    lsh: Option<LshEnsembleIndex>,
+    gen_t: GenT,
+    origin: String,
+    total_rows: u64,
+    total_cols: u64,
+    lsh_columns: u32,
+    started: Instant,
+    served: AtomicU64,
+}
+
+impl LakeService {
+    /// Build the service around an already-loaded lake (typically from
+    /// [`gent_store::SnapshotFile`]); `origin` describes where it came from
+    /// for `/lake/stat`.
+    pub fn new(loaded: LoadedLake, config: GenTConfig, origin: impl Into<String>) -> LakeService {
+        let total_rows = loaded.lake.tables().iter().map(|t| t.n_rows() as u64).sum();
+        let total_cols = loaded.lake.tables().iter().map(|t| t.n_cols() as u64).sum();
+        // Counted once here: `export()` rebuilds the full band export, far
+        // too heavy to run per `/lake/stat` request.
+        let lsh_columns = loaded.lsh.as_ref().map_or(0, |l| l.export().columns.len() as u32);
+        LakeService {
+            lake: loaded.lake,
+            lsh: loaded.lsh,
+            gen_t: GenT::new(config),
+            origin: origin.into(),
+            total_rows,
+            total_cols,
+            lsh_columns,
+            started: Instant::now(),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The warm-started LSH index carried by the snapshot, if any.
+    pub fn lsh(&self) -> Option<&LshEnsembleIndex> {
+        self.lsh.as_ref()
+    }
+
+    /// The shared lake (borrowed — the service owns the only copy).
+    pub fn lake(&self) -> &DataLake {
+        &self.lake
+    }
+
+    /// Requests answered so far.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Answer one connection's worth of input: either a parsed request or
+    /// the read error it failed with. Never panics outward — a panicking
+    /// handler answers 500 and the daemon lives on.
+    pub fn respond(&self, input: Result<Request, HttpError>) -> Response {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        let request = match input {
+            Ok(r) => r,
+            Err(e) => return read_error_response(&e),
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| self.route(&request)));
+        match result {
+            Ok(Ok(response)) => response,
+            Ok(Err(api)) => api.to_response(),
+            Err(_) => ApiError::new(
+                500,
+                "internal_error",
+                "request handler panicked; the lake is read-only and unaffected",
+            )
+            .to_response(),
+        }
+    }
+
+    fn route(&self, request: &Request) -> Result<Response, ApiError> {
+        let path = request.path.split('?').next().unwrap_or("");
+        match (request.method.as_str(), path) {
+            ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/lake/stat") => Ok(self.lake_stat()),
+            ("POST", "/reclaim") => self.reclaim(request),
+            (_, "/healthz" | "/lake/stat") => Err(ApiError::new(
+                405,
+                "bad_method",
+                format!("{} does not accept {}; use GET", path, request.method),
+            )),
+            (_, "/reclaim") => Err(ApiError::new(
+                405,
+                "bad_method",
+                format!("/reclaim does not accept {}; use POST", request.method),
+            )),
+            _ => Err(ApiError::new(404, "unknown_path", format!("no such endpoint `{path}`"))),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::ok(
+            Json::Object(vec![
+                ("status".into(), Json::str("ok")),
+                ("tables".into(), Json::Int(self.lake.len() as i64)),
+                ("uptime_secs".into(), Json::Float(self.started.elapsed().as_secs_f64())),
+                ("requests_served".into(), Json::Int(self.requests_served() as i64)),
+            ])
+            .render(),
+        )
+    }
+
+    fn lake_stat(&self) -> Response {
+        Response::ok(
+            Json::Object(vec![
+                ("origin".into(), Json::str(self.origin.clone())),
+                ("tables".into(), Json::Int(self.lake.len() as i64)),
+                ("rows".into(), Json::Int(self.total_rows as i64)),
+                ("columns".into(), Json::Int(self.total_cols as i64)),
+                ("index_values".into(), Json::Int(self.lake.index_len() as i64)),
+                ("lsh_columns".into(), Json::Int(self.lsh_columns as i64)),
+            ])
+            .render(),
+        )
+    }
+
+    fn reclaim(&self, request: &Request) -> Result<Response, ApiError> {
+        let text = std::str::from_utf8(&request.body)
+            .map_err(|_| ApiError::new(400, "bad_json", "request body is not UTF-8"))?;
+        let body = Json::parse(text)
+            .map_err(|e| ApiError::new(400, "bad_json", format!("request body: {e}")))?;
+        let source = self.parse_source(&body)?;
+
+        let result = self
+            .gen_t
+            .reclaim(&source, &self.lake)
+            .map_err(|e| ApiError::new(422, "pipeline", e.to_string()))?;
+
+        let originating: Vec<Json> = result
+            .originating
+            .iter()
+            .map(|t| {
+                Json::Object(vec![
+                    ("name".into(), Json::str(t.name())),
+                    ("rows".into(), Json::Int(t.n_rows() as i64)),
+                    ("columns".into(), Json::Int(t.n_cols() as i64)),
+                ])
+            })
+            .collect();
+        let response = Json::Object(vec![
+            ("source".into(), Json::str(source.name())),
+            (
+                "metrics".into(),
+                Json::Object(vec![
+                    ("eis".into(), Json::Float(result.eis)),
+                    ("recall".into(), Json::Float(result.report.recall)),
+                    ("precision".into(), Json::Float(result.report.precision)),
+                    ("f1".into(), Json::Float(result.report.f1)),
+                    ("inst_div".into(), Json::Float(result.report.inst_div)),
+                    ("perfect".into(), Json::Bool(result.report.perfect)),
+                ]),
+            ),
+            ("candidates_considered".into(), Json::Int(result.candidates_considered as i64)),
+            ("originating".into(), Json::Array(originating)),
+            ("reclaimed".into(), table_to_json(&result.reclaimed)),
+        ]);
+        Ok(Response::ok(response.render()))
+    }
+
+    /// Build the source table from the request body: either an inline
+    /// `"source"` object or a `"source_name"` naming a lake table. A lake
+    /// table is *borrowed* from the warm lake; it is cloned only when the
+    /// request forces a schema change (a `key` override, or key mining) —
+    /// no per-request table copy on the already-keyed path.
+    fn parse_source(&self, body: &Json) -> Result<Cow<'_, Table>, ApiError> {
+        let mut source: Cow<'_, Table> = match (body.get("source"), body.get("source_name")) {
+            (Some(inline), None) => Cow::Owned(table_from_json(inline)?),
+            (None, Some(name)) => {
+                let name = name.as_str().ok_or_else(|| {
+                    ApiError::new(400, "bad_json", "`source_name` must be a string")
+                })?;
+                Cow::Borrowed(self.lake.get_by_name(name).ok_or_else(|| {
+                    ApiError::new(404, "unknown_table", format!("lake has no table named `{name}`"))
+                })?)
+            }
+            (Some(_), Some(_)) => {
+                return Err(ApiError::new(
+                    400,
+                    "bad_json",
+                    "pass either `source` or `source_name`, not both",
+                ))
+            }
+            (None, None) => {
+                return Err(ApiError::new(
+                    400,
+                    "bad_json",
+                    "body must carry `source` (inline table) or `source_name` (lake table)",
+                ))
+            }
+        };
+        if let Some(key) = body.get("key") {
+            let cols = string_array(key).ok_or_else(|| {
+                ApiError::new(400, "bad_json", "`key` must be an array of column names")
+            })?;
+            source
+                .to_mut()
+                .schema_mut()
+                .set_key(cols.iter().map(|s| s.as_str()))
+                .map_err(|e| ApiError::new(422, "bad_key", e.to_string()))?;
+        } else if !source.schema().has_key() && !ensure_key(source.to_mut()) {
+            return Err(ApiError::new(
+                422,
+                "no_key",
+                "no key column could be mined from the source; pass one in `key`",
+            ));
+        }
+        Ok(source)
+    }
+}
+
+fn read_error_response(e: &HttpError) -> Response {
+    let (status, kind) = match e {
+        HttpError::Malformed(_) => (400, "malformed_request"),
+        HttpError::TooLarge(_) => (413, "too_large"),
+        HttpError::Truncated { .. } => (400, "truncated_body"),
+        HttpError::Timeout => (408, "timeout"),
+        HttpError::Io(_) => (400, "io"),
+    };
+    ApiError::new(status, kind, e.to_string()).to_response()
+}
+
+/// Serialize a table for the wire.
+pub fn table_to_json(t: &Table) -> Json {
+    let columns: Vec<Json> = t.schema().columns().map(Json::str).collect();
+    let key: Vec<Json> = t.schema().key_names().into_iter().map(Json::str).collect();
+    let rows: Vec<Json> =
+        t.rows().iter().map(|r| Json::Array(r.iter().map(Json::from_value).collect())).collect();
+    Json::Object(vec![
+        ("name".into(), Json::str(t.name())),
+        ("columns".into(), Json::Array(columns)),
+        ("key".into(), Json::Array(key)),
+        ("rows".into(), Json::Array(rows)),
+    ])
+}
+
+/// Deserialize an inline source table: `{"name"?, "columns", "key"?,
+/// "rows"}` with scalar cells.
+pub fn table_from_json(v: &Json) -> Result<Table, ApiError> {
+    let bad = |m: String| ApiError::new(400, "bad_json", m);
+    let name = match v.get("name") {
+        None => "source",
+        Some(n) => n.as_str().ok_or_else(|| bad("`source.name` must be a string".into()))?,
+    };
+    let columns = v
+        .get("columns")
+        .and_then(string_array)
+        .ok_or_else(|| bad("`source.columns` must be an array of strings".into()))?;
+    let rows_json = v
+        .get("rows")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("`source.rows` must be an array of rows".into()))?;
+    let mut rows = Vec::with_capacity(rows_json.len());
+    for (i, row) in rows_json.iter().enumerate() {
+        let cells =
+            row.as_array().ok_or_else(|| bad(format!("`source.rows[{i}]` must be an array")))?;
+        let mut out = Vec::with_capacity(cells.len());
+        for cell in cells {
+            out.push(cell.to_value().map_err(|m| bad(format!("`source.rows[{i}]`: {m}")))?);
+        }
+        rows.push(out);
+    }
+    let key = match v.get("key") {
+        None => Vec::new(),
+        Some(k) => {
+            string_array(k).ok_or_else(|| bad("`source.key` must be an array of strings".into()))?
+        }
+    };
+    let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+    Table::build(name, &columns, &key_refs, rows)
+        .map_err(|e| ApiError::new(422, "bad_source", e.to_string()))
+}
+
+fn string_array(v: &Json) -> Option<Vec<String>> {
+    v.as_array()?.iter().map(|s| s.as_str().map(str::to_string)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_store::{InMemory, LakeSource};
+    use gent_table::Value as V;
+
+    fn service() -> LakeService {
+        let tables = vec![
+            Table::build(
+                "people",
+                &["id", "name", "age"],
+                &[],
+                vec![
+                    vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                    vec![V::Int(1), V::str("Brown"), V::Int(24)],
+                ],
+            )
+            .unwrap(),
+            Table::build(
+                "ids",
+                &["id", "name"],
+                &[],
+                vec![vec![V::Int(0), V::str("Smith")], vec![V::Int(1), V::str("Brown")]],
+            )
+            .unwrap(),
+        ];
+        let loaded = InMemory::new(tables).load_lake().unwrap();
+        LakeService::new(loaded, GenTConfig::default(), "test lake")
+    }
+
+    fn post(body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: "/reclaim".into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn healthz_reports_ok() {
+        let s = service();
+        let r = s.respond(Ok(Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            headers: vec![],
+            body: vec![],
+        }));
+        assert_eq!(r.status, 200);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(v.get("tables").and_then(Json::as_i64), Some(2));
+    }
+
+    #[test]
+    fn lake_stat_reports_counts() {
+        let s = service();
+        let r = s.respond(Ok(Request {
+            method: "GET".into(),
+            path: "/lake/stat".into(),
+            headers: vec![],
+            body: vec![],
+        }));
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("tables").and_then(Json::as_i64), Some(2));
+        assert_eq!(v.get("rows").and_then(Json::as_i64), Some(4));
+        assert!(v.get("index_values").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn reclaim_inline_source_round_trips() {
+        let s = service();
+        let body = r#"{"source": {"name": "S", "columns": ["id", "name", "age"],
+            "key": ["id"],
+            "rows": [[0, "Smith", 27], [1, "Brown", 24]]}}"#;
+        let r = s.respond(Ok(post(body)));
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        let eis = v.get("metrics").unwrap().get("eis").and_then(Json::as_f64).unwrap();
+        assert!(eis > 0.99, "eis {eis}");
+        let reclaimed = v.get("reclaimed").unwrap();
+        assert_eq!(reclaimed.get("columns").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(reclaimed.get("rows").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reclaim_by_lake_name() {
+        let s = service();
+        let r = s.respond(Ok(post(r#"{"source_name": "ids", "key": ["id"]}"#)));
+        assert_eq!(r.status, 200, "body: {}", r.body);
+    }
+
+    #[test]
+    fn unknown_table_is_404() {
+        let s = service();
+        let r = s.respond(Ok(post(r#"{"source_name": "nope"}"#)));
+        assert_eq!(r.status, 404);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("unknown_table")
+        );
+    }
+
+    #[test]
+    fn bad_json_is_400() {
+        let s = service();
+        let r = s.respond(Ok(post("{not json")));
+        assert_eq!(r.status, 400);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(v.get("error").unwrap().get("kind").and_then(Json::as_str), Some("bad_json"));
+    }
+
+    #[test]
+    fn wrong_method_is_405_and_unknown_path_404() {
+        let s = service();
+        let get_reclaim = Request {
+            method: "GET".into(),
+            path: "/reclaim".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(s.respond(Ok(get_reclaim)).status, 405);
+        let nowhere = Request {
+            method: "GET".into(),
+            path: "/nowhere".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(s.respond(Ok(nowhere)).status, 404);
+    }
+
+    #[test]
+    fn read_errors_map_to_structured_responses() {
+        let s = service();
+        let r = s.respond(Err(HttpError::Truncated { expected: 10, got: 3 }));
+        assert_eq!(r.status, 400);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("truncated_body")
+        );
+        assert_eq!(s.respond(Err(HttpError::TooLarge("x".into()))).status, 413);
+        assert_eq!(s.respond(Err(HttpError::Timeout)).status, 408);
+    }
+
+    /// A `source_name` request with no `key` override against an
+    /// already-keyed lake table must borrow it, not clone it.
+    #[test]
+    fn keyed_lake_source_is_borrowed() {
+        let keyed = Table::build(
+            "keyed",
+            &["id", "v"],
+            &["id"],
+            vec![vec![V::Int(1), V::str("a")], vec![V::Int(2), V::str("b")]],
+        )
+        .unwrap();
+        assert!(keyed.key_is_valid());
+        let loaded = InMemory::new(vec![keyed.clone()]).load_lake().unwrap();
+        let s = LakeService::new(loaded, GenTConfig::default(), "borrow test");
+        let body = Json::parse(r#"{"source_name": "keyed"}"#).unwrap();
+        let source = s.parse_source(&body).unwrap();
+        assert!(
+            matches!(source, std::borrow::Cow::Borrowed(_)),
+            "already-keyed lake table must not be cloned per request"
+        );
+        // A key override forces the (correct) copy-on-write.
+        let body = Json::parse(r#"{"source_name": "keyed", "key": ["v"]}"#).unwrap();
+        let source = s.parse_source(&body).unwrap();
+        assert!(matches!(source, std::borrow::Cow::Owned(_)));
+    }
+
+    #[test]
+    fn request_counter_increments() {
+        let s = service();
+        assert_eq!(s.requests_served(), 0);
+        s.respond(Ok(post("{}")));
+        s.respond(Err(HttpError::Malformed("x".into())));
+        assert_eq!(s.requests_served(), 2);
+    }
+}

@@ -1,18 +1,29 @@
 //! The on-disk snapshot container format.
 //!
+//! This module owns the fixed header; the full byte-level specification —
+//! section layouts, column tags, the canonical value encoding, evolution
+//! rules — lives in `docs/gentlake-format.md` and must be updated in the
+//! same change as any codec edit. The 10,000-foot view (all integers
+//! little-endian, no padding between sections):
+//!
 //! ```text
 //! file    := header | body | fold64(header‖body) u64
 //! header  := MAGIC "GENTLAKE" (8) | version u16 | flags u16
 //!          | n_tables u32 | total_rows u64 | total_cols u64
 //!          | n_index_entries u64 | n_lsh_columns u32 | reserved u32
+//!          (48 bytes total — `HEADER_LEN`)
 //! body    := strtab | tables | index | [lsh]   (lsh iff flags bit 0)
 //! strtab  := deduplicated strings shared by all tables
 //!            (gent_table::binary::StringTableBuilder)
 //! tables  := columnar table payload × n_tables
-//!            (gent_table::binary::encode_table_columnar)
+//!            (gent_table::binary::encode_table_columnar: per-column tag,
+//!            packed int/float payloads behind presence bitmaps, u32
+//!            string-table ids, tagged cells only for mixed columns)
 //! index   := the FrozenIndex arrays, verbatim: buckets u32[], hashes
-//!            u64[], value_offsets u32[], blob bytes, posting_offsets
-//!            u32[], arena (u32[] tables ‖ u16[] columns)
+//!            u64[], value_offsets u32[], blob_len u64 + blob bytes,
+//!            posting_offsets u32[], arena (u32[] tables ‖ u16[] columns)
+//!            — entries sorted by canonical key bytes, so equal lakes
+//!            produce byte-identical snapshots
 //! lsh     := cfg | columns (bulk signature slots) | partitions
 //! ```
 //!
@@ -24,6 +35,13 @@
 //! reuses the little-endian primitives of [`gent_table::binary`]; the single
 //! trailing checksum covers header and body, so any bit flip anywhere in the
 //! file is detected at open time.
+//!
+//! Evolvability contract (see `docs/gentlake-format.md` for the details):
+//! readers hard-reject unknown versions and must reject unknown `flags`
+//! bits rather than skip bytes (sections are not length-framed); new
+//! optional sections claim the next flag bit and append after `index`;
+//! `reserved` grows the header only for zero-defaulting fields; and counts
+//! that size allocations are always validated against the bytes remaining.
 
 use crate::error::StoreError;
 use gent_table::binary::{BinReader, BinWriter};
@@ -36,6 +54,11 @@ pub const SNAPSHOT_FORMAT_VERSION: u16 = 1;
 
 /// Header flag: the snapshot carries a serialized LSH Ensemble index.
 pub const FLAG_HAS_LSH: u16 = 1 << 0;
+
+/// All flag bits this build understands. Unknown bits are rejected at
+/// decode time: sections are not length-framed, so a reader that cannot
+/// parse a section cannot skip it either (see `docs/gentlake-format.md`).
+pub const KNOWN_FLAGS: u16 = FLAG_HAS_LSH;
 
 /// Byte length of the fixed header.
 pub const HEADER_LEN: usize = 8 + 2 + 2 + 4 + 8 + 8 + 8 + 4 + 4;
@@ -102,6 +125,12 @@ impl SnapshotHeader {
             return Err(StoreError::Version { found: version, supported: SNAPSHOT_FORMAT_VERSION });
         }
         let flags = r.get_u16().expect("length checked");
+        if flags & !KNOWN_FLAGS != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "unknown feature flags {:#06x}: snapshot uses sections this build cannot parse",
+                flags & !KNOWN_FLAGS
+            )));
+        }
         let n_tables = r.get_u32().expect("length checked");
         let total_rows = r.get_u64().expect("length checked");
         let total_cols = r.get_u64().expect("length checked");
@@ -167,5 +196,17 @@ mod tests {
     #[test]
     fn short_file_rejected() {
         assert!(matches!(SnapshotHeader::decode(b"GENT"), Err(StoreError::Corrupt(_))));
+    }
+
+    /// Sections are not length-framed, so a reader must refuse flags it
+    /// does not implement instead of trying to skip their sections.
+    #[test]
+    fn unknown_flags_rejected() {
+        let mut h = sample();
+        h.flags |= 1 << 7;
+        let mut w = BinWriter::new();
+        h.encode(&mut w);
+        let err = SnapshotHeader::decode(w.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown feature flags"), "{err}");
     }
 }

@@ -47,6 +47,20 @@ pub struct IngestedLake {
 
 /// Build a [`DataLake`] (and optionally an LSH index) from `tables`,
 /// parallelising the per-table value scans across scoped threads.
+///
+/// # Examples
+///
+/// ```
+/// use gent_store::{ingest_tables, IngestOptions};
+/// use gent_table::{Table, Value};
+///
+/// let tables = vec![
+///     Table::build("t", &["x"], &[], vec![vec![Value::Int(1)]]).unwrap(),
+/// ];
+/// let ingested = ingest_tables(tables, &IngestOptions { threads: 2, lsh: None });
+/// assert_eq!(ingested.lake.len(), 1);
+/// assert_eq!(ingested.lake.postings(&Value::Int(1)).len(), 1);
+/// ```
 pub fn ingest_tables(mut tables: Vec<Table>, opts: &IngestOptions) -> IngestedLake {
     // Uniquify names up front, exactly as sequential `push_table` would:
     // first claimant keeps the name, later ones get the first free `#k`.

@@ -18,7 +18,7 @@
 //! * [`source`] — the [`LakeSource`] trait with [`InMemory`] (cold) and
 //!   [`SnapshotFile`] (warm) implementations, so pipelines can take
 //!   "a lake from wherever" without caring which;
-//! * [`format`] — the container header shared by save/load/stat.
+//! * [`mod@format`] — the container header shared by save/load/stat.
 //!
 //! The codec primitives live in [`gent_table::binary`]; this crate owns the
 //! container layout and the discovery warm-start wiring
@@ -53,6 +53,15 @@ pub use source::{InMemory, LakeSource, SnapshotFile};
 
 /// Convenience: open just the [`gent_discovery::DataLake`] from a snapshot,
 /// discarding any stored LSH index.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn main() -> Result<(), gent_store::StoreError> {
+/// let lake = gent_store::open_lake("lake.gentlake".as_ref())?;
+/// println!("{} tables, {} indexed values", lake.len(), lake.index_len());
+/// # Ok(()) }
+/// ```
 pub fn open_lake(path: &std::path::Path) -> Result<gent_discovery::DataLake, StoreError> {
     Ok(snapshot::load(path)?.lake)
 }

@@ -50,6 +50,20 @@ pub struct SnapshotStat {
 /// The write is atomic: bytes are assembled in memory, written to a
 /// temporary sibling file, and renamed over `path`, so a crash mid-save can
 /// neither leave a half-written snapshot nor destroy the previous one.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gent_discovery::DataLake;
+/// use gent_store::snapshot;
+/// # fn main() -> Result<(), gent_store::StoreError> {
+/// # let tables = vec![];
+/// let lake = DataLake::from_tables(tables);
+/// snapshot::save("lake.gentlake".as_ref(), &lake, None)?;
+/// let reopened = snapshot::load("lake.gentlake".as_ref())?;
+/// assert_eq!(reopened.lake.len(), lake.len());
+/// # Ok(()) }
+/// ```
 pub fn save(
     path: &Path,
     lake: &DataLake,

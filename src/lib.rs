@@ -18,7 +18,9 @@
 //! persistence layer: versioned lake snapshots (`*.gentlake`) that persist a
 //! lake *with* its discovery indexes, so long-lived lakes are ingested once
 //! and reopened at memory-copy speed (see `examples/persistent_lake.rs` and
-//! `gent lake build`).
+//! `gent lake build`). [`serve`] turns a snapshot into a long-running
+//! reclamation daemon: `gent serve` opens one warm lake and answers
+//! `POST /reclaim` requests over HTTP (see `examples/serve_client.rs`).
 //!
 //! ```
 //! use gen_t::prelude::*;
@@ -51,6 +53,7 @@ pub use gent_explain as explain;
 pub use gent_metrics as metrics;
 pub use gent_ops as ops;
 pub use gent_query as query;
+pub use gent_serve as serve;
 pub use gent_store as store;
 pub use gent_table as table;
 

@@ -1,0 +1,138 @@
+//! End-to-end test of the `gent serve` daemon: boot it on an ephemeral
+//! port over a real snapshot, fire concurrent `POST /reclaim` requests at
+//! it, and require the answers to be *byte-for-byte identical* to the
+//! one-shot `gent reclaim --lake` CLI path over the same snapshot.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use gen_t::core::GenTConfig;
+use gen_t::serve::{Json, LakeService, ServeConfig, Server};
+use gen_t::store::{LakeSource, SnapshotFile};
+use gen_t::table::{csv, key::ensure_key};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gent-serve-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// Run the `gent` CLI in-process, returning its stdout.
+fn cli(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    gent_cli::run(&args, &mut out).expect("cli run");
+    String::from_utf8(out).expect("utf8 cli output")
+}
+
+/// One raw HTTP request over a fresh connection; returns (status, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut text = String::new();
+    s.read_to_string(&mut text).expect("read response");
+    let status: u16 =
+        text.split_whitespace().nth(1).and_then(|t| t.parse().ok()).expect("status line");
+    let payload = text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, payload)
+}
+
+#[test]
+fn daemon_matches_one_shot_cli_byte_for_byte() {
+    // ── Build one snapshot both paths will use. ─────────────────────────
+    let gen_dir = scratch("suite");
+    cli(&["generate", gen_dir.to_str().unwrap(), "--benchmark", "tp-tr-small", "--seed", "7"]);
+    let lake_dir = gen_dir.join("lake");
+    let snap = scratch("lake.gentlake");
+    cli(&["lake", "build", lake_dir.to_str().unwrap(), "--out", snap.to_str().unwrap()]);
+
+    // The source: the first generated reclamation case, with the key the
+    // CLI would mine — pinned explicitly so both paths align identically.
+    let src_csv = gen_dir.join("sources").join("S1.csv");
+    assert!(src_csv.is_file(), "generated suite must include sources/S1.csv");
+    let mut source = csv::read_csv_file(&src_csv).expect("read source csv");
+    assert!(ensure_key(&mut source), "a key must be minable from the generated source");
+    let key_names: Vec<String> =
+        source.schema().key_names().iter().map(|s| s.to_string()).collect();
+    let key_spec = key_names.join(",");
+
+    // ── One-shot CLI path: reclaim --lake, write the reclaimed CSV. ─────
+    let cli_out = scratch("cli-reclaimed.csv");
+    let stdout = cli(&[
+        "reclaim",
+        src_csv.to_str().unwrap(),
+        "--lake",
+        snap.to_str().unwrap(),
+        "--key",
+        &key_spec,
+        "--out",
+        cli_out.to_str().unwrap(),
+    ]);
+    let cli_bytes = std::fs::read(&cli_out).expect("cli reclaimed csv");
+    let cli_eis: f64 = stdout
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("EIS:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("EIS line in cli output");
+
+    // ── Boot the daemon on an ephemeral port over the same snapshot. ────
+    let loaded = SnapshotFile(snap.clone()).load_lake().expect("open snapshot");
+    let service = LakeService::new(loaded, GenTConfig::default(), snap.display().to_string());
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), threads: 4, ..ServeConfig::default() };
+    let server = Server::bind(&cfg, service).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    let runner = std::thread::spawn(move || server.run());
+
+    let (status, health) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "healthz: {health}");
+
+    // ── ≥ 8 concurrent POST /reclaim requests with the same source. ─────
+    let request_body =
+        Json::Object(vec![("source".to_string(), gen_t::serve::table_to_json(&source))]).render();
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let body = request_body.clone();
+            std::thread::spawn(move || http(addr, "POST", "/reclaim", &body))
+        })
+        .collect();
+    let responses: Vec<(u16, String)> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    for (i, (status, body)) in responses.iter().enumerate() {
+        assert_eq!(*status, 200, "request {i} failed: {body}");
+        let v = Json::parse(body).expect("response json");
+
+        // Metrics agree with the CLI run (the CLI prints 3 decimals).
+        let eis = v.get("metrics").unwrap().get("eis").and_then(Json::as_f64).expect("eis");
+        assert!((eis - cli_eis).abs() < 5e-4, "request {i}: served EIS {eis} vs CLI EIS {cli_eis}");
+
+        // The reclaimed table, rendered back to CSV, is byte-for-byte the
+        // CLI's --out file.
+        let reclaimed = gen_t::serve::table_from_json(v.get("reclaimed").expect("reclaimed table"))
+            .expect("reclaimed parses back into a table");
+        let served_csv = scratch(&format!("served-reclaimed-{i}.csv"));
+        csv::write_csv_file(&reclaimed, Path::new(&served_csv)).expect("write served csv");
+        let served_bytes = std::fs::read(&served_csv).expect("read served csv");
+        assert_eq!(
+            served_bytes, cli_bytes,
+            "request {i}: served reclaimed table differs from the one-shot CLI output"
+        );
+    }
+
+    // All concurrent responses are identical to each other, too.
+    for (status, body) in &responses[1..] {
+        assert_eq!(*status, responses[0].0);
+        assert_eq!(body, &responses[0].1, "concurrent responses must not diverge");
+    }
+
+    handle.stop();
+    runner.join().unwrap().expect("server run");
+}
