@@ -22,6 +22,11 @@ fn bench_end_to_end(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("gen_t_reclaim", label), |b| {
             b.iter(|| gen_t.reclaim(&source, &lake).unwrap())
         });
+        // Cross-PR trajectory entry for the full pipeline on this class.
+        let ms = gent_bench::time_median_ms(5, || {
+            std::hint::black_box(gen_t.reclaim(&source, &lake).unwrap());
+        });
+        gent_bench::record(&format!("end_to_end/gen_t_reclaim/{label}"), ms, None);
     }
     g.finish();
 }

@@ -78,6 +78,7 @@ fn bench_snapshot(c: &mut Criterion) {
     );
     let ratio = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
     println!("snapshot open is {ratio:.1}× faster than CSV rebuild ({cold:?} vs {warm:?})");
+    gent_bench::record("snapshot/warm_open", warm.as_secs_f64() * 1e3, Some(ratio));
     // Measured 8.5–12× on the 1-core dev container (the warm path runs at
     // memory-copy speed, so the ratio tracks machine load); ≥10× on quiet
     // hardware. The regression gate sits below the observed noise floor so

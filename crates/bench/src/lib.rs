@@ -21,8 +21,10 @@
 
 pub mod format;
 pub mod harness;
+pub mod report;
 
 pub use format::markdown_table;
 pub use harness::{
     aggregate, run_benchmark, AggregateRow, CandidateMode, CaseOutcome, HarnessConfig, MethodSpec,
 };
+pub use report::{record, time_median_ms};

@@ -23,20 +23,51 @@
 //! either input had, each matrix stores *lists* of tuple vectors per source
 //! row, with dominance pruning and a configurable cap to bound growth —
 //! this is the dictionary encoding §V-A3 describes.
+//!
+//! # Arena layout
+//!
+//! The matrix is stored as a **flat arena**, not as nested vectors:
+//!
+//! ```text
+//! cells:   [ t0c0 t0c1 … t0cw | t1c0 t1c1 … t1cw | … ]   one i8 per cell
+//! row_off: [ 0, 1, 3, 3, … ]                             len = |S| + 1
+//! ```
+//!
+//! Tuple `t` occupies `cells[t·w .. (t+1)·w]` (`w` = source width) and the
+//! aligned tuples of source row `i` are the tuple range
+//! `row_off[i] .. row_off[i+1]` — an empty range encodes an uncovered row.
+//! Every operation (build, [`AlignmentMatrix::combine`],
+//! [`AlignmentMatrix::eis`], [`AlignmentMatrix::net_score`], and the fused
+//! [`AlignmentMatrix::combine_score`]) streams over this contiguous buffer:
+//! no per-tuple heap allocations, no pointer chasing, cache-linear scans.
+//! Matrix Traversal's hot loop re-scores every remaining candidate on every
+//! greedy round, so this layout is what its cost is made of.
+//!
+//! The previous triply-nested `Vec<Vec<Vec<i8>>>` implementation survives
+//! verbatim in [`mod@reference`] as the executable specification: property
+//! tests assert the arena is behaviourally identical to it.
 
 use gent_table::{FxHashMap, Table};
 
 /// Three-valued alignment matrix of one (possibly partially integrated)
-/// candidate against a fixed source table.
+/// candidate against a fixed source table, stored as a flat cell arena
+/// (see the [module docs](self) for the layout).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AlignmentMatrix {
-    /// `rows[i]` = aligned tuple vectors for source row `i` (possibly
-    /// empty). Each vector has one entry per source column.
-    rows: Vec<Vec<Vec<i8>>>,
-    /// Number of source columns (vector length).
+    /// Cell arena: tuple `t` is `cells[t * n_cols .. (t + 1) * n_cols]`.
+    cells: Vec<i8>,
+    /// Tuple-index offsets per source row (`len = n_rows + 1`): row `i`
+    /// owns tuples `row_off[i] .. row_off[i + 1]`.
+    row_off: Vec<u32>,
+    /// Number of source columns (tuple width).
     n_cols: usize,
     /// Indices of the source's non-key columns (the ones EIS scores).
     non_key_cols: Vec<usize>,
+    /// Per-column score weight: `1` for non-key columns, `0` otherwise.
+    /// Lets the hot loops accumulate `α − δ` without membership tests
+    /// (a cell's own value *is* its score contribution: `1 → +1`,
+    /// `0 → 0`, `−1 → −1`).
+    score_weight: Vec<i8>,
 }
 
 impl AlignmentMatrix {
@@ -49,12 +80,19 @@ impl AlignmentMatrix {
     ///
     /// `three_valued = false` gives the §V-A2 two-valued encoding
     /// (contradictions collapse to 0), kept for the ablation study.
+    ///
+    /// A `max_aligned_per_key` of 0 is clamped to 1 (here and in
+    /// [`AlignmentMatrix::combine`]): emptying every multi-tuple row is
+    /// never meaningful, and a cap ≥ 1 is what keeps the fused
+    /// [`AlignmentMatrix::combine_score`] exactly equal to
+    /// materialize-then-score.
     pub fn build(
         source: &Table,
         candidate: &Table,
         three_valued: bool,
         max_aligned_per_key: usize,
     ) -> Option<AlignmentMatrix> {
+        let max_aligned_per_key = max_aligned_per_key.max(1);
         let skey = source.schema().key();
         assert!(!skey.is_empty(), "source must declare a key");
         // Candidate columns aligned to each source column.
@@ -74,16 +112,17 @@ impl AlignmentMatrix {
 
         let n_cols = source.n_cols();
         let non_key_cols = source.schema().non_key_indices();
-        let mut rows: Vec<Vec<Vec<i8>>> = Vec::with_capacity(source.n_rows());
+        let mut out = AlignmentMatrix::empty(source.n_rows(), n_cols, non_key_cols);
+        let mut scratch: Vec<i8> = Vec::new();
+        let mut prune = PruneScratch::default();
         for si in 0..source.n_rows() {
-            let mut aligned: Vec<Vec<i8>> = Vec::new();
+            scratch.clear();
             if let Some(kv) = source.key_of_row(si) {
                 if let Some(crows) = cindex.get(&kv) {
                     for &ci in crows {
-                        let mut vec = vec![0i8; n_cols];
-                        for j in 0..n_cols {
+                        for (j, cm) in col_map.iter().enumerate() {
                             let sv = &source.rows()[si][j];
-                            let tv = col_map[j].map(|cj| &candidate.rows()[ci][cj]);
+                            let tv = cm.map(|cj| &candidate.rows()[ci][cj]);
                             let enc = match tv {
                                 None => {
                                     // Candidate lacks the column entirely —
@@ -110,26 +149,80 @@ impl AlignmentMatrix {
                                     }
                                 }
                             };
-                            vec[j] = enc;
+                            scratch.push(enc);
                         }
-                        aligned.push(vec);
                     }
                 }
             }
-            prune_dominated(&mut aligned, &non_key_cols, max_aligned_per_key);
-            rows.push(aligned);
+            out.push_row_pruned(&scratch, max_aligned_per_key, &mut prune);
         }
-        Some(AlignmentMatrix { rows, n_cols, non_key_cols })
+        Some(out)
+    }
+
+    /// A matrix shell with no rows appended yet (rows arrive via
+    /// [`AlignmentMatrix::push_row_pruned`] / [`AlignmentMatrix::push_row_raw`]).
+    fn empty(n_rows: usize, n_cols: usize, non_key_cols: Vec<usize>) -> AlignmentMatrix {
+        let mut score_weight = vec![0i8; n_cols];
+        for &c in &non_key_cols {
+            score_weight[c] = 1;
+        }
+        let mut row_off = Vec::with_capacity(n_rows + 1);
+        row_off.push(0);
+        AlignmentMatrix { cells: Vec::new(), row_off, n_cols, non_key_cols, score_weight }
+    }
+
+    /// Prune `scratch` (tuples of width `n_cols`) and append the survivors
+    /// as the next source row.
+    fn push_row_pruned(&mut self, scratch: &[i8], cap: usize, prune: &mut PruneScratch) {
+        prune.prune_into(scratch, self.n_cols, &self.score_weight, cap, &mut self.cells);
+        self.row_off.push((self.cells.len() / self.n_cols.max(1)) as u32);
+    }
+
+    /// Append a row's tuples verbatim (already pruned on the source side).
+    fn push_row_raw(&mut self, tuples: &[i8]) {
+        self.cells.extend_from_slice(tuples);
+        self.row_off.push((self.cells.len() / self.n_cols.max(1)) as u32);
+    }
+
+    /// Number of source rows.
+    fn n_rows(&self) -> usize {
+        self.row_off.len() - 1
+    }
+
+    /// The tuple-index range of source row `i`.
+    #[inline]
+    fn row_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.row_off[i] as usize..self.row_off[i + 1] as usize
+    }
+
+    /// The cells of tuple `t`.
+    #[inline]
+    fn tuple(&self, t: usize) -> &[i8] {
+        &self.cells[t * self.n_cols..(t + 1) * self.n_cols]
+    }
+
+    /// The cell slab of source row `i` (all of its tuples, back to back).
+    #[inline]
+    fn row_cells(&self, i: usize) -> &[i8] {
+        let r = self.row_range(i);
+        &self.cells[r.start * self.n_cols..r.end * self.n_cols]
+    }
+
+    /// `α − δ` of tuple `t` over the non-key columns.
+    #[inline]
+    fn tuple_score(&self, t: usize) -> i64 {
+        score_of(self.tuple(t), &self.score_weight)
     }
 
     /// Number of source rows covered (≥1 aligned tuple).
     pub fn keys_covered(&self) -> usize {
-        self.rows.iter().filter(|r| !r.is_empty()).count()
+        (0..self.n_rows()).filter(|&i| !self.row_range(i).is_empty()).count()
     }
 
-    /// Aligned tuple vectors for source row `i`.
-    pub fn aligned(&self, i: usize) -> &[Vec<i8>] {
-        &self.rows[i]
+    /// Aligned tuple vectors for source row `i`, each a `n_cols`-wide slice
+    /// into the arena.
+    pub fn aligned(&self, i: usize) -> impl ExactSizeIterator<Item = &[i8]> + '_ {
+        self.row_cells(i).chunks_exact(self.n_cols.max(1))
     }
 
     /// evaluateSimilarity() — the EIS score implied by this matrix
@@ -138,37 +231,22 @@ impl AlignmentMatrix {
     /// non-key columns; rows with no aligned tuple contribute 0; normalise
     /// by `0.5 / |S|`.
     pub fn eis(&self) -> f64 {
-        if self.rows.is_empty() {
+        if self.n_rows() == 0 {
             return 0.0;
         }
         let n = self.non_key_cols.len();
         let mut total = 0.0;
-        for aligned in &self.rows {
-            if aligned.is_empty() {
+        for i in 0..self.n_rows() {
+            let range = self.row_range(i);
+            if range.is_empty() {
                 continue;
             }
-            let best = aligned
-                .iter()
-                .map(|vec| {
-                    if n == 0 {
-                        1.0
-                    } else {
-                        let mut alpha = 0i32;
-                        let mut delta = 0i32;
-                        for &c in &self.non_key_cols {
-                            match vec[c] {
-                                1 => alpha += 1,
-                                -1 => delta += 1,
-                                _ => {}
-                            }
-                        }
-                        1.0 + (alpha - delta) as f64 / n as f64
-                    }
-                })
+            let best = range
+                .map(|t| if n == 0 { 1.0 } else { 1.0 + self.tuple_score(t) as f64 / n as f64 })
                 .fold(f64::NEG_INFINITY, f64::max);
             total += best;
         }
-        0.5 * total / self.rows.len() as f64
+        0.5 * total / self.n_rows() as f64
     }
 
     /// Algorithm 1's `percentCorrectVals`: the fraction of source cells the
@@ -185,43 +263,159 @@ impl AlignmentMatrix {
     /// can prune them.
     pub fn net_score(&self) -> f64 {
         let n = self.non_key_cols.len();
-        if self.rows.is_empty() || n == 0 {
+        if self.n_rows() == 0 || n == 0 {
             return 0.0;
         }
         let mut total = 0i64;
-        for aligned in &self.rows {
-            let best = aligned
-                .iter()
-                .map(|vec| {
-                    let mut alpha = 0i64;
-                    let mut delta = 0i64;
-                    for &c in &self.non_key_cols {
-                        match vec[c] {
-                            1 => alpha += 1,
-                            -1 => delta += 1,
-                            _ => {}
-                        }
-                    }
-                    alpha - delta
-                })
-                .max()
-                .unwrap_or(0);
+        for i in 0..self.n_rows() {
+            let best = self.row_range(i).map(|t| self.tuple_score(t)).max().unwrap_or(0);
             total += best.max(0);
         }
-        total as f64 / (n as f64 * self.rows.len() as f64)
+        total as f64 / (n as f64 * self.n_rows() as f64)
     }
 
     /// Eq. 5 — `Combine` two matrices into the matrix of their simulated
     /// integration.
     pub fn combine(&self, other: &AlignmentMatrix, max_aligned_per_key: usize) -> AlignmentMatrix {
+        let max_aligned_per_key = max_aligned_per_key.max(1);
         assert_eq!(self.n_cols, other.n_cols, "matrices must share the source shape");
-        assert_eq!(self.rows.len(), other.rows.len());
-        let mut rows = Vec::with_capacity(self.rows.len());
-        for (a, b) in self.rows.iter().zip(other.rows.iter()) {
-            rows.push(combine_lists(a, b, &self.non_key_cols, max_aligned_per_key));
+        assert_eq!(self.n_rows(), other.n_rows());
+        let w = self.n_cols;
+        let mut out = AlignmentMatrix::empty(self.n_rows(), w, self.non_key_cols.clone());
+        let mut scratch: Vec<i8> = Vec::new();
+        let mut b_merged: Vec<bool> = Vec::new();
+        let mut prune = PruneScratch::default();
+        for i in 0..self.n_rows() {
+            let (ra, rb) = (self.row_range(i), other.row_range(i));
+            // One-sided rows pass through verbatim (outer-union semantics;
+            // the surviving side was already pruned when it was built).
+            if ra.is_empty() {
+                out.push_row_raw(other.row_cells(i));
+                continue;
+            }
+            if rb.is_empty() {
+                out.push_row_raw(self.row_cells(i));
+                continue;
+            }
+            scratch.clear();
+            b_merged.clear();
+            b_merged.resize(rb.len(), false);
+            for ta in ra.clone() {
+                let ta = self.tuple(ta);
+                let mut merged_any = false;
+                for (bi, tb) in rb.clone().enumerate() {
+                    let tb = other.tuple(tb);
+                    if !conflicts(ta, tb) {
+                        // Element-wise OR under the truth ordering
+                        // `1 > 0 > −1`, written straight into the scratch
+                        // arena — no per-tuple Vec.
+                        scratch.extend(ta.iter().zip(tb.iter()).map(|(&x, &y)| x.max(y)));
+                        b_merged[bi] = true;
+                        merged_any = true;
+                    }
+                }
+                if !merged_any {
+                    scratch.extend_from_slice(ta);
+                }
+            }
+            for (bi, tb) in rb.clone().enumerate() {
+                if !b_merged[bi] {
+                    scratch.extend_from_slice(other.tuple(tb));
+                }
+            }
+            out.push_row_pruned(&scratch, max_aligned_per_key, &mut prune);
         }
-        AlignmentMatrix { rows, n_cols: self.n_cols, non_key_cols: self.non_key_cols.clone() }
+        out
     }
+
+    /// The fused combine–score kernel: exactly
+    /// `self.combine(other, cap).net_score()`, computed in one streaming
+    /// pass **without materializing the combined matrix**.
+    ///
+    /// Per source row it enumerates the same tuple set `Combine` would
+    /// generate — OR-merges of compatible pairs plus unmerged pass-throughs
+    /// — but only tracks the running maximum of each tuple's `α − δ`.
+    /// Dominance pruning, dedup, and the per-row cap can never change that
+    /// maximum (a dominated tuple scores no higher than its dominator, and
+    /// the cap keeps the best-scoring tuples), so the result is *bit-equal*
+    /// to materialize-then-score: Matrix Traversal's greedy comparisons,
+    /// and therefore its selections, are unchanged.
+    ///
+    /// The equivalence requires the effective cap to be ≥ 1 (a zero cap
+    /// would *empty* a merged row in the materialized path, which this
+    /// enumeration deliberately does not model) — guaranteed, because
+    /// [`AlignmentMatrix::build`] and [`AlignmentMatrix::combine`] clamp
+    /// the cap to ≥ 1.
+    ///
+    /// Cost per row: `|A_i|·|B_i|·w` cell reads and **zero** allocations,
+    /// versus `combine`'s tuple materialization, sort, dedup, and dominance
+    /// scan. The traversal calls this for every remaining candidate on
+    /// every round and materializes only the round's winner.
+    pub fn combine_score(&self, other: &AlignmentMatrix) -> f64 {
+        assert_eq!(self.n_cols, other.n_cols, "matrices must share the source shape");
+        assert_eq!(self.n_rows(), other.n_rows());
+        let n = self.non_key_cols.len();
+        if self.n_rows() == 0 || n == 0 {
+            return 0.0;
+        }
+        let w = self.n_cols;
+        let weight = &self.score_weight;
+        let mut b_merged: Vec<bool> = Vec::new();
+        let mut total = 0i64;
+        for i in 0..self.n_rows() {
+            let (ra, rb) = (self.row_range(i), other.row_range(i));
+            let mut best = i64::MIN;
+            if ra.is_empty() {
+                best = rb.map(|t| score_of(other.tuple(t), weight)).max().unwrap_or(0);
+            } else if rb.is_empty() {
+                best = ra.map(|t| self.tuple_score(t)).max().unwrap_or(0);
+            } else {
+                b_merged.clear();
+                b_merged.resize(rb.len(), false);
+                for ta in ra.clone() {
+                    let ta = self.tuple(ta);
+                    let mut merged_any = false;
+                    for (bi, tb) in rb.clone().enumerate() {
+                        let tb = other.tuple(tb);
+                        // Single pass per pair: detect a conflict and
+                        // accumulate the OR-tuple's score together.
+                        let mut s = 0i64;
+                        let mut conflict = false;
+                        for j in 0..w {
+                            let (x, y) = (ta[j], tb[j]);
+                            if x != 0 && y != 0 && x != y {
+                                conflict = true;
+                                break;
+                            }
+                            s += (x.max(y) * weight[j]) as i64;
+                        }
+                        if !conflict {
+                            b_merged[bi] = true;
+                            merged_any = true;
+                            best = best.max(s);
+                        }
+                    }
+                    if !merged_any {
+                        best = best.max(score_of(ta, weight));
+                    }
+                }
+                for (bi, tb) in rb.clone().enumerate() {
+                    if !b_merged[bi] {
+                        best = best.max(score_of(other.tuple(tb), weight));
+                    }
+                }
+            }
+            total += best.max(0);
+        }
+        total as f64 / (n as f64 * self.n_rows() as f64)
+    }
+}
+
+/// `α − δ` of one tuple: the weighted cell sum (a cell's value is its own
+/// score contribution over the non-key columns).
+#[inline]
+fn score_of(tuple: &[i8], weight: &[i8]) -> i64 {
+    tuple.iter().zip(weight.iter()).map(|(&v, &w)| (v * w) as i64).sum()
 }
 
 /// Do two tuple vectors conflict (different non-zero values at a column)?
@@ -230,73 +424,328 @@ fn conflicts(a: &[i8], b: &[i8]) -> bool {
     a.iter().zip(b.iter()).any(|(&x, &y)| x != 0 && y != 0 && x != y)
 }
 
-/// Element-wise OR under the truth ordering `1 > 0 > −1`.
-#[inline]
-fn or_tuples(a: &[i8], b: &[i8]) -> Vec<i8> {
-    a.iter().zip(b.iter()).map(|(&x, &y)| x.max(y)).collect()
+/// Reusable scratch for dominance pruning over flat tuple buffers — one
+/// allocation per build/combine, not per source row.
+#[derive(Default)]
+struct PruneScratch {
+    /// Surviving tuple indices into the scratch buffer, in output order.
+    order: Vec<u32>,
+    /// Frozen copy of `order` during the dominance scan (the scan mutates
+    /// `order` while comparing against the full deduped set).
+    snapshot: Vec<u32>,
 }
 
-/// Combine the aligned-tuple lists of one source row (Eq. 5): compatible
-/// pairs merge via OR; conflicting tuples stay separate. Tuples from either
-/// side that merged with nothing pass through (outer-union semantics).
-fn combine_lists(a: &[Vec<i8>], b: &[Vec<i8>], non_key_cols: &[usize], cap: usize) -> Vec<Vec<i8>> {
-    if a.is_empty() {
-        return b.to_vec();
+impl PruneScratch {
+    /// Dominance-prune `tuples` (a flat buffer of `w`-wide tuples), dedup,
+    /// cap the list at `cap` keeping the highest-scoring tuples, and append
+    /// the survivors to `out` in lexicographic order — the exact semantics
+    /// (and final ordering) of the reference implementation's
+    /// `prune_dominated`.
+    fn prune_into(
+        &mut self,
+        tuples: &[i8],
+        w: usize,
+        weight: &[i8],
+        cap: usize,
+        out: &mut Vec<i8>,
+    ) {
+        let w = w.max(1);
+        let nt = tuples.len() / w;
+        if nt <= 1 {
+            out.extend_from_slice(tuples);
+            return;
+        }
+        let tup = |t: u32| -> &[i8] { &tuples[t as usize * w..(t as usize + 1) * w] };
+        self.order.clear();
+        self.order.extend(0..nt as u32);
+        // Lexicographic sort + dedup by content.
+        self.order.sort_unstable_by(|&a, &b| tup(a).cmp(tup(b)));
+        self.order.dedup_by(|&mut a, &mut b| tup(a) == tup(b));
+        // Drop tuples dominated element-wise (under `1 > 0 > −1`) by
+        // another distinct tuple. The set is deduped, so index inequality
+        // implies content inequality.
+        self.snapshot.clear();
+        self.snapshot.extend_from_slice(&self.order);
+        let snapshot = &self.snapshot;
+        self.order.retain(|&t| {
+            !snapshot.iter().any(|&o| {
+                o != t && tup(t) != tup(o) && tup(t).iter().zip(tup(o)).all(|(&x, &y)| x <= y)
+            })
+        });
+        if self.order.len() > cap {
+            // Keep the tuples with the best (α − δ) score; the stable sort
+            // preserves lexicographic order among score ties.
+            self.order.sort_by_key(|&t| std::cmp::Reverse(score_of(tup(t), weight)));
+            self.order.truncate(cap);
+            self.order.sort_unstable_by(|&a, &b| tup(a).cmp(tup(b)));
+        }
+        for &t in &self.order {
+            out.extend_from_slice(tup(t));
+        }
     }
-    if b.is_empty() {
-        return a.to_vec();
+}
+
+pub mod reference {
+    //! The original triply-nested `Vec<Vec<Vec<i8>>>` alignment matrix,
+    //! kept as the **executable specification** of the flat-arena
+    //! [`AlignmentMatrix`](super::AlignmentMatrix) — verbatim except for
+    //! one shared semantic fix: like the arena, `build` and `combine`
+    //! clamp `max_aligned_per_key` to ≥ 1 (the zero-cap configuration is
+    //! tolerated-but-clamped per `tests/failure_injection.rs`, and a cap
+    //! ≥ 1 is what makes fused scoring exact), so arena == reference holds
+    //! for *every* cap value.
+    //!
+    //! Nothing in the pipeline uses this module: it exists so tests (unit,
+    //! property, and the end-to-end regression suite) can assert the arena
+    //! representation and the fused combine–score kernel are behaviourally
+    //! identical to the straightforward implementation.
+
+    use gent_table::{FxHashMap, Table};
+
+    /// Nested-vector alignment matrix — the reference implementation.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct NestedMatrix {
+        /// `rows[i]` = aligned tuple vectors for source row `i` (possibly
+        /// empty). Each vector has one entry per source column.
+        rows: Vec<Vec<Vec<i8>>>,
+        /// Number of source columns (vector length).
+        n_cols: usize,
+        /// Indices of the source's non-key columns (the ones EIS scores).
+        non_key_cols: Vec<usize>,
     }
-    let mut out: Vec<Vec<i8>> = Vec::new();
-    let mut b_merged = vec![false; b.len()];
-    for ta in a {
-        let mut merged_any = false;
-        for (bi, tb) in b.iter().enumerate() {
-            if !conflicts(ta, tb) {
-                out.push(or_tuples(ta, tb));
-                b_merged[bi] = true;
-                merged_any = true;
+
+    impl NestedMatrix {
+        /// Build the matrix of `candidate` against `source` (Eq. 4) —
+        /// reference semantics.
+        pub fn build(
+            source: &Table,
+            candidate: &Table,
+            three_valued: bool,
+            max_aligned_per_key: usize,
+        ) -> Option<NestedMatrix> {
+            let max_aligned_per_key = max_aligned_per_key.max(1);
+            let skey = source.schema().key();
+            assert!(!skey.is_empty(), "source must declare a key");
+            let col_map: Vec<Option<usize>> =
+                source.schema().columns().map(|c| candidate.schema().column_index(c)).collect();
+            let ckey: Option<Vec<usize>> = skey.iter().map(|&k| col_map[k]).collect();
+            let ckey = ckey?;
+
+            let mut cindex: FxHashMap<gent_table::KeyValue, Vec<usize>> = FxHashMap::default();
+            for (i, row) in candidate.rows().iter().enumerate() {
+                if let Some(kv) = Table::key_from_row(row, &ckey) {
+                    cindex.entry(kv).or_default().push(i);
+                }
+            }
+
+            let n_cols = source.n_cols();
+            let non_key_cols = source.schema().non_key_indices();
+            let mut rows: Vec<Vec<Vec<i8>>> = Vec::with_capacity(source.n_rows());
+            for si in 0..source.n_rows() {
+                let mut aligned: Vec<Vec<i8>> = Vec::new();
+                if let Some(kv) = source.key_of_row(si) {
+                    if let Some(crows) = cindex.get(&kv) {
+                        for &ci in crows {
+                            let mut vec = vec![0i8; n_cols];
+                            for (j, slot) in vec.iter_mut().enumerate() {
+                                let sv = &source.rows()[si][j];
+                                let tv = col_map[j].map(|cj| &candidate.rows()[ci][cj]);
+                                *slot = match tv {
+                                    None => {
+                                        if sv.is_null_like() {
+                                            1
+                                        } else {
+                                            0
+                                        }
+                                    }
+                                    Some(tv) => {
+                                        if (sv.is_null_like() && tv.is_null_like()) || sv == tv {
+                                            1
+                                        } else if tv.is_null_like() {
+                                            0
+                                        } else if three_valued {
+                                            -1
+                                        } else {
+                                            0
+                                        }
+                                    }
+                                };
+                            }
+                            aligned.push(vec);
+                        }
+                    }
+                }
+                prune_dominated(&mut aligned, &non_key_cols, max_aligned_per_key);
+                rows.push(aligned);
+            }
+            Some(NestedMatrix { rows, n_cols, non_key_cols })
+        }
+
+        /// Number of source rows covered (≥1 aligned tuple).
+        pub fn keys_covered(&self) -> usize {
+            self.rows.iter().filter(|r| !r.is_empty()).count()
+        }
+
+        /// Aligned tuple vectors for source row `i`.
+        pub fn aligned(&self, i: usize) -> &[Vec<i8>] {
+            &self.rows[i]
+        }
+
+        /// Reference `evaluateSimilarity()` (see
+        /// [`AlignmentMatrix::eis`](super::AlignmentMatrix::eis)).
+        pub fn eis(&self) -> f64 {
+            if self.rows.is_empty() {
+                return 0.0;
+            }
+            let n = self.non_key_cols.len();
+            let mut total = 0.0;
+            for aligned in &self.rows {
+                if aligned.is_empty() {
+                    continue;
+                }
+                let best = aligned
+                    .iter()
+                    .map(|vec| {
+                        if n == 0 {
+                            1.0
+                        } else {
+                            let mut alpha = 0i32;
+                            let mut delta = 0i32;
+                            for &c in &self.non_key_cols {
+                                match vec[c] {
+                                    1 => alpha += 1,
+                                    -1 => delta += 1,
+                                    _ => {}
+                                }
+                            }
+                            1.0 + (alpha - delta) as f64 / n as f64
+                        }
+                    })
+                    .fold(f64::NEG_INFINITY, f64::max);
+                total += best;
+            }
+            0.5 * total / self.rows.len() as f64
+        }
+
+        /// Reference `percentCorrectVals` (see
+        /// [`AlignmentMatrix::net_score`](super::AlignmentMatrix::net_score)).
+        pub fn net_score(&self) -> f64 {
+            let n = self.non_key_cols.len();
+            if self.rows.is_empty() || n == 0 {
+                return 0.0;
+            }
+            let mut total = 0i64;
+            for aligned in &self.rows {
+                let best = aligned
+                    .iter()
+                    .map(|vec| {
+                        let mut alpha = 0i64;
+                        let mut delta = 0i64;
+                        for &c in &self.non_key_cols {
+                            match vec[c] {
+                                1 => alpha += 1,
+                                -1 => delta += 1,
+                                _ => {}
+                            }
+                        }
+                        alpha - delta
+                    })
+                    .max()
+                    .unwrap_or(0);
+                total += best.max(0);
+            }
+            total as f64 / (n as f64 * self.rows.len() as f64)
+        }
+
+        /// Reference Eq. 5 `Combine`.
+        pub fn combine(&self, other: &NestedMatrix, max_aligned_per_key: usize) -> NestedMatrix {
+            let max_aligned_per_key = max_aligned_per_key.max(1);
+            assert_eq!(self.n_cols, other.n_cols, "matrices must share the source shape");
+            assert_eq!(self.rows.len(), other.rows.len());
+            let mut rows = Vec::with_capacity(self.rows.len());
+            for (a, b) in self.rows.iter().zip(other.rows.iter()) {
+                rows.push(combine_lists(a, b, &self.non_key_cols, max_aligned_per_key));
+            }
+            NestedMatrix { rows, n_cols: self.n_cols, non_key_cols: self.non_key_cols.clone() }
+        }
+    }
+
+    /// Do two tuple vectors conflict (different non-zero values at a column)?
+    fn conflicts(a: &[i8], b: &[i8]) -> bool {
+        a.iter().zip(b.iter()).any(|(&x, &y)| x != 0 && y != 0 && x != y)
+    }
+
+    /// Element-wise OR under the truth ordering `1 > 0 > −1`.
+    fn or_tuples(a: &[i8], b: &[i8]) -> Vec<i8> {
+        a.iter().zip(b.iter()).map(|(&x, &y)| x.max(y)).collect()
+    }
+
+    /// Combine the aligned-tuple lists of one source row (Eq. 5).
+    fn combine_lists(
+        a: &[Vec<i8>],
+        b: &[Vec<i8>],
+        non_key_cols: &[usize],
+        cap: usize,
+    ) -> Vec<Vec<i8>> {
+        if a.is_empty() {
+            return b.to_vec();
+        }
+        if b.is_empty() {
+            return a.to_vec();
+        }
+        let mut out: Vec<Vec<i8>> = Vec::new();
+        let mut b_merged = vec![false; b.len()];
+        for ta in a {
+            let mut merged_any = false;
+            for (bi, tb) in b.iter().enumerate() {
+                if !conflicts(ta, tb) {
+                    out.push(or_tuples(ta, tb));
+                    b_merged[bi] = true;
+                    merged_any = true;
+                }
+            }
+            if !merged_any {
+                out.push(ta.clone());
             }
         }
-        if !merged_any {
-            out.push(ta.clone());
+        for (bi, tb) in b.iter().enumerate() {
+            if !b_merged[bi] {
+                out.push(tb.clone());
+            }
         }
+        prune_dominated(&mut out, non_key_cols, cap);
+        out
     }
-    for (bi, tb) in b.iter().enumerate() {
-        if !b_merged[bi] {
-            out.push(tb.clone());
-        }
-    }
-    prune_dominated(&mut out, non_key_cols, cap);
-    out
-}
 
-/// Remove tuples dominated element-wise (under `1 > 0 > −1`) by another,
-/// dedup, and cap the list at `cap` keeping the highest-scoring tuples.
-fn prune_dominated(list: &mut Vec<Vec<i8>>, non_key_cols: &[usize], cap: usize) {
-    if list.len() <= 1 {
-        return;
-    }
-    list.sort();
-    list.dedup();
-    let snapshot = list.clone();
-    list.retain(|t| {
-        !snapshot.iter().any(|o| o != t && t.iter().zip(o.iter()).all(|(&x, &y)| x <= y))
-    });
-    if list.len() > cap {
-        // Keep the tuples with the best (α − δ) score.
-        let score = |t: &Vec<i8>| -> i32 {
-            non_key_cols
-                .iter()
-                .map(|&c| match t[c] {
-                    1 => 1,
-                    -1 => -1,
-                    _ => 0,
-                })
-                .sum()
-        };
-        list.sort_by_key(|t| std::cmp::Reverse(score(t)));
-        list.truncate(cap);
+    /// Remove tuples dominated element-wise (under `1 > 0 > −1`) by
+    /// another, dedup, and cap the list at `cap` keeping the
+    /// highest-scoring tuples.
+    fn prune_dominated(list: &mut Vec<Vec<i8>>, non_key_cols: &[usize], cap: usize) {
+        if list.len() <= 1 {
+            return;
+        }
         list.sort();
+        list.dedup();
+        let snapshot = list.clone();
+        list.retain(|t| {
+            !snapshot.iter().any(|o| o != t && t.iter().zip(o.iter()).all(|(&x, &y)| x <= y))
+        });
+        if list.len() > cap {
+            // Keep the tuples with the best (α − δ) score.
+            let score = |t: &Vec<i8>| -> i32 {
+                non_key_cols
+                    .iter()
+                    .map(|&c| match t[c] {
+                        1 => 1,
+                        -1 => -1,
+                        _ => 0,
+                    })
+                    .sum()
+            };
+            list.sort_by_key(|t| std::cmp::Reverse(score(t)));
+            list.truncate(cap);
+            list.sort();
+        }
     }
 }
 
@@ -304,6 +753,11 @@ fn prune_dominated(list: &mut Vec<Vec<i8>>, non_key_cols: &[usize], cap: usize) 
 mod tests {
     use super::*;
     use gent_table::Value as V;
+
+    /// Collect a row's aligned tuples as owned vectors, for assertions.
+    fn aligned_vecs(m: &AlignmentMatrix, i: usize) -> Vec<Vec<i8>> {
+        m.aligned(i).map(|t| t.to_vec()).collect()
+    }
 
     /// Figure 3's source and tables A, B, C (after column renaming).
     fn source() -> Table {
@@ -376,27 +830,27 @@ mod tests {
         // ID, Name, Education; lacks Age (0 vs source value), lacks Gender
         // (source row 0 has null gender → 1; rows 1,2 have values → 0).
         let m = AlignmentMatrix::build(&source(), &table_a(), true, 8).unwrap();
-        assert_eq!(m.aligned(0), &[vec![1, 1, 0, 1, 1]]);
+        assert_eq!(aligned_vecs(&m, 0), vec![vec![1, 1, 0, 1, 1]]);
         // Brown: Education null in A but "Masters" in source → 0.
-        assert_eq!(m.aligned(1), &[vec![1, 1, 0, 0, 0]]);
-        assert_eq!(m.aligned(2), &[vec![1, 1, 0, 0, 1]]);
+        assert_eq!(aligned_vecs(&m, 1), vec![vec![1, 1, 0, 0, 0]]);
+        assert_eq!(aligned_vecs(&m, 2), vec![vec![1, 1, 0, 0, 1]]);
     }
 
     #[test]
     fn figure5_matrix_c_has_contradictions() {
         let m = AlignmentMatrix::build(&source(), &table_c_with_key(), true, 8).unwrap();
         // Smith: source Gender null, C says Male → -1 (erroneously filled).
-        assert_eq!(m.aligned(0), &[vec![1, 1, 0, -1, 0]]);
+        assert_eq!(aligned_vecs(&m, 0), vec![vec![1, 1, 0, -1, 0]]);
         // Brown: C agrees (Male) → 1.
-        assert_eq!(m.aligned(1), &[vec![1, 1, 0, 1, 0]]);
+        assert_eq!(aligned_vecs(&m, 1), vec![vec![1, 1, 0, 1, 0]]);
         // Wang: source Female vs C Male → -1.
-        assert_eq!(m.aligned(2), &[vec![1, 1, 0, -1, 0]]);
+        assert_eq!(aligned_vecs(&m, 2), vec![vec![1, 1, 0, -1, 0]]);
     }
 
     #[test]
     fn two_valued_collapses_contradictions() {
         let m = AlignmentMatrix::build(&source(), &table_c_with_key(), false, 8).unwrap();
-        assert_eq!(m.aligned(0), &[vec![1, 1, 0, 0, 0]]);
+        assert_eq!(aligned_vecs(&m, 0), vec![vec![1, 1, 0, 0, 0]]);
     }
 
     #[test]
@@ -406,9 +860,9 @@ mod tests {
         let ma = AlignmentMatrix::build(&s, &table_a(), true, 8).unwrap();
         let mb = AlignmentMatrix::build(&s, &table_b_with_key(), true, 8).unwrap();
         let ab = ma.combine(&mb, 8);
-        assert_eq!(ab.aligned(0), &[vec![1, 1, 1, 1, 1]]);
-        assert_eq!(ab.aligned(1), &[vec![1, 1, 1, 0, 0]]);
-        assert_eq!(ab.aligned(2), &[vec![1, 1, 1, 0, 1]]);
+        assert_eq!(aligned_vecs(&ab, 0), vec![vec![1, 1, 1, 1, 1]]);
+        assert_eq!(aligned_vecs(&ab, 1), vec![vec![1, 1, 1, 0, 0]]);
+        assert_eq!(aligned_vecs(&ab, 2), vec![vec![1, 1, 1, 0, 1]]);
     }
 
     #[test]
@@ -423,12 +877,12 @@ mod tests {
         let mb = AlignmentMatrix::build(&s, &table_b_with_key(), true, 8).unwrap();
         let mc = AlignmentMatrix::build(&s, &table_c_with_key(), true, 8).unwrap();
         let abc = ma.combine(&mb, 8).combine(&mc, 8);
-        assert_eq!(abc.aligned(0), &[vec![1, 1, 1, 1, 1]]);
+        assert_eq!(aligned_vecs(&abc, 0), vec![vec![1, 1, 1, 1, 1]]);
         // Brown: compatible → single merged tuple, Gender 1.
-        assert_eq!(abc.aligned(1), &[vec![1, 1, 1, 1, 0]]);
+        assert_eq!(aligned_vecs(&abc, 1), vec![vec![1, 1, 1, 1, 0]]);
         // Wang: (1,1,1,0,1) vs (1,1,0,-1,0): 0 vs -1 is not a non-zero
         // disagreement → merge with max: Gender max(0,-1) = 0.
-        assert_eq!(abc.aligned(2), &[vec![1, 1, 1, 0, 1]]);
+        assert_eq!(aligned_vecs(&abc, 2), vec![vec![1, 1, 1, 0, 1]]);
     }
 
     #[test]
@@ -447,9 +901,10 @@ mod tests {
         let ml = AlignmentMatrix::build(&s, &left, true, 8).unwrap();
         let mr = AlignmentMatrix::build(&s, &right, true, 8).unwrap();
         let c = ml.combine(&mr, 8);
-        assert_eq!(c.aligned(0).len(), 2, "conflicting non-dominated tuples both kept");
-        assert!(c.aligned(0).contains(&vec![1, 1, 0, 1, 1]));
-        assert!(c.aligned(0).contains(&vec![1, 0, 1, -1, 0]));
+        let tuples = aligned_vecs(&c, 0);
+        assert_eq!(tuples.len(), 2, "conflicting non-dominated tuples both kept");
+        assert!(tuples.contains(&vec![1, 1, 0, 1, 1]));
+        assert!(tuples.contains(&vec![1, 0, 1, -1, 0]));
     }
 
     #[test]
@@ -513,5 +968,51 @@ mod tests {
         let m = AlignmentMatrix::build(&s, &cand, true, 8).unwrap();
         let table_eis = gent_metrics::eis(&s, &cand);
         assert!((m.eis() - table_eis).abs() < 1e-12, "{} vs {}", m.eis(), table_eis);
+    }
+
+    #[test]
+    fn fused_combine_score_equals_materialize_then_score() {
+        // The tentpole invariant, on the Figure 5 tables: combine_score is
+        // bit-equal to combine(...).net_score() in every pairing, including
+        // asymmetric coverage and conflict-splitting rows.
+        let s = source();
+        let mats: Vec<AlignmentMatrix> = [table_a(), table_b_with_key(), table_c_with_key()]
+            .iter()
+            .map(|t| AlignmentMatrix::build(&s, t, true, 8).unwrap())
+            .collect();
+        for a in &mats {
+            for b in &mats {
+                let fused = a.combine_score(b);
+                let materialized = a.combine(b, 8).net_score();
+                assert_eq!(fused.to_bits(), materialized.to_bits(), "{fused} vs {materialized}");
+            }
+        }
+        // And through a chained combine, as the greedy loop produces them.
+        let ab = mats[0].combine(&mats[1], 8);
+        assert_eq!(
+            ab.combine_score(&mats[2]).to_bits(),
+            ab.combine(&mats[2], 8).net_score().to_bits()
+        );
+    }
+
+    #[test]
+    fn arena_matches_reference_on_figure5() {
+        // The arena and the nested reference must agree tuple-for-tuple,
+        // including after chained combines.
+        let s = source();
+        let tables = [table_a(), table_b_with_key(), table_c_with_key()];
+        let arena: Vec<AlignmentMatrix> =
+            tables.iter().map(|t| AlignmentMatrix::build(&s, t, true, 8).unwrap()).collect();
+        let nested: Vec<reference::NestedMatrix> = tables
+            .iter()
+            .map(|t| reference::NestedMatrix::build(&s, t, true, 8).unwrap())
+            .collect();
+        let a2 = arena[0].combine(&arena[1], 8).combine(&arena[2], 8);
+        let n2 = nested[0].combine(&nested[1], 8).combine(&nested[2], 8);
+        for i in 0..s.n_rows() {
+            assert_eq!(aligned_vecs(&a2, i), n2.aligned(i).to_vec(), "row {i}");
+        }
+        assert_eq!(a2.eis().to_bits(), n2.eis().to_bits());
+        assert_eq!(a2.net_score().to_bits(), n2.net_score().to_bits());
     }
 }

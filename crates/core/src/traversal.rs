@@ -7,6 +7,18 @@
 //! did not find more of S's values", line 19). The tables selected — in
 //! their *expanded* form when Expand had to join them to reach the key —
 //! are the originating tables handed to Table Integration.
+//!
+//! # Cost of the greedy loop
+//!
+//! Each round scores `Combine(current, m)` for every remaining candidate
+//! `m` but *keeps* only one. Materializing the combined matrix per
+//! candidate just to read its score made each round
+//! `O(k · (\text{combine} + \text{prune} + \text{alloc}))`; with the fused
+//! [`AlignmentMatrix::combine_score`] kernel each round is a pure streaming
+//! scan and the loop materializes exactly **one** combined matrix per round
+//! (the winner) — `O(rounds)` materializations total instead of
+//! `O(rounds · k)`. The selections are bit-identical (the kernel returns
+//! exactly what materialize-then-score would).
 
 use crate::config::GenTConfig;
 use crate::expand::expand;
@@ -17,10 +29,42 @@ use gent_table::Table;
 /// in selection order, plus the matrix-estimated EIS reached.
 #[derive(Debug, Clone)]
 pub struct TraversalOutcome {
-    /// Originating tables, best-first.
+    /// Originating tables, best-first. These are *moved* out of the
+    /// expanded candidate set — the traversal never clones table storage.
     pub originating: Vec<Table>,
+    /// For each entry of `originating`, its index into the traversal's
+    /// *internal* scored list — the candidates after Expand (which joins
+    /// and can add/replace tables) and matrix alignment (which drops
+    /// keyless ones) — in selection order. These indices do **not** map
+    /// back onto the `candidates` slice the caller passed in; they convey
+    /// selection order and distinctness (e.g. round count = `len`), and
+    /// pair positionally with `originating`.
+    pub selected: Vec<usize>,
     /// EIS estimated by the final combined matrix.
     pub estimated_eis: f64,
+}
+
+/// A `chosen` set over candidate indices, as a u64 bitmask — the greedy
+/// loop tests membership for every candidate on every round, so this
+/// replaces the former `Vec::contains` linear scan.
+struct ChosenMask {
+    bits: Vec<u64>,
+}
+
+impl ChosenMask {
+    fn new(n: usize) -> ChosenMask {
+        ChosenMask { bits: vec![0; n.div_ceil(64)] }
+    }
+
+    #[inline]
+    fn contains(&self, i: usize) -> bool {
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize) {
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
 }
 
 /// Algorithm 1 — select the originating tables among `candidates` for
@@ -47,7 +91,11 @@ pub fn matrix_traversal(
         }
     }
     if tables.is_empty() {
-        return TraversalOutcome { originating: Vec::new(), estimated_eis: 0.0 };
+        return TraversalOutcome {
+            originating: Vec::new(),
+            selected: Vec::new(),
+            estimated_eis: 0.0,
+        };
     }
 
     if !cfg.prune_with_traversal {
@@ -56,7 +104,8 @@ pub fn matrix_traversal(
         for m in &matrices[1..] {
             combined = combined.combine(m, cfg.max_aligned_per_key);
         }
-        return TraversalOutcome { originating: tables, estimated_eis: combined.eis() };
+        let selected = (0..tables.len()).collect();
+        return TraversalOutcome { originating: tables, selected, estimated_eis: combined.eis() };
     }
 
     // Lines 5–6: GetStartTable — the best single matrix by
@@ -68,30 +117,34 @@ pub fn matrix_traversal(
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("score finite").then(b.0.cmp(&a.0)))
         .expect("non-empty");
     let mut chosen = vec![start];
+    let mut chosen_mask = ChosenMask::new(tables.len());
+    chosen_mask.insert(start);
     let mut combined = matrices[start].clone();
     let mut most_correct = combined.net_score();
 
-    // Lines 8–20: greedy extension until no strict improvement.
+    // Lines 8–20: greedy extension until no strict improvement. Every
+    // remaining candidate is *scored* with the fused kernel; only the
+    // round's winner is materialized via `combine`.
     loop {
-        let mut best: Option<(usize, AlignmentMatrix, f64)> = None;
+        let mut best: Option<(usize, f64)> = None;
         for (i, m) in matrices.iter().enumerate() {
-            if chosen.contains(&i) {
+            if chosen_mask.contains(i) {
                 continue;
             }
-            let c = combined.combine(m, cfg.max_aligned_per_key);
-            let score = c.net_score();
+            let score = combined.combine_score(m);
             let better = match &best {
                 None => score > most_correct,
-                Some((_, _, bs)) => score > *bs,
+                Some((_, bs)) => score > *bs,
             };
             if better {
-                best = Some((i, c, score));
+                best = Some((i, score));
             }
         }
         match best {
-            Some((i, c, score)) if score > most_correct => {
+            Some((i, score)) if score > most_correct => {
                 chosen.push(i);
-                combined = c;
+                chosen_mask.insert(i);
+                combined = combined.combine(&matrices[i], cfg.max_aligned_per_key);
                 most_correct = score;
             }
             _ => break, // line 18–19: converged
@@ -102,10 +155,12 @@ pub fn matrix_traversal(
     }
 
     let estimated_eis = combined.eis();
-    TraversalOutcome {
-        originating: chosen.into_iter().map(|i| tables[i].clone()).collect(),
-        estimated_eis,
-    }
+    // Move the winners out of the candidate list — `chosen` indices are
+    // distinct, so each table is taken exactly once and nothing is cloned.
+    let mut slots: Vec<Option<Table>> = tables.into_iter().map(Some).collect();
+    let originating =
+        chosen.iter().map(|&i| slots[i].take().expect("chosen indices are distinct")).collect();
+    TraversalOutcome { originating, selected: chosen, estimated_eis }
 }
 
 #[cfg(test)]
@@ -228,6 +283,16 @@ mod tests {
         let out = matrix_traversal(&source(), &figure3_candidates(), &cfg);
         // All candidates kept (keyless ones possibly as several expansions).
         assert!(out.originating.len() >= 4, "{}", out.originating.len());
+    }
+
+    #[test]
+    fn selected_indices_match_originating() {
+        let out = matrix_traversal(&source(), &figure3_candidates(), &GenTConfig::default());
+        assert_eq!(out.selected.len(), out.originating.len());
+        let mut dedup = out.selected.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), out.selected.len(), "selection indices must be distinct");
     }
 
     #[test]

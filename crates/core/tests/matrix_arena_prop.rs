@@ -1,0 +1,154 @@
+//! Property tests pinning the flat-arena [`AlignmentMatrix`] to the
+//! nested-vector reference implementation (`matrix::reference`): build,
+//! combine, EIS, net score, and the fused combine–score kernel must agree
+//! on random tables — bit-for-bit where the traversal compares floats.
+
+use gent_core::matrix::reference::NestedMatrix;
+use gent_core::AlignmentMatrix;
+use gent_table::{Table, Value};
+use proptest::prelude::*;
+
+/// A keyed source with 3 non-key columns and unique int keys.
+fn keyed_source() -> impl Strategy<Value = Table> {
+    (
+        proptest::sample::subsequence((0..15i64).collect::<Vec<_>>(), 2..=8),
+        proptest::collection::vec(proptest::collection::vec(0i64..9, 3), 8),
+    )
+        .prop_map(|(keys, cells)| {
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, c)| {
+                    vec![Value::Int(*k), Value::Int(c[0]), Value::Int(c[1]), Value::Int(c[2])]
+                })
+                .collect();
+            Table::build("S", &["k", "a", "b", "c"], &["k"], rows).unwrap()
+        })
+}
+
+/// Derive a candidate from the source via a mutation stream: per source
+/// row, 0–2 aligned copies; per non-key cell, keep / null / corrupt. The
+/// corruptions produce `-1`s (three-valued conflicts), the copies produce
+/// multi-tuple rows — together they exercise dominance pruning, the cap,
+/// and conflict-splitting in `Combine`.
+fn make_candidate(source: &Table, muts: &[u8], name: &str) -> Table {
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut mi = 0usize;
+    let mut next = || {
+        let m = muts[mi % muts.len().max(1)];
+        mi += 1;
+        m
+    };
+    for srow in source.rows() {
+        let copies = next() % 3;
+        for _ in 0..copies {
+            let mut row = Vec::with_capacity(srow.len());
+            row.push(srow[0].clone()); // key preserved
+            for v in &srow[1..] {
+                row.push(match next() % 4 {
+                    1 => Value::Null,
+                    2 => match v {
+                        Value::Int(x) => Value::Int(x + 100), // guaranteed mismatch
+                        other => other.clone(),
+                    },
+                    _ => v.clone(),
+                });
+            }
+            rows.push(row);
+        }
+    }
+    Table::build(name, &["k", "a", "b", "c"], &[], rows).unwrap()
+}
+
+/// The arena's aligned tuples of one row, as owned vectors.
+fn arena_row(m: &AlignmentMatrix, i: usize) -> Vec<Vec<i8>> {
+    m.aligned(i).map(|t| t.to_vec()).collect()
+}
+
+/// Assert the two representations agree tuple-for-tuple and score-for-score.
+fn assert_same(source: &Table, arena: &AlignmentMatrix, nested: &NestedMatrix) {
+    for i in 0..source.n_rows() {
+        assert_eq!(arena_row(arena, i), nested.aligned(i).to_vec(), "row {i} tuples diverge");
+    }
+    assert_eq!(arena.keys_covered(), nested.keys_covered());
+    assert_eq!(arena.eis().to_bits(), nested.eis().to_bits(), "eis diverges");
+    assert_eq!(arena.net_score().to_bits(), nested.net_score().to_bits(), "net_score diverges");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Build agrees on random sources/candidates, in both encodings and
+    /// with a tight cap (cap = 2 forces the keep-best-scores truncation).
+    #[test]
+    fn build_matches_reference(
+        s in keyed_source(),
+        muts in proptest::collection::vec(any::<u8>(), 48),
+        three_valued in any::<bool>(),
+    ) {
+        let cand = make_candidate(&s, &muts, "C");
+        // Cap 0 exercises the tolerated-but-clamped pathological config
+        // (both representations clamp to 1); cap 2 the truncation path.
+        for cap in [0usize, 1, 2, 8] {
+            let arena = AlignmentMatrix::build(&s, &cand, three_valued, cap).unwrap();
+            let nested = NestedMatrix::build(&s, &cand, three_valued, cap).unwrap();
+            assert_same(&s, &arena, &nested);
+        }
+    }
+
+    /// Combine agrees — including chained combines, which feed each round's
+    /// pruned output into the next.
+    #[test]
+    fn combine_matches_reference(
+        s in keyed_source(),
+        m1 in proptest::collection::vec(any::<u8>(), 48),
+        m2 in proptest::collection::vec(any::<u8>(), 48),
+        m3 in proptest::collection::vec(any::<u8>(), 48),
+    ) {
+        let cap = 4usize; // small enough for random inputs to hit it
+        let (c1, c2, c3) = (
+            make_candidate(&s, &m1, "C1"),
+            make_candidate(&s, &m2, "C2"),
+            make_candidate(&s, &m3, "C3"),
+        );
+        let a1 = AlignmentMatrix::build(&s, &c1, true, cap).unwrap();
+        let a2 = AlignmentMatrix::build(&s, &c2, true, cap).unwrap();
+        let a3 = AlignmentMatrix::build(&s, &c3, true, cap).unwrap();
+        let n1 = NestedMatrix::build(&s, &c1, true, cap).unwrap();
+        let n2 = NestedMatrix::build(&s, &c2, true, cap).unwrap();
+        let n3 = NestedMatrix::build(&s, &c3, true, cap).unwrap();
+        let a12 = a1.combine(&a2, cap);
+        let n12 = n1.combine(&n2, cap);
+        assert_same(&s, &a12, &n12);
+        let a123 = a12.combine(&a3, cap);
+        let n123 = n12.combine(&n3, cap);
+        assert_same(&s, &a123, &n123);
+    }
+
+    /// The fused kernel is bit-equal to materialize-then-score, against
+    /// both the arena's own combine and the reference's — the invariant
+    /// that keeps the greedy traversal's selections unchanged.
+    #[test]
+    fn combine_score_matches_materialization(
+        s in keyed_source(),
+        m1 in proptest::collection::vec(any::<u8>(), 48),
+        m2 in proptest::collection::vec(any::<u8>(), 48),
+    ) {
+        let (c1, c2) = (make_candidate(&s, &m1, "C1"), make_candidate(&s, &m2, "C2"));
+        for cap in [0usize, 1, 2, 8] {
+            let a1 = AlignmentMatrix::build(&s, &c1, true, cap).unwrap();
+            let a2 = AlignmentMatrix::build(&s, &c2, true, cap).unwrap();
+            let fused = a1.combine_score(&a2);
+            prop_assert_eq!(fused.to_bits(), a1.combine(&a2, cap).net_score().to_bits());
+            let n1 = NestedMatrix::build(&s, &c1, true, cap).unwrap();
+            let n2 = NestedMatrix::build(&s, &c2, true, cap).unwrap();
+            prop_assert_eq!(fused.to_bits(), n1.combine(&n2, cap).net_score().to_bits());
+            // And symmetrically (coverage gaps flip which side passes
+            // through verbatim).
+            prop_assert_eq!(
+                a2.combine_score(&a1).to_bits(),
+                n2.combine(&n1, cap).net_score().to_bits()
+            );
+        }
+    }
+}

@@ -450,7 +450,10 @@ pub fn set_similarity(
         }
 
         // Rename mapped columns to their source names; resolve collisions
-        // with unmapped columns by suffixing those.
+        // with unmapped columns by suffixing those. The clone is
+        // schema-only in cost: `Table` rows are Arc-shared copy-on-write,
+        // and nothing below mutates rows, so every accepted candidate keeps
+        // pointing at the lake table's row storage.
         let mut renamed = table.clone();
         // First free up colliding unmapped names.
         let target_names: FxHashSet<String> = mapping
@@ -604,6 +607,23 @@ mod tests {
         let b = cands.iter().find(|c| c.table.name() == "B").expect("B retrieved");
         assert!(b.table.schema().contains("Name"));
         assert!(b.table.schema().contains("Age"));
+    }
+
+    #[test]
+    fn accepted_candidates_share_row_storage_with_the_lake() {
+        // Renaming is schema-only: every candidate table must still point
+        // at the lake table's Arc-shared row buffer — no per-candidate row
+        // copy just to change column names.
+        let (source, lake) = figure3();
+        let cands = set_similarity(&lake, &source, None, &SetSimilarityConfig::default());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(
+                c.table.shares_rows_with(&lake.tables()[c.lake_index]),
+                "candidate {} copied its rows during renaming",
+                c.table.name()
+            );
+        }
     }
 
     #[test]

@@ -208,6 +208,18 @@ impl LakeService {
                 ]),
             ),
             ("candidates_considered".into(), Json::Int(result.candidates_considered as i64)),
+            // The pipeline's wall-clock breakdown: where this request's
+            // time went (per request, so it varies run to run — clients
+            // comparing responses must compare everything *but* this).
+            (
+                "timings".into(),
+                Json::Object(vec![
+                    ("discovery_ms".into(), Json::Float(ms(result.timings.discovery))),
+                    ("traversal_ms".into(), Json::Float(ms(result.timings.traversal))),
+                    ("integration_ms".into(), Json::Float(ms(result.timings.integration))),
+                    ("total_ms".into(), Json::Float(ms(result.timings.total()))),
+                ]),
+            ),
             ("originating".into(), Json::Array(originating)),
             ("reclaimed".into(), table_to_json(&result.reclaimed)),
         ]);
@@ -263,6 +275,11 @@ impl LakeService {
         }
         Ok(source)
     }
+}
+
+/// Milliseconds as a float, for the wire.
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
 }
 
 fn read_error_response(e: &HttpError) -> Response {
@@ -414,6 +431,23 @@ mod tests {
         let reclaimed = v.get("reclaimed").unwrap();
         assert_eq!(reclaimed.get("columns").unwrap().as_array().unwrap().len(), 3);
         assert_eq!(reclaimed.get("rows").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn reclaim_reports_pipeline_timings() {
+        let s = service();
+        let body = r#"{"source": {"name": "S", "columns": ["id", "name", "age"],
+            "key": ["id"],
+            "rows": [[0, "Smith", 27], [1, "Brown", 24]]}}"#;
+        let r = s.respond(Ok(post(body)));
+        assert_eq!(r.status, 200, "body: {}", r.body);
+        let v = Json::parse(&r.body).unwrap();
+        let t = v.get("timings").expect("reclaim responses carry a timings breakdown");
+        let field = |k: &str| t.get(k).and_then(Json::as_f64).unwrap_or_else(|| panic!("{k}"));
+        let (d, tr, int) = (field("discovery_ms"), field("traversal_ms"), field("integration_ms"));
+        let total = field("total_ms");
+        assert!(d >= 0.0 && tr >= 0.0 && int >= 0.0);
+        assert!((total - (d + tr + int)).abs() < 1e-6, "total {total} vs {d}+{tr}+{int}");
     }
 
     #[test]

@@ -6,6 +6,14 @@
 //! arity checks — because the operator algebra (`gent-ops`) rewrites tables
 //! wholesale and the hot paths (discovery, matrix traversal) work over
 //! derived indexes, not this storage.
+//!
+//! Row storage is held behind an [`Arc`] with copy-on-write semantics:
+//! cloning a `Table` (or renaming its columns, setting a key, truncating
+//! its name — any schema-only change) shares the row buffer, and the rows
+//! are deep-copied only at the first mutation of a *shared* table
+//! ([`Arc::make_mut`]). Set Similarity clones every accepted candidate just
+//! to rename columns, and multi-lake reclamation re-embeds whole lakes —
+//! with shared storage both are O(schema), not O(rows).
 
 use crate::error::TableError;
 use crate::fxhash::{FxHashMap, FxHashSet};
@@ -37,18 +45,20 @@ impl fmt::Display for KeyValue {
     }
 }
 
-/// A named, row-major relation.
+/// A named, row-major relation. Row storage is `Arc`-shared with
+/// copy-on-write: clones and schema-only edits (renames, key changes) share
+/// the buffer; row mutations copy it first if it is shared.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Table {
     name: Arc<str>,
     schema: Schema,
-    rows: Vec<Vec<Value>>,
+    rows: Arc<Vec<Vec<Value>>>,
 }
 
 impl Table {
     /// An empty table over `schema`.
     pub fn new(name: impl AsRef<str>, schema: Schema) -> Self {
-        Table { name: Arc::from(name.as_ref()), schema, rows: Vec::new() }
+        Table { name: Arc::from(name.as_ref()), schema, rows: Arc::new(Vec::new()) }
     }
 
     /// Build from rows, checking arity.
@@ -66,7 +76,7 @@ impl Table {
                 });
             }
         }
-        Ok(Table { name: Arc::from(name.as_ref()), schema, rows })
+        Ok(Table { name: Arc::from(name.as_ref()), schema, rows: Arc::new(rows) })
     }
 
     /// Convenience constructor used heavily in tests and examples: columns,
@@ -146,7 +156,8 @@ impl Table {
         self.cell(i, j)
     }
 
-    /// Append a row, checking arity.
+    /// Append a row, checking arity. Copies the row buffer first when it is
+    /// shared with another table (copy-on-write).
     pub fn push_row(&mut self, row: Vec<Value>) -> Result<(), TableError> {
         if row.len() != self.schema.len() {
             return Err(TableError::ArityMismatch {
@@ -155,8 +166,15 @@ impl Table {
                 row: Some(self.rows.len()),
             });
         }
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
         Ok(())
+    }
+
+    /// Do `self` and `other` share the same row storage (no copy between
+    /// them)? Schema-only edits — Set Similarity's column renaming, key
+    /// overrides — must keep this true for their input.
+    pub fn shares_rows_with(&self, other: &Table) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
     }
 
     /// Iterate over the values of column `j`.
@@ -178,7 +196,7 @@ impl Table {
     /// Distinct non-null values over the whole table.
     pub fn all_values(&self) -> FxHashSet<Value> {
         let mut set = FxHashSet::default();
-        for r in &self.rows {
+        for r in self.rows.iter() {
             for v in r {
                 if !v.is_null_like() {
                     set.insert(v.clone());
@@ -252,12 +270,12 @@ impl Table {
     /// Remove exact duplicate rows, preserving first occurrences.
     pub fn dedup_rows(&mut self) {
         let mut seen: FxHashSet<Vec<Value>> = FxHashSet::default();
-        self.rows.retain(|r| seen.insert(r.clone()));
+        Arc::make_mut(&mut self.rows).retain(|r| seen.insert(r.clone()));
     }
 
     /// Keep only rows satisfying `pred` (row-slice predicate).
     pub fn retain_rows<F: FnMut(&[Value]) -> bool>(&mut self, mut pred: F) {
-        self.rows.retain(|r| pred(r));
+        Arc::make_mut(&mut self.rows).retain(|r| pred(r));
     }
 
     /// Low-level column projection by index, preserving this table's key
@@ -435,6 +453,35 @@ mod tests {
         assert_eq!(names.len(), 3); // Smith, Brown, Wang — no nulls/labels
         let ages = t.distinct_values(2);
         assert_eq!(ages.len(), 3); // 27, 24, 32 (27 dup collapses)
+    }
+
+    #[test]
+    fn clones_share_rows_until_mutated() {
+        let t = sample();
+        let mut renamed = t.clone();
+        assert!(renamed.shares_rows_with(&t), "a fresh clone shares row storage");
+        // Schema-only edits keep sharing: rename a column, change the key.
+        renamed.schema_mut().rename(1, "full_name").unwrap();
+        renamed.set_name("renamed");
+        assert!(renamed.shares_rows_with(&t), "schema edits must not copy rows");
+        assert_eq!(renamed.cell(0, 1), t.cell(0, 1));
+        // First row mutation copies — and only the mutated table changes.
+        renamed.push_row(vec![V::Int(3), V::str("New"), V::Int(40)]).unwrap();
+        assert!(!renamed.shares_rows_with(&t));
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(renamed.n_rows(), 4);
+    }
+
+    #[test]
+    fn unshared_mutation_does_not_copy() {
+        // `Arc::make_mut` on a unique handle mutates in place; equality
+        // stays deep regardless of sharing.
+        let a = sample();
+        let mut b = a.clone();
+        b.retain_rows(|r| r[0] != V::Int(0));
+        assert_eq!(b.n_rows(), 2);
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
     }
 
     #[test]

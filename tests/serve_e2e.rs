@@ -45,6 +45,17 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
     (status, payload)
 }
 
+/// Re-render a response body with the per-request `timings` field removed,
+/// so deterministic payloads can be compared across requests.
+fn without_timings(body: &str) -> String {
+    match Json::parse(body).expect("response json") {
+        Json::Object(fields) => {
+            Json::Object(fields.into_iter().filter(|(k, _)| k != "timings").collect()).render()
+        }
+        other => other.render(),
+    }
+}
+
 #[test]
 fn daemon_matches_one_shot_cli_byte_for_byte() {
     // ── Build one snapshot both paths will use. ─────────────────────────
@@ -110,6 +121,13 @@ fn daemon_matches_one_shot_cli_byte_for_byte() {
         assert_eq!(*status, 200, "request {i} failed: {body}");
         let v = Json::parse(body).expect("response json");
 
+        // Every response carries the pipeline's wall-clock breakdown.
+        let timings = v.get("timings").expect("reclaim response carries `timings`");
+        for field in ["discovery_ms", "traversal_ms", "integration_ms", "total_ms"] {
+            let val = timings.get(field).and_then(Json::as_f64);
+            assert!(val.is_some_and(|v| v >= 0.0), "request {i}: bad timings.{field}: {val:?}");
+        }
+
         // Metrics agree with the CLI run (the CLI prints 3 decimals).
         let eis = v.get("metrics").unwrap().get("eis").and_then(Json::as_f64).expect("eis");
         assert!((eis - cli_eis).abs() < 5e-4, "request {i}: served EIS {eis} vs CLI EIS {cli_eis}");
@@ -127,10 +145,12 @@ fn daemon_matches_one_shot_cli_byte_for_byte() {
         );
     }
 
-    // All concurrent responses are identical to each other, too.
+    // All concurrent responses are identical to each other, too — modulo
+    // the per-request `timings` field, which genuinely varies run to run.
+    let canonical = without_timings(&responses[0].1);
     for (status, body) in &responses[1..] {
         assert_eq!(*status, responses[0].0);
-        assert_eq!(body, &responses[0].1, "concurrent responses must not diverge");
+        assert_eq!(without_timings(body), canonical, "concurrent responses must not diverge");
     }
 
     handle.stop();

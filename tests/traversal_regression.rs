@@ -1,0 +1,153 @@
+//! Regression suite for the flat-arena Matrix Traversal: on the datagen
+//! benchmark, the optimized pipeline (arena matrices, fused combine–score,
+//! winner-only materialization) must produce **byte-identical** output to
+//! the pre-refactor algorithm — re-run here against the retained
+//! nested-vector reference implementation (`gent_core::matrix::reference`),
+//! which is the old code verbatim.
+
+use gen_t::core::matrix::reference::NestedMatrix;
+use gen_t::core::{expand, integrate, matrix_traversal, GenT, GenTConfig};
+use gen_t::datagen::suite::{build, BenchmarkId, SuiteConfig};
+use gen_t::discovery::{set_similarity, DataLake};
+use gen_t::table::{csv, Table};
+
+/// Algorithm 1 exactly as it ran before the arena refactor: nested-vector
+/// matrices, and a *materialized* `Combine` per candidate per greedy round.
+fn reference_traversal(
+    source: &Table,
+    candidates: &[Table],
+    cfg: &GenTConfig,
+) -> (Vec<Table>, f64) {
+    let key_names: Vec<&str> = source.schema().key_names();
+    let expanded = expand(candidates, &key_names, cfg.expand_max_depth);
+    let mut tables: Vec<Table> = Vec::new();
+    let mut matrices: Vec<NestedMatrix> = Vec::new();
+    for t in expanded {
+        if let Some(m) = NestedMatrix::build(source, &t, cfg.three_valued, cfg.max_aligned_per_key)
+        {
+            tables.push(t);
+            matrices.push(m);
+        }
+    }
+    if tables.is_empty() {
+        return (Vec::new(), 0.0);
+    }
+    let (start, _) = matrices
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (i, m.net_score()))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("score finite").then(b.0.cmp(&a.0)))
+        .expect("non-empty");
+    let mut chosen = vec![start];
+    let mut combined = matrices[start].clone();
+    let mut most_correct = combined.net_score();
+    loop {
+        let mut best: Option<(usize, NestedMatrix, f64)> = None;
+        for (i, m) in matrices.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let c = combined.combine(m, cfg.max_aligned_per_key);
+            let score = c.net_score();
+            let better = match &best {
+                None => score > most_correct,
+                Some((_, _, bs)) => score > *bs,
+            };
+            if better {
+                best = Some((i, c, score));
+            }
+        }
+        match best {
+            Some((i, c, score)) if score > most_correct => {
+                chosen.push(i);
+                combined = c;
+                most_correct = score;
+            }
+            _ => break,
+        }
+        if chosen.len() == tables.len() {
+            break;
+        }
+    }
+    (chosen.into_iter().map(|i| tables[i].clone()).collect(), combined.eis())
+}
+
+/// A table's CSV rendering, for byte-level comparison.
+fn csv_bytes(t: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    csv::write_csv(t, &mut out).expect("csv render");
+    out
+}
+
+#[test]
+fn reclaim_output_is_byte_identical_to_pre_refactor_algorithm() {
+    // A mid-sized TP-TR suite: big enough for multi-round traversals with
+    // expansions and conflicts, small enough to run both algorithms over
+    // every case.
+    let suite = SuiteConfig { units: (20, 40, 60), ..Default::default() };
+    let bench = build(BenchmarkId::TpTrSmall, &suite);
+    let lake = DataLake::from_tables(bench.lake_tables.clone());
+    let cfg = GenTConfig::default();
+    let gen_t = GenT::new(cfg.clone());
+
+    let mut nonempty = 0usize;
+    let mut multi_round = 0usize;
+    for case in &bench.cases {
+        if !case.source.schema().has_key() {
+            continue;
+        }
+        let candidates: Vec<Table> = set_similarity(&lake, &case.source, None, &cfg.set_similarity)
+            .into_iter()
+            .map(|c| c.table)
+            .collect();
+
+        // Optimized path: arena matrices, fused scoring, winner-only
+        // materialization — the code the pipeline actually runs.
+        let outcome = matrix_traversal(&case.source, &candidates, &cfg);
+        // Pre-refactor path: nested matrices, materialize-per-candidate.
+        let (ref_originating, ref_eis) = reference_traversal(&case.source, &candidates, &cfg);
+
+        // Same selections, in the same order, with the same matrix EIS.
+        let names: Vec<&str> = outcome.originating.iter().map(|t| t.name()).collect();
+        let ref_names: Vec<&str> = ref_originating.iter().map(|t| t.name()).collect();
+        assert_eq!(names, ref_names, "case {}: different originating tables", case.id);
+        assert_eq!(
+            outcome.estimated_eis.to_bits(),
+            ref_eis.to_bits(),
+            "case {}: estimated EIS diverges",
+            case.id
+        );
+        for (a, b) in outcome.originating.iter().zip(&ref_originating) {
+            assert_eq!(csv_bytes(a), csv_bytes(b), "case {}: originating table bytes", case.id);
+        }
+
+        // Same reclaimed table, byte for byte, and the same reported EIS
+        // through the full pipeline entry point.
+        let result = gen_t.reclaim_from_candidates(&case.source, &candidates).expect("keyed");
+        let ref_reclaimed = integrate(&ref_originating, &case.source, &cfg);
+        assert_eq!(
+            csv_bytes(&result.reclaimed),
+            csv_bytes(&ref_reclaimed),
+            "case {}: reclaimed CSV diverges",
+            case.id
+        );
+        assert_eq!(
+            result.eis.to_bits(),
+            gen_t::metrics::eis(&case.source, &ref_reclaimed).to_bits(),
+            "case {}: pipeline EIS diverges",
+            case.id
+        );
+
+        if !outcome.originating.is_empty() {
+            nonempty += 1;
+        }
+        if outcome.originating.len() > 1 {
+            multi_round += 1;
+        }
+    }
+    // The comparison is only meaningful if the suite actually exercised
+    // the greedy loop: most cases must reclaim something, several across
+    // multiple rounds.
+    assert!(nonempty >= bench.cases.len() / 2, "only {nonempty} non-empty traversals");
+    assert!(multi_round >= 3, "only {multi_round} multi-round traversals");
+}
