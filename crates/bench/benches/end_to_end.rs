@@ -26,7 +26,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         let ms = gent_bench::time_median_ms(5, || {
             std::hint::black_box(gen_t.reclaim(&source, &lake).unwrap());
         });
-        gent_bench::record(&format!("end_to_end/gen_t_reclaim/{label}"), ms, None);
+        gent_bench::record_vs_baseline(&format!("end_to_end/gen_t_reclaim/{label}"), ms);
     }
     g.finish();
 }

@@ -3,6 +3,12 @@
 //! `gent-store` snapshot. The snapshot path is the reason the store exists;
 //! this bench quantifies the gap and asserts the acceptance bar (≥10× in
 //! release mode) so a format regression cannot slip in silently.
+//!
+//! The warm side *fully materializes* the lake (`decode_all` + LSH
+//! decode): v2 opens are lazy by default, and comparing a deferred open
+//! against a full rebuild would flatter the format. The lazy open's own
+//! gate lives in the `snapshot_lazy` bench; this one keeps the cross-PR
+//! trajectory of raw decode throughput comparable with the v1 numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gent_datagen::suite::{build, BenchmarkId as SuiteId, SuiteConfig};
@@ -73,7 +79,10 @@ fn bench_snapshot(c: &mut Criterion) {
             std::hint::black_box(rebuild_from_csv(&paths));
         },
         || {
-            std::hint::black_box(snapshot::load(&snap).expect("load"));
+            let loaded = snapshot::load(&snap).expect("load");
+            loaded.lake.decode_all(1).expect("decode_all");
+            loaded.lsh.force().expect("lsh decode");
+            std::hint::black_box(loaded);
         },
     );
     let ratio = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
@@ -96,7 +105,12 @@ fn bench_snapshot(c: &mut Criterion) {
         b.iter(|| rebuild_from_csv(&paths))
     });
     g.bench_function(BenchmarkId::new("warm_open_snapshot", "tp-tr-med"), |b| {
-        b.iter(|| snapshot::load(&snap).expect("load"))
+        b.iter(|| {
+            let loaded = snapshot::load(&snap).expect("load");
+            loaded.lake.decode_all(1).expect("decode_all");
+            loaded.lsh.force().expect("lsh decode");
+            loaded
+        })
     });
     g.finish();
 

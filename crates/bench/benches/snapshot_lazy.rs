@@ -1,0 +1,163 @@
+//! Lazy vs eager snapshot open — the zero-copy v2 format's reason to
+//! exist, quantified and CI-gated.
+//!
+//! The serving workload this format targets is "open a big lake, answer a
+//! reclaim that touches a handful of tables". Under the eager regime that
+//! request pays for decoding *every* table plus the LSH bands; under the
+//! lazy regime it pays one read + checksum + preambles, then decodes only
+//! what the pipeline ranks. The lake is TP-TR Med embedded in the
+//! SANTOS-Large noise corpus (`SantosLargeTpTrMed`, ~1.5k tables) — the
+//! big-lake shape where lazy open matters; the source is built from one
+//! noise table, so the reclaim genuinely touches **one** lake table (the
+//! satellite "1-table reclaim": TPC-H-keyed sources are the wrong probe
+//! here, their integer keys occur in ~100 columns corpus-wide). Both sides
+//! run the identical reclamation afterwards, and the bench first proves
+//! the outputs byte-identical — fidelity before speed, as in
+//! `traversal_hot`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_core::{GenT, GenTConfig};
+use gent_datagen::suite::{build, BenchmarkId as SuiteId, SuiteConfig};
+use gent_discovery::{LshConfig, LshEnsembleIndex};
+use gent_store::{snapshot, InMemory, LakeSource};
+use gent_table::key::ensure_key;
+use gent_table::{csv, Table};
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gent-bench-snaplazy-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Interleaved best-of-`n`, as in the snapshot/serve benches: machine
+/// drift hits both sides equally, minima filter scheduler noise (and the
+/// cold-page-cache first iteration).
+fn min_times<A: FnMut(), B: FnMut()>(n: usize, mut a: A, mut b: B) -> (Duration, Duration) {
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        a();
+        best_a = best_a.min(t.elapsed());
+        let t = Instant::now();
+        b();
+        best_b = best_b.min(t.elapsed());
+    }
+    (best_a, best_b)
+}
+
+fn csv_bytes(t: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    csv::write_csv(t, &mut out).expect("csv render");
+    out
+}
+
+fn bench_snapshot_lazy(c: &mut Criterion) {
+    let dir = scratch();
+    let snap = dir.join("lazy.gentlake");
+
+    // The big-lake snapshot, with LSH bands — dead weight for an
+    // exact-retrieval reclaim, which is precisely the point: eager open
+    // decodes them anyway, lazy open never touches them.
+    let bench = build(SuiteId::SantosLargeTpTrMed, &SuiteConfig::default());
+    // The reclaim target: rows of one noise table, whose vocabulary occurs
+    // (essentially) nowhere else in the corpus — a genuinely local reclaim.
+    let noise =
+        bench.lake_tables.iter().rev().find(|t| t.n_rows() >= 10).expect("corpus has noise tables");
+    let mut source = Table::from_rows(
+        "local_source",
+        noise.schema().clone(),
+        noise.rows().iter().take(10).cloned().collect(),
+    )
+    .expect("source from noise table");
+    assert!(ensure_key(&mut source), "noise rows must yield a minable key");
+
+    let built = InMemory::new(bench.lake_tables.clone()).load_lake().expect("ingest");
+    let lsh = LshEnsembleIndex::build(&built.lake, LshConfig::default());
+    snapshot::save(&snap, &built.lake, Some(&lsh)).expect("save");
+    drop(lsh);
+    drop(built);
+    drop(bench);
+    let mut light = GenTConfig::default();
+    light.set_similarity.max_candidates = 2;
+    let gen_t = GenT::new(light);
+
+    // ── Fidelity first: lazy and eager opens reclaim identical bytes. ───
+    let lazy_out = {
+        let loaded = snapshot::load(&snap).expect("lazy open");
+        assert_eq!(loaded.lake.tables_decoded(), 0, "v2 open must be lazy");
+        let r = gen_t.reclaim(&source, &loaded.lake).expect("lazy reclaim");
+        let touched = loaded.lake.tables_decoded();
+        println!("local reclaim touched {touched}/{} tables (eis {:.3})", loaded.lake.len(), r.eis);
+        assert!(touched <= 8, "a local reclaim must stay local, decoded {touched} tables");
+        (csv_bytes(&r.reclaimed), r.eis.to_bits())
+    };
+    let eager_out = {
+        let loaded = snapshot::load(&snap).expect("eager open");
+        loaded.lake.decode_all(1).expect("decode_all");
+        loaded.lsh.force().expect("lsh decode");
+        let r = gen_t.reclaim(&source, &loaded.lake).expect("eager reclaim");
+        (csv_bytes(&r.reclaimed), r.eis.to_bits())
+    };
+    assert_eq!(lazy_out, eager_out, "lazy and eager reclaims must be byte-identical");
+
+    // ── The gate: lazy open + 1-table reclaim vs eager full decode + the
+    //    same reclaim, interleaved best-of-5. ────────────────────────────
+    let (eager, lazy) = min_times(
+        5,
+        || {
+            let loaded = snapshot::load(&snap).expect("eager open");
+            loaded.lake.decode_all(1).expect("decode_all");
+            loaded.lsh.force().expect("lsh decode");
+            std::hint::black_box(gen_t.reclaim(&source, &loaded.lake).expect("reclaim"));
+        },
+        || {
+            let loaded = snapshot::load(&snap).expect("lazy open");
+            std::hint::black_box(gen_t.reclaim(&source, &loaded.lake).expect("reclaim"));
+        },
+    );
+    let ratio = eager.as_secs_f64() / lazy.as_secs_f64().max(1e-9);
+    println!(
+        "snapshot lazy open (santos+med, ~1.5k tables): lazy open+reclaim {lazy:?} vs eager \
+         full-decode+reclaim {eager:?} — {ratio:.1}×"
+    );
+    gent_bench::record("snapshot_lazy/lazy_open_reclaim", lazy.as_secs_f64() * 1e3, Some(ratio));
+    // Measured ~2.6× steady-state on the 1-core dev container (the eager
+    // side pays the full table + LSH decode the lazy side skips; the
+    // remaining common cost is the one read + whole-file checksum, a
+    // ROADMAP follow-up). The ≥2× floor sits below the observed noise
+    // band so a regression that sneaks eager decode back into the open
+    // path fails loudly without flaking CI.
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            ratio >= 2.0,
+            "lazy open + 1-table reclaim must be ≥2× eager full decode, got {ratio:.2}×"
+        );
+    }
+
+    let mut g = c.benchmark_group("snapshot_lazy");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("lazy_open_reclaim", "santos+med"), |b| {
+        b.iter(|| {
+            let loaded = snapshot::load(&snap).expect("lazy open");
+            gen_t.reclaim(&source, &loaded.lake).expect("reclaim")
+        })
+    });
+    g.bench_function(BenchmarkId::new("eager_open_reclaim", "santos+med"), |b| {
+        b.iter(|| {
+            let loaded = snapshot::load(&snap).expect("eager open");
+            loaded.lake.decode_all(1).expect("decode_all");
+            loaded.lsh.force().expect("lsh decode");
+            gen_t.reclaim(&source, &loaded.lake).expect("reclaim")
+        })
+    });
+    g.finish();
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_snapshot_lazy);
+criterion_main!(benches);

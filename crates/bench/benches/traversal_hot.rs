@@ -119,7 +119,7 @@ fn bench_traversal_hot(c: &mut Criterion) {
     let full_ms = report::time_median_ms(7, || {
         std::hint::black_box(matrix_traversal(&case.source, &candidates, &gcfg));
     });
-    report::record("traversal_hot/matrix_traversal_full", full_ms, None);
+    report::record_vs_baseline("traversal_hot/matrix_traversal_full", full_ms);
 
     let mut g = c.benchmark_group("traversal_hot");
     g.sample_size(10);

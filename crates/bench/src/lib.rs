@@ -27,4 +27,4 @@ pub use format::markdown_table;
 pub use harness::{
     aggregate, run_benchmark, AggregateRow, CandidateMode, CaseOutcome, HarnessConfig, MethodSpec,
 };
-pub use report::{record, time_median_ms};
+pub use report::{baseline_ms, record, record_vs_baseline, time_median_ms};

@@ -16,8 +16,12 @@
 //!   gate-style benches that already measure that way (minima are the
 //!   noise-robust statistic on shared hardware).
 //! * `gate_ratio` — for benches that assert a floor (fused vs materialize,
-//!   warm vs cold), the measured ratio the gate checked; `null` for plain
-//!   latency entries.
+//!   warm vs cold), the measured ratio the gate checked. Plain trajectory
+//!   entries go through [`record_vs_baseline`], which fills `gate_ratio`
+//!   with `committed_baseline_ms / ms` (>1 = faster than the baseline) and
+//!   warns on stderr past a ±25% drift — the file is a regression
+//!   tripwire, not just a log. `null` appears only for an entry's first
+//!   ever run (no baseline to compare against).
 //!
 //! Records merge into the existing file (other benches' entries survive)
 //! and keys are written sorted, so reruns produce deterministic diffs. The
@@ -65,6 +69,39 @@ pub fn record(name: &str, ms: f64, gate_ratio: Option<f64>) {
         // read-only checkout); the console output still has the numbers.
         eprintln!("BENCH_pipeline.json not written ({}): {e}", path.display());
     }
+}
+
+/// The committed `ms` for `name`, if the report already has an entry — the
+/// baseline a rerun is judged against.
+pub fn baseline_ms(name: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(report_path()).ok()?;
+    Json::parse(&text).ok()?.get(name)?.get("ms").and_then(Json::as_f64)
+}
+
+/// Allowed drift either side of the committed baseline before
+/// [`record_vs_baseline`] warns.
+pub const BASELINE_DRIFT_WARN: f64 = 0.25;
+
+/// Merge one *trajectory* entry, judged against the committed baseline:
+/// `gate_ratio` becomes `baseline_ms / ms` (so >1 means faster than the
+/// committed number) and a drift past ±25% prints a loud stderr warning
+/// with both numbers. First-ever runs (no committed entry) record a `null`
+/// ratio. Returns the ratio for callers that want to gate harder.
+pub fn record_vs_baseline(name: &str, ms: f64) -> Option<f64> {
+    let baseline = baseline_ms(name);
+    let ratio = baseline.map(|b| b / ms.max(1e-9));
+    if let Some(b) = baseline {
+        let drift = (ms - b) / b.max(1e-9);
+        if drift.abs() > BASELINE_DRIFT_WARN {
+            eprintln!(
+                "WARN: {name} drifted {:+.1}% vs the committed baseline \
+                 ({b:.3} ms → {ms:.3} ms); investigate or re-baseline deliberately",
+                drift * 100.0
+            );
+        }
+    }
+    record(name, ms, ratio);
+    ratio
 }
 
 /// Median wall-clock of `iters` runs of `f`, in milliseconds.
@@ -120,6 +157,24 @@ mod tests {
             let Json::Object(fields) = &v else { panic!("object") };
             assert_eq!(fields.len(), 2);
             assert_eq!(v.get("a/earlier").unwrap().get("ms").and_then(Json::as_f64), Some(9.0));
+        });
+    }
+
+    #[test]
+    fn baseline_comparison_fills_gate_ratio() {
+        with_temp_report(|path| {
+            // First run: no committed baseline → null ratio.
+            assert_eq!(record_vs_baseline("e2e/case", 100.0), None);
+            let v = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+            assert!(matches!(v.get("e2e/case").unwrap().get("gate_ratio"), Some(Json::Null)));
+
+            // Rerun: judged against the 100 ms now in the file.
+            let ratio = record_vs_baseline("e2e/case", 50.0).expect("baseline present");
+            assert!((ratio - 2.0).abs() < 1e-9, "100ms baseline / 50ms run = 2×, got {ratio}");
+            let v = Json::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+            let stored = v.get("e2e/case").unwrap().get("gate_ratio").and_then(Json::as_f64);
+            assert_eq!(stored, Some(ratio));
+            assert_eq!(baseline_ms("e2e/case"), Some(50.0));
         });
     }
 

@@ -60,14 +60,16 @@ USAGE:
   gent lake     build <lake-dir> --out snap.gentlake [--lsh] [--threads N]
                 build --suite tp-tr-small --out snap.gentlake [--seed 7] [--lsh]
                 stat  <snap.gentlake>
-  gent serve    --lake snap.gentlake [--addr 127.0.0.1:7744] [--threads N]
+  gent serve    --lake snap.gentlake [--addr 127.0.0.1:7744] [--threads N] [--eager]
   gent help
 
 A lake snapshot (`lake build`) persists the tables together with the
 inverted value index and optional LSH bands; `reclaim --lake` and
 `lake stat` reopen it without rebuilding anything, and `serve` keeps it
 open: a daemon answering POST /reclaim, GET /lake/stat and GET /healthz
-against the warm lake (JSON in, JSON out; see gent-serve).
+against the warm lake (JSON in, JSON out; see gent-serve). Snapshots open
+zero-copy and lazy — table cells decode on first touch; `serve --eager`
+pre-decodes the whole lake at boot.
 
 QUERY SYNTAX (SPJU):
   project(cols; q)  select(pred; q)  join(q, q)  leftjoin  fulljoin  cross
@@ -430,25 +432,42 @@ fn cmd_lake_stat(args: &[String], out: &mut impl Write) -> Result<(), CliError> 
 
 /// `gent serve`: open one snapshot warm and answer reclamation requests
 /// against it until killed. The lake (tables + FrozenIndex + LSH bands) is
-/// opened exactly once and shared by every worker thread.
+/// opened exactly once and shared by every worker thread. The open is
+/// *lazy* — no table cells decode until a reclaim touches them; `--eager`
+/// pre-decodes everything (in parallel across `--threads`) so the first
+/// requests pay no decode either.
 fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     use gent_serve::{LakeService, ServeConfig, Server};
     use gent_store::{LakeSource, SnapshotFile};
     use std::time::Instant;
 
-    let p = ParsedArgs::parse(args, &["lake", "addr", "threads"], &[])?;
+    let p = ParsedArgs::parse(args, &["lake", "addr", "threads"], &["eager"])?;
     let snap = PathBuf::from(
         p.option("lake")
             .ok_or_else(|| CliError::Usage("serve requires --lake <snapshot>".into()))?,
     );
+    let threads = p.option_parse::<usize>("threads")?.unwrap_or(0);
 
     let t0 = Instant::now();
     let loaded = SnapshotFile(snap.clone()).load_lake()?;
     let open_time = t0.elapsed();
 
+    let mut warmup_note = String::new();
+    if p.flag("eager") {
+        let decode_threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        let t1 = Instant::now();
+        loaded.lake.decode_all(decode_threads).map_err(gent_store::StoreError::from)?;
+        loaded.lsh.force()?;
+        warmup_note = format!(", pre-decoded in {:.3}s", t1.elapsed().as_secs_f64());
+    }
+
     let cfg = ServeConfig {
         addr: p.option("addr").unwrap_or("127.0.0.1:7744").to_string(),
-        threads: p.option_parse::<usize>("threads")?.unwrap_or(0),
+        threads,
         ..ServeConfig::default()
     };
     let n_tables = loaded.lake.len();
@@ -456,10 +475,11 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let server = Server::bind(&cfg, service).map_err(CliError::Io)?;
     writeln!(
         out,
-        "serving {} ({} tables, opened warm in {:.3}s) on http://{}",
+        "serving {} ({} tables, opened in {:.3}s{}) on http://{}",
         snap.display(),
         n_tables,
         open_time.as_secs_f64(),
+        warmup_note,
         server.local_addr()?
     )?;
     out.flush()?;

@@ -264,7 +264,7 @@ fn lake_build_stat_and_reclaim_from_snapshot() {
     assert!(snap.is_file(), "snapshot written");
 
     let text = run_ok(&["lake", "stat", snap.to_str().unwrap()]);
-    assert!(text.contains("format version: 1"), "{text}");
+    assert!(text.contains("format version: 2"), "{text}");
     assert!(text.contains("tables:         3"), "{text}");
     assert!(text.contains("columns"), "{text}");
     assert!(!text.contains("absent"), "lsh stored: {text}");

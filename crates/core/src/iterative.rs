@@ -58,7 +58,7 @@ impl GenT {
                 self.reclaim(source, lake)?
             } else {
                 // Embed the carried originating tables into this lake.
-                let mut tables: Vec<Table> = lake.tables().to_vec();
+                let mut tables: Vec<Table> = lake.tables_iter().cloned().collect();
                 tables.extend(carried.iter().cloned());
                 let embedded = DataLake::from_tables(tables);
                 self.reclaim(source, &embedded)?

@@ -169,7 +169,7 @@ impl GenT {
         norm: &NormalizeConfig,
     ) -> Result<ReclamationResult, GentError> {
         let nsource = norm.table(source);
-        let ntables: Vec<Table> = lake.tables().iter().map(|t| norm.table(t)).collect();
+        let ntables: Vec<Table> = lake.tables_iter().map(|t| norm.table(t)).collect();
         let nlake = DataLake::from_tables(ntables);
         self.reclaim(&nsource, &nlake)
     }

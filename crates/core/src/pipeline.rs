@@ -113,7 +113,7 @@ impl GenT {
         let restrict = restrict.map(|idx| {
             idx.into_iter()
                 .filter(|&i| {
-                    let name = lake.get(i).expect("index from lake").name();
+                    let name = lake.name_of(i).expect("index from lake");
                     !excluded.contains(&name)
                 })
                 .collect::<Vec<_>>()

@@ -1,44 +1,54 @@
 //! [`FrozenIndex`]: the inverted value index in its *serving layout* —
 //! an open-addressing hash table whose backing arrays are plain `u32`/`u64`/
-//! byte vectors.
+//! byte arrays.
 //!
-//! The point of freezing is persistence: `gent-store` writes the five
-//! arrays to disk verbatim and reads them back with bulk array decodes, so
-//! reopening a snapshot costs O(bytes) sequential reads instead of
-//! re-inserting every distinct value into a fresh hash map. A frozen index
-//! answers [`FrozenIndex::get`] exactly like the `FxHashMap` it was built
-//! from, because keys are compared as *canonical value bytes*
+//! The point of freezing is persistence: `gent-store` writes the arrays to
+//! disk verbatim ([`FrozenIndex::encode`]) and a v2 snapshot open does not
+//! read them back at all — the arrays become [`WordView`]/[`ByteView`]s
+//! into the shared, `Arc`-anchored snapshot buffer
+//! ([`gent_table::view::LakeBuf`]), so reopening a lake allocates nothing
+//! per entry and the resident cost of the index is the file bytes it
+//! already occupies. Only the posting arena is materialized (the file
+//! stores it struct-of-arrays, and lookups hand out `&[Posting]`). A frozen
+//! index answers [`FrozenIndex::get`] exactly like the `FxHashMap` it was
+//! built from, because keys are compared as *canonical value bytes*
 //! ([`gent_table::binary::encode_value_canonical`]), under which byte
 //! equality coincides with [`Value`] equality (including `3 == 3.0`,
 //! NaN-collapsing, and `-0.0 == 0.0`).
 
 use crate::lake::Posting;
 use gent_table::binary::{decode_value, encode_value_canonical, fold64, BinReader, BinWriter};
+use gent_table::view::{ByteView, WordView};
 use gent_table::{FxHashMap, Value};
 
 /// Bucket sentinel for "empty".
 const EMPTY: u32 = u32::MAX;
 
-/// Borrowed views of the six frozen arrays, in [`FrozenIndex::from_raw_parts`]
+/// Owned copies of the six frozen arrays, in [`FrozenIndex::from_raw_parts`]
 /// order: buckets, hashes, value offsets, value blob, posting offsets, arena.
-pub type RawParts<'a> = (&'a [u32], &'a [u64], &'a [u32], &'a [u8], &'a [u32], &'a [Posting]);
+pub type RawParts = (Vec<u32>, Vec<u64>, Vec<u32>, Vec<u8>, Vec<u32>, Vec<Posting>);
 
 /// An immutable, serialisable inverted index: canonical value bytes →
-/// posting list, laid out as flat arrays.
+/// posting list, laid out as flat arrays. Each array is either owned (built
+/// in memory by [`FrozenIndex::from_map`]) or a zero-copy view into an
+/// opened snapshot ([`FrozenIndex::from_views`]); the two backings are
+/// indistinguishable to lookups and compare equal element-wise.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FrozenIndex {
     /// Open-addressing table: entry id or [`EMPTY`]; length a power of two,
     /// load factor ≤ 0.5, linear probing.
-    buckets: Vec<u32>,
+    buckets: WordView<u32>,
     /// Per entry: `fold64` of its canonical key bytes (probe fast-reject).
-    hashes: Vec<u64>,
+    hashes: WordView<u64>,
     /// Per entry: start of its key in `blob`; `n + 1` offsets, monotone.
-    value_offsets: Vec<u32>,
+    value_offsets: WordView<u32>,
     /// Canonically encoded keys, concatenated in entry order.
-    blob: Vec<u8>,
+    blob: ByteView,
     /// Per entry: start of its postings in `arena`; `n + 1` offsets.
-    posting_offsets: Vec<u32>,
-    /// All posting lists, concatenated in entry order.
+    posting_offsets: WordView<u32>,
+    /// All posting lists, concatenated in entry order. Always owned: the
+    /// snapshot stores postings struct-of-arrays (`u32[]` tables ‖ `u16[]`
+    /// columns), so a borrowed `&[Posting]` cannot exist over file bytes.
     arena: Vec<Posting>,
 }
 
@@ -75,7 +85,7 @@ impl FrozenIndex {
             assert!(
                 blob.len() <= u32::MAX as usize && arena.len() <= u32::MAX as usize,
                 "lake too large to freeze: {} value bytes / {} postings exceed the u32 \
-                 offset range of snapshot format v1",
+                 offset range of the snapshot format",
                 blob.len(),
                 arena.len()
             );
@@ -94,18 +104,46 @@ impl FrozenIndex {
             buckets[slot] = i as u32;
         }
 
-        FrozenIndex { buckets, hashes, value_offsets, blob, posting_offsets, arena }
+        FrozenIndex {
+            buckets: buckets.into(),
+            hashes: hashes.into(),
+            value_offsets: value_offsets.into(),
+            blob: blob.into(),
+            posting_offsets: posting_offsets.into(),
+            arena,
+        }
     }
 
-    /// Reassemble from raw arrays (the snapshot load path). Validates every
-    /// structural invariant the probe loop relies on, so a corrupt file can
-    /// produce an error but never an out-of-bounds access or infinite probe.
+    /// Reassemble from owned raw arrays (the v1 snapshot load path and
+    /// tests). Validates like [`FrozenIndex::from_views`].
     pub fn from_raw_parts(
         buckets: Vec<u32>,
         hashes: Vec<u64>,
         value_offsets: Vec<u32>,
         blob: Vec<u8>,
         posting_offsets: Vec<u32>,
+        arena: Vec<Posting>,
+    ) -> Result<Self, String> {
+        Self::from_views(
+            buckets.into(),
+            hashes.into(),
+            value_offsets.into(),
+            blob.into(),
+            posting_offsets.into(),
+            arena,
+        )
+    }
+
+    /// Reassemble from array views — owned or anchored in a snapshot buffer
+    /// (the zero-copy v2 load path). Validates every structural invariant
+    /// the probe loop relies on, so a corrupt file can produce an error but
+    /// never an out-of-bounds access or infinite probe.
+    pub fn from_views(
+        buckets: WordView<u32>,
+        hashes: WordView<u64>,
+        value_offsets: WordView<u32>,
+        blob: ByteView,
+        posting_offsets: WordView<u32>,
         arena: Vec<Posting>,
     ) -> Result<Self, String> {
         let n = hashes.len();
@@ -120,20 +158,34 @@ impl FrozenIndex {
         if !buckets.len().is_power_of_two() || buckets.len() < (n.max(8) * 2).next_power_of_two() {
             return Err(format!("bucket table size {} invalid for {n} entries", buckets.len()));
         }
-        let mono = |offs: &[u32], end: usize, what: &str| -> Result<(), String> {
-            if offs[0] != 0 || offs[n] as usize != end {
+        let mono = |offs: &WordView<u32>, end: usize, what: &str| -> Result<(), String> {
+            if offs.get(0) != 0 || offs.get(n) as usize != end {
                 return Err(format!("{what} offsets do not span the data"));
             }
-            if offs.windows(2).any(|w| w[0] > w[1]) {
-                return Err(format!("{what} offsets not monotone"));
+            let mut prev = 0u32;
+            for o in offs.iter() {
+                if o < prev {
+                    return Err(format!("{what} offsets not monotone"));
+                }
+                prev = o;
             }
             Ok(())
         };
         mono(&value_offsets, blob.len(), "value")?;
         mono(&posting_offsets, arena.len(), "posting")?;
+        // Walk every key slice once (tags + lengths + UTF-8, no `Value`
+        // built): blob slices outlive decode in the zero-copy open, so this
+        // is the moment that guarantees `entries()`/`get` can never hit an
+        // undecodable key later — corruption that beat the checksum still
+        // becomes a structured error here.
+        for i in 0..n {
+            let key = &blob[value_offsets.get(i) as usize..value_offsets.get(i + 1) as usize];
+            gent_table::binary::validate_encoded_value(key)
+                .map_err(|e| format!("index entry {i}: {e}"))?;
+        }
         let mut seen = vec![false; n];
         let mut occupied = 0usize;
-        for &b in &buckets {
+        for b in buckets.iter() {
             if b == EMPTY {
                 continue;
             }
@@ -150,16 +202,37 @@ impl FrozenIndex {
         Ok(FrozenIndex { buckets, hashes, value_offsets, blob, posting_offsets, arena })
     }
 
-    /// The raw arrays, in `from_raw_parts` order — what snapshots persist.
-    pub fn raw_parts(&self) -> RawParts<'_> {
+    /// Owned copies of the raw arrays, in [`FrozenIndex::from_raw_parts`]
+    /// order (test/diagnostic aid; persistence uses [`FrozenIndex::encode`]).
+    pub fn to_raw_parts(&self) -> RawParts {
         (
-            &self.buckets,
-            &self.hashes,
-            &self.value_offsets,
-            &self.blob,
-            &self.posting_offsets,
-            &self.arena,
+            self.buckets.to_vec(),
+            self.hashes.to_vec(),
+            self.value_offsets.to_vec(),
+            self.blob.to_vec(),
+            self.posting_offsets.to_vec(),
+            self.arena.clone(),
         )
+    }
+
+    /// Serialize the index section exactly as snapshots store it: the five
+    /// length-prefixed word arrays (buckets, hashes, value offsets — then
+    /// the blob with its `u64` length — posting offsets) followed by the
+    /// posting arena struct-of-arrays. Buffer-backed arrays are written
+    /// with one bulk copy (their view *is* the wire format), so resaving a
+    /// snapshot-loaded lake re-encodes nothing; either backing produces
+    /// byte-identical output.
+    pub fn encode(&self, w: &mut BinWriter) {
+        put_word_view(w, &self.buckets);
+        put_word_view(w, &self.hashes);
+        put_word_view(w, &self.value_offsets);
+        w.put_u64(self.blob.len() as u64);
+        w.put_raw(&self.blob);
+        put_word_view(w, &self.posting_offsets);
+        let arena_tables: Vec<u32> = self.arena.iter().map(|p| p.table).collect();
+        let arena_cols: Vec<u16> = self.arena.iter().map(|p| p.column).collect();
+        w.put_u32_array(&arena_tables);
+        w.put_u16_array(&arena_cols);
     }
 
     /// Number of distinct values.
@@ -189,11 +262,11 @@ impl FrozenIndex {
         let mask = self.buckets.len() - 1;
         let mut slot = h as usize & mask;
         loop {
-            match self.buckets[slot] {
+            match self.buckets.get(slot) {
                 EMPTY => return &[],
                 e => {
                     let i = e as usize;
-                    if self.hashes[i] == h && self.key_bytes(i) == key {
+                    if self.hashes.get(i) == h && self.key_bytes(i) == key {
                         return self.postings_of(i);
                     }
                 }
@@ -203,11 +276,17 @@ impl FrozenIndex {
     }
 
     fn key_bytes(&self, i: usize) -> &[u8] {
-        &self.blob[self.value_offsets[i] as usize..self.value_offsets[i + 1] as usize]
+        &self.blob[self.value_offsets.get(i) as usize..self.value_offsets.get(i + 1) as usize]
     }
 
     fn postings_of(&self, i: usize) -> &[Posting] {
-        &self.arena[self.posting_offsets[i] as usize..self.posting_offsets[i + 1] as usize]
+        &self.arena[self.posting_offsets.get(i) as usize..self.posting_offsets.get(i + 1) as usize]
+    }
+
+    /// The posting arena, concatenated in entry order (bounds validation
+    /// against a lake's table list happens at snapshot load).
+    pub fn arena(&self) -> &[Posting] {
+        &self.arena
     }
 
     /// Iterate `(value, postings)` in entry (canonical-byte) order, decoding
@@ -236,9 +315,27 @@ impl FrozenIndex {
     }
 }
 
+/// Write a word-array view in `put_u32_array`/`put_u64_array` wire format
+/// (`u64` count, then packed little-endian words): buffer-backed views
+/// copy their bytes in one memcpy — their view *is* the wire format.
+fn put_word_view<T: gent_table::view::LeWord>(w: &mut BinWriter, v: &WordView<T>) {
+    w.put_u64(v.len() as u64);
+    match v.raw_le_bytes() {
+        Some(bytes) => w.put_raw(bytes),
+        None => {
+            let mut bytes = Vec::with_capacity(v.len() * T::BYTES);
+            for word in v.iter() {
+                word.write_le(&mut bytes);
+            }
+            w.put_raw(&bytes);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gent_table::view::LakeBuf;
 
     fn map() -> FxHashMap<Value, Vec<Posting>> {
         let mut m: FxHashMap<Value, Vec<Posting>> = FxHashMap::default();
@@ -252,6 +349,36 @@ mod tests {
             m.insert(Value::Int(i), vec![p((i % 5) as u32, (i % 3) as u16)]);
         }
         m
+    }
+
+    /// Decode an [`FrozenIndex::encode`] section back into view-backed
+    /// arrays over `buf` — the test-local mirror of the store's v2 loader.
+    fn decode_views(buf: &LakeBuf) -> FrozenIndex {
+        let mut r = BinReader::new(buf.as_slice());
+        let word_view_u32 = |r: &mut BinReader| {
+            let n = r.get_u64().unwrap() as usize;
+            let start = r.position();
+            r.take(n * 4).unwrap();
+            WordView::<u32>::view(buf.clone(), start, n).unwrap()
+        };
+        let buckets = word_view_u32(&mut r);
+        let n_h = r.get_u64().unwrap() as usize;
+        let h_start = r.position();
+        r.take(n_h * 8).unwrap();
+        let hashes = WordView::<u64>::view(buf.clone(), h_start, n_h).unwrap();
+        let value_offsets = word_view_u32(&mut r);
+        let blob_len = r.get_u64().unwrap() as usize;
+        let blob_start = r.position();
+        r.take(blob_len).unwrap();
+        let blob = ByteView::view(buf.clone(), blob_start..blob_start + blob_len).unwrap();
+        let posting_offsets = word_view_u32(&mut r);
+        let tables = r.get_u32_array().unwrap();
+        let cols = r.get_u16_array().unwrap();
+        assert_eq!(r.remaining(), 0, "section fully consumed");
+        let arena =
+            tables.iter().zip(&cols).map(|(&t, &c)| Posting { table: t, column: c }).collect();
+        FrozenIndex::from_views(buckets, hashes, value_offsets, blob, posting_offsets, arena)
+            .unwrap()
     }
 
     #[test]
@@ -295,56 +422,63 @@ mod tests {
     #[test]
     fn raw_parts_round_trip() {
         let f = FrozenIndex::from_map(&map());
-        let (b, h, vo, bl, po, ar) = f.raw_parts();
-        let back = FrozenIndex::from_raw_parts(
-            b.to_vec(),
-            h.to_vec(),
-            vo.to_vec(),
-            bl.to_vec(),
-            po.to_vec(),
-            ar.to_vec(),
-        )
-        .unwrap();
+        let (b, h, vo, bl, po, ar) = f.to_raw_parts();
+        let back = FrozenIndex::from_raw_parts(b, h, vo, bl, po, ar).unwrap();
         assert_eq!(back, f);
+    }
+
+    /// A view-backed index over an encoded section answers identically to
+    /// the owned index it was encoded from, re-encodes byte-identically
+    /// (bulk copy path), and compares equal across backings.
+    #[test]
+    fn view_backed_index_round_trips_and_serves() {
+        let m = map();
+        let owned = FrozenIndex::from_map(&m);
+        let mut w = BinWriter::new();
+        owned.encode(&mut w);
+        let buf = LakeBuf::new(w.into_bytes());
+        let viewed = decode_views(&buf);
+        assert_eq!(viewed, owned, "backings compare equal element-wise");
+        for (v, postings) in &m {
+            assert_eq!(viewed.get(v), postings.as_slice(), "view lookup({v:?})");
+        }
+        assert!(viewed.get(&Value::str("absent")).is_empty());
+        // Re-encoding the viewed index takes the bulk-copy path and must
+        // reproduce the bytes exactly.
+        let mut w2 = BinWriter::new();
+        viewed.encode(&mut w2);
+        assert_eq!(w2.as_bytes(), buf.as_slice());
     }
 
     #[test]
     fn from_raw_parts_rejects_corruption() {
         let f = FrozenIndex::from_map(&map());
-        let (b, h, vo, bl, po, ar) = f.raw_parts();
+        let (b, h, vo, bl, po, ar) = f.to_raw_parts();
         // Truncated offsets.
         assert!(FrozenIndex::from_raw_parts(
-            b.to_vec(),
-            h.to_vec(),
+            b.clone(),
+            h.clone(),
             vo[..vo.len() - 1].to_vec(),
-            bl.to_vec(),
-            po.to_vec(),
-            ar.to_vec()
+            bl.clone(),
+            po.clone(),
+            ar.clone()
         )
         .is_err());
         // Non-power-of-two bucket table.
         assert!(FrozenIndex::from_raw_parts(
             b[..b.len() - 1].to_vec(),
-            h.to_vec(),
-            vo.to_vec(),
-            bl.to_vec(),
-            po.to_vec(),
-            ar.to_vec()
+            h.clone(),
+            vo.clone(),
+            bl.clone(),
+            po.clone(),
+            ar.clone()
         )
         .is_err());
         // Dangling bucket reference.
-        let mut bad = b.to_vec();
+        let mut bad = b.clone();
         let slot = bad.iter().position(|&x| x != super::EMPTY).unwrap();
         bad[slot] = 10_000;
-        assert!(FrozenIndex::from_raw_parts(
-            bad,
-            h.to_vec(),
-            vo.to_vec(),
-            bl.to_vec(),
-            po.to_vec(),
-            ar.to_vec()
-        )
-        .is_err());
+        assert!(FrozenIndex::from_raw_parts(bad, h, vo, bl, po, ar).is_err());
     }
 
     #[test]

@@ -5,14 +5,22 @@
 //! set-containment search (the role JOSIE plays in the paper). Posting
 //! lists are deduplicated per (table, column): multiplicity within a column
 //! does not matter for set overlap.
+//!
+//! Tables are held as [`TableSlot`]s: in-memory lakes wrap eager slots,
+//! while a lake opened from a v2 snapshot holds *lazy* slots that decode
+//! their cell payloads from the shared snapshot buffer on first touch.
+//! Names, schemas and row counts are always available without a decode, so
+//! name lookups, statistics and posting-list retrieval never materialize a
+//! table the pipeline does not read.
 
 use crate::frozen::FrozenIndex;
-use gent_table::{FxHashMap, FxHashSet, Table, Value};
+use gent_table::binary::TableSlot;
+use gent_table::{FxHashMap, FxHashSet, Table, TableError, Value};
 
 /// A posting: which table and which column a value occurs in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Posting {
-    /// Index into [`DataLake::tables`].
+    /// Index into the lake's table list.
     pub table: u32,
     /// Column index within that table.
     pub column: u16,
@@ -20,7 +28,8 @@ pub struct Posting {
 
 /// The inverted index's two backings: a mutable hash map while a lake is
 /// being built, or a [`FrozenIndex`] when reopened from a snapshot (flat
-/// arrays, loadable without per-value inserts). Lookups behave identically.
+/// arrays — possibly zero-copy views into the snapshot buffer — loadable
+/// without per-value inserts). Lookups behave identically.
 #[derive(Debug, Clone)]
 enum LakeIndex {
     Map(FxHashMap<Value, Vec<Posting>>),
@@ -30,7 +39,7 @@ enum LakeIndex {
 /// A repository of tables with an inverted value index.
 #[derive(Debug, Clone)]
 pub struct DataLake {
-    tables: Vec<Table>,
+    slots: Vec<TableSlot>,
     by_name: FxHashMap<String, usize>,
     index: LakeIndex,
 }
@@ -40,7 +49,7 @@ impl DataLake {
     /// a numeric suffix so lookups stay unambiguous.
     pub fn from_tables(tables: Vec<Table>) -> Self {
         let mut lake = DataLake {
-            tables: Vec::with_capacity(tables.len()),
+            slots: Vec::with_capacity(tables.len()),
             by_name: FxHashMap::default(),
             index: LakeIndex::Map(FxHashMap::default()),
         };
@@ -55,8 +64,11 @@ impl DataLake {
     /// in `by_name` under that new name (its original name keeps resolving to
     /// the first table that claimed it).
     pub fn push_table(&mut self, mut t: Table) -> usize {
-        let name = self.claim_name(&mut t);
-        let ti = self.tables.len();
+        if let Some(new_name) = self.renamed_for_collision(t.name()) {
+            t.set_name(&new_name);
+        }
+        let name = t.name().to_string();
+        let ti = self.slots.len();
         let index = self.index_map_mut();
         for (ci, _) in t.schema().columns().enumerate() {
             let mut seen: FxHashSet<&Value> = FxHashSet::default();
@@ -70,7 +82,7 @@ impl DataLake {
             }
         }
         self.by_name.insert(name, ti);
-        self.tables.push(t);
+        self.slots.push(TableSlot::eager(t));
         ti
     }
 
@@ -87,20 +99,20 @@ impl DataLake {
         }
     }
 
-    /// Resolve `t`'s name against `by_name`: rename with the first free `#k`
-    /// suffix on collision. Returns the name the table must be registered
-    /// under.
-    fn claim_name(&self, t: &mut Table) -> String {
-        let mut name = t.name().to_string();
-        if self.by_name.contains_key(&name) {
-            let mut k = 2;
-            while self.by_name.contains_key(&format!("{name}#{k}")) {
-                k += 1;
-            }
-            name = format!("{name}#{k}");
-            t.set_name(&name);
+    /// Resolve a name collision against `by_name`: `Some(new_name)` with the
+    /// first free `#k` suffix when `name` is taken, `None` when it is free.
+    fn renamed_for_collision(&self, name: &str) -> Option<String> {
+        if !self.by_name.contains_key(name) {
+            return None;
         }
-        name
+        let mut k = 2;
+        loop {
+            let candidate = format!("{name}#{k}");
+            if !self.by_name.contains_key(&candidate) {
+                return Some(candidate);
+            }
+            k += 1;
+        }
     }
 
     /// Reassemble a lake from already-built parts — tables plus their
@@ -110,26 +122,36 @@ impl DataLake {
     /// Table names are re-uniquified defensively (a no-op for snapshot data,
     /// whose names were uniquified at ingest).
     pub fn from_parts(tables: Vec<Table>, index: FxHashMap<Value, Vec<Posting>>) -> Self {
-        Self::assemble(tables, LakeIndex::Map(index))
+        Self::assemble(tables.into_iter().map(TableSlot::eager).collect(), LakeIndex::Map(index))
     }
 
-    /// Reassemble a lake around a [`FrozenIndex`] — the snapshot load path.
-    /// No per-value work happens here; the frozen arrays serve lookups
-    /// directly.
+    /// Reassemble a lake around a [`FrozenIndex`] — the eager (v1) snapshot
+    /// load path. No per-value work happens here; the frozen arrays serve
+    /// lookups directly.
     pub fn from_frozen(tables: Vec<Table>, index: FrozenIndex) -> Self {
-        Self::assemble(tables, LakeIndex::Frozen(index))
+        Self::assemble(tables.into_iter().map(TableSlot::eager).collect(), LakeIndex::Frozen(index))
     }
 
-    fn assemble(tables: Vec<Table>, index: LakeIndex) -> Self {
+    /// Reassemble a lake from pre-built table slots (lazy or eager) around a
+    /// [`FrozenIndex`] — the zero-copy (v2) snapshot load path. Postings
+    /// must index into `slots`; slot schemas are available without decode,
+    /// so the caller validates posting bounds cheaply before building.
+    pub fn from_slots(slots: Vec<TableSlot>, index: FrozenIndex) -> Self {
+        Self::assemble(slots, LakeIndex::Frozen(index))
+    }
+
+    fn assemble(slots: Vec<TableSlot>, index: LakeIndex) -> Self {
         let mut lake = DataLake {
-            tables: Vec::with_capacity(tables.len()),
+            slots: Vec::with_capacity(slots.len()),
             by_name: FxHashMap::default(),
             index,
         };
-        for mut t in tables {
-            let name = lake.claim_name(&mut t);
-            lake.by_name.insert(name, lake.tables.len());
-            lake.tables.push(t);
+        for mut s in slots {
+            if let Some(new_name) = lake.renamed_for_collision(s.name()) {
+                s.set_name(&new_name);
+            }
+            lake.by_name.insert(s.name().to_string(), lake.slots.len());
+            lake.slots.push(s);
         }
         lake
     }
@@ -151,29 +173,84 @@ impl DataLake {
         }
     }
 
-    /// All tables.
-    pub fn tables(&self) -> &[Table] {
-        &self.tables
+    /// The table slots, including undecoded ones — metadata (name, schema,
+    /// row count) is available on every slot without forcing a decode.
+    pub fn slots(&self) -> &[TableSlot] {
+        &self.slots
+    }
+
+    /// Iterate all tables, decoding lazy slots as the iterator advances.
+    /// The eager counterpart of [`DataLake::slots`]; callers that only need
+    /// metadata should iterate slots instead.
+    pub fn tables_iter(&self) -> impl Iterator<Item = &Table> + '_ {
+        self.slots.iter().map(|s| s.table())
     }
 
     /// Number of tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.slots.len()
     }
 
     /// True when the lake holds no tables.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.slots.is_empty()
     }
 
-    /// Table by index.
+    /// Table by index, decoding it on first touch.
     pub fn get(&self, i: usize) -> Option<&Table> {
-        self.tables.get(i)
+        self.slots.get(i).map(|s| s.table())
     }
 
-    /// Table by name.
+    /// Table by index, panicking out of bounds (the hot-path counterpart of
+    /// the old `&lake.tables()[i]`).
+    pub fn table(&self, i: usize) -> &Table {
+        self.slots[i].table()
+    }
+
+    /// Table name by index (no decode).
+    pub fn name_of(&self, i: usize) -> Option<&str> {
+        self.slots.get(i).map(|s| s.name())
+    }
+
+    /// Table by name, decoding it on first touch. The name lookup itself
+    /// never decodes anything — only the named table is materialized.
     pub fn get_by_name(&self, name: &str) -> Option<&Table> {
-        self.by_name.get(name).map(|&i| &self.tables[i])
+        self.by_name.get(name).map(|&i| self.slots[i].table())
+    }
+
+    /// How many slots have decoded their cell payloads — the observable
+    /// behind lazy-open tests and the serve daemon's decode gauge.
+    pub fn tables_decoded(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_decoded()).count()
+    }
+
+    /// Decode every remaining lazy slot, restoring the old eager-open
+    /// behavior (CLI paths that will touch every table anyway, benchmarks,
+    /// pre-warming a daemon). With `threads > 1` the per-table decodes fan
+    /// out over vendored-crossbeam scoped workers — the format delimits
+    /// every table section, so the work is embarrassingly parallel and the
+    /// result is identical regardless of thread count.
+    pub fn decode_all(&self, threads: usize) -> Result<(), TableError> {
+        let threads = threads.max(1).min(self.slots.len().max(1));
+        if threads <= 1 {
+            return self.slots.iter().try_for_each(|s| s.force().map(|_| ()));
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|_| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        match self.slots.get(i) {
+                            Some(s) => s.force()?,
+                            None => return Ok(()),
+                        };
+                    })
+                })
+                .collect();
+            workers.into_iter().try_for_each(|w| w.join().expect("decode worker panicked"))
+        })
+        .expect("decode scope")
     }
 
     /// Posting list for a value (empty slice when unseen).
@@ -205,7 +282,7 @@ impl DataLake {
 
     /// For a set of probe values, count per `(table, column)` how many of
     /// them occur there — the core of set-containment scoring. Returns a map
-    /// from posting to hit count.
+    /// from posting to hit count. Touches only the index, never a table.
     pub fn containment_counts<'a, I>(&self, probes: I) -> FxHashMap<Posting, u32>
     where
         I: IntoIterator<Item = &'a Value>,
@@ -220,9 +297,9 @@ impl DataLake {
     }
 
     /// Distinct non-null values of one lake column (recomputed; candidates
-    /// cache these during Set Similarity).
+    /// cache these during Set Similarity). Forces that table's decode.
     pub fn column_values(&self, p: Posting) -> FxHashSet<Value> {
-        self.tables[p.table as usize].distinct_values(p.column as usize)
+        self.slots[p.table as usize].table().distinct_values(p.column as usize)
     }
 }
 
@@ -296,6 +373,7 @@ mod tests {
             assert_eq!(t.cell(0, 0), Some(&V::Int(val)), "`{name}` resolves to wrong table");
             assert_eq!(t.name(), name, "table was renamed but not updated");
             assert_eq!(l.get(at).unwrap().name(), name);
+            assert_eq!(l.name_of(at), Some(name), "slot metadata name diverges");
         }
         // The index points each value at the right physical table.
         assert_eq!(l.postings(&V::Int(3)), &[Posting { table: 2, column: 0 }]);
@@ -315,7 +393,7 @@ mod tests {
     #[test]
     fn from_parts_rebuilds_identical_lookups() {
         let l = lake();
-        let tables = l.tables().to_vec();
+        let tables: Vec<Table> = l.tables_iter().cloned().collect();
         let index: FxHashMap<Value, Vec<Posting>> =
             l.index_entries().map(|(v, p)| (v, p.to_vec())).collect();
         let rebuilt = DataLake::from_parts(tables, index);
@@ -330,7 +408,7 @@ mod tests {
     #[test]
     fn frozen_lake_serves_identical_lookups() {
         let l = lake();
-        let frozen = DataLake::from_frozen(l.tables().to_vec(), l.freeze_index());
+        let frozen = DataLake::from_frozen(l.tables_iter().cloned().collect(), l.freeze_index());
         assert!(frozen.frozen_index().is_some());
         assert_eq!(frozen.index_len(), l.index_len());
         for probe in [V::Int(1), V::Int(2), V::Int(3), V::str("u"), V::str("zz")] {
@@ -343,7 +421,8 @@ mod tests {
     #[test]
     fn pushing_into_frozen_lake_thaws_it() {
         let l = lake();
-        let mut frozen = DataLake::from_frozen(l.tables().to_vec(), l.freeze_index());
+        let mut frozen =
+            DataLake::from_frozen(l.tables_iter().cloned().collect(), l.freeze_index());
         let t = Table::build("c", &["w"], &[], vec![vec![V::Int(99)]]).unwrap();
         let idx = frozen.push_table(t);
         assert!(frozen.frozen_index().is_none(), "thawed back to a map");
@@ -359,5 +438,13 @@ mod tests {
         assert_eq!(l.get(0).unwrap().name(), "a");
         assert!(l.get(9).is_none());
         assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn eager_lakes_report_fully_decoded() {
+        let l = lake();
+        assert_eq!(l.tables_decoded(), l.len());
+        l.decode_all(4).unwrap();
+        assert_eq!(l.tables_decoded(), l.len());
     }
 }

@@ -131,10 +131,10 @@ impl LshEnsembleIndex {
             out
         };
 
-        let tables = lake.tables();
-        let threads = threads.max(1).min(tables.len().max(1));
+        let n_tables = lake.len();
+        let threads = threads.max(1).min(n_tables.max(1));
         let columns: Vec<ColumnEntry> = if threads <= 1 {
-            tables.iter().enumerate().flat_map(|(ti, t)| sign_table(ti, t)).collect()
+            lake.tables_iter().enumerate().flat_map(|(ti, t)| sign_table(ti, t)).collect()
         } else {
             let next = std::sync::atomic::AtomicUsize::new(0);
             let mut per_table: Vec<(usize, Vec<ColumnEntry>)> = std::thread::scope(|scope| {
@@ -144,10 +144,10 @@ impl LshEnsembleIndex {
                             let mut local = Vec::new();
                             loop {
                                 let ti = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if ti >= tables.len() {
+                                if ti >= n_tables {
                                     return local;
                                 }
-                                local.push((ti, sign_table(ti, &tables[ti])));
+                                local.push((ti, sign_table(ti, lake.table(ti))));
                             }
                         })
                     })

@@ -105,7 +105,7 @@ pub fn multi_attribute_search(
 
     let mut out = Vec::new();
     for t in tables {
-        let table = &lake.tables()[t];
+        let table = lake.table(t);
         // Enumerate injective column mappings (bounded: each source column
         // has few candidate columns after pruning).
         let mut mappings: Vec<Vec<usize>> = vec![Vec::new()];

@@ -17,7 +17,7 @@ use gent_table::{FxHashMap, Table};
 /// First-stage retriever: narrow a lake to the top-k most relevant tables
 /// for a source table.
 pub trait TableRetriever {
-    /// Return indices (into `lake.tables()`) of the top-k tables, most
+    /// Return indices (into the lake's table list) of the top-k tables, most
     /// relevant first.
     fn retrieve(&self, lake: &DataLake, source: &Table, k: usize) -> Vec<usize>;
 }

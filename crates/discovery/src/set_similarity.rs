@@ -413,7 +413,7 @@ pub fn set_similarity(
         if candidates.len() >= cfg.max_candidates {
             break;
         }
-        let table = &lake.tables()[ti as usize];
+        let table = lake.table(ti as usize);
         // Containment-prior assignment: per source column, the best lake
         // column by set containment (what the inverted index gave us).
         let mut assignments: Vec<(usize, u16, f64)> = (0..source.n_cols())
@@ -619,7 +619,7 @@ mod tests {
         assert!(!cands.is_empty());
         for c in &cands {
             assert!(
-                c.table.shares_rows_with(&lake.tables()[c.lake_index]),
+                c.table.shares_rows_with(lake.table(c.lake_index)),
                 "candidate {} copied its rows during renaming",
                 c.table.name()
             );
@@ -631,7 +631,7 @@ mod tests {
         // Example 9: add Table E, an exact duplicate of D. It must not
         // produce two copies in the candidate set.
         let (source, lake) = figure3();
-        let mut tables: Vec<Table> = lake.tables().to_vec();
+        let mut tables: Vec<Table> = lake.tables_iter().cloned().collect();
         let mut e = tables[3].clone();
         e.set_name("E");
         tables.push(e);

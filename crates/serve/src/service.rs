@@ -10,16 +10,110 @@
 use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gent_core::{GenT, GenTConfig};
 use gent_discovery::{DataLake, LshEnsembleIndex};
-use gent_store::LoadedLake;
+use gent_store::{LoadedLake, LshSlot, StoreError};
 use gent_table::key::ensure_key;
 use gent_table::Table;
 
 use crate::http::{HttpError, Request, Response};
 use crate::json::Json;
+
+/// Upper bucket bounds of the per-endpoint latency histograms, in
+/// microseconds (0.1 ms … 1 s); one implicit `+inf` bucket follows.
+const LATENCY_BOUNDS_US: [u64; 9] =
+    [100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000];
+
+/// A lock-free latency histogram: log-spaced buckets, count, sum and max,
+/// all relaxed atomics — observation costs a few uncontended adds, so it
+/// sits on the request path without showing up in it.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn observe(&self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        let b = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Render for `/lake/stat`: count, mean/max, and cumulative-style
+    /// buckets (`le_ms` upper bounds, `"+inf"` for the overflow bucket).
+    fn to_json(&self) -> Json {
+        let count = self.count();
+        let total_us = self.total_us.load(Ordering::Relaxed);
+        let mean_ms = if count == 0 { 0.0 } else { total_us as f64 / count as f64 / 1e3 };
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let le = match LATENCY_BOUNDS_US.get(i) {
+                    Some(&us) => Json::Float(us as f64 / 1e3),
+                    None => Json::str("+inf"),
+                };
+                Json::Object(vec![
+                    ("le_ms".into(), le),
+                    ("count".into(), Json::Int(b.load(Ordering::Relaxed) as i64)),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            ("count".into(), Json::Int(count as i64)),
+            ("mean_ms".into(), Json::Float(mean_ms)),
+            ("max_ms".into(), Json::Float(self.max_us.load(Ordering::Relaxed) as f64 / 1e3)),
+            ("buckets".into(), Json::Array(buckets)),
+        ])
+    }
+}
+
+/// One histogram per endpoint (plus a catch-all for read errors, bad
+/// methods and unknown paths).
+#[derive(Debug, Default)]
+struct EndpointLatency {
+    healthz: LatencyHistogram,
+    lake_stat: LatencyHistogram,
+    reclaim: LatencyHistogram,
+    other: LatencyHistogram,
+}
+
+impl EndpointLatency {
+    fn for_path(&self, path: Option<&str>) -> &LatencyHistogram {
+        match path {
+            Some("/healthz") => &self.healthz,
+            Some("/lake/stat") => &self.lake_stat,
+            Some("/reclaim") => &self.reclaim,
+            _ => &self.other,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("healthz".into(), self.healthz.to_json()),
+            ("lake_stat".into(), self.lake_stat.to_json()),
+            ("reclaim".into(), self.reclaim.to_json()),
+            ("other".into(), self.other.to_json()),
+        ])
+    }
+}
 
 /// An API failure: an HTTP status plus a machine-readable error kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,28 +147,28 @@ impl ApiError {
 /// The reclamation service: one warm lake, shared by every request.
 pub struct LakeService {
     lake: DataLake,
-    /// Kept alive so the warm-started bands survive for the daemon's whole
-    /// life; retrieval warm starts reuse them instead of rehashing.
-    lsh: Option<LshEnsembleIndex>,
+    /// Kept alive so the (possibly still undecoded) bands survive for the
+    /// daemon's whole life; retrieval warm starts decode-once and reuse
+    /// them instead of rehashing.
+    lsh: LshSlot,
     gen_t: GenT,
     origin: String,
     total_rows: u64,
     total_cols: u64,
-    lsh_columns: u32,
     started: Instant,
     served: AtomicU64,
+    latency: EndpointLatency,
 }
 
 impl LakeService {
     /// Build the service around an already-loaded lake (typically from
     /// [`gent_store::SnapshotFile`]); `origin` describes where it came from
-    /// for `/lake/stat`.
+    /// for `/lake/stat`. Construction touches only slot metadata — a
+    /// lazily-opened snapshot stays fully undecoded until the first
+    /// reclaim needs a table.
     pub fn new(loaded: LoadedLake, config: GenTConfig, origin: impl Into<String>) -> LakeService {
-        let total_rows = loaded.lake.tables().iter().map(|t| t.n_rows() as u64).sum();
-        let total_cols = loaded.lake.tables().iter().map(|t| t.n_cols() as u64).sum();
-        // Counted once here: `export()` rebuilds the full band export, far
-        // too heavy to run per `/lake/stat` request.
-        let lsh_columns = loaded.lsh.as_ref().map_or(0, |l| l.export().columns.len() as u32);
+        let total_rows = loaded.lake.slots().iter().map(|s| s.n_rows() as u64).sum();
+        let total_cols = loaded.lake.slots().iter().map(|s| s.n_cols() as u64).sum();
         LakeService {
             lake: loaded.lake,
             lsh: loaded.lsh,
@@ -82,15 +176,17 @@ impl LakeService {
             origin: origin.into(),
             total_rows,
             total_cols,
-            lsh_columns,
             started: Instant::now(),
             served: AtomicU64::new(0),
+            latency: EndpointLatency::default(),
         }
     }
 
-    /// The warm-started LSH index carried by the snapshot, if any.
-    pub fn lsh(&self) -> Option<&LshEnsembleIndex> {
-        self.lsh.as_ref()
+    /// The warm-started LSH index carried by the snapshot, if any —
+    /// decoding it on first call (the daemon's stat endpoints report its
+    /// presence without paying for this).
+    pub fn lsh(&self) -> Result<Option<&LshEnsembleIndex>, StoreError> {
+        self.lsh.force()
     }
 
     /// The shared lake (borrowed — the service owns the only copy).
@@ -105,24 +201,31 @@ impl LakeService {
 
     /// Answer one connection's worth of input: either a parsed request or
     /// the read error it failed with. Never panics outward — a panicking
-    /// handler answers 500 and the daemon lives on.
+    /// handler answers 500 and the daemon lives on. Every answer lands in
+    /// the per-endpoint latency histogram reported by `/lake/stat`.
     pub fn respond(&self, input: Result<Request, HttpError>) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
-        let request = match input {
-            Ok(r) => r,
-            Err(e) => return read_error_response(&e),
+        let t0 = Instant::now();
+        let (path, response) = match input {
+            Ok(request) => {
+                let result = catch_unwind(AssertUnwindSafe(|| self.route(&request)));
+                let response = match result {
+                    Ok(Ok(response)) => response,
+                    Ok(Err(api)) => api.to_response(),
+                    Err(_) => ApiError::new(
+                        500,
+                        "internal_error",
+                        "request handler panicked; the lake is read-only and unaffected",
+                    )
+                    .to_response(),
+                };
+                let path = request.path.split('?').next().unwrap_or("").to_string();
+                (Some(path), response)
+            }
+            Err(e) => (None, read_error_response(&e)),
         };
-        let result = catch_unwind(AssertUnwindSafe(|| self.route(&request)));
-        match result {
-            Ok(Ok(response)) => response,
-            Ok(Err(api)) => api.to_response(),
-            Err(_) => ApiError::new(
-                500,
-                "internal_error",
-                "request handler panicked; the lake is read-only and unaffected",
-            )
-            .to_response(),
-        }
+        self.latency.for_path(path.as_deref()).observe(t0.elapsed());
+        response
     }
 
     fn route(&self, request: &Request) -> Result<Response, ApiError> {
@@ -157,6 +260,10 @@ impl LakeService {
         )
     }
 
+    /// `/lake/stat`: counts come from slot metadata and the header-derived
+    /// totals, the decode gauges from `OnceLock` states — the endpoint
+    /// itself never forces a table or band decode, so statting a lazily
+    /// opened TB-scale lake stays O(tables), not O(cells).
     fn lake_stat(&self) -> Response {
         Response::ok(
             Json::Object(vec![
@@ -165,7 +272,13 @@ impl LakeService {
                 ("rows".into(), Json::Int(self.total_rows as i64)),
                 ("columns".into(), Json::Int(self.total_cols as i64)),
                 ("index_values".into(), Json::Int(self.lake.index_len() as i64)),
-                ("lsh_columns".into(), Json::Int(self.lsh_columns as i64)),
+                ("lsh_columns".into(), Json::Int(self.lsh.n_columns() as i64)),
+                ("lsh_decoded".into(), Json::Bool(self.lsh.is_decoded())),
+                // Lazy-decode observability: how much of the snapshot has
+                // actually been materialized so far.
+                ("tables_decoded".into(), Json::Int(self.lake.tables_decoded() as i64)),
+                ("tables_total".into(), Json::Int(self.lake.len() as i64)),
+                ("latency".into(), self.latency.to_json()),
             ])
             .render(),
         )
@@ -535,6 +648,56 @@ mod tests {
         let body = Json::parse(r#"{"source_name": "keyed", "key": ["v"]}"#).unwrap();
         let source = s.parse_source(&body).unwrap();
         assert!(matches!(source, std::borrow::Cow::Owned(_)));
+    }
+
+    /// `/lake/stat` reports the lazy-decode gauge and per-endpoint latency
+    /// histograms, and the histograms actually accumulate observations.
+    #[test]
+    fn lake_stat_reports_decode_gauge_and_latency() {
+        let s = service();
+        let stat = |s: &LakeService| {
+            let r = s.respond(Ok(Request {
+                method: "GET".into(),
+                path: "/lake/stat".into(),
+                headers: vec![],
+                body: vec![],
+            }));
+            assert_eq!(r.status, 200);
+            Json::parse(&r.body).unwrap()
+        };
+        let v = stat(&s);
+        // In-memory lakes are fully materialized by construction.
+        assert_eq!(v.get("tables_decoded").and_then(Json::as_i64), Some(2));
+        assert_eq!(v.get("tables_total").and_then(Json::as_i64), Some(2));
+        assert_eq!(v.get("lsh_decoded"), Some(&Json::Bool(true)));
+        let lat = v.get("latency").expect("latency histograms");
+        for endpoint in ["healthz", "lake_stat", "reclaim", "other"] {
+            let h = lat.get(endpoint).unwrap_or_else(|| panic!("latency.{endpoint}"));
+            assert!(h.get("count").and_then(Json::as_i64).is_some());
+            assert!(h.get("mean_ms").and_then(Json::as_f64).is_some());
+            let buckets = h.get("buckets").and_then(Json::as_array).expect("buckets");
+            assert_eq!(buckets.len(), super::LATENCY_BOUNDS_US.len() + 1);
+        }
+        // The first stat call was recorded before the second reads it; a
+        // reclaim and a read error land in their own histograms.
+        s.respond(Ok(post("{}")));
+        s.respond(Err(HttpError::Timeout));
+        let v = stat(&s);
+        let count = |ep: &str| {
+            v.get("latency").unwrap().get(ep).unwrap().get("count").and_then(Json::as_i64).unwrap()
+        };
+        assert!(count("lake_stat") >= 1, "stat requests observed");
+        assert_eq!(count("reclaim"), 1, "reclaim observed");
+        assert_eq!(count("other"), 1, "read error observed");
+        let reclaim = v.get("latency").unwrap().get("reclaim").unwrap();
+        let bucket_sum: i64 = reclaim
+            .get("buckets")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|b| b.get("count").and_then(Json::as_i64).unwrap())
+            .sum();
+        assert_eq!(bucket_sum, 1, "every observation lands in exactly one bucket");
     }
 
     #[test]

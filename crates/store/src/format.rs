@@ -1,17 +1,21 @@
 //! The on-disk snapshot container format.
 //!
-//! This module owns the fixed header; the full byte-level specification —
-//! section layouts, column tags, the canonical value encoding, evolution
-//! rules — lives in `docs/gentlake-format.md` and must be updated in the
-//! same change as any codec edit. The 10,000-foot view (all integers
+//! This module owns the fixed header and (since version 2) the
+//! section-offset table; the full byte-level specification — section
+//! layouts, column tags, the canonical value encoding, evolution rules —
+//! lives in `docs/gentlake-format.md` and must be updated in the same
+//! change as any codec edit. The 10,000-foot view (all integers
 //! little-endian, no padding between sections):
 //!
 //! ```text
-//! file    := header | body | fold64(header‖body) u64
+//! file    := header | dir | body | fold64(header‖dir‖body) u64
 //! header  := MAGIC "GENTLAKE" (8) | version u16 | flags u16
 //!          | n_tables u32 | total_rows u64 | total_cols u64
 //!          | n_index_entries u64 | n_lsh_columns u32 | reserved u32
 //!          (48 bytes total — `HEADER_LEN`)
+//! dir     := (offset u64 | len u64) × (3 + n_tables)   -- v2 only:
+//!            strtab, index, lsh (0/0 when absent), then one per table;
+//!            absolute file offsets, contiguous, in body order
 //! body    := strtab | tables | index | [lsh]   (lsh iff flags bit 0)
 //! strtab  := deduplicated strings shared by all tables
 //!            (gent_table::binary::StringTableBuilder)
@@ -27,21 +31,24 @@
 //! lsh     := cfg | columns (bulk signature slots) | partitions
 //! ```
 //!
-//! The design goal is an *open path at memory-copy speed*: the inverted
-//! index is persisted in its serving layout ([`gent_discovery::FrozenIndex`]
-//! — no per-value hash-map inserts on load), table columns are packed (no
-//! per-cell tags for homogeneous columns), and strings are interned once per
-//! snapshot (a cell costs a refcount bump, not an allocation). Everything
-//! reuses the little-endian primitives of [`gent_table::binary`]; the single
-//! trailing checksum covers header and body, so any bit flip anywhere in the
-//! file is detected at open time.
+//! The design goal of v1 was an *open path at memory-copy speed*; v2 goes
+//! further: a **zero-copy, zero-decode open**. The section-offset table
+//! ([`SectionDir`]) frames every section, so `load` reads the file once
+//! into a shared `LakeBuf`, anchors the [`gent_discovery::FrozenIndex`]
+//! arrays as views into it, and defers each table's cell payload to a lazy
+//! [`gent_table::binary::TableSlot`] — opening a lake decodes table
+//! *preambles* (name, schema, row count) and the posting arena, nothing
+//! else. Version 1 files (no directory) remain readable via the legacy
+//! eager decoder. The single trailing checksum covers header, directory
+//! and body, so any bit flip anywhere in the file is detected at open time.
 //!
 //! Evolvability contract (see `docs/gentlake-format.md` for the details):
 //! readers hard-reject unknown versions and must reject unknown `flags`
-//! bits rather than skip bytes (sections are not length-framed); new
-//! optional sections claim the next flag bit and append after `index`;
-//! `reserved` grows the header only for zero-defaulting fields; and counts
-//! that size allocations are always validated against the bytes remaining.
+//! bits rather than skip bytes; new optional sections claim the next flag
+//! bit and append after `index` (gaining a directory entry after the fixed
+//! three); `reserved` grows the header only for zero-defaulting fields;
+//! and counts or offsets that size allocations or build views are always
+//! validated against the bytes actually present.
 
 use crate::error::StoreError;
 use gent_table::binary::{BinReader, BinWriter};
@@ -49,8 +56,13 @@ use gent_table::binary::{BinReader, BinWriter};
 /// Magic prefix of a lake snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"GENTLAKE";
 
-/// Current container format version.
-pub const SNAPSHOT_FORMAT_VERSION: u16 = 1;
+/// Current container format version: v2, the zero-copy layout with a
+/// section-offset table between header and body.
+pub const SNAPSHOT_FORMAT_VERSION: u16 = 2;
+
+/// The legacy eager layout (no section directory). Still decoded, never
+/// written (except by tests pinning back-compatibility).
+pub const SNAPSHOT_FORMAT_V1: u16 = 1;
 
 /// Header flag: the snapshot carries a serialized LSH Ensemble index.
 pub const FLAG_HAS_LSH: u16 = 1 << 0;
@@ -121,7 +133,7 @@ impl SnapshotHeader {
             )));
         }
         let version = r.get_u16().expect("length checked");
-        if version != SNAPSHOT_FORMAT_VERSION {
+        if version != SNAPSHOT_FORMAT_VERSION && version != SNAPSHOT_FORMAT_V1 {
             return Err(StoreError::Version { found: version, supported: SNAPSHOT_FORMAT_VERSION });
         }
         let flags = r.get_u16().expect("length checked");
@@ -146,6 +158,137 @@ impl SnapshotHeader {
             n_index_entries,
             n_lsh_columns,
         })
+    }
+}
+
+/// One section's placement: absolute file offset + byte length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionRange {
+    /// Absolute byte offset of the section's first byte.
+    pub offset: u64,
+    /// Section length in bytes.
+    pub len: u64,
+}
+
+impl SectionRange {
+    /// The section as a `usize` range (valid after [`SectionDir::decode`]'s
+    /// bounds checks).
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.offset as usize..(self.offset + self.len) as usize
+    }
+}
+
+/// The v2 section-offset table: where each body section lives, so a reader
+/// can address any table (or skip the LSH export entirely) without
+/// sequentially decoding everything before it. Entries are absolute file
+/// offsets in body order; the directory itself sits between the fixed
+/// header and the first section and is covered by the trailing checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionDir {
+    /// The shared string table.
+    pub strtab: SectionRange,
+    /// The frozen inverted index.
+    pub index: SectionRange,
+    /// The LSH export; `None` when the header's LSH flag is clear
+    /// (serialized as offset 0 / length 0).
+    pub lsh: Option<SectionRange>,
+    /// One columnar frame per table, in table order.
+    pub tables: Vec<SectionRange>,
+}
+
+impl SectionDir {
+    /// Encoded directory size for `n_tables` tables.
+    pub fn encoded_len(n_tables: usize) -> usize {
+        16 * (3 + n_tables)
+    }
+
+    /// Append the directory to `w` (fixed entries first, then tables).
+    pub fn encode(&self, w: &mut BinWriter) {
+        let mut put = |s: &SectionRange| {
+            w.put_u64(s.offset);
+            w.put_u64(s.len);
+        };
+        put(&self.strtab);
+        put(&self.index);
+        put(&self.lsh.unwrap_or(SectionRange { offset: 0, len: 0 }));
+        for t in &self.tables {
+            put(t);
+        }
+    }
+
+    /// Decode and validate a directory for a file of `file_len` bytes with
+    /// `n_tables` tables. Every offset is checked before any view is built:
+    /// sections must tile the body **contiguously in body order** (strtab,
+    /// tables, index, then LSH) from the byte after the directory to the
+    /// byte before the trailer — the v2 equivalent of v1's "reader must
+    /// consume every byte" rule, so corrupt offsets surface as a structured
+    /// error here, never as a panicking slice downstream.
+    pub fn decode(
+        r: &mut BinReader<'_>,
+        n_tables: usize,
+        has_lsh: bool,
+        file_len: usize,
+    ) -> Result<Self, StoreError> {
+        let body_start = (HEADER_LEN + Self::encoded_len(n_tables)) as u64;
+        let body_end = (file_len - TRAILER_LEN) as u64;
+        let read_pair = |r: &mut BinReader<'_>| -> Result<(u64, u64), StoreError> {
+            Ok((r.get_u64()?, r.get_u64()?))
+        };
+        let check = |(offset, len): (u64, u64), what: &str| -> Result<SectionRange, StoreError> {
+            let end = offset.checked_add(len).ok_or_else(|| {
+                StoreError::Corrupt(format!("{what} section {offset}+{len} overflows"))
+            })?;
+            if offset < body_start || end > body_end {
+                return Err(StoreError::Corrupt(format!(
+                    "{what} section {offset}..{end} outside the body ({body_start}..{body_end})"
+                )));
+            }
+            Ok(SectionRange { offset, len })
+        };
+        let strtab = check(read_pair(r)?, "strtab")?;
+        let index = check(read_pair(r)?, "index")?;
+        let lsh_raw = read_pair(r)?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for i in 0..n_tables {
+            tables.push(check(read_pair(r)?, &format!("table {i}"))?);
+        }
+        let lsh = if has_lsh {
+            Some(check(lsh_raw, "lsh")?)
+        } else {
+            if lsh_raw != (0, 0) {
+                return Err(StoreError::Corrupt(format!(
+                    "lsh directory entry {}+{} set but the LSH flag is clear",
+                    lsh_raw.0, lsh_raw.1
+                )));
+            }
+            None
+        };
+        // Contiguity: the sections tile the body exactly, in body order.
+        let mut cursor = body_start;
+        let mut advance = |s: &SectionRange, what: &str| -> Result<(), StoreError> {
+            if s.offset != cursor {
+                return Err(StoreError::Corrupt(format!(
+                    "{what} section starts at {} but the previous section ends at {cursor}",
+                    s.offset
+                )));
+            }
+            cursor += s.len;
+            Ok(())
+        };
+        advance(&strtab, "strtab")?;
+        for (i, t) in tables.iter().enumerate() {
+            advance(t, &format!("table {i}"))?;
+        }
+        advance(&index, "index")?;
+        if let Some(l) = &lsh {
+            advance(l, "lsh")?;
+        }
+        if cursor != body_end {
+            return Err(StoreError::Corrupt(format!(
+                "sections end at {cursor} but the body ends at {body_end}"
+            )));
+        }
+        Ok(SectionDir { strtab, index, lsh, tables })
     }
 }
 

@@ -168,7 +168,7 @@ mod tests {
         for (v, postings) in sequential.index_entries() {
             assert_eq!(parallel.postings(&v), postings, "postings({v}) diverge");
         }
-        for t in sequential.tables() {
+        for t in sequential.tables_iter() {
             assert_eq!(
                 parallel.get_by_name(t.name()).map(|p| p.rows()),
                 Some(t.rows()),

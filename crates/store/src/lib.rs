@@ -31,9 +31,10 @@
 //! # let tables = vec![];
 //! // Ingest once…
 //! let built = InMemory::new(tables).load_lake()?;
-//! snapshot::save("lake.gentlake".as_ref(), &built.lake, built.lsh.as_ref())?;
-//! // …reopen in milliseconds, retrieval-identical to the original.
+//! snapshot::save("lake.gentlake".as_ref(), &built.lake, built.lsh.force()?)?;
+//! // …reopen lazily: no table cells decode until a reclaim touches them.
 //! let warm = SnapshotFile("lake.gentlake".into()).load_lake()?;
+//! assert_eq!(warm.lake.tables_decoded(), 0);
 //! # Ok(()) }
 //! ```
 
@@ -46,9 +47,9 @@ pub mod snapshot;
 pub mod source;
 
 pub use error::StoreError;
-pub use format::{SnapshotHeader, SNAPSHOT_FORMAT_VERSION};
+pub use format::{SectionDir, SectionRange, SnapshotHeader, SNAPSHOT_FORMAT_VERSION};
 pub use ingest::{ingest_tables, IngestOptions, IngestedLake};
-pub use snapshot::{LoadedLake, SnapshotStat};
+pub use snapshot::{LoadedLake, LshSlot, SnapshotStat};
 pub use source::{InMemory, LakeSource, SnapshotFile};
 
 /// Convenience: open just the [`gent_discovery::DataLake`] from a snapshot,

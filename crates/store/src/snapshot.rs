@@ -2,14 +2,25 @@
 //!
 //! A snapshot persists a [`DataLake`] *together with its derived
 //! structures* — the inverted value index and, optionally, the LSH Ensemble
-//! index — so reopening a lake costs one sequential read plus decode instead
-//! of re-scanning and re-hashing every cell. Reopened lakes answer every
-//! retrieval query identically to the lake they were saved from (see
-//! `tests/snapshot_roundtrip.rs`).
+//! index. Since format v2 the open path is **zero-copy and lazy**: [`load`]
+//! reads the file once into a shared [`LakeBuf`], verifies the whole-file
+//! checksum, and then builds *views* instead of copies — the
+//! [`FrozenIndex`] arrays are anchored directly in the buffer, each table
+//! becomes a lazy [`TableSlot`] whose cells decode on first touch, and the
+//! LSH export stays undecoded until someone asks for it
+//! ([`LshSlot::force`]). Opening a lake therefore costs one sequential
+//! read + checksum pass + per-table preamble decode, independent of how
+//! many cells the lake holds; a reclaim touching three tables decodes
+//! three. [`DataLake::decode_all`] restores the old eager behavior.
+//! Reopened lakes answer every retrieval query identically to the lake
+//! they were saved from (see `tests/snapshot_roundtrip.rs` and
+//! `tests/lazy_open.rs` at the workspace root).
 
 use std::fs;
 use std::io::Read;
+use std::ops::Range;
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 use gent_discovery::lake::Posting;
 use gent_discovery::{
@@ -17,23 +28,106 @@ use gent_discovery::{
     LshPartitionExport,
 };
 use gent_table::binary::{
-    decode_string_table, decode_table_columnar, encode_table_columnar, fold64, BinReader,
-    BinWriter, StringTableBuilder,
+    decode_string_table, encode_table_columnar, fold64, BinReader, BinWriter, StringTableBuilder,
+    TableSlot,
 };
+use gent_table::view::{ByteView, LakeBuf, LeWord, WordView};
 
 use crate::error::StoreError;
 use crate::format::{
-    SnapshotHeader, FLAG_HAS_LSH, HEADER_LEN, SNAPSHOT_FORMAT_VERSION, TRAILER_LEN,
+    SectionDir, SectionRange, SnapshotHeader, FLAG_HAS_LSH, HEADER_LEN, SNAPSHOT_FORMAT_V1,
+    SNAPSHOT_FORMAT_VERSION, TRAILER_LEN,
 };
 
-/// A lake loaded from a snapshot: the tables + inverted index, and the LSH
-/// index when the snapshot carries one.
+/// A lake loaded from a snapshot: the tables + inverted index, and a slot
+/// for the LSH index when the snapshot carries one.
 #[derive(Debug, Clone)]
 pub struct LoadedLake {
-    /// The lake, ready for discovery (index already built).
+    /// The lake, ready for discovery (index already served from the
+    /// snapshot buffer; tables decode lazily for v2 snapshots).
     pub lake: DataLake,
-    /// The warm-started LSH index, if the snapshot was built with one.
-    pub lsh: Option<LshEnsembleIndex>,
+    /// The LSH index slot: present-but-undecoded for v2 snapshots with
+    /// bands, eager for in-memory builds and v1 snapshots.
+    pub lsh: LshSlot,
+}
+
+impl LoadedLake {
+    /// Wrap an already-materialized lake (+ optional LSH index) — the
+    /// in-memory ingest path.
+    pub fn eager(lake: DataLake, lsh: Option<LshEnsembleIndex>) -> Self {
+        LoadedLake { lake, lsh: LshSlot::eager(lsh) }
+    }
+}
+
+/// The LSH Ensemble export of a snapshot, decoded **once, on first use**.
+///
+/// The serve daemon keeps bands alive for its whole life but may never be
+/// asked for approximate retrieval; statting a lake must not pay for band
+/// reconstruction. The slot therefore carries the band section as a range
+/// of the shared snapshot buffer plus the column count (from the header),
+/// and [`LshSlot::force`] memoizes the real decode.
+#[derive(Debug, Clone)]
+pub struct LshSlot {
+    lazy: Option<(LakeBuf, Range<usize>)>,
+    n_columns: u32,
+    cell: OnceLock<Result<Option<LshEnsembleIndex>, String>>,
+}
+
+impl LshSlot {
+    /// Wrap an already-built (or absent) index.
+    pub fn eager(lsh: Option<LshEnsembleIndex>) -> Self {
+        let n_columns = lsh.as_ref().map_or(0, |l| l.n_columns() as u32);
+        let slot = LshSlot { lazy: None, n_columns, cell: OnceLock::new() };
+        let _ = slot.cell.set(Ok(lsh));
+        slot
+    }
+
+    /// A lazy slot over the band section of an opened snapshot.
+    fn lazy(buf: LakeBuf, range: Range<usize>, n_columns: u32) -> Self {
+        LshSlot { lazy: Some((buf, range)), n_columns, cell: OnceLock::new() }
+    }
+
+    /// Columns summarised by the bands (0 when absent) — available without
+    /// decoding.
+    pub fn n_columns(&self) -> u32 {
+        self.n_columns
+    }
+
+    /// True once the band section has been decoded *successfully* (always
+    /// true for eager slots); a memoized decode failure reports false, so
+    /// the serve gauge cannot claim bands that never materialized.
+    pub fn is_decoded(&self) -> bool {
+        matches!(self.cell.get(), Some(Ok(_)))
+    }
+
+    /// The index, decoding (and memoizing) the band section on first call;
+    /// `Ok(None)` when the snapshot carries no bands.
+    pub fn force(&self) -> Result<Option<&LshEnsembleIndex>, StoreError> {
+        self.cell
+            .get_or_init(|| self.decode())
+            .as_ref()
+            .map(|o| o.as_ref())
+            .map_err(|m| StoreError::Corrupt(m.clone()))
+    }
+
+    fn decode(&self) -> Result<Option<LshEnsembleIndex>, String> {
+        let Some((buf, range)) = &self.lazy else {
+            return Ok(None); // eager slot: cell was pre-set, not reachable
+        };
+        let mut r = BinReader::new(buf.slice(range.clone()));
+        let export = decode_lsh(&mut r).map_err(|e| e.to_string())?;
+        if r.remaining() != 0 {
+            return Err(format!("{} trailing bytes after the LSH section", r.remaining()));
+        }
+        if export.columns.len() as u32 != self.n_columns {
+            return Err(format!(
+                "LSH section holds {} columns, header promised {}",
+                export.columns.len(),
+                self.n_columns
+            ));
+        }
+        LshEnsembleIndex::from_export(export).map(Some)
+    }
 }
 
 /// Summary of a snapshot file, read from the fixed header only — `lake stat`
@@ -46,10 +140,84 @@ pub struct SnapshotStat {
     pub file_bytes: u64,
 }
 
-/// Serialize `lake` (and optionally a built LSH index) to `path`.
-/// The write is atomic: bytes are assembled in memory, written to a
-/// temporary sibling file, and renamed over `path`, so a crash mid-save can
-/// neither leave a half-written snapshot nor destroy the previous one.
+/// The body sections of a snapshot, encoded but not yet framed: the
+/// version-independent middle of both writers.
+struct EncodedBody {
+    header: SnapshotHeader,
+    strtab: Vec<u8>,
+    tables: Vec<Vec<u8>>,
+    index: Vec<u8>,
+    lsh: Option<Vec<u8>>,
+}
+
+fn encode_body(
+    lake: &DataLake,
+    lsh: Option<&LshEnsembleIndex>,
+    version: u16,
+) -> Result<EncodedBody, StoreError> {
+    // A lazily-opened lake materializes every remaining slot up front so
+    // any (checksum-defeating) cell corruption surfaces as an error here
+    // rather than a panic mid-encode.
+    lake.decode_all(1)?;
+    let lsh_export = lsh.map(|i| i.export());
+    let header = SnapshotHeader {
+        version,
+        flags: if lsh_export.is_some() { FLAG_HAS_LSH } else { 0 },
+        n_tables: lake.len() as u32,
+        total_rows: lake.slots().iter().map(|s| s.n_rows() as u64).sum(),
+        total_cols: lake.slots().iter().map(|s| s.n_cols() as u64).sum(),
+        n_index_entries: lake.index_len() as u64,
+        n_lsh_columns: lsh_export.as_ref().map_or(0, |e| e.columns.len() as u32),
+    };
+
+    // Tables are encoded before the string table they fill is serialized
+    // (decode needs the strings before the first cell).
+    let mut strings = StringTableBuilder::new();
+    let mut tables = Vec::with_capacity(lake.len());
+    for t in lake.tables_iter() {
+        let mut w = BinWriter::new();
+        encode_table_columnar(t, &mut w, &mut strings);
+        tables.push(w.into_bytes());
+    }
+    let mut strtab = BinWriter::new();
+    strings.encode(&mut strtab);
+
+    // The index is persisted in its serving layout (FrozenIndex arrays);
+    // freezing sorts entries canonically, so identical lakes → identical
+    // bytes regardless of hash-map iteration order. An already-frozen lake
+    // (one loaded from a snapshot) serializes its buffer-backed arrays with
+    // bulk copies — no re-encode.
+    let frozen_built;
+    let frozen = match lake.frozen_index() {
+        Some(f) => f,
+        None => {
+            frozen_built = lake.freeze_index();
+            &frozen_built
+        }
+    };
+    let mut index = BinWriter::new();
+    frozen.encode(&mut index);
+
+    let lsh_bytes = lsh_export.as_ref().map(|e| {
+        let mut w = BinWriter::new();
+        encode_lsh(e, &mut w);
+        w.into_bytes()
+    });
+
+    Ok(EncodedBody {
+        header,
+        strtab: strtab.into_bytes(),
+        tables,
+        index: index.into_bytes(),
+        lsh: lsh_bytes,
+    })
+}
+
+/// Serialize `lake` (and optionally a built LSH index) to `path` in the
+/// current (v2) format. The write is atomic: bytes are assembled in memory,
+/// written to a temporary sibling file, and renamed over `path`, so a crash
+/// mid-save can neither leave a half-written snapshot nor destroy the
+/// previous one.
 ///
 /// # Examples
 ///
@@ -69,80 +237,92 @@ pub fn save(
     lake: &DataLake,
     lsh: Option<&LshEnsembleIndex>,
 ) -> Result<(), StoreError> {
+    let body = encode_body(lake, lsh, SNAPSHOT_FORMAT_VERSION)?;
+
     let mut w = BinWriter::new();
-    let lsh_export = lsh.map(|i| i.export());
-    let header = SnapshotHeader {
-        version: SNAPSHOT_FORMAT_VERSION,
-        flags: if lsh_export.is_some() { FLAG_HAS_LSH } else { 0 },
-        n_tables: lake.len() as u32,
-        total_rows: lake.tables().iter().map(|t| t.n_rows() as u64).sum(),
-        total_cols: lake.tables().iter().map(|t| t.n_cols() as u64).sum(),
-        n_index_entries: lake.index_len() as u64,
-        n_lsh_columns: lsh_export.as_ref().map_or(0, |e| e.columns.len() as u32),
+    body.header.encode(&mut w);
+    // Section directory: absolute offsets, contiguous, in body order.
+    let mut offset = (HEADER_LEN + SectionDir::encoded_len(body.tables.len())) as u64;
+    let mut claim = |len: usize| {
+        let s = SectionRange { offset, len: len as u64 };
+        offset += len as u64;
+        s
     };
-    header.encode(&mut w);
-
-    // Tables are encoded into a side buffer so the string table they fill
-    // can be written first (decode needs it before the first table).
-    let mut strings = StringTableBuilder::new();
-    let mut tables_w = BinWriter::new();
-    for t in lake.tables() {
-        encode_table_columnar(t, &mut tables_w, &mut strings);
-    }
-    strings.encode(&mut w);
-    w.put_raw(tables_w.as_bytes());
-
-    // The index is persisted in its serving layout (FrozenIndex arrays);
-    // freezing sorts entries canonically, so identical lakes → identical
-    // bytes regardless of hash-map iteration order. An already-frozen lake
-    // (one loaded from a snapshot) serializes its arrays without copying.
-    let frozen_built;
-    let frozen = match lake.frozen_index() {
-        Some(f) => f,
-        None => {
-            frozen_built = lake.freeze_index();
-            &frozen_built
-        }
+    let dir = SectionDir {
+        strtab: claim(body.strtab.len()),
+        tables: body.tables.iter().map(|t| claim(t.len())).collect(),
+        index: claim(body.index.len()),
+        lsh: body.lsh.as_ref().map(|l| claim(l.len())),
     };
-    let (buckets, hashes, value_offsets, blob, posting_offsets, arena) = frozen.raw_parts();
-    w.put_u32_array(buckets);
-    w.put_u64_array(hashes);
-    w.put_u32_array(value_offsets);
-    w.put_u64(blob.len() as u64);
-    w.put_raw(blob);
-    w.put_u32_array(posting_offsets);
-    let arena_tables: Vec<u32> = arena.iter().map(|p| p.table).collect();
-    let arena_cols: Vec<u16> = arena.iter().map(|p| p.column).collect();
-    w.put_u32_array(&arena_tables);
-    w.put_u16_array(&arena_cols);
-
-    if let Some(e) = &lsh_export {
-        encode_lsh(e, &mut w);
+    dir.encode(&mut w);
+    w.put_raw(&body.strtab);
+    for t in &body.tables {
+        w.put_raw(t);
     }
-
+    w.put_raw(&body.index);
+    if let Some(l) = &body.lsh {
+        w.put_raw(l);
+    }
     let checksum = fold64(w.as_bytes());
     w.put_u64(checksum);
-    // Write-then-rename keeps the previous snapshot intact until the new
-    // one is fully on disk.
+    write_atomic(path, w.as_bytes())
+}
+
+/// Serialize in the **legacy v1 layout** (no section directory, eager-only
+/// decode). Kept so the v1 reader's back-compatibility is a tested fact
+/// rather than a claim; production writes always use [`save`].
+pub fn save_legacy_v1(
+    path: &Path,
+    lake: &DataLake,
+    lsh: Option<&LshEnsembleIndex>,
+) -> Result<(), StoreError> {
+    let body = encode_body(lake, lsh, SNAPSHOT_FORMAT_V1)?;
+    let mut w = BinWriter::new();
+    body.header.encode(&mut w);
+    w.put_raw(&body.strtab);
+    for t in &body.tables {
+        w.put_raw(t);
+    }
+    w.put_raw(&body.index);
+    if let Some(l) = &body.lsh {
+        w.put_raw(l);
+    }
+    let checksum = fold64(w.as_bytes());
+    w.put_u64(checksum);
+    write_atomic(path, w.as_bytes())
+}
+
+/// Write-then-rename keeps the previous snapshot intact until the new one
+/// is fully on disk.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = path.with_extension("gentlake.tmp");
-    fs::write(&tmp, w.as_bytes()).map_err(|e| StoreError::io(&tmp, e))?;
+    fs::write(&tmp, bytes).map_err(|e| StoreError::io(&tmp, e))?;
     fs::rename(&tmp, path).map_err(|e| {
         let _ = fs::remove_file(&tmp);
         StoreError::io(path, e)
     })
 }
 
-/// Load a snapshot written by [`save`]. Verifies magic, version and the
-/// whole-file checksum before decoding anything.
+/// Load a snapshot written by [`save`] (or a legacy v1 file). Verifies
+/// magic, version and the whole-file checksum, then hands v2 files to the
+/// zero-copy lazy loader and v1 files to the eager decoder.
 pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
     let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    load_buf(LakeBuf::new(bytes))
+}
+
+/// Open a snapshot already in memory — what [`load`] does after its one
+/// `read`. Exposed so tests and benches can exercise the open path (and
+/// hostile inputs) without round-tripping the filesystem.
+pub fn load_buf(buf: LakeBuf) -> Result<LoadedLake, StoreError> {
+    let bytes = buf.as_slice();
     if bytes.len() < HEADER_LEN + TRAILER_LEN {
         return Err(StoreError::Corrupt(format!(
             "file is {} bytes — too short for a snapshot",
             bytes.len()
         )));
     }
-    let header = SnapshotHeader::decode(&bytes)?;
+    let header = SnapshotHeader::decode(bytes)?;
     let body_end = bytes.len() - TRAILER_LEN;
     let mut tail = BinReader::new(&bytes[body_end..]);
     let stored = tail.get_u64().expect("trailer length checked");
@@ -152,7 +332,102 @@ pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
             "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
         )));
     }
+    match header.version {
+        SNAPSHOT_FORMAT_V1 => load_v1(&buf, &header),
+        SNAPSHOT_FORMAT_VERSION => load_v2(buf, &header),
+        v => Err(StoreError::Version { found: v, supported: SNAPSHOT_FORMAT_VERSION }),
+    }
+}
 
+/// The zero-copy open: build views into `buf`, decode only preambles and
+/// the posting arena, defer everything else.
+fn load_v2(buf: LakeBuf, header: &SnapshotHeader) -> Result<LoadedLake, StoreError> {
+    let n_tables = header.n_tables as usize;
+    let dir_len = SectionDir::encoded_len(n_tables);
+    if (buf.len() as u64) < (HEADER_LEN + dir_len + TRAILER_LEN) as u64 {
+        return Err(StoreError::Corrupt(format!(
+            "file is {} bytes — too short for a {n_tables}-table section directory",
+            buf.len()
+        )));
+    }
+    let mut dr = BinReader::new(buf.slice(HEADER_LEN..HEADER_LEN + dir_len));
+    let dir = SectionDir::decode(&mut dr, n_tables, header.has_lsh(), buf.len())?;
+
+    // String table: decoded eagerly (it is shared by every lazy slot and
+    // typically small relative to cell payloads).
+    let mut r = BinReader::new(buf.slice(dir.strtab.range()));
+    let strings: Arc<[Arc<str>]> = decode_string_table(&mut r)?.into();
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the string table",
+            r.remaining()
+        )));
+    }
+
+    // Tables: one lazy slot per directory entry; only the preamble (name,
+    // schema, row count) is decoded here.
+    let mut slots = Vec::with_capacity(n_tables);
+    for t in &dir.tables {
+        slots.push(TableSlot::lazy(buf.clone(), t.range(), strings.clone())?);
+    }
+    let (rows, cols) =
+        slots.iter().fold((0u64, 0u64), |(r, c), s| (r + s.n_rows() as u64, c + s.n_cols() as u64));
+    if rows != header.total_rows || cols != header.total_cols {
+        return Err(StoreError::Corrupt(format!(
+            "table preambles sum to {rows} rows / {cols} columns, header promised {} / {}",
+            header.total_rows, header.total_cols
+        )));
+    }
+
+    // Index: the open-addressing arrays stay in the buffer as views; only
+    // the posting arena (struct-of-arrays on disk, `&[Posting]` at runtime)
+    // is materialized — and validated against the slot schemas, which are
+    // known without decoding a single cell.
+    let base = dir.index.offset as usize;
+    let mut r = BinReader::new(buf.slice(dir.index.range()));
+    let buckets = read_view::<u32>(&mut r, &buf, base)?;
+    let hashes = read_view::<u64>(&mut r, &buf, base)?;
+    if hashes.len() as u64 != header.n_index_entries {
+        return Err(StoreError::Corrupt(format!(
+            "index has {} entries, header promised {}",
+            hashes.len(),
+            header.n_index_entries
+        )));
+    }
+    let value_offsets = read_view::<u32>(&mut r, &buf, base)?;
+    let blob_len = r.get_u64()? as usize;
+    let blob_start = base + r.position();
+    r.take(blob_len)?;
+    let blob = ByteView::view(buf.clone(), blob_start..blob_start + blob_len)
+        .map_err(StoreError::Corrupt)?;
+    let posting_offsets = read_view::<u32>(&mut r, &buf, base)?;
+    let arena_tables = r.get_u32_array()?;
+    let arena_cols = r.get_u16_array()?;
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the index section",
+            r.remaining()
+        )));
+    }
+    let arena =
+        build_arena(&arena_tables, &arena_cols, |ti| slots.get(ti).map(|s| s.n_cols() as u16))?;
+    let frozen =
+        FrozenIndex::from_views(buckets, hashes, value_offsets, blob, posting_offsets, arena)
+            .map_err(StoreError::Corrupt)?;
+
+    let lsh = match dir.lsh {
+        Some(section) => LshSlot::lazy(buf.clone(), section.range(), header.n_lsh_columns),
+        None => LshSlot::eager(None),
+    };
+
+    Ok(LoadedLake { lake: DataLake::from_slots(slots, frozen), lsh })
+}
+
+/// The legacy eager decoder for v1 files (no section directory: sections
+/// must be decoded sequentially, so everything materializes at open).
+fn load_v1(buf: &LakeBuf, header: &SnapshotHeader) -> Result<LoadedLake, StoreError> {
+    let bytes = buf.as_slice();
+    let body_end = bytes.len() - TRAILER_LEN;
     let mut r = BinReader::new(&bytes[HEADER_LEN..body_end]);
 
     let strings = decode_string_table(&mut r)?;
@@ -168,7 +443,7 @@ pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
     }
     let mut tables = Vec::with_capacity(header.n_tables as usize);
     for _ in 0..header.n_tables {
-        tables.push(decode_table_columnar(&mut r, &strings)?);
+        tables.push(gent_table::binary::decode_table_columnar(&mut r, &strings)?);
     }
 
     let buckets = r.get_u32_array()?;
@@ -186,37 +461,21 @@ pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
     let posting_offsets = r.get_u32_array()?;
     let arena_tables = r.get_u32_array()?;
     let arena_cols = r.get_u16_array()?;
-    if arena_tables.len() != arena_cols.len() {
-        return Err(StoreError::Corrupt(format!(
-            "posting arrays disagree: {} tables vs {} columns",
-            arena_tables.len(),
-            arena_cols.len()
-        )));
-    }
-    let ncols: Vec<u16> = tables.iter().map(|t| t.n_cols() as u16).collect();
-    let mut arena = Vec::with_capacity(arena_tables.len());
-    for (&table, &column) in arena_tables.iter().zip(&arena_cols) {
-        match ncols.get(table as usize) {
-            Some(&nc) if column < nc => arena.push(Posting { table, column }),
-            Some(_) => {
-                return Err(StoreError::Corrupt(format!(
-                    "posting references column {column} of table {table} (too few columns)"
-                )))
-            }
-            None => {
-                return Err(StoreError::Corrupt(format!(
-                    "posting references table {table}, but the lake has {} tables",
-                    tables.len()
-                )))
-            }
-        }
-    }
+    let arena =
+        build_arena(&arena_tables, &arena_cols, |ti| tables.get(ti).map(|t| t.n_cols() as u16))?;
     let frozen =
         FrozenIndex::from_raw_parts(buckets, hashes, value_offsets, blob, posting_offsets, arena)
             .map_err(StoreError::Corrupt)?;
 
     let lsh = if header.has_lsh() {
         let export = decode_lsh(&mut r)?;
+        if export.columns.len() as u32 != header.n_lsh_columns {
+            return Err(StoreError::Corrupt(format!(
+                "LSH section holds {} columns, header promised {}",
+                export.columns.len(),
+                header.n_lsh_columns
+            )));
+        }
         Some(LshEnsembleIndex::from_export(export).map_err(StoreError::Corrupt)?)
     } else {
         None
@@ -229,7 +488,57 @@ pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
         )));
     }
 
-    Ok(LoadedLake { lake: DataLake::from_frozen(tables, frozen), lsh })
+    Ok(LoadedLake { lake: DataLake::from_frozen(tables, frozen), lsh: LshSlot::eager(lsh) })
+}
+
+/// Zip the struct-of-arrays posting encoding back into `Posting`s,
+/// validating every reference against the lake's (metadata-only) schema.
+fn build_arena(
+    arena_tables: &[u32],
+    arena_cols: &[u16],
+    n_cols_of: impl Fn(usize) -> Option<u16>,
+) -> Result<Vec<Posting>, StoreError> {
+    if arena_tables.len() != arena_cols.len() {
+        return Err(StoreError::Corrupt(format!(
+            "posting arrays disagree: {} tables vs {} columns",
+            arena_tables.len(),
+            arena_cols.len()
+        )));
+    }
+    let mut arena = Vec::with_capacity(arena_tables.len());
+    for (&table, &column) in arena_tables.iter().zip(arena_cols) {
+        match n_cols_of(table as usize) {
+            Some(nc) if column < nc => arena.push(Posting { table, column }),
+            Some(_) => {
+                return Err(StoreError::Corrupt(format!(
+                    "posting references column {column} of table {table} (too few columns)"
+                )))
+            }
+            None => {
+                return Err(StoreError::Corrupt(format!(
+                    "posting references table {table}, beyond the lake's table count"
+                )))
+            }
+        }
+    }
+    Ok(arena)
+}
+
+/// Read a length-prefixed word array (`put_u32_array`/`put_u64_array`
+/// wire format) as a zero-copy view anchored at `base + position` of
+/// `buf`, advancing the reader past it.
+fn read_view<T: LeWord>(
+    r: &mut BinReader<'_>,
+    buf: &LakeBuf,
+    base: usize,
+) -> Result<WordView<T>, StoreError> {
+    let n = r.get_u64()? as usize;
+    let start = base + r.position();
+    let bytes = n.checked_mul(T::BYTES).ok_or_else(|| {
+        StoreError::Corrupt(format!("{}-byte word array of {n} elements overflows", T::BYTES))
+    })?;
+    r.take(bytes)?;
+    WordView::view(buf.clone(), start, n).map_err(StoreError::Corrupt)
 }
 
 /// Read a snapshot's summary from its fixed header without loading (or
@@ -388,7 +697,7 @@ mod tests {
         let path = scratch("roundtrip.gentlake");
         save(&path, &l, None).unwrap();
         let loaded = load(&path).unwrap();
-        assert!(loaded.lsh.is_none());
+        assert!(loaded.lsh.force().unwrap().is_none());
         assert_eq!(loaded.lake.len(), l.len());
         assert_eq!(loaded.lake.index_len(), l.index_len());
         for probe in [V::Int(3), V::Int(1005), V::str("c7"), V::str("nope")] {
@@ -400,6 +709,39 @@ mod tests {
         );
     }
 
+    /// The acceptance property of the zero-copy open: loading decodes *no*
+    /// table cells and no LSH bands; metadata and posting lookups work on
+    /// the undecoded lake; touching one table decodes exactly that table.
+    #[test]
+    fn lazy_open_decodes_nothing_until_touched() {
+        let l = lake();
+        let lsh = LshEnsembleIndex::build(&l, LshConfig::default());
+        let path = scratch("lazy.gentlake");
+        save(&path, &l, Some(&lsh)).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.lake.tables_decoded(), 0, "open must not decode tables");
+        assert!(!loaded.lsh.is_decoded(), "open must not decode LSH bands");
+        assert!(loaded.lsh.n_columns() > 0, "column count available without decode");
+
+        // Metadata + index lookups leave everything undecoded.
+        assert_eq!(loaded.lake.len(), 2);
+        assert_eq!(loaded.lake.name_of(0), Some("customers"));
+        assert_eq!(loaded.lake.slots()[1].n_rows(), 25);
+        assert_eq!(loaded.lake.postings(&V::Int(3)), l.postings(&V::Int(3)));
+        assert_eq!(loaded.lake.tables_decoded(), 0);
+
+        // Touching one table decodes exactly one.
+        let orders = loaded.lake.get_by_name("orders").unwrap();
+        assert_eq!(orders.rows(), l.get_by_name("orders").unwrap().rows());
+        assert_eq!(loaded.lake.tables_decoded(), 1);
+
+        // decode_all restores the eager world.
+        loaded.lake.decode_all(2).unwrap();
+        assert_eq!(loaded.lake.tables_decoded(), 2);
+        let warm = loaded.lsh.force().unwrap().expect("lsh present");
+        assert_eq!(warm.export(), lsh.export());
+    }
+
     #[test]
     fn save_load_with_lsh() {
         let l = lake();
@@ -407,8 +749,53 @@ mod tests {
         let path = scratch("with-lsh.gentlake");
         save(&path, &l, Some(&lsh)).unwrap();
         let loaded = load(&path).unwrap();
-        let warm = loaded.lsh.expect("lsh present");
+        let warm = loaded.lsh.force().unwrap().expect("lsh present");
         assert_eq!(warm.export(), lsh.export());
+    }
+
+    /// v1 files (no section directory) stay readable, and answer exactly
+    /// like the v2 open of the same lake.
+    #[test]
+    fn legacy_v1_snapshot_still_loads() {
+        let l = lake();
+        let lsh = LshEnsembleIndex::build(&l, LshConfig::default());
+        let p1 = scratch("legacy-v1.gentlake");
+        let p2 = scratch("current-v2.gentlake");
+        save_legacy_v1(&p1, &l, Some(&lsh)).unwrap();
+        save(&p2, &l, Some(&lsh)).unwrap();
+        let v1 = load(&p1).unwrap();
+        let v2 = load(&p2).unwrap();
+        assert_eq!(stat(&p1).unwrap().header.version, SNAPSHOT_FORMAT_V1);
+        // v1 decodes eagerly by construction.
+        assert_eq!(v1.lake.tables_decoded(), v1.lake.len());
+        assert_eq!(v1.lake.index_len(), v2.lake.index_len());
+        for probe in [V::Int(3), V::Int(1005), V::str("c7")] {
+            assert_eq!(v1.lake.postings(&probe), v2.lake.postings(&probe), "postings({probe})");
+        }
+        assert_eq!(
+            v1.lake.get_by_name("customers").unwrap().rows(),
+            v2.lake.get_by_name("customers").unwrap().rows()
+        );
+        assert_eq!(
+            v1.lsh.force().unwrap().unwrap().export(),
+            v2.lsh.force().unwrap().unwrap().export()
+        );
+    }
+
+    /// Resaving a lazily-opened lake reproduces the file byte-for-byte:
+    /// lazy decode is lossless and the buffer-backed index re-encodes via
+    /// the bulk-copy path.
+    #[test]
+    fn resave_of_lazy_lake_is_byte_identical() {
+        let l = lake();
+        let lsh = LshEnsembleIndex::build(&l, LshConfig::default());
+        let p1 = scratch("resave-1.gentlake");
+        let p2 = scratch("resave-2.gentlake");
+        save(&p1, &l, Some(&lsh)).unwrap();
+        let loaded = load(&p1).unwrap();
+        let relsh = loaded.lsh.force().unwrap().cloned();
+        save(&p2, &loaded.lake, relsh.as_ref()).unwrap();
+        assert_eq!(fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
     }
 
     #[test]
@@ -417,6 +804,7 @@ mod tests {
         let path = scratch("stat.gentlake");
         save(&path, &l, None).unwrap();
         let s = stat(&path).unwrap();
+        assert_eq!(s.header.version, SNAPSHOT_FORMAT_VERSION);
         assert_eq!(s.header.n_tables, 2);
         assert_eq!(s.header.total_rows, 65);
         assert_eq!(s.header.total_cols, 4);

@@ -43,7 +43,7 @@ impl InMemory {
 impl LakeSource for InMemory {
     fn load_lake(self) -> Result<LoadedLake, StoreError> {
         let ingested = ingest_tables(self.tables, &self.options);
-        Ok(LoadedLake { lake: ingested.lake, lsh: ingested.lsh })
+        Ok(LoadedLake::eager(ingested.lake, ingested.lsh))
     }
 }
 

@@ -1,0 +1,202 @@
+//! Hostile-snapshot hardening for the zero-copy (v2) open path.
+//!
+//! Since format v2, slices of the snapshot buffer outlive decode: the
+//! frozen index arrays are served as views and table cells decode lazily,
+//! so a corrupt *offset* is more dangerous than a corrupt *cell* — it
+//! could, if unvalidated, build a view into the wrong bytes or out of
+//! bounds. These properties mutate and truncate the section-offset table,
+//! the header counts that size it, and arbitrary bytes (with and without a
+//! fixed-up checksum, so both the checksum line of defense and the
+//! structural validation behind it are exercised) and assert the contract:
+//! **every corruption maps to a structured [`StoreError`] or to a lake
+//! that still works — never a panic, never an out-of-bounds slice.**
+
+use gent_discovery::{DataLake, LshConfig, LshEnsembleIndex};
+use gent_store::snapshot::{self, LoadedLake};
+use gent_store::StoreError;
+use gent_table::binary::fold64;
+use gent_table::view::LakeBuf;
+use gent_table::{Table, Value as V};
+use proptest::prelude::*;
+
+/// Build one deterministic snapshot (with LSH bands, so every section kind
+/// is present) and return its bytes.
+fn snapshot_bytes() -> Vec<u8> {
+    let a = Table::build(
+        "alpha",
+        &["id", "name"],
+        &[],
+        (0..30).map(|i| vec![V::Int(i), V::str(format!("a{i}"))]).collect(),
+    )
+    .unwrap();
+    let b = Table::build(
+        "beta",
+        &["k", "v"],
+        &[],
+        (0..20).map(|i| vec![V::Int(100 + i), V::Float(i as f64 / 2.0)]).collect(),
+    )
+    .unwrap();
+    let c =
+        Table::build("gamma", &["x"], &[], (0..10).map(|i| vec![V::Int(i * 7)]).collect()).unwrap();
+    let lake = DataLake::from_tables(vec![a, b, c]);
+    let lsh = LshEnsembleIndex::build(&lake, LshConfig::default());
+    let path = std::env::temp_dir().join(format!(
+        "gent-hostile-{}-{:?}.gentlake",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    snapshot::save(&path, &lake, Some(&lsh)).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+/// Recompute and overwrite the trailing fold64 so structural validation —
+/// not the checksum — is what the mutated file exercises.
+fn fix_checksum(bytes: &mut [u8]) {
+    let body_end = bytes.len() - 8;
+    let sum = fold64(&bytes[..body_end]);
+    bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+}
+
+/// The property under test: opening `bytes` and then exercising everything
+/// the open deferred (cell decode, LSH decode, index probes) either
+/// succeeds or returns a structured error. A panic or OOB access fails the
+/// test at the harness level.
+fn open_must_not_panic(bytes: Vec<u8>) -> Result<(), StoreError> {
+    let loaded: LoadedLake = snapshot::load_buf(LakeBuf::new(bytes))?;
+    // Force every deferred decode: lazy table cells (sequential and via the
+    // parallel path), band reconstruction, and a few index probes through
+    // the buffer-anchored views.
+    loaded.lake.decode_all(2).map_err(StoreError::from)?;
+    loaded.lsh.force()?;
+    for probe in [V::Int(3), V::Int(107), V::str("a7"), V::Float(4.5), V::str("absent")] {
+        let _ = loaded.lake.postings(&probe);
+    }
+    for (v, _) in loaded.lake.index_entries() {
+        let _ = loaded.lake.postings(&v);
+    }
+    Ok(())
+}
+
+/// Offset of the section directory (just past the 48-byte header).
+const DIR_START: usize = 48;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Any single flipped bit anywhere in the file — header, directory,
+    /// section bytes, trailer — must be caught (by checksum or structure),
+    /// and must never panic.
+    #[test]
+    fn random_bit_flip_is_rejected(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let mut bytes = snapshot_bytes();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        prop_assert!(
+            open_must_not_panic(bytes).is_err(),
+            "flip at {pos} bit {bit} went undetected"
+        );
+    }
+
+    /// Truncation at any length — mid-header, mid-directory, mid-section,
+    /// mid-trailer — is rejected without panicking.
+    #[test]
+    fn truncation_is_rejected(keep_frac in 0.0f64..1.0) {
+        let full = snapshot_bytes();
+        let keep = ((full.len() - 1) as f64 * keep_frac) as usize;
+        prop_assert!(
+            open_must_not_panic(full[..keep].to_vec()).is_err(),
+            "truncation to {keep}/{} bytes went undetected",
+            full.len()
+        );
+    }
+
+    /// Overwrite one directory entry's offset or length with an arbitrary
+    /// value and *fix the checksum*, so only the directory validation
+    /// stands between the corrupt offset and an out-of-bounds view. The
+    /// contiguous-tiling rule means any real change must be rejected; the
+    /// identity rewrite must keep working.
+    #[test]
+    fn dir_entry_overwrite_never_panics(
+        entry in 0usize..6,    // strtab, index, lsh + 3 tables
+        field in 0usize..2,    // offset or len
+        value in proptest::prelude::any::<u64>(),
+    ) {
+        let mut bytes = snapshot_bytes();
+        let at = DIR_START + entry * 16 + field * 8;
+        let original = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        bytes[at..at + 8].copy_from_slice(&value.to_le_bytes());
+        fix_checksum(&mut bytes);
+        let result = open_must_not_panic(bytes);
+        if value == original {
+            prop_assert!(result.is_ok(), "identity rewrite must still load: {result:?}");
+        } else {
+            prop_assert!(
+                result.is_err(),
+                "dir entry {entry} field {field} rewritten {original} → {value} went undetected"
+            );
+        }
+    }
+
+    /// Small structured perturbations of directory words — the off-by-a-few
+    /// corruptions a bad write would produce — with a fixed-up checksum.
+    #[test]
+    fn dir_entry_nudge_never_panics(entry in 0usize..6, field in 0usize..2, delta in -32i64..=32) {
+        prop_assume!(delta != 0);
+        let mut bytes = snapshot_bytes();
+        let at = DIR_START + entry * 16 + field * 8;
+        let original = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        let nudged = original.wrapping_add(delta as u64);
+        bytes[at..at + 8].copy_from_slice(&nudged.to_le_bytes());
+        fix_checksum(&mut bytes);
+        prop_assert!(
+            open_must_not_panic(bytes).is_err(),
+            "dir entry {entry} field {field} nudged by {delta} went undetected"
+        );
+    }
+
+    /// Corrupt the header counts that *size* the directory and the index
+    /// (n_tables, n_index_entries, totals, flags) with a fixed checksum:
+    /// a crafted header must not cause huge allocations, wrong-sized
+    /// directories, or panics.
+    #[test]
+    fn header_count_overwrite_never_panics(
+        field in 0usize..5,
+        value in proptest::prelude::any::<u32>(),
+    ) {
+        // flags, n_tables, and the low words of total_rows /
+        // n_index_entries / n_lsh_columns.
+        let field_at = [12usize, 16, 24, 32, 40][field];
+        let mut bytes = snapshot_bytes();
+        let original = u32::from_le_bytes(bytes[field_at..field_at + 4].try_into().unwrap());
+        prop_assume!(value != original);
+        bytes[field_at..field_at + 4].copy_from_slice(&value.to_le_bytes());
+        fix_checksum(&mut bytes);
+        prop_assert!(
+            open_must_not_panic(bytes).is_err(),
+            "header word at {field_at} rewritten {original} → {value} went undetected"
+        );
+    }
+
+    /// Corrupt bytes *inside* a section (past the directory) with a fixed
+    /// checksum: lazy cell decode, view validation or LSH decode must turn
+    /// it into an error or a benignly different value — never a panic.
+    /// (Unlike offsets, flipped payload bytes can decode to a different
+    /// valid value, so `Ok` is acceptable here; the assertion is the
+    /// absence of panics and OOB slices while everything is forced.)
+    #[test]
+    fn section_byte_flip_with_fixed_checksum_never_panics(
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = snapshot_bytes();
+        let body = DIR_START + 6 * 16..bytes.len() - 8;
+        let pos = body.start + ((body.end - body.start - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        fix_checksum(&mut bytes);
+        // Err or Ok are both acceptable; what must not happen is a panic,
+        // which would abort the test harness rather than return.
+        let _ = open_must_not_panic(bytes);
+    }
+}

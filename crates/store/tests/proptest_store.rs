@@ -89,7 +89,7 @@ proptest! {
 
         prop_assert_eq!(loaded.lake.len(), lake.len());
         prop_assert_eq!(loaded.lake.index_len(), lake.index_len());
-        for (i, t) in lake.tables().iter().enumerate() {
+        for (i, t) in lake.tables_iter().enumerate() {
             prop_assert_eq!(repr(loaded.lake.get(i).unwrap()), repr(t));
         }
         for (v, postings) in lake.index_entries() {

@@ -102,7 +102,7 @@ fn retrieval_identical_after_snapshot_load() {
     snapshot::save(&snap, &cold_lake, Some(&cold_lsh)).unwrap();
     let loaded = snapshot::load(&snap).unwrap();
     let warm_lake = loaded.lake;
-    let warm_lsh = loaded.lsh.expect("lsh persisted");
+    let warm_lsh = loaded.lsh.force().expect("lsh decodes").cloned().expect("lsh persisted");
 
     // The inverted index answers identically for every indexed value.
     assert_eq!(warm_lake.index_len(), cold_lake.index_len());

@@ -17,10 +17,14 @@
 //! versions or tags, and checksum mismatches all return
 //! [`TableError::Binary`] instead of panicking.
 
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
 use crate::error::TableError;
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::Value;
+use crate::view::LakeBuf;
 
 /// Magic prefix of an encoded table frame.
 pub const TABLE_MAGIC: &[u8; 4] = b"GTBL";
@@ -316,6 +320,40 @@ pub fn decode_value(r: &mut BinReader<'_>) -> Result<Value, TableError> {
     })
 }
 
+/// Structurally validate that `bytes` hold exactly one encoded value —
+/// a tag walk plus a UTF-8 check, no `Value` materialization. This is what
+/// lets zero-copy consumers (the frozen index's canonical-key blob, whose
+/// slices outlive decode) promise that later `decode_value` calls cannot
+/// fail: every key slice is walked once at open time, so corruption that
+/// defeats the checksum still surfaces as a structured error instead of a
+/// mid-serve panic.
+pub fn validate_encoded_value(bytes: &[u8]) -> Result<(), TableError> {
+    let mut r = BinReader::new(bytes);
+    match r.get_u8()? {
+        TAG_NULL | TAG_BOOL_FALSE | TAG_BOOL_TRUE => {}
+        TAG_LABELED_NULL => {
+            r.get_u64()?;
+        }
+        TAG_INT => {
+            r.get_i64()?;
+        }
+        TAG_FLOAT => {
+            r.get_u64()?;
+        }
+        TAG_STR => {
+            r.get_str()?;
+        }
+        tag => return Err(TableError::Binary(format!("unknown value tag {tag}"))),
+    }
+    if r.remaining() != 0 {
+        return Err(TableError::Binary(format!(
+            "{} trailing bytes after encoded value",
+            r.remaining()
+        )));
+    }
+    Ok(())
+}
+
 /// Encode a value in *canonical* form: two values that compare equal under
 /// [`Value`]'s (cross-type, NaN-collapsing, `-0.0 == 0.0`) equality produce
 /// identical bytes, and non-equal values produce distinct bytes. Integral
@@ -601,16 +639,27 @@ pub fn encode_table_columnar(t: &Table, w: &mut BinWriter, strings: &mut StringT
     }
 }
 
-/// Decode a table written by [`encode_table_columnar`], resolving string
-/// ids against the snapshot's decoded string table.
-pub fn decode_table_columnar(
-    r: &mut BinReader<'_>,
-    strings: &[std::sync::Arc<str>],
-) -> Result<Table, TableError> {
+/// The cheap head of a columnar table frame: everything *except* the cell
+/// payloads. Decoding a preamble costs a handful of string reads, so the
+/// zero-copy open path decodes one per table at open time (names and
+/// schemas must be addressable without touching a cell) and defers the cell
+/// payload to [`decode_table_cells`] on first access.
+#[derive(Debug, Clone)]
+pub struct TablePreamble {
+    /// Table name as written.
+    pub name: String,
+    /// Column names + key designation.
+    pub schema: Schema,
+    /// Row count of the deferred cell payload.
+    pub n_rows: usize,
+}
+
+/// Decode the preamble (name, schema, row count) of a columnar table frame,
+/// leaving the reader positioned at the first column payload.
+pub fn decode_table_preamble(r: &mut BinReader<'_>) -> Result<TablePreamble, TableError> {
     let name = r.get_str()?.to_string();
     let schema = decode_schema(r)?;
     let n_rows = r.get_u64()? as usize;
-    let n_cols = schema.len();
     // Each row of a packed column costs at least a bitmap bit or an id.
     // Reject absurd counts before allocating.
     if n_rows > r.remaining().saturating_mul(8) {
@@ -619,6 +668,29 @@ pub fn decode_table_columnar(
             r.remaining()
         )));
     }
+    Ok(TablePreamble { name, schema, n_rows })
+}
+
+/// Decode a table written by [`encode_table_columnar`], resolving string
+/// ids against the snapshot's decoded string table.
+pub fn decode_table_columnar(
+    r: &mut BinReader<'_>,
+    strings: &[std::sync::Arc<str>],
+) -> Result<Table, TableError> {
+    let p = decode_table_preamble(r)?;
+    let rows = decode_table_cells(r, &p.schema, p.n_rows, strings)?;
+    Table::from_rows(p.name, p.schema, rows)
+}
+
+/// Decode the column payloads of a table frame whose preamble was already
+/// read by [`decode_table_preamble`].
+pub fn decode_table_cells(
+    r: &mut BinReader<'_>,
+    schema: &Schema,
+    n_rows: usize,
+    strings: &[std::sync::Arc<str>],
+) -> Result<Vec<Vec<Value>>, TableError> {
+    let n_cols = schema.len();
     // NB: not `vec![Vec::with_capacity(..); n]` — cloning an empty Vec drops
     // its capacity, which would re-allocate every row mid-fill.
     let mut rows: Vec<Vec<Value>> = (0..n_rows).map(|_| Vec::with_capacity(n_cols)).collect();
@@ -662,7 +734,156 @@ pub fn decode_table_columnar(
             tag => return Err(TableError::Binary(format!("unknown column tag {tag}"))),
         }
     }
-    Table::from_rows(name, schema, rows)
+    Ok(rows)
+}
+
+/// One table of a snapshot-backed lake: name, schema and row count are
+/// always available (decoded from the [`TablePreamble`] at open time, or
+/// copied from an in-memory table), while the cell payload of a lazy slot
+/// is decoded **once, on first access**, memoized behind a [`OnceLock`].
+///
+/// This is the ownership pivot of the zero-copy open path: a
+/// `DataLake` loaded from a v2 snapshot holds `TableSlot`s viewing the
+/// shared [`LakeBuf`], so opening a TB-scale lake decodes *no* cells, a
+/// reclaim touching three tables decodes three, and an explicit
+/// `decode_all` restores the old eager behavior.
+///
+/// Renames (`set_name`) apply to the slot's authoritative name; a lazy
+/// decode builds its table under the *current* name, and renaming an
+/// already-decoded slot renames the inner table too — so the two can never
+/// disagree.
+#[derive(Debug, Clone)]
+pub struct TableSlot {
+    name: String,
+    schema: Schema,
+    n_rows: usize,
+    lazy: Option<LazyCells>,
+    cell: OnceLock<Result<Table, TableError>>,
+}
+
+/// The deferred cell payload of a lazy [`TableSlot`].
+#[derive(Debug, Clone)]
+struct LazyCells {
+    buf: LakeBuf,
+    /// Byte range of the column payloads (preamble already consumed).
+    cells: Range<usize>,
+    /// The snapshot-wide interned string table, shared by every slot.
+    strings: Arc<[Arc<str>]>,
+}
+
+impl TableSlot {
+    /// Wrap an already-materialized table (in-memory lakes, v1 snapshots).
+    pub fn eager(table: Table) -> Self {
+        let slot = TableSlot {
+            name: table.name().to_string(),
+            schema: table.schema().clone(),
+            n_rows: table.n_rows(),
+            lazy: None,
+            cell: OnceLock::new(),
+        };
+        let _ = slot.cell.set(Ok(table));
+        slot
+    }
+
+    /// Build a lazy slot over `range` of `buf` (one table's columnar frame,
+    /// as delimited by the snapshot's section-offset table). The preamble is
+    /// decoded now — names, schemas and row counts must never force a cell
+    /// decode — and the rest of the range becomes the deferred payload.
+    pub fn lazy(
+        buf: LakeBuf,
+        range: Range<usize>,
+        strings: Arc<[Arc<str>]>,
+    ) -> Result<Self, TableError> {
+        if range.start > range.end || range.end > buf.len() {
+            return Err(TableError::Binary(format!(
+                "table frame {}..{} out of range for a {}-byte snapshot",
+                range.start,
+                range.end,
+                buf.len()
+            )));
+        }
+        let mut r = BinReader::new(buf.slice(range.clone()));
+        let p = decode_table_preamble(&mut r)?;
+        let cells = range.start + r.position()..range.end;
+        Ok(TableSlot {
+            name: p.name,
+            schema: p.schema,
+            n_rows: p.n_rows,
+            lazy: Some(LazyCells { buf, cells, strings }),
+            cell: OnceLock::new(),
+        })
+    }
+
+    /// Current table name (no decode).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the slot; an already-decoded table is renamed in place.
+    pub fn set_name(&mut self, name: impl AsRef<str>) {
+        self.name = name.as_ref().to_string();
+        if let Some(Ok(t)) = self.cell.get_mut() {
+            t.set_name(&self.name);
+        }
+    }
+
+    /// Column names + key (no decode).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Row count (no decode).
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column count (no decode).
+    pub fn n_cols(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// True once the cell payload has been decoded *successfully* (always
+    /// true for eager slots) — the observable behind `tables_decoded`
+    /// gauges and the lazy-open tests. A memoized decode *failure* reports
+    /// false: a gauge that counted undecodable tables as materialized
+    /// would misreport in exactly the corruption case it exists to
+    /// diagnose.
+    pub fn is_decoded(&self) -> bool {
+        matches!(self.cell.get(), Some(Ok(_)))
+    }
+
+    /// The table, decoding (and memoizing) the cell payload on first call.
+    /// Concurrent callers race benignly: `OnceLock` publishes exactly one
+    /// decode result.
+    pub fn force(&self) -> Result<&Table, TableError> {
+        self.cell
+            .get_or_init(|| self.decode())
+            .as_ref()
+            .map_err(|e| TableError::Binary(format!("table `{}`: {e}", self.name)))
+    }
+
+    /// The table; panics when a (checksum-verified, so practically
+    /// unreachable) lazy decode fails. Infallible call sites deep in the
+    /// pipeline use this; fallible entry points use [`TableSlot::force`].
+    pub fn table(&self) -> &Table {
+        self.force().unwrap_or_else(|e| panic!("lazy decode of snapshot table failed: {e}"))
+    }
+
+    fn decode(&self) -> Result<Table, TableError> {
+        let lazy = self
+            .lazy
+            .as_ref()
+            .ok_or_else(|| TableError::Binary("eager slot holds no table".into()))?;
+        let mut r = BinReader::new(lazy.buf.slice(lazy.cells.clone()));
+        let rows = decode_table_cells(&mut r, &self.schema, self.n_rows, &lazy.strings)?;
+        if r.remaining() != 0 {
+            return Err(TableError::Binary(format!(
+                "{} trailing bytes after cell payload",
+                r.remaining()
+            )));
+        }
+        Table::from_rows(self.name.clone(), self.schema.clone(), rows)
+    }
 }
 
 #[cfg(test)]

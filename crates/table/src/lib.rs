@@ -13,7 +13,10 @@
 //! * [`csv`] — a small dependency-free CSV reader/writer so lakes can be
 //!   persisted and inspected,
 //! * [`binary`] — a stable, versioned, checksummed binary codec for values,
-//!   schemas and tables; the foundation of `gent-store` snapshots,
+//!   schemas and tables; the foundation of `gent-store` snapshots, plus the
+//!   lazily-decoded [`binary::TableSlot`] that snapshot-backed lakes hold,
+//! * [`view`] — [`view::LakeBuf`] (one shared buffer per opened snapshot)
+//!   and the zero-copy views into it that frozen structures borrow,
 //! * [`key`] — key discovery for source tables (the paper assumes the Source
 //!   Table has a key and cites mining techniques to find one; we ship a
 //!   minimal-unique-column-set miner),
@@ -37,6 +40,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod view;
 
 pub use error::TableError;
 pub use fxhash::{FxHashMap, FxHashSet};

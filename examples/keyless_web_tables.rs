@@ -52,7 +52,7 @@ fn main() {
     // syntactically, and the source has no key.
     let norm = NormalizeConfig::default();
     let nsource = norm.table(&source);
-    let nlake = DataLake::from_tables(lake.tables().iter().map(|t| norm.table(t)).collect());
+    let nlake = DataLake::from_tables(lake.tables_iter().map(|t| norm.table(t)).collect());
 
     // Keyless path: Gen-T mines a key (City is unique) and reports the
     // key-free greedy instance similarity alongside the usual metrics.

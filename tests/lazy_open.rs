@@ -1,0 +1,113 @@
+//! Fidelity suite for the zero-copy snapshot open: across a datagen
+//! benchmark, reclaiming every case must produce **byte-identical** CSV and
+//! bit-identical EIS through four lake provenances —
+//!
+//! * **cold**  — built in memory from the suite tables (no snapshot),
+//! * **lazy**  — v2 snapshot, tables decoded on first touch (the default),
+//! * **eager** — the same v2 snapshot after `decode_all` (old behavior),
+//! * **v1**    — a legacy v1 snapshot through the back-compat decoder —
+//!
+//! and the lazy lake must actually *be* lazy: zero tables decoded at open,
+//! only the touched subset decoded after the full case sweep.
+
+use gen_t::core::{GenT, GenTConfig};
+use gen_t::datagen::suite::{build, BenchmarkId, SuiteConfig};
+use gen_t::discovery::DataLake;
+use gen_t::store::snapshot;
+use gen_t::table::{csv, Table};
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gent-lazy-open-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// A table's CSV rendering, for byte-level comparison.
+fn csv_bytes(t: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    csv::write_csv(t, &mut out).expect("csv render");
+    out
+}
+
+#[test]
+fn lazy_eager_v1_and_cold_reclaims_are_byte_identical() {
+    let suite = SuiteConfig { units: (20, 40, 60), ..Default::default() };
+    let bench = build(BenchmarkId::TpTrSmall, &suite);
+    // One table guaranteed to share no value with any source: it can never
+    // gain a containment hit, so no reclaim may ever rank (or decode) it.
+    let disjoint = Table::build(
+        "never_touched",
+        &["off_vocab"],
+        &[],
+        (0..50).map(|i| vec![gen_t::table::Value::Int(10_000_000 + i)]).collect(),
+    )
+    .expect("disjoint table");
+    let mut lake_tables = bench.lake_tables.clone();
+    lake_tables.push(disjoint);
+    let cold = DataLake::from_tables(lake_tables);
+
+    let v2_path = scratch("fidelity-v2.gentlake");
+    let v1_path = scratch("fidelity-v1.gentlake");
+    snapshot::save(&v2_path, &cold, None).expect("save v2");
+    snapshot::save_legacy_v1(&v1_path, &cold, None).expect("save v1");
+
+    let lazy = snapshot::load(&v2_path).expect("lazy open").lake;
+    let eager = snapshot::load(&v2_path).expect("eager open").lake;
+    eager.decode_all(2).expect("decode_all");
+    let v1 = snapshot::load(&v1_path).expect("v1 open").lake;
+
+    assert_eq!(lazy.tables_decoded(), 0, "v2 open must decode nothing");
+    assert_eq!(eager.tables_decoded(), eager.len(), "decode_all materializes everything");
+    assert_eq!(v1.tables_decoded(), v1.len(), "v1 decodes eagerly by construction");
+
+    let gen_t = GenT::new(GenTConfig::default());
+    let mut compared = 0usize;
+    for case in &bench.cases {
+        if !case.source.schema().has_key() {
+            continue;
+        }
+        let baseline = gen_t.reclaim(&case.source, &cold).expect("cold reclaim");
+        for (label, lake) in [("lazy", &lazy), ("eager", &eager), ("v1", &v1)] {
+            let got = gen_t.reclaim(&case.source, lake).expect("reclaim");
+            assert_eq!(
+                csv_bytes(&got.reclaimed),
+                csv_bytes(&baseline.reclaimed),
+                "case {}: {label} reclaimed CSV diverges from cold",
+                case.id
+            );
+            assert_eq!(
+                got.eis.to_bits(),
+                baseline.eis.to_bits(),
+                "case {}: {label} EIS diverges from cold",
+                case.id
+            );
+            let names = |r: &gen_t::core::ReclamationResult| -> Vec<String> {
+                r.originating.iter().map(|t| t.name().to_string()).collect()
+            };
+            assert_eq!(
+                names(&got),
+                names(&baseline),
+                "case {}: {label} originating tables diverge",
+                case.id
+            );
+        }
+        compared += 1;
+    }
+    assert!(compared >= 8, "only {compared} keyed cases — suite too small to be meaningful");
+
+    // Laziness held across the whole sweep: the pipeline forces only the
+    // tables it ranks, so the value-disjoint table survives a full
+    // benchmark's worth of reclaims undecoded. (The check goes through slot
+    // metadata — `get_by_name` would itself force the decode.)
+    let touched = lazy.tables_decoded();
+    assert!(touched > 0, "reclaims must have materialized their candidates");
+    let slot =
+        lazy.slots().iter().find(|s| s.name() == "never_touched").expect("disjoint table present");
+    assert!(
+        !slot.is_decoded(),
+        "a table sharing no value with any source must never be decoded \
+         ({touched}/{} decoded overall)",
+        lazy.len()
+    );
+}

@@ -207,7 +207,7 @@ fn keyless_and_normalized_paths_compose() {
     // Normalise manually, then go through the keyless path.
     let norm = NormalizeConfig::default();
     let nsource = norm.table(&source);
-    let nlake = DataLake::from_tables(lake.tables().iter().map(|t| norm.table(t)).collect());
+    let nlake = DataLake::from_tables(lake.tables_iter().map(|t| norm.table(t)).collect());
     let out = GenT::default().reclaim_keyless(&nsource, &nlake).unwrap();
     assert!(out.keyless_similarity > 0.99, "sim {}", out.keyless_similarity);
     assert!(out.result.report.perfect);

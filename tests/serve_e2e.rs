@@ -156,3 +156,87 @@ fn daemon_matches_one_shot_cli_byte_for_byte() {
     handle.stop();
     runner.join().unwrap().expect("server run");
 }
+
+/// The zero-copy open acceptance for the daemon: `/healthz` and
+/// `/lake/stat` answer without decoding a single table or LSH band, the
+/// lazy-decode gauge and per-endpoint latency histograms are reported and
+/// move, and a reclaim only materializes the tables it actually touched.
+#[test]
+fn stat_endpoints_decode_nothing_and_report_latency() {
+    let gen_dir = scratch("lazy-suite");
+    cli(&["generate", gen_dir.to_str().unwrap(), "--benchmark", "tp-tr-small", "--seed", "7"]);
+    let snap = scratch("lazy-lake.gentlake");
+    cli(&[
+        "lake",
+        "build",
+        gen_dir.join("lake").to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+        "--lsh",
+    ]);
+
+    let loaded = SnapshotFile(snap.clone()).load_lake().expect("open snapshot");
+    assert_eq!(loaded.lake.tables_decoded(), 0, "open must decode nothing");
+    let service = LakeService::new(loaded, GenTConfig::default(), snap.display().to_string());
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServeConfig::default() };
+    let server = Server::bind(&cfg, service).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    let runner = std::thread::spawn(move || server.run());
+
+    let stat = |label: &str| -> Json {
+        let (status, body) = http(addr, "GET", "/lake/stat", "");
+        assert_eq!(status, 200, "{label}: {body}");
+        Json::parse(&body).expect("stat json")
+    };
+    let gauge = |v: &Json, k: &str| v.get(k).and_then(Json::as_i64).expect("gauge");
+
+    // Health + stat leave the lake fully undecoded.
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let v = stat("fresh");
+    let total = gauge(&v, "tables_total");
+    assert!(total > 0);
+    assert_eq!(gauge(&v, "tables_decoded"), 0, "stat endpoints must not decode tables");
+    assert_eq!(v.get("lsh_decoded"), Some(&Json::Bool(false)), "stat must not decode bands");
+    assert!(gauge(&v, "lsh_columns") > 0, "band metadata available without decode");
+
+    // Latency histograms exist for every endpoint and already saw traffic.
+    let latency = v.get("latency").expect("latency histograms in /lake/stat");
+    for endpoint in ["healthz", "lake_stat", "reclaim", "other"] {
+        let h = latency.get(endpoint).unwrap_or_else(|| panic!("latency.{endpoint}"));
+        assert!(h.get("count").and_then(Json::as_i64).is_some(), "{endpoint}.count");
+        assert!(h.get("mean_ms").and_then(Json::as_f64).is_some(), "{endpoint}.mean_ms");
+        assert!(
+            h.get("buckets").and_then(Json::as_array).is_some_and(|b| !b.is_empty()),
+            "{endpoint}.buckets"
+        );
+    }
+    let healthz_count =
+        latency.get("healthz").unwrap().get("count").and_then(Json::as_i64).unwrap();
+    assert!(healthz_count >= 1, "healthz request observed, got {healthz_count}");
+
+    // One reclaim decodes the tables it touches — and only those.
+    let mut source = csv::read_csv_file(&gen_dir.join("sources").join("S1.csv")).expect("source");
+    assert!(ensure_key(&mut source));
+    let body =
+        Json::Object(vec![("source".to_string(), gen_t::serve::table_to_json(&source))]).render();
+    let (status, reclaim_body) = http(addr, "POST", "/reclaim", &body);
+    assert_eq!(status, 200, "{reclaim_body}");
+    let v = stat("after reclaim");
+    let decoded = gauge(&v, "tables_decoded");
+    assert!(decoded > 0, "the reclaim materialized its candidates");
+    assert!(decoded <= total);
+    let reclaim_count = v
+        .get("latency")
+        .unwrap()
+        .get("reclaim")
+        .unwrap()
+        .get("count")
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert_eq!(reclaim_count, 1, "reclaim latency observed");
+
+    handle.stop();
+    runner.join().unwrap().expect("server run");
+}
