@@ -116,11 +116,10 @@ fn bench_serve(c: &mut Criterion) {
          (snapshot decode alone: {open_once:?}, paid once by the daemon)",
         cold_best.as_secs_f64() / warm_best.as_secs_f64().max(1e-9)
     );
-    gent_bench::record(
-        "serve_smoke/warm_request",
-        warm_best.as_secs_f64() * 1e3,
-        Some(cold_best.as_secs_f64() / warm_best.as_secs_f64().max(1e-9)),
-    );
+    // The trajectory entry is judged against the committed baseline (the
+    // ±25% drift tripwire); the warm-beats-cold gate below stays a hard
+    // assert on the freshly measured pair.
+    gent_bench::record_vs_baseline("serve_smoke/warm_request", warm_best.as_secs_f64() * 1e3);
     // The warm path must beat reopening the lake per request. The margin is
     // intentionally modest (the reclamation itself is identical work; the
     // gap is the snapshot decode) so the gate is load-tolerant.

@@ -124,7 +124,10 @@ fn bench_snapshot_lazy(c: &mut Criterion) {
         "snapshot lazy open (santos+med, ~1.5k tables): lazy open+reclaim {lazy:?} vs eager \
          full-decode+reclaim {eager:?} — {ratio:.1}×"
     );
-    gent_bench::record("snapshot_lazy/lazy_open_reclaim", lazy.as_secs_f64() * 1e3, Some(ratio));
+    // The trajectory entry is judged against the committed baseline (the
+    // ±25% drift tripwire); the lazy-vs-eager gate below stays a hard
+    // assert on the freshly measured ratio.
+    gent_bench::record_vs_baseline("snapshot_lazy/lazy_open_reclaim", lazy.as_secs_f64() * 1e3);
     // Measured ~2.6× steady-state on the 1-core dev container (the eager
     // side pays the full table + LSH decode the lazy side skips; the
     // remaining common cost is the one read + whole-file checksum, a

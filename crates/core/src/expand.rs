@@ -17,24 +17,52 @@
 use gent_ops::inner_join;
 use gent_table::{FxHashSet, Table, Value};
 
+/// Per-candidate distinct-value sets, one per column, built once up front.
+/// [`join_weight`] used to rebuild both sides' sets for **every pair** of
+/// candidates — `O(n² · cells)` hashing that dominated Expand's cost on
+/// real candidate sets (the whole-table traversal bench spent more time
+/// here than in every greedy round combined). The sets borrow the tables'
+/// values, so the cache costs one pass over each table and no clones.
+struct DistinctCache<'t> {
+    columns: Vec<Vec<FxHashSet<&'t Value>>>,
+}
+
+impl<'t> DistinctCache<'t> {
+    fn new(tables: &'t [Table]) -> DistinctCache<'t> {
+        let columns = tables
+            .iter()
+            .map(|t| {
+                (0..t.n_cols())
+                    .map(|j| t.column(j).filter(|v| !v.is_null_like()).collect())
+                    .collect()
+            })
+            .collect();
+        DistinctCache { columns }
+    }
+}
+
 /// Estimated edge weight between two candidate tables: the best value
 /// containment among their shared columns — a proxy for how much of `a`
-/// survives the join (standard cardinality-estimation style).
-fn join_weight(a: &Table, b: &Table) -> Option<f64> {
-    let common = a.schema().common_columns(b.schema());
+/// survives the join (standard cardinality-estimation style). Identical to
+/// recomputing the distinct sets per call (the overlap counts the same
+/// intersection, iterating whichever set is smaller).
+fn join_weight(a: (usize, &Table), b: (usize, &Table), cache: &DistinctCache<'_>) -> Option<f64> {
+    let common = a.1.schema().common_columns(b.1.schema());
     if common.is_empty() {
         return None;
     }
     let mut best = 0.0f64;
     for col in &common {
-        let ai = a.schema().column_index(col).expect("common");
-        let bi = b.schema().column_index(col).expect("common");
-        let av: FxHashSet<Value> = a.distinct_values(ai);
+        let ai = a.1.schema().column_index(col).expect("common");
+        let bi = b.1.schema().column_index(col).expect("common");
+        let av = &cache.columns[a.0][ai];
         if av.is_empty() {
             continue;
         }
-        let bv: FxHashSet<Value> = b.distinct_values(bi);
-        let overlap = av.iter().filter(|v| bv.contains(*v)).count() as f64 / av.len() as f64;
+        let bv = &cache.columns[b.0][bi];
+        let (small, large) = if av.len() <= bv.len() { (av, bv) } else { (bv, av) };
+        let shared = small.iter().filter(|v| large.contains(*v)).count();
+        let overlap = shared as f64 / av.len() as f64;
         best = best.max(overlap);
     }
     (best > 0.0).then_some(best)
@@ -139,11 +167,12 @@ pub fn expand(candidates: &[Table], key_names: &[&str], max_depth: usize) -> Vec
     if ends.len() == n {
         return candidates.to_vec();
     }
-    // Precompute pairwise weights.
+    // Precompute pairwise weights over cached per-column distinct sets.
+    let cache = DistinctCache::new(candidates);
     let mut weights: Vec<Vec<Option<f64>>> = vec![vec![None; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let w = join_weight(&candidates[i], &candidates[j]);
+            let w = join_weight((i, &candidates[i]), (j, &candidates[j]), &cache);
             weights[i][j] = w;
             weights[j][i] = w;
         }

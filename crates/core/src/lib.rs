@@ -14,7 +14,9 @@
 //!   the `Combine` operation (Eq. 5) that *simulates* table integration
 //!   without performing it,
 //! * [`traversal`] — Algorithm 1: greedy matrix traversal refining the
-//!   candidate set to the *originating tables*,
+//!   candidate set to the *originating tables*, with [`round`]'s
+//!   incremental `RoundScorer` (cached per-row scores, dirty-row
+//!   rescoring, admissible upper bounds) driving the greedy rounds,
 //! * [`integration`] — Algorithm 2: the actual integration of the
 //!   originating tables with `{⊎, σ, π, κ, β}`, with labeled source nulls
 //!   and similarity-gated κ/β,
@@ -38,6 +40,7 @@ pub mod iterative;
 pub mod keyless;
 pub mod matrix;
 pub mod pipeline;
+pub mod round;
 pub mod traversal;
 
 pub use batch::{summarize, BatchItem, BatchSummary};
@@ -47,6 +50,7 @@ pub use expand::expand;
 pub use integration::{conform_schema, integrate, project_select};
 pub use iterative::MultiLakeOutcome;
 pub use keyless::{keyless_instance_similarity, KeyStrategy, KeylessOutcome};
-pub use matrix::AlignmentMatrix;
+pub use matrix::{AlignmentMatrix, CombineScratch};
 pub use pipeline::{GenT, GentError, ReclamationResult, Timings};
+pub use round::{RoundScorer, RoundStats};
 pub use traversal::{matrix_traversal, TraversalOutcome};

@@ -189,6 +189,34 @@ impl AlignmentMatrix {
         self.row_off.len() - 1
     }
 
+    /// Number of source rows (the matrix's fixed height) — every matrix in
+    /// one traversal shares it with the source table.
+    pub fn n_source_rows(&self) -> usize {
+        self.n_rows()
+    }
+
+    /// Number of scoreable (non-key) source columns — the `n` every score
+    /// normalises by, and the per-row ceiling of `α − δ` (all cells `1`).
+    pub fn n_scored_cols(&self) -> usize {
+        self.non_key_cols.len()
+    }
+
+    /// Does source row `i` have at least one aligned tuple? Rows where this
+    /// is `false` pass through [`AlignmentMatrix::combine`] *verbatim* on
+    /// the other side — the invariant `RoundScorer`'s dirty-row tracking
+    /// rests on.
+    #[inline]
+    pub fn row_covered(&self, i: usize) -> bool {
+        !self.row_range(i).is_empty()
+    }
+
+    /// Row `i`'s contribution to [`AlignmentMatrix::net_score`]'s integer
+    /// numerator: `max(0, max_tuple (α − δ))`, or 0 for an uncovered row.
+    #[inline]
+    pub(crate) fn row_self_best(&self, i: usize) -> i64 {
+        self.row_range(i).map(|t| self.tuple_score(t)).max().unwrap_or(0).max(0)
+    }
+
     /// The tuple-index range of source row `i`.
     #[inline]
     fn row_range(&self, i: usize) -> std::ops::Range<usize> {
@@ -277,6 +305,23 @@ impl AlignmentMatrix {
     /// Eq. 5 — `Combine` two matrices into the matrix of their simulated
     /// integration.
     pub fn combine(&self, other: &AlignmentMatrix, max_aligned_per_key: usize) -> AlignmentMatrix {
+        self.combine_tracked(other, max_aligned_per_key, &mut Vec::new())
+    }
+
+    /// [`AlignmentMatrix::combine`] with change tracking: appends to
+    /// `dirty_rows` (ascending) every source row whose result tuples may
+    /// differ from `self`'s — exactly the rows where `other` has at least
+    /// one aligned tuple. Rows where `other`'s range is empty are copied
+    /// from `self` **verbatim** (same tuples, same order), so per-row state
+    /// cached against `self` provably stays valid for them; that guarantee
+    /// is what lets `RoundScorer` rescore only the winner's rows after a
+    /// merge.
+    pub fn combine_tracked(
+        &self,
+        other: &AlignmentMatrix,
+        max_aligned_per_key: usize,
+        dirty_rows: &mut Vec<u32>,
+    ) -> AlignmentMatrix {
         let max_aligned_per_key = max_aligned_per_key.max(1);
         assert_eq!(self.n_cols, other.n_cols, "matrices must share the source shape");
         assert_eq!(self.n_rows(), other.n_rows());
@@ -287,6 +332,9 @@ impl AlignmentMatrix {
         let mut prune = PruneScratch::default();
         for i in 0..self.n_rows() {
             let (ra, rb) = (self.row_range(i), other.row_range(i));
+            if !rb.is_empty() {
+                dirty_rows.push(i as u32);
+            }
             // One-sided rows pass through verbatim (outer-union semantics;
             // the surviving side was already pruned when it was built).
             if ra.is_empty() {
@@ -352,63 +400,96 @@ impl AlignmentMatrix {
     /// scan. The traversal calls this for every remaining candidate on
     /// every round and materializes only the round's winner.
     pub fn combine_score(&self, other: &AlignmentMatrix) -> f64 {
+        self.combine_score_with(other, &mut CombineScratch::default())
+    }
+
+    /// [`AlignmentMatrix::combine_score`] with caller-provided scratch: a
+    /// long-lived caller (the traversal's `RoundScorer` scores thousands of
+    /// candidate–row pairs per reclaim) reuses one [`CombineScratch`] and
+    /// pays **zero** allocations per scoring round.
+    pub fn combine_score_with(&self, other: &AlignmentMatrix, scratch: &mut CombineScratch) -> f64 {
         assert_eq!(self.n_cols, other.n_cols, "matrices must share the source shape");
         assert_eq!(self.n_rows(), other.n_rows());
         let n = self.non_key_cols.len();
         if self.n_rows() == 0 || n == 0 {
             return 0.0;
         }
-        let w = self.n_cols;
-        let weight = &self.score_weight;
-        let mut b_merged: Vec<bool> = Vec::new();
         let mut total = 0i64;
         for i in 0..self.n_rows() {
-            let (ra, rb) = (self.row_range(i), other.row_range(i));
-            let mut best = i64::MIN;
-            if ra.is_empty() {
-                best = rb.map(|t| score_of(other.tuple(t), weight)).max().unwrap_or(0);
-            } else if rb.is_empty() {
-                best = ra.map(|t| self.tuple_score(t)).max().unwrap_or(0);
-            } else {
-                b_merged.clear();
-                b_merged.resize(rb.len(), false);
-                for ta in ra.clone() {
-                    let ta = self.tuple(ta);
-                    let mut merged_any = false;
-                    for (bi, tb) in rb.clone().enumerate() {
-                        let tb = other.tuple(tb);
-                        // Single pass per pair: detect a conflict and
-                        // accumulate the OR-tuple's score together.
-                        let mut s = 0i64;
-                        let mut conflict = false;
-                        for j in 0..w {
-                            let (x, y) = (ta[j], tb[j]);
-                            if x != 0 && y != 0 && x != y {
-                                conflict = true;
-                                break;
-                            }
-                            s += (x.max(y) * weight[j]) as i64;
-                        }
-                        if !conflict {
-                            b_merged[bi] = true;
-                            merged_any = true;
-                            best = best.max(s);
-                        }
-                    }
-                    if !merged_any {
-                        best = best.max(score_of(ta, weight));
-                    }
-                }
-                for (bi, tb) in rb.clone().enumerate() {
-                    if !b_merged[bi] {
-                        best = best.max(score_of(other.tuple(tb), weight));
-                    }
-                }
-            }
-            total += best.max(0);
+            total += self.combine_row_best(other, i, scratch);
         }
         total as f64 / (n as f64 * self.n_rows() as f64)
     }
+
+    /// The per-row core of the fused kernel: row `i`'s contribution to
+    /// `combine(other, cap).net_score()`'s integer numerator — the maximum
+    /// `α − δ` over the tuple set Eq. 5 would generate for that row
+    /// (OR-merges of compatible pairs plus unmerged pass-throughs), clamped
+    /// at 0. Depends only on the two matrices' row-`i` tuples, which is what
+    /// makes per-row caching across greedy rounds sound.
+    pub(crate) fn combine_row_best(
+        &self,
+        other: &AlignmentMatrix,
+        i: usize,
+        scratch: &mut CombineScratch,
+    ) -> i64 {
+        let w = self.n_cols;
+        let weight = &self.score_weight;
+        let (ra, rb) = (self.row_range(i), other.row_range(i));
+        let mut best = i64::MIN;
+        if ra.is_empty() {
+            best = rb.map(|t| score_of(other.tuple(t), weight)).max().unwrap_or(0);
+        } else if rb.is_empty() {
+            best = ra.map(|t| self.tuple_score(t)).max().unwrap_or(0);
+        } else {
+            let b_merged = &mut scratch.b_merged;
+            b_merged.clear();
+            b_merged.resize(rb.len(), false);
+            for ta in ra.clone() {
+                let ta = self.tuple(ta);
+                let mut merged_any = false;
+                for (bi, tb) in rb.clone().enumerate() {
+                    let tb = other.tuple(tb);
+                    // Single pass per pair: detect a conflict and
+                    // accumulate the OR-tuple's score together.
+                    let mut s = 0i64;
+                    let mut conflict = false;
+                    for j in 0..w {
+                        let (x, y) = (ta[j], tb[j]);
+                        if x != 0 && y != 0 && x != y {
+                            conflict = true;
+                            break;
+                        }
+                        s += (x.max(y) * weight[j]) as i64;
+                    }
+                    if !conflict {
+                        b_merged[bi] = true;
+                        merged_any = true;
+                        best = best.max(s);
+                    }
+                }
+                if !merged_any {
+                    best = best.max(score_of(ta, weight));
+                }
+            }
+            for (bi, tb) in rb.clone().enumerate() {
+                if !b_merged[bi] {
+                    best = best.max(score_of(other.tuple(tb), weight));
+                }
+            }
+        }
+        best.max(0)
+    }
+}
+
+/// Reusable scratch for the fused combine–score kernel: the `b_merged`
+/// bitmap that used to be allocated per [`AlignmentMatrix::combine_score`]
+/// call now lives wherever the caller wants it (the traversal keeps one in
+/// its `RoundScorer`), so a whole scoring round allocates nothing.
+#[derive(Debug, Default)]
+pub struct CombineScratch {
+    /// Which of `other`'s row tuples merged with at least one of `self`'s.
+    b_merged: Vec<bool>,
 }
 
 /// `α − δ` of one tuple: the weighted cell sum (a cell's value is its own

@@ -9,7 +9,9 @@ use gent_metrics::{evaluate, MethodReport};
 use gent_table::Table;
 use std::time::{Duration, Instant};
 
-/// Wall-clock breakdown of one reclamation.
+/// Wall-clock breakdown of one reclamation, plus the traversal's greedy
+/// round counters (how much work the incremental `RoundScorer` actually
+/// did — and, via the pruned count, how much it provably skipped).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Timings {
     /// First-stage retrieval + Set Similarity.
@@ -18,6 +20,15 @@ pub struct Timings {
     pub traversal: Duration,
     /// Algorithm 2 integration.
     pub integration: Duration,
+    /// Greedy rounds the traversal ran (accepted merges + the converge
+    /// sweep).
+    pub traversal_rounds: u32,
+    /// Dirty-row kernel rescores across all rounds — a full rescan would
+    /// have paid `rounds × candidates × rows`.
+    pub rows_rescored: u64,
+    /// Candidate scorings skipped because their admissible upper bound
+    /// provably lost the round.
+    pub candidates_pruned: u64,
 }
 
 impl Timings {
@@ -152,7 +163,14 @@ impl GenT {
             reclaimed,
             originating: outcome.originating,
             candidates_considered: candidates.len(),
-            timings: Timings { discovery: Duration::ZERO, traversal, integration },
+            timings: Timings {
+                discovery: Duration::ZERO,
+                traversal,
+                integration,
+                traversal_rounds: outcome.stats.rounds,
+                rows_rescored: outcome.stats.rows_rescored,
+                candidates_pruned: outcome.stats.candidates_pruned,
+            },
         })
     }
 }
@@ -239,6 +257,13 @@ mod tests {
         assert!((res.eis - 1.0).abs() < 1e-9);
         assert!(!res.originating.is_empty());
         assert!(res.candidates_considered >= 2);
+    }
+
+    #[test]
+    fn timings_carry_traversal_round_counters() {
+        let res = GenT::default().reclaim(&source(), &lake()).unwrap();
+        assert!(res.timings.traversal_rounds >= 1, "{:?}", res.timings);
+        assert!(res.timings.rows_rescored >= 1, "{:?}", res.timings);
     }
 
     #[test]

@@ -1,0 +1,512 @@
+//! Incremental round state for Matrix Traversal's greedy loop.
+//!
+//! Algorithm 1 scores `Combine(current, m)` for every remaining candidate
+//! `m` on every greedy round but merges only the winner. PR 3's fused
+//! [`AlignmentMatrix::combine_score`] removed the per-candidate
+//! materialization; this module removes the per-round **rescan**: a
+//! [`RoundScorer`] carries two kinds of state across rounds —
+//!
+//! 1. **Per-row score decomposition.** A candidate's fused score is
+//!    `Σ_rows rc_i / (n · |S|)` where `rc_i` is the row's best merged
+//!    `α − δ` clamped at 0 (`AlignmentMatrix`'s per-row fused kernel). For
+//!    rows the candidate does not cover, `rc_i` equals the combined
+//!    matrix's own row best (`base_i`) — the row passes through `Combine`
+//!    verbatim — so only *covered* rows carry per-candidate cache entries.
+//!    When a round's winner is merged, exactly the rows the winner covers
+//!    can change in the combined matrix
+//!    ([`AlignmentMatrix::combine_tracked`] reports them); those rows are
+//!    marked **dirty** and lazily rescored, so a sparse winner invalidates
+//!    a handful of cache rows instead of all of them.
+//!
+//! 2. **Admissible per-candidate upper bounds.** A dirty row's contribution
+//!    is bounded by the row cap `n` (every non-key cell `1`), so
+//!    `bound(c) = base_total + Σ_clean (rc_i − base_i) + Σ_dirty (n − base_i)`
+//!    never underestimates the candidate's achievable score. Each round
+//!    scans candidates best-bound-first and stops as soon as the next bound
+//!    can no longer beat the best exact score found — candidates are only
+//!    skipped when **provably losing**, so the selected winner (and the
+//!    lowest-index tie-break) is bit-identical to a full rescan.
+//!
+//! # Why integer comparisons are exact
+//!
+//! All bookkeeping is on the integer numerators. The f64 scores the
+//! reference loop compares are `total / (n · |S|)` with `total < 2^52`:
+//! `i64 → f64` conversion is exact there, and correctly-rounded division by
+//! one shared positive constant preserves both strict order and ties
+//! (`a > b ⟹ a/D − b/D ≥ 1/D`, which exceeds half an ulp of `a/D` for
+//! `a < 2^52`). Integer comparisons therefore decide exactly what the
+//! reference's float comparisons decide; the property suite
+//! (`crates/core/tests/round_scorer_prop.rs`) pins the equivalence to the
+//! nested-reference full-rescan loop selection by selection.
+
+use crate::matrix::{AlignmentMatrix, CombineScratch};
+
+/// Counters from one traversal's greedy selection, surfaced through
+/// [`TraversalOutcome`](crate::TraversalOutcome) into the pipeline
+/// [`Timings`](crate::Timings) and `POST /reclaim` responses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Greedy rounds run: accepted merges plus the final converge round
+    /// (a full-candidate sweep that found no strict improvement).
+    pub rounds: u32,
+    /// Dirty-row kernel evaluations performed across all rounds — the work
+    /// a full rescan would have done `rounds × candidates × rows` of.
+    pub rows_rescored: u64,
+    /// Candidate scorings skipped because their upper bound provably could
+    /// not beat the round's best (or the convergence threshold).
+    pub candidates_pruned: u64,
+}
+
+/// Cached scoring state of one still-unselected candidate.
+struct CandState {
+    /// Index into the traversal's matrix list (stable across rounds).
+    idx: u32,
+    /// Source rows this candidate covers, ascending. Static: coverage is a
+    /// property of the candidate matrix, not of the evolving combined one.
+    rows: Vec<u32>,
+    /// Cached `combine_row_best` per entry of `rows`; valid unless the
+    /// row's position is marked stale.
+    rc: Vec<i64>,
+    /// Positions into `rows` whose cache entry is stale (winner touched
+    /// that row since it was last scored).
+    stale: Vec<u32>,
+    /// Dedup bitmap over `rows` positions for `stale`.
+    stale_mark: Vec<bool>,
+    /// `Σ (rc_i − base_i)` over the *clean* covered rows — the candidate's
+    /// exact advantage over the combined matrix on rows it was last scored
+    /// against.
+    sum_clean: i64,
+}
+
+/// Persistent cross-round state of Algorithm 1's greedy selection: the
+/// combined matrix, its per-row self scores, and every remaining
+/// candidate's cached row decomposition. See the [module docs](self) for
+/// the invariants.
+pub struct RoundScorer<'m> {
+    matrices: &'m [AlignmentMatrix],
+    cap: usize,
+    combined: AlignmentMatrix,
+    /// `combined`'s own per-row net-score contribution (`row_self_best`).
+    base: Vec<i64>,
+    /// `Σ base` — the integer numerator of `combined.net_score()`, which is
+    /// also the strict-improvement threshold (`most_correct`).
+    base_total: i64,
+    /// Row-cap: the largest contribution any row can reach (`n`).
+    row_cap: i64,
+    remaining: Vec<CandState>,
+    scratch: CombineScratch,
+    /// Dirty-row buffer reused across merges.
+    dirty: Vec<u32>,
+    /// Per-round `(bound, candidate idx, slot)` sort buffer.
+    order: Vec<(i64, u32, u32)>,
+    stats: RoundStats,
+}
+
+impl<'m> RoundScorer<'m> {
+    /// Start the greedy selection with `matrices[start]` as the combined
+    /// matrix (the caller's GetStartTable pick). Every other matrix becomes
+    /// a remaining candidate with all of its covered rows initially stale —
+    /// the first round's scoring *is* the initial cache fill, and the
+    /// bounds already apply to it.
+    pub fn new(matrices: &'m [AlignmentMatrix], start: usize, cap: usize) -> RoundScorer<'m> {
+        let combined = matrices[start].clone();
+        let n_rows = combined.n_source_rows();
+        let base: Vec<i64> = (0..n_rows).map(|i| combined.row_self_best(i)).collect();
+        let base_total = base.iter().sum();
+        let remaining = matrices
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != start)
+            .map(|(i, m)| {
+                let rows: Vec<u32> =
+                    (0..n_rows).filter(|&r| m.row_covered(r)).map(|r| r as u32).collect();
+                let k = rows.len();
+                CandState {
+                    idx: i as u32,
+                    rows,
+                    rc: vec![0; k],
+                    stale: (0..k as u32).collect(),
+                    stale_mark: vec![true; k],
+                    sum_clean: 0,
+                }
+            })
+            .collect();
+        RoundScorer {
+            matrices,
+            cap,
+            row_cap: combined.n_scored_cols() as i64,
+            combined,
+            base,
+            base_total,
+            remaining,
+            scratch: CombineScratch::default(),
+            dirty: Vec::new(),
+            order: Vec::new(),
+            stats: RoundStats::default(),
+        }
+    }
+
+    /// Run one greedy round: find the candidate whose fused combine–score
+    /// is strictly greater than the current combined matrix's net score
+    /// (lowest index winning ties, exactly as an index-order full rescan
+    /// would), merge it, and return its matrix index — or `None` once no
+    /// candidate strictly improves (convergence).
+    pub fn select_next(&mut self) -> Option<usize> {
+        if self.remaining.is_empty() {
+            return None;
+        }
+        self.stats.rounds += 1;
+
+        // Upper bounds, best-first (ties toward the lower candidate index,
+        // so the scan order is deterministic).
+        self.order.clear();
+        for (slot, c) in self.remaining.iter().enumerate() {
+            let headroom: i64 = c
+                .stale
+                .iter()
+                .map(|&j| self.row_cap - self.base[c.rows[j as usize] as usize])
+                .sum();
+            let bound = self.base_total + c.sum_clean + headroom;
+            self.order.push((bound, c.idx, slot as u32));
+        }
+        self.order.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        // Best-bound-first scan with provable-loser early exit.
+        let mut best: Option<(i64, u32, u32)> = None;
+        let mut k = 0usize;
+        while k < self.order.len() {
+            let (bound, idx, slot) = self.order[k];
+            match best {
+                Some((bt, bi, _)) => {
+                    if bound < bt {
+                        // Sorted descending: nobody from here on can even
+                        // tie the best exact score.
+                        break;
+                    }
+                    if bound == bt && idx > bi {
+                        // Could at most tie, and would lose the
+                        // lowest-index tie-break.
+                        self.stats.candidates_pruned += 1;
+                        k += 1;
+                        continue;
+                    }
+                }
+                None => {
+                    if bound <= self.base_total {
+                        // Cannot *strictly* improve; sorted descending, so
+                        // neither can anyone after it.
+                        break;
+                    }
+                }
+            }
+            let total = self.rescore(slot as usize);
+            let better = match best {
+                None => total > self.base_total,
+                Some((bt, bi, _)) => total > bt || (total == bt && idx < bi),
+            };
+            if better {
+                best = Some((total, idx, slot));
+            }
+            k += 1;
+        }
+        self.stats.candidates_pruned += (self.order.len() - k) as u64;
+
+        let (total, idx, slot) = best?;
+        self.merge_winner(slot as usize, total);
+        Some(idx as usize)
+    }
+
+    /// Rescore `remaining[slot]`'s stale rows against the current combined
+    /// matrix and return its exact integer score numerator.
+    fn rescore(&mut self, slot: usize) -> i64 {
+        let c = &mut self.remaining[slot];
+        let m = &self.matrices[c.idx as usize];
+        self.stats.rows_rescored += c.stale.len() as u64;
+        for t in 0..c.stale.len() {
+            let j = c.stale[t] as usize;
+            let r = c.rows[j] as usize;
+            let rc = self.combined.combine_row_best(m, r, &mut self.scratch);
+            c.sum_clean += rc - self.base[r];
+            c.rc[j] = rc;
+            c.stale_mark[j] = false;
+        }
+        c.stale.clear();
+        self.base_total + c.sum_clean
+    }
+
+    /// Merge the round's winner into the combined matrix, mark the rows it
+    /// touched dirty in every other candidate's cache, and refresh the
+    /// per-row base scores for exactly those rows.
+    fn merge_winner(&mut self, slot: usize, winner_total: i64) {
+        let winner = self.remaining.swap_remove(slot);
+        self.dirty.clear();
+        let merged = self.combined.combine_tracked(
+            &self.matrices[winner.idx as usize],
+            self.cap,
+            &mut self.dirty,
+        );
+
+        // Mark stale against the *old* base (each clean cache term was
+        // accumulated as `rc − base_old`; it must be backed out the same
+        // way).
+        for c in &mut self.remaining {
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < c.rows.len() && b < self.dirty.len() {
+                match c.rows[a].cmp(&self.dirty[b]) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        if !c.stale_mark[a] {
+                            c.stale_mark[a] = true;
+                            c.stale.push(a as u32);
+                            c.sum_clean -= c.rc[a] - self.base[c.rows[a] as usize];
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+        }
+
+        // Refresh base on the dirty rows; clean rows are verbatim copies,
+        // so their base (and every cached rc) provably still holds.
+        for &r in &self.dirty {
+            let r = r as usize;
+            let nb = merged.row_self_best(r);
+            self.base_total += nb - self.base[r];
+            self.base[r] = nb;
+        }
+        self.combined = merged;
+        // The fused kernel's integer total equals the materialized
+        // matrix's (PR 3's bit-exactness invariant), so the new net score
+        // must be exactly the winner's score.
+        debug_assert_eq!(
+            self.base_total, winner_total,
+            "merged combined net score must equal the winner's fused score"
+        );
+    }
+
+    /// The combined matrix as of the last accepted merge.
+    pub fn combined(&self) -> &AlignmentMatrix {
+        &self.combined
+    }
+
+    /// Consume the scorer, yielding the final combined matrix (the
+    /// traversal reads its EIS).
+    pub fn into_combined(self) -> AlignmentMatrix {
+        self.combined
+    }
+
+    /// `combined.net_score()` as the greedy loop tracks it (`most_correct`)
+    /// — bit-equal to calling [`AlignmentMatrix::net_score`], reproduced
+    /// here from the cached integer numerator.
+    pub fn current_score(&self) -> f64 {
+        let n = self.combined.n_scored_cols();
+        let rows = self.combined.n_source_rows();
+        if rows == 0 || n == 0 {
+            return 0.0;
+        }
+        self.base_total as f64 / (n as f64 * rows as f64)
+    }
+
+    /// Counters accumulated so far (rounds, rescored rows, pruned
+    /// candidates).
+    pub fn stats(&self) -> RoundStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenTConfig;
+    use gent_table::{Table, Value as V};
+
+    fn source() -> Table {
+        Table::build(
+            "S",
+            &["ID", "a", "b", "c"],
+            &["ID"],
+            vec![
+                vec![V::Int(0), V::Int(10), V::Int(20), V::Int(30)],
+                vec![V::Int(1), V::Int(11), V::Int(21), V::Int(31)],
+                vec![V::Int(2), V::Int(12), V::Int(22), V::Int(32)],
+                vec![V::Int(3), V::Int(13), V::Int(23), V::Int(33)],
+            ],
+        )
+        .unwrap()
+    }
+
+    /// A candidate covering only `keys`, with the given non-key column
+    /// subset correct (others absent → null-against-value 0s).
+    fn cand(name: &str, keys: &[i64], cols: &[&str]) -> Table {
+        let s = source();
+        let mut columns = vec!["ID"];
+        columns.extend_from_slice(cols);
+        let rows = s
+            .rows()
+            .iter()
+            .filter(|r| match &r[0] {
+                V::Int(k) => keys.contains(k),
+                _ => unreachable!(),
+            })
+            .map(|r| {
+                let mut row = vec![r[0].clone()];
+                for c in cols {
+                    let j = s.schema().column_index(c).unwrap();
+                    row.push(r[j].clone());
+                }
+                row
+            })
+            .collect();
+        Table::build(name, &columns, &[], rows).unwrap()
+    }
+
+    fn matrices(tables: &[Table]) -> Vec<AlignmentMatrix> {
+        let s = source();
+        let cfg = GenTConfig::default();
+        tables
+            .iter()
+            .map(|t| {
+                AlignmentMatrix::build(&s, t, cfg.three_valued, cfg.max_aligned_per_key).unwrap()
+            })
+            .collect()
+    }
+
+    /// Reference: the PR 3 loop — full fused rescan of every remaining
+    /// candidate each round.
+    fn full_rescan_select(mats: &[AlignmentMatrix], start: usize, cap: usize) -> Vec<usize> {
+        let mut chosen = vec![start];
+        let mut combined = mats[start].clone();
+        let mut most_correct = combined.net_score();
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, m) in mats.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                let score = combined.combine_score(m);
+                let better = match &best {
+                    None => score > most_correct,
+                    Some((_, bs)) => score > *bs,
+                };
+                if better {
+                    best = Some((i, score));
+                }
+            }
+            match best {
+                Some((i, score)) if score > most_correct => {
+                    chosen.push(i);
+                    combined = combined.combine(&mats[i], cap);
+                    most_correct = score;
+                }
+                _ => break,
+            }
+            if chosen.len() == mats.len() {
+                break;
+            }
+        }
+        chosen
+    }
+
+    fn incremental_select(
+        mats: &[AlignmentMatrix],
+        start: usize,
+        cap: usize,
+    ) -> (Vec<usize>, RoundStats) {
+        let mut scorer = RoundScorer::new(mats, start, cap);
+        let mut chosen = vec![start];
+        while chosen.len() < mats.len() {
+            match scorer.select_next() {
+                Some(i) => chosen.push(i),
+                None => break,
+            }
+        }
+        (chosen, scorer.stats())
+    }
+
+    #[test]
+    fn selections_match_full_rescan() {
+        // Disjoint column specialists: each merge strictly improves, the
+        // winners cover different rows, and one candidate is pure overlap.
+        let tables = vec![
+            cand("A", &[0, 1, 2, 3], &["a"]),
+            cand("B", &[0, 1], &["b"]),
+            cand("C", &[2, 3], &["c"]),
+            cand("Dup", &[0, 1], &["b"]),
+        ];
+        let mats = matrices(&tables);
+        let full = full_rescan_select(&mats, 0, 8);
+        let (inc, stats) = incremental_select(&mats, 0, 8);
+        assert_eq!(inc, full);
+        assert!(inc.len() >= 3, "multi-round selection expected, got {inc:?}");
+        assert!(stats.rounds as usize >= inc.len() - 1);
+    }
+
+    #[test]
+    fn sparse_winner_rescans_only_its_rows() {
+        // B covers rows {0,1}; after A starts, merging B must not rescore
+        // C's rows {2,3} — only dirty-row work is done.
+        let tables = vec![
+            cand("A", &[0, 1, 2, 3], &["a"]),
+            cand("B", &[0, 1], &["b"]),
+            cand("C", &[2, 3], &["c"]),
+        ];
+        let mats = matrices(&tables);
+        let (inc, stats) = incremental_select(&mats, 0, 8);
+        assert_eq!(inc.len(), 3, "{inc:?}");
+        // Full rescan would evaluate every candidate over all 4 source
+        // rows every round; the cache holds each candidate to its covered
+        // rows, rescored only when a winner dirtied them. B and C each
+        // cover 2 rows, and their row sets are disjoint, so across all
+        // rounds no more than the initial fill plus one dirty pass each
+        // can happen.
+        assert!(
+            stats.rows_rescored <= 8,
+            "expected dirty-row rescoring only, got {} row evaluations",
+            stats.rows_rescored
+        );
+    }
+
+    #[test]
+    fn provably_losing_candidates_are_pruned() {
+        // Dup adds nothing over B (same rows, same column): once B merges,
+        // Dup's bound collapses to the threshold and it is skipped without
+        // an exact rescore in the converge round.
+        let tables = vec![
+            cand("A", &[0, 1, 2, 3], &["a", "c"]),
+            cand("B", &[0, 1, 2, 3], &["b"]),
+            cand("Dup", &[0, 1, 2, 3], &["b"]),
+        ];
+        let mats = matrices(&tables);
+        let full = full_rescan_select(&mats, 0, 8);
+        let (inc, stats) = incremental_select(&mats, 0, 8);
+        assert_eq!(inc, full);
+        assert!(stats.candidates_pruned > 0, "bound pruning never fired: {stats:?}");
+    }
+
+    #[test]
+    fn empty_coverage_candidate_is_never_selected_or_scored() {
+        let empty = cand("E", &[], &["a"]);
+        let tables = vec![cand("A", &[0, 1, 2, 3], &["a"]), empty, cand("B", &[0, 1], &["b"])];
+        let mats = matrices(&tables);
+        assert_eq!(mats[1].keys_covered(), 0);
+        let full = full_rescan_select(&mats, 0, 8);
+        let (inc, stats) = incremental_select(&mats, 0, 8);
+        assert_eq!(inc, full);
+        assert!(!inc.contains(&1), "empty candidate must never win: {inc:?}");
+        // Its bound equals the threshold from round one, so it contributes
+        // zero rescored rows, ever.
+        assert!(stats.rows_rescored <= mats[0].n_source_rows() as u64 * 2 + 4);
+    }
+
+    #[test]
+    fn current_score_matches_net_score_bits() {
+        let tables = vec![cand("A", &[0, 1, 2, 3], &["a"]), cand("B", &[0, 1], &["b", "c"])];
+        let mats = matrices(&tables);
+        let mut scorer = RoundScorer::new(&mats, 0, 8);
+        assert_eq!(scorer.current_score().to_bits(), mats[0].net_score().to_bits());
+        while scorer.select_next().is_some() {}
+        assert_eq!(scorer.current_score().to_bits(), scorer.combined().net_score().to_bits());
+    }
+}

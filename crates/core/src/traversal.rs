@@ -13,16 +13,20 @@
 //! Each round scores `Combine(current, m)` for every remaining candidate
 //! `m` but *keeps* only one. Materializing the combined matrix per
 //! candidate just to read its score made each round
-//! `O(k · (\text{combine} + \text{prune} + \text{alloc}))`; with the fused
-//! [`AlignmentMatrix::combine_score`] kernel each round is a pure streaming
-//! scan and the loop materializes exactly **one** combined matrix per round
-//! (the winner) — `O(rounds)` materializations total instead of
-//! `O(rounds · k)`. The selections are bit-identical (the kernel returns
-//! exactly what materialize-then-score would).
+//! `O(k · (\text{combine} + \text{prune} + \text{alloc}))`; the fused
+//! [`AlignmentMatrix::combine_score`] kernel (PR 3) made each round a pure
+//! streaming scan with exactly **one** materialization (the winner). The
+//! [`RoundScorer`] now also removes the per-round *rescan*: per-candidate
+//! row scores are cached between rounds, a merge dirties only the rows the
+//! winner actually covers, and admissible upper bounds skip candidates
+//! that provably cannot win — so a round costs the dirty-row work it
+//! induces, not `O(k · \text{cells})`. The selections stay bit-identical
+//! to a full rescan (see `crates/core/src/round.rs` for the argument).
 
 use crate::config::GenTConfig;
 use crate::expand::expand;
 use crate::matrix::AlignmentMatrix;
+use crate::round::{RoundScorer, RoundStats};
 use gent_table::Table;
 
 /// Outcome of the traversal: the chosen originating tables (expanded forms)
@@ -42,29 +46,10 @@ pub struct TraversalOutcome {
     pub selected: Vec<usize>,
     /// EIS estimated by the final combined matrix.
     pub estimated_eis: f64,
-}
-
-/// A `chosen` set over candidate indices, as a u64 bitmask — the greedy
-/// loop tests membership for every candidate on every round, so this
-/// replaces the former `Vec::contains` linear scan.
-struct ChosenMask {
-    bits: Vec<u64>,
-}
-
-impl ChosenMask {
-    fn new(n: usize) -> ChosenMask {
-        ChosenMask { bits: vec![0; n.div_ceil(64)] }
-    }
-
-    #[inline]
-    fn contains(&self, i: usize) -> bool {
-        self.bits[i / 64] & (1u64 << (i % 64)) != 0
-    }
-
-    #[inline]
-    fn insert(&mut self, i: usize) {
-        self.bits[i / 64] |= 1u64 << (i % 64);
-    }
+    /// Greedy-round counters (rounds run, dirty rows rescored, candidates
+    /// pruned by the upper bound). Zero for the early-exit paths (no
+    /// alignable candidate, pruning disabled).
+    pub stats: RoundStats,
 }
 
 /// Algorithm 1 — select the originating tables among `candidates` for
@@ -95,6 +80,7 @@ pub fn matrix_traversal(
             originating: Vec::new(),
             selected: Vec::new(),
             estimated_eis: 0.0,
+            stats: RoundStats::default(),
         };
     }
 
@@ -105,7 +91,12 @@ pub fn matrix_traversal(
             combined = combined.combine(m, cfg.max_aligned_per_key);
         }
         let selected = (0..tables.len()).collect();
-        return TraversalOutcome { originating: tables, selected, estimated_eis: combined.eis() };
+        return TraversalOutcome {
+            originating: tables,
+            selected,
+            estimated_eis: combined.eis(),
+            stats: RoundStats::default(),
+        };
     }
 
     // Lines 5–6: GetStartTable — the best single matrix by
@@ -117,50 +108,29 @@ pub fn matrix_traversal(
         .max_by(|a, b| a.1.partial_cmp(&b.1).expect("score finite").then(b.0.cmp(&a.0)))
         .expect("non-empty");
     let mut chosen = vec![start];
-    let mut chosen_mask = ChosenMask::new(tables.len());
-    chosen_mask.insert(start);
-    let mut combined = matrices[start].clone();
-    let mut most_correct = combined.net_score();
 
-    // Lines 8–20: greedy extension until no strict improvement. Every
-    // remaining candidate is *scored* with the fused kernel; only the
-    // round's winner is materialized via `combine`.
-    loop {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, m) in matrices.iter().enumerate() {
-            if chosen_mask.contains(i) {
-                continue;
-            }
-            let score = combined.combine_score(m);
-            let better = match &best {
-                None => score > most_correct,
-                Some((_, bs)) => score > *bs,
-            };
-            if better {
-                best = Some((i, score));
-            }
-        }
-        match best {
-            Some((i, score)) if score > most_correct => {
-                chosen.push(i);
-                chosen_mask.insert(i);
-                combined = combined.combine(&matrices[i], cfg.max_aligned_per_key);
-                most_correct = score;
-            }
-            _ => break, // line 18–19: converged
-        }
-        if chosen.len() == tables.len() {
-            break;
+    // Lines 8–20: greedy extension until no strict improvement. The
+    // `RoundScorer` carries per-row score caches and admissible bounds
+    // across rounds: each round rescans only the rows the previous winner
+    // dirtied, skips provably-losing candidates, and materializes exactly
+    // one combined matrix (the winner) — with selections bit-identical to
+    // the full-rescan loop it replaces.
+    let mut scorer = RoundScorer::new(&matrices, start, cfg.max_aligned_per_key);
+    while chosen.len() < tables.len() {
+        match scorer.select_next() {
+            Some(i) => chosen.push(i),
+            None => break, // line 18–19: converged
         }
     }
 
-    let estimated_eis = combined.eis();
+    let stats = scorer.stats();
+    let estimated_eis = scorer.into_combined().eis();
     // Move the winners out of the candidate list — `chosen` indices are
     // distinct, so each table is taken exactly once and nothing is cloned.
     let mut slots: Vec<Option<Table>> = tables.into_iter().map(Some).collect();
     let originating =
         chosen.iter().map(|&i| slots[i].take().expect("chosen indices are distinct")).collect();
-    TraversalOutcome { originating, selected: chosen, estimated_eis }
+    TraversalOutcome { originating, selected: chosen, estimated_eis, stats }
 }
 
 #[cfg(test)]
@@ -293,6 +263,22 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), out.selected.len(), "selection indices must be distinct");
+    }
+
+    #[test]
+    fn round_stats_reflect_the_greedy_loop() {
+        let out = matrix_traversal(&source(), &figure3_candidates(), &GenTConfig::default());
+        // Multi-table selection ⇒ at least one accepted round per extra
+        // table, and the converge sweep unless everything was selected.
+        assert!(out.stats.rounds as usize >= out.selected.len() - 1, "{:?}", out.stats);
+        assert!(out.stats.rows_rescored > 0, "the cache was never filled: {:?}", out.stats);
+
+        // The ablation and empty paths report zeroed counters.
+        let cfg = GenTConfig { prune_with_traversal: false, ..Default::default() };
+        let ablation = matrix_traversal(&source(), &figure3_candidates(), &cfg);
+        assert_eq!(ablation.stats, crate::round::RoundStats::default());
+        let empty = matrix_traversal(&source(), &[], &GenTConfig::default());
+        assert_eq!(empty.stats.rounds, 0);
     }
 
     #[test]

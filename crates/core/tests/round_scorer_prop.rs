@@ -1,0 +1,240 @@
+//! Property tests pinning the incremental [`RoundScorer`] greedy selection
+//! (cached round state, dirty-row rescoring, admissible upper bounds) to a
+//! reference **full-rescan** loop over the nested-vector
+//! `matrix::reference` implementation: selection order, per-round scores,
+//! and the convergence round must agree bit-for-bit on random candidate
+//! sets — including tight `max_aligned_per_key` caps, two- and
+//! three-valued cells, and candidates with empty row ranges.
+
+use gent_core::matrix::reference::NestedMatrix;
+use gent_core::{AlignmentMatrix, RoundScorer};
+use gent_table::{Table, Value};
+use proptest::prelude::*;
+
+/// A keyed source with 3 non-key columns and unique int keys.
+fn keyed_source() -> impl Strategy<Value = Table> {
+    (
+        proptest::sample::subsequence((0..15i64).collect::<Vec<_>>(), 2..=8),
+        proptest::collection::vec(proptest::collection::vec(0i64..9, 3), 8),
+    )
+        .prop_map(|(keys, cells)| {
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, c)| {
+                    vec![Value::Int(*k), Value::Int(c[0]), Value::Int(c[1]), Value::Int(c[2])]
+                })
+                .collect();
+            Table::build("S", &["k", "a", "b", "c"], &["k"], rows).unwrap()
+        })
+}
+
+/// Derive a candidate from the source via a mutation stream (same scheme
+/// as `matrix_arena_prop.rs`): per source row 0–2 aligned copies — rows
+/// that draw 0 copies give the candidate an **empty row range** there —
+/// and per non-key cell keep / null / corrupt, exercising dominance
+/// pruning, the cap, and conflict splitting.
+fn make_candidate(source: &Table, muts: &[u8], name: &str) -> Table {
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut mi = 0usize;
+    let mut next = || {
+        let m = muts[mi % muts.len().max(1)];
+        mi += 1;
+        m
+    };
+    for srow in source.rows() {
+        let copies = next() % 3;
+        for _ in 0..copies {
+            let mut row = Vec::with_capacity(srow.len());
+            row.push(srow[0].clone()); // key preserved
+            for v in &srow[1..] {
+                row.push(match next() % 4 {
+                    1 => Value::Null,
+                    2 => match v {
+                        Value::Int(x) => Value::Int(x + 100), // guaranteed mismatch
+                        other => other.clone(),
+                    },
+                    _ => v.clone(),
+                });
+            }
+            rows.push(row);
+        }
+    }
+    Table::build(name, &["k", "a", "b", "c"], &[], rows).unwrap()
+}
+
+/// The pre-`RoundScorer` greedy loop, run against the nested reference
+/// matrices with a *materialized* combine + net-score per candidate per
+/// round — the executable spec of what a greedy round must select.
+/// Returns (selection order incl. start, per-round accepted scores,
+/// rounds run, final combined EIS).
+fn reference_select(
+    mats: &[NestedMatrix],
+    start: usize,
+    cap: usize,
+) -> (Vec<usize>, Vec<f64>, u32, f64) {
+    let mut chosen = vec![start];
+    let mut combined = mats[start].clone();
+    let mut most_correct = combined.net_score();
+    let mut scores = Vec::new();
+    let mut rounds = 0u32;
+    loop {
+        if chosen.len() == mats.len() {
+            break;
+        }
+        rounds += 1;
+        let mut best: Option<(usize, NestedMatrix, f64)> = None;
+        for (i, m) in mats.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let c = combined.combine(m, cap);
+            let score = c.net_score();
+            let better = match &best {
+                None => score > most_correct,
+                Some((_, _, bs)) => score > *bs,
+            };
+            if better {
+                best = Some((i, c, score));
+            }
+        }
+        match best {
+            Some((i, c, score)) if score > most_correct => {
+                chosen.push(i);
+                combined = c;
+                most_correct = score;
+            }
+            _ => break,
+        }
+        scores.push(most_correct);
+    }
+    (chosen, scores, rounds, combined.eis())
+}
+
+/// The incremental loop under test, mirroring `matrix_traversal`'s use of
+/// the scorer.
+fn incremental_select(
+    mats: &[AlignmentMatrix],
+    start: usize,
+    cap: usize,
+) -> (Vec<usize>, Vec<f64>, u32, f64) {
+    let mut scorer = RoundScorer::new(mats, start, cap);
+    let mut chosen = vec![start];
+    let mut scores = Vec::new();
+    while chosen.len() < mats.len() {
+        match scorer.select_next() {
+            Some(i) => {
+                chosen.push(i);
+                scores.push(scorer.current_score());
+            }
+            None => break,
+        }
+    }
+    let rounds = scorer.stats().rounds;
+    (chosen, scores, rounds, scorer.into_combined().eis())
+}
+
+/// `matrix_traversal`'s GetStartTable tie-break, shared by both loops.
+fn start_index(scores: &[f64]) -> usize {
+    scores
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(&a.0)))
+        .expect("non-empty")
+        .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tentpole invariant: RoundScorer's selections — order, accepted
+    /// scores, convergence round, and final EIS — are bit-identical to the
+    /// reference full-rescan loop, for tight caps and both cell encodings.
+    #[test]
+    fn selections_match_reference_full_rescan(
+        s in keyed_source(),
+        m1 in proptest::collection::vec(any::<u8>(), 48),
+        m2 in proptest::collection::vec(any::<u8>(), 48),
+        m3 in proptest::collection::vec(any::<u8>(), 48),
+        m4 in proptest::collection::vec(any::<u8>(), 48),
+        three_valued in any::<bool>(),
+    ) {
+        let cands = [
+            make_candidate(&s, &m1, "C1"),
+            make_candidate(&s, &m2, "C2"),
+            make_candidate(&s, &m3, "C3"),
+            make_candidate(&s, &m4, "C4"),
+        ];
+        // Cap 0 exercises the tolerated-but-clamped pathological config;
+        // caps 1–2 force the keep-best truncation constantly.
+        for cap in [0usize, 1, 2, 8] {
+            let arena: Vec<AlignmentMatrix> = cands
+                .iter()
+                .map(|c| AlignmentMatrix::build(&s, c, three_valued, cap).unwrap())
+                .collect();
+            let nested: Vec<NestedMatrix> = cands
+                .iter()
+                .map(|c| NestedMatrix::build(&s, c, three_valued, cap).unwrap())
+                .collect();
+            let arena_start =
+                start_index(&arena.iter().map(|m| m.net_score()).collect::<Vec<_>>());
+            let nested_start =
+                start_index(&nested.iter().map(|m| m.net_score()).collect::<Vec<_>>());
+            prop_assert_eq!(arena_start, nested_start, "start pick diverged (cap {})", cap);
+
+            let (ref_sel, ref_scores, ref_rounds, ref_eis) =
+                reference_select(&nested, nested_start, cap);
+            let (inc_sel, inc_scores, inc_rounds, inc_eis) =
+                incremental_select(&arena, arena_start, cap);
+
+            prop_assert_eq!(&inc_sel, &ref_sel, "selection order diverged (cap {})", cap);
+            prop_assert_eq!(inc_rounds, ref_rounds, "round count diverged (cap {})", cap);
+            prop_assert_eq!(
+                inc_scores.len(), ref_scores.len(), "accepted rounds diverged (cap {})", cap
+            );
+            for (r, (a, b)) in inc_scores.iter().zip(&ref_scores).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "round {} accepted score diverged (cap {}): {} vs {}", r, cap, a, b
+                );
+            }
+            prop_assert_eq!(
+                inc_eis.to_bits(), ref_eis.to_bits(), "final EIS diverged (cap {})", cap
+            );
+        }
+    }
+
+    /// An all-empty-coverage candidate (no rows survive alignment) must be
+    /// handled: never selected, never breaking the others' selections.
+    #[test]
+    fn empty_row_range_candidates_are_inert(
+        s in keyed_source(),
+        m1 in proptest::collection::vec(any::<u8>(), 48),
+        m2 in proptest::collection::vec(any::<u8>(), 48),
+    ) {
+        let full = make_candidate(&s, &m1, "C1");
+        // A candidate with the key column but no rows: every row range is
+        // empty, so its combine_score equals the combined's own net score
+        // and it can never strictly improve.
+        let empty = Table::build("E", &["k", "a", "b", "c"], &[], Vec::new()).unwrap();
+        let other = make_candidate(&s, &m2, "C2");
+        let cap = 4usize;
+        let cands = [full, empty, other];
+        let arena: Vec<AlignmentMatrix> = cands
+            .iter()
+            .map(|c| AlignmentMatrix::build(&s, c, true, cap).unwrap())
+            .collect();
+        let nested: Vec<NestedMatrix> = cands
+            .iter()
+            .map(|c| NestedMatrix::build(&s, c, true, cap).unwrap())
+            .collect();
+        prop_assert_eq!(arena[1].keys_covered(), 0);
+        let start = start_index(&arena.iter().map(|m| m.net_score()).collect::<Vec<_>>());
+        let (ref_sel, _, _, _) = reference_select(&nested, start, cap);
+        let (inc_sel, _, _, _) = incremental_select(&arena, start, cap);
+        prop_assert_eq!(&inc_sel, &ref_sel);
+        if start != 1 {
+            prop_assert!(!inc_sel.contains(&1), "empty candidate selected: {:?}", inc_sel);
+        }
+    }
+}

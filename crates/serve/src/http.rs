@@ -2,9 +2,18 @@
 //!
 //! The daemon needs exactly enough HTTP to answer JSON requests from `curl`
 //! and the bundled client: request-line + headers + `Content-Length` body in,
-//! status + JSON body out, one request per connection (`Connection: close`).
-//! No chunked encoding, no keep-alive, no TLS — and no network crates, per
-//! the workspace's offline constraint.
+//! status + JSON body out. No chunked encoding, no TLS — and no network
+//! crates, per the workspace's offline constraint.
+//!
+//! Connections close after one exchange by default, but a client that sends
+//! `Connection: keep-alive` gets the socket back for further requests
+//! (bounded per connection, each under its own read deadline — see
+//! `crate::server`), so repeated reclaims stop paying per-request TCP
+//! setup. Because requests on a kept-alive socket are framed by
+//! `Content-Length`, the server reads through **one persistent
+//! [`BufReader`]** ([`read_request_buffered`]) — bytes a read-ahead
+//! buffered past the current body belong to the next request and must not
+//! be dropped between requests.
 //!
 //! Every malformed input maps to a *structured* failure ([`HttpError`]) that
 //! the server turns into a 4xx JSON response; nothing a client sends can
@@ -41,11 +50,25 @@ impl Request {
         let name = name.to_ascii_lowercase();
         self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
     }
+
+    /// Did the client ask to keep the connection open after this response?
+    /// `Connection` is a comma-separated token list; only an explicit
+    /// `keep-alive` token opts in — the daemon's default stays one request
+    /// per connection, so clients that read responses to EOF keep working.
+    pub fn wants_keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("keep-alive")))
+    }
 }
 
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum HttpError {
+    /// The peer closed the connection cleanly before sending any byte of a
+    /// request — normal teardown for a kept-alive socket (or a bare TCP
+    /// probe), not a protocol violation. The server drops the connection
+    /// without answering.
+    ConnectionClosed,
     /// The bytes on the wire are not an HTTP/1.1 request.
     Malformed(String),
     /// The head or body exceeds the configured limits.
@@ -68,6 +91,9 @@ pub enum HttpError {
 impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            HttpError::ConnectionClosed => {
+                write!(f, "connection closed before a request was sent")
+            }
             HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
             HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
             HttpError::Truncated { expected, got } => {
@@ -98,6 +124,14 @@ impl<'a> DeadlineStream<'a> {
     pub fn new(stream: &'a TcpStream, budget: Duration) -> Self {
         DeadlineStream { stream, deadline: Instant::now() + budget }
     }
+
+    /// Restart the clock with a fresh `budget` — called by the server
+    /// between requests on a kept-alive connection, so every request gets
+    /// its own full deadline while the buffered reader (and any read-ahead
+    /// bytes it holds) survives across them.
+    pub fn reset(&mut self, budget: Duration) {
+        self.deadline = Instant::now() + budget;
+    }
 }
 
 impl Read for DeadlineStream<'_> {
@@ -112,30 +146,34 @@ impl Read for DeadlineStream<'_> {
     }
 }
 
-/// Read one request from `stream` (any `Read`; in the daemon, a
-/// [`DeadlineStream`] over the `TcpStream`). A timeout mid-head surfaces as
+/// Read one request from `stream` (any `Read`) — the **one-shot** entry
+/// point, for callers that will not reuse the stream: it wraps a private
+/// `BufReader` whose read-ahead is discarded on return, so on a kept-alive
+/// socket it could swallow the first bytes of the next request. The daemon
+/// uses [`read_request_buffered`] instead. A timeout mid-head surfaces as
 /// [`HttpError::Timeout`], mid-body as [`HttpError::Truncated`].
 pub fn read_request<R: Read>(stream: R) -> Result<Request, HttpError> {
-    read_request_inner(stream, None)
+    read_request_inner(&mut BufReader::new(stream), None)
 }
 
-/// Like [`read_request`], but answers `Expect: 100-continue` on `sink`
-/// before reading the body — without this, `curl -d` with a body over 1 KiB
-/// stalls ~1 s waiting for the interim response.
-pub fn read_request_answering_expect<R: Read>(
-    stream: R,
+/// Like [`read_request`], but through a caller-owned [`BufReader`] that
+/// can persist across requests — required for keep-alive (read-ahead bytes
+/// belonging to the next pipelined request survive in the reader) — and
+/// answering `Expect: 100-continue` on `sink` before reading the body:
+/// without that interim response, `curl -d` with a body over 1 KiB stalls
+/// ~1 s waiting for the go-ahead.
+pub fn read_request_buffered<R: Read>(
+    reader: &mut BufReader<R>,
     sink: &mut dyn Write,
 ) -> Result<Request, HttpError> {
-    read_request_inner(stream, Some(sink))
+    read_request_inner(reader, Some(sink))
 }
 
 fn read_request_inner<R: Read>(
-    stream: R,
+    reader: &mut BufReader<R>,
     continue_sink: Option<&mut dyn Write>,
 ) -> Result<Request, HttpError> {
-    let mut reader = BufReader::new(stream);
-
-    let request_line = read_line(&mut reader)?;
+    let request_line = read_line(reader)?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
@@ -160,7 +198,14 @@ fn read_request_inner<R: Read>(
     let mut headers = Vec::new();
     let mut head_bytes = request_line.len();
     loop {
-        let line = read_line(&mut reader)?;
+        // EOF here is mid-request (the request line already arrived), so a
+        // clean close no longer counts as "no request sent".
+        let line = read_line(reader).map_err(|e| match e {
+            HttpError::ConnectionClosed => {
+                HttpError::Malformed("connection closed mid-headers".into())
+            }
+            other => other,
+        })?;
         head_bytes += line.len() + 2;
         if head_bytes > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge(format!("headers exceed {MAX_HEAD_BYTES} bytes")));
@@ -233,7 +278,7 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
         match reader.read(&mut byte) {
             Ok(0) => {
                 if buf.is_empty() {
-                    return Err(HttpError::Malformed("connection closed before request".into()));
+                    return Err(HttpError::ConnectionClosed);
                 }
                 return Err(HttpError::Malformed("connection closed mid-line".into()));
             }
@@ -286,15 +331,24 @@ impl Response {
         }
     }
 
-    /// Serialize head + body to `out` (one request per connection, so the
-    /// response always closes).
+    /// Serialize head + body to `out`, closing the connection afterwards
+    /// (the non-keep-alive path; see [`Response::write_with`]).
     pub fn write(&self, out: &mut impl Write) -> std::io::Result<()> {
+        self.write_with(out, false)
+    }
+
+    /// Serialize head + body to `out`, advertising whether the server will
+    /// keep the connection open (`Connection: keep-alive`) or close it.
+    /// The advertisement must match what the server actually does — a
+    /// keep-alive client decides whether to reuse the socket from it.
+    pub fn write_with(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
             self.status,
             self.reason(),
-            self.body.len()
+            self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" }
         )?;
         out.write_all(self.body.as_bytes())?;
         out.flush()
@@ -320,6 +374,61 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"a\":1}"));
+    }
+
+    #[test]
+    fn keep_alive_header_is_honored_token_wise() {
+        let req = |conn: Option<&str>| Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            headers: conn.map(|v| ("connection".to_string(), v.to_string())).into_iter().collect(),
+            body: vec![],
+        };
+        assert!(!req(None).wants_keep_alive(), "no header → one-shot default");
+        assert!(req(Some("keep-alive")).wants_keep_alive());
+        assert!(req(Some("Keep-Alive")).wants_keep_alive(), "case-insensitive");
+        assert!(req(Some("TE, keep-alive")).wants_keep_alive(), "token list");
+        assert!(!req(Some("close")).wants_keep_alive());
+        assert!(!req(Some("keep-alives")).wants_keep_alive(), "whole-token match only");
+    }
+
+    #[test]
+    fn write_with_advertises_the_connection_mode() {
+        let mut out = Vec::new();
+        Response::ok("{}".into()).write_with(&mut out, true).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("Connection: keep-alive\r\n"));
+        let mut out = Vec::new();
+        Response::ok("{}".into()).write_with(&mut out, false).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_connection_closed_not_malformed() {
+        let mut reader = BufReader::new(Cursor::new(Vec::<u8>::new()));
+        let err = read_request_buffered(&mut reader, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, HttpError::ConnectionClosed), "{err:?}");
+        // …but EOF after the request line is still a malformed request.
+        let mut reader = BufReader::new(Cursor::new(b"GET / HTTP/1.1\r\n".to_vec()));
+        let err = read_request_buffered(&mut reader, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn persistent_bufreader_preserves_pipelined_bytes() {
+        // Two back-to-back requests in one stream: the shared BufReader
+        // must hand the second one over intact after the first is read.
+        let wire = b"GET /healthz HTTP/1.1\r\nConnection: keep-alive\r\n\r\n\
+                     POST /reclaim HTTP/1.1\r\nContent-Length: 2\r\n\r\n{}"
+            .to_vec();
+        let mut reader = BufReader::new(Cursor::new(wire));
+        let first = read_request_buffered(&mut reader, &mut Vec::new()).unwrap();
+        assert_eq!((first.method.as_str(), first.path.as_str()), ("GET", "/healthz"));
+        assert!(first.wants_keep_alive());
+        let second = read_request_buffered(&mut reader, &mut Vec::new()).unwrap();
+        assert_eq!((second.method.as_str(), second.path.as_str()), ("POST", "/reclaim"));
+        assert_eq!(second.body, b"{}");
+        let done = read_request_buffered(&mut reader, &mut Vec::new()).unwrap_err();
+        assert!(matches!(done, HttpError::ConnectionClosed));
     }
 
     #[test]

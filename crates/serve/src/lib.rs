@@ -33,6 +33,12 @@
 //! kill the daemon (malformed HTTP, bad JSON, truncated bodies and panicking
 //! handlers all map to error responses).
 //!
+//! Connections close after one exchange by default; clients that send
+//! `Connection: keep-alive` may reuse the socket for up to
+//! [`server::MAX_REQUESTS_PER_CONNECTION`] requests, each under its own
+//! read deadline — repeated reclaims stop paying per-request TCP setup
+//! (see `examples/serve_client.rs` for a persistent client).
+//!
 //! ## The sharing contract
 //!
 //! The daemon's whole point is that concurrent requests share one lake

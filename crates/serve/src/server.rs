@@ -2,9 +2,18 @@
 //!
 //! One `TcpListener`, N workers: the accept loop pushes connections into a
 //! *bounded* channel; workers pull from the shared receiver (guarded by a
-//! `parking_lot::Mutex`), read one request, answer it, and close. All
-//! workers borrow the same [`LakeService`] through an `Arc` — the warm lake
-//! is opened exactly once, no matter how many requests run concurrently.
+//! `parking_lot::Mutex`), serve the connection, and close. All workers
+//! borrow the same [`LakeService`] through an `Arc` — the warm lake is
+//! opened exactly once, no matter how many requests run concurrently.
+//!
+//! A connection serves one request by default; a client sending
+//! `Connection: keep-alive` may reuse it for up to
+//! [`MAX_REQUESTS_PER_CONNECTION`] requests, each under its own read
+//! deadline — and with the *wait for the next request* phase under the
+//! much shorter [`KEEP_ALIVE_IDLE_TIMEOUT`], closed silently when it
+//! expires. That removes the per-request TCP setup from repeated reclaims
+//! while bounding how long an idle pooled client can pin a worker thread
+//! (the remaining cost of the thread-per-in-flight-connection design).
 //!
 //! The bounded queue is the backpressure mechanism: when every worker is
 //! busy and [`QUEUE_DEPTH`] connections are already waiting, the accept
@@ -16,7 +25,7 @@
 //! worker and cannot leak threads; [`ServerHandle::stop`] unblocks the
 //! accept loop for a clean shutdown (used by tests and benches).
 
-use std::io::ErrorKind;
+use std::io::{BufReader, ErrorKind};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -24,12 +33,26 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::http::{read_request_answering_expect, DeadlineStream, Response};
+use crate::http::{read_request_buffered, DeadlineStream, HttpError, Response};
 use crate::service::LakeService;
 
 /// Accepted-but-unserved connections held by the daemon before the accept
 /// loop blocks (per-connection cost: one fd + one `TcpStream`).
 pub const QUEUE_DEPTH: usize = 128;
+
+/// Requests one kept-alive connection may carry before the daemon closes it
+/// anyway — the bound that keeps a single chatty client from monopolising a
+/// worker. The final response advertises `Connection: close`, so
+/// well-behaved clients reconnect instead of timing out.
+pub const MAX_REQUESTS_PER_CONNECTION: usize = 64;
+
+/// How long a kept-alive connection may sit **idle** between requests
+/// before the daemon closes it (silently — writing anything to an idle
+/// socket would be consumed as the answer to the client's *next* request).
+/// Deliberately much shorter than the per-request read deadline: with one
+/// thread per in-flight connection, idle pooled clients would otherwise
+/// pin workers for the full request budget.
+pub const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -162,18 +185,51 @@ impl Server {
     }
 }
 
-/// Handle one connection: read a request, answer it, close.
+/// Handle one connection: read requests, answer them, close — looping only
+/// for clients that asked for `Connection: keep-alive`, and never past
+/// [`MAX_REQUESTS_PER_CONNECTION`].
 fn serve_connection(service: &LakeService, stream: TcpStream, read_timeout: Duration) {
     let _ = stream.set_write_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
-    // One overall deadline per request: a client trickling bytes cannot
-    // reset the clock and pin this worker (see `DeadlineStream`).
-    let reader = DeadlineStream::new(&stream, read_timeout);
-    let mut write_half = &stream;
-    let request = read_request_answering_expect(reader, &mut write_half);
-    let response: Response = service.respond(request);
-    // The client may already be gone; a failed write only loses its answer.
-    let _ = response.write(&mut (&stream));
+    // One BufReader for the connection's whole life (read-ahead bytes may
+    // belong to the next pipelined request), wrapping a resettable
+    // DeadlineStream: every request gets its own full time budget, and a
+    // client trickling bytes cannot reset the clock mid-request.
+    let mut reader = BufReader::new(DeadlineStream::new(&stream, read_timeout));
+    for served in 1..=MAX_REQUESTS_PER_CONNECTION {
+        // Idle phase (reused connections only): wait for the first byte of
+        // the next request under the short keep-alive deadline. A peer
+        // that hangs up or stays idle past it gets a *silent* close — an
+        // unsolicited error response here would sit in the socket buffer
+        // and be misread as the answer to the client's next request.
+        if served > 1 {
+            use std::io::BufRead;
+            reader.get_mut().reset(KEEP_ALIVE_IDLE_TIMEOUT.min(read_timeout));
+            match reader.fill_buf() {
+                Ok([]) => return, // clean EOF
+                Ok(_) => {}       // next request underway
+                Err(_) => return, // idle timeout / io error
+            }
+        }
+        reader.get_mut().reset(read_timeout);
+        let mut write_half = &stream;
+        let request = read_request_buffered(&mut reader, &mut write_half);
+        // A peer that closed instead of sending a(nother) request is normal
+        // socket teardown, not an error: nothing to answer, nothing to log.
+        if matches!(request, Err(HttpError::ConnectionClosed)) {
+            return;
+        }
+        // Keep the socket only for well-formed requests that asked for it —
+        // after a read error the stream's framing can't be trusted.
+        let keep_alive = served < MAX_REQUESTS_PER_CONNECTION
+            && matches!(&request, Ok(req) if req.wants_keep_alive());
+        let response: Response = service.respond(request);
+        // The client may already be gone; a failed write only loses its
+        // answer (and ends the connection's loop).
+        if response.write_with(&mut (&stream), keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
 }
 
 /// Resolve `addr`, preferring IPv4 loopback results for predictability.
@@ -230,6 +286,99 @@ mod tests {
         let (status, body) = get(addr, "/healthz");
         assert_eq!(status, 200, "body: {body}");
         assert!(body.contains("\"ok\""));
+
+        handle.stop();
+        runner.join().unwrap().unwrap();
+    }
+
+    /// Read exactly one HTTP response from a kept-alive socket: status
+    /// line, headers, then `Content-Length` bytes of body.
+    fn read_one_response(reader: &mut std::io::BufReader<&TcpStream>) -> (u16, String, String) {
+        use std::io::BufRead;
+        let mut head = String::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+            head.push_str(&line);
+        }
+        let status: u16 =
+            head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).expect("status");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string)
+            })
+            .and_then(|v| v.trim().parse().ok())
+            .expect("content-length");
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).unwrap();
+        (status, head, String::from_utf8(body).unwrap())
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_on_one_socket() {
+        let server = test_server();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let runner = std::thread::spawn(move || server.run());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = std::io::BufReader::new(&stream);
+        for i in 0..3 {
+            let mut w = &stream;
+            write!(w, "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap();
+            let (status, head, body) = read_one_response(&mut reader);
+            assert_eq!(status, 200, "request {i}: {body}");
+            assert!(
+                head.contains("Connection: keep-alive"),
+                "request {i} must advertise reuse: {head}"
+            );
+            assert!(body.contains("\"ok\""));
+        }
+        // Dropping Connection: keep-alive closes the socket after the
+        // response, exactly as advertised.
+        let mut w = &stream;
+        write!(w, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let (status, head, _) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        assert!(head.contains("Connection: close"), "{head}");
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after a non-keep-alive request");
+
+        handle.stop();
+        runner.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn idle_keep_alive_socket_is_closed_silently() {
+        // After a completed keep-alive exchange, a client that goes idle
+        // past the keep-alive deadline must see a plain close — no
+        // unsolicited 408 that would be misread as the next response.
+        let server = test_server();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let runner = std::thread::spawn(move || server.run());
+
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut reader = std::io::BufReader::new(&stream);
+        let mut w = &stream;
+        write!(w, "GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        let (status, _, _) = read_one_response(&mut reader);
+        assert_eq!(status, 200);
+        // Idle past the (test-config 500 ms) keep-alive window: the server
+        // must close without writing another byte.
+        std::thread::sleep(Duration::from_millis(900));
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "", "idle teardown must not write an unsolicited response");
 
         handle.stop();
         runner.join().unwrap().unwrap();

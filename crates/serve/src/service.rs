@@ -331,6 +331,24 @@ impl LakeService {
                     ("traversal_ms".into(), Json::Float(ms(result.timings.traversal))),
                     ("integration_ms".into(), Json::Float(ms(result.timings.integration))),
                     ("total_ms".into(), Json::Float(ms(result.timings.total()))),
+                    // The traversal's incremental-round breakdown: how many
+                    // greedy rounds ran, how many dirty rows were rescored,
+                    // and how many candidate scorings the admissible bound
+                    // skipped outright.
+                    (
+                        "traversal_rounds".into(),
+                        Json::Int(i64::from(result.timings.traversal_rounds)),
+                    ),
+                    (
+                        "rows_rescored".into(),
+                        Json::Int(i64::try_from(result.timings.rows_rescored).unwrap_or(i64::MAX)),
+                    ),
+                    (
+                        "candidates_pruned".into(),
+                        Json::Int(
+                            i64::try_from(result.timings.candidates_pruned).unwrap_or(i64::MAX),
+                        ),
+                    ),
                 ]),
             ),
             ("originating".into(), Json::Array(originating)),
@@ -397,6 +415,10 @@ fn ms(d: std::time::Duration) -> f64 {
 
 fn read_error_response(e: &HttpError) -> Response {
     let (status, kind) = match e {
+        // Normally never rendered: the server drops cleanly-closed
+        // connections without answering. Kept total so `respond` stays
+        // usable with any read result.
+        HttpError::ConnectionClosed => (400, "connection_closed"),
         HttpError::Malformed(_) => (400, "malformed_request"),
         HttpError::TooLarge(_) => (413, "too_large"),
         HttpError::Truncated { .. } => (400, "truncated_body"),
@@ -561,6 +583,13 @@ mod tests {
         let total = field("total_ms");
         assert!(d >= 0.0 && tr >= 0.0 && int >= 0.0);
         assert!((total - (d + tr + int)).abs() < 1e-6, "total {total} vs {d}+{tr}+{int}");
+        // The greedy-round counters ride along (this tiny lake may align
+        // only one candidate, so zero rounds is legitimate here; the e2e
+        // suite asserts they actually move on a real lake).
+        let counter = |k: &str| t.get(k).and_then(Json::as_i64).unwrap_or_else(|| panic!("{k}"));
+        for k in ["traversal_rounds", "rows_rescored", "candidates_pruned"] {
+            assert!(counter(k) >= 0, "{k} must be a non-negative counter");
+        }
     }
 
     #[test]

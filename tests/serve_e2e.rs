@@ -45,6 +45,52 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
     (status, payload)
 }
 
+/// Send one request over an already-open connection, asking the daemon to
+/// keep it alive, and read exactly one response (headers +
+/// `Content-Length` bytes) — the socket stays usable for the next request.
+/// Returns (status, connection-header-value, body).
+fn http_keep_alive(
+    stream: &TcpStream,
+    reader: &mut std::io::BufReader<&TcpStream>,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, String, String) {
+    use std::io::BufRead;
+    let mut w = stream;
+    write!(
+        w,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: keep-alive\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut head = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("read header line");
+        if line == "\r\n" || line.is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|t| t.parse().ok()).expect("status line");
+    let connection = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("connection:").map(str::to_string))
+        .map(|v| v.trim().to_string())
+        .unwrap_or_default();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("content-length header");
+    let mut payload = vec![0u8; content_length];
+    reader.read_exact(&mut payload).expect("read body");
+    (status, connection, String::from_utf8(payload).expect("utf8 body"))
+}
+
 /// Re-render a response body with the per-request `timings` field removed,
 /// so deterministic payloads can be compared across requests.
 fn without_timings(body: &str) -> String {
@@ -121,12 +167,27 @@ fn daemon_matches_one_shot_cli_byte_for_byte() {
         assert_eq!(*status, 200, "request {i} failed: {body}");
         let v = Json::parse(body).expect("response json");
 
-        // Every response carries the pipeline's wall-clock breakdown.
+        // Every response carries the pipeline's wall-clock breakdown…
         let timings = v.get("timings").expect("reclaim response carries `timings`");
         for field in ["discovery_ms", "traversal_ms", "integration_ms", "total_ms"] {
             let val = timings.get(field).and_then(Json::as_f64);
             assert!(val.is_some_and(|v| v >= 0.0), "request {i}: bad timings.{field}: {val:?}");
         }
+        // …and the traversal's greedy-round counters. On a real lake the
+        // loop runs at least one round and fills its row cache, and the
+        // counters are deterministic — identical across identical requests.
+        for field in ["traversal_rounds", "rows_rescored", "candidates_pruned"] {
+            let val = timings.get(field).and_then(Json::as_i64);
+            assert!(val.is_some_and(|v| v >= 0), "request {i}: bad timings.{field}: {val:?}");
+        }
+        assert!(
+            timings.get("traversal_rounds").and_then(Json::as_i64).unwrap() >= 1,
+            "request {i}: the greedy loop must have run"
+        );
+        assert!(
+            timings.get("rows_rescored").and_then(Json::as_i64).unwrap() >= 1,
+            "request {i}: the row cache was never filled"
+        );
 
         // Metrics agree with the CLI run (the CLI prints 3 decimals).
         let eis = v.get("metrics").unwrap().get("eis").and_then(Json::as_f64).expect("eis");
@@ -152,6 +213,31 @@ fn daemon_matches_one_shot_cli_byte_for_byte() {
         assert_eq!(*status, responses[0].0);
         assert_eq!(without_timings(body), canonical, "concurrent responses must not diverge");
     }
+
+    // ── Keep-alive: one reused connection answers repeated reclaims, each
+    //    byte-identical (modulo timings) to the fresh-connection responses,
+    //    with the daemon advertising the reuse. ──────────────────────────
+    let stream = TcpStream::connect(addr).expect("connect keep-alive client");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut reader = std::io::BufReader::new(&stream);
+    for i in 0..3 {
+        let (status, connection, body) =
+            http_keep_alive(&stream, &mut reader, "POST", "/reclaim", &request_body);
+        assert_eq!(status, 200, "keep-alive request {i}: {body}");
+        assert_eq!(connection, "keep-alive", "keep-alive request {i} must advertise reuse");
+        assert_eq!(
+            without_timings(&body),
+            canonical,
+            "keep-alive request {i} diverged from the fresh-connection answer"
+        );
+    }
+    // The same socket still serves other endpoints, then closes when the
+    // client stops asking for keep-alive.
+    let (status, connection, health) = http_keep_alive(&stream, &mut reader, "GET", "/healthz", "");
+    assert_eq!(status, 200, "healthz on reused socket: {health}");
+    assert_eq!(connection, "keep-alive");
+    drop(reader);
+    drop(stream);
 
     handle.stop();
     runner.join().unwrap().expect("server run");
