@@ -21,10 +21,12 @@
 
 pub mod format;
 pub mod harness;
+pub mod promtext;
 pub mod report;
 
 pub use format::markdown_table;
 pub use harness::{
     aggregate, run_benchmark, AggregateRow, CandidateMode, CaseOutcome, HarnessConfig, MethodSpec,
 };
+pub use promtext::{parse_exposition, Exposition, Sample};
 pub use report::{baseline_ms, record, record_vs_baseline, time_median_ms};

@@ -1,0 +1,318 @@
+//! A small, strict parser for the Prometheus text exposition format
+//! (version 0.0.4) — just enough to let CI *prove* that the daemon's
+//! `GET /metrics` output is well-formed instead of eyeballing it.
+//!
+//! The parser is deliberately pickier than a real Prometheus scraper:
+//!
+//! * every non-comment line must parse as `name{labels} value [timestamp]`,
+//! * metric and label names must match the spec's character classes,
+//! * label values must use only the three legal escapes (`\\`, `\"`, `\n`),
+//! * every sample must belong to a family announced by a `# TYPE` line
+//!   (histogram samples may use the `_bucket`/`_sum`/`_count` suffixes of
+//!   a declared histogram family),
+//! * `# TYPE` kinds are restricted to the spec's five.
+//!
+//! Anything else is an error naming the offending line, so a formatting
+//! regression in `gent-obs`'s encoder fails the scrape check loudly.
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name as written (histogram samples keep their suffix).
+    pub name: String,
+    /// Label pairs in file order, values unescaped.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (`+Inf`/`-Inf`/`NaN` parse to the f64 specials).
+    pub value: f64,
+}
+
+/// A parsed exposition: every sample plus the `# TYPE` declarations.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// All samples in file order.
+    pub samples: Vec<Sample>,
+    /// `(family name, kind)` per `# TYPE` line, in file order.
+    pub families: Vec<(String, String)>,
+}
+
+impl Exposition {
+    /// The declared kind of `family`, if a `# TYPE` line announced it.
+    pub fn family_kind(&self, family: &str) -> Option<&str> {
+        self.families.iter().find(|(n, _)| n == family).map(|(_, k)| k.as_str())
+    }
+
+    /// All samples belonging to `family` — exact-name matches plus the
+    /// histogram suffix samples when the family is declared `histogram`.
+    pub fn family_samples(&self, family: &str) -> Vec<&Sample> {
+        let histogram = self.family_kind(family) == Some("histogram");
+        self.samples
+            .iter()
+            .filter(|s| {
+                s.name == family
+                    || (histogram
+                        && s.name
+                            .strip_prefix(family)
+                            .is_some_and(|rest| matches!(rest, "_bucket" | "_sum" | "_count")))
+            })
+            .collect()
+    }
+
+    /// The value of the sample with exactly this name and label set
+    /// (order-insensitive), if present.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Require every family in `required` to be both declared by a `# TYPE`
+    /// line and represented by at least one sample. Returns the missing
+    /// ones as the error.
+    pub fn require_families(&self, required: &[&str]) -> Result<(), String> {
+        let missing: Vec<&str> = required
+            .iter()
+            .filter(|f| self.family_kind(f).is_none() || self.family_samples(f).is_empty())
+            .copied()
+            .collect();
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("exposition is missing required families: {}", missing.join(", ")))
+        }
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else { return false };
+    (first.is_ascii_alphabetic() || first == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse a sample value: a float, or the spec's `+Inf`/`-Inf`/`NaN`.
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        other => other.parse().ok(),
+    }
+}
+
+type Labels = Vec<(String, String)>;
+
+/// Parse the `{name="value",...}` label block starting after `{`; returns
+/// the pairs and the rest of the line after the closing `}`.
+fn parse_labels(s: &str) -> Result<(Labels, &str), String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start();
+        if let Some(after) = rest.strip_prefix('}') {
+            return Ok((labels, after));
+        }
+        let eq = rest.find('=').ok_or("label without `=`")?;
+        let name = rest[..eq].trim();
+        if !valid_label_name(name) {
+            return Err(format!("bad label name `{name}`"));
+        }
+        rest = rest[eq + 1..].strip_prefix('"').ok_or("label value must be quoted")?;
+        // Unescape up to the closing quote.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let after_quote = loop {
+            let (i, c) = chars.next().ok_or("unterminated label value")?;
+            match c {
+                '"' => break &rest[i + 1..],
+                '\\' => match chars.next().map(|(_, e)| e) {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("illegal escape `\\{other:?}`")),
+                },
+                '\n' => return Err("raw newline in label value".into()),
+                c => value.push(c),
+            }
+        };
+        labels.push((name.to_string(), value));
+        rest = after_quote.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after;
+        } else if !rest.starts_with('}') {
+            return Err("expected `,` or `}` after label".into());
+        }
+    }
+}
+
+/// Parse a full text exposition. Every line must be valid; errors name the
+/// 1-based line they occurred on.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    const KINDS: [&str; 5] = ["counter", "gauge", "histogram", "summary", "untyped"];
+    let mut exp = Exposition::default();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let err = |msg: String| format!("line {lineno}: {msg} — `{line}`");
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (name, kind) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+            if !valid_metric_name(name) {
+                return Err(err(format!("bad family name `{name}` in TYPE")));
+            }
+            if !KINDS.contains(&kind) {
+                return Err(err(format!("unknown TYPE kind `{kind}`")));
+            }
+            if exp.family_kind(name).is_some() {
+                return Err(err(format!("family `{name}` declared twice")));
+            }
+            exp.families.push((name.to_string(), kind.to_string()));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if !valid_metric_name(name) {
+                return Err(err(format!("bad family name `{name}` in HELP")));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .ok_or_else(|| err("sample line has no value".into()))?;
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(err(format!("bad metric name `{name}`")));
+        }
+        let (labels, rest) = if line[name_end..].starts_with('{') {
+            parse_labels(&line[name_end + 1..]).map_err(err)?
+        } else {
+            (Vec::new(), &line[name_end..])
+        };
+        let mut fields = rest.split_whitespace();
+        let value = fields
+            .next()
+            .and_then(parse_value)
+            .ok_or_else(|| err("sample has no parseable value".into()))?;
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(err(format!("bad timestamp `{ts}`")));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(err("trailing garbage after sample".into()));
+        }
+
+        // Every sample must belong to a declared family.
+        let family_declared = exp.family_kind(name).is_some()
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                name.strip_suffix(suffix)
+                    .is_some_and(|base| exp.family_kind(base) == Some("histogram"))
+            });
+        if !family_declared {
+            return Err(err(format!("sample `{name}` has no preceding # TYPE declaration")));
+        }
+        exp.samples.push(Sample { name: name.to_string(), labels, value });
+    }
+    Ok(exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# HELP gent_http_requests_total Requests served per endpoint.
+# TYPE gent_http_requests_total counter
+gent_http_requests_total{endpoint=\"healthz\"} 3
+gent_http_requests_total{endpoint=\"reclaim\"} 1
+# TYPE gent_uptime_seconds gauge
+gent_uptime_seconds 42.5
+# TYPE gent_http_request_duration_us histogram
+gent_http_request_duration_us_bucket{endpoint=\"healthz\",le=\"100\"} 2
+gent_http_request_duration_us_bucket{endpoint=\"healthz\",le=\"+Inf\"} 3
+gent_http_request_duration_us_sum{endpoint=\"healthz\"} 1234
+gent_http_request_duration_us_count{endpoint=\"healthz\"} 3
+";
+
+    #[test]
+    fn parses_counters_gauges_and_histograms() {
+        let exp = parse_exposition(GOOD).unwrap();
+        assert_eq!(exp.value("gent_http_requests_total", &[("endpoint", "healthz")]), Some(3.0));
+        assert_eq!(exp.value("gent_uptime_seconds", &[]), Some(42.5));
+        assert_eq!(
+            exp.value(
+                "gent_http_request_duration_us_bucket",
+                &[("endpoint", "healthz"), ("le", "+Inf")]
+            ),
+            Some(3.0)
+        );
+        assert_eq!(exp.family_kind("gent_http_request_duration_us"), Some("histogram"));
+        assert_eq!(exp.family_samples("gent_http_request_duration_us").len(), 4);
+        exp.require_families(&["gent_http_requests_total", "gent_uptime_seconds"]).unwrap();
+        let e = exp.require_families(&["gent_missing_total"]).unwrap_err();
+        assert!(e.contains("gent_missing_total"));
+    }
+
+    #[test]
+    fn label_escapes_round_trip() {
+        let text = "# TYPE t counter\nt{k=\"a\\\\b\\\"c\\nd\"} 1\n";
+        let exp = parse_exposition(text).unwrap();
+        assert_eq!(exp.samples[0].labels, vec![("k".to_string(), "a\\b\"c\nd".to_string())]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (bad, why) in [
+            ("gent_x 1\n", "undeclared family"),
+            ("# TYPE gent_x counter\ngent_x one\n", "non-numeric value"),
+            ("# TYPE gent_x counter\ngent_x{l=unquoted} 1\n", "unquoted label"),
+            ("# TYPE gent_x counter\ngent_x{9bad=\"v\"} 1\n", "bad label name"),
+            ("# TYPE gent_x widget\n", "unknown kind"),
+            ("# TYPE gent_x counter\n# TYPE gent_x counter\n", "duplicate TYPE"),
+            ("# TYPE gent_x counter\ngent_x 1 2 3\n", "trailing garbage"),
+            ("# TYPE 9bad counter\n", "bad family name"),
+        ] {
+            let e = parse_exposition(bad);
+            assert!(e.is_err(), "{why} must be rejected: {bad:?}");
+            assert!(e.unwrap_err().starts_with("line "), "{why} error names its line");
+        }
+    }
+
+    #[test]
+    fn real_registry_output_parses() {
+        // Round-trip against the actual encoder: everything gent-obs
+        // renders must satisfy this parser.
+        let reg = gent_obs::Registry::new();
+        reg.counter("gent_x_total", "Things.", &[("kind", "weird \"quoted\"\nname")]).add(7);
+        reg.gauge("gent_y", "Level.", &[]).set(-3);
+        let h = reg.histogram("gent_z_us", "Latency.", &[("op", "scan")], &[10, 100]);
+        h.observe(5);
+        h.observe(5_000);
+        let exp = parse_exposition(&reg.render_prometheus()).unwrap();
+        exp.require_families(&["gent_x_total", "gent_y", "gent_z_us"]).unwrap();
+        assert_eq!(exp.value("gent_x_total", &[("kind", "weird \"quoted\"\nname")]), Some(7.0));
+        assert_eq!(exp.value("gent_y", &[]), Some(-3.0));
+        assert_eq!(exp.value("gent_z_us_bucket", &[("op", "scan"), ("le", "+Inf")]), Some(2.0));
+        assert_eq!(exp.value("gent_z_us_count", &[("op", "scan")]), Some(2.0));
+    }
+}

@@ -67,7 +67,12 @@ pub fn record(name: &str, ms: f64, gate_ratio: Option<f64>) {
     if let Err(e) = std::fs::write(&path, rendered + "\n") {
         // Benches must not fail because the report is unwritable (e.g. a
         // read-only checkout); the console output still has the numbers.
-        eprintln!("BENCH_pipeline.json not written ({}): {e}", path.display());
+        gent_obs::log(
+            gent_obs::Level::Warn,
+            "gent_bench::report",
+            "BENCH_pipeline.json not written",
+            &[("path", path.display().to_string().into()), ("error", e.to_string().into())],
+        );
     }
 }
 
@@ -93,10 +98,16 @@ pub fn record_vs_baseline(name: &str, ms: f64) -> Option<f64> {
     if let Some(b) = baseline {
         let drift = (ms - b) / b.max(1e-9);
         if drift.abs() > BASELINE_DRIFT_WARN {
-            eprintln!(
-                "WARN: {name} drifted {:+.1}% vs the committed baseline \
-                 ({b:.3} ms → {ms:.3} ms); investigate or re-baseline deliberately",
-                drift * 100.0
+            gent_obs::log(
+                gent_obs::Level::Warn,
+                "gent_bench::report",
+                "bench drifted past the committed baseline; investigate or re-baseline deliberately",
+                &[
+                    ("bench", name.into()),
+                    ("drift_pct", (drift * 100.0).into()),
+                    ("baseline_ms", b.into()),
+                    ("ms", ms.into()),
+                ],
             );
         }
     }

@@ -61,7 +61,13 @@ USAGE:
                 build --suite tp-tr-small --out snap.gentlake [--seed 7] [--lsh]
                 stat  <snap.gentlake>
   gent serve    --lake snap.gentlake [--addr 127.0.0.1:7744] [--threads N] [--eager]
+                [--log-json] [--log-level error|warn|info|debug|trace|off]
   gent help
+
+LOGGING:
+  serve and reclaim emit structured JSON log lines on stderr. --log-json
+  turns them on at info level; --log-level picks the threshold explicitly
+  (the GENT_LOG environment variable is the fallback, default warn).
 
 A lake snapshot (`lake build`) persists the tables together with the
 inverted value index and optional LSH bands; `reclaim --lake` and
@@ -99,6 +105,27 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         }
         other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     }
+}
+
+/// Apply `--log-json` / `--log-level <name>` to the process-wide logger.
+///
+/// `--log-level` wins and accepts the same names as `GENT_LOG` (plus `off`);
+/// `--log-json` alone enables info-level JSON lines — without either flag
+/// the `GENT_LOG` default (warn) stands.
+fn apply_log_flags(p: &ParsedArgs) -> Result<(), CliError> {
+    match p.option("log-level") {
+        Some(name) => {
+            let level = gent_obs::Level::parse(name).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown --log-level `{name}` (try error, warn, info, debug, trace, off)"
+                ))
+            })?;
+            gent_obs::set_level(level);
+        }
+        None if p.flag("log-json") => gent_obs::set_level(Some(gent_obs::Level::Info)),
+        None => {}
+    }
+    Ok(())
 }
 
 /// Load every `.csv` in `dir` (sorted by filename for determinism).
@@ -157,7 +184,12 @@ fn cmd_stats(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 }
 
 fn cmd_reclaim(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    let p = ParsedArgs::parse(args, &["key", "out", "lake"], &["explain", "keyless", "normalize"])?;
+    let p = ParsedArgs::parse(
+        args,
+        &["key", "out", "lake", "log-level"],
+        &["explain", "keyless", "normalize", "log-json"],
+    )?;
+    apply_log_flags(&p)?;
     let source_path = Path::new(p.required(0, "source.csv")?);
 
     let lake = match p.option("lake") {
@@ -441,7 +473,9 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     use gent_store::{LakeSource, SnapshotFile};
     use std::time::Instant;
 
-    let p = ParsedArgs::parse(args, &["lake", "addr", "threads"], &["eager"])?;
+    let p =
+        ParsedArgs::parse(args, &["lake", "addr", "threads", "log-level"], &["eager", "log-json"])?;
+    apply_log_flags(&p)?;
     let snap = PathBuf::from(
         p.option("lake")
             .ok_or_else(|| CliError::Usage("serve requires --lake <snapshot>".into()))?,
@@ -516,6 +550,33 @@ mod tests {
         run(&["help".to_string()], &mut out).unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.contains("gent reclaim"));
+    }
+
+    #[test]
+    fn log_flags_set_level_and_reject_unknown_names() {
+        let p = ParsedArgs::parse(
+            &["--log-level".to_string(), "bogus".to_string()],
+            &["log-level"],
+            &["log-json"],
+        )
+        .unwrap();
+        let e = apply_log_flags(&p).unwrap_err();
+        assert!(matches!(e, CliError::Usage(m) if m.contains("bogus")));
+
+        let p =
+            ParsedArgs::parse(&["--log-json".to_string()], &["log-level"], &["log-json"]).unwrap();
+        apply_log_flags(&p).unwrap();
+        assert!(gent_obs::log_enabled(gent_obs::Level::Info));
+
+        let p = ParsedArgs::parse(
+            &["--log-level".to_string(), "off".to_string()],
+            &["log-level"],
+            &["log-json"],
+        )
+        .unwrap();
+        apply_log_flags(&p).unwrap();
+        assert!(!gent_obs::log_enabled(gent_obs::Level::Error));
+        gent_obs::set_level(Some(gent_obs::Level::Warn));
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod keyless;
 pub mod matrix;
 pub mod pipeline;
 pub mod round;
+pub(crate) mod telemetry;
 pub mod traversal;
 
 pub use batch::{summarize, BatchItem, BatchSummary};

@@ -111,7 +111,9 @@ impl GenT {
         if !source.schema().has_key() {
             return Err(GentError::SourceHasNoKey);
         }
+        let ins = crate::telemetry::instruments();
         let t0 = Instant::now();
+        let discovery_span = gent_obs::span_timed("discovery", ins.stage_discovery.clone());
         // First-stage retrieval only for large lakes (the TP-TR experiments
         // go straight to Set Similarity; SANTOS-Large/WDC need narrowing).
         let restrict: Option<Vec<usize>> = if lake.len() > self.config.first_stage_threshold {
@@ -129,9 +131,12 @@ impl GenT {
                 })
                 .collect::<Vec<_>>()
         });
-        let candidates =
-            set_similarity(lake, source, restrict.as_deref(), &self.config.set_similarity);
+        let candidates = {
+            let _span = gent_obs::span_timed("set_similarity", ins.stage_set_similarity.clone());
+            set_similarity(lake, source, restrict.as_deref(), &self.config.set_similarity)
+        };
         let discovery = t0.elapsed();
+        drop(discovery_span);
         let tables: Vec<Table> = candidates.into_iter().map(|c| c.table).collect();
         let mut result = self.reclaim_from_candidates(source, &tables)?;
         result.timings.discovery = discovery;
@@ -148,12 +153,23 @@ impl GenT {
         if !source.schema().has_key() {
             return Err(GentError::SourceHasNoKey);
         }
+        let ins = crate::telemetry::instruments();
+        ins.reclaims.inc();
         let t1 = Instant::now();
-        let outcome = matrix_traversal(source, candidates, &self.config);
+        let outcome = {
+            let _span = gent_obs::span_timed("traversal", ins.stage_traversal.clone());
+            matrix_traversal(source, candidates, &self.config)
+        };
         let traversal = t1.elapsed();
+        ins.rounds.add(u64::from(outcome.stats.rounds));
+        ins.rows_rescored.add(outcome.stats.rows_rescored);
+        ins.candidates_pruned.add(outcome.stats.candidates_pruned);
 
         let t2 = Instant::now();
-        let reclaimed = integrate(&outcome.originating, source, &self.config);
+        let reclaimed = {
+            let _span = gent_obs::span_timed("integration", ins.stage_integration.clone());
+            integrate(&outcome.originating, source, &self.config)
+        };
         let integration = t2.elapsed();
 
         let report = evaluate(source, &reclaimed);

@@ -62,7 +62,11 @@ pub fn matrix_traversal(
 ) -> TraversalOutcome {
     let key_names: Vec<&str> = source.schema().key_names();
     // Line 3: Expand() — join tables without the source key.
-    let expanded = expand(candidates, &key_names, cfg.expand_max_depth);
+    let expanded = {
+        let ins = crate::telemetry::instruments();
+        let _span = gent_obs::span_timed("expand", ins.stage_expand.clone());
+        expand(candidates, &key_names, cfg.expand_max_depth)
+    };
 
     // Line 4: MatrixInitialization().
     let mut tables: Vec<Table> = Vec::with_capacity(expanded.len());

@@ -1,0 +1,44 @@
+//! # gent-obs — unified observability for the Gen-T workspace
+//!
+//! Every other crate in the workspace links this one, so telemetry speaks
+//! one language end to end: the pipeline's stage spans, the store's decode
+//! gauges and the daemon's per-endpoint histograms all land in the same
+//! [`Registry`] and render through the same Prometheus text-exposition
+//! encoder behind the daemon's `GET /metrics`. Hand-rolled and std-only —
+//! the build image has no network, so like `gent-serve`'s HTTP layer this
+//! is the small, owned slice of `prometheus` + `tracing` the workspace
+//! actually needs.
+//!
+//! Three pieces (see `docs/observability.md` for the metric catalog and
+//! span hierarchy):
+//!
+//! * [`metrics`] — a process-global, lock-free **metrics registry**:
+//!   [`Counter`]s, [`Gauge`]s and log-bucket [`Histogram`]s registered by
+//!   static name + labels, rendered with
+//!   [`Registry::render_prometheus`]. Recording is relaxed atomics only;
+//!   registration (rare) takes a mutex.
+//! * [`trace`] — a lightweight **span facade**: RAII [`SpanGuard`]s with
+//!   monotonic timing and a thread-local span stack, plus per-request
+//!   trace IDs ([`set_trace_id`] / [`gen_trace_id`]) propagated from
+//!   `X-Request-Id` headers by the daemon.
+//! * the **JSON line logger** ([`log`]) — one JSON object per line to
+//!   stderr (or a test sink), level-filtered via `GENT_LOG` or
+//!   [`set_level`]; every line carries the installed trace ID and the open
+//!   span path.
+//!
+//! The whole layer can be switched off ([`set_enabled`]) — spans stop
+//! reading the clock — which is how the CI-gated `obs_overhead` bench
+//! proves instrumented traversal stays within 5% of uninstrumented.
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    enabled, registry, set_enabled, Counter, Gauge, Histogram, Registry, LATENCY_BOUNDS_US,
+};
+pub use trace::{
+    clear_sink, current_trace_id, gen_trace_id, log, log_enabled, set_level, set_sink,
+    set_trace_id, sink_to_string, span, span_path, span_timed, Level, SpanGuard, Value,
+};

@@ -1,0 +1,487 @@
+//! The process-global metrics registry: counters, gauges and log-bucket
+//! histograms registered by static name + labels, with a Prometheus
+//! text-exposition encoder.
+//!
+//! Registration takes a lock (it happens once per metric, usually behind a
+//! `OnceLock` at the call site); *recording* never does — every metric is a
+//! handful of relaxed atomics, so instruments sit on request and traversal
+//! hot paths without showing up in them (the CI-gated `obs_overhead` bench
+//! holds instrumented traversal within 5% of uninstrumented).
+//!
+//! ```
+//! use gent_obs::{registry, LATENCY_BOUNDS_US};
+//! let reqs = registry().counter("demo_requests_total", "requests answered", &[]);
+//! reqs.inc();
+//! let lat = registry().histogram(
+//!     "demo_latency_us", "request latency (µs)", &[("endpoint", "reclaim")],
+//!     LATENCY_BOUNDS_US,
+//! );
+//! lat.observe(250);
+//! let text = registry().render_prometheus();
+//! assert!(text.contains("demo_requests_total 1"));
+//! assert!(text.contains("demo_latency_us_bucket{endpoint=\"reclaim\",le=\"300\"} 1"));
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default upper bucket bounds for latency histograms, in microseconds
+/// (0.1 ms … 1 s); one implicit `+Inf` bucket follows. These are the exact
+/// bounds `gent-serve`'s per-endpoint histograms have always used, re-homed
+/// here so `/lake/stat` and `/metrics` share one source of truth.
+pub const LATENCY_BOUNDS_US: &[u64] =
+    &[100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000];
+
+/// Global kill switch for the recording hot paths. Spans and histogram
+/// observations short-circuit when disabled; the `obs_overhead` bench
+/// flips this to measure the instrumented-vs-uninstrumented delta.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable recording globally (spans stop reading the clock,
+/// histograms stop observing). Registration and rendering still work.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Is recording currently enabled?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A lock-free histogram over fixed upper bucket bounds (plus an implicit
+/// `+Inf` overflow bucket), tracking count, sum and max. Observation costs
+/// a few uncontended relaxed atomics. Values are plain `u64`s — the metric
+/// name carries the unit (the workspace convention is `_us` suffixes for
+/// microsecond latencies).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Box<[u64]>,
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// Build with the given upper bounds (must be strictly increasing).
+    pub fn new(bounds: &[u64]) -> Histogram {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. A value above every bound lands in the
+    /// `+Inf` bucket; the running sum saturates at `u64::MAX` instead of
+    /// wrapping, so even `observe(u64::MAX)` stays well-defined.
+    pub fn observe(&self, v: u64) {
+        let b = self.bounds.iter().position(|&bound| v <= bound).unwrap_or(self.bounds.len());
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Saturating atomic add: one CAS in the common case, still
+        // lock-free under contention.
+        let mut cur = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.sum.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration in microseconds ([`enabled`]-gated like spans).
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        if enabled() {
+            self.observe(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// The upper bounds this histogram was built with (no `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, one entry per bound plus the trailing `+Inf`
+    /// bucket. Non-cumulative (each observation appears in exactly one).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// What a registered metric actually is.
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    labels: Vec<(&'static str, String)>,
+    instrument: Instrument,
+}
+
+/// A collection of named metrics. The process-global instance is
+/// [`registry()`]; subsystems that need isolated series (e.g. one daemon
+/// instance per test) can hold their own.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = entries.iter().find(|e| e.name == name && labels_eq(&e.labels, labels)) {
+            return e.instrument.clone();
+        }
+        let instrument = make();
+        if let Some(prior) = entries.iter().find(|e| e.name == name) {
+            assert_eq!(
+                prior.instrument.kind(),
+                instrument.kind(),
+                "metric family `{name}` registered with two different kinds"
+            );
+        }
+        entries.push(Entry {
+            name,
+            help,
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
+            instrument: instrument.clone(),
+        });
+        instrument
+    }
+
+    /// Get or register a counter for `name` + `labels`.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        match self
+            .get_or_insert(name, help, labels, || Instrument::Counter(Arc::new(Counter::default())))
+        {
+            Instrument::Counter(c) => c,
+            other => panic!("`{name}` is already a {}", other.kind()),
+        }
+    }
+
+    /// Get or register a gauge for `name` + `labels`.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        match self
+            .get_or_insert(name, help, labels, || Instrument::Gauge(Arc::new(Gauge::default())))
+        {
+            Instrument::Gauge(g) => g,
+            other => panic!("`{name}` is already a {}", other.kind()),
+        }
+    }
+
+    /// Get or register a histogram for `name` + `labels` with the given
+    /// bucket bounds (a re-registration reuses the existing series and
+    /// ignores `bounds`).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Instrument::Histogram(h) => h,
+            other => panic!("`{name}` is already a {}", other.kind()),
+        }
+    }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` once per family, then one
+    /// sample line per series — histograms as cumulative `_bucket{le=…}`
+    /// series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        let mut seen: Vec<&'static str> = Vec::new();
+        for family in entries.iter().map(|e| e.name) {
+            if seen.contains(&family) {
+                continue;
+            }
+            seen.push(family);
+            let members: Vec<&Entry> = entries.iter().filter(|e| e.name == family).collect();
+            let head = members[0];
+            out.push_str(&format!("# HELP {family} {}\n", head.help));
+            out.push_str(&format!("# TYPE {family} {}\n", head.instrument.kind()));
+            for e in members {
+                match &e.instrument {
+                    Instrument::Counter(c) => {
+                        push_sample(&mut out, family, &e.labels, None, c.get() as f64);
+                    }
+                    Instrument::Gauge(g) => {
+                        push_sample(&mut out, family, &e.labels, None, g.get() as f64);
+                    }
+                    Instrument::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        let counts = h.bucket_counts();
+                        for (i, n) in counts.iter().enumerate() {
+                            cumulative += n;
+                            let le = match h.bounds().get(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            push_bucket(&mut out, family, &e.labels, &le, cumulative);
+                        }
+                        push_sample(&mut out, family, &e.labels, Some("_sum"), h.sum() as f64);
+                        push_sample(&mut out, family, &e.labels, Some("_count"), h.count() as f64);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn labels_eq(have: &[(&'static str, String)], want: &[(&'static str, &str)]) -> bool {
+    have.len() == want.len()
+        && have.iter().zip(want).all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+fn render_labels(labels: &[(&'static str, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn push_sample(
+    out: &mut String,
+    family: &str,
+    labels: &[(&'static str, String)],
+    suffix: Option<&str>,
+    value: f64,
+) {
+    let rendered = if value.fract() == 0.0 && value.abs() < 9e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    };
+    out.push_str(&format!(
+        "{family}{}{} {rendered}\n",
+        suffix.unwrap_or(""),
+        render_labels(labels, None)
+    ));
+}
+
+fn push_bucket(
+    out: &mut String,
+    family: &str,
+    labels: &[(&'static str, String)],
+    le: &str,
+    cumulative: u64,
+) {
+    out.push_str(&format!(
+        "{family}_bucket{} {cumulative}\n",
+        render_labels(labels, Some(("le", le)))
+    ));
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The process-global registry. Core pipeline and store metrics land here;
+/// `gent-serve` renders it (appended to its per-daemon registry) under
+/// `GET /metrics`.
+pub fn registry() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("t_total", "h", &[]);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = r.gauge("t_gauge", "h", &[]);
+        g.set(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+        // Re-registration returns the same instrument.
+        assert_eq!(r.counter("t_total", "h", &[]).get(), 5);
+    }
+
+    #[test]
+    fn labels_separate_series_within_a_family() {
+        let r = Registry::new();
+        let a = r.counter("reqs_total", "h", &[("ep", "a")]);
+        let b = r.counter("reqs_total", "h", &[("ep", "b")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 1);
+        assert_eq!(b.get(), 2);
+        let text = r.render_prometheus();
+        assert!(text.contains("reqs_total{ep=\"a\"} 1\n"), "{text}");
+        assert!(text.contains("reqs_total{ep=\"b\"} 2\n"), "{text}");
+        // HELP/TYPE once per family.
+        assert_eq!(text.matches("# TYPE reqs_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "h", &[], &[10, 100]);
+        h.observe(5);
+        h.observe(50);
+        h.observe(5000);
+        let text = r.render_prometheus();
+        assert!(text.contains("lat_us_bucket{le=\"10\"} 1\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"100\"} 2\n"), "{text}");
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("lat_us_sum 5055\n"), "{text}");
+        assert!(text.contains("lat_us_count 3\n"), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("esc_total", "h", &[("path", "a\"b\\c\nd")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains(r#"esc_total{path="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn disable_gates_duration_observations() {
+        let h = Histogram::new(LATENCY_BOUNDS_US);
+        set_enabled(false);
+        h.observe_duration(std::time::Duration::from_millis(1));
+        set_enabled(true);
+        assert_eq!(h.count(), 0, "disabled recording must be a no-op");
+        h.observe_duration(std::time::Duration::from_millis(1));
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -1,0 +1,444 @@
+//! The span/tracing facade and the structured JSON line logger.
+//!
+//! * **Trace IDs** — a per-request correlation handle. The daemon takes it
+//!   from an `X-Request-Id` header (or generates one), installs it on the
+//!   handling thread with [`set_trace_id`], and every log line emitted
+//!   while it is installed carries it. IDs are plain strings so client-
+//!   provided handles survive verbatim; [`gen_trace_id`] makes fresh ones.
+//! * **Spans** — [`span`] returns an RAII guard that pushes the span name
+//!   onto a thread-local stack and, on drop, records the monotonic elapsed
+//!   time (optionally into a [`Histogram`]) and emits a `Debug`-level log
+//!   line. When recording is disabled ([`crate::set_enabled`]) a span is a
+//!   no-op that never reads the clock.
+//! * **Logs** — [`log`] writes one JSON object per line, level-filtered.
+//!   The level comes from `GENT_LOG` (`error|warn|info|debug|trace|off`,
+//!   default `warn`) or [`set_level`]; output goes to stderr unless a test
+//!   sink is installed with [`set_sink`].
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::metrics::{enabled, Histogram};
+
+// ---------------------------------------------------------------- levels --
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-affecting problems.
+    Error,
+    /// Suspicious but survivable (the default threshold).
+    Warn,
+    /// Request-level lifecycle events.
+    Info,
+    /// Span timings and per-stage detail.
+    Debug,
+    /// Everything.
+    Trace,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a `GENT_LOG`-style level name. `off`/`none` yield `None`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            "off" | "none" => Some(None),
+            _ => None,
+        }
+    }
+}
+
+/// Encoded threshold: 0 = off, else Level as u8 + 1.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX); // MAX = "uninitialised"
+
+fn encode(level: Option<Level>) -> u8 {
+    match level {
+        None => 0,
+        Some(l) => l as u8 + 1,
+    }
+}
+
+fn threshold() -> u8 {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    if raw != u8::MAX {
+        return raw;
+    }
+    // First use: initialise from GENT_LOG (default: warn).
+    let from_env =
+        std::env::var("GENT_LOG").ok().and_then(|v| Level::parse(&v)).unwrap_or(Some(Level::Warn));
+    let encoded = encode(from_env);
+    MAX_LEVEL.store(encoded, Ordering::Relaxed);
+    encoded
+}
+
+/// Set the level threshold programmatically (`None` disables logging).
+/// Overrides `GENT_LOG`.
+pub fn set_level(level: Option<Level>) {
+    MAX_LEVEL.store(encode(level), Ordering::Relaxed);
+}
+
+/// Would a record at `level` currently be emitted? Callers with expensive
+/// fields should guard on this.
+pub fn log_enabled(level: Level) -> bool {
+    // Threshold 0 = off; otherwise it holds `Level as u8 + 1`.
+    (level as u8) < threshold()
+}
+
+// ----------------------------------------------------------------- sinks --
+
+type Sink = Arc<Mutex<Vec<u8>>>;
+
+fn sink_slot() -> &'static Mutex<Option<Sink>> {
+    static SLOT: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Install a capture buffer in place of stderr; returns the shared handle
+/// the test can read back. Call [`clear_sink`] when done.
+pub fn set_sink() -> Sink {
+    let sink: Sink = Arc::new(Mutex::new(Vec::new()));
+    *sink_slot().lock().unwrap_or_else(|e| e.into_inner()) = Some(sink.clone());
+    sink
+}
+
+/// Restore stderr output.
+pub fn clear_sink() {
+    *sink_slot().lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Drain an installed sink's bytes as UTF-8 (test helper).
+pub fn sink_to_string(sink: &Sink) -> String {
+    String::from_utf8_lossy(&sink.lock().unwrap_or_else(|e| e.into_inner())).into_owned()
+}
+
+// -------------------------------------------------------------- trace id --
+
+thread_local! {
+    static TRACE_ID: RefCell<Option<String>> = const { RefCell::new(None) };
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Install `id` as the current thread's trace ID (None clears it). Returns
+/// the previous value so nested scopes can restore it.
+pub fn set_trace_id(id: Option<String>) -> Option<String> {
+    TRACE_ID.with(|t| std::mem::replace(&mut *t.borrow_mut(), id))
+}
+
+/// The trace ID installed on this thread, if any.
+pub fn current_trace_id() -> Option<String> {
+    TRACE_ID.with(|t| t.borrow().clone())
+}
+
+/// Generate a fresh 16-hex-digit trace ID: wall-clock nanoseconds mixed
+/// (splitmix64) with a process-wide counter, so concurrent threads cannot
+/// collide even within one clock tick.
+pub fn gen_trace_id() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let nanos =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_nanos() as u64).unwrap_or(0);
+    let mut z = nanos ^ SEQ.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    format!("{:016x}", z ^ (z >> 31))
+}
+
+// ----------------------------------------------------------------- spans --
+
+/// An RAII span guard from [`span`] / [`span_timed`]: pops the span stack
+/// and records its elapsed time on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    histogram: Option<Arc<Histogram>>,
+}
+
+/// Open a span named `name`. While the guard lives, `name` sits on the
+/// thread's span stack (rendered innermost-last in log lines); dropping it
+/// emits a `Debug`-level line with the elapsed microseconds. A no-op when
+/// recording is disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    span_inner(name, None)
+}
+
+/// Like [`span`], but the elapsed time is also observed into `histogram`
+/// (in microseconds) on drop — the pipeline's stage histograms are fed
+/// this way.
+pub fn span_timed(name: &'static str, histogram: Arc<Histogram>) -> SpanGuard {
+    span_inner(name, Some(histogram))
+}
+
+fn span_inner(name: &'static str, histogram: Option<Arc<Histogram>>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name, start: None, histogram: None };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard { name, start: Some(Instant::now()), histogram }
+}
+
+impl SpanGuard {
+    /// Elapsed time since the span opened (zero when disabled).
+    pub fn elapsed(&self) -> Duration {
+        self.start.map(|t| t.elapsed()).unwrap_or(Duration::ZERO)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if stack.last() == Some(&self.name) {
+                stack.pop();
+            }
+        });
+        if let Some(h) = &self.histogram {
+            h.observe(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        }
+        if log_enabled(Level::Debug) {
+            log(
+                Level::Debug,
+                "span",
+                self.name,
+                &[("elapsed_us", Value::U64(elapsed.as_micros() as u64))],
+            );
+        }
+    }
+}
+
+/// The current span path, innermost last, joined with `>` (empty when no
+/// span is open).
+pub fn span_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join(">"))
+}
+
+// ------------------------------------------------------------------ logs --
+
+/// A structured log field value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A string.
+    Str(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::U64(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::I64(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::F64(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+/// Emit one structured JSON log line (if `level` passes the filter):
+/// `{"ts_us":…,"level":…,"target":…,"msg":…,"trace_id":…,"span":…,…fields}`.
+/// `trace_id` and `span` appear only when present. Output goes to stderr,
+/// or to the sink installed by [`set_sink`].
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    let ts_us =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0);
+    let mut line = String::with_capacity(128);
+    line.push_str(&format!(
+        "{{\"ts_us\":{ts_us},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+        level.as_str(),
+        escape_json(target),
+        escape_json(msg)
+    ));
+    if let Some(id) = current_trace_id() {
+        line.push_str(&format!(",\"trace_id\":\"{}\"", escape_json(&id)));
+    }
+    let path = span_path();
+    if !path.is_empty() {
+        line.push_str(&format!(",\"span\":\"{}\"", escape_json(&path)));
+    }
+    for (k, v) in fields {
+        line.push_str(&format!(",\"{}\":", escape_json(k)));
+        match v {
+            Value::Str(s) => line.push_str(&format!("\"{}\"", escape_json(s))),
+            Value::U64(n) => line.push_str(&n.to_string()),
+            Value::I64(n) => line.push_str(&n.to_string()),
+            Value::F64(n) if n.is_finite() => line.push_str(&n.to_string()),
+            Value::F64(_) => line.push_str("null"),
+            Value::Bool(b) => line.push_str(if *b { "true" } else { "false" }),
+        }
+    }
+    line.push_str("}\n");
+
+    let slot = sink_slot().lock().unwrap_or_else(|e| e.into_inner());
+    match &*slot {
+        Some(sink) => {
+            sink.lock().unwrap_or_else(|e| e.into_inner()).extend_from_slice(line.as_bytes());
+        }
+        None => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Logger state (level, sink) is process-global, so every test that
+    /// touches it runs under this lock.
+    fn logger_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("debug"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("OFF"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn trace_ids_are_unique_and_hex() {
+        let a = gen_trace_id();
+        let b = gen_trace_id();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 16);
+        assert!(a.bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn span_stack_nests_and_pops() {
+        let _g = logger_lock();
+        set_level(None);
+        assert_eq!(span_path(), "");
+        let outer = span("request");
+        {
+            let _inner = span("traversal");
+            assert_eq!(span_path(), "request>traversal");
+        }
+        assert_eq!(span_path(), "request");
+        drop(outer);
+        assert_eq!(span_path(), "");
+    }
+
+    #[test]
+    fn span_feeds_histogram() {
+        let _g = logger_lock();
+        set_level(None);
+        let h = Arc::new(Histogram::new(&[1_000_000]));
+        {
+            let _s = span_timed("stage", h.clone());
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn log_lines_are_json_with_trace_id() {
+        let _g = logger_lock();
+        let sink = set_sink();
+        set_level(Some(Level::Info));
+        let prev = set_trace_id(Some("deadbeefcafef00d".into()));
+        log(
+            Level::Info,
+            "http",
+            "request",
+            &[("status", Value::U64(200)), ("path", Value::from("/reclaim"))],
+        );
+        log(Level::Debug, "http", "filtered out", &[]);
+        set_trace_id(prev);
+        set_level(None);
+        clear_sink();
+        let text = sink_to_string(&sink);
+        assert_eq!(text.lines().count(), 1, "debug line must be filtered: {text}");
+        assert!(text.contains("\"trace_id\":\"deadbeefcafef00d\""), "{text}");
+        assert!(text.contains("\"status\":200"), "{text}");
+        assert!(text.contains("\"path\":\"/reclaim\""), "{text}");
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'), "{text}");
+    }
+
+    #[test]
+    fn escaping_survives_hostile_strings() {
+        assert_eq!(escape_json("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn disabled_spans_never_touch_the_stack() {
+        let _g = logger_lock();
+        set_level(None);
+        crate::set_enabled(false);
+        let s = span("ghost");
+        assert_eq!(span_path(), "");
+        assert_eq!(s.elapsed(), Duration::ZERO);
+        drop(s);
+        crate::set_enabled(true);
+    }
+}

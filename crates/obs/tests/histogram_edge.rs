@@ -1,0 +1,102 @@
+//! Edge behavior of the log-bucket histogram: zero-duration observations,
+//! `u64::MAX`, exact bucket-boundary values, and concurrent recording from
+//! N threads summing exactly (vendored crossbeam scoped threads — no loom
+//! needed: the instrument is plain relaxed atomics plus one CAS loop).
+
+use gent_obs::{Histogram, LATENCY_BOUNDS_US};
+
+#[test]
+fn zero_duration_lands_in_the_first_bucket() {
+    let h = Histogram::new(LATENCY_BOUNDS_US);
+    h.observe(0);
+    let counts = h.bucket_counts();
+    assert_eq!(counts[0], 1, "{counts:?}");
+    assert_eq!(counts.iter().sum::<u64>(), 1, "exactly one bucket hit");
+    assert_eq!((h.count(), h.sum(), h.max()), (1, 0, 0));
+}
+
+#[test]
+fn u64_max_lands_in_inf_and_sum_saturates() {
+    let h = Histogram::new(LATENCY_BOUNDS_US);
+    h.observe(u64::MAX);
+    h.observe(u64::MAX);
+    let counts = h.bucket_counts();
+    assert_eq!(*counts.last().unwrap(), 2, "+Inf bucket: {counts:?}");
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+    assert_eq!(h.max(), u64::MAX);
+}
+
+#[test]
+fn boundary_values_are_inclusive_upper_bounds() {
+    // `le` semantics: a value exactly equal to a bound belongs to that
+    // bound's bucket; one past it belongs to the next.
+    let h = Histogram::new(&[10, 100, 1000]);
+    h.observe(10);
+    h.observe(11);
+    h.observe(100);
+    h.observe(101);
+    h.observe(1000);
+    h.observe(1001);
+    assert_eq!(h.bucket_counts(), vec![1, 2, 2, 1]);
+    assert_eq!(h.count(), 6);
+}
+
+#[test]
+fn empty_histogram_reports_zeroes() {
+    let h = Histogram::new(&[1, 2, 3]);
+    assert_eq!((h.count(), h.sum(), h.max()), (0, 0, 0));
+    assert!(h.bucket_counts().iter().all(|&c| c == 0));
+}
+
+#[test]
+fn concurrent_recording_sums_exactly() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let h = Histogram::new(LATENCY_BOUNDS_US);
+    crossbeam::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move |_| {
+                for i in 0..PER_THREAD {
+                    // Spread observations across every bucket, including
+                    // the boundaries and +Inf.
+                    let v = match i % 4 {
+                        0 => 0,
+                        1 => LATENCY_BOUNDS_US[(i as usize / 4) % LATENCY_BOUNDS_US.len()],
+                        2 => i,
+                        _ => 2_000_000 + t * i,
+                    };
+                    h.observe(v);
+                }
+            });
+        }
+    })
+    .expect("no panics");
+
+    let total = THREADS * PER_THREAD;
+    assert_eq!(h.count(), total, "no observation lost");
+    assert_eq!(
+        h.bucket_counts().iter().sum::<u64>(),
+        total,
+        "every observation lands in exactly one bucket"
+    );
+    // The sum must equal a sequential replay exactly (relaxed atomics lose
+    // no adds; ordering does not matter for commutative sums).
+    let mut expect_sum = 0u64;
+    let mut expect_max = 0u64;
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            let v = match i % 4 {
+                0 => 0,
+                1 => LATENCY_BOUNDS_US[(i as usize / 4) % LATENCY_BOUNDS_US.len()],
+                2 => i,
+                _ => 2_000_000 + t * i,
+            };
+            expect_sum = expect_sum.saturating_add(v);
+            expect_max = expect_max.max(v);
+        }
+    }
+    assert_eq!(h.sum(), expect_sum);
+    assert_eq!(h.max(), expect_max);
+}

@@ -301,19 +301,29 @@ fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
     }
 }
 
-/// A response ready to be written; the body is always JSON.
+/// A response ready to be written; the body is JSON unless an explicit
+/// `Content-Type` header says otherwise (the `/metrics` exposition).
 #[derive(Debug, Clone)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// JSON body text.
+    /// Body text.
     pub body: String,
+    /// Extra headers (name, value). A `Content-Type` entry here overrides
+    /// the default `application/json`.
+    pub headers: Vec<(String, String)>,
 }
 
 impl Response {
     /// A 200 with the given JSON body.
     pub fn ok(body: String) -> Response {
-        Response { status: 200, body }
+        Response { status: 200, body, headers: Vec::new() }
+    }
+
+    /// Append a header (builder-style).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
     }
 
     /// The standard reason phrase for the status.
@@ -342,11 +352,18 @@ impl Response {
     /// The advertisement must match what the server actually does — a
     /// keep-alive client decides whether to reuse the socket from it.
     pub fn write_with(&self, out: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let has_content_type =
+            self.headers.iter().any(|(n, _)| n.eq_ignore_ascii_case("content-type"));
+        write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason())?;
+        if !has_content_type {
+            write!(out, "Content-Type: application/json\r\n")?;
+        }
+        for (name, value) in &self.headers {
+            write!(out, "{name}: {value}\r\n")?;
+        }
         write!(
             out,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-            self.status,
-            self.reason(),
+            "Content-Length: {}\r\nConnection: {}\r\n\r\n",
             self.body.len(),
             if keep_alive { "keep-alive" } else { "close" }
         )?;
@@ -436,7 +453,7 @@ mod tests {
         for (status, phrase) in
             [(200, "OK"), (400, "Bad Request"), (404, "Not Found"), (405, "Method Not Allowed")]
         {
-            assert_eq!(Response { status, body: String::new() }.reason(), phrase);
+            assert_eq!(Response { status, body: String::new(), headers: vec![] }.reason(), phrase);
         }
     }
 }

@@ -25,13 +25,26 @@
 //! | Endpoint | Body | Answer |
 //! |---|---|---|
 //! | `GET /healthz` | — | liveness, uptime, request count |
-//! | `GET /lake/stat` | — | table/row/index counts of the warm lake |
+//! | `GET /lake/stat` | — | table/row/index counts + latency histograms of the warm lake |
+//! | `GET /metrics` | — | Prometheus text exposition (pipeline, store and HTTP metrics) |
 //! | `POST /reclaim` | `{"source": {...}}` or `{"source_name": "t"}` | metrics + reclaimed table + originating tables |
 //!
 //! Errors are structured: every 4xx/5xx body is
-//! `{"error": {"kind": "...", "message": "..."}}`, and no client input can
-//! kill the daemon (malformed HTTP, bad JSON, truncated bodies and panicking
-//! handlers all map to error responses).
+//! `{"error": {"kind": "...", "message": "...", "trace_id": "..."}}`, and no
+//! client input can kill the daemon (malformed HTTP, bad JSON, truncated
+//! bodies and panicking handlers all map to error responses).
+//!
+//! ## Observability
+//!
+//! Every response carries an `X-Request-Id` header — propagated from the
+//! client's header when it sent a well-formed one, generated otherwise —
+//! and the same ID tags the daemon's structured JSON log line for the
+//! request (enable with `GENT_LOG=info` or `gent serve --log-level info`).
+//! Instruments live in a per-service `gent_obs::Registry` (per-endpoint
+//! request/error counters, in-flight gauges, latency histograms,
+//! connection/keep-alive/queue-depth stats) rendered by `GET /metrics`
+//! together with the process-global registry (pipeline stage histograms,
+//! store open metrics). See `docs/observability.md` for the full catalog.
 //!
 //! Connections close after one exchange by default; clients that send
 //! `Connection: keep-alive` may reuse the socket for up to

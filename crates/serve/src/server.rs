@@ -140,17 +140,25 @@ impl Server {
         let Server { listener, service, threads, read_timeout, shutdown } = self;
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(QUEUE_DEPTH);
         let rx = Arc::new(Mutex::new(rx));
+        // The queue-depth gauge brackets the channel: incremented when the
+        // accept loop enqueues a connection, decremented when a worker
+        // dequeues it — `/metrics` shows how far behind the pool is.
+        let queue_depth = Arc::clone(&service.http_metrics().queue_depth);
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 let rx = Arc::clone(&rx);
                 let service = Arc::clone(&service);
+                let queue_depth = Arc::clone(&queue_depth);
                 scope.spawn(move |_| loop {
                     // Take the receiver lock only to pull the next job, so
                     // idle workers queue on the channel, not on each other.
                     let next = rx.lock().recv();
                     match next {
-                        Ok(stream) => serve_connection(&service, stream, read_timeout),
+                        Ok(stream) => {
+                            queue_depth.dec();
+                            serve_connection(&service, stream, read_timeout)
+                        }
                         Err(_) => break, // accept loop gone: drain done
                     }
                 });
@@ -162,7 +170,9 @@ impl Server {
                 }
                 match conn {
                     Ok(stream) => {
+                        queue_depth.inc();
                         if tx.send(stream).is_err() {
+                            queue_depth.dec();
                             break;
                         }
                     }
@@ -189,6 +199,7 @@ impl Server {
 /// for clients that asked for `Connection: keep-alive`, and never past
 /// [`MAX_REQUESTS_PER_CONNECTION`].
 fn serve_connection(service: &LakeService, stream: TcpStream, read_timeout: Duration) {
+    service.http_metrics().connections.inc();
     let _ = stream.set_write_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
     // One BufReader for the connection's whole life (read-ahead bytes may
@@ -218,6 +229,9 @@ fn serve_connection(service: &LakeService, stream: TcpStream, read_timeout: Dura
         // socket teardown, not an error: nothing to answer, nothing to log.
         if matches!(request, Err(HttpError::ConnectionClosed)) {
             return;
+        }
+        if served > 1 && request.is_ok() {
+            service.http_metrics().keepalive_reuses.inc();
         }
         // Keep the socket only for well-formed requests that asked for it —
         // after a read error the stream's framing can't be trusted.

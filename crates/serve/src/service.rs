@@ -10,10 +10,12 @@
 use std::borrow::Cow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Instant;
 
 use gent_core::{GenT, GenTConfig};
 use gent_discovery::{DataLake, LshEnsembleIndex};
+use gent_obs::{Counter, Gauge, Histogram, Registry, LATENCY_BOUNDS_US};
 use gent_store::{LoadedLake, LshSlot, StoreError};
 use gent_table::key::ensure_key;
 use gent_table::Table;
@@ -21,98 +23,178 @@ use gent_table::Table;
 use crate::http::{HttpError, Request, Response};
 use crate::json::Json;
 
-/// Upper bucket bounds of the per-endpoint latency histograms, in
-/// microseconds (0.1 ms … 1 s); one implicit `+inf` bucket follows.
-const LATENCY_BOUNDS_US: [u64; 9] =
-    [100, 300, 1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000];
-
-/// A lock-free latency histogram: log-spaced buckets, count, sum and max,
-/// all relaxed atomics — observation costs a few uncontended adds, so it
-/// sits on the request path without showing up in it.
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
-    count: AtomicU64,
-    total_us: AtomicU64,
-    max_us: AtomicU64,
+/// Per-endpoint instruments: request/error counters, an in-flight gauge,
+/// and the latency histogram that backs **both** views — the `/lake/stat`
+/// JSON rendering ([`latency_json`]) and the Prometheus exposition behind
+/// `GET /metrics`. One `gent_obs::Histogram` per endpoint is the single
+/// source of truth, so the two views cannot drift (pinned by the
+/// `stat_and_metrics_views_agree` regression test).
+#[derive(Debug)]
+struct EndpointMetrics {
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+    latency: Arc<Histogram>,
 }
 
-impl LatencyHistogram {
-    fn observe(&self, d: Duration) {
-        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
-        let b = LATENCY_BOUNDS_US
-            .iter()
-            .position(|&bound| us <= bound)
-            .unwrap_or(LATENCY_BOUNDS_US.len());
-        self.buckets[b].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Observations recorded so far.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Render for `/lake/stat`: count, mean/max, and cumulative-style
-    /// buckets (`le_ms` upper bounds, `"+inf"` for the overflow bucket).
-    fn to_json(&self) -> Json {
-        let count = self.count();
-        let total_us = self.total_us.load(Ordering::Relaxed);
-        let mean_ms = if count == 0 { 0.0 } else { total_us as f64 / count as f64 / 1e3 };
-        let buckets: Vec<Json> = self
-            .buckets
-            .iter()
-            .enumerate()
-            .map(|(i, b)| {
-                let le = match LATENCY_BOUNDS_US.get(i) {
-                    Some(&us) => Json::Float(us as f64 / 1e3),
-                    None => Json::str("+inf"),
-                };
-                Json::Object(vec![
-                    ("le_ms".into(), le),
-                    ("count".into(), Json::Int(b.load(Ordering::Relaxed) as i64)),
-                ])
-            })
-            .collect();
-        Json::Object(vec![
-            ("count".into(), Json::Int(count as i64)),
-            ("mean_ms".into(), Json::Float(mean_ms)),
-            ("max_ms".into(), Json::Float(self.max_us.load(Ordering::Relaxed) as f64 / 1e3)),
-            ("buckets".into(), Json::Array(buckets)),
-        ])
+impl EndpointMetrics {
+    fn new(reg: &Registry, endpoint: &'static str) -> EndpointMetrics {
+        let labels: &[(&'static str, &str)] = &[("endpoint", endpoint)];
+        EndpointMetrics {
+            requests: reg.counter(
+                "gent_http_requests_total",
+                "Requests answered, by endpoint",
+                labels,
+            ),
+            errors: reg.counter(
+                "gent_http_errors_total",
+                "Requests answered with a 4xx/5xx status, by endpoint",
+                labels,
+            ),
+            in_flight: reg.gauge(
+                "gent_http_in_flight",
+                "Requests currently being handled, by endpoint",
+                labels,
+            ),
+            latency: reg.histogram(
+                "gent_http_request_duration_us",
+                "Wall-clock time answering requests (microseconds), by endpoint",
+                labels,
+                LATENCY_BOUNDS_US,
+            ),
+        }
     }
 }
 
-/// One histogram per endpoint (plus a catch-all for read errors, bad
-/// methods and unknown paths).
-#[derive(Debug, Default)]
-struct EndpointLatency {
-    healthz: LatencyHistogram,
-    lake_stat: LatencyHistogram,
-    reclaim: LatencyHistogram,
-    other: LatencyHistogram,
+/// The daemon's HTTP metrics, registered in a **service-owned**
+/// [`Registry`]: every [`LakeService`] gets its own, so concurrent daemons
+/// in one process (the test suite boots several) never pool counts.
+/// `GET /metrics` renders this registry after the process-global one
+/// (pipeline stages, store opens), giving one exposition for the whole
+/// daemon.
+#[derive(Debug)]
+pub(crate) struct HttpMetrics {
+    registry: Registry,
+    healthz: EndpointMetrics,
+    lake_stat: EndpointMetrics,
+    reclaim: EndpointMetrics,
+    metrics: EndpointMetrics,
+    other: EndpointMetrics,
+    /// `gent_http_connections_total` — TCP connections served.
+    pub(crate) connections: Arc<Counter>,
+    /// `gent_http_keepalive_reuses_total` — requests after the first on a
+    /// kept-alive connection.
+    pub(crate) keepalive_reuses: Arc<Counter>,
+    /// `gent_http_queue_depth` — accepted connections waiting for a worker.
+    pub(crate) queue_depth: Arc<Gauge>,
+    // Lake-decode state, sampled at scrape time (the gauges cost nothing
+    // between scrapes and `/metrics` already touches the lake's metadata).
+    tables_decoded: Arc<Gauge>,
+    tables_total: Arc<Gauge>,
+    lsh_decoded: Arc<Gauge>,
+    uptime_seconds: Arc<Gauge>,
 }
 
-impl EndpointLatency {
-    fn for_path(&self, path: Option<&str>) -> &LatencyHistogram {
+impl HttpMetrics {
+    fn new() -> HttpMetrics {
+        let reg = Registry::new();
+        HttpMetrics {
+            healthz: EndpointMetrics::new(&reg, "healthz"),
+            lake_stat: EndpointMetrics::new(&reg, "lake_stat"),
+            reclaim: EndpointMetrics::new(&reg, "reclaim"),
+            metrics: EndpointMetrics::new(&reg, "metrics"),
+            other: EndpointMetrics::new(&reg, "other"),
+            connections: reg.counter(
+                "gent_http_connections_total",
+                "TCP connections served by the daemon",
+                &[],
+            ),
+            keepalive_reuses: reg.counter(
+                "gent_http_keepalive_reuses_total",
+                "Requests served after the first on a kept-alive connection",
+                &[],
+            ),
+            queue_depth: reg.gauge(
+                "gent_http_queue_depth",
+                "Accepted connections waiting for a worker thread",
+                &[],
+            ),
+            tables_decoded: reg.gauge(
+                "gent_lake_tables_decoded",
+                "Lake tables whose cells have been materialized",
+                &[],
+            ),
+            tables_total: reg.gauge("gent_lake_tables_total", "Tables in the warm lake", &[]),
+            lsh_decoded: reg.gauge(
+                "gent_lake_lsh_decoded",
+                "1 once the snapshot's LSH bands have been decoded",
+                &[],
+            ),
+            uptime_seconds: reg.gauge(
+                "gent_uptime_seconds",
+                "Seconds since the service was constructed",
+                &[],
+            ),
+            registry: reg,
+        }
+    }
+
+    fn for_path(&self, path: Option<&str>) -> &EndpointMetrics {
         match path {
             Some("/healthz") => &self.healthz,
             Some("/lake/stat") => &self.lake_stat,
             Some("/reclaim") => &self.reclaim,
+            Some("/metrics") => &self.metrics,
             _ => &self.other,
         }
     }
 
-    fn to_json(&self) -> Json {
+    /// The `/lake/stat` latency block: the original four endpoints, in the
+    /// original JSON shape (clients predate `/metrics` and parse this).
+    fn latency_json(&self) -> Json {
         Json::Object(vec![
-            ("healthz".into(), self.healthz.to_json()),
-            ("lake_stat".into(), self.lake_stat.to_json()),
-            ("reclaim".into(), self.reclaim.to_json()),
-            ("other".into(), self.other.to_json()),
+            ("healthz".into(), latency_json(&self.healthz.latency)),
+            ("lake_stat".into(), latency_json(&self.lake_stat.latency)),
+            ("reclaim".into(), latency_json(&self.reclaim.latency)),
+            ("other".into(), latency_json(&self.other.latency)),
         ])
     }
+}
+
+/// Render one latency histogram in the `/lake/stat` wire shape: count,
+/// mean/max in milliseconds, and per-bucket counts with `le_ms` upper
+/// bounds (`"+inf"` for the overflow bucket) — byte-identical to the
+/// pre-`gent-obs` `LatencyHistogram::to_json`.
+fn latency_json(h: &Histogram) -> Json {
+    let count = h.count();
+    let mean_ms = if count == 0 { 0.0 } else { h.sum() as f64 / count as f64 / 1e3 };
+    let buckets: Vec<Json> = h
+        .bucket_counts()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let le = match h.bounds().get(i) {
+                Some(&us) => Json::Float(us as f64 / 1e3),
+                None => Json::str("+inf"),
+            };
+            Json::Object(vec![("le_ms".into(), le), ("count".into(), Json::Int(c as i64))])
+        })
+        .collect();
+    Json::Object(vec![
+        ("count".into(), Json::Int(count as i64)),
+        ("mean_ms".into(), Json::Float(mean_ms)),
+        ("max_ms".into(), Json::Float(h.max() as f64 / 1e3)),
+        ("buckets".into(), Json::Array(buckets)),
+    ])
+}
+
+/// Is `id` acceptable as a client-supplied `X-Request-Id`? Bounded and
+/// shell/log-safe: 1–64 ASCII alphanumerics, `-` or `_`. Anything else is
+/// replaced by a generated ID rather than echoed back verbatim.
+fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
 }
 
 /// An API failure: an HTTP status plus a machine-readable error kind.
@@ -131,16 +213,21 @@ impl ApiError {
         ApiError { status, kind, message: message.into() }
     }
 
-    /// Render as the wire-format error response.
+    /// Render as the wire-format error response. When a trace ID is
+    /// installed (every request handled through [`LakeService::respond`]
+    /// installs one), the error body carries it too, so a client that
+    /// discarded the `X-Request-Id` header can still correlate the failure
+    /// with the daemon's logs.
     pub fn to_response(&self) -> Response {
-        let body = Json::Object(vec![(
-            "error".into(),
-            Json::Object(vec![
-                ("kind".into(), Json::str(self.kind)),
-                ("message".into(), Json::str(self.message.clone())),
-            ]),
-        )]);
-        Response { status: self.status, body: body.render() }
+        let mut error = vec![
+            ("kind".into(), Json::str(self.kind)),
+            ("message".into(), Json::str(self.message.clone())),
+        ];
+        if let Some(id) = gent_obs::current_trace_id() {
+            error.push(("trace_id".into(), Json::str(id)));
+        }
+        let body = Json::Object(vec![("error".into(), Json::Object(error))]);
+        Response { status: self.status, body: body.render(), headers: Vec::new() }
     }
 }
 
@@ -157,7 +244,7 @@ pub struct LakeService {
     total_cols: u64,
     started: Instant,
     served: AtomicU64,
-    latency: EndpointLatency,
+    metrics: HttpMetrics,
 }
 
 impl LakeService {
@@ -178,8 +265,14 @@ impl LakeService {
             total_cols,
             started: Instant::now(),
             served: AtomicU64::new(0),
-            latency: EndpointLatency::default(),
+            metrics: HttpMetrics::new(),
         }
+    }
+
+    /// The daemon's HTTP instruments — the server wires its connection and
+    /// queue counters into these.
+    pub(crate) fn http_metrics(&self) -> &HttpMetrics {
+        &self.metrics
     }
 
     /// The warm-started LSH index carried by the snapshot, if any —
@@ -202,14 +295,33 @@ impl LakeService {
     /// Answer one connection's worth of input: either a parsed request or
     /// the read error it failed with. Never panics outward — a panicking
     /// handler answers 500 and the daemon lives on. Every answer lands in
-    /// the per-endpoint latency histogram reported by `/lake/stat`.
+    /// the per-endpoint instruments (latency histogram, request/error
+    /// counters, in-flight gauge), carries the request's trace ID back in
+    /// an `X-Request-Id` header — propagated from the client's header when
+    /// it sent a well-formed one, generated otherwise — and is logged as
+    /// one structured line with that same ID.
     pub fn respond(&self, input: Result<Request, HttpError>) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
+        let trace_id = input
+            .as_ref()
+            .ok()
+            .and_then(|r| r.header("x-request-id"))
+            .filter(|id| valid_trace_id(id))
+            .map(str::to_string)
+            .unwrap_or_else(gent_obs::gen_trace_id);
+        let prev = gent_obs::set_trace_id(Some(trace_id.clone()));
         let t0 = Instant::now();
-        let (path, response) = match input {
+        let (path, method) = match &input {
+            Ok(r) => (Some(r.path.split('?').next().unwrap_or("").to_string()), r.method.clone()),
+            Err(_) => (None, String::new()),
+        };
+        let ep = self.metrics.for_path(path.as_deref());
+        ep.requests.inc();
+        ep.in_flight.inc();
+        let response = match input {
             Ok(request) => {
                 let result = catch_unwind(AssertUnwindSafe(|| self.route(&request)));
-                let response = match result {
+                match result {
                     Ok(Ok(response)) => response,
                     Ok(Err(api)) => api.to_response(),
                     Err(_) => ApiError::new(
@@ -218,14 +330,29 @@ impl LakeService {
                         "request handler panicked; the lake is read-only and unaffected",
                     )
                     .to_response(),
-                };
-                let path = request.path.split('?').next().unwrap_or("").to_string();
-                (Some(path), response)
+                }
             }
-            Err(e) => (None, read_error_response(&e)),
+            Err(e) => read_error_response(&e),
         };
-        self.latency.for_path(path.as_deref()).observe(t0.elapsed());
-        response
+        ep.in_flight.dec();
+        if response.status >= 400 {
+            ep.errors.inc();
+        }
+        let elapsed = t0.elapsed();
+        ep.latency.observe_duration(elapsed);
+        gent_obs::log(
+            gent_obs::Level::Info,
+            "gent_serve",
+            "request",
+            &[
+                ("method", if method.is_empty() { "-" } else { &method }.into()),
+                ("path", path.as_deref().unwrap_or("-").into()),
+                ("status", u64::from(response.status).into()),
+                ("elapsed_us", u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX).into()),
+            ],
+        );
+        gent_obs::set_trace_id(prev);
+        response.with_header("X-Request-Id", trace_id)
     }
 
     fn route(&self, request: &Request) -> Result<Response, ApiError> {
@@ -233,8 +360,9 @@ impl LakeService {
         match (request.method.as_str(), path) {
             ("GET", "/healthz") => Ok(self.healthz()),
             ("GET", "/lake/stat") => Ok(self.lake_stat()),
+            ("GET", "/metrics") => Ok(self.metrics_exposition()),
             ("POST", "/reclaim") => self.reclaim(request),
-            (_, "/healthz" | "/lake/stat") => Err(ApiError::new(
+            (_, "/healthz" | "/lake/stat" | "/metrics") => Err(ApiError::new(
                 405,
                 "bad_method",
                 format!("{} does not accept {}; use GET", path, request.method),
@@ -278,10 +406,27 @@ impl LakeService {
                 // actually been materialized so far.
                 ("tables_decoded".into(), Json::Int(self.lake.tables_decoded() as i64)),
                 ("tables_total".into(), Json::Int(self.lake.len() as i64)),
-                ("latency".into(), self.latency.to_json()),
+                ("latency".into(), self.metrics.latency_json()),
             ])
             .render(),
         )
+    }
+
+    /// `GET /metrics`: Prometheus text exposition (format 0.0.4) — the
+    /// process-global registry (pipeline stages, traversal counters, store
+    /// opens) followed by this service's HTTP registry. The lake-decode
+    /// gauges are sampled here, at scrape time, from the same `OnceLock`
+    /// states `/lake/stat` reads — no table or band decode is forced.
+    fn metrics_exposition(&self) -> Response {
+        self.metrics.tables_decoded.set(self.lake.tables_decoded() as i64);
+        self.metrics.tables_total.set(self.lake.len() as i64);
+        self.metrics.lsh_decoded.set(i64::from(self.lsh.is_decoded()));
+        self.metrics
+            .uptime_seconds
+            .set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
+        let mut text = gent_obs::registry().render_prometheus();
+        text.push_str(&self.metrics.registry.render_prometheus());
+        Response::ok(text).with_header("Content-Type", "text/plain; version=0.0.4")
     }
 
     fn reclaim(&self, request: &Request) -> Result<Response, ApiError> {
@@ -736,5 +881,156 @@ mod tests {
         s.respond(Ok(post("{}")));
         s.respond(Err(HttpError::Malformed("x".into())));
         assert_eq!(s.requests_served(), 2);
+    }
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), headers: vec![], body: vec![] }
+    }
+
+    fn request_id(r: &Response) -> String {
+        r.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("x-request-id"))
+            .map(|(_, v)| v.clone())
+            .expect("every response carries X-Request-Id")
+    }
+
+    #[test]
+    fn metrics_exposition_serves_prometheus_text() {
+        let s = service();
+        s.respond(Ok(get("/healthz")));
+        s.respond(Ok(post("{}"))); // bad JSON → reclaim error
+        let r = s.respond(Ok(get("/metrics")));
+        assert_eq!(r.status, 200);
+        assert!(
+            r.headers
+                .iter()
+                .any(|(n, v)| n.eq_ignore_ascii_case("content-type")
+                    && v.starts_with("text/plain")),
+            "{:?}",
+            r.headers
+        );
+        for family in [
+            "gent_http_requests_total",
+            "gent_http_errors_total",
+            "gent_http_in_flight",
+            "gent_http_request_duration_us",
+            "gent_http_connections_total",
+            "gent_http_queue_depth",
+            "gent_lake_tables_decoded",
+            "gent_lake_tables_total",
+            "gent_uptime_seconds",
+        ] {
+            assert!(r.body.contains(&format!("# TYPE {family} ")), "{family} missing");
+        }
+        assert!(r.body.contains("gent_http_requests_total{endpoint=\"healthz\"} 1"), "{}", r.body);
+        assert!(r.body.contains("gent_http_errors_total{endpoint=\"reclaim\"} 1"), "{}", r.body);
+        // The in-memory test lake is fully decoded by construction.
+        assert!(r.body.contains("gent_lake_tables_decoded 2"), "{}", r.body);
+        // The scrape itself is the one request mid-flight while rendering.
+        assert!(r.body.contains("gent_http_in_flight{endpoint=\"metrics\"} 1"), "{}", r.body);
+        assert!(r.body.contains("gent_http_in_flight{endpoint=\"healthz\"} 0"), "{}", r.body);
+    }
+
+    #[test]
+    fn responses_echo_or_generate_request_ids() {
+        let s = service();
+        // A well-formed client ID is echoed verbatim.
+        let r = s.respond(Ok(Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            headers: vec![("x-request-id".into(), "client-id-42".into())],
+            body: vec![],
+        }));
+        assert_eq!(request_id(&r), "client-id-42");
+        // No header → a generated 16-hex-char ID.
+        let r = s.respond(Ok(get("/healthz")));
+        let id = request_id(&r);
+        assert_eq!(id.len(), 16, "{id}");
+        assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "{id}");
+        // A hostile header value (spaces, quotes) is replaced, not echoed.
+        let r = s.respond(Ok(Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            headers: vec![("x-request-id".into(), "bad id \"quoted\"".into())],
+            body: vec![],
+        }));
+        assert_ne!(request_id(&r), "bad id \"quoted\"");
+        // Error paths carry the ID too: in the header *and* the error body.
+        let r = s.respond(Ok(Request {
+            method: "POST".into(),
+            path: "/reclaim".into(),
+            headers: vec![("x-request-id".into(), "err-trace-1".into())],
+            body: b"{not json".to_vec(),
+        }));
+        assert_eq!(r.status, 400);
+        assert_eq!(request_id(&r), "err-trace-1");
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("trace_id").and_then(Json::as_str),
+            Some("err-trace-1")
+        );
+        // Even a request that never parsed gets a (generated) ID.
+        let r = s.respond(Err(HttpError::Timeout));
+        let id = request_id(&r);
+        assert_eq!(id.len(), 16);
+        let v = Json::parse(&r.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("trace_id").and_then(Json::as_str),
+            Some(id.as_str())
+        );
+    }
+
+    /// The re-homing regression test: `/lake/stat`'s JSON histograms and
+    /// `/metrics`' Prometheus exposition render the *same* underlying
+    /// buckets — counts, per-bucket tallies and sums must agree exactly.
+    #[test]
+    fn stat_and_metrics_views_agree() {
+        let s = service();
+        for _ in 0..3 {
+            s.respond(Ok(get("/healthz")));
+        }
+        s.respond(Ok(post("{}")));
+        s.respond(Err(HttpError::Timeout));
+
+        // Scrape `/metrics` first: a request's latency is observed *after*
+        // its body renders, so the later `/lake/stat` call sees exactly the
+        // observations the scrape saw (its own is not yet recorded either
+        // way), keeping the two snapshots comparable.
+        let prom = s.respond(Ok(get("/metrics"))).body;
+        let stat = Json::parse(&s.respond(Ok(get("/lake/stat"))).body).unwrap();
+        let sample = |line_start: &str| -> i64 {
+            prom.lines()
+                .find(|l| {
+                    l.starts_with(line_start)
+                        && l.len() > line_start.len()
+                        && l.as_bytes()[line_start.len()] == b' '
+                })
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("no sample `{line_start}` in:\n{prom}"))
+        };
+        for endpoint in ["healthz", "lake_stat", "reclaim", "other"] {
+            let h = stat.get("latency").unwrap().get(endpoint).unwrap();
+            let stat_count = h.get("count").and_then(Json::as_i64).unwrap();
+            let prom_count =
+                sample(&format!("gent_http_request_duration_us_count{{endpoint=\"{endpoint}\"}}"));
+            assert_eq!(stat_count, prom_count, "{endpoint} count");
+            // Stat buckets are per-bucket, Prometheus buckets cumulative:
+            // the running sum of the former must reproduce the latter.
+            let buckets = h.get("buckets").and_then(Json::as_array).unwrap();
+            let mut cumulative = 0i64;
+            for (i, b) in buckets.iter().enumerate() {
+                cumulative += b.get("count").and_then(Json::as_i64).unwrap();
+                let le = match LATENCY_BOUNDS_US.get(i) {
+                    Some(us) => us.to_string(),
+                    None => "+Inf".into(),
+                };
+                let prom_bucket = sample(&format!(
+                    "gent_http_request_duration_us_bucket{{endpoint=\"{endpoint}\",le=\"{le}\"}}"
+                ));
+                assert_eq!(cumulative, prom_bucket, "{endpoint} bucket le={le}");
+            }
+        }
     }
 }

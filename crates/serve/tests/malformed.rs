@@ -59,6 +59,29 @@ fn status_and_kind(response: &str) -> (u16, String) {
     (status, kind)
 }
 
+/// Every answered response — error paths included — must carry an
+/// `X-Request-Id` header, and error bodies must embed the same ID as
+/// `error.trace_id`, so hostile inputs stay correlatable with daemon logs.
+fn assert_traced(response: &str) {
+    let head = response.split_once("\r\n\r\n").map(|(h, _)| h).unwrap_or(response);
+    let id = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.eq_ignore_ascii_case("x-request-id").then(|| value.trim().to_string())
+        })
+        .unwrap_or_else(|| panic!("response lacks X-Request-Id: {response}"));
+    assert!(!id.is_empty(), "empty X-Request-Id: {response}");
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    if let Some(error) = Json::parse(body).ok().and_then(|v| v.get("error").cloned()) {
+        assert_eq!(
+            error.get("trace_id").and_then(|t| t.as_str().map(str::to_string)),
+            Some(id),
+            "error body must embed the response's request ID: {response}"
+        );
+    }
+}
+
 fn assert_alive(addr: SocketAddr) {
     let text = raw(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n", false);
     let (status, _) = status_and_kind(&text);
@@ -73,12 +96,14 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     let text = raw(addr, b"DELETE /reclaim HTTP/1.1\r\nHost: t\r\n\r\n", false);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (405, "bad_method"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
 
     // 2. Bytes that are not HTTP at all → 400 malformed_request.
     let text = raw(addr, b"this is not http\r\n\r\n", true);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (400, "malformed_request"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
 
     // 3. Truncated body: Content-Length promises 999 bytes, the client
@@ -88,9 +113,11 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     let text = raw(addr, head, true);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (400, "truncated_body"), "got: {text}");
+    assert_traced(&text);
     let text = raw(addr, head, false); // stall: server's read timeout fires
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (400, "truncated_body"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
 
     // 3b. A client that connects and stalls before sending any head at
@@ -98,6 +125,7 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     let text = raw(addr, b"", false);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (408, "timeout"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
 
     // 3c. Slow trickle: one header byte at a time can no longer reset the
@@ -118,6 +146,7 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     let _ = s.read_to_string(&mut text);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (408, "timeout"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
 
     // 3d. `Expect: 100-continue` (what curl sends for bodies > 1 KiB) gets
@@ -143,6 +172,7 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     let text = raw(addr, &req, false);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (404, "unknown_table"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
 
     // 5. Bad JSON body → 400 bad_json.
@@ -154,6 +184,7 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     let text = raw(addr, &req, false);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (400, "bad_json"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
 
     // 6. Declared Content-Length over the limit → 413 too_large, without
@@ -162,7 +193,21 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     let text = raw(addr, req, false);
     let (status, kind) = status_and_kind(&text);
     assert_eq!((status, kind.as_str()), (413, "too_large"), "got: {text}");
+    assert_traced(&text);
     assert_alive(addr);
+
+    // 7. A client-supplied X-Request-Id is echoed back on the error path,
+    //    both as a header and inside the error body.
+    let text = raw(
+        addr,
+        b"DELETE /reclaim HTTP/1.1\r\nHost: t\r\nX-Request-Id: hostile-trace-7\r\n\r\n",
+        false,
+    );
+    let (status, _) = status_and_kind(&text);
+    assert_eq!(status, 405);
+    assert!(text.contains("X-Request-Id: hostile-trace-7"), "echoed header: {text}");
+    assert!(text.contains(r#""trace_id":"hostile-trace-7""#), "error body: {text}");
+    assert_traced(&text);
 
     handle.stop();
     runner.join().unwrap().unwrap();

@@ -45,6 +45,7 @@ pub mod format;
 pub mod ingest;
 pub mod snapshot;
 pub mod source;
+pub(crate) mod telemetry;
 
 pub use error::StoreError;
 pub use format::{SectionDir, SectionRange, SnapshotHeader, SNAPSHOT_FORMAT_VERSION};

@@ -114,6 +114,7 @@ impl LshSlot {
         let Some((buf, range)) = &self.lazy else {
             return Ok(None); // eager slot: cell was pre-set, not reachable
         };
+        crate::telemetry::instruments().lsh_decodes.inc();
         let mut r = BinReader::new(buf.slice(range.clone()));
         let export = decode_lsh(&mut r).map_err(|e| e.to_string())?;
         if r.remaining() != 0 {
@@ -315,6 +316,10 @@ pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
 /// `read`. Exposed so tests and benches can exercise the open path (and
 /// hostile inputs) without round-tripping the filesystem.
 pub fn load_buf(buf: LakeBuf) -> Result<LoadedLake, StoreError> {
+    let ins = crate::telemetry::instruments();
+    let _span = gent_obs::span_timed("snapshot_open", ins.open_duration.clone());
+    ins.opens.inc();
+    ins.open_bytes.add(buf.len() as u64);
     let bytes = buf.as_slice();
     if bytes.len() < HEADER_LEN + TRAILER_LEN {
         return Err(StoreError::Corrupt(format!(

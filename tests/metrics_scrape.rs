@@ -1,0 +1,151 @@
+//! The CI scrape check: boot a real daemon over a real snapshot, drive
+//! traffic at it, then fetch `GET /metrics` over the socket and hold the
+//! output to the strict `gent_bench::promtext` parser — every line must
+//! parse as Prometheus text exposition 0.0.4 and every metric family the
+//! observability layer promises (pipeline stages, store opens, per-endpoint
+//! HTTP counters, queue depth, decode gauges) must be present with samples.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gen_t::core::GenTConfig;
+use gen_t::serve::{Json, LakeService, ServeConfig, Server};
+use gen_t::store::{LakeSource, SnapshotFile};
+use gen_t::table::{csv, key::ensure_key};
+use gent_bench::promtext;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gent-metrics-scrape-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn cli(args: &[&str]) {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    gent_cli::run(&args, &mut out).expect("cli run");
+}
+
+/// One raw HTTP exchange; returns (status, headers, body).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(
+        s,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    let mut text = String::new();
+    s.read_to_string(&mut text).expect("read response");
+    let status: u16 =
+        text.split_whitespace().nth(1).and_then(|t| t.parse().ok()).expect("status line");
+    let (head, payload) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    (status, head.to_string(), payload.to_string())
+}
+
+#[test]
+fn metrics_endpoint_survives_the_strict_parser() {
+    // A real snapshot with LSH, opened the way `gent serve` opens it.
+    let gen_dir = scratch("suite");
+    cli(&["generate", gen_dir.to_str().unwrap(), "--benchmark", "tp-tr-small", "--seed", "7"]);
+    let snap = scratch("lake.gentlake");
+    cli(&[
+        "lake",
+        "build",
+        gen_dir.join("lake").to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+        "--lsh",
+    ]);
+
+    let loaded = SnapshotFile(snap.clone()).load_lake().expect("open snapshot");
+    let service = LakeService::new(loaded, GenTConfig::default(), snap.display().to_string());
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServeConfig::default() };
+    let server = Server::bind(&cfg, service).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    let runner = std::thread::spawn(move || server.run());
+
+    // Traffic across every route class: success, reclaim (exercises the
+    // pipeline spans feeding the global registry), and an error.
+    let (status, _, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    let (status, _, _) = http(addr, "GET", "/lake/stat", "");
+    assert_eq!(status, 200);
+    let mut source = csv::read_csv_file(&gen_dir.join("sources").join("S1.csv")).expect("source");
+    assert!(ensure_key(&mut source));
+    let body =
+        Json::Object(vec![("source".to_string(), gen_t::serve::table_to_json(&source))]).render();
+    let (status, _, reclaim_body) = http(addr, "POST", "/reclaim", &body);
+    assert_eq!(status, 200, "{reclaim_body}");
+    let (status, _, _) = http(addr, "GET", "/no/such/route", "");
+    assert_eq!(status, 404);
+
+    // The scrape itself.
+    let (status, head, text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200, "{text}");
+    assert!(
+        head.lines().any(|l| l.to_ascii_lowercase().starts_with("content-type: text/plain")),
+        "exposition must be served as text/plain: {head}"
+    );
+
+    // Every line parses, and the promised families are all present.
+    let exp = promtext::parse_exposition(&text)
+        .unwrap_or_else(|e| panic!("/metrics failed the parser: {e}"));
+    exp.require_families(&[
+        // pipeline (process-global registry, fed by the reclaim above)
+        "gent_pipeline_stage_duration_us",
+        "gent_pipeline_reclaims_total",
+        "gent_traversal_rounds_total",
+        "gent_traversal_rows_rescored_total",
+        "gent_traversal_candidates_pruned_total",
+        // store
+        "gent_store_snapshot_opens_total",
+        "gent_store_snapshot_open_bytes_total",
+        "gent_store_snapshot_open_duration_us",
+        // http (per-service registry)
+        "gent_http_requests_total",
+        "gent_http_errors_total",
+        "gent_http_in_flight",
+        "gent_http_request_duration_us",
+        "gent_http_connections_total",
+        "gent_http_keepalive_reuses_total",
+        "gent_http_queue_depth",
+        // lake decode state
+        "gent_lake_tables_decoded",
+        "gent_lake_tables_total",
+        "gent_lake_lsh_decoded",
+        "gent_uptime_seconds",
+    ])
+    .unwrap_or_else(|e| panic!("{e}\n--- exposition ---\n{text}"));
+
+    // Spot-check the counters actually counted this test's traffic.
+    assert_eq!(exp.value("gent_http_requests_total", &[("endpoint", "reclaim")]), Some(1.0));
+    assert_eq!(exp.value("gent_http_errors_total", &[("endpoint", "other")]), Some(1.0));
+    assert_eq!(exp.value("gent_pipeline_reclaims_total", &[]), Some(1.0));
+    assert!(
+        exp.value("gent_pipeline_stage_duration_us_count", &[("stage", "traversal")])
+            .is_some_and(|v| v >= 1.0),
+        "the reclaim must have fed the traversal stage histogram"
+    );
+    assert!(
+        exp.value("gent_store_snapshot_opens_total", &[]).is_some_and(|v| v >= 1.0),
+        "the snapshot open must have been counted"
+    );
+    assert!(
+        exp.value("gent_lake_tables_decoded", &[]).is_some_and(|v| v >= 1.0),
+        "the reclaim decoded at least one table"
+    );
+
+    // And the scrape is traced like any other request.
+    assert!(
+        head.lines().any(|l| l.to_ascii_lowercase().starts_with("x-request-id:")),
+        "/metrics must carry a request ID: {head}"
+    );
+
+    handle.stop();
+    runner.join().unwrap().expect("server run");
+}
