@@ -68,6 +68,11 @@ impl ParsedArgs {
         self.options.iter().rev().find(|(n, _)| n == name).and_then(|(_, v)| v.as_deref())
     }
 
+    /// Every value given for a repeatable `--name`, in the order written.
+    pub fn options_all(&self, name: &str) -> Vec<&str> {
+        self.options.iter().filter(|(n, _)| n == name).filter_map(|(_, v)| v.as_deref()).collect()
+    }
+
     /// True when `--name` was given as a flag.
     pub fn flag(&self, name: &str) -> bool {
         self.options.iter().any(|(n, v)| n == name && v.is_none())
@@ -129,6 +134,19 @@ mod tests {
             .unwrap()
             .option_parse::<u64>("seed")
             .is_err());
+    }
+
+    #[test]
+    fn repeated_options_keep_every_value_in_order() {
+        let p = ParsedArgs::parse(
+            &sv(&["--lake", "a.gentlake", "--lake", "b=c.gentlake"]),
+            &["lake"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(p.options_all("lake"), ["a.gentlake", "b=c.gentlake"]);
+        assert_eq!(p.option("lake"), Some("b=c.gentlake"));
+        assert!(p.options_all("addr").is_empty());
     }
 
     #[test]

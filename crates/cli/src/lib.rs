@@ -60,8 +60,10 @@ USAGE:
   gent lake     build <lake-dir> --out snap.gentlake [--lsh] [--threads N]
                 build --suite tp-tr-small --out snap.gentlake [--seed 7] [--lsh]
                 stat  <snap.gentlake>
-  gent serve    --lake snap.gentlake [--addr 127.0.0.1:7744] [--threads N] [--eager]
+  gent serve    --lake [name=]snap.gentlake [--lake ...] [--addr 127.0.0.1:7744]
+                [--threads N] [--queue-depth N] [--eager]
                 [--log-json] [--log-level error|warn|info|debug|trace|off]
+  gent admin    reload <snap.gentlake> [--addr 127.0.0.1:7744] [--lake name]
   gent help
 
 LOGGING:
@@ -72,10 +74,15 @@ LOGGING:
 A lake snapshot (`lake build`) persists the tables together with the
 inverted value index and optional LSH bands; `reclaim --lake` and
 `lake stat` reopen it without rebuilding anything, and `serve` keeps it
-open: a daemon answering POST /reclaim, GET /lake/stat and GET /healthz
-against the warm lake (JSON in, JSON out; see gent-serve). Snapshots open
+open: a daemon answering POST /reclaim, POST /reclaim/batch, GET /lakes,
+GET /lake/stat and GET /healthz against the warm lakes (JSON in, JSON
+out; see gent-serve and docs/serving.md). `--lake` repeats to host many
+snapshots behind one address — requests route with a `lake` field, the
+first lake is the default — and `gent admin reload` swaps a lake's
+snapshot atomically without dropping in-flight requests. Snapshots open
 zero-copy and lazy — table cells decode on first touch; `serve --eager`
-pre-decodes the whole lake at boot.
+pre-decodes every lake at boot. The accept queue is bounded
+(`--queue-depth`, default 128); overload sheds with 429 + Retry-After.
 
 QUERY SYNTAX (SPJU):
   project(cols; q)  select(pred; q)  join(q, q)  leftjoin  fulljoin  cross
@@ -99,6 +106,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "generate" => cmd_generate(rest, out),
         "lake" => cmd_lake(rest, out),
         "serve" => cmd_serve(rest, out),
+        "admin" => cmd_admin(rest, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -462,62 +470,136 @@ fn cmd_lake_stat(args: &[String], out: &mut impl Write) -> Result<(), CliError> 
     Ok(())
 }
 
-/// `gent serve`: open one snapshot warm and answer reclamation requests
-/// against it until killed. The lake (tables + FrozenIndex + LSH bands) is
-/// opened exactly once and shared by every worker thread. The open is
-/// *lazy* — no table cells decode until a reclaim touches them; `--eager`
-/// pre-decodes everything (in parallel across `--threads`) so the first
-/// requests pay no decode either.
+/// `gent serve`: open one or more snapshots warm and answer reclamation
+/// requests against them until killed. Each lake (tables + FrozenIndex +
+/// LSH bands) is opened exactly once and shared by every worker thread.
+/// Opens are *lazy* — no table cells decode until a reclaim touches them;
+/// `--eager` pre-decodes everything (in parallel across `--threads`) so
+/// the first requests pay no decode either.
+///
+/// `--lake` is repeatable and takes either `name=path` or a bare path
+/// (the routing name then derives from the file stem). The first lake
+/// registered is the default route for requests that name none.
 fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    use gent_serve::{LakeService, ServeConfig, Server};
+    use gent_serve::{Router, ServeConfig, Server};
     use gent_store::{LakeSource, SnapshotFile};
     use std::time::Instant;
 
-    let p =
-        ParsedArgs::parse(args, &["lake", "addr", "threads", "log-level"], &["eager", "log-json"])?;
+    let p = ParsedArgs::parse(
+        args,
+        &["lake", "addr", "threads", "queue-depth", "log-level"],
+        &["eager", "log-json"],
+    )?;
     apply_log_flags(&p)?;
-    let snap = PathBuf::from(
-        p.option("lake")
-            .ok_or_else(|| CliError::Usage("serve requires --lake <snapshot>".into()))?,
-    );
+    let lake_specs = p.options_all("lake");
+    if lake_specs.is_empty() {
+        return Err(CliError::Usage("serve requires at least one --lake <snapshot>".into()));
+    }
     let threads = p.option_parse::<usize>("threads")?.unwrap_or(0);
+    let decode_threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
 
-    let t0 = Instant::now();
-    let loaded = SnapshotFile(snap.clone()).load_lake()?;
-    let open_time = t0.elapsed();
-
-    let mut warmup_note = String::new();
-    if p.flag("eager") {
-        let decode_threads = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        } else {
-            threads
+    let mut builder = Router::builder(GenTConfig::default());
+    for spec in &lake_specs {
+        let (name, snap) = match spec.split_once('=') {
+            Some((name, path)) => (name.to_string(), PathBuf::from(path)),
+            None => (gent_store::default_lake_name(Path::new(spec)), PathBuf::from(spec)),
         };
-        let t1 = Instant::now();
-        loaded.lake.decode_all(decode_threads).map_err(gent_store::StoreError::from)?;
-        loaded.lsh.force()?;
-        warmup_note = format!(", pre-decoded in {:.3}s", t1.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let loaded = SnapshotFile(snap.clone()).load_lake()?;
+        let open_time = t0.elapsed();
+
+        let mut warmup_note = String::new();
+        if p.flag("eager") {
+            let t1 = Instant::now();
+            loaded.lake.decode_all(decode_threads).map_err(gent_store::StoreError::from)?;
+            loaded.lsh.force()?;
+            warmup_note = format!(", pre-decoded in {:.3}s", t1.elapsed().as_secs_f64());
+        }
+        writeln!(
+            out,
+            "lake {name}: {} ({} tables, opened in {:.3}s{})",
+            snap.display(),
+            loaded.lake.len(),
+            open_time.as_secs_f64(),
+            warmup_note,
+        )?;
+        builder.add_loaded_snapshot(&name, loaded, &snap).map_err(CliError::Usage)?;
     }
 
     let cfg = ServeConfig {
         addr: p.option("addr").unwrap_or("127.0.0.1:7744").to_string(),
         threads,
+        queue_depth: p.option_parse::<usize>("queue-depth")?.unwrap_or(0),
         ..ServeConfig::default()
     };
-    let n_tables = loaded.lake.len();
-    let service = LakeService::new(loaded, GenTConfig::default(), snap.display().to_string());
-    let server = Server::bind(&cfg, service).map_err(CliError::Io)?;
+    let router = builder.build().map_err(CliError::Usage)?;
+    let names = router.lake_names().join(", ");
+    let server = Server::bind_router(&cfg, router).map_err(CliError::Io)?;
     writeln!(
         out,
-        "serving {} ({} tables, opened in {:.3}s{}) on http://{}",
-        snap.display(),
-        n_tables,
-        open_time.as_secs_f64(),
-        warmup_note,
+        "serving {} lake(s) [{}] on http://{}",
+        lake_specs.len(),
+        names,
         server.local_addr()?
     )?;
     out.flush()?;
     server.run().map_err(CliError::Io)
+}
+
+/// `gent admin <subcommand>`: operator actions against a running daemon.
+fn cmd_admin(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("reload") => cmd_admin_reload(&args[1..], out),
+        Some(other) => Err(CliError::Usage(format!("unknown admin subcommand `{other}`"))),
+        None => Err(CliError::Usage("admin requires a subcommand (reload)".into())),
+    }
+}
+
+/// `gent admin reload <snapshot>`: ask a running daemon to atomically swap
+/// one lake's snapshot via `POST /admin/reload`. The daemon reads the file
+/// itself, so the path is resolved to an absolute one before sending.
+fn cmd_admin_reload(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    use gent_serve::Json;
+    use std::io::Read;
+    use std::net::TcpStream;
+
+    let p = ParsedArgs::parse(args, &["addr", "lake"], &[])?;
+    let snap = PathBuf::from(p.required(0, "snapshot")?);
+    let snap = std::fs::canonicalize(&snap).unwrap_or(snap);
+    let addr = p.option("addr").unwrap_or("127.0.0.1:7744");
+
+    let mut fields = Vec::new();
+    if let Some(lake) = p.option("lake") {
+        fields.push(("lake".to_string(), Json::str(lake)));
+    }
+    fields.push(("path".to_string(), Json::str(snap.display().to_string())));
+    let body = Json::Object(fields).render();
+
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
+    write!(
+        stream,
+        "POST /admin/reload HTTP/1.1\r\nHost: gent\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut text = String::new();
+    stream.read_to_string(&mut text)?;
+    let status: u16 =
+        text.split_whitespace().nth(1).and_then(|t| t.parse().ok()).ok_or_else(|| {
+            CliError::Pipeline(format!("daemon sent no HTTP status line: {text}"))
+        })?;
+    let payload = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
+    writeln!(out, "{payload}")?;
+    out.flush()?;
+    if status != 200 {
+        return Err(CliError::Pipeline(format!("reload failed with HTTP {status}")));
+    }
+    Ok(())
 }
 
 /// Make a table name filesystem-safe.

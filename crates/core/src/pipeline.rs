@@ -4,7 +4,9 @@
 use crate::config::GenTConfig;
 use crate::integration::integrate;
 use crate::traversal::matrix_traversal;
-use gent_discovery::{set_similarity, DataLake, OverlapRetriever, TableRetriever};
+use gent_discovery::{
+    set_similarity_cached, DataLake, DiscoveryCache, OverlapRetriever, TableRetriever,
+};
 use gent_metrics::{evaluate, MethodReport};
 use gent_table::Table;
 use std::time::{Duration, Instant};
@@ -108,6 +110,29 @@ impl GenT {
         lake: &DataLake,
         excluded: &[&str],
     ) -> Result<ReclamationResult, GentError> {
+        self.reclaim_excluding_cached(source, lake, excluded, &mut DiscoveryCache::new())
+    }
+
+    /// Like [`GenT::reclaim`], with discovery's index walks memoized in a
+    /// caller-owned [`DiscoveryCache`] — bit-identical results, shared
+    /// work when many sources are reclaimed against one lake (the serve
+    /// tier's `POST /reclaim/batch` amortisation).
+    pub fn reclaim_with_cache(
+        &self,
+        source: &Table,
+        lake: &DataLake,
+        cache: &mut DiscoveryCache,
+    ) -> Result<ReclamationResult, GentError> {
+        self.reclaim_excluding_cached(source, lake, &[], cache)
+    }
+
+    fn reclaim_excluding_cached(
+        &self,
+        source: &Table,
+        lake: &DataLake,
+        excluded: &[&str],
+        cache: &mut DiscoveryCache,
+    ) -> Result<ReclamationResult, GentError> {
         if !source.schema().has_key() {
             return Err(GentError::SourceHasNoKey);
         }
@@ -133,7 +158,13 @@ impl GenT {
         });
         let candidates = {
             let _span = gent_obs::span_timed("set_similarity", ins.stage_set_similarity.clone());
-            set_similarity(lake, source, restrict.as_deref(), &self.config.set_similarity)
+            set_similarity_cached(
+                lake,
+                source,
+                restrict.as_deref(),
+                &self.config.set_similarity,
+                cache,
+            )
         };
         let discovery = t0.elapsed();
         drop(discovery_span);
@@ -280,6 +311,21 @@ mod tests {
         let res = GenT::default().reclaim(&source(), &lake()).unwrap();
         assert!(res.timings.traversal_rounds >= 1, "{:?}", res.timings);
         assert!(res.timings.rows_rescored >= 1, "{:?}", res.timings);
+    }
+
+    #[test]
+    fn cached_reclaim_matches_uncached_and_reuses_walks() {
+        let gen_t = GenT::default();
+        let plain = gen_t.reclaim(&source(), &lake()).unwrap();
+        let mut cache = DiscoveryCache::new();
+        let first = gen_t.reclaim_with_cache(&source(), &lake(), &mut cache).unwrap();
+        let repeat = gen_t.reclaim_with_cache(&source(), &lake(), &mut cache).unwrap();
+        assert!(cache.hits() > 0, "repeat reclaim must hit the discovery cache");
+        for r in [&first, &repeat] {
+            assert_eq!(r.reclaimed.rows(), plain.reclaimed.rows());
+            assert_eq!(r.eis, plain.eis);
+            assert_eq!(r.candidates_considered, plain.candidates_considered);
+        }
     }
 
     #[test]

@@ -67,4 +67,6 @@ pub use lsh::{
 pub use mate::{multi_attribute_search, MultiMatch};
 pub use minhash::{MinHashSignature, MinHasher};
 pub use retriever::{OverlapRetriever, TableRetriever};
-pub use set_similarity::{set_similarity, Candidate, SetSimilarityConfig};
+pub use set_similarity::{
+    set_similarity, set_similarity_cached, Candidate, DiscoveryCache, SetSimilarityConfig,
+};

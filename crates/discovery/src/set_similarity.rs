@@ -27,6 +27,83 @@
 
 use crate::lake::{DataLake, Posting};
 use gent_table::{FxHashMap, FxHashSet, Table, Value};
+use std::sync::Arc;
+
+/// One memoized containment probe: the source-column value set that was
+/// probed and the count map the posting-list walk produced for it.
+type CountEntry = (FxHashSet<Value>, Arc<FxHashMap<Posting, u32>>);
+
+/// Memoization shared by the discovery stage across many sources against
+/// one (immutable) lake — the amortisation behind `POST /reclaim/batch`.
+///
+/// Two discovery hot spots repeat work when sources overlap:
+///
+/// * [`DataLake::containment_counts`] — a full posting-list walk per
+///   distinct source-column value set; sources sharing a column (or probing
+///   with equal value sets) recompute identical count maps,
+/// * [`DataLake::column_values`] — the diversification loop re-derives the
+///   distinct values of the *same lake columns* for every source that
+///   retrieves them.
+///
+/// Both are pure functions of their inputs, so the cache returns the stored
+/// result verbatim (behind an [`Arc`], no clone) and
+/// [`set_similarity_cached`] is bit-identical to [`set_similarity`] —
+/// pinned by the batch-fidelity e2e test. Hit/miss counters feed the
+/// serve tier's batch metrics.
+#[derive(Debug, Default)]
+pub struct DiscoveryCache {
+    /// Count maps keyed by the probe value set. A linear scan with full set
+    /// equality: collision-proof, and batches are tens of sources, not
+    /// thousands.
+    counts: Vec<CountEntry>,
+    /// Distinct values per lake column.
+    columns: FxHashMap<Posting, Arc<FxHashSet<Value>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DiscoveryCache {
+    /// An empty cache.
+    pub fn new() -> DiscoveryCache {
+        DiscoveryCache::default()
+    }
+
+    /// Lookups answered from memory so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compute (and store) their result.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn containment_counts(
+        &mut self,
+        lake: &DataLake,
+        probes: &FxHashSet<Value>,
+    ) -> Arc<FxHashMap<Posting, u32>> {
+        if let Some((_, c)) = self.counts.iter().find(|(k, _)| k == probes) {
+            self.hits += 1;
+            return Arc::clone(c);
+        }
+        self.misses += 1;
+        let c = Arc::new(lake.containment_counts(probes.iter()));
+        self.counts.push((probes.clone(), Arc::clone(&c)));
+        c
+    }
+
+    fn column_values(&mut self, lake: &DataLake, p: Posting) -> Arc<FxHashSet<Value>> {
+        if let Some(v) = self.columns.get(&p) {
+            self.hits += 1;
+            return Arc::clone(v);
+        }
+        self.misses += 1;
+        let v = Arc::new(lake.column_values(p));
+        self.columns.insert(p, Arc::clone(&v));
+        v
+    }
+}
 
 /// Configuration for Set Similarity.
 #[derive(Debug, Clone)]
@@ -334,6 +411,18 @@ pub fn set_similarity(
     restrict_to: Option<&[usize]>,
     cfg: &SetSimilarityConfig,
 ) -> Vec<Candidate> {
+    set_similarity_cached(lake, source, restrict_to, cfg, &mut DiscoveryCache::new())
+}
+
+/// [`set_similarity`] with a [`DiscoveryCache`] shared across calls —
+/// bit-identical results, repeated index walks answered from memory.
+pub fn set_similarity_cached(
+    lake: &DataLake,
+    source: &Table,
+    restrict_to: Option<&[usize]>,
+    cfg: &SetSimilarityConfig,
+    cache: &mut DiscoveryCache,
+) -> Vec<Candidate> {
     let allowed: Option<FxHashSet<u32>> =
         restrict_to.map(|idx| idx.iter().map(|&i| i as u32).collect());
 
@@ -348,17 +437,21 @@ pub fn set_similarity(
         if src_values.is_empty() {
             continue;
         }
-        let counts = lake.containment_counts(src_values.iter());
-        // Best column per table for this source column.
+        let counts = cache.containment_counts(lake, &src_values);
+        // Best column per table for this source column. The tie-break on
+        // the lower column index makes the pick independent of the count
+        // map's iteration order — required for cached counts (computed from
+        // an equal probe set with a different insertion history) to yield
+        // the exact result a fresh computation would.
         let mut best: FxHashMap<u32, (u16, u32)> = FxHashMap::default();
-        for (p, hits) in counts {
+        for (&p, &hits) in counts.iter() {
             if let Some(allowed) = &allowed {
                 if !allowed.contains(&p.table) {
                     continue;
                 }
             }
             let e = best.entry(p.table).or_insert((p.column, 0));
-            if hits > e.1 {
+            if hits > e.1 || (hits == e.1 && p.column < e.0) {
                 *e = (p.column, hits);
             }
         }
@@ -375,9 +468,9 @@ pub fn set_similarity(
         // Algorithm 4 — diversify against the previous candidate's column.
         let scored: Vec<(ColumnMatch, f64)> = if cfg.diversify {
             let mut scored = Vec::with_capacity(matches.len());
-            let mut prev_values: Option<FxHashSet<Value>> = None;
+            let mut prev_values: Option<Arc<FxHashSet<Value>>> = None;
             for m in &matches {
-                let vals = lake.column_values(Posting { table: m.table, column: m.column });
+                let vals = cache.column_values(lake, Posting { table: m.table, column: m.column });
                 let score = match &prev_values {
                     None => m.overlap, // top candidate keeps its full score
                     Some(prev) => m.overlap - containment(&vals, prev),
@@ -668,5 +761,38 @@ mod tests {
         let (_, lake) = figure3();
         let empty = Table::build("S", &["ID"], &["ID"], vec![]).unwrap();
         assert!(set_similarity(&lake, &empty, None, &SetSimilarityConfig::default()).is_empty());
+    }
+
+    /// The discovery cache must be invisible in the output: running the
+    /// same source repeatedly through one cache yields exactly what the
+    /// uncached path yields, while the second pass answers every index
+    /// walk from memory.
+    #[test]
+    fn cached_discovery_is_bit_identical_and_hits_on_repeats() {
+        let (source, lake) = figure3();
+        let cfg = SetSimilarityConfig::default();
+        let fresh = set_similarity(&lake, &source, None, &cfg);
+
+        let mut cache = DiscoveryCache::new();
+        let first = set_similarity_cached(&lake, &source, None, &cfg, &mut cache);
+        assert_eq!(cache.hits(), 0, "first pass has nothing to hit");
+        let misses_after_first = cache.misses();
+        assert!(misses_after_first > 0);
+        let second = set_similarity_cached(&lake, &source, None, &cfg, &mut cache);
+        assert!(cache.hits() > 0, "second pass must reuse memoized walks");
+        assert_eq!(cache.misses(), misses_after_first, "second pass recomputes nothing");
+
+        for (a, b) in fresh.iter().zip(first.iter()).chain(fresh.iter().zip(second.iter())) {
+            assert_eq!(a.lake_index, b.lake_index);
+            assert_eq!(a.score, b.score);
+            assert_eq!(a.matched_source_cols, b.matched_source_cols);
+            assert_eq!(a.table.rows(), b.table.rows());
+            assert_eq!(
+                a.table.schema().columns().collect::<Vec<_>>(),
+                b.table.schema().columns().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(fresh.len(), first.len());
+        assert_eq!(fresh.len(), second.len());
     }
 }

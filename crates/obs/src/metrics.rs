@@ -94,6 +94,12 @@ impl Gauge {
         self.add(-1);
     }
 
+    /// Raise the value to `v` if it is higher than the current one — an
+    /// atomic high-water mark (e.g. the peak depth a bounded queue reached).
+    pub fn set_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
@@ -431,6 +437,10 @@ mod tests {
         g.set(7);
         g.dec();
         assert_eq!(g.get(), 6);
+        g.set_max(4);
+        assert_eq!(g.get(), 6, "set_max must not lower the value");
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
         // Re-registration returns the same instrument.
         assert_eq!(r.counter("t_total", "h", &[]).get(), 5);
     }

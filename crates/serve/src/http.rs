@@ -336,6 +336,7 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             _ => "",
         }
@@ -450,9 +451,13 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_api_statuses() {
-        for (status, phrase) in
-            [(200, "OK"), (400, "Bad Request"), (404, "Not Found"), (405, "Method Not Allowed")]
-        {
+        for (status, phrase) in [
+            (200, "OK"),
+            (400, "Bad Request"),
+            (404, "Not Found"),
+            (405, "Method Not Allowed"),
+            (429, "Too Many Requests"),
+        ] {
             assert_eq!(Response { status, body: String::new(), headers: vec![] }.reason(), phrase);
         }
     }

@@ -24,10 +24,22 @@
 //!
 //! | Endpoint | Body | Answer |
 //! |---|---|---|
-//! | `GET /healthz` | — | liveness, uptime, request count |
-//! | `GET /lake/stat` | — | table/row/index counts + latency histograms of the warm lake |
+//! | `GET /healthz` | — | liveness, uptime, request count, hosted-lake count |
+//! | `GET /lakes` | — | the hosted lakes: name, origin, generation, default route |
+//! | `GET /lake/stat` | `?lake=name` | table/row/index counts + latency histograms of one warm lake |
 //! | `GET /metrics` | — | Prometheus text exposition (pipeline, store and HTTP metrics) |
-//! | `POST /reclaim` | `{"source": {...}}` or `{"source_name": "t"}` | metrics + reclaimed table + originating tables |
+//! | `POST /reclaim` | `{"source": {...}}` or `{"source_name": "t"}`, optional `"lake"`, `"overrides"` | metrics + reclaimed table + originating tables |
+//! | `POST /reclaim/batch` | `{"sources": [...]}` — N reclaim bodies sharing one lake | per-source results + discovery-memo stats |
+//! | `POST /admin/reload` | `{"lake": "n", "path": "new.gentlake"}` | atomic snapshot hot-swap; generation bump |
+//!
+//! A daemon hosts one or many lakes ([`routing::Router`]): requests route
+//! with a `"lake"` body field / `?lake=` query parameter and fall back to
+//! the first (default) lake, `POST /reclaim/batch` amortises the discovery
+//! stage across sources sharing a lake, and `POST /admin/reload` swaps a
+//! slot's snapshot without dropping in-flight requests (they finish on the
+//! buffer they started on). When the bounded worker queue is full the
+//! accept loop sheds load with `429 Too Many Requests` + `Retry-After`
+//! instead of stalling — see `docs/serving.md`.
 //!
 //! Errors are structured: every 4xx/5xx body is
 //! `{"error": {"kind": "...", "message": "...", "trace_id": "..."}}`, and no
@@ -83,10 +95,12 @@
 
 pub mod http;
 pub mod json;
+pub mod routing;
 pub mod server;
 pub mod service;
 
 pub use http::{DeadlineStream, HttpError, Request, Response};
 pub use json::{Json, JsonError};
+pub use routing::{Router, RouterBuilder};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use service::{table_from_json, table_to_json, ApiError, LakeService};

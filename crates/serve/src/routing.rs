@@ -1,0 +1,743 @@
+//! Multi-lake routing: many `*.gentlake` snapshots behind one address.
+//!
+//! A [`Router`] owns a fixed set of named lake *slots*. Each slot holds an
+//! `Arc<LakeService>` behind a reader-writer lock:
+//!
+//! * **request path** — handlers clone the `Arc` under a read lock and run
+//!   against that snapshot to completion, so a request always answers from
+//!   the buffer it started on;
+//! * **reload path** — `POST /admin/reload` loads the replacement snapshot
+//!   entirely *off*-lock, then swaps the pointer under a brief write lock
+//!   and bumps the slot's generation. In-flight requests keep their old
+//!   `Arc`; the retired snapshot is freed when the last of them finishes.
+//!
+//! Requests pick their lake with a `"lake"` field in the body (POST) or a
+//! `?lake=` query parameter (GET); the first registered lake is the default
+//! when the field is absent, which keeps single-lake clients — and every
+//! pre-router test — working unchanged. `GET /lakes` lists the slots.
+//!
+//! All slots share one `HttpMetrics` registry: per-endpoint instruments
+//! are daemon-wide, per-lake instruments (`gent_lake_tables_decoded`,
+//! `gent_lake_reloads_total`, the batch family) carry a `{lake="…"}` label.
+//! Reloading never re-registers a family, so scrapes stay collision-free
+//! across generations.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gent_core::GenTConfig;
+use gent_discovery::DiscoveryCache;
+use gent_store::{LakeSource, LoadedLake, SnapshotFile};
+use gent_table::Table;
+use parking_lot::RwLock;
+
+use crate::http::{HttpError, Request, Response};
+use crate::json::Json;
+use crate::service::{
+    effective_config, parse_json_body, reclamation_json, render_metrics, respond_enveloped,
+    ApiError, HttpMetrics, LakeService,
+};
+
+/// One hosted lake: its routing name, the snapshot path it can hot-reload
+/// from, the live service, and a monotonically increasing generation.
+struct LakeSlot {
+    name: String,
+    path: RwLock<Option<PathBuf>>,
+    current: RwLock<Arc<LakeService>>,
+    generation: AtomicU64,
+}
+
+impl LakeSlot {
+    fn new(name: &str, path: Option<PathBuf>, service: LakeService) -> LakeSlot {
+        LakeSlot {
+            name: name.to_string(),
+            path: RwLock::new(path),
+            current: RwLock::new(Arc::new(service)),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Clone the live service handle. The read lock is held only for the
+    /// clone — the request then runs lock-free against its snapshot, and a
+    /// concurrent reload cannot invalidate it.
+    fn service(&self) -> Arc<LakeService> {
+        Arc::clone(&self.current.read())
+    }
+}
+
+/// Is `name` acceptable as a lake routing name? Same alphabet as
+/// [`gent_store::default_lake_name`] produces: 1–64 alphanumerics, `-`, `_`.
+fn valid_lake_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name.chars().all(|c| c.is_alphanumeric() || c == '-' || c == '_')
+}
+
+/// Builds a [`Router`] slot by slot. The first lake added becomes the
+/// default route.
+pub struct RouterBuilder {
+    config: GenTConfig,
+    metrics: Arc<HttpMetrics>,
+    slots: Vec<LakeSlot>,
+}
+
+impl RouterBuilder {
+    fn check_name(&self, name: &str) -> Result<(), String> {
+        if !valid_lake_name(name) {
+            return Err(format!("invalid lake name `{name}`: use 1-64 alphanumerics, `-` or `_`"));
+        }
+        if self.slots.iter().any(|s| s.name == name) {
+            return Err(format!("duplicate lake name `{name}`"));
+        }
+        Ok(())
+    }
+
+    /// Register a snapshot file under `name`. The snapshot opens lazily —
+    /// registration costs header metadata, not a cell decode — and the slot
+    /// remembers `path` so `POST /admin/reload` can re-read it without
+    /// being told where.
+    pub fn add_snapshot(&mut self, name: &str, path: &Path) -> Result<(), String> {
+        self.check_name(name)?;
+        let loaded = SnapshotFile(path.to_path_buf())
+            .load_lake()
+            .map_err(|e| format!("lake `{name}`: cannot open `{}`: {e}", path.display()))?;
+        let service = LakeService::with_shared(
+            loaded,
+            self.config.clone(),
+            path.display().to_string(),
+            name,
+            Arc::clone(&self.metrics),
+        );
+        self.slots.push(LakeSlot::new(name, Some(path.to_path_buf()), service));
+        Ok(())
+    }
+
+    /// Register a lake the caller already opened from `path` — e.g. after
+    /// an eager pre-decode pass. Behaves like [`Self::add_snapshot`]
+    /// (the slot remembers `path` for reloads) without re-reading the file.
+    pub fn add_loaded_snapshot(
+        &mut self,
+        name: &str,
+        loaded: LoadedLake,
+        path: &Path,
+    ) -> Result<(), String> {
+        self.check_name(name)?;
+        let service = LakeService::with_shared(
+            loaded,
+            self.config.clone(),
+            path.display().to_string(),
+            name,
+            Arc::clone(&self.metrics),
+        );
+        self.slots.push(LakeSlot::new(name, Some(path.to_path_buf()), service));
+        Ok(())
+    }
+
+    /// Register an already-loaded lake (tests, in-process embedding). The
+    /// slot has no snapshot path, so reloading it requires an explicit
+    /// `path` in the reload request.
+    pub fn add_loaded(
+        &mut self,
+        name: &str,
+        loaded: LoadedLake,
+        origin: &str,
+    ) -> Result<(), String> {
+        self.check_name(name)?;
+        let service = LakeService::with_shared(
+            loaded,
+            self.config.clone(),
+            origin,
+            name,
+            Arc::clone(&self.metrics),
+        );
+        self.slots.push(LakeSlot::new(name, None, service));
+        Ok(())
+    }
+
+    /// Finish the build. Fails on an empty router — a daemon must host at
+    /// least one lake.
+    pub fn build(self) -> Result<Router, String> {
+        if self.slots.is_empty() {
+            return Err("a router needs at least one lake".into());
+        }
+        Ok(Router {
+            slots: self.slots,
+            base_config: self.config,
+            metrics: self.metrics,
+            started: Instant::now(),
+            served: AtomicU64::new(0),
+        })
+    }
+}
+
+/// The multi-lake request router — see the module docs for the locking
+/// story. The server holds one of these in an `Arc` shared by every worker.
+pub struct Router {
+    slots: Vec<LakeSlot>,
+    base_config: GenTConfig,
+    metrics: Arc<HttpMetrics>,
+    started: Instant,
+    served: AtomicU64,
+}
+
+impl Router {
+    /// Start building a router whose lakes all reclaim with `config` (the
+    /// base that per-request overrides are applied on top of).
+    pub fn builder(config: GenTConfig) -> RouterBuilder {
+        RouterBuilder { config, metrics: LakeService::fresh_metrics(), slots: Vec::new() }
+    }
+
+    /// Wrap a single pre-built service — the compatibility path behind
+    /// [`crate::Server::bind`], and the cheapest way to serve one lake.
+    pub fn single(service: LakeService) -> Router {
+        let metrics = service.metrics_arc();
+        let base_config = service.base_config().clone();
+        let name = service.lake_label().to_string();
+        Router {
+            slots: vec![LakeSlot::new(&name, None, service)],
+            base_config,
+            metrics,
+            started: Instant::now(),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The routing names of the hosted lakes, default first.
+    pub fn lake_names(&self) -> Vec<String> {
+        self.slots.iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Requests answered so far, across all lakes.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn http_metrics(&self) -> &HttpMetrics {
+        &self.metrics
+    }
+
+    fn slot(&self, name: Option<&str>) -> Result<&LakeSlot, ApiError> {
+        match name {
+            None => Ok(&self.slots[0]),
+            Some(n) => self.slots.iter().find(|s| s.name == n).ok_or_else(|| {
+                ApiError::new(
+                    404,
+                    "unknown_lake",
+                    format!("no lake named `{n}`; GET /lakes lists the hosted lakes"),
+                )
+            }),
+        }
+    }
+
+    /// Answer one connection's worth of input (see
+    /// [`LakeService::respond`] for the envelope guarantees — same
+    /// envelope, shared implementation).
+    pub fn respond(&self, input: Result<Request, HttpError>) -> Response {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        respond_enveloped(&self.metrics, input, |request| self.route(request))
+    }
+
+    fn route(&self, request: &Request) -> Result<Response, ApiError> {
+        let (path, query) = match request.path.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (request.path.as_str(), None),
+        };
+        match (request.method.as_str(), path) {
+            ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/lakes") => Ok(self.list_lakes()),
+            ("GET", "/lake/stat") => {
+                Ok(self.slot(query_param(query, "lake"))?.service().lake_stat())
+            }
+            ("GET", "/metrics") => Ok(self.metrics_all()),
+            ("POST", "/reclaim") => {
+                let body = parse_json_body(&request.body)?;
+                self.slot(body_lake(&body)?)?.service().reclaim_body(&body)
+            }
+            ("POST", "/reclaim/batch") => {
+                let body = parse_json_body(&request.body)?;
+                self.reclaim_batch(&body)
+            }
+            ("POST", "/admin/reload") => {
+                let body = parse_json_body(&request.body)?;
+                self.admin_reload(&body)
+            }
+            (_, "/healthz" | "/lakes" | "/lake/stat" | "/metrics") => Err(ApiError::new(
+                405,
+                "bad_method",
+                format!("{} does not accept {}; use GET", path, request.method),
+            )),
+            (_, "/reclaim" | "/reclaim/batch" | "/admin/reload") => Err(ApiError::new(
+                405,
+                "bad_method",
+                format!("{} does not accept {}; use POST", path, request.method),
+            )),
+            _ => Err(ApiError::new(404, "unknown_path", format!("no such endpoint `{path}`"))),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let default = self.slots[0].service();
+        Response::ok(
+            Json::Object(vec![
+                ("status".into(), Json::str("ok")),
+                ("tables".into(), Json::Int(default.lake().len() as i64)),
+                ("uptime_secs".into(), Json::Float(self.started.elapsed().as_secs_f64())),
+                ("requests_served".into(), Json::Int(self.requests_served() as i64)),
+                ("lakes".into(), Json::Int(self.slots.len() as i64)),
+            ])
+            .render(),
+        )
+    }
+
+    fn list_lakes(&self) -> Response {
+        let lakes: Vec<Json> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let service = slot.service();
+                Json::Object(vec![
+                    ("name".into(), Json::str(slot.name.clone())),
+                    ("origin".into(), Json::str(service.origin())),
+                    ("tables".into(), Json::Int(service.lake().len() as i64)),
+                    (
+                        "generation".into(),
+                        Json::Int(slot.generation.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "path".into(),
+                        match &*slot.path.read() {
+                            Some(p) => Json::str(p.display().to_string()),
+                            None => Json::Null,
+                        },
+                    ),
+                ])
+            })
+            .collect();
+        Response::ok(
+            Json::Object(vec![
+                ("default".into(), Json::str(self.slots[0].name.clone())),
+                ("lakes".into(), Json::Array(lakes)),
+            ])
+            .render(),
+        )
+    }
+
+    /// `GET /metrics` for the whole daemon: refresh every slot's labelled
+    /// decode gauges, stamp uptime from the router's start, render the
+    /// process-global registry followed by the shared HTTP registry.
+    fn metrics_all(&self) -> Response {
+        for slot in &self.slots {
+            slot.service().sample_lake_gauges();
+        }
+        self.metrics
+            .uptime_seconds
+            .set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
+        render_metrics(&self.metrics)
+    }
+
+    /// `POST /reclaim/batch`: N sources against one lake, validated
+    /// upfront (any malformed entry fails the whole batch before work
+    /// starts), then run sequentially through **one shared
+    /// [`DiscoveryCache`]** — sources from the same lake region repeat the
+    /// same containment probes, and the memo answers repeats instead of
+    /// rescanning the inverted index. Per-source results are rendered by
+    /// the same code as single `/reclaim` responses, so batch ≡ sequential
+    /// byte-for-byte (modulo timings). Runtime pipeline failures degrade to
+    /// per-source error objects; the batch itself still answers 200.
+    fn reclaim_batch(&self, body: &Json) -> Result<Response, ApiError> {
+        let service = self.slot(body_lake(body)?)?.service();
+        let sources_json = body.get("sources").and_then(Json::as_array).ok_or_else(|| {
+            ApiError::new(400, "bad_json", "`sources` must be an array of reclaim requests")
+        })?;
+        if sources_json.is_empty() {
+            return Err(ApiError::new(400, "empty_batch", "`sources` must not be empty"));
+        }
+        let cfg = effective_config(service.base_config(), body)?;
+        let mut parsed = Vec::with_capacity(sources_json.len());
+        let mut seen = std::collections::HashSet::new();
+        for (i, item) in sources_json.iter().enumerate() {
+            let source = service.parse_source(item).map_err(|e| {
+                ApiError::new(e.status, e.kind, format!("sources[{i}]: {}", e.message))
+            })?;
+            if !seen.insert(source.name().to_string()) {
+                return Err(ApiError::new(
+                    400,
+                    "duplicate_source",
+                    format!(
+                        "sources[{i}] duplicates source name `{}`; batch entries must be distinct",
+                        source.name()
+                    ),
+                ));
+            }
+            parsed.push(source);
+        }
+
+        let mut cache = DiscoveryCache::new();
+        let mut discovery = std::time::Duration::ZERO;
+        let mut results = Vec::with_capacity(parsed.len());
+        for source in &parsed {
+            let source: &Table = source;
+            match service.run_reclaim(source, cfg.as_ref(), Some(&mut cache)) {
+                Ok(result) => {
+                    discovery += result.timings.discovery;
+                    results.push(reclamation_json(source.name(), &result, cfg.as_ref()));
+                }
+                Err(e) => results.push(Json::Object(vec![
+                    ("source".into(), Json::str(source.name())),
+                    (
+                        "error".into(),
+                        Json::Object(vec![
+                            ("kind".into(), Json::str("pipeline")),
+                            ("message".into(), Json::str(e.to_string())),
+                        ]),
+                    ),
+                ])),
+            }
+        }
+
+        let instruments = self.metrics.batch(service.lake_label());
+        instruments.requests.inc();
+        instruments.sources.add(parsed.len() as u64);
+        instruments.memo_hits.add(cache.hits());
+        instruments.memo_misses.add(cache.misses());
+        instruments.discovery_us.observe(u64::try_from(discovery.as_micros()).unwrap_or(u64::MAX));
+
+        Ok(Response::ok(
+            Json::Object(vec![
+                ("lake".into(), Json::str(service.lake_label())),
+                ("count".into(), Json::Int(parsed.len() as i64)),
+                ("results".into(), Json::Array(results)),
+                (
+                    "discovery".into(),
+                    Json::Object(vec![
+                        ("memo_hits".into(), Json::Int(cache.hits() as i64)),
+                        ("memo_misses".into(), Json::Int(cache.misses() as i64)),
+                        ("discovery_ms".into(), Json::Float(discovery.as_secs_f64() * 1e3)),
+                    ]),
+                ),
+            ])
+            .render(),
+        ))
+    }
+
+    /// `POST /admin/reload`: atomically replace one lake's snapshot. The
+    /// replacement loads entirely off-lock (a corrupt or missing file
+    /// answers 422 and leaves the live snapshot untouched); only the
+    /// pointer swap takes the write lock. In-flight requests complete
+    /// against the snapshot they cloned at dispatch.
+    fn admin_reload(&self, body: &Json) -> Result<Response, ApiError> {
+        let slot = self.slot(body_lake(body)?)?;
+        let path = match body.get("path") {
+            Some(p) => PathBuf::from(
+                p.as_str()
+                    .ok_or_else(|| ApiError::new(400, "bad_json", "`path` must be a string"))?,
+            ),
+            None => slot.path.read().clone().ok_or_else(|| {
+                ApiError::new(
+                    400,
+                    "bad_json",
+                    format!("lake `{}` was not loaded from a snapshot; pass `path`", slot.name),
+                )
+            })?,
+        };
+        let loaded = SnapshotFile(path.clone()).load_lake().map_err(|e| {
+            ApiError::new(422, "reload_failed", format!("cannot load `{}`: {e}", path.display()))
+        })?;
+        let service = Arc::new(LakeService::with_shared(
+            loaded,
+            self.base_config.clone(),
+            path.display().to_string(),
+            &slot.name,
+            Arc::clone(&self.metrics),
+        ));
+        let tables = service.lake().len();
+        *slot.current.write() = service;
+        *slot.path.write() = Some(path.clone());
+        let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        self.metrics.reloads(&slot.name).inc();
+        Ok(Response::ok(
+            Json::Object(vec![
+                ("lake".into(), Json::str(slot.name.clone())),
+                ("path".into(), Json::str(path.display().to_string())),
+                ("generation".into(), Json::Int(generation as i64)),
+                ("tables".into(), Json::Int(tables as i64)),
+            ])
+            .render(),
+        ))
+    }
+}
+
+/// Pull the optional `"lake"` routing field out of a POST body.
+fn body_lake(body: &Json) -> Result<Option<&str>, ApiError> {
+    match body.get("lake") {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(Some)
+            .ok_or_else(|| ApiError::new(400, "bad_json", "`lake` must be a string")),
+    }
+}
+
+/// Find `key=` in a raw query string. No percent-decoding: lake names are
+/// restricted to an alphabet that never needs it.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gent_store::{InMemory, LakeSource};
+    use gent_table::Value as V;
+
+    fn lake_tables(tag: &str) -> Vec<Table> {
+        vec![
+            Table::build(
+                &format!("{tag}_people"),
+                &["id", "name", "age"],
+                &[],
+                vec![
+                    vec![V::Int(0), V::str("Smith"), V::Int(27)],
+                    vec![V::Int(1), V::str("Brown"), V::Int(24)],
+                ],
+            )
+            .unwrap(),
+            Table::build(
+                &format!("{tag}_ids"),
+                &["id", "name"],
+                &[],
+                vec![vec![V::Int(0), V::str("Smith")], vec![V::Int(1), V::str("Brown")]],
+            )
+            .unwrap(),
+        ]
+    }
+
+    fn router() -> Router {
+        let mut b = Router::builder(GenTConfig::default());
+        for name in ["alpha", "beta"] {
+            let loaded = InMemory::new(lake_tables(name)).load_lake().unwrap();
+            b.add_loaded(name, loaded, &format!("{name} origin")).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn get(path: &str) -> Request {
+        Request { method: "GET".into(), path: path.into(), headers: vec![], body: vec![] }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_bad_names() {
+        let mut b = Router::builder(GenTConfig::default());
+        let loaded = InMemory::new(lake_tables("x")).load_lake().unwrap();
+        b.add_loaded("ok-name", loaded, "o").unwrap();
+        let loaded = InMemory::new(lake_tables("x")).load_lake().unwrap();
+        assert!(b.add_loaded("ok-name", loaded, "o").unwrap_err().contains("duplicate"));
+        let loaded = InMemory::new(lake_tables("x")).load_lake().unwrap();
+        assert!(b.add_loaded("bad name!", loaded, "o").unwrap_err().contains("invalid"));
+        assert!(Router::builder(GenTConfig::default()).build().is_err());
+    }
+
+    #[test]
+    fn lakes_listing_and_healthz_count() {
+        let r = router();
+        let resp = r.respond(Ok(get("/lakes")));
+        assert_eq!(resp.status, 200);
+        let v = Json::parse(&resp.body).unwrap();
+        assert_eq!(v.get("default").and_then(Json::as_str), Some("alpha"));
+        let lakes = v.get("lakes").and_then(Json::as_array).unwrap();
+        assert_eq!(lakes.len(), 2);
+        assert_eq!(lakes[1].get("name").and_then(Json::as_str), Some("beta"));
+        assert_eq!(lakes[1].get("origin").and_then(Json::as_str), Some("beta origin"));
+        let health = Json::parse(&r.respond(Ok(get("/healthz"))).body).unwrap();
+        assert_eq!(health.get("lakes").and_then(Json::as_i64), Some(2));
+    }
+
+    #[test]
+    fn reclaim_routes_by_lake_field() {
+        let r = router();
+        // Default route: alpha's tables resolve, beta's don't.
+        let ok = r.respond(Ok(post("/reclaim", r#"{"source_name": "alpha_ids", "key": ["id"]}"#)));
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        let routed = r.respond(Ok(post(
+            "/reclaim",
+            r#"{"lake": "beta", "source_name": "beta_ids", "key": ["id"]}"#,
+        )));
+        assert_eq!(routed.status, 200, "{}", routed.body);
+        let wrong =
+            r.respond(Ok(post("/reclaim", r#"{"source_name": "beta_ids", "key": ["id"]}"#)));
+        assert_eq!(wrong.status, 404, "beta's table must not resolve on alpha");
+        let unknown = r.respond(Ok(post("/reclaim", r#"{"lake": "nope", "source_name": "x"}"#)));
+        assert_eq!(unknown.status, 404);
+        let v = Json::parse(&unknown.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("unknown_lake")
+        );
+    }
+
+    #[test]
+    fn stat_routes_by_query_param() {
+        let r = router();
+        let v = Json::parse(&r.respond(Ok(get("/lake/stat?lake=beta"))).body).unwrap();
+        assert_eq!(v.get("origin").and_then(Json::as_str), Some("beta origin"));
+        assert_eq!(r.respond(Ok(get("/lake/stat?lake=nope"))).status, 404);
+    }
+
+    #[test]
+    fn overrides_are_validated_and_echoed() {
+        let r = router();
+        let body = r#"{"source_name": "alpha_ids", "key": ["id"],
+            "overrides": {"tau": 0.5, "max_candidates": 100000}}"#;
+        let resp = r.respond(Ok(post("/reclaim", body)));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = Json::parse(&resp.body).unwrap();
+        let cfg = v.get("config").expect("overridden requests echo the effective config");
+        assert_eq!(cfg.get("tau").and_then(Json::as_f64), Some(0.5));
+        // Clamped server-side, not rejected.
+        assert_eq!(
+            cfg.get("max_candidates").and_then(Json::as_i64),
+            Some(crate::service::MAX_CANDIDATES_CAP as i64)
+        );
+        // No overrides → no config block (pre-override responses unchanged).
+        let plain =
+            r.respond(Ok(post("/reclaim", r#"{"source_name": "alpha_ids", "key": ["id"]}"#)));
+        assert!(Json::parse(&plain.body).unwrap().get("config").is_none());
+        // Out-of-range tau is a structured 422.
+        let bad = r.respond(Ok(post(
+            "/reclaim",
+            r#"{"source_name": "alpha_ids", "key": ["id"], "overrides": {"tau": 1.5}}"#,
+        )));
+        assert_eq!(bad.status, 422, "{}", bad.body);
+        let v = Json::parse(&bad.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("bad_override")
+        );
+    }
+
+    #[test]
+    fn batch_validates_and_answers_per_source() {
+        let r = router();
+        let empty = r.respond(Ok(post("/reclaim/batch", r#"{"sources": []}"#)));
+        assert_eq!(empty.status, 400);
+        let v = Json::parse(&empty.body).unwrap();
+        assert_eq!(v.get("error").unwrap().get("kind").and_then(Json::as_str), Some("empty_batch"));
+        let dup = r.respond(Ok(post(
+            "/reclaim/batch",
+            r#"{"sources": [{"source_name": "alpha_ids", "key": ["id"]},
+                            {"source_name": "alpha_ids", "key": ["id"]}]}"#,
+        )));
+        assert_eq!(dup.status, 400);
+        let v = Json::parse(&dup.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("duplicate_source")
+        );
+        let ok = r.respond(Ok(post(
+            "/reclaim/batch",
+            r#"{"lake": "beta",
+                "sources": [{"source_name": "beta_ids", "key": ["id"]},
+                            {"source_name": "beta_people", "key": ["id"]}]}"#,
+        )));
+        assert_eq!(ok.status, 200, "{}", ok.body);
+        let v = Json::parse(&ok.body).unwrap();
+        assert_eq!(v.get("lake").and_then(Json::as_str), Some("beta"));
+        assert_eq!(v.get("count").and_then(Json::as_i64), Some(2));
+        let results = v.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), 2);
+        for res in results {
+            assert!(res.get("reclaimed").is_some(), "{}", ok.body);
+        }
+        let disc = v.get("discovery").expect("batch responses report memo effectiveness");
+        assert!(disc.get("memo_hits").and_then(Json::as_i64).unwrap() >= 0);
+        assert!(disc.get("memo_misses").and_then(Json::as_i64).unwrap() > 0);
+    }
+
+    #[test]
+    fn reload_swaps_snapshot_and_bumps_generation() {
+        let dir = std::env::temp_dir().join(format!("gent-routing-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1 = dir.join("v1.gentlake");
+        let v2 = dir.join("v2.gentlake");
+        let lake1 = gent_discovery::DataLake::from_tables(lake_tables("one"));
+        let lake2 = gent_discovery::DataLake::from_tables(lake_tables("two"));
+        gent_store::snapshot::save(&v1, &lake1, None).unwrap();
+        gent_store::snapshot::save(&v2, &lake2, None).unwrap();
+
+        let mut b = Router::builder(GenTConfig::default());
+        b.add_snapshot("main", &v1).unwrap();
+        let r = b.build().unwrap();
+
+        // v1 serves one_ids; v2's tables don't exist yet.
+        assert_eq!(
+            r.respond(Ok(post("/reclaim", r#"{"source_name": "one_ids", "key": ["id"]}"#))).status,
+            200
+        );
+        // Reload to v2 (explicit path), generation bumps.
+        let swap = r.respond(Ok(post(
+            "/admin/reload",
+            &format!(r#"{{"lake": "main", "path": "{}"}}"#, v2.display()),
+        )));
+        assert_eq!(swap.status, 200, "{}", swap.body);
+        let v = Json::parse(&swap.body).unwrap();
+        assert_eq!(v.get("generation").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            r.respond(Ok(post("/reclaim", r#"{"source_name": "two_ids", "key": ["id"]}"#))).status,
+            200,
+            "after reload the new snapshot's tables resolve"
+        );
+        assert_eq!(
+            r.respond(Ok(post("/reclaim", r#"{"source_name": "one_ids", "key": ["id"]}"#))).status,
+            404,
+            "after reload the old snapshot's tables are gone"
+        );
+        // Pathless reload re-reads the remembered path.
+        let again = r.respond(Ok(post("/admin/reload", r#"{"lake": "main"}"#)));
+        assert_eq!(again.status, 200, "{}", again.body);
+        assert_eq!(
+            Json::parse(&again.body).unwrap().get("generation").and_then(Json::as_i64),
+            Some(2)
+        );
+        // A missing file is a structured 422 and the live snapshot survives.
+        let bad = r.respond(Ok(post(
+            "/admin/reload",
+            &format!(r#"{{"lake": "main", "path": "{}"}}"#, dir.join("nope.gentlake").display()),
+        )));
+        assert_eq!(bad.status, 422, "{}", bad.body);
+        let v = Json::parse(&bad.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("reload_failed")
+        );
+        assert_eq!(
+            r.respond(Ok(post("/reclaim", r#"{"source_name": "two_ids", "key": ["id"]}"#))).status,
+            200,
+            "failed reload must not disturb the live snapshot"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_scrape_labels_every_lake() {
+        let r = router();
+        r.respond(Ok(post("/reclaim", r#"{"source_name": "alpha_ids", "key": ["id"]}"#)));
+        let body = r.respond(Ok(get("/metrics"))).body;
+        assert!(body.contains("gent_lake_tables_decoded{lake=\"alpha\"}"), "{body}");
+        assert!(body.contains("gent_lake_tables_decoded{lake=\"beta\"}"), "{body}");
+        assert!(body.contains("gent_http_requests_total{endpoint=\"reclaim\"} 1"), "{body}");
+    }
+}

@@ -16,10 +16,14 @@
 //! (the remaining cost of the thread-per-in-flight-connection design).
 //!
 //! The bounded queue is the backpressure mechanism: when every worker is
-//! busy and [`QUEUE_DEPTH`] connections are already waiting, the accept
-//! loop blocks on `send`, the kernel's listen backlog fills, and further
-//! clients queue (or get refused) at the OS level instead of the daemon
-//! accumulating file descriptors without bound.
+//! busy and [`ServeConfig::queue_depth`] connections are already waiting,
+//! the accept loop **sheds** further connections with `429 Too Many
+//! Requests` + a parseable `Retry-After` header instead of stalling — the
+//! daemon keeps accepting, answers overload explicitly, and never
+//! accumulates file descriptors without bound. The queue-depth gauge and
+//! its high-water mark (`gent_http_queue_depth_peak`), plus the shed
+//! counter (`gent_http_shed_total`), make the whole episode observable in
+//! `/metrics`.
 //!
 //! The pool runs inside a `crossbeam::thread::scope`, so `run()` owns every
 //! worker and cannot leak threads; [`ServerHandle::stop`] unblocks the
@@ -34,10 +38,13 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use crate::http::{read_request_buffered, DeadlineStream, HttpError, Response};
+use crate::json::Json;
+use crate::routing::Router;
 use crate::service::LakeService;
 
-/// Accepted-but-unserved connections held by the daemon before the accept
-/// loop blocks (per-connection cost: one fd + one `TcpStream`).
+/// Default bound on accepted-but-unserved connections held by the daemon
+/// before the accept loop sheds load (per-connection cost: one fd + one
+/// `TcpStream`). Override with [`ServeConfig::queue_depth`].
 pub const QUEUE_DEPTH: usize = 128;
 
 /// Requests one kept-alive connection may carry before the daemon closes it
@@ -66,6 +73,11 @@ pub struct ServeConfig {
     /// gets a structured `timeout`/`truncated_body` error when the budget
     /// runs out instead of pinning a worker.
     pub read_timeout: Duration,
+    /// Bound on accepted-but-unserved connections. When every worker is
+    /// busy and this many connections are queued, further connections are
+    /// answered `429 Too Many Requests` + `Retry-After` from the accept
+    /// loop (0 falls back to [`QUEUE_DEPTH`]).
+    pub queue_depth: usize,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +86,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7744".to_string(),
             threads: 0,
             read_timeout: Duration::from_secs(10),
+            queue_depth: QUEUE_DEPTH,
         }
     }
 }
@@ -81,9 +94,10 @@ impl Default for ServeConfig {
 /// A bound (but not yet running) server.
 pub struct Server {
     listener: TcpListener,
-    service: Arc<LakeService>,
+    router: Arc<Router>,
     threads: usize,
     read_timeout: Duration,
+    queue_depth: usize,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -105,10 +119,18 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Bind `cfg.addr` and prepare `service` for serving. The lake inside
-    /// `service` is shared — wrapped in an `Arc` here, borrowed by every
-    /// worker, never cloned per request.
+    /// Bind `cfg.addr` and prepare a single-lake `service` for serving.
+    /// The lake inside `service` is shared — wrapped in an `Arc` here,
+    /// borrowed by every worker, never cloned per request. (This is
+    /// [`Server::bind_router`] over [`Router::single`].)
     pub fn bind(cfg: &ServeConfig, service: LakeService) -> std::io::Result<Server> {
+        Server::bind_router(cfg, Router::single(service))
+    }
+
+    /// Bind `cfg.addr` and serve a multi-lake [`Router`]: per-request lake
+    /// routing, batch reclaim, and atomic snapshot hot-reload behind one
+    /// address.
+    pub fn bind_router(cfg: &ServeConfig, router: Router) -> std::io::Result<Server> {
         let listener = TcpListener::bind(resolve(&cfg.addr)?)?;
         let threads = if cfg.threads == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
@@ -117,9 +139,10 @@ impl Server {
         };
         Ok(Server {
             listener,
-            service: Arc::new(service),
+            router: Arc::new(router),
             threads: threads.max(1),
             read_timeout: cfg.read_timeout,
+            queue_depth: if cfg.queue_depth == 0 { QUEUE_DEPTH } else { cfg.queue_depth },
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -137,18 +160,21 @@ impl Server {
     /// Serve until [`ServerHandle::stop`] is called. Blocks the calling
     /// thread; connections are handled on the worker pool.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, service, threads, read_timeout, shutdown } = self;
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(QUEUE_DEPTH);
+        let Server { listener, router, threads, read_timeout, queue_depth: bound, shutdown } = self;
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(bound);
         let rx = Arc::new(Mutex::new(rx));
         // The queue-depth gauge brackets the channel: incremented when the
         // accept loop enqueues a connection, decremented when a worker
-        // dequeues it — `/metrics` shows how far behind the pool is.
-        let queue_depth = Arc::clone(&service.http_metrics().queue_depth);
+        // dequeues it — `/metrics` shows how far behind the pool is. The
+        // peak gauge records the deepest it ever got.
+        let queue_depth = Arc::clone(&router.http_metrics().queue_depth);
+        let queue_peak = Arc::clone(&router.http_metrics().queue_depth_peak);
+        let shed_total = Arc::clone(&router.http_metrics().shed_total);
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 let rx = Arc::clone(&rx);
-                let service = Arc::clone(&service);
+                let router = Arc::clone(&router);
                 let queue_depth = Arc::clone(&queue_depth);
                 scope.spawn(move |_| loop {
                     // Take the receiver lock only to pull the next job, so
@@ -157,7 +183,7 @@ impl Server {
                     match next {
                         Ok(stream) => {
                             queue_depth.dec();
-                            serve_connection(&service, stream, read_timeout)
+                            serve_connection(&router, stream, read_timeout)
                         }
                         Err(_) => break, // accept loop gone: drain done
                     }
@@ -171,9 +197,20 @@ impl Server {
                 match conn {
                     Ok(stream) => {
                         queue_depth.inc();
-                        if tx.send(stream).is_err() {
-                            queue_depth.dec();
-                            break;
+                        match tx.try_send(stream) {
+                            Ok(()) => queue_peak.set_max(queue_depth.get()),
+                            // Queue full: shed with an explicit 429 instead
+                            // of blocking the accept loop — overload answers
+                            // fast, it doesn't stall the daemon.
+                            Err(mpsc::TrySendError::Full(stream)) => {
+                                queue_depth.dec();
+                                shed_total.inc();
+                                shed_connection(stream);
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => {
+                                queue_depth.dec();
+                                break;
+                            }
                         }
                     }
                     // Transient accept errors (aborted handshakes) must not
@@ -195,11 +232,51 @@ impl Server {
     }
 }
 
+/// Answer an over-quota connection with `429 Too Many Requests` straight
+/// from the accept loop: structured `overloaded` error body, `Retry-After`
+/// header, its own request ID. The response is written *before* reading
+/// the request (the client may still be sending); afterwards the socket is
+/// drained briefly so closing with unread bytes in the receive buffer
+/// doesn't RST the answer away before the client reads it.
+fn shed_connection(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    let trace_id = gent_obs::gen_trace_id();
+    let body = Json::Object(vec![(
+        "error".into(),
+        Json::Object(vec![
+            ("kind".into(), Json::str("overloaded")),
+            (
+                "message".into(),
+                Json::str("worker queue full; retry after the Retry-After interval"),
+            ),
+            ("trace_id".into(), Json::str(trace_id.clone())),
+        ]),
+    )])
+    .render();
+    let response = Response { status: 429, body, headers: Vec::new() }
+        .with_header("Retry-After", "1")
+        .with_header("X-Request-Id", trace_id);
+    if response.write_with(&mut (&stream), false).is_ok() {
+        use std::io::Read;
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut sink = [0u8; 4096];
+        let mut reader = &stream;
+        for _ in 0..16 {
+            match reader.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
 /// Handle one connection: read requests, answer them, close — looping only
 /// for clients that asked for `Connection: keep-alive`, and never past
 /// [`MAX_REQUESTS_PER_CONNECTION`].
-fn serve_connection(service: &LakeService, stream: TcpStream, read_timeout: Duration) {
-    service.http_metrics().connections.inc();
+fn serve_connection(router: &Router, stream: TcpStream, read_timeout: Duration) {
+    router.http_metrics().connections.inc();
     let _ = stream.set_write_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
     // One BufReader for the connection's whole life (read-ahead bytes may
@@ -231,13 +308,13 @@ fn serve_connection(service: &LakeService, stream: TcpStream, read_timeout: Dura
             return;
         }
         if served > 1 && request.is_ok() {
-            service.http_metrics().keepalive_reuses.inc();
+            router.http_metrics().keepalive_reuses.inc();
         }
         // Keep the socket only for well-formed requests that asked for it —
         // after a read error the stream's framing can't be trusted.
         let keep_alive = served < MAX_REQUESTS_PER_CONNECTION
             && matches!(&request, Ok(req) if req.wants_keep_alive());
-        let response: Response = service.respond(request);
+        let response: Response = router.respond(request);
         // The client may already be gone; a failed write only loses its
         // answer (and ends the connection's loop).
         if response.write_with(&mut (&stream), keep_alive).is_err() || !keep_alive {
@@ -275,6 +352,7 @@ mod tests {
             addr: "127.0.0.1:0".into(),
             threads: 2,
             read_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
         };
         Server::bind(&cfg, service).unwrap()
     }

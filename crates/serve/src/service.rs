@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use gent_core::{GenT, GenTConfig};
-use gent_discovery::{DataLake, LshEnsembleIndex};
+use gent_core::{GenT, GenTConfig, GentError, ReclamationResult};
+use gent_discovery::{DataLake, DiscoveryCache, LshEnsembleIndex};
 use gent_obs::{Counter, Gauge, Histogram, Registry, LATENCY_BOUNDS_US};
 use gent_store::{LoadedLake, LshSlot, StoreError};
 use gent_table::key::ensure_key;
@@ -22,6 +22,11 @@ use gent_table::Table;
 
 use crate::http::{HttpError, Request, Response};
 use crate::json::Json;
+
+/// Server-side ceiling for the `max_candidates` per-request override —
+/// requests asking for more are clamped, not rejected (the knob tunes
+/// quality/latency, it must not become a memory amplifier).
+pub const MAX_CANDIDATES_CAP: usize = 200;
 
 /// Per-endpoint instruments: request/error counters, an in-flight gauge,
 /// and the latency histogram that backs **both** views — the `/lake/stat`
@@ -79,6 +84,9 @@ pub(crate) struct HttpMetrics {
     lake_stat: EndpointMetrics,
     reclaim: EndpointMetrics,
     metrics: EndpointMetrics,
+    lakes: EndpointMetrics,
+    reclaim_batch: EndpointMetrics,
+    admin_reload: EndpointMetrics,
     other: EndpointMetrics,
     /// `gent_http_connections_total` — TCP connections served.
     pub(crate) connections: Arc<Counter>,
@@ -87,12 +95,15 @@ pub(crate) struct HttpMetrics {
     pub(crate) keepalive_reuses: Arc<Counter>,
     /// `gent_http_queue_depth` — accepted connections waiting for a worker.
     pub(crate) queue_depth: Arc<Gauge>,
-    // Lake-decode state, sampled at scrape time (the gauges cost nothing
-    // between scrapes and `/metrics` already touches the lake's metadata).
-    tables_decoded: Arc<Gauge>,
-    tables_total: Arc<Gauge>,
-    lsh_decoded: Arc<Gauge>,
-    uptime_seconds: Arc<Gauge>,
+    /// `gent_http_queue_depth_peak` — high-water mark of the bounded queue,
+    /// raised with [`Gauge::set_max`] at every successful enqueue. Under the
+    /// backpressure test this pins the bound itself.
+    pub(crate) queue_depth_peak: Arc<Gauge>,
+    /// `gent_http_shed_total` — connections answered `429 Too Many
+    /// Requests` from the accept loop because the queue was full.
+    pub(crate) shed_total: Arc<Counter>,
+    /// `gent_uptime_seconds` — set at scrape time by whoever renders.
+    pub(crate) uptime_seconds: Arc<Gauge>,
 }
 
 impl HttpMetrics {
@@ -103,6 +114,9 @@ impl HttpMetrics {
             lake_stat: EndpointMetrics::new(&reg, "lake_stat"),
             reclaim: EndpointMetrics::new(&reg, "reclaim"),
             metrics: EndpointMetrics::new(&reg, "metrics"),
+            lakes: EndpointMetrics::new(&reg, "lakes"),
+            reclaim_batch: EndpointMetrics::new(&reg, "reclaim_batch"),
+            admin_reload: EndpointMetrics::new(&reg, "admin_reload"),
             other: EndpointMetrics::new(&reg, "other"),
             connections: reg.counter(
                 "gent_http_connections_total",
@@ -119,15 +133,14 @@ impl HttpMetrics {
                 "Accepted connections waiting for a worker thread",
                 &[],
             ),
-            tables_decoded: reg.gauge(
-                "gent_lake_tables_decoded",
-                "Lake tables whose cells have been materialized",
+            queue_depth_peak: reg.gauge(
+                "gent_http_queue_depth_peak",
+                "Highest queue depth reached since the daemon started",
                 &[],
             ),
-            tables_total: reg.gauge("gent_lake_tables_total", "Tables in the warm lake", &[]),
-            lsh_decoded: reg.gauge(
-                "gent_lake_lsh_decoded",
-                "1 once the snapshot's LSH bands have been decoded",
+            shed_total: reg.counter(
+                "gent_http_shed_total",
+                "Connections answered 429 because the worker queue was full",
                 &[],
             ),
             uptime_seconds: reg.gauge(
@@ -145,7 +158,79 @@ impl HttpMetrics {
             Some("/lake/stat") => &self.lake_stat,
             Some("/reclaim") => &self.reclaim,
             Some("/metrics") => &self.metrics,
+            Some("/lakes") => &self.lakes,
+            Some("/reclaim/batch") => &self.reclaim_batch,
+            Some("/admin/reload") => &self.admin_reload,
             _ => &self.other,
+        }
+    }
+
+    /// The lazy-decode gauges for one named lake, labelled `{lake="…"}` —
+    /// registered on first use, shared on every later lookup, so hosting N
+    /// lakes behind one address yields one family with N labelled series
+    /// instead of N colliding unlabelled ones.
+    pub(crate) fn lake_gauges(&self, lake: &str) -> LakeGauges {
+        let labels: &[(&'static str, &str)] = &[("lake", lake)];
+        LakeGauges {
+            tables_decoded: self.registry.gauge(
+                "gent_lake_tables_decoded",
+                "Lake tables whose cells have been materialized, by lake",
+                labels,
+            ),
+            tables_total: self.registry.gauge(
+                "gent_lake_tables_total",
+                "Tables in the warm lake, by lake",
+                labels,
+            ),
+            lsh_decoded: self.registry.gauge(
+                "gent_lake_lsh_decoded",
+                "1 once the snapshot's LSH bands have been decoded, by lake",
+                labels,
+            ),
+        }
+    }
+
+    /// `gent_lake_reloads_total{lake=…}` — successful atomic snapshot swaps.
+    pub(crate) fn reloads(&self, lake: &str) -> Arc<Counter> {
+        self.registry.counter(
+            "gent_lake_reloads_total",
+            "Successful atomic snapshot hot-reloads, by lake",
+            &[("lake", lake)],
+        )
+    }
+
+    /// The batch-reclaim instruments for one lake: request/source counters,
+    /// the discovery-memo hit/miss counters that make the amortisation
+    /// observable, and the per-batch discovery-stage histogram.
+    pub(crate) fn batch(&self, lake: &str) -> BatchInstruments {
+        let labels: &[(&'static str, &str)] = &[("lake", lake)];
+        BatchInstruments {
+            requests: self.registry.counter(
+                "gent_batch_requests_total",
+                "Batch reclaim requests answered, by lake",
+                labels,
+            ),
+            sources: self.registry.counter(
+                "gent_batch_sources_total",
+                "Source tables processed inside batch reclaims, by lake",
+                labels,
+            ),
+            memo_hits: self.registry.counter(
+                "gent_batch_discovery_memo_hits_total",
+                "Discovery-stage probes answered from the shared batch memo, by lake",
+                labels,
+            ),
+            memo_misses: self.registry.counter(
+                "gent_batch_discovery_memo_misses_total",
+                "Discovery-stage probes computed fresh inside batches, by lake",
+                labels,
+            ),
+            discovery_us: self.registry.histogram(
+                "gent_batch_discovery_duration_us",
+                "Total discovery-stage wall-clock per batch (microseconds), by lake",
+                labels,
+                LATENCY_BOUNDS_US,
+            ),
         }
     }
 
@@ -159,6 +244,24 @@ impl HttpMetrics {
             ("other".into(), latency_json(&self.other.latency)),
         ])
     }
+}
+
+/// The three per-lake lazy-decode gauges (see [`HttpMetrics::lake_gauges`]).
+#[derive(Debug)]
+pub(crate) struct LakeGauges {
+    pub(crate) tables_decoded: Arc<Gauge>,
+    pub(crate) tables_total: Arc<Gauge>,
+    pub(crate) lsh_decoded: Arc<Gauge>,
+}
+
+/// Per-lake batch-reclaim instruments (see [`HttpMetrics::batch`]).
+#[derive(Debug)]
+pub(crate) struct BatchInstruments {
+    pub(crate) requests: Arc<Counter>,
+    pub(crate) sources: Arc<Counter>,
+    pub(crate) memo_hits: Arc<Counter>,
+    pub(crate) memo_misses: Arc<Counter>,
+    pub(crate) discovery_us: Arc<Histogram>,
 }
 
 /// Render one latency histogram in the `/lake/stat` wire shape: count,
@@ -209,7 +312,8 @@ pub struct ApiError {
 }
 
 impl ApiError {
-    fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ApiError {
+    /// Build an error with an HTTP status, stable kind, and free-form detail.
+    pub fn new(status: u16, kind: &'static str, message: impl Into<String>) -> ApiError {
         ApiError { status, kind, message: message.into() }
     }
 
@@ -240,11 +344,12 @@ pub struct LakeService {
     lsh: LshSlot,
     gen_t: GenT,
     origin: String,
+    lake_label: String,
     total_rows: u64,
     total_cols: u64,
     started: Instant,
     served: AtomicU64,
-    metrics: HttpMetrics,
+    metrics: Arc<HttpMetrics>,
 }
 
 impl LakeService {
@@ -252,8 +357,24 @@ impl LakeService {
     /// [`gent_store::SnapshotFile`]); `origin` describes where it came from
     /// for `/lake/stat`. Construction touches only slot metadata — a
     /// lazily-opened snapshot stays fully undecoded until the first
-    /// reclaim needs a table.
+    /// reclaim needs a table. The lake registers under the routing label
+    /// `default`; multi-lake daemons share one registry via `with_shared`.
     pub fn new(loaded: LoadedLake, config: GenTConfig, origin: impl Into<String>) -> LakeService {
+        LakeService::with_shared(loaded, config, origin, "default", Arc::new(HttpMetrics::new()))
+    }
+
+    /// Build a service that shares the daemon-wide [`HttpMetrics`] with its
+    /// sibling lakes and registers its decode gauges under
+    /// `{lake="<label>"}`. This is what the multi-lake router constructs —
+    /// one shared registry means one Prometheus family per metric no matter
+    /// how many lakes (or reload generations) the daemon has seen.
+    pub(crate) fn with_shared(
+        loaded: LoadedLake,
+        config: GenTConfig,
+        origin: impl Into<String>,
+        lake_label: impl Into<String>,
+        metrics: Arc<HttpMetrics>,
+    ) -> LakeService {
         let total_rows = loaded.lake.slots().iter().map(|s| s.n_rows() as u64).sum();
         let total_cols = loaded.lake.slots().iter().map(|s| s.n_cols() as u64).sum();
         LakeService {
@@ -261,18 +382,39 @@ impl LakeService {
             lsh: loaded.lsh,
             gen_t: GenT::new(config),
             origin: origin.into(),
+            lake_label: lake_label.into(),
             total_rows,
             total_cols,
             started: Instant::now(),
             served: AtomicU64::new(0),
-            metrics: HttpMetrics::new(),
+            metrics,
         }
     }
 
-    /// The daemon's HTTP instruments — the server wires its connection and
-    /// queue counters into these.
-    pub(crate) fn http_metrics(&self) -> &HttpMetrics {
-        &self.metrics
+    /// A shareable handle to the same instruments, for the router.
+    pub(crate) fn metrics_arc(&self) -> Arc<HttpMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// A fresh daemon-wide instrument set, for routers built from scratch.
+    pub(crate) fn fresh_metrics() -> Arc<HttpMetrics> {
+        Arc::new(HttpMetrics::new())
+    }
+
+    /// The routing label this lake's per-lake metrics register under.
+    pub(crate) fn lake_label(&self) -> &str {
+        &self.lake_label
+    }
+
+    /// Where the lake came from, as reported by `/lake/stat`.
+    pub(crate) fn origin(&self) -> &str {
+        &self.origin
+    }
+
+    /// The pipeline configuration this service was built with — the base
+    /// that per-request overrides are applied on top of.
+    pub(crate) fn base_config(&self) -> &GenTConfig {
+        self.gen_t.config()
     }
 
     /// The warm-started LSH index carried by the snapshot, if any —
@@ -302,57 +444,7 @@ impl LakeService {
     /// one structured line with that same ID.
     pub fn respond(&self, input: Result<Request, HttpError>) -> Response {
         self.served.fetch_add(1, Ordering::Relaxed);
-        let trace_id = input
-            .as_ref()
-            .ok()
-            .and_then(|r| r.header("x-request-id"))
-            .filter(|id| valid_trace_id(id))
-            .map(str::to_string)
-            .unwrap_or_else(gent_obs::gen_trace_id);
-        let prev = gent_obs::set_trace_id(Some(trace_id.clone()));
-        let t0 = Instant::now();
-        let (path, method) = match &input {
-            Ok(r) => (Some(r.path.split('?').next().unwrap_or("").to_string()), r.method.clone()),
-            Err(_) => (None, String::new()),
-        };
-        let ep = self.metrics.for_path(path.as_deref());
-        ep.requests.inc();
-        ep.in_flight.inc();
-        let response = match input {
-            Ok(request) => {
-                let result = catch_unwind(AssertUnwindSafe(|| self.route(&request)));
-                match result {
-                    Ok(Ok(response)) => response,
-                    Ok(Err(api)) => api.to_response(),
-                    Err(_) => ApiError::new(
-                        500,
-                        "internal_error",
-                        "request handler panicked; the lake is read-only and unaffected",
-                    )
-                    .to_response(),
-                }
-            }
-            Err(e) => read_error_response(&e),
-        };
-        ep.in_flight.dec();
-        if response.status >= 400 {
-            ep.errors.inc();
-        }
-        let elapsed = t0.elapsed();
-        ep.latency.observe_duration(elapsed);
-        gent_obs::log(
-            gent_obs::Level::Info,
-            "gent_serve",
-            "request",
-            &[
-                ("method", if method.is_empty() { "-" } else { &method }.into()),
-                ("path", path.as_deref().unwrap_or("-").into()),
-                ("status", u64::from(response.status).into()),
-                ("elapsed_us", u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX).into()),
-            ],
-        );
-        gent_obs::set_trace_id(prev);
-        response.with_header("X-Request-Id", trace_id)
+        respond_enveloped(&self.metrics, input, |request| self.route(request))
     }
 
     fn route(&self, request: &Request) -> Result<Response, ApiError> {
@@ -392,7 +484,7 @@ impl LakeService {
     /// totals, the decode gauges from `OnceLock` states — the endpoint
     /// itself never forces a table or band decode, so statting a lazily
     /// opened TB-scale lake stays O(tables), not O(cells).
-    fn lake_stat(&self) -> Response {
+    pub(crate) fn lake_stat(&self) -> Response {
         Response::ok(
             Json::Object(vec![
                 ("origin".into(), Json::str(self.origin.clone())),
@@ -418,88 +510,68 @@ impl LakeService {
     /// gauges are sampled here, at scrape time, from the same `OnceLock`
     /// states `/lake/stat` reads — no table or band decode is forced.
     fn metrics_exposition(&self) -> Response {
-        self.metrics.tables_decoded.set(self.lake.tables_decoded() as i64);
-        self.metrics.tables_total.set(self.lake.len() as i64);
-        self.metrics.lsh_decoded.set(i64::from(self.lsh.is_decoded()));
+        self.sample_lake_gauges();
+        self.set_uptime();
+        render_metrics(&self.metrics)
+    }
+
+    /// Refresh this lake's `{lake=…}` decode gauges from the `OnceLock`
+    /// states. The router calls this on every slot before rendering a
+    /// multi-lake scrape.
+    pub(crate) fn sample_lake_gauges(&self) {
+        let g = self.metrics.lake_gauges(&self.lake_label);
+        g.tables_decoded.set(self.lake.tables_decoded() as i64);
+        g.tables_total.set(self.lake.len() as i64);
+        g.lsh_decoded.set(i64::from(self.lsh.is_decoded()));
+    }
+
+    /// Refresh the shared uptime gauge from this service's start time.
+    pub(crate) fn set_uptime(&self) {
         self.metrics
             .uptime_seconds
             .set(i64::try_from(self.started.elapsed().as_secs()).unwrap_or(i64::MAX));
-        let mut text = gent_obs::registry().render_prometheus();
-        text.push_str(&self.metrics.registry.render_prometheus());
-        Response::ok(text).with_header("Content-Type", "text/plain; version=0.0.4")
     }
 
     fn reclaim(&self, request: &Request) -> Result<Response, ApiError> {
-        let text = std::str::from_utf8(&request.body)
-            .map_err(|_| ApiError::new(400, "bad_json", "request body is not UTF-8"))?;
-        let body = Json::parse(text)
-            .map_err(|e| ApiError::new(400, "bad_json", format!("request body: {e}")))?;
-        let source = self.parse_source(&body)?;
+        let body = parse_json_body(&request.body)?;
+        self.reclaim_body(&body)
+    }
 
+    /// Handle one parsed `/reclaim` body against this lake: parse the
+    /// source, apply any per-request overrides, run the pipeline, render.
+    /// The router calls this directly after resolving the `lake` field.
+    pub(crate) fn reclaim_body(&self, body: &Json) -> Result<Response, ApiError> {
+        let source = self.parse_source(body)?;
+        let cfg = effective_config(self.gen_t.config(), body)?;
         let result = self
-            .gen_t
-            .reclaim(&source, &self.lake)
+            .run_reclaim(&source, cfg.as_ref(), None)
             .map_err(|e| ApiError::new(422, "pipeline", e.to_string()))?;
+        Ok(Response::ok(reclamation_json(source.name(), &result, cfg.as_ref()).render()))
+    }
 
-        let originating: Vec<Json> = result
-            .originating
-            .iter()
-            .map(|t| {
-                Json::Object(vec![
-                    ("name".into(), Json::str(t.name())),
-                    ("rows".into(), Json::Int(t.n_rows() as i64)),
-                    ("columns".into(), Json::Int(t.n_cols() as i64)),
-                ])
-            })
-            .collect();
-        let response = Json::Object(vec![
-            ("source".into(), Json::str(source.name())),
-            (
-                "metrics".into(),
-                Json::Object(vec![
-                    ("eis".into(), Json::Float(result.eis)),
-                    ("recall".into(), Json::Float(result.report.recall)),
-                    ("precision".into(), Json::Float(result.report.precision)),
-                    ("f1".into(), Json::Float(result.report.f1)),
-                    ("inst_div".into(), Json::Float(result.report.inst_div)),
-                    ("perfect".into(), Json::Bool(result.report.perfect)),
-                ]),
-            ),
-            ("candidates_considered".into(), Json::Int(result.candidates_considered as i64)),
-            // The pipeline's wall-clock breakdown: where this request's
-            // time went (per request, so it varies run to run — clients
-            // comparing responses must compare everything *but* this).
-            (
-                "timings".into(),
-                Json::Object(vec![
-                    ("discovery_ms".into(), Json::Float(ms(result.timings.discovery))),
-                    ("traversal_ms".into(), Json::Float(ms(result.timings.traversal))),
-                    ("integration_ms".into(), Json::Float(ms(result.timings.integration))),
-                    ("total_ms".into(), Json::Float(ms(result.timings.total()))),
-                    // The traversal's incremental-round breakdown: how many
-                    // greedy rounds ran, how many dirty rows were rescored,
-                    // and how many candidate scorings the admissible bound
-                    // skipped outright.
-                    (
-                        "traversal_rounds".into(),
-                        Json::Int(i64::from(result.timings.traversal_rounds)),
-                    ),
-                    (
-                        "rows_rescored".into(),
-                        Json::Int(i64::try_from(result.timings.rows_rescored).unwrap_or(i64::MAX)),
-                    ),
-                    (
-                        "candidates_pruned".into(),
-                        Json::Int(
-                            i64::try_from(result.timings.candidates_pruned).unwrap_or(i64::MAX),
-                        ),
-                    ),
-                ]),
-            ),
-            ("originating".into(), Json::Array(originating)),
-            ("reclaimed".into(), table_to_json(&result.reclaimed)),
-        ]);
-        Ok(Response::ok(response.render()))
+    /// Run one reclamation with an optional config override and an optional
+    /// shared discovery memo (batch requests thread one cache through every
+    /// source in the batch). With a fresh cache the cached path is
+    /// bit-identical to the uncached one, which is what makes batch ≡
+    /// sequential hold.
+    pub(crate) fn run_reclaim(
+        &self,
+        source: &Table,
+        cfg: Option<&GenTConfig>,
+        cache: Option<&mut DiscoveryCache>,
+    ) -> Result<ReclamationResult, GentError> {
+        let overridden;
+        let engine = match cfg {
+            Some(c) => {
+                overridden = GenT::new(c.clone());
+                &overridden
+            }
+            None => &self.gen_t,
+        };
+        match cache {
+            Some(cache) => engine.reclaim_with_cache(source, &self.lake, cache),
+            None => engine.reclaim(source, &self.lake),
+        }
     }
 
     /// Build the source table from the request body: either an inline
@@ -507,7 +579,7 @@ impl LakeService {
     /// table is *borrowed* from the warm lake; it is cloned only when the
     /// request forces a schema change (a `key` override, or key mining) —
     /// no per-request table copy on the already-keyed path.
-    fn parse_source(&self, body: &Json) -> Result<Cow<'_, Table>, ApiError> {
+    pub(crate) fn parse_source(&self, body: &Json) -> Result<Cow<'_, Table>, ApiError> {
         let mut source: Cow<'_, Table> = match (body.get("source"), body.get("source_name")) {
             (Some(inline), None) => Cow::Owned(table_from_json(inline)?),
             (None, Some(name)) => {
@@ -556,6 +628,214 @@ impl LakeService {
 /// Milliseconds as a float, for the wire.
 fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// The request envelope shared by the single-lake service and the
+/// multi-lake router: trace-ID install (echoed from a well-formed client
+/// `X-Request-Id`, generated otherwise), per-endpoint instruments
+/// (request/error counters, in-flight gauge, latency histogram), panic
+/// containment (a panicking handler answers 500 and the daemon lives on),
+/// one structured log line, and the `X-Request-Id` response header.
+pub(crate) fn respond_enveloped(
+    metrics: &HttpMetrics,
+    input: Result<Request, HttpError>,
+    handler: impl FnOnce(&Request) -> Result<Response, ApiError>,
+) -> Response {
+    let trace_id = input
+        .as_ref()
+        .ok()
+        .and_then(|r| r.header("x-request-id"))
+        .filter(|id| valid_trace_id(id))
+        .map(str::to_string)
+        .unwrap_or_else(gent_obs::gen_trace_id);
+    let prev = gent_obs::set_trace_id(Some(trace_id.clone()));
+    let t0 = Instant::now();
+    let (path, method) = match &input {
+        Ok(r) => (Some(r.path.split('?').next().unwrap_or("").to_string()), r.method.clone()),
+        Err(_) => (None, String::new()),
+    };
+    let ep = metrics.for_path(path.as_deref());
+    ep.requests.inc();
+    ep.in_flight.inc();
+    let response = match input {
+        Ok(request) => {
+            let result = catch_unwind(AssertUnwindSafe(|| handler(&request)));
+            match result {
+                Ok(Ok(response)) => response,
+                Ok(Err(api)) => api.to_response(),
+                Err(_) => ApiError::new(
+                    500,
+                    "internal_error",
+                    "request handler panicked; the lake is read-only and unaffected",
+                )
+                .to_response(),
+            }
+        }
+        Err(e) => read_error_response(&e),
+    };
+    ep.in_flight.dec();
+    if response.status >= 400 {
+        ep.errors.inc();
+    }
+    let elapsed = t0.elapsed();
+    ep.latency.observe_duration(elapsed);
+    gent_obs::log(
+        gent_obs::Level::Info,
+        "gent_serve",
+        "request",
+        &[
+            ("method", if method.is_empty() { "-" } else { &method }.into()),
+            ("path", path.as_deref().unwrap_or("-").into()),
+            ("status", u64::from(response.status).into()),
+            ("elapsed_us", u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX).into()),
+        ],
+    );
+    gent_obs::set_trace_id(prev);
+    response.with_header("X-Request-Id", trace_id)
+}
+
+/// Apply the request's `overrides` block — if any — to the service's base
+/// configuration. Shape errors (not an object, unknown key, wrong type)
+/// answer 400; a `tau` outside `[0, 1]` answers 422; `max_candidates` is
+/// clamped server-side to `[1, MAX_CANDIDATES_CAP]` rather than rejected.
+/// Returns `None` when the request carries no overrides, so the untouched
+/// fast path keeps serving byte-identical responses.
+pub(crate) fn effective_config(
+    base: &GenTConfig,
+    body: &Json,
+) -> Result<Option<GenTConfig>, ApiError> {
+    let Some(overrides) = body.get("overrides") else { return Ok(None) };
+    let Json::Object(fields) = overrides else {
+        return Err(ApiError::new(400, "bad_override", "`overrides` must be an object"));
+    };
+    let mut cfg = base.clone();
+    for (key, value) in fields {
+        match key.as_str() {
+            "tau" => {
+                let tau = value.as_f64().ok_or_else(|| {
+                    ApiError::new(422, "bad_override", "`overrides.tau` must be a number")
+                })?;
+                if !tau.is_finite() || !(0.0..=1.0).contains(&tau) {
+                    return Err(ApiError::new(
+                        422,
+                        "bad_override",
+                        format!("`overrides.tau` must be within [0, 1], got {tau}"),
+                    ));
+                }
+                cfg.set_similarity.tau = tau;
+            }
+            "max_candidates" => {
+                let m = value.as_i64().ok_or_else(|| {
+                    ApiError::new(
+                        422,
+                        "bad_override",
+                        "`overrides.max_candidates` must be an integer",
+                    )
+                })?;
+                cfg.set_similarity.max_candidates =
+                    usize::try_from(m.max(1)).unwrap_or(1).min(MAX_CANDIDATES_CAP);
+            }
+            other => {
+                return Err(ApiError::new(
+                    400,
+                    "bad_override",
+                    format!("unknown override `{other}`; supported: tau, max_candidates"),
+                ))
+            }
+        }
+    }
+    Ok(Some(cfg))
+}
+
+/// Render one reclamation result in the `/reclaim` wire shape. When the
+/// request overrode the configuration, a `config` block echoes the
+/// effective (clamped) values; requests without overrides get the exact
+/// pre-override response bytes.
+pub(crate) fn reclamation_json(
+    source_name: &str,
+    result: &ReclamationResult,
+    overridden: Option<&GenTConfig>,
+) -> Json {
+    let originating: Vec<Json> = result
+        .originating
+        .iter()
+        .map(|t| {
+            Json::Object(vec![
+                ("name".into(), Json::str(t.name())),
+                ("rows".into(), Json::Int(t.n_rows() as i64)),
+                ("columns".into(), Json::Int(t.n_cols() as i64)),
+            ])
+        })
+        .collect();
+    let mut fields = vec![
+        ("source".into(), Json::str(source_name)),
+        (
+            "metrics".into(),
+            Json::Object(vec![
+                ("eis".into(), Json::Float(result.eis)),
+                ("recall".into(), Json::Float(result.report.recall)),
+                ("precision".into(), Json::Float(result.report.precision)),
+                ("f1".into(), Json::Float(result.report.f1)),
+                ("inst_div".into(), Json::Float(result.report.inst_div)),
+                ("perfect".into(), Json::Bool(result.report.perfect)),
+            ]),
+        ),
+        ("candidates_considered".into(), Json::Int(result.candidates_considered as i64)),
+        // The pipeline's wall-clock breakdown: where this request's
+        // time went (per request, so it varies run to run — clients
+        // comparing responses must compare everything *but* this).
+        (
+            "timings".into(),
+            Json::Object(vec![
+                ("discovery_ms".into(), Json::Float(ms(result.timings.discovery))),
+                ("traversal_ms".into(), Json::Float(ms(result.timings.traversal))),
+                ("integration_ms".into(), Json::Float(ms(result.timings.integration))),
+                ("total_ms".into(), Json::Float(ms(result.timings.total()))),
+                // The traversal's incremental-round breakdown: how many
+                // greedy rounds ran, how many dirty rows were rescored,
+                // and how many candidate scorings the admissible bound
+                // skipped outright.
+                ("traversal_rounds".into(), Json::Int(i64::from(result.timings.traversal_rounds))),
+                (
+                    "rows_rescored".into(),
+                    Json::Int(i64::try_from(result.timings.rows_rescored).unwrap_or(i64::MAX)),
+                ),
+                (
+                    "candidates_pruned".into(),
+                    Json::Int(i64::try_from(result.timings.candidates_pruned).unwrap_or(i64::MAX)),
+                ),
+            ]),
+        ),
+        ("originating".into(), Json::Array(originating)),
+        ("reclaimed".into(), table_to_json(&result.reclaimed)),
+    ];
+    if let Some(cfg) = overridden {
+        fields.push((
+            "config".into(),
+            Json::Object(vec![
+                ("tau".into(), Json::Float(cfg.set_similarity.tau)),
+                ("max_candidates".into(), Json::Int(cfg.set_similarity.max_candidates as i64)),
+            ]),
+        ));
+    }
+    Json::Object(fields)
+}
+
+/// Decode and parse a request body as JSON, with the structured 400s every
+/// POST endpoint answers for non-UTF-8 or malformed bodies.
+pub(crate) fn parse_json_body(body: &[u8]) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(400, "bad_json", "request body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| ApiError::new(400, "bad_json", format!("request body: {e}")))
+}
+
+/// Render the full Prometheus exposition: the process-global registry
+/// (pipeline stages, traversal counters, store opens) followed by the
+/// daemon's shared HTTP registry.
+pub(crate) fn render_metrics(metrics: &HttpMetrics) -> Response {
+    let mut text = gent_obs::registry().render_prometheus();
+    text.push_str(&metrics.registry.render_prometheus());
+    Response::ok(text).with_header("Content-Type", "text/plain; version=0.0.4")
 }
 
 fn read_error_response(e: &HttpError) -> Response {
@@ -925,8 +1205,9 @@ mod tests {
         }
         assert!(r.body.contains("gent_http_requests_total{endpoint=\"healthz\"} 1"), "{}", r.body);
         assert!(r.body.contains("gent_http_errors_total{endpoint=\"reclaim\"} 1"), "{}", r.body);
-        // The in-memory test lake is fully decoded by construction.
-        assert!(r.body.contains("gent_lake_tables_decoded 2"), "{}", r.body);
+        // The in-memory test lake is fully decoded by construction; the
+        // decode gauges carry the routing label of their lake.
+        assert!(r.body.contains("gent_lake_tables_decoded{lake=\"default\"} 2"), "{}", r.body);
         // The scrape itself is the one request mid-flight while rendering.
         assert!(r.body.contains("gent_http_in_flight{endpoint=\"metrics\"} 1"), "{}", r.body);
         assert!(r.body.contains("gent_http_in_flight{endpoint=\"healthz\"} 0"), "{}", r.body);

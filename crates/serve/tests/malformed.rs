@@ -26,6 +26,7 @@ fn boot() -> (SocketAddr, ServerHandle, std::thread::JoinHandle<std::io::Result<
         threads: 2,
         // Short timeout so the stalled-body case resolves quickly.
         read_timeout: Duration::from_millis(300),
+        ..ServeConfig::default()
     };
     let server = Server::bind(&cfg, service).unwrap();
     let addr = server.local_addr().unwrap();
@@ -208,6 +209,98 @@ fn hostile_inputs_get_structured_errors_and_daemon_survives() {
     assert!(text.contains("X-Request-Id: hostile-trace-7"), "echoed header: {text}");
     assert!(text.contains(r#""trace_id":"hostile-trace-7""#), "error body: {text}");
     assert_traced(&text);
+
+    handle.stop();
+    runner.join().unwrap().unwrap();
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+    let mut req =
+        format!("POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n", body.len())
+            .into_bytes();
+    req.extend_from_slice(body.as_bytes());
+    raw(addr, &req, false)
+}
+
+/// The multi-lake surface under hostile input: routing, batching, override
+/// and reload endpoints must each answer a *structured* 4xx carrying an
+/// `error.trace_id`, and the daemon must keep serving after every one.
+#[test]
+fn hostile_multi_lake_inputs_get_structured_errors() {
+    let (addr, handle, runner) = boot();
+
+    // 1. Unknown lake name → 404 unknown_lake.
+    let text = post(addr, "/reclaim", r#"{"lake": "nope", "source_name": "people"}"#);
+    let (status, kind) = status_and_kind(&text);
+    assert_eq!((status, kind.as_str()), (404, "unknown_lake"), "got: {text}");
+    assert_traced(&text);
+    assert_alive(addr);
+
+    // 2. Empty batch → 400 empty_batch.
+    let text = post(addr, "/reclaim/batch", r#"{"sources": []}"#);
+    let (status, kind) = status_and_kind(&text);
+    assert_eq!((status, kind.as_str()), (400, "empty_batch"), "got: {text}");
+    assert_traced(&text);
+    assert_alive(addr);
+
+    // 3. Duplicate source names in one batch → 400 duplicate_source.
+    let text = post(
+        addr,
+        "/reclaim/batch",
+        r#"{"sources": [{"source_name": "people", "key": ["id"]},
+                        {"source_name": "people", "key": ["id"]}]}"#,
+    );
+    let (status, kind) = status_and_kind(&text);
+    assert_eq!((status, kind.as_str()), (400, "duplicate_source"), "got: {text}");
+    assert_traced(&text);
+    assert_alive(addr);
+
+    // 4. tau outside [0, 1] → 422 bad_override (both ends, and NaN-ish).
+    for tau in ["-0.1", "1.5", "1e9"] {
+        let text = post(
+            addr,
+            "/reclaim",
+            &format!(
+                r#"{{"source_name": "people", "key": ["id"], "overrides": {{"tau": {tau}}}}}"#
+            ),
+        );
+        let (status, kind) = status_and_kind(&text);
+        assert_eq!((status, kind.as_str()), (422, "bad_override"), "tau {tau}: {text}");
+        assert_traced(&text);
+    }
+    assert_alive(addr);
+
+    // 5. Non-object overrides → 400 bad_override.
+    let text =
+        post(addr, "/reclaim", r#"{"source_name": "people", "key": ["id"], "overrides": [1, 2]}"#);
+    let (status, kind) = status_and_kind(&text);
+    assert_eq!((status, kind.as_str()), (400, "bad_override"), "got: {text}");
+    assert_traced(&text);
+    assert_alive(addr);
+
+    // 6a. Reload pointing at a missing file → 422 reload_failed.
+    let text = post(addr, "/admin/reload", r#"{"path": "/nonexistent/nope.gentlake"}"#);
+    let (status, kind) = status_and_kind(&text);
+    assert_eq!((status, kind.as_str()), (422, "reload_failed"), "got: {text}");
+    assert_traced(&text);
+    assert_alive(addr);
+
+    // 6b. Reload pointing at a corrupt file (wrong magic) → 422
+    //     reload_failed, and the live lake keeps serving.
+    let corrupt =
+        std::env::temp_dir().join(format!("gent-corrupt-{}.gentlake", std::process::id()));
+    std::fs::write(&corrupt, b"NOTALAKE garbage bytes").unwrap();
+    let text = post(addr, "/admin/reload", &format!(r#"{{"path": "{}"}}"#, corrupt.display()));
+    let (status, kind) = status_and_kind(&text);
+    assert_eq!((status, kind.as_str()), (422, "reload_failed"), "got: {text}");
+    assert_traced(&text);
+    std::fs::remove_file(&corrupt).ok();
+    assert_alive(addr);
+
+    // After the whole gauntlet, a real reclaim still answers 200.
+    let text = post(addr, "/reclaim", r#"{"source_name": "people", "key": ["id"]}"#);
+    let (status, _) = status_and_kind(&text);
+    assert_eq!(status, 200, "daemon must still reclaim: {text}");
 
     handle.stop();
     runner.join().unwrap().unwrap();

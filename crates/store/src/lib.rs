@@ -67,3 +67,28 @@ pub use source::{InMemory, LakeSource, SnapshotFile};
 pub fn open_lake(path: &std::path::Path) -> Result<gent_discovery::DataLake, StoreError> {
     Ok(snapshot::load(path)?.lake)
 }
+
+/// The name a snapshot registers under when the caller does not pick one:
+/// the file stem, sanitised to the serve tier's routing alphabet
+/// (alphanumerics, `-`, `_`; anything else becomes `_`; an empty stem
+/// becomes `lake`). `gent serve --lake a.gentlake --lake b.gentlake` routes
+/// by these names.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(gent_store::default_lake_name("/data/tp-tr.gentlake".as_ref()), "tp-tr");
+/// assert_eq!(gent_store::default_lake_name("weird name!.gentlake".as_ref()), "weird_name_");
+/// ```
+pub fn default_lake_name(path: &std::path::Path) -> String {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+    let cleaned: String = stem
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "lake".to_string()
+    } else {
+        cleaned
+    }
+}

@@ -81,6 +81,18 @@ fn metrics_endpoint_survives_the_strict_parser() {
         Json::Object(vec![("source".to_string(), gen_t::serve::table_to_json(&source))]).render();
     let (status, _, reclaim_body) = http(addr, "POST", "/reclaim", &body);
     assert_eq!(status, 200, "{reclaim_body}");
+    let batch = Json::Object(vec![(
+        "sources".to_string(),
+        Json::Array(vec![Json::Object(vec![(
+            "source".to_string(),
+            gen_t::serve::table_to_json(&source),
+        )])]),
+    )])
+    .render();
+    let (status, _, batch_body) = http(addr, "POST", "/reclaim/batch", &batch);
+    assert_eq!(status, 200, "{batch_body}");
+    let (status, _, _) = http(addr, "GET", "/lakes", "");
+    assert_eq!(status, 200);
     let (status, _, _) = http(addr, "GET", "/no/such/route", "");
     assert_eq!(status, 404);
 
@@ -114,7 +126,15 @@ fn metrics_endpoint_survives_the_strict_parser() {
         "gent_http_connections_total",
         "gent_http_keepalive_reuses_total",
         "gent_http_queue_depth",
-        // lake decode state
+        "gent_http_queue_depth_peak",
+        "gent_http_shed_total",
+        // batch reclaim (per-lake labels, fed by the batch above)
+        "gent_batch_requests_total",
+        "gent_batch_sources_total",
+        "gent_batch_discovery_memo_hits_total",
+        "gent_batch_discovery_memo_misses_total",
+        "gent_batch_discovery_duration_us",
+        // lake decode state (one series per hosted lake)
         "gent_lake_tables_decoded",
         "gent_lake_tables_total",
         "gent_lake_lsh_decoded",
@@ -124,8 +144,11 @@ fn metrics_endpoint_survives_the_strict_parser() {
 
     // Spot-check the counters actually counted this test's traffic.
     assert_eq!(exp.value("gent_http_requests_total", &[("endpoint", "reclaim")]), Some(1.0));
+    assert_eq!(exp.value("gent_http_requests_total", &[("endpoint", "reclaim_batch")]), Some(1.0));
+    assert_eq!(exp.value("gent_http_requests_total", &[("endpoint", "lakes")]), Some(1.0));
     assert_eq!(exp.value("gent_http_errors_total", &[("endpoint", "other")]), Some(1.0));
-    assert_eq!(exp.value("gent_pipeline_reclaims_total", &[]), Some(1.0));
+    assert_eq!(exp.value("gent_pipeline_reclaims_total", &[]), Some(2.0));
+    assert_eq!(exp.value("gent_batch_sources_total", &[("lake", "default")]), Some(1.0));
     assert!(
         exp.value("gent_pipeline_stage_duration_us_count", &[("stage", "traversal")])
             .is_some_and(|v| v >= 1.0),
@@ -136,8 +159,8 @@ fn metrics_endpoint_survives_the_strict_parser() {
         "the snapshot open must have been counted"
     );
     assert!(
-        exp.value("gent_lake_tables_decoded", &[]).is_some_and(|v| v >= 1.0),
-        "the reclaim decoded at least one table"
+        exp.value("gent_lake_tables_decoded", &[("lake", "default")]).is_some_and(|v| v >= 1.0),
+        "the reclaim decoded at least one table (per-lake labelled series)"
     );
 
     // And the scrape is traced like any other request.

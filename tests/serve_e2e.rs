@@ -243,6 +243,122 @@ fn daemon_matches_one_shot_cli_byte_for_byte() {
     runner.join().unwrap().expect("server run");
 }
 
+/// Rename an inline-source JSON table, so one CSV can stand in for several
+/// distinct batch entries (duplicate *names* are rejected by the batch
+/// endpoint; duplicate *content* is exactly what makes the shared
+/// discovery memo observable).
+fn renamed(table: &Json, name: &str) -> Json {
+    match table.clone() {
+        Json::Object(fields) => Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| if k == "name" { (k, Json::str(name)) } else { (k, v) })
+                .collect(),
+        ),
+        other => other,
+    }
+}
+
+/// Batch ≡ sequential: a `POST /reclaim/batch` of N sources must answer,
+/// per source, byte-identically (modulo timings) to N individual
+/// `POST /reclaim` calls — and the shared discovery memo must actually
+/// amortise work, observable in the response and in `/metrics`.
+#[test]
+fn batch_reclaim_matches_sequential_and_amortises_discovery() {
+    let gen_dir = scratch("batch-suite");
+    cli(&["generate", gen_dir.to_str().unwrap(), "--benchmark", "tp-tr-small", "--seed", "7"]);
+    let snap = scratch("batch-lake.gentlake");
+    cli(&[
+        "lake",
+        "build",
+        gen_dir.join("lake").to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+
+    let mut source = csv::read_csv_file(&gen_dir.join("sources").join("S1.csv")).expect("source");
+    assert!(ensure_key(&mut source));
+    let table = gen_t::serve::table_to_json(&source);
+    let names = ["batch_a", "batch_b", "batch_c"];
+
+    let loaded = SnapshotFile(snap.clone()).load_lake().expect("open snapshot");
+    let service = LakeService::new(loaded, GenTConfig::default(), snap.display().to_string());
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServeConfig::default() };
+    let server = Server::bind(&cfg, service).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    let runner = std::thread::spawn(move || server.run());
+
+    // N individual reclaims…
+    let sequential: Vec<String> = names
+        .iter()
+        .map(|name| {
+            let body = Json::Object(vec![("source".to_string(), renamed(&table, name))]).render();
+            let (status, payload) = http(addr, "POST", "/reclaim", &body);
+            assert_eq!(status, 200, "sequential {name}: {payload}");
+            payload
+        })
+        .collect();
+
+    // …then the same N sources as one batch.
+    let batch_body = Json::Object(vec![(
+        "sources".to_string(),
+        Json::Array(
+            names
+                .iter()
+                .map(|name| Json::Object(vec![("source".to_string(), renamed(&table, name))]))
+                .collect(),
+        ),
+    )])
+    .render();
+    let (status, payload) = http(addr, "POST", "/reclaim/batch", &batch_body);
+    assert_eq!(status, 200, "batch: {payload}");
+    let v = Json::parse(&payload).expect("batch json");
+    assert_eq!(v.get("count").and_then(Json::as_i64), Some(names.len() as i64));
+    let results = v.get("results").and_then(Json::as_array).expect("results array");
+    assert_eq!(results.len(), names.len());
+
+    // Per-source fidelity: each batch entry is the single-call response,
+    // byte-for-byte once the genuinely-variable timings are stripped.
+    for ((name, batch_result), single) in names.iter().zip(results).zip(&sequential) {
+        assert_eq!(
+            without_timings(&batch_result.render()),
+            without_timings(single),
+            "batch entry `{name}` diverged from its sequential twin"
+        );
+    }
+
+    // Amortisation is observable: identical sources repeat identical
+    // discovery probes, so the shared memo must have answered some.
+    let disc = v.get("discovery").expect("batch responses report discovery stats");
+    let hits = disc.get("memo_hits").and_then(Json::as_i64).expect("memo_hits");
+    let misses = disc.get("memo_misses").and_then(Json::as_i64).expect("memo_misses");
+    assert!(hits > 0, "identical batch sources must hit the shared memo: {payload}");
+    assert!(misses > 0, "the first source always computes fresh: {payload}");
+    assert!(disc.get("discovery_ms").and_then(Json::as_f64).is_some());
+
+    // …and lands in /metrics: per-lake batch counters plus the
+    // discovery-stage histogram that makes the amortised time visible.
+    let (status, metrics) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let sample = |name: &str| -> i64 {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no sample `{name}` in:\n{metrics}"))
+    };
+    assert_eq!(sample("gent_batch_requests_total{lake=\"default\"}"), 1);
+    assert_eq!(sample("gent_batch_sources_total{lake=\"default\"}"), names.len() as i64);
+    assert_eq!(sample("gent_batch_discovery_memo_hits_total{lake=\"default\"}"), hits);
+    assert_eq!(sample("gent_batch_discovery_memo_misses_total{lake=\"default\"}"), misses);
+    assert_eq!(sample("gent_batch_discovery_duration_us_count{lake=\"default\"}"), 1);
+
+    handle.stop();
+    runner.join().unwrap().expect("server run");
+}
+
 /// The zero-copy open acceptance for the daemon: `/healthz` and
 /// `/lake/stat` answer without decoding a single table or LSH band, the
 /// lazy-decode gauge and per-endpoint latency histograms are reported and
@@ -325,4 +441,163 @@ fn stat_endpoints_decode_nothing_and_report_latency() {
 
     handle.stop();
     runner.join().unwrap().expect("server run");
+}
+
+/// A `Write` sink shareable across threads, so the test can watch
+/// `cmd_serve`'s boot lines while the daemon thread keeps running.
+#[derive(Clone, Default)]
+struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl Write for SharedOut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedOut {
+    fn text(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().unwrap()).into_owned()
+    }
+}
+
+/// The full multi-lake story through the real CLI surface: `gent serve`
+/// with three repeated `--lake` flags (bare path and `name=path` forms),
+/// per-request routing, a batch against a named lake, and a hot reload
+/// driven by `gent admin reload` — plus its failure mode.
+#[test]
+fn three_lake_daemon_routes_batches_and_reloads_via_cli() {
+    let gen_dir = scratch("trio-suite");
+    cli(&["generate", gen_dir.to_str().unwrap(), "--benchmark", "tp-tr-small", "--seed", "7"]);
+    let alpha = scratch("alpha.gentlake");
+    cli(&[
+        "lake",
+        "build",
+        gen_dir.join("lake").to_str().unwrap(),
+        "--out",
+        alpha.to_str().unwrap(),
+    ]);
+    let beta = scratch("beta-snap.gentlake");
+    let gamma = scratch("gamma-snap.gentlake");
+    std::fs::copy(&alpha, &beta).expect("copy beta");
+    std::fs::copy(&alpha, &gamma).expect("copy gamma");
+
+    // Boot the daemon exactly as an operator would, on an ephemeral port.
+    let out = SharedOut::default();
+    {
+        let mut out = out.clone();
+        let args: Vec<String> = [
+            "serve",
+            "--lake",
+            alpha.to_str().unwrap(),
+            "--lake",
+            &format!("beta={}", beta.display()),
+            "--lake",
+            &format!("gamma={}", gamma.display()),
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        std::thread::spawn(move || gent_cli::run(&args, &mut out));
+    }
+    let addr: SocketAddr = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let text = out.text();
+            if let Some(line) = text.lines().find(|l| l.contains("serving 3 lake(s)")) {
+                break line
+                    .rsplit("http://")
+                    .next()
+                    .and_then(|a| a.trim().parse().ok())
+                    .unwrap_or_else(|| panic!("unparseable serve banner: {line}"));
+            }
+            assert!(std::time::Instant::now() < deadline, "daemon never booted:\n{text}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    // `GET /lakes`: all three routes, bare path named from its file stem,
+    // the first flag the default.
+    let (status, body) = http(addr, "GET", "/lakes", "");
+    assert_eq!(status, 200, "{body}");
+    let v = Json::parse(&body).expect("lakes json");
+    assert_eq!(v.get("default").and_then(Json::as_str), Some("alpha"));
+    let names: Vec<&str> = v
+        .get("lakes")
+        .and_then(Json::as_array)
+        .expect("lakes array")
+        .iter()
+        .filter_map(|l| l.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, ["alpha", "beta", "gamma"]);
+
+    // Route a reclaim and a batch at a *named* (non-default) lake.
+    let mut source = csv::read_csv_file(&gen_dir.join("sources").join("S1.csv")).expect("source");
+    assert!(ensure_key(&mut source));
+    let table = gen_t::serve::table_to_json(&source);
+    let body = Json::Object(vec![
+        ("lake".to_string(), Json::str("gamma")),
+        ("source".to_string(), table.clone()),
+    ])
+    .render();
+    let (status, routed) = http(addr, "POST", "/reclaim", &body);
+    assert_eq!(status, 200, "{routed}");
+    let batch = Json::Object(vec![
+        ("lake".to_string(), Json::str("beta")),
+        (
+            "sources".to_string(),
+            Json::Array(vec![Json::Object(vec![("source".to_string(), table)])]),
+        ),
+    ])
+    .render();
+    let (status, batched) = http(addr, "POST", "/reclaim/batch", &batch);
+    assert_eq!(status, 200, "{batched}");
+    let v = Json::parse(&batched).unwrap();
+    assert_eq!(v.get("lake").and_then(Json::as_str), Some("beta"));
+
+    // Hot-reload lake beta through the operator command; the daemon answers
+    // with the bumped generation and `/lakes` agrees.
+    let reload_out = cli(&[
+        "admin",
+        "reload",
+        beta.to_str().unwrap(),
+        "--addr",
+        &addr.to_string(),
+        "--lake",
+        "beta",
+    ]);
+    let v = Json::parse(reload_out.trim()).expect("reload response json");
+    assert_eq!(v.get("lake").and_then(Json::as_str), Some("beta"));
+    assert_eq!(v.get("generation").and_then(Json::as_i64), Some(1));
+    let (_, body) = http(addr, "GET", "/lakes", "");
+    let generations: Vec<i64> = Json::parse(&body)
+        .unwrap()
+        .get("lakes")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|l| l.get("generation").and_then(Json::as_i64))
+        .collect();
+    assert_eq!(generations, [0, 1, 0], "only beta reloaded");
+
+    // The failure mode: a missing snapshot answers 422, the CLI surfaces
+    // the structured error and exits non-zero — and the daemon stays up.
+    let mut err_out = Vec::new();
+    let args: Vec<String> =
+        ["admin", "reload", "/nonexistent/nope.gentlake", "--addr", &addr.to_string()]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let err = gent_cli::run(&args, &mut err_out).expect_err("reload of a missing file must fail");
+    assert!(err.to_string().contains("422"), "{err}");
+    assert!(String::from_utf8_lossy(&err_out).contains("reload_failed"));
+    let (status, _) = http(addr, "GET", "/healthz", "");
+    assert_eq!(status, 200, "daemon must survive a failed reload");
 }
