@@ -23,6 +23,7 @@ pub mod format;
 pub mod harness;
 pub mod promtext;
 pub mod report;
+pub mod soak;
 
 pub use format::markdown_table;
 pub use harness::{
@@ -30,3 +31,4 @@ pub use harness::{
 };
 pub use promtext::{parse_exposition, Exposition, Sample};
 pub use report::{baseline_ms, record, record_vs_baseline, time_median_ms};
+pub use soak::{SoakConfig, SoakReport};

@@ -64,6 +64,9 @@ USAGE:
                 [--threads N] [--queue-depth N] [--eager]
                 [--log-json] [--log-level error|warn|info|debug|trace|off]
   gent admin    reload <snap.gentlake> [--addr 127.0.0.1:7744] [--lake name]
+  gent bench    soak [--duration 60s] [--seed 8] [--clients 4] [--hostile 2]
+                [--keep-alive 2] [--reload-interval 250ms] [--threads 4]
+                [--no-faults]
   gent help
 
 LOGGING:
@@ -79,7 +82,12 @@ GET /lake/stat and GET /healthz against the warm lakes (JSON in, JSON
 out; see gent-serve and docs/serving.md). `--lake` repeats to host many
 snapshots behind one address — requests route with a `lake` field, the
 first lake is the default — and `gent admin reload` swaps a lake's
-snapshot atomically without dropping in-flight requests. Snapshots open
+snapshot atomically without dropping in-flight requests (retrying with
+jittered backoff on 503/429 per docs/robustness.md). `gent bench soak`
+boots an in-process daemon and storms it with a seeded client mix —
+retrying clients, keep-alive pools, hostile frames, concurrent reloads
+— under injected faults (on by default; --no-faults disables), failing
+on any robustness-contract violation. Snapshots open
 zero-copy and lazy — table cells decode on first touch; `serve --eager`
 pre-decodes every lake at boot. The accept queue is bounded
 (`--queue-depth`, default 128); overload sheds with 429 + Retry-After.
@@ -107,6 +115,7 @@ pub fn run<W: Write>(args: &[String], out: &mut W) -> Result<(), CliError> {
         "lake" => cmd_lake(rest, out),
         "serve" => cmd_serve(rest, out),
         "admin" => cmd_admin(rest, out),
+        "bench" => cmd_bench(rest, out),
         "help" | "--help" | "-h" => {
             write!(out, "{USAGE}")?;
             Ok(())
@@ -561,16 +570,22 @@ fn cmd_admin(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
 
 /// `gent admin reload <snapshot>`: ask a running daemon to atomically swap
 /// one lake's snapshot via `POST /admin/reload`. The daemon reads the file
-/// itself, so the path is resolved to an absolute one before sending.
+/// itself, so the path is resolved to an absolute one before sending. The
+/// request rides [`gent_serve::RetryClient`]: transient refusals (a
+/// draining daemon's 503, an overloaded daemon's 429, a broken socket)
+/// are retried with jittered backoff instead of failing the operator.
 fn cmd_admin_reload(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
-    use gent_serve::Json;
-    use std::io::Read;
-    use std::net::TcpStream;
+    use gent_serve::{Json, RetryClient};
+    use std::net::ToSocketAddrs;
 
     let p = ParsedArgs::parse(args, &["addr", "lake"], &[])?;
     let snap = PathBuf::from(p.required(0, "snapshot")?);
     let snap = std::fs::canonicalize(&snap).unwrap_or(snap);
-    let addr = p.option("addr").unwrap_or("127.0.0.1:7744");
+    let addr_spec = p.option("addr").unwrap_or("127.0.0.1:7744");
+    let addr = addr_spec
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| CliError::Usage(format!("`{addr_spec}` resolves to no address")))?;
 
     let mut fields = Vec::new();
     if let Some(lake) = p.option("lake") {
@@ -579,27 +594,106 @@ fn cmd_admin_reload(args: &[String], out: &mut impl Write) -> Result<(), CliErro
     fields.push(("path".to_string(), Json::str(snap.display().to_string())));
     let body = Json::Object(fields).render();
 
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(std::time::Duration::from_secs(60)))?;
-    write!(
-        stream,
-        "POST /admin/reload HTTP/1.1\r\nHost: gent\r\nConnection: close\r\n\
-         Content-Length: {}\r\n\r\n{body}",
-        body.len()
-    )?;
-    let mut text = String::new();
-    stream.read_to_string(&mut text)?;
-    let status: u16 =
-        text.split_whitespace().nth(1).and_then(|t| t.parse().ok()).ok_or_else(|| {
-            CliError::Pipeline(format!("daemon sent no HTTP status line: {text}"))
-        })?;
-    let payload = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("");
-    writeln!(out, "{payload}")?;
+    let mut client = RetryClient::new(addr);
+    let response = client.post("/admin/reload", &body)?;
+    writeln!(out, "{}", response.body)?;
+    if response.attempts > 1 {
+        writeln!(out, "(succeeded on attempt {})", response.attempts)?;
+    }
+    if let Some(generation) = response.generation {
+        writeln!(out, "(lake generation is now {generation})")?;
+    }
     out.flush()?;
-    if status != 200 {
-        return Err(CliError::Pipeline(format!("reload failed with HTTP {status}")));
+    if response.status != 200 {
+        return Err(CliError::Pipeline(format!("reload failed with HTTP {}", response.status)));
     }
     Ok(())
+}
+
+/// `gent bench <subcommand>`: long-running robustness harnesses.
+fn cmd_bench(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    match args.first().map(String::as_str) {
+        Some("soak") => cmd_bench_soak(&args[1..], out),
+        Some(other) => Err(CliError::Usage(format!("unknown bench subcommand `{other}`"))),
+        None => Err(CliError::Usage("bench requires a subcommand (soak)".into())),
+    }
+}
+
+/// Parse `90`, `90s`, `1500ms` or `2m` into a [`std::time::Duration`].
+fn parse_duration(spec: &str) -> Result<std::time::Duration, CliError> {
+    use std::time::Duration;
+    let bad = || CliError::Usage(format!("bad duration `{spec}` (try 60s, 1500ms, 2m)"));
+    let (digits, unit) = match spec.find(|c: char| !c.is_ascii_digit()) {
+        Some(at) => spec.split_at(at),
+        None => (spec, "s"),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    match unit {
+        "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        "m" => Ok(Duration::from_secs(n * 60)),
+        _ => Err(bad()),
+    }
+}
+
+/// `gent bench soak`: boot an in-process daemon and storm it with the
+/// seeded client mix of `gent_bench::soak` — fault injection on by
+/// default — then print the report and fail on any contract violation.
+fn cmd_bench_soak(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(
+        args,
+        &["duration", "seed", "clients", "hostile", "keep-alive", "reload-interval", "threads"],
+        &["no-faults"],
+    )?;
+    let mut cfg = gent_bench::SoakConfig::default();
+    if let Some(spec) = p.option("duration") {
+        cfg.duration = parse_duration(spec)?;
+    }
+    if let Some(spec) = p.option("reload-interval") {
+        cfg.reload_interval = parse_duration(spec)?;
+    }
+    if let Some(seed) = p.option_parse::<u64>("seed")? {
+        cfg.seed = seed;
+    }
+    if let Some(n) = p.option_parse::<usize>("clients")? {
+        cfg.clients = n;
+    }
+    if let Some(n) = p.option_parse::<usize>("hostile")? {
+        cfg.hostile = n;
+    }
+    if let Some(n) = p.option_parse::<usize>("keep-alive")? {
+        cfg.keep_alive = n;
+    }
+    if let Some(n) = p.option_parse::<usize>("threads")? {
+        cfg.threads = n;
+    }
+    cfg.faults = !p.flag("no-faults");
+
+    writeln!(
+        out,
+        "soaking an in-process daemon for {:.0?} (seed {}, {} clients, {} hostile, {} keep-alive, faults {})",
+        cfg.duration,
+        cfg.seed,
+        cfg.clients,
+        cfg.hostile,
+        cfg.keep_alive,
+        if cfg.faults { "on" } else { "off" },
+    )?;
+    out.flush()?;
+    match gent_bench::soak::run(&cfg) {
+        Ok(report) => {
+            write!(out, "{}", report.render())?;
+            writeln!(out, "soak PASSED")?;
+            Ok(())
+        }
+        Err(report) => {
+            write!(out, "{}", report.render())?;
+            Err(CliError::Pipeline(format!(
+                "soak FAILED with {} violation(s)",
+                report.violations.len()
+            )))
+        }
+    }
 }
 
 /// Make a table name filesystem-safe.
@@ -659,6 +753,27 @@ mod tests {
         apply_log_flags(&p).unwrap();
         assert!(!gent_obs::log_enabled(gent_obs::Level::Error));
         gent_obs::set_level(Some(gent_obs::Level::Warn));
+    }
+
+    #[test]
+    fn durations_parse_with_and_without_units() {
+        use std::time::Duration;
+        assert_eq!(parse_duration("60s").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_duration("90").unwrap(), Duration::from_secs(90));
+        assert_eq!(parse_duration("1500ms").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("2m").unwrap(), Duration::from_secs(120));
+        assert!(parse_duration("2h").is_err());
+        assert!(parse_duration("").is_err());
+        assert!(parse_duration("ms").is_err());
+    }
+
+    #[test]
+    fn bench_requires_a_known_subcommand() {
+        let mut out = Vec::new();
+        let e = run(&["bench".to_string()], &mut out).unwrap_err();
+        assert!(matches!(e, CliError::Usage(m) if m.contains("soak")));
+        let e = run(&["bench".to_string(), "sprint".to_string()], &mut out).unwrap_err();
+        assert!(matches!(e, CliError::Usage(m) if m.contains("sprint")));
     }
 
     #[test]

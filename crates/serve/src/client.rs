@@ -1,0 +1,370 @@
+//! A retrying HTTP client for the daemon's API.
+//!
+//! The serve tier answers overload and drain with *structured backpressure*
+//! (`429` / `503` + `Retry-After`), and `/admin/reload` can swap a lake's
+//! snapshot between two attempts of the same logical request. This module
+//! is the client-side half of that contract, shared by `gent admin`, the
+//! bundled example client, and the soak harness:
+//!
+//! * **jittered exponential backoff** — seeded, so a failing run replays
+//!   its exact retry schedule; the jitter keeps a fleet of clients from
+//!   retrying in lockstep;
+//! * **`Retry-After` honored** — when the daemon says how long to wait
+//!   (shed, drain), that wins over the computed backoff;
+//! * **generation awareness** — slot-routed responses carry an
+//!   `X-Gent-Generation` header; the client records it and flags a
+//!   response whose generation differs from the last one it observed, so
+//!   callers know a retried request may have been answered by a *different
+//!   snapshot* than its first attempt.
+//!
+//! Retries re-send the whole request, so callers should only route
+//! idempotent traffic through [`RetryClient`] — every endpoint the daemon
+//! exposes qualifies (`/reclaim` is read-only; re-`/admin/reload`ing the
+//! same path converges to the same snapshot, one generation later).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Retry/backoff knobs for a [`RetryClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). At least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff sleep (also caps `Retry-After`).
+    pub max_backoff: Duration,
+    /// Per-attempt socket budget (connect, read, write).
+    pub request_timeout: Duration,
+    /// Seed for the jitter stream — same seed, same retry schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(60),
+            seed: 0x9157_2e6a_01c4_88d7,
+        }
+    }
+}
+
+/// One fully-read HTTP response, plus what the retry loop learned along
+/// the way.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Lower-cased header names with their values.
+    pub headers: Vec<(String, String)>,
+    /// The body, decoded as UTF-8.
+    pub body: String,
+    /// Attempts spent (1 = first try succeeded).
+    pub attempts: u32,
+    /// The snapshot generation that answered (`X-Gent-Generation`), when
+    /// the endpoint is slot-routed.
+    pub generation: Option<u64>,
+    /// True when `generation` differs from the last generation this client
+    /// observed — a `/admin/reload` swap happened since, so a retried
+    /// request may have been answered by a different snapshot than its
+    /// first attempt would have been.
+    pub generation_changed: bool,
+}
+
+impl ClientResponse {
+    /// Header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// A connection-per-request client with seeded, jittered retries — see the
+/// module docs for the contract.
+#[derive(Debug)]
+pub struct RetryClient {
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    rng: u64,
+    last_generation: Option<u64>,
+}
+
+impl RetryClient {
+    /// A client for the daemon at `addr` with the default policy.
+    pub fn new(addr: SocketAddr) -> RetryClient {
+        RetryClient::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A client with an explicit [`RetryPolicy`].
+    pub fn with_policy(addr: SocketAddr, policy: RetryPolicy) -> RetryClient {
+        let rng = splitmix64(policy.seed ^ 0x5bd1_e995);
+        RetryClient { addr, policy, rng, last_generation: None }
+    }
+
+    /// The last snapshot generation this client observed, if any.
+    pub fn last_generation(&self) -> Option<u64> {
+        self.last_generation
+    }
+
+    /// `GET path`, with retries.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, "")
+    }
+
+    /// `POST path` with a JSON body, with retries.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body)
+    }
+
+    /// Issue `method path` until it yields a non-retryable answer or the
+    /// attempt budget runs out. Connection failures, socket errors,
+    /// unparseable/truncated responses, and `408`/`429`/`503` statuses are
+    /// retried (honoring `Retry-After` on the statuses); every other
+    /// status — success or structured client error — is returned as-is.
+    /// When the budget ends on a retryable *status* the response is
+    /// returned (it carries the daemon's structured error body); when it
+    /// ends on an IO failure the last error is returned.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> std::io::Result<ClientResponse> {
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last_err: Option<std::io::Error> = None;
+        let mut sleep_override: Option<Duration> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                let wait = sleep_override.take().unwrap_or_else(|| self.backoff_delay(attempt - 1));
+                std::thread::sleep(wait);
+            }
+            match self.try_once(method, path, body, attempt) {
+                Ok(mut response) => {
+                    self.note_generation(&mut response);
+                    if !matches!(response.status, 408 | 429 | 503) || attempt == attempts {
+                        return Ok(response);
+                    }
+                    // Structured backpressure: the daemon's Retry-After
+                    // (capped) overrides the computed backoff before the
+                    // next attempt.
+                    sleep_override = response
+                        .header("retry-after")
+                        .and_then(|v| v.trim().parse::<u64>().ok())
+                        .map(|s| Duration::from_secs(s).min(self.policy.max_backoff));
+                    last_err = None;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::other(format!(
+                "{method} {path}: retry budget ({attempts} attempts) exhausted on backpressure"
+            ))
+        }))
+    }
+
+    fn note_generation(&mut self, response: &mut ClientResponse) {
+        response.generation =
+            response.header("x-gent-generation").and_then(|v| v.trim().parse::<u64>().ok());
+        if let Some(generation) = response.generation {
+            response.generation_changed =
+                self.last_generation.is_some_and(|last| last != generation);
+            self.last_generation = Some(generation);
+        }
+    }
+
+    /// One attempt: fresh connection, full request, full response.
+    fn try_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        attempt: u32,
+    ) -> std::io::Result<ClientResponse> {
+        let timeout = self.policy.request_timeout;
+        let stream = TcpStream::connect_timeout(&self.addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let mut out = &stream;
+        write!(
+            out,
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        )?;
+        out.write_all(body.as_bytes())?;
+        out.flush()?;
+
+        let mut reader = BufReader::new(&stream);
+        let status_line = read_line(&mut reader)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad_wire(format!("bad status line `{status_line}`")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(&mut reader)?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad_wire(format!("header line without `:`: `{line}`")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| {
+                v.parse::<usize>().map_err(|_| bad_wire(format!("bad Content-Length `{v}`")))
+            })
+            .transpose()?;
+        let mut raw = Vec::new();
+        match content_length {
+            Some(n) => {
+                raw.resize(n, 0);
+                reader.read_exact(&mut raw)?;
+            }
+            None => {
+                reader.read_to_end(&mut raw)?;
+            }
+        }
+        let body = String::from_utf8(raw).map_err(|_| bad_wire("non-UTF-8 response body"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+            attempts: attempt,
+            generation: None,
+            generation_changed: false,
+        })
+    }
+
+    /// The sleep before retry number `retry` (1-based): exponential from
+    /// the base, multiplied by a seeded jitter in `[0.5, 1.5)`, capped.
+    fn backoff_delay(&mut self, retry: u32) -> Duration {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32.checked_shl(retry.saturating_sub(1)).unwrap_or(u32::MAX));
+        self.rng = splitmix64(self.rng);
+        let unit = ((self.rng >> 11) as f64) * (1.0 / (1u64 << 53) as f64);
+        let jittered = exp.mul_f64(0.5 + unit);
+        jittered.min(self.policy.max_backoff)
+    }
+}
+
+fn bad_wire(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// Read one CRLF-terminated line (terminator stripped).
+fn read_line(reader: &mut impl BufRead) -> std::io::Result<String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client(seed: u64) -> RetryClient {
+        RetryClient::with_policy(
+            "127.0.0.1:1".parse().unwrap(),
+            RetryPolicy { seed, ..RetryPolicy::default() },
+        )
+    }
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_capped() {
+        let mut c = client(7);
+        let d1 = c.backoff_delay(1);
+        let d2 = c.backoff_delay(2);
+        let base = c.policy.base_backoff;
+        assert!(d1 >= base / 2 && d1 < base * 3 / 2, "retry 1 jitters around base: {d1:?}");
+        assert!(d2 >= base && d2 < base * 3, "retry 2 jitters around 2x base: {d2:?}");
+        for retry in 1..32 {
+            assert!(c.backoff_delay(retry) <= c.policy.max_backoff);
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_seed_deterministic() {
+        let schedule = |seed| {
+            let mut c = client(seed);
+            (1..6).map(|r| c.backoff_delay(r)).collect::<Vec<_>>()
+        };
+        assert_eq!(schedule(8), schedule(8));
+        assert_ne!(schedule(8), schedule(9), "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn generation_tracking_flags_swaps() {
+        let mut c = client(1);
+        let resp = |generation: Option<u64>| ClientResponse {
+            status: 200,
+            headers: generation
+                .map(|g| ("x-gent-generation".to_string(), g.to_string()))
+                .into_iter()
+                .collect(),
+            body: String::new(),
+            attempts: 1,
+            generation: None,
+            generation_changed: false,
+        };
+        let mut first = resp(Some(3));
+        c.note_generation(&mut first);
+        assert_eq!(first.generation, Some(3));
+        assert!(!first.generation_changed, "nothing observed before the first response");
+        let mut same = resp(Some(3));
+        c.note_generation(&mut same);
+        assert!(!same.generation_changed);
+        let mut swapped = resp(Some(4));
+        c.note_generation(&mut swapped);
+        assert!(swapped.generation_changed, "generation 3 → 4 is a reload swap");
+        let mut unrouted = resp(None);
+        c.note_generation(&mut unrouted);
+        assert!(!unrouted.generation_changed);
+        assert_eq!(c.last_generation(), Some(4), "non-slot responses don't clear the memory");
+    }
+
+    #[test]
+    fn connect_failure_surfaces_after_retries() {
+        // Port 1 on loopback refuses: every attempt fails fast, and the
+        // final error is the IO failure, not a panic or a hang.
+        let mut c = RetryClient::with_policy(
+            "127.0.0.1:1".parse().unwrap(),
+            RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+                request_timeout: Duration::from_millis(200),
+                seed: 8,
+            },
+        );
+        assert!(c.get("/healthz").is_err());
+    }
+}

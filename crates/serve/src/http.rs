@@ -338,6 +338,7 @@ impl Response {
             422 => "Unprocessable Entity",
             429 => "Too Many Requests",
             500 => "Internal Server Error",
+            503 => "Service Unavailable",
             _ => "",
         }
     }

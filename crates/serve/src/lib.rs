@@ -93,12 +93,14 @@
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod http;
 pub mod json;
 pub mod routing;
 pub mod server;
 pub mod service;
 
+pub use client::{ClientResponse, RetryClient, RetryPolicy};
 pub use http::{DeadlineStream, HttpError, Request, Response};
 pub use json::{Json, JsonError};
 pub use routing::{Router, RouterBuilder};

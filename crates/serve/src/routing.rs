@@ -23,7 +23,7 @@
 //! across generations.
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -168,6 +168,7 @@ impl RouterBuilder {
             metrics: self.metrics,
             started: Instant::now(),
             served: AtomicU64::new(0),
+            draining: Arc::new(AtomicBool::new(false)),
         })
     }
 }
@@ -180,6 +181,11 @@ pub struct Router {
     metrics: Arc<HttpMetrics>,
     started: Instant,
     served: AtomicU64,
+    /// Set by [`crate::ServerHandle::begin_drain`]/`stop`: readiness
+    /// (`GET /healthz/ready`) answers 503 and every response advertises
+    /// `Connection: close`, steering load balancers and pooled clients
+    /// away while in-flight work completes. Liveness is unaffected.
+    draining: Arc<AtomicBool>,
 }
 
 impl Router {
@@ -201,6 +207,7 @@ impl Router {
             metrics,
             started: Instant::now(),
             served: AtomicU64::new(0),
+            draining: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -216,6 +223,16 @@ impl Router {
 
     pub(crate) fn http_metrics(&self) -> &HttpMetrics {
         &self.metrics
+    }
+
+    /// The drain flag shared with the server's [`crate::ServerHandle`].
+    pub(crate) fn draining_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.draining)
+    }
+
+    /// Is the daemon draining (readiness withdrawn, connections closing)?
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
     }
 
     fn slot(&self, name: Option<&str>) -> Result<&LakeSlot, ApiError> {
@@ -246,14 +263,18 @@ impl Router {
         };
         match (request.method.as_str(), path) {
             ("GET", "/healthz") => Ok(self.healthz()),
+            ("GET", "/healthz/live") => Ok(self.liveness()),
+            ("GET", "/healthz/ready") => Ok(self.readiness()),
             ("GET", "/lakes") => Ok(self.list_lakes()),
             ("GET", "/lake/stat") => {
-                Ok(self.slot(query_param(query, "lake"))?.service().lake_stat())
+                let slot = self.slot(query_param(query, "lake"))?;
+                Ok(with_generation(slot.service().lake_stat(), slot))
             }
             ("GET", "/metrics") => Ok(self.metrics_all()),
             ("POST", "/reclaim") => {
                 let body = parse_json_body(&request.body)?;
-                self.slot(body_lake(&body)?)?.service().reclaim_body(&body)
+                let slot = self.slot(body_lake(&body)?)?;
+                slot.service().reclaim_body(&body).map(|r| with_generation(r, slot))
             }
             ("POST", "/reclaim/batch") => {
                 let body = parse_json_body(&request.body)?;
@@ -263,7 +284,11 @@ impl Router {
                 let body = parse_json_body(&request.body)?;
                 self.admin_reload(&body)
             }
-            (_, "/healthz" | "/lakes" | "/lake/stat" | "/metrics") => Err(ApiError::new(
+            (
+                _,
+                "/healthz" | "/healthz/live" | "/healthz/ready" | "/lakes" | "/lake/stat"
+                | "/metrics",
+            ) => Err(ApiError::new(
                 405,
                 "bad_method",
                 format!("{} does not accept {}; use GET", path, request.method),
@@ -275,6 +300,35 @@ impl Router {
             )),
             _ => Err(ApiError::new(404, "unknown_path", format!("no such endpoint `{path}`"))),
         }
+    }
+
+    /// `GET /healthz/live`: is the process able to answer at all? Always
+    /// 200 while the daemon runs — draining does not affect liveness, so
+    /// orchestrators keep the process alive while it finishes its work.
+    fn liveness(&self) -> Response {
+        Response::ok(Json::Object(vec![("status".into(), Json::str("live"))]).render())
+    }
+
+    /// `GET /healthz/ready`: should new traffic be sent here? 200 while
+    /// serving; 503 + `Retry-After` once draining begins, so load
+    /// balancers route away *before* the listener closes.
+    fn readiness(&self) -> Response {
+        if self.is_draining() {
+            return ApiError::new(
+                503,
+                "draining",
+                "daemon is draining; in-flight requests finish, new traffic should go elsewhere",
+            )
+            .to_response()
+            .with_header("Retry-After", "1");
+        }
+        Response::ok(
+            Json::Object(vec![
+                ("status".into(), Json::str("ready")),
+                ("lakes".into(), Json::Int(self.slots.len() as i64)),
+            ])
+            .render(),
+        )
     }
 
     fn healthz(&self) -> Response {
@@ -347,7 +401,8 @@ impl Router {
     /// byte-for-byte (modulo timings). Runtime pipeline failures degrade to
     /// per-source error objects; the batch itself still answers 200.
     fn reclaim_batch(&self, body: &Json) -> Result<Response, ApiError> {
-        let service = self.slot(body_lake(body)?)?.service();
+        let batch_slot = self.slot(body_lake(body)?)?;
+        let service = batch_slot.service();
         let sources_json = body.get("sources").and_then(Json::as_array).ok_or_else(|| {
             ApiError::new(400, "bad_json", "`sources` must be an array of reclaim requests")
         })?;
@@ -404,21 +459,24 @@ impl Router {
         instruments.memo_misses.add(cache.misses());
         instruments.discovery_us.observe(u64::try_from(discovery.as_micros()).unwrap_or(u64::MAX));
 
-        Ok(Response::ok(
-            Json::Object(vec![
-                ("lake".into(), Json::str(service.lake_label())),
-                ("count".into(), Json::Int(parsed.len() as i64)),
-                ("results".into(), Json::Array(results)),
-                (
-                    "discovery".into(),
-                    Json::Object(vec![
-                        ("memo_hits".into(), Json::Int(cache.hits() as i64)),
-                        ("memo_misses".into(), Json::Int(cache.misses() as i64)),
-                        ("discovery_ms".into(), Json::Float(discovery.as_secs_f64() * 1e3)),
-                    ]),
-                ),
-            ])
-            .render(),
+        Ok(with_generation(
+            Response::ok(
+                Json::Object(vec![
+                    ("lake".into(), Json::str(service.lake_label())),
+                    ("count".into(), Json::Int(parsed.len() as i64)),
+                    ("results".into(), Json::Array(results)),
+                    (
+                        "discovery".into(),
+                        Json::Object(vec![
+                            ("memo_hits".into(), Json::Int(cache.hits() as i64)),
+                            ("memo_misses".into(), Json::Int(cache.misses() as i64)),
+                            ("discovery_ms".into(), Json::Float(discovery.as_secs_f64() * 1e3)),
+                        ]),
+                    ),
+                ])
+                .render(),
+            ),
+            batch_slot,
         ))
     }
 
@@ -465,8 +523,17 @@ impl Router {
                 ("tables".into(), Json::Int(tables as i64)),
             ])
             .render(),
-        ))
+        )
+        .with_header("X-Gent-Generation", generation.to_string()))
     }
+}
+
+/// Stamp a slot-routed response with the snapshot generation it answered
+/// from, so retrying clients can tell when a `/admin/reload` swap happened
+/// between attempts (see [`crate::client::RetryClient`]).
+fn with_generation(response: Response, slot: &LakeSlot) -> Response {
+    let generation = slot.generation.load(Ordering::SeqCst);
+    response.with_header("X-Gent-Generation", generation.to_string())
 }
 
 /// Pull the optional `"lake"` routing field out of a POST body.

@@ -29,11 +29,13 @@
 //! worker and cannot leak threads; [`ServerHandle::stop`] unblocks the
 //! accept loop for a clean shutdown (used by tests and benches).
 
+use std::collections::HashMap;
 use std::io::{BufReader, ErrorKind};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -61,6 +63,12 @@ pub const MAX_REQUESTS_PER_CONNECTION: usize = 64;
 /// pin workers for the full request budget.
 pub const KEEP_ALIVE_IDLE_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Default ceiling on the drain phase of a shutdown: after
+/// [`ServerHandle::stop`], in-flight and already-queued requests get this
+/// long to finish before the remaining sockets are force-closed. Override
+/// with [`ServeConfig::drain_deadline`].
+pub const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -78,6 +86,12 @@ pub struct ServeConfig {
     /// answered `429 Too Many Requests` + `Retry-After` from the accept
     /// loop (0 falls back to [`QUEUE_DEPTH`]).
     pub queue_depth: usize,
+    /// How long a shutdown waits for in-flight (and already-queued)
+    /// requests to finish before force-closing their sockets. Bounds the
+    /// gap between [`ServerHandle::stop`] and [`Server::run`] returning
+    /// even when a peer stalls mid-request (0 falls back to
+    /// [`DRAIN_DEADLINE`]).
+    pub drain_deadline: Duration,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +101,7 @@ impl Default for ServeConfig {
             threads: 0,
             read_timeout: Duration::from_secs(10),
             queue_depth: QUEUE_DEPTH,
+            drain_deadline: DRAIN_DEADLINE,
         }
     }
 }
@@ -98,7 +113,9 @@ pub struct Server {
     threads: usize,
     read_timeout: Duration,
     queue_depth: usize,
+    drain_deadline: Duration,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
 }
 
 /// A handle that can stop a running [`Server`] from another thread.
@@ -106,15 +123,37 @@ pub struct Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
-    /// Ask the server to stop: the accept loop exits after the in-flight
-    /// requests finish. Idempotent.
+    /// Withdraw readiness without stopping: `GET /healthz/ready` starts
+    /// answering 503 + `Retry-After` and every response advertises
+    /// `Connection: close`, but the listener keeps accepting and serving.
+    /// The graceful-restart dance is `begin_drain()` → wait for the load
+    /// balancer to route away → [`ServerHandle::stop`]. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Ask the server to stop: readiness is withdrawn, the accept loop
+    /// exits, queued and in-flight requests drain under the configured
+    /// deadline, and whatever is still open afterwards is force-closed.
+    /// Idempotent.
     pub fn stop(&self) {
+        self.begin_drain();
         self.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop blocks in `accept`; poke it awake.
-        let _ = TcpStream::connect(self.addr);
+        // The accept loop blocks in `accept`; poke it awake. A wildcard
+        // bind (0.0.0.0 / ::) is not connectable as-is — poke loopback on
+        // the bound port instead.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_millis(500));
     }
 }
 
@@ -137,13 +176,20 @@ impl Server {
         } else {
             cfg.threads
         };
+        let draining = router.draining_flag();
         Ok(Server {
             listener,
             router: Arc::new(router),
             threads: threads.max(1),
             read_timeout: cfg.read_timeout,
             queue_depth: if cfg.queue_depth == 0 { QUEUE_DEPTH } else { cfg.queue_depth },
+            drain_deadline: if cfg.drain_deadline.is_zero() {
+                DRAIN_DEADLINE
+            } else {
+                cfg.drain_deadline
+            },
             shutdown: Arc::new(AtomicBool::new(false)),
+            draining,
         })
     }
 
@@ -154,13 +200,26 @@ impl Server {
 
     /// A handle that can stop this server from another thread.
     pub fn handle(&self) -> std::io::Result<ServerHandle> {
-        Ok(ServerHandle { addr: self.local_addr()?, shutdown: Arc::clone(&self.shutdown) })
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+            draining: Arc::clone(&self.draining),
+        })
     }
 
     /// Serve until [`ServerHandle::stop`] is called. Blocks the calling
     /// thread; connections are handled on the worker pool.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, router, threads, read_timeout, queue_depth: bound, shutdown } = self;
+        let Server {
+            listener,
+            router,
+            threads,
+            read_timeout,
+            queue_depth: bound,
+            drain_deadline,
+            shutdown,
+            draining: _,
+        } = self;
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(bound);
         let rx = Arc::new(Mutex::new(rx));
         // The queue-depth gauge brackets the channel: incremented when the
@@ -170,12 +229,25 @@ impl Server {
         let queue_depth = Arc::clone(&router.http_metrics().queue_depth);
         let queue_peak = Arc::clone(&router.http_metrics().queue_depth_peak);
         let shed_total = Arc::clone(&router.http_metrics().shed_total);
+        let worker_panics = Arc::clone(&router.http_metrics().worker_panics);
+        // Sockets currently being served, by connection id. The drain
+        // supervisor force-closes whatever is still here when the deadline
+        // expires, so a stalled peer cannot hold shutdown hostage.
+        let in_flight: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let next_id = AtomicU64::new(0);
+        // Flipped when the drain deadline expires: workers stop starting
+        // new work and drop still-queued connections instead.
+        let aborting = Arc::new(AtomicBool::new(false));
 
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 let rx = Arc::clone(&rx);
                 let router = Arc::clone(&router);
                 let queue_depth = Arc::clone(&queue_depth);
+                let worker_panics = Arc::clone(&worker_panics);
+                let in_flight = Arc::clone(&in_flight);
+                let aborting = Arc::clone(&aborting);
+                let next_id = &next_id;
                 scope.spawn(move |_| loop {
                     // Take the receiver lock only to pull the next job, so
                     // idle workers queue on the channel, not on each other.
@@ -183,7 +255,39 @@ impl Server {
                     match next {
                         Ok(stream) => {
                             queue_depth.dec();
-                            serve_connection(&router, stream, read_timeout)
+                            // Past the drain deadline: the connection was
+                            // queued but never started; dropping it (a
+                            // reset) beats a half-served request.
+                            if aborting.load(Ordering::SeqCst) {
+                                drop(stream);
+                                continue;
+                            }
+                            let id = next_id.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(clone) = stream.try_clone() {
+                                in_flight.lock().insert(id, clone);
+                            }
+                            // A panicking handler must cost one connection,
+                            // never a worker: catch it, count it, keep
+                            // serving — the pool is effectively respawned
+                            // in place instead of silently shrinking.
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                serve_connection(&router, stream, read_timeout)
+                            }));
+                            in_flight.lock().remove(&id);
+                            if let Err(panic) = outcome {
+                                worker_panics.inc();
+                                let detail = panic
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "non-string panic payload".into());
+                                gent_obs::log(
+                                    gent_obs::Level::Error,
+                                    "gent_serve",
+                                    "worker_panic",
+                                    &[("detail", detail.as_str().into())],
+                                );
+                            }
                         }
                         Err(_) => break, // accept loop gone: drain done
                     }
@@ -224,8 +328,28 @@ impl Server {
                     Err(_) => std::thread::sleep(Duration::from_millis(50)),
                 }
             }
-            // Dropping the sender ends every worker's recv loop.
+            // Dropping the sender ends every worker's recv loop once the
+            // queue is empty.
             drop(tx);
+
+            // Drain phase: queued and in-flight requests get until the
+            // deadline to finish. Past it, force-close every socket still
+            // being served and tell workers to drop queued ones — shutdown
+            // stays bounded even against a peer stalling mid-request.
+            let deadline = Instant::now() + drain_deadline;
+            loop {
+                if in_flight.lock().is_empty() && queue_depth.get() == 0 {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    aborting.store(true, Ordering::SeqCst);
+                    for stream in in_flight.lock().values() {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                    }
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
         })
         .expect("serve scope");
         Ok(())
@@ -277,6 +401,17 @@ fn shed_connection(stream: TcpStream) {
 /// [`MAX_REQUESTS_PER_CONNECTION`].
 fn serve_connection(router: &Router, stream: TcpStream, read_timeout: Duration) {
     router.http_metrics().connections.inc();
+    // Failpoints at the socket boundary (no-ops unless the fault layer is
+    // armed — soak runs and the fault-injection tests): a connection reset
+    // before any byte is served, and a handler panic that must be contained
+    // by the worker loop.
+    if gent_faults::failpoint!("serve.conn.reset") {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        return;
+    }
+    if gent_faults::failpoint!("serve.worker.panic") {
+        panic!("injected worker panic (serve.worker.panic)");
+    }
     let _ = stream.set_write_timeout(Some(read_timeout));
     let _ = stream.set_nodelay(true);
     // One BufReader for the connection's whole life (read-ahead bytes may
@@ -311,10 +446,31 @@ fn serve_connection(router: &Router, stream: TcpStream, read_timeout: Duration) 
             router.http_metrics().keepalive_reuses.inc();
         }
         // Keep the socket only for well-formed requests that asked for it —
-        // after a read error the stream's framing can't be trusted.
+        // after a read error the stream's framing can't be trusted. A
+        // draining daemon answers but always advertises `Connection:
+        // close`, so pooled clients migrate instead of riding a socket
+        // that is about to be force-closed.
         let keep_alive = served < MAX_REQUESTS_PER_CONNECTION
+            && !router.is_draining()
             && matches!(&request, Ok(req) if req.wants_keep_alive());
         let response: Response = router.respond(request);
+        // Write-side failpoints: a server-side stall (exercises client
+        // read patience) and a mid-frame truncation + reset (the response
+        // head goes out, the body never finishes).
+        if gent_faults::failpoint!("serve.write.stall") {
+            std::thread::sleep(Duration::from_millis(150));
+        }
+        if gent_faults::failpoint!("serve.write.truncate") {
+            use std::io::Write;
+            let mut frame = Vec::new();
+            if response.write_with(&mut frame, keep_alive).is_ok() {
+                let half = frame.len() / 2;
+                let mut out = &stream;
+                let _ = out.write_all(&frame[..half]).and_then(|()| out.flush());
+            }
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
         // The client may already be gone; a failed write only loses its
         // answer (and ends the connection's loop).
         if response.write_with(&mut (&stream), keep_alive).is_err() || !keep_alive {

@@ -102,6 +102,10 @@ pub(crate) struct HttpMetrics {
     /// `gent_http_shed_total` — connections answered `429 Too Many
     /// Requests` from the accept loop because the queue was full.
     pub(crate) shed_total: Arc<Counter>,
+    /// `gent_worker_panics_total` — connections whose handler panicked.
+    /// The worker catches the panic, drops the socket, and keeps serving
+    /// (the pool never shrinks); this counter is the only visible scar.
+    pub(crate) worker_panics: Arc<Counter>,
     /// `gent_uptime_seconds` — set at scrape time by whoever renders.
     pub(crate) uptime_seconds: Arc<Gauge>,
 }
@@ -143,6 +147,11 @@ impl HttpMetrics {
                 "Connections answered 429 because the worker queue was full",
                 &[],
             ),
+            worker_panics: reg.counter(
+                "gent_worker_panics_total",
+                "Connections whose handler panicked; the worker was respawned in place",
+                &[],
+            ),
             uptime_seconds: reg.gauge(
                 "gent_uptime_seconds",
                 "Seconds since the service was constructed",
@@ -154,7 +163,9 @@ impl HttpMetrics {
 
     fn for_path(&self, path: Option<&str>) -> &EndpointMetrics {
         match path {
-            Some("/healthz") => &self.healthz,
+            // The liveness/readiness splits share /healthz's instruments:
+            // same probe traffic, no extra families to scrape.
+            Some("/healthz" | "/healthz/live" | "/healthz/ready") => &self.healthz,
             Some("/lake/stat") => &self.lake_stat,
             Some("/reclaim") => &self.reclaim,
             Some("/metrics") => &self.metrics,

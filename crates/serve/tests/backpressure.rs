@@ -34,6 +34,7 @@ fn boot() -> (SocketAddr, gent_serve::ServerHandle, std::thread::JoinHandle<std:
         threads: 1,
         queue_depth: QUEUE_BOUND,
         read_timeout: Duration::from_secs(10),
+        ..ServeConfig::default()
     };
     let server = Server::bind(&cfg, service).unwrap();
     let addr = server.local_addr().unwrap();

@@ -15,13 +15,17 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use gent_core::GenTConfig;
 use gent_discovery::DataLake;
 use gent_serve::{Json, Router, ServeConfig, Server};
 use gent_table::{Table, Value as V};
+
+/// Fault state is process-global; the fault-injected test below must not
+/// overlap the hammer test (whose reloads would eat an armed trigger).
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
 
 /// A lake whose every cell carries `tag`, so any response row reveals
 /// which snapshot produced it.
@@ -40,7 +44,7 @@ fn save_snapshot(dir: &std::path::Path, name: &str, tag: &str) -> PathBuf {
     path
 }
 
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+fn http_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
     write!(
@@ -53,8 +57,20 @@ fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String)
     s.read_to_string(&mut text).expect("read");
     let status: u16 =
         text.split_whitespace().nth(1).and_then(|t| t.parse().ok()).expect("status line");
-    let payload = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or("").to_string();
+    let (head, payload) = text.split_once("\r\n\r\n").unwrap_or((text.as_str(), ""));
+    (status, head.to_string(), payload.to_string())
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let (status, _, payload) = http_full(addr, method, path, body);
     (status, payload)
+}
+
+fn generation_header(head: &str) -> Option<i64> {
+    head.lines().find_map(|l| {
+        let (name, value) = l.split_once(':')?;
+        name.eq_ignore_ascii_case("x-gent-generation").then(|| value.trim().parse().ok())?
+    })
 }
 
 /// Every `val` cell of the reclaimed table must carry the same snapshot
@@ -84,6 +100,7 @@ fn response_tag(body: &str) -> String {
 
 #[test]
 fn concurrent_reclaims_survive_hot_reloads() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let dir = std::env::temp_dir().join(format!("gent-reload-race-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let v1 = save_snapshot(&dir, "v1.gentlake", "v1");
@@ -168,6 +185,77 @@ fn concurrent_reclaims_survive_hot_reloads() {
     );
     assert!(!metrics.contains("gent_lake_reloads_total{lake=\"other\"}"), "{metrics}");
     assert!(total > 20, "the hammer actually overlapped the swaps (served {total})");
+
+    handle.stop();
+    runner.join().unwrap().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An IO fault injected mid-reload must leave the live slot exactly as it
+/// was: same generation (on the `X-Gent-Generation` header), same snapshot
+/// answering `/reclaim`, and a structured `422 reload_failed` to the admin
+/// — then succeed cleanly once the fault clears.
+#[test]
+fn fault_injected_reload_leaves_live_slot_untouched() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    gent_faults::reset();
+    let dir = std::env::temp_dir().join(format!("gent-reload-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let v1 = save_snapshot(&dir, "v1.gentlake", "v1");
+    let v2 = save_snapshot(&dir, "v2.gentlake", "v2");
+
+    let mut builder = Router::builder(GenTConfig::default());
+    builder.add_snapshot("main", &v1).unwrap();
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServeConfig::default() };
+    let server = Server::bind_router(&cfg, builder.build().unwrap()).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let runner = std::thread::spawn(move || server.run());
+
+    // Baseline: generation 0, serving v1.
+    let (status, head, _) = http_full(addr, "GET", "/lake/stat?lake=main", "");
+    assert_eq!(status, 200);
+    assert_eq!(generation_header(&head), Some(0), "no X-Gent-Generation header: {head}");
+
+    // The reload's snapshot read hits an injected IO fault.
+    gent_faults::arm("store.load.read", gent_faults::Trigger::NthHit(1));
+    gent_faults::set_enabled(true);
+    let reload_body = format!(r#"{{"lake": "main", "path": "{}"}}"#, v2.display());
+    let (status, head, payload) = http_full(addr, "POST", "/admin/reload", &reload_body);
+    assert_eq!(status, 422, "{payload}");
+    let v = Json::parse(&payload).unwrap();
+    let error = v.get("error").expect("structured error body");
+    assert_eq!(error.get("kind").and_then(Json::as_str), Some("reload_failed"));
+    assert!(
+        error.get("message").and_then(Json::as_str).unwrap().contains("injected fault"),
+        "{payload}"
+    );
+    assert!(error.get("trace_id").and_then(Json::as_str).is_some(), "{payload}");
+    assert_eq!(gent_faults::fired("store.load.read"), 1);
+    assert_eq!(
+        generation_header(&head),
+        None,
+        "a failed reload must not advertise a generation: {head}"
+    );
+    gent_faults::reset();
+
+    // Slot untouched: generation still 0, traffic still answered by v1.
+    let (status, head, _) = http_full(addr, "GET", "/lake/stat?lake=main", "");
+    assert_eq!(status, 200);
+    assert_eq!(generation_header(&head), Some(0), "failed reload bumped the generation");
+    let (status, payload) =
+        http(addr, "POST", "/reclaim", r#"{"lake": "main", "source_name": "marker"}"#);
+    assert_eq!(status, 200, "{payload}");
+    assert_eq!(response_tag(&payload), "v1", "failed reload must not swap the snapshot");
+
+    // Fault cleared: the identical reload goes through.
+    let (status, head, payload) = http_full(addr, "POST", "/admin/reload", &reload_body);
+    assert_eq!(status, 200, "{payload}");
+    assert_eq!(generation_header(&head), Some(1), "{head}");
+    let (status, payload) =
+        http(addr, "POST", "/reclaim", r#"{"lake": "main", "source_name": "marker"}"#);
+    assert_eq!(status, 200, "{payload}");
+    assert_eq!(response_tag(&payload), "v2");
 
     handle.stop();
     runner.join().unwrap().unwrap();

@@ -294,20 +294,63 @@ pub fn save_legacy_v1(
 }
 
 /// Write-then-rename keeps the previous snapshot intact until the new one
-/// is fully on disk.
+/// is fully on disk: the bytes are fsynced before the rename (so a crash
+/// can only ever leave a torn *tmp* file, never a torn snapshot), the
+/// parent directory is fsynced after it (so the rename itself survives a
+/// power cut), and a stale tmp from an earlier crash is cleared on entry
+/// instead of failing the save.
 fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
     let tmp = path.with_extension("gentlake.tmp");
-    fs::write(&tmp, bytes).map_err(|e| StoreError::io(&tmp, e))?;
-    fs::rename(&tmp, path).map_err(|e| {
+    if tmp.exists() {
+        fs::remove_file(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+    }
+    let result = write_atomic_inner(path, &tmp, bytes);
+    if result.is_err() {
+        // Whether the write or the rename failed, never leave the tmp
+        // behind — the old snapshot stays the only *.gentlake file.
         let _ = fs::remove_file(&tmp);
-        StoreError::io(path, e)
-    })
+    }
+    result
+}
+
+fn write_atomic_inner(path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    use std::io::Write;
+    if let Some(e) = gent_faults::fail_io!("store.save.write") {
+        return Err(StoreError::io(tmp, e));
+    }
+    let mut file = fs::File::create(tmp).map_err(|e| StoreError::io(tmp, e))?;
+    file.write_all(bytes).map_err(|e| StoreError::io(tmp, e))?;
+    if let Some(e) = gent_faults::fail_io!("store.save.sync") {
+        return Err(StoreError::io(tmp, e));
+    }
+    file.sync_all().map_err(|e| StoreError::io(tmp, e))?;
+    drop(file);
+    if let Some(e) = gent_faults::fail_io!("store.save.rename") {
+        return Err(StoreError::io(path, e));
+    }
+    fs::rename(tmp, path).map_err(|e| StoreError::io(path, e))?;
+    sync_parent_dir(path)
+}
+
+/// Fsync the directory holding `path` so the rename that just landed there
+/// is durable. Directory handles can only be fsynced on unix; elsewhere the
+/// rename's atomicity is the best available guarantee.
+fn sync_parent_dir(path: &Path) -> Result<(), StoreError> {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir = fs::File::open(parent).map_err(|e| StoreError::io(parent, e))?;
+        dir.sync_all().map_err(|e| StoreError::io(parent, e))?;
+    }
+    Ok(())
 }
 
 /// Load a snapshot written by [`save`] (or a legacy v1 file). Verifies
 /// magic, version and the whole-file checksum, then hands v2 files to the
 /// zero-copy lazy loader and v1 files to the eager decoder.
 pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
+    if let Some(e) = gent_faults::fail_io!("store.load.read") {
+        return Err(StoreError::io(path, e));
+    }
     let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
     load_buf(LakeBuf::new(bytes))
 }

@@ -1,6 +1,8 @@
 //! A minimal, std-only client driving the `gent serve` daemon end to end:
 //! build a lake, snapshot it, boot the daemon on an ephemeral port, then
-//! talk to it exactly as `curl` would — raw HTTP/1.1 over a `TcpStream`.
+//! talk to it two ways — through the retrying [`RetryClient`] (jittered
+//! backoff on 429/503/socket faults, generation tracking across
+//! `/admin/reload` swaps) and over one raw kept-alive connection.
 //!
 //! ```text
 //! cargo run --release --example serve_client
@@ -12,23 +14,8 @@ use std::time::Duration;
 
 use gen_t::core::GenTConfig;
 use gen_t::prelude::*;
-use gen_t::serve::{LakeService, ServeConfig, Server};
+use gen_t::serve::{LakeService, RetryClient, RetryPolicy, ServeConfig, Server};
 use gen_t::store::{snapshot, LakeSource, SnapshotFile};
-
-/// One HTTP request over a fresh connection, pure std.
-fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> String {
-    let mut s = TcpStream::connect(addr).expect("connect to daemon");
-    s.set_read_timeout(Some(Duration::from_secs(30))).expect("timeout");
-    write!(
-        s,
-        "{method} {path} HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    )
-    .expect("send request");
-    let mut text = String::new();
-    s.read_to_string(&mut text).expect("read response");
-    text.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or(text)
-}
 
 /// A persistent client: one TCP connection, many requests. Asking for
 /// `Connection: keep-alive` makes the daemon hand the socket back after
@@ -112,35 +99,59 @@ fn main() {
     let runner = std::thread::spawn(move || server.run());
     println!("daemon up on http://{addr}");
 
-    // ── Drive it: health, stat, then a reclamation. ─────────────────────
-    println!("GET /healthz   → {}", http(addr, "GET", "/healthz", ""));
-    println!("GET /lake/stat → {}", http(addr, "GET", "/lake/stat", ""));
+    // ── Drive it through the retrying client: transient faults (socket
+    //    resets, 429 shed, 503 drain) are retried with jittered backoff,
+    //    and the X-Gent-Generation header tracks reload swaps. ───────────
+    let mut client = RetryClient::new(addr);
+    let health = client.get("/healthz").expect("healthz");
+    println!("GET /healthz   → {}", health.body);
+    let stat = client.get("/lake/stat").expect("lake/stat");
+    println!("GET /lake/stat → {} (generation {:?})", stat.body, stat.generation);
 
     let request = r#"{"source": {
         "name": "S",
         "columns": ["id", "name", "age"],
         "key": ["id"],
         "rows": [[0, "Smith", 27], [1, "Brown", 24], [2, "Wang", 32]]}}"#;
-    let response = http(addr, "POST", "/reclaim", request);
-    println!("POST /reclaim  → {response}");
+    let response = client.post("/reclaim", request).expect("reclaim");
+    println!("POST /reclaim  → {} (attempt {})", response.body, response.attempts);
 
     // The served answer carries the reclaimed table; a perfect lake must
     // reclaim this source perfectly.
-    assert!(response.contains("\"eis\":1"), "expected a perfect EIS, got: {response}");
+    assert_eq!(response.status, 200);
+    assert!(response.body.contains("\"eis\":1"), "expected a perfect EIS, got: {response:?}");
 
     // ── The same, over one kept-alive connection: repeated reclaims skip
     //    the per-request TCP handshake entirely. ─────────────────────────
-    let mut client = KeepAliveClient::connect(addr);
+    let mut pooled = KeepAliveClient::connect(addr);
     for i in 0..3 {
-        let reused = client.request("POST", "/reclaim", request);
+        let reused = pooled.request("POST", "/reclaim", request);
         assert!(reused.contains("\"eis\":1"), "keep-alive reclaim {i}: {reused}");
         println!("keep-alive #{i} → eis 1.0 (same socket)");
     }
-    drop(client);
+    drop(pooled);
 
     // Errors are structured, and the daemon survives them.
-    println!("bad request    → {}", http(addr, "POST", "/reclaim", "{not json"));
-    println!("GET /healthz   → {}", http(addr, "GET", "/healthz", ""));
+    let bad = client.post("/reclaim", "{not json").expect("bad request still answers");
+    println!("bad request    → {} (status {})", bad.body, bad.status);
+    assert_eq!(bad.status, 400);
+    println!("GET /healthz   → {}", client.get("/healthz").expect("healthz").body);
+
+    // ── Graceful drain: readiness flips to 503 + Retry-After while
+    //    liveness stays green, then the daemon stops. ────────────────────
+    handle.begin_drain();
+    // A deliberate 503 is the *point* here — probe without retries, or the
+    // client would dutifully honour Retry-After a few times first.
+    let mut probe =
+        RetryClient::with_policy(addr, RetryPolicy { max_attempts: 1, ..RetryPolicy::default() });
+    let ready = probe.get("/healthz/ready").expect("readiness probe");
+    println!(
+        "draining       → /healthz/ready {} (Retry-After: {})",
+        ready.status,
+        ready.header("retry-after").unwrap_or("-")
+    );
+    assert_eq!(ready.status, 503);
+    assert_eq!(probe.get("/healthz/live").expect("liveness probe").status, 200);
 
     handle.stop();
     runner.join().unwrap().expect("server run");

@@ -50,6 +50,9 @@ pub use gent_core as core;
 pub use gent_datagen as datagen;
 pub use gent_discovery as discovery;
 pub use gent_explain as explain;
+/// Seeded failpoints for robustness testing — disabled (a single relaxed
+/// atomic load) unless a harness arms them; see `docs/robustness.md`.
+pub use gent_faults as faults;
 pub use gent_metrics as metrics;
 pub use gent_ops as ops;
 pub use gent_query as query;

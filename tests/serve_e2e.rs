@@ -573,9 +573,16 @@ fn three_lake_daemon_routes_batches_and_reloads_via_cli() {
         "--lake",
         "beta",
     ]);
-    let v = Json::parse(reload_out.trim()).expect("reload response json");
+    // The first stdout line is the daemon's raw response body; the retrying
+    // client may append parenthesised operator notes after it.
+    let reload_body = reload_out.lines().next().expect("reload output");
+    let v = Json::parse(reload_body.trim()).expect("reload response json");
     assert_eq!(v.get("lake").and_then(Json::as_str), Some("beta"));
     assert_eq!(v.get("generation").and_then(Json::as_i64), Some(1));
+    assert!(
+        reload_out.contains("(lake generation is now 1)"),
+        "operator note missing: {reload_out}"
+    );
     let (_, body) = http(addr, "GET", "/lakes", "");
     let generations: Vec<i64> = Json::parse(&body)
         .unwrap()
