@@ -47,7 +47,7 @@ pub mod traversal;
 pub use batch::{summarize, BatchItem, BatchSummary};
 pub use cleaning::{impute, CleanedReclamation, Imputation, ImputationRule, ImputeConfig};
 pub use config::GenTConfig;
-pub use expand::expand;
+pub use expand::{expand, expand_with_stats, ExpandStats};
 pub use integration::{conform_schema, integrate, project_select};
 pub use iterative::MultiLakeOutcome;
 pub use keyless::{keyless_instance_similarity, KeyStrategy, KeylessOutcome};

@@ -24,50 +24,163 @@
 //! row, with dominance pruning and a configurable cap to bound growth —
 //! this is the dictionary encoding §V-A3 describes.
 //!
-//! # Arena layout
+//! # Packed arena layout
 //!
-//! The matrix is stored as a **flat arena**, not as nested vectors:
+//! The matrix is stored as a **packed flat arena**: every cell is 2 bits
+//! (codes `−1 → 00`, `0 → 01`, `1 → 10`), 32 cells per `u64` word, packed
+//! MSB-first:
 //!
 //! ```text
-//! cells:   [ t0c0 t0c1 … t0cw | t1c0 t1c1 … t1cw | … ]   one i8 per cell
-//! row_off: [ 0, 1, 3, 3, … ]                             len = |S| + 1
+//! words:   [ t0w0 t0w1 … | t1w0 t1w1 … | … ]    ⌈n_cols/32⌉ words per tuple
+//! row_off: [ 0, 1, 3, 3, … ]                    len = |S| + 1
 //! ```
 //!
-//! Tuple `t` occupies `cells[t·w .. (t+1)·w]` (`w` = source width) and the
-//! aligned tuples of source row `i` are the tuple range
+//! Tuple `t` occupies `words[t·wpt .. (t+1)·wpt]` (`wpt` = words per
+//! tuple); column `j` sits at bit `62 − 2·(j mod 32)` of word `j / 32`, and
+//! lanes past `n_cols` are padded with the `0` code. Two properties fall
+//! straight out of the packing:
+//!
+//! * the numeric code order matches the value order `−1 < 0 < 1`, and
+//!   MSB-first packing makes `u64`-slice comparison *equal* to
+//!   lexicographic tuple comparison — sorting/dedup need no decoding;
+//! * the `0` padding never conflicts with anything and is identical across
+//!   tuples, so every lane kernel can run over whole words without masking
+//!   the tail.
+//!
+//! The aligned tuples of source row `i` are the tuple range
 //! `row_off[i] .. row_off[i+1]` — an empty range encodes an uncovered row.
+//!
+//! # Lane kernels
+//!
+//! With `HI = 0xAAAA…` (the high bit of every lane), the per-word bit
+//! algebra covers every cell operation the traversal's hot loops need —
+//! 32 cells per instruction instead of one:
+//!
+//! * **ones** `= w & HI` — lanes holding `1` (code `10`);
+//! * **negs** `= !(w | w≪1) & HI` — lanes holding `−1` (code `00`);
+//! * **conflict** `(x, y) = (x & negs(y)) | (y & negs(x)) ≠ 0` — some lane
+//!   has `1` on one side and `−1` on the other (Eq. 5's "keep separate");
+//! * **lane-max** `(x, y) = (x|y) & !(((x|y) & HI) ≫ 1)` — the element-wise
+//!   OR under the truth ordering `1 > 0 > −1` (the hi bit wins its lane);
+//! * **score** `= popcount(w & wm) − popcount(negs(w) & wm)` — `α − δ`
+//!   against the per-column weight mask `wm` (hi bit set exactly at the
+//!   non-key lanes), two popcounts per 32 columns.
+//!
 //! Every operation (build, [`AlignmentMatrix::combine`],
 //! [`AlignmentMatrix::eis`], [`AlignmentMatrix::net_score`], and the fused
-//! [`AlignmentMatrix::combine_score`]) streams over this contiguous buffer:
-//! no per-tuple heap allocations, no pointer chasing, cache-linear scans.
-//! Matrix Traversal's hot loop re-scores every remaining candidate on every
-//! greedy round, so this layout is what its cost is made of.
+//! [`AlignmentMatrix::combine_score`]) streams these kernels over the
+//! contiguous word buffer: no per-tuple heap allocations, no pointer
+//! chasing, 4× the cell density of the previous one-byte-per-cell arena.
 //!
-//! The previous triply-nested `Vec<Vec<Vec<i8>>>` implementation survives
+//! # Per-row max-bound profiles
+//!
+//! Each matrix also stores, per source row, the **lane-max of all its
+//! aligned tuples** (`wpt` words; all-`00` for an uncovered row — the
+//! identity of lane-max). Every tuple Eq. 5 can generate for a row is
+//! element-wise ≤ the lane-max of the two sides' profiles (an OR-merge is
+//! ≤ the column-wise max of its inputs, and a pass-through is ≤ its own
+//! side's profile), and the score is monotone under the cell ordering — so
+//! `score(lane_max(profile_a, profile_b))` is an **admissible upper bound**
+//! on the fused per-row result (`AlignmentMatrix::combine_row_bound`).
+//! `RoundScorer` uses it to prune candidates harder than the flat `n`-cap
+//! before any lane work runs, without ever changing a selection.
+//!
+//! The original triply-nested `Vec<Vec<Vec<i8>>>` implementation survives
 //! verbatim in [`mod@reference`] as the executable specification: property
-//! tests assert the arena is behaviourally identical to it.
+//! tests assert the packed arena is behaviourally identical to it.
 
 use gent_table::{FxHashMap, Table};
 
+/// Cells per `u64` word (2 bits per cell).
+const LANES: usize = 32;
+/// The high bit of every 2-bit lane.
+const HI: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+/// Cell code for `1` (agreement).
+const CODE_ONE: u64 = 0b10;
+/// Cell code for `0` (null-against-value).
+const CODE_ZERO: u64 = 0b01;
+
+/// The bit shift of column lane `l` within its word (MSB-first).
+#[inline]
+const fn lane_shift(l: usize) -> u32 {
+    (62 - 2 * l) as u32
+}
+
+/// Lanes holding `−1` (code `00`): neither bit of the lane is set.
+#[inline]
+fn negs(w: u64) -> u64 {
+    !(w | (w << 1)) & HI
+}
+
+/// Element-wise maximum under the truth ordering `1 > 0 > −1`: a lane with
+/// the hi bit set (a `1`) wins outright; otherwise the lo bits OR (`0`
+/// beats `−1`).
+#[inline]
+fn lane_max(x: u64, y: u64) -> u64 {
+    let o = x | y;
+    o & !((o & HI) >> 1)
+}
+
+/// Do two packed tuples conflict at this word (some lane `1` vs `−1`)?
+#[inline]
+fn conflict_word(x: u64, y: u64) -> u64 {
+    (x & negs(y)) | (y & negs(x))
+}
+
+/// `α − δ` contribution of one word against its weight mask (`wm ⊆ HI`,
+/// set exactly at the non-key lanes — zero at key lanes and padding).
+#[inline]
+fn word_score(w: u64, wm: u64) -> i64 {
+    ((w & wm).count_ones() as i64) - ((negs(w) & wm).count_ones() as i64)
+}
+
+/// `α − δ` of one packed tuple.
+#[inline]
+fn packed_score(tuple: &[u64], weight: &[u64]) -> i64 {
+    tuple.iter().zip(weight.iter()).map(|(&w, &m)| word_score(w, m)).sum()
+}
+
+/// FxHash of a row's key cells; `None` if any is null-like (nulls never
+/// align tuples — the same rule as [`Table::key_from_row`]). `Value`'s
+/// `Hash` is consistent with its cross-type equality, so equal keys always
+/// hash equal; unequal keys sharing a hash are filtered by the probe.
+pub(crate) fn key_hash(row: &[gent_table::Value], key_cols: &[usize]) -> Option<u64> {
+    use std::hash::{Hash, Hasher};
+    let mut h = gent_table::fxhash::FxHasher::default();
+    for &k in key_cols {
+        let v = &row[k];
+        if v.is_null_like() {
+            return None;
+        }
+        v.hash(&mut h);
+    }
+    Some(h.finish())
+}
+
 /// Three-valued alignment matrix of one (possibly partially integrated)
-/// candidate against a fixed source table, stored as a flat cell arena
-/// (see the [module docs](self) for the layout).
+/// candidate against a fixed source table, stored as a packed flat cell
+/// arena (see the [module docs](self) for the layout and lane kernels).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AlignmentMatrix {
-    /// Cell arena: tuple `t` is `cells[t * n_cols .. (t + 1) * n_cols]`.
-    cells: Vec<i8>,
+    /// Packed cell arena: tuple `t` is `words[t * wpt .. (t + 1) * wpt]`.
+    words: Vec<u64>,
+    /// Per-row lane-max profile: row `i` is
+    /// `profiles[i * wpt .. (i + 1) * wpt]` (all zeros — every lane `−1`,
+    /// the lane-max identity — for an uncovered row).
+    profiles: Vec<u64>,
     /// Tuple-index offsets per source row (`len = n_rows + 1`): row `i`
     /// owns tuples `row_off[i] .. row_off[i + 1]`.
     row_off: Vec<u32>,
-    /// Number of source columns (tuple width).
+    /// Number of source columns (tuple width in cells).
     n_cols: usize,
+    /// Words per tuple: `⌈n_cols / 32⌉`, at least 1.
+    wpt: usize,
     /// Indices of the source's non-key columns (the ones EIS scores).
     non_key_cols: Vec<usize>,
-    /// Per-column score weight: `1` for non-key columns, `0` otherwise.
-    /// Lets the hot loops accumulate `α − δ` without membership tests
-    /// (a cell's own value *is* its score contribution: `1 → +1`,
-    /// `0 → 0`, `−1 → −1`).
-    score_weight: Vec<i8>,
+    /// Per-word score weight mask: the hi bit of every non-key column's
+    /// lane (zero at key lanes and padding), so the lane kernels accumulate
+    /// `α − δ` with two popcounts per word.
+    weight_words: Vec<u64>,
 }
 
 impl AlignmentMatrix {
@@ -92,6 +205,23 @@ impl AlignmentMatrix {
         three_valued: bool,
         max_aligned_per_key: usize,
     ) -> Option<AlignmentMatrix> {
+        Self::build_hashed(source, candidate, three_valued, max_aligned_per_key, None)
+    }
+
+    /// [`AlignmentMatrix::build`] with the candidate's per-row source-key
+    /// hashes already computed — `key_hashes[i]` must equal
+    /// `key_hash(candidate.rows()[i], ckey)` for the candidate's key
+    /// columns. Expand's join engine knows these for free (a joined row's
+    /// key cells are verbatim copies of one input row's), and skipping the
+    /// re-hash of every expanded row is a measurable slice of matrix
+    /// construction on large expansions.
+    pub(crate) fn build_hashed(
+        source: &Table,
+        candidate: &Table,
+        three_valued: bool,
+        max_aligned_per_key: usize,
+        key_hashes: Option<&[Option<u64>]>,
+    ) -> Option<AlignmentMatrix> {
         let max_aligned_per_key = max_aligned_per_key.max(1);
         let skey = source.schema().key();
         assert!(!skey.is_empty(), "source must declare a key");
@@ -102,54 +232,118 @@ impl AlignmentMatrix {
         let ckey: Option<Vec<usize>> = skey.iter().map(|&k| col_map[k]).collect();
         let ckey = ckey?;
 
-        // Index candidate rows by key value.
-        let mut cindex: FxHashMap<gent_table::KeyValue, Vec<usize>> = FxHashMap::default();
-        for (i, row) in candidate.rows().iter().enumerate() {
-            if let Some(kv) = Table::key_from_row(row, &ckey) {
-                cindex.entry(kv).or_default().push(i);
+        // Index candidate rows by key-value *hash* — cloning key tuples
+        // into `KeyValue`s costs an allocation per candidate row, which
+        // dominated construction on large expanded candidates. Probes
+        // verify the key cells against the row itself, so hash collisions
+        // can never mis-align tuples.
+        let mut cindex: FxHashMap<u64, Vec<usize>> =
+            FxHashMap::with_capacity_and_hasher(candidate.n_rows(), Default::default());
+        match key_hashes {
+            Some(hashes) => {
+                debug_assert_eq!(hashes.len(), candidate.n_rows(), "hashes for another table");
+                debug_assert!(
+                    hashes.iter().zip(candidate.rows()).all(|(&h, row)| h == key_hash(row, &ckey)),
+                    "precomputed key hashes disagree with key_hash"
+                );
+                for (i, &h) in hashes.iter().enumerate() {
+                    if let Some(h) = h {
+                        cindex.entry(h).or_default().push(i);
+                    }
+                }
+            }
+            None => {
+                for (i, row) in candidate.rows().iter().enumerate() {
+                    if let Some(h) = key_hash(row, &ckey) {
+                        cindex.entry(h).or_default().push(i);
+                    }
+                }
             }
         }
 
         let n_cols = source.n_cols();
         let non_key_cols = source.schema().non_key_indices();
         let mut out = AlignmentMatrix::empty(source.n_rows(), n_cols, non_key_cols);
-        let mut scratch: Vec<i8> = Vec::new();
+        let wpt = out.wpt;
+
+        // Most of a tuple's lanes don't depend on the candidate row at all:
+        // key lanes are always `1` (alignment verified the key cells equal,
+        // and a hashed key is never null-like), lanes of columns the
+        // candidate lacks depend only on the *source* cell, and the tail
+        // padding is the constant `0` code. Bake all of those into a
+        // per-source-row template once, so the per-tuple loop touches only
+        // the mapped non-key columns — on narrow candidates that is a small
+        // fraction of the source width, and tuple packing is the bulk of
+        // construction.
+        let mut base = vec![0u64; wpt];
+        for &k in skey {
+            base[k / LANES] |= CODE_ONE << lane_shift(k % LANES);
+        }
+        // Lanes the per-tuple loop never writes default to the `0` code
+        // (missing columns against a non-null source cell, tail padding).
+        let mut none_cols: Vec<usize> = Vec::new();
+        let mut some_cols: Vec<(usize, usize, usize, u32)> = Vec::new();
+        for (j, cm) in col_map.iter().enumerate() {
+            match cm {
+                None => {
+                    base[j / LANES] |= CODE_ZERO << lane_shift(j % LANES);
+                    none_cols.push(j);
+                }
+                Some(cj) if !skey.contains(&j) => {
+                    some_cols.push((j, *cj, j / LANES, lane_shift(j % LANES)));
+                }
+                Some(_) => {}
+            }
+        }
+        for l in n_cols..wpt * LANES {
+            base[l / LANES] |= CODE_ZERO << lane_shift(l % LANES);
+        }
+        let mismatch = if three_valued { 0 } else { CODE_ZERO }; // −1 vs 0
+        let null_mask: Vec<u64> =
+            none_cols.iter().map(|&j| (CODE_ONE ^ CODE_ZERO) << lane_shift(j % LANES)).collect();
+
+        let mut tmpl = vec![0u64; wpt];
+        let mut scratch: Vec<u64> = Vec::new();
         let mut prune = PruneScratch::default();
         for si in 0..source.n_rows() {
             scratch.clear();
-            if let Some(kv) = source.key_of_row(si) {
-                if let Some(crows) = cindex.get(&kv) {
+            let srow = &source.rows()[si];
+            if let Some(h) = key_hash(srow, skey) {
+                if let Some(crows) = cindex.get(&h) {
+                    // This row's template: flip missing-column lanes from
+                    // the `0` code to `1` where the source cell is itself
+                    // null-like (a correctly-absent value).
+                    tmpl.copy_from_slice(&base);
+                    for (&j, &m) in none_cols.iter().zip(&null_mask) {
+                        if srow[j].is_null_like() {
+                            tmpl[j / LANES] ^= m;
+                        }
+                    }
                     for &ci in crows {
-                        for (j, cm) in col_map.iter().enumerate() {
-                            let sv = &source.rows()[si][j];
-                            let tv = cm.map(|cj| &candidate.rows()[ci][cj]);
-                            let enc = match tv {
-                                None => {
-                                    // Candidate lacks the column entirely —
-                                    // a null against the source value.
-                                    if sv.is_null_like() {
-                                        1
-                                    } else {
-                                        0
-                                    }
-                                }
-                                Some(tv) => {
-                                    // A correctly-preserved null counts like
-                                    // a shared value (Example 6's EIS
-                                    // convention), hence the same arm as
-                                    // value equality.
-                                    if (sv.is_null_like() && tv.is_null_like()) || sv == tv {
-                                        1
-                                    } else if tv.is_null_like() {
-                                        0
-                                    } else if three_valued {
-                                        -1
-                                    } else {
-                                        0
-                                    }
-                                }
+                        // Hash buckets may mix distinct keys; keep only the
+                        // rows whose key cells actually equal the source's.
+                        let crow = &candidate.rows()[ci];
+                        if !skey.iter().zip(&ckey).all(|(&sk, &ck)| srow[sk] == crow[ck]) {
+                            continue;
+                        }
+                        // Pack one tuple, MSB-first, 32 cells per word:
+                        // the template plus this row's mapped lanes.
+                        let at = scratch.len();
+                        scratch.extend_from_slice(&tmpl);
+                        for &(j, cj, word, shift) in &some_cols {
+                            let sv = &srow[j];
+                            let tv = &crow[cj];
+                            // A correctly-preserved null counts like a
+                            // shared value (Example 6's EIS convention),
+                            // hence the same arm as value equality.
+                            let enc = if (sv.is_null_like() && tv.is_null_like()) || sv == tv {
+                                CODE_ONE
+                            } else if tv.is_null_like() {
+                                CODE_ZERO
+                            } else {
+                                mismatch
                             };
-                            scratch.push(enc);
+                            scratch[at + word] |= enc << shift;
                         }
                     }
                 }
@@ -162,26 +356,51 @@ impl AlignmentMatrix {
     /// A matrix shell with no rows appended yet (rows arrive via
     /// [`AlignmentMatrix::push_row_pruned`] / [`AlignmentMatrix::push_row_raw`]).
     fn empty(n_rows: usize, n_cols: usize, non_key_cols: Vec<usize>) -> AlignmentMatrix {
-        let mut score_weight = vec![0i8; n_cols];
+        let wpt = n_cols.div_ceil(LANES).max(1);
+        let mut weight_words = vec![0u64; wpt];
         for &c in &non_key_cols {
-            score_weight[c] = 1;
+            weight_words[c / LANES] |= (CODE_ONE << lane_shift(c % LANES)) & HI;
         }
         let mut row_off = Vec::with_capacity(n_rows + 1);
         row_off.push(0);
-        AlignmentMatrix { cells: Vec::new(), row_off, n_cols, non_key_cols, score_weight }
+        AlignmentMatrix {
+            words: Vec::new(),
+            profiles: Vec::with_capacity(n_rows * wpt),
+            row_off,
+            n_cols,
+            wpt,
+            non_key_cols,
+            weight_words,
+        }
     }
 
-    /// Prune `scratch` (tuples of width `n_cols`) and append the survivors
-    /// as the next source row.
-    fn push_row_pruned(&mut self, scratch: &[i8], cap: usize, prune: &mut PruneScratch) {
-        prune.prune_into(scratch, self.n_cols, &self.score_weight, cap, &mut self.cells);
-        self.row_off.push((self.cells.len() / self.n_cols.max(1)) as u32);
+    /// Prune `scratch` (packed tuples, `wpt` words each) and append the
+    /// survivors as the next source row.
+    fn push_row_pruned(&mut self, scratch: &[u64], cap: usize, prune: &mut PruneScratch) {
+        let start = self.words.len();
+        prune.prune_into(scratch, self.wpt, &self.weight_words, cap, &mut self.words);
+        self.finish_row(start);
     }
 
-    /// Append a row's tuples verbatim (already pruned on the source side).
-    fn push_row_raw(&mut self, tuples: &[i8]) {
-        self.cells.extend_from_slice(tuples);
-        self.row_off.push((self.cells.len() / self.n_cols.max(1)) as u32);
+    /// Append a row's packed tuples verbatim (already pruned on the source
+    /// side).
+    fn push_row_raw(&mut self, tuples: &[u64]) {
+        let start = self.words.len();
+        self.words.extend_from_slice(tuples);
+        self.finish_row(start);
+    }
+
+    /// Close the row whose tuples begin at word offset `start`: record the
+    /// offset and fold the row's lane-max profile.
+    fn finish_row(&mut self, start: usize) {
+        self.row_off.push((self.words.len() / self.wpt) as u32);
+        let base = self.profiles.len();
+        self.profiles.resize(base + self.wpt, 0);
+        for t in (start..self.words.len()).step_by(self.wpt) {
+            for k in 0..self.wpt {
+                self.profiles[base + k] = lane_max(self.profiles[base + k], self.words[t + k]);
+            }
+        }
     }
 
     /// Number of source rows.
@@ -223,23 +442,29 @@ impl AlignmentMatrix {
         self.row_off[i] as usize..self.row_off[i + 1] as usize
     }
 
-    /// The cells of tuple `t`.
+    /// The packed words of tuple `t`.
     #[inline]
-    fn tuple(&self, t: usize) -> &[i8] {
-        &self.cells[t * self.n_cols..(t + 1) * self.n_cols]
+    fn tuple(&self, t: usize) -> &[u64] {
+        &self.words[t * self.wpt..(t + 1) * self.wpt]
     }
 
-    /// The cell slab of source row `i` (all of its tuples, back to back).
+    /// The word slab of source row `i` (all of its tuples, back to back).
     #[inline]
-    fn row_cells(&self, i: usize) -> &[i8] {
+    fn row_cells(&self, i: usize) -> &[u64] {
         let r = self.row_range(i);
-        &self.cells[r.start * self.n_cols..r.end * self.n_cols]
+        &self.words[r.start * self.wpt..r.end * self.wpt]
+    }
+
+    /// The lane-max profile words of source row `i`.
+    #[inline]
+    fn profile(&self, i: usize) -> &[u64] {
+        &self.profiles[i * self.wpt..(i + 1) * self.wpt]
     }
 
     /// `α − δ` of tuple `t` over the non-key columns.
     #[inline]
     fn tuple_score(&self, t: usize) -> i64 {
-        score_of(self.tuple(t), &self.score_weight)
+        packed_score(self.tuple(t), &self.weight_words)
     }
 
     /// Number of source rows covered (≥1 aligned tuple).
@@ -247,10 +472,19 @@ impl AlignmentMatrix {
         (0..self.n_rows()).filter(|&i| !self.row_range(i).is_empty()).count()
     }
 
-    /// Aligned tuple vectors for source row `i`, each a `n_cols`-wide slice
-    /// into the arena.
-    pub fn aligned(&self, i: usize) -> impl ExactSizeIterator<Item = &[i8]> + '_ {
-        self.row_cells(i).chunks_exact(self.n_cols.max(1))
+    /// Aligned tuple vectors for source row `i`, decoded from the packed
+    /// arena into owned `i8` vectors (one entry per source column).
+    pub fn aligned(&self, i: usize) -> impl ExactSizeIterator<Item = Vec<i8>> + '_ {
+        self.row_range(i).map(move |t| {
+            let words = self.tuple(t);
+            (0..self.n_cols)
+                .map(|j| match (words[j / LANES] >> lane_shift(j % LANES)) & 0b11 {
+                    CODE_ONE => 1,
+                    CODE_ZERO => 0,
+                    _ => -1,
+                })
+                .collect()
+        })
     }
 
     /// evaluateSimilarity() — the EIS score implied by this matrix
@@ -325,9 +559,9 @@ impl AlignmentMatrix {
         let max_aligned_per_key = max_aligned_per_key.max(1);
         assert_eq!(self.n_cols, other.n_cols, "matrices must share the source shape");
         assert_eq!(self.n_rows(), other.n_rows());
-        let w = self.n_cols;
-        let mut out = AlignmentMatrix::empty(self.n_rows(), w, self.non_key_cols.clone());
-        let mut scratch: Vec<i8> = Vec::new();
+        let wpt = self.wpt;
+        let mut out = AlignmentMatrix::empty(self.n_rows(), self.n_cols, self.non_key_cols.clone());
+        let mut scratch: Vec<u64> = Vec::new();
         let mut b_merged: Vec<bool> = Vec::new();
         let mut prune = PruneScratch::default();
         for i in 0..self.n_rows() {
@@ -353,11 +587,21 @@ impl AlignmentMatrix {
                 let mut merged_any = false;
                 for (bi, tb) in rb.clone().enumerate() {
                     let tb = other.tuple(tb);
-                    if !conflicts(ta, tb) {
-                        // Element-wise OR under the truth ordering
-                        // `1 > 0 > −1`, written straight into the scratch
-                        // arena — no per-tuple Vec.
-                        scratch.extend(ta.iter().zip(tb.iter()).map(|(&x, &y)| x.max(y)));
+                    // Lane-parallel merge: write the element-wise OR (under
+                    // `1 > 0 > −1`) word by word, backing out on conflict.
+                    let base_len = scratch.len();
+                    let mut conflict = false;
+                    for k in 0..wpt {
+                        let (x, y) = (ta[k], tb[k]);
+                        if conflict_word(x, y) != 0 {
+                            conflict = true;
+                            break;
+                        }
+                        scratch.push(lane_max(x, y));
+                    }
+                    if conflict {
+                        scratch.truncate(base_len);
+                    } else {
                         b_merged[bi] = true;
                         merged_any = true;
                     }
@@ -433,12 +677,12 @@ impl AlignmentMatrix {
         i: usize,
         scratch: &mut CombineScratch,
     ) -> i64 {
-        let w = self.n_cols;
-        let weight = &self.score_weight;
+        let wpt = self.wpt;
+        let weight = &self.weight_words;
         let (ra, rb) = (self.row_range(i), other.row_range(i));
         let mut best = i64::MIN;
         if ra.is_empty() {
-            best = rb.map(|t| score_of(other.tuple(t), weight)).max().unwrap_or(0);
+            best = rb.map(|t| packed_score(other.tuple(t), weight)).max().unwrap_or(0);
         } else if rb.is_empty() {
             best = ra.map(|t| self.tuple_score(t)).max().unwrap_or(0);
         } else {
@@ -450,17 +694,18 @@ impl AlignmentMatrix {
                 let mut merged_any = false;
                 for (bi, tb) in rb.clone().enumerate() {
                     let tb = other.tuple(tb);
-                    // Single pass per pair: detect a conflict and
-                    // accumulate the OR-tuple's score together.
+                    // Single lane pass per pair: detect a conflict and
+                    // accumulate the OR-tuple's score together, 32 cells
+                    // per word.
                     let mut s = 0i64;
                     let mut conflict = false;
-                    for j in 0..w {
-                        let (x, y) = (ta[j], tb[j]);
-                        if x != 0 && y != 0 && x != y {
+                    for k in 0..wpt {
+                        let (x, y) = (ta[k], tb[k]);
+                        if conflict_word(x, y) != 0 {
                             conflict = true;
                             break;
                         }
-                        s += (x.max(y) * weight[j]) as i64;
+                        s += word_score(lane_max(x, y), weight[k]);
                     }
                     if !conflict {
                         b_merged[bi] = true;
@@ -469,16 +714,34 @@ impl AlignmentMatrix {
                     }
                 }
                 if !merged_any {
-                    best = best.max(score_of(ta, weight));
+                    best = best.max(packed_score(ta, weight));
                 }
             }
             for (bi, tb) in rb.clone().enumerate() {
                 if !b_merged[bi] {
-                    best = best.max(score_of(other.tuple(tb), weight));
+                    best = best.max(packed_score(other.tuple(tb), weight));
                 }
             }
         }
         best.max(0)
+    }
+
+    /// Admissible upper bound on [`AlignmentMatrix::combine_row_best`] from
+    /// the two rows' lane-max profiles alone: every tuple Eq. 5 can produce
+    /// for row `i` is element-wise ≤ `lane_max(profile_a, profile_b)` (an
+    /// OR-merge is ≤ the column-wise max of its inputs; a pass-through is ≤
+    /// its own side's profile, and an uncovered side's all-`−1` profile is
+    /// the lane-max identity), and the score is monotone in each cell — so
+    /// scoring the profile max, clamped at 0 like the row best, can never
+    /// under-estimate. `wpt` words of work instead of `|A_i|·|B_i|·wpt`.
+    #[inline]
+    pub(crate) fn combine_row_bound(&self, other: &AlignmentMatrix, i: usize) -> i64 {
+        let (pa, pb) = (self.profile(i), other.profile(i));
+        let mut s = 0i64;
+        for k in 0..self.wpt {
+            s += word_score(lane_max(pa[k], pb[k]), self.weight_words[k]);
+        }
+        s.max(0)
     }
 }
 
@@ -492,20 +755,7 @@ pub struct CombineScratch {
     b_merged: Vec<bool>,
 }
 
-/// `α − δ` of one tuple: the weighted cell sum (a cell's value is its own
-/// score contribution over the non-key columns).
-#[inline]
-fn score_of(tuple: &[i8], weight: &[i8]) -> i64 {
-    tuple.iter().zip(weight.iter()).map(|(&v, &w)| (v * w) as i64).sum()
-}
-
-/// Do two tuple vectors conflict (different non-zero values at a column)?
-#[inline]
-fn conflicts(a: &[i8], b: &[i8]) -> bool {
-    a.iter().zip(b.iter()).any(|(&x, &y)| x != 0 && y != 0 && x != y)
-}
-
-/// Reusable scratch for dominance pruning over flat tuple buffers — one
+/// Reusable scratch for dominance pruning over packed tuple buffers — one
 /// allocation per build/combine, not per source row.
 #[derive(Default)]
 struct PruneScratch {
@@ -517,26 +767,28 @@ struct PruneScratch {
 }
 
 impl PruneScratch {
-    /// Dominance-prune `tuples` (a flat buffer of `w`-wide tuples), dedup,
-    /// cap the list at `cap` keeping the highest-scoring tuples, and append
-    /// the survivors to `out` in lexicographic order — the exact semantics
-    /// (and final ordering) of the reference implementation's
-    /// `prune_dominated`.
+    /// Dominance-prune `tuples` (a flat buffer of packed `wpt`-word
+    /// tuples), dedup, cap the list at `cap` keeping the highest-scoring
+    /// tuples, and append the survivors to `out` in lexicographic order —
+    /// the exact semantics (and final ordering) of the reference
+    /// implementation's `prune_dominated`. MSB-first packing with the code
+    /// order matching the value order makes `u64`-slice comparison equal to
+    /// per-cell lexicographic comparison, so no decoding is needed; a tuple
+    /// is dominated iff lane-maxing it into the other is a no-op.
     fn prune_into(
         &mut self,
-        tuples: &[i8],
-        w: usize,
-        weight: &[i8],
+        tuples: &[u64],
+        wpt: usize,
+        weight: &[u64],
         cap: usize,
-        out: &mut Vec<i8>,
+        out: &mut Vec<u64>,
     ) {
-        let w = w.max(1);
-        let nt = tuples.len() / w;
+        let nt = tuples.len() / wpt;
         if nt <= 1 {
             out.extend_from_slice(tuples);
             return;
         }
-        let tup = |t: u32| -> &[i8] { &tuples[t as usize * w..(t as usize + 1) * w] };
+        let tup = |t: u32| -> &[u64] { &tuples[t as usize * wpt..(t as usize + 1) * wpt] };
         self.order.clear();
         self.order.extend(0..nt as u32);
         // Lexicographic sort + dedup by content.
@@ -550,13 +802,15 @@ impl PruneScratch {
         let snapshot = &self.snapshot;
         self.order.retain(|&t| {
             !snapshot.iter().any(|&o| {
-                o != t && tup(t) != tup(o) && tup(t).iter().zip(tup(o)).all(|(&x, &y)| x <= y)
+                o != t
+                    && tup(t) != tup(o)
+                    && tup(t).iter().zip(tup(o)).all(|(&x, &y)| lane_max(x, y) == y)
             })
         });
         if self.order.len() > cap {
             // Keep the tuples with the best (α − δ) score; the stable sort
             // preserves lexicographic order among score ties.
-            self.order.sort_by_key(|&t| std::cmp::Reverse(score_of(tup(t), weight)));
+            self.order.sort_by_key(|&t| std::cmp::Reverse(packed_score(tup(t), weight)));
             self.order.truncate(cap);
             self.order.sort_unstable_by(|&a, &b| tup(a).cmp(tup(b)));
         }
@@ -837,7 +1091,7 @@ mod tests {
 
     /// Collect a row's aligned tuples as owned vectors, for assertions.
     fn aligned_vecs(m: &AlignmentMatrix, i: usize) -> Vec<Vec<i8>> {
-        m.aligned(i).map(|t| t.to_vec()).collect()
+        m.aligned(i).collect()
     }
 
     /// Figure 3's source and tables A, B, C (after column renaming).
@@ -1074,6 +1328,95 @@ mod tests {
             ab.combine_score(&mats[2]).to_bits(),
             ab.combine(&mats[2], 8).net_score().to_bits()
         );
+    }
+
+    #[test]
+    fn profile_bound_is_admissible_on_figure5() {
+        // combine_row_bound must never under-estimate the fused row best —
+        // including empty-coverage sides, where the all-zero profile is the
+        // lane-max identity.
+        let s = source();
+        let empty = Table::build("E", &["ID", "Name"], &[], vec![]).unwrap();
+        let mats: Vec<AlignmentMatrix> = [table_a(), table_b_with_key(), table_c_with_key(), empty]
+            .iter()
+            .map(|t| AlignmentMatrix::build(&s, t, true, 8).unwrap())
+            .collect();
+        let mut scratch = CombineScratch::default();
+        for a in &mats {
+            for b in &mats {
+                for i in 0..s.n_rows() {
+                    let bound = a.combine_row_bound(b, i);
+                    let exact = a.combine_row_best(b, i, &mut scratch);
+                    assert!(bound >= exact, "row {i}: bound {bound} < exact {exact}");
+                }
+            }
+        }
+    }
+
+    mod bound_prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn src() -> Table {
+            Table::build(
+                "S",
+                &["k", "a", "b", "c"],
+                &["k"],
+                (0..5).map(|k| vec![V::Int(k), V::Int(1), V::Int(2), V::Int(3)]).collect(),
+            )
+            .unwrap()
+        }
+
+        /// Candidate from a mutation stream: 0–2 aligned copies per row,
+        /// cells kept / nulled / corrupted (corruptions align as `−1`).
+        fn cand(s: &Table, muts: &[u8]) -> Table {
+            let mut rows: Vec<Vec<V>> = Vec::new();
+            let mut mi = 0usize;
+            let mut next = || {
+                let m = muts[mi % muts.len().max(1)];
+                mi += 1;
+                m
+            };
+            for srow in s.rows() {
+                for _ in 0..next() % 3 {
+                    let mut row = vec![srow[0].clone()];
+                    for v in &srow[1..] {
+                        row.push(match next() % 4 {
+                            1 => V::Null,
+                            2 => match v {
+                                V::Int(x) => V::Int(x + 100),
+                                other => other.clone(),
+                            },
+                            _ => v.clone(),
+                        });
+                    }
+                    rows.push(row);
+                }
+            }
+            Table::build("C", &["k", "a", "b", "c"], &[], rows).unwrap()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The lane-max profile bound is admissible on random matrices
+            /// — conflict cells, multi-tuple rows, empty coverage and all.
+            #[test]
+            fn profile_bound_never_underestimates(
+                m1 in proptest::collection::vec(any::<u8>(), 32),
+                m2 in proptest::collection::vec(any::<u8>(), 32),
+            ) {
+                let s = src();
+                let a = AlignmentMatrix::build(&s, &cand(&s, &m1), true, 3).unwrap();
+                let b = AlignmentMatrix::build(&s, &cand(&s, &m2), true, 3).unwrap();
+                let mut scratch = CombineScratch::default();
+                for i in 0..s.n_rows() {
+                    let bound = a.combine_row_bound(&b, i);
+                    let exact = a.combine_row_best(&b, i, &mut scratch);
+                    prop_assert!(bound >= exact, "row {}: bound {} < exact {}", i, bound, exact);
+                }
+            }
+        }
     }
 
     #[test]

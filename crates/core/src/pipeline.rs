@@ -31,6 +31,14 @@ pub struct Timings {
     /// Candidate scorings skipped because their admissible upper bound
     /// provably lost the round.
     pub candidates_pruned: u64,
+    /// Partial join paths Expand's best-first search examined.
+    pub expand_paths_considered: u64,
+    /// Expand sub-joins answered from the path-suffix memo.
+    pub expand_memo_hits: u64,
+    /// Keyless candidates Expand dropped (no usable join path).
+    pub expand_candidates_dropped: u64,
+    /// Expanded tables dropped as duplicates of an existing relation.
+    pub expand_dedup: u64,
 }
 
 impl Timings {
@@ -217,6 +225,10 @@ impl GenT {
                 traversal_rounds: outcome.stats.rounds,
                 rows_rescored: outcome.stats.rows_rescored,
                 candidates_pruned: outcome.stats.candidates_pruned,
+                expand_paths_considered: outcome.expand.paths_considered,
+                expand_memo_hits: outcome.expand.memo_hits,
+                expand_candidates_dropped: outcome.expand.candidates_dropped,
+                expand_dedup: outcome.expand.dedup_dropped,
             },
         })
     }

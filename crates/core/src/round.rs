@@ -19,11 +19,16 @@
 //!    a handful of cache rows instead of all of them.
 //!
 //! 2. **Admissible per-candidate upper bounds.** A dirty row's contribution
-//!    is bounded by the row cap `n` (every non-key cell `1`), so
-//!    `bound(c) = base_total + Σ_clean (rc_i − base_i) + Σ_dirty (n − base_i)`
-//!    never underestimates the candidate's achievable score. Each round
-//!    scans candidates best-bound-first and stops as soon as the next bound
-//!    can no longer beat the best exact score found — candidates are only
+//!    is bounded by `min(n, profile_bound)`: the row cap `n` (every non-key
+//!    cell `1`) intersected with the packed arena's per-row lane-max
+//!    profile bound (`AlignmentMatrix::combine_row_bound` — the score of
+//!    the element-wise max of the two rows' tuple profiles, which no Eq. 5
+//!    output can exceed). So
+//!    `bound(c) = base_total + Σ_clean (rc_i − base_i) + Σ_dirty (min(n, pb_i) − base_i)`
+//!    never underestimates the candidate's achievable score, and prunes
+//!    strictly harder than the flat `n`-cap alone. Each round scans
+//!    candidates best-bound-first and stops as soon as the next bound can
+//!    no longer beat the best exact score found — candidates are only
 //!    skipped when **provably losing**, so the selected winner (and the
 //!    lowest-index tie-break) is bit-identical to a full rescan.
 //!
@@ -161,10 +166,14 @@ impl<'m> RoundScorer<'m> {
         // so the scan order is deterministic).
         self.order.clear();
         for (slot, c) in self.remaining.iter().enumerate() {
+            let m = &self.matrices[c.idx as usize];
             let headroom: i64 = c
                 .stale
                 .iter()
-                .map(|&j| self.row_cap - self.base[c.rows[j as usize] as usize])
+                .map(|&j| {
+                    let r = c.rows[j as usize] as usize;
+                    self.combined.combine_row_bound(m, r).min(self.row_cap) - self.base[r]
+                })
                 .sum();
             let bound = self.base_total + c.sum_clean + headroom;
             self.order.push((bound, c.idx, slot as u32));

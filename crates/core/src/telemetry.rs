@@ -18,6 +18,9 @@ pub(crate) struct Instruments {
     pub stage_set_similarity: Arc<Histogram>,
     /// `…{stage="expand"}` — Algorithm 5 join-path search.
     pub stage_expand: Arc<Histogram>,
+    /// `…{stage="expand_candidate"}` — one keyless candidate's path search
+    /// plus join folding inside Expand.
+    pub stage_expand_candidate: Arc<Histogram>,
     /// `…{stage="traversal"}` — Expand + matrix init + greedy rounds.
     pub stage_traversal: Arc<Histogram>,
     /// `…{stage="integration"}` — Algorithm 2.
@@ -31,6 +34,18 @@ pub(crate) struct Instruments {
     /// `gent_traversal_candidates_pruned_total` — candidates skipped by
     /// the admissible upper bound.
     pub candidates_pruned: Arc<Counter>,
+    /// `gent_expand_paths_considered_total` — partial join paths examined
+    /// by Expand's best-first search.
+    pub expand_paths: Arc<Counter>,
+    /// `gent_expand_memo_hits_total` — sub-joins answered from Expand's
+    /// path-suffix memo.
+    pub expand_memo_hits: Arc<Counter>,
+    /// `gent_expand_candidates_dropped_total` — keyless candidates Expand
+    /// dropped (no usable join path to the key).
+    pub expand_candidates_dropped: Arc<Counter>,
+    /// `gent_expand_dedup_total` — expanded tables dropped as duplicates of
+    /// an already-produced relation.
+    pub expand_dedup: Arc<Counter>,
 }
 
 /// The process-wide instrument set (registered on first use).
@@ -50,6 +65,7 @@ pub(crate) fn instruments() -> &'static Instruments {
             stage_discovery: stage("discovery"),
             stage_set_similarity: stage("set_similarity"),
             stage_expand: stage("expand"),
+            stage_expand_candidate: stage("expand_candidate"),
             stage_traversal: stage("traversal"),
             stage_integration: stage("integration"),
             reclaims: reg.counter(
@@ -70,6 +86,26 @@ pub(crate) fn instruments() -> &'static Instruments {
             candidates_pruned: reg.counter(
                 "gent_traversal_candidates_pruned_total",
                 "Candidate scorings skipped by the admissible upper bound",
+                &[],
+            ),
+            expand_paths: reg.counter(
+                "gent_expand_paths_considered_total",
+                "Partial join paths examined by Expand's best-first search",
+                &[],
+            ),
+            expand_memo_hits: reg.counter(
+                "gent_expand_memo_hits_total",
+                "Sub-joins answered from Expand's path-suffix memo",
+                &[],
+            ),
+            expand_candidates_dropped: reg.counter(
+                "gent_expand_candidates_dropped_total",
+                "Keyless candidates dropped for lack of a usable join path",
+                &[],
+            ),
+            expand_dedup: reg.counter(
+                "gent_expand_dedup_total",
+                "Expanded tables dropped as duplicates of an existing relation",
                 &[],
             ),
         }

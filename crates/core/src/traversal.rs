@@ -24,7 +24,7 @@
 //! to a full rescan (see `crates/core/src/round.rs` for the argument).
 
 use crate::config::GenTConfig;
-use crate::expand::expand;
+use crate::expand::{expand_with_key_hashes, ExpandStats};
 use crate::matrix::AlignmentMatrix;
 use crate::round::{RoundScorer, RoundStats};
 use gent_table::Table;
@@ -50,6 +50,10 @@ pub struct TraversalOutcome {
     /// pruned by the upper bound). Zero for the early-exit paths (no
     /// alignable candidate, pruning disabled).
     pub stats: RoundStats,
+    /// Expand engine counters (paths considered, memo hits, dropped
+    /// candidates, deduplicated expansions) — populated on every path,
+    /// including the early exits, since Expand always runs.
+    pub expand: ExpandStats,
 }
 
 /// Algorithm 1 — select the originating tables among `candidates` for
@@ -61,20 +65,26 @@ pub fn matrix_traversal(
     cfg: &GenTConfig,
 ) -> TraversalOutcome {
     let key_names: Vec<&str> = source.schema().key_names();
-    // Line 3: Expand() — join tables without the source key.
-    let expanded = {
+    // Line 3: Expand() — join tables without the source key. Joined tables
+    // come back with per-row source-key hashes where the join engine could
+    // derive them, so alignment below skips re-hashing those rows.
+    let (expanded, key_hashes, expand_stats) = {
         let ins = crate::telemetry::instruments();
         let _span = gent_obs::span_timed("expand", ins.stage_expand.clone());
-        expand(candidates, &key_names, cfg.expand_max_depth)
+        expand_with_key_hashes(candidates, &key_names, cfg.expand_max_depth)
     };
 
     // Line 4: MatrixInitialization().
     let mut tables: Vec<Table> = Vec::with_capacity(expanded.len());
     let mut matrices: Vec<AlignmentMatrix> = Vec::with_capacity(expanded.len());
-    for t in expanded {
-        if let Some(m) =
-            AlignmentMatrix::build(source, &t, cfg.three_valued, cfg.max_aligned_per_key)
-        {
+    for (t, hashes) in expanded.into_iter().zip(key_hashes) {
+        if let Some(m) = AlignmentMatrix::build_hashed(
+            source,
+            &t,
+            cfg.three_valued,
+            cfg.max_aligned_per_key,
+            hashes.as_deref(),
+        ) {
             tables.push(t);
             matrices.push(m);
         }
@@ -85,6 +95,7 @@ pub fn matrix_traversal(
             selected: Vec::new(),
             estimated_eis: 0.0,
             stats: RoundStats::default(),
+            expand: expand_stats,
         };
     }
 
@@ -100,6 +111,7 @@ pub fn matrix_traversal(
             selected,
             estimated_eis: combined.eis(),
             stats: RoundStats::default(),
+            expand: expand_stats,
         };
     }
 
@@ -134,7 +146,7 @@ pub fn matrix_traversal(
     let mut slots: Vec<Option<Table>> = tables.into_iter().map(Some).collect();
     let originating =
         chosen.iter().map(|&i| slots[i].take().expect("chosen indices are distinct")).collect();
-    TraversalOutcome { originating, selected: chosen, estimated_eis, stats }
+    TraversalOutcome { originating, selected: chosen, estimated_eis, stats, expand: expand_stats }
 }
 
 #[cfg(test)]

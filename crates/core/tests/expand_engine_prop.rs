@@ -1,0 +1,102 @@
+//! Property test pinning the memoized best-first Expand engine to the
+//! reference DFS + left-fold implementation (`expand::reference`): on random
+//! candidate pools the new engine must return exactly the reference's output
+//! with canonical duplicates removed (first occurrence kept), and the dedup
+//! counter must account for every dropped table.
+
+use std::collections::HashSet;
+
+use gent_core::expand::{expand_with_stats, reference};
+use gent_table::{Table, Value};
+use proptest::prelude::*;
+
+/// Canonical relational form: name ignored, columns sorted, rows reordered
+/// to the sorted-column order and then sorted. Mirrors the engine's dedup
+/// key so the test filter drops exactly what the engine drops.
+fn canon(t: &Table) -> (Vec<String>, Vec<Vec<Value>>) {
+    let names: Vec<String> = t.schema().columns().map(str::to_string).collect();
+    let mut order: Vec<usize> = (0..names.len()).collect();
+    order.sort_by(|&a, &b| names[a].cmp(&names[b]));
+    let sorted_names: Vec<String> = order.iter().map(|&j| names[j].clone()).collect();
+    let mut rows: Vec<Vec<Value>> =
+        t.rows().iter().map(|r| order.iter().map(|&j| r[j].clone()).collect()).collect();
+    rows.sort();
+    (sorted_names, rows)
+}
+
+/// The reference output with expansion duplicates removed the way the new
+/// engine removes them: pass-throughs (tables that already carry the key)
+/// are never deduplicated, expansions are keyed on canonical form, first
+/// occurrence wins.
+fn dedup_reference(tables: Vec<Table>) -> (Vec<Table>, u64) {
+    let mut seen: HashSet<(Vec<String>, Vec<Vec<Value>>)> = HashSet::new();
+    let mut dropped = 0u64;
+    let kept = tables
+        .into_iter()
+        .filter(|t| {
+            if !t.name().contains("+expanded") {
+                return true;
+            }
+            if seen.insert(canon(t)) {
+                true
+            } else {
+                dropped += 1;
+                false
+            }
+        })
+        .collect();
+    (kept, dropped)
+}
+
+fn as_relation(t: &Table) -> (String, Vec<String>, Vec<Vec<Value>>) {
+    (t.name().to_string(), t.schema().columns().map(str::to_string).collect(), t.rows().to_vec())
+}
+
+/// A pool of 3–6 small tables over a 5-column alphabet. Overlapping column
+/// names create join edges; overlapping small-int values make those joins
+/// non-empty; a random subset of tables carries the key column, so some
+/// candidates are ends and others must path-search toward them.
+fn pool() -> impl Strategy<Value = Vec<Table>> {
+    let alphabet = ["k", "x", "y", "z", "w"];
+    let one = (
+        proptest::sample::subsequence((0..alphabet.len()).collect::<Vec<_>>(), 2..=3),
+        proptest::collection::vec(proptest::collection::vec(0i64..5, 3), 1..=4),
+    )
+        .prop_map(move |(cols, cells)| (cols, cells));
+    proptest::collection::vec(one, 3..=6).prop_map(move |specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cols, cells))| {
+                let names: Vec<&str> = cols.iter().map(|&c| alphabet[c]).collect();
+                let rows: Vec<Vec<Value>> = cells
+                    .into_iter()
+                    .map(|r| r[..names.len()].iter().map(|&v| Value::Int(v)).collect())
+                    .collect();
+                Table::build(&format!("T{i}"), &names, &[], rows).unwrap()
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The best-first, memoized engine returns the reference output with
+    /// canonical duplicates removed — same tables, same names, same column
+    /// and row order — and its dedup counter matches the filter exactly.
+    #[test]
+    fn engine_matches_deduplicated_reference(
+        cands in pool(),
+        depth in 1usize..=3,
+    ) {
+        let (new, stats) = expand_with_stats(&cands, &["k"], depth);
+        let old = reference::expand(&cands, &["k"], depth);
+        let (expected, dropped) = dedup_reference(old);
+        prop_assert_eq!(stats.dedup_dropped, dropped, "dedup counter diverges");
+        prop_assert_eq!(new.len(), expected.len());
+        for (n, e) in new.iter().zip(expected.iter()) {
+            prop_assert_eq!(as_relation(n), as_relation(e));
+        }
+    }
+}

@@ -26,11 +26,37 @@ fn keyed_source() -> impl Strategy<Value = Table> {
         })
 }
 
+/// A wide keyed source — 1 key + 39 non-key columns, so every tuple spans
+/// two packed `u64` words and the lane kernels cross the word boundary
+/// (plus a padded tail).
+fn wide_source() -> impl Strategy<Value = Table> {
+    (
+        proptest::sample::subsequence((0..10i64).collect::<Vec<_>>(), 2..=5),
+        proptest::collection::vec(proptest::collection::vec(0i64..9, 39), 5),
+    )
+        .prop_map(|(keys, cells)| {
+            let names: Vec<String> =
+                std::iter::once("k".to_string()).chain((1..40).map(|j| format!("c{j}"))).collect();
+            let cols: Vec<&str> = names.iter().map(String::as_str).collect();
+            let rows: Vec<Vec<Value>> = keys
+                .iter()
+                .zip(cells.iter())
+                .map(|(k, c)| {
+                    std::iter::once(Value::Int(*k))
+                        .chain(c.iter().map(|&v| Value::Int(v)))
+                        .collect()
+                })
+                .collect();
+            Table::build("W", &cols, &["k"], rows).unwrap()
+        })
+}
+
 /// Derive a candidate from the source via a mutation stream: per source
 /// row, 0–2 aligned copies; per non-key cell, keep / null / corrupt. The
 /// corruptions produce `-1`s (three-valued conflicts), the copies produce
 /// multi-tuple rows — together they exercise dominance pruning, the cap,
-/// and conflict-splitting in `Combine`.
+/// and conflict-splitting in `Combine`. Column names are taken from the
+/// source, so this works for any source width.
 fn make_candidate(source: &Table, muts: &[u8], name: &str) -> Table {
     let mut rows: Vec<Vec<Value>> = Vec::new();
     let mut mi = 0usize;
@@ -57,12 +83,13 @@ fn make_candidate(source: &Table, muts: &[u8], name: &str) -> Table {
             rows.push(row);
         }
     }
-    Table::build(name, &["k", "a", "b", "c"], &[], rows).unwrap()
+    let names: Vec<&str> = source.schema().columns().collect();
+    Table::build(name, &names, &[], rows).unwrap()
 }
 
 /// The arena's aligned tuples of one row, as owned vectors.
 fn arena_row(m: &AlignmentMatrix, i: usize) -> Vec<Vec<i8>> {
-    m.aligned(i).map(|t| t.to_vec()).collect()
+    m.aligned(i).collect()
 }
 
 /// Assert the two representations agree tuple-for-tuple and score-for-score.
@@ -148,6 +175,63 @@ proptest! {
             prop_assert_eq!(
                 a2.combine_score(&a1).to_bits(),
                 n2.combine(&n1, cap).net_score().to_bits()
+            );
+        }
+    }
+
+    /// Tuples wider than one packed word (40 columns → 2 words, padded
+    /// tail): build, combine, fused scoring, and the tight cap must all
+    /// agree with the reference across the word boundary.
+    #[test]
+    fn wide_tuples_match_reference(
+        s in wide_source(),
+        m1 in proptest::collection::vec(any::<u8>(), 96),
+        m2 in proptest::collection::vec(any::<u8>(), 96),
+    ) {
+        let (c1, c2) = (make_candidate(&s, &m1, "C1"), make_candidate(&s, &m2, "C2"));
+        for cap in [1usize, 2, 8] {
+            let a1 = AlignmentMatrix::build(&s, &c1, true, cap).unwrap();
+            let a2 = AlignmentMatrix::build(&s, &c2, true, cap).unwrap();
+            let n1 = NestedMatrix::build(&s, &c1, true, cap).unwrap();
+            let n2 = NestedMatrix::build(&s, &c2, true, cap).unwrap();
+            assert_same(&s, &a1, &n1);
+            let a12 = a1.combine(&a2, cap);
+            let n12 = n1.combine(&n2, cap);
+            assert_same(&s, &a12, &n12);
+            prop_assert_eq!(
+                a1.combine_score(&a2).to_bits(),
+                n1.combine(&n2, cap).net_score().to_bits()
+            );
+        }
+    }
+
+    /// A candidate with *no* aligned rows (empty coverage): build, combine
+    /// in both directions, and fused scoring stay identical to the
+    /// reference — the all-uncovered side must pass the other through
+    /// verbatim.
+    #[test]
+    fn empty_coverage_matches_reference(
+        s in keyed_source(),
+        m1 in proptest::collection::vec(any::<u8>(), 48),
+    ) {
+        let covered = make_candidate(&s, &m1, "C");
+        let names: Vec<&str> = s.schema().columns().collect();
+        let empty = Table::build("E", &names, &[], vec![]).unwrap();
+        for cap in [1usize, 4] {
+            let ac = AlignmentMatrix::build(&s, &covered, true, cap).unwrap();
+            let ae = AlignmentMatrix::build(&s, &empty, true, cap).unwrap();
+            let nc = NestedMatrix::build(&s, &covered, true, cap).unwrap();
+            let ne = NestedMatrix::build(&s, &empty, true, cap).unwrap();
+            assert_same(&s, &ae, &ne);
+            assert_same(&s, &ae.combine(&ac, cap), &ne.combine(&nc, cap));
+            assert_same(&s, &ac.combine(&ae, cap), &nc.combine(&ne, cap));
+            prop_assert_eq!(
+                ae.combine_score(&ac).to_bits(),
+                ne.combine(&nc, cap).net_score().to_bits()
+            );
+            prop_assert_eq!(
+                ac.combine_score(&ae).to_bits(),
+                nc.combine(&ne, cap).net_score().to_bits()
             );
         }
     }

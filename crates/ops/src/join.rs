@@ -15,7 +15,7 @@
 
 use crate::error::OpError;
 use crate::unary::group_by_columns;
-use gent_table::{Schema, Table, Value};
+use gent_table::{FxHashMap, Schema, Table, Value};
 
 /// The column layout of a join result: the output schema, the common column
 /// indices in the left table, the common column indices in the right table,
@@ -80,6 +80,217 @@ fn dangling_right(
         row[left_cols + k] = rrow[j].clone();
     }
     row
+}
+
+/// The common-column indices of the **right** table in a natural join
+/// `left ⋈ right`, in the order [`inner_join`] keys on (the left schema's
+/// common-column order). This is the grouping a [`JoinIndex`] must be built
+/// over to serve that join — callers that cache indexes key them on it.
+pub fn join_rcols(left: &Table, right: &Table) -> Result<Vec<usize>, OpError> {
+    join_layout(left, right).map(|(_, _, rcols, _)| rcols)
+}
+
+/// Both sides' common-column indices for `left ⋈ right` — `(lcols, rcols)`,
+/// in the left schema's common-column order. Callers that cache per-side
+/// join state ([`left_key_hashes`], [`JoinIndex`]) key it on these.
+pub fn join_cols(left: &Table, right: &Table) -> Result<(Vec<usize>, Vec<usize>), OpError> {
+    join_layout(left, right).map(|(_, lcols, rcols, _)| (lcols, rcols))
+}
+
+/// The per-row join-key hashes of a join's **left** side: `hashes[i]` is
+/// `Some(hash)` of row `i`'s `lcols` cells, or `None` when the key holds a
+/// plain null (null keys never match). The hash function is the one
+/// [`JoinIndex`] probes with, so [`inner_join_indexed_with`] accepts the
+/// result via `left_hashes` — a left table joined against many right
+/// tables over the same column set (Expand's path engine) hashes its rows
+/// once instead of once per join.
+pub fn left_key_hashes(left: &Table, lcols: &[usize]) -> Vec<Option<u64>> {
+    let mut key: Vec<&Value> = Vec::with_capacity(lcols.len());
+    left.rows()
+        .iter()
+        .map(|lrow| {
+            key.clear();
+            for &c in lcols {
+                if lrow[c].is_null() {
+                    return None;
+                }
+                key.push(&lrow[c]);
+            }
+            Some(hash_join_key(&key))
+        })
+        .collect()
+}
+
+/// A reusable row index over one join's right side: the right table's rows
+/// grouped by their join-key values, hashed once.
+///
+/// [`inner_join`] rebuilds this grouping on every call — `O(rows · key
+/// width)` hashing that Expand's path folds used to pay again for **every**
+/// path sharing a right table. Building the index once and passing it to
+/// [`inner_join_indexed`] amortises the hashing across all joins against
+/// the same `(right table, join columns)` pair.
+///
+/// The index stores only hashes and row numbers (no cloned values): a
+/// lookup re-verifies the key against the right table's rows, so it must be
+/// probed with the same table it was built from.
+#[derive(Debug, Clone)]
+pub struct JoinIndex {
+    /// The right-side join columns this index groups by.
+    rcols: Vec<usize>,
+    /// Key hash → row groups (each ascending); groups whose keys collide
+    /// on the hash live in the same bucket and are told apart by comparing
+    /// against the group's first row.
+    buckets: FxHashMap<u64, Vec<Vec<usize>>>,
+}
+
+/// One deterministic hash of a join-key value sequence (build and probe
+/// must agree; nothing else depends on the choice of hasher — Fx because
+/// the probe runs once per left row and SipHash dominates it on wide
+/// joins).
+fn hash_join_key(key: &[&Value]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = gent_table::fxhash::FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl JoinIndex {
+    /// Group `right`'s rows by the values of `rcols` (rows with a null join
+    /// key are excluded — null keys never match). `rcols` must come from
+    /// [`join_rcols`] for the join this index will serve.
+    pub fn build(right: &Table, rcols: &[usize]) -> JoinIndex {
+        let mut buckets: FxHashMap<u64, Vec<Vec<usize>>> = FxHashMap::default();
+        for (key, rows) in group_by_columns(right, rcols) {
+            buckets.entry(hash_join_key(&key)).or_default().push(rows);
+        }
+        JoinIndex { rcols: rcols.to_vec(), buckets }
+    }
+
+    /// The right rows matching `key` (ascending), or `None`. `hash` must be
+    /// `hash_join_key(key)` — callers with cached left-side hashes (see
+    /// [`left_key_hashes`]) pass it instead of re-hashing.
+    fn matches_hashed(&self, right: &Table, hash: u64, key: &[&Value]) -> Option<&[usize]> {
+        let groups = self.buckets.get(&hash)?;
+        groups
+            .iter()
+            .find(|rows| {
+                let probe = &right.rows()[rows[0]];
+                self.rcols.iter().zip(key.iter()).all(|(&c, &v)| &probe[c] == v)
+            })
+            .map(|rows| rows.as_slice())
+    }
+}
+
+/// The output schema of `inner_join(left, right)` — all of `left`'s
+/// columns followed by `right`'s non-common columns — without running the
+/// join. Callers that fold per-row summaries via
+/// [`inner_join_indexed_with`] use this to fix their row encoding before
+/// any row exists.
+pub fn join_schema(left: &Table, right: &Table) -> Result<Schema, OpError> {
+    join_layout(left, right).map(|(schema, ..)| schema)
+}
+
+/// [`inner_join`] against a prebuilt [`JoinIndex`] over `right` — the
+/// result is byte-identical (same schema, same row order, same name);
+/// only the right-side hashing is amortised. The index must have been
+/// built from this `right` with this join's [`join_rcols`].
+pub fn inner_join_indexed(
+    left: &Table,
+    right: &Table,
+    index: &JoinIndex,
+) -> Result<Table, OpError> {
+    inner_join_indexed_with(left, right, index, |_, _, _| {})
+}
+
+/// [`inner_join_indexed`] that additionally streams every emitted row
+/// through `visit(left_row, right_row, emitted_row)` — the two source row
+/// indices plus the materialized row, in emission order. Result rows of a
+/// large join outlive every cache level, so a caller that needs a
+/// row-level summary (e.g. Expand's dedup fingerprint) folds it here —
+/// from per-source-row precomputations or the hot row itself — instead of
+/// re-walking the result.
+pub fn inner_join_indexed_with(
+    left: &Table,
+    right: &Table,
+    index: &JoinIndex,
+    visit: impl FnMut(usize, usize, &[Value]),
+) -> Result<Table, OpError> {
+    let lcols = join_cols(left, right)?.0;
+    let hashes = left_key_hashes(left, &lcols);
+    inner_join_indexed_hashed(left, right, index, &hashes, visit)
+}
+
+/// [`inner_join_indexed_with`] with the left side's join-key hashes already
+/// computed (see [`left_key_hashes`]; `hashes[i]` pairs with left row `i`).
+/// Probing skips the per-row key hashing — the dominant left-side cost when
+/// the same left table joins against many right tables.
+pub fn inner_join_indexed_hashed(
+    left: &Table,
+    right: &Table,
+    index: &JoinIndex,
+    hashes: &[Option<u64>],
+    mut visit: impl FnMut(usize, usize, &[Value]),
+) -> Result<Table, OpError> {
+    let (schema, lcols, rcols, rextra) = join_layout(left, right)?;
+    debug_assert_eq!(rcols, index.rcols, "index built for a different join");
+    debug_assert_eq!(hashes.len(), left.n_rows(), "hashes built for a different left");
+    let mut out = Table::new(format!("{}⋈{}", left.name(), right.name()), schema);
+    let mut key = Vec::with_capacity(lcols.len());
+    for (li, lrow) in left.rows().iter().enumerate() {
+        let Some(hash) = hashes[li] else {
+            continue; // null join key — never matches
+        };
+        key.clear();
+        key.extend(lcols.iter().map(|&c| &lrow[c]));
+        if let Some(matches) = index.matches_hashed(right, hash, &key) {
+            for &ri in matches {
+                let row = joined_row(lrow, &right.rows()[ri], &rextra);
+                visit(li, ri, &row);
+                out.push_row(row).expect("layout fixed");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// [`inner_join_indexed`] with an output budget: materializes the join
+/// only while the output holds at most `max_rows` rows, and returns
+/// `Ok(None)` the moment it would exceed that (the partial output is
+/// dropped). A join that fits costs exactly what [`inner_join_indexed`]
+/// does — the budget check is one comparison per probed key — so callers
+/// that might *not* want a join (because its output would dwarf its
+/// inputs, e.g. the Expand engine's oversize veto) probe and materialize
+/// in a single pass, paying at most `O(|left| + max_rows)` for a veto
+/// instead of the full runaway materialization.
+pub fn inner_join_indexed_capped(
+    left: &Table,
+    right: &Table,
+    index: &JoinIndex,
+    max_rows: usize,
+) -> Result<Option<Table>, OpError> {
+    let (schema, lcols, rcols, rextra) = join_layout(left, right)?;
+    debug_assert_eq!(rcols, index.rcols, "index built for a different join");
+    let hashes = left_key_hashes(left, &lcols);
+    let mut out = Table::new(format!("{}⋈{}", left.name(), right.name()), schema);
+    let mut key = Vec::with_capacity(lcols.len());
+    let mut budget = max_rows;
+    for (li, lrow) in left.rows().iter().enumerate() {
+        let Some(hash) = hashes[li] else {
+            continue; // null join key — never matches
+        };
+        key.clear();
+        key.extend(lcols.iter().map(|&c| &lrow[c]));
+        if let Some(matches) = index.matches_hashed(right, hash, &key) {
+            let Some(rest) = budget.checked_sub(matches.len()) else {
+                return Ok(None);
+            };
+            budget = rest;
+            for &ri in matches {
+                out.push_row(joined_row(lrow, &right.rows()[ri], &rextra)).expect("layout fixed");
+            }
+        }
+    }
+    Ok(Some(out))
 }
 
 /// Natural inner join (⋈) on the common columns.
@@ -276,6 +487,61 @@ mod tests {
         assert_eq!(c.n_rows(), 6);
         assert_eq!(c.n_cols(), 2);
         assert!(cross_product(&a, &a).is_err());
+    }
+
+    #[test]
+    fn indexed_inner_join_is_byte_identical() {
+        let (l, r) = (left(), right());
+        let rcols = join_rcols(&l, &r).unwrap();
+        let idx = JoinIndex::build(&r, &rcols);
+        let plain = inner_join(&l, &r).unwrap();
+        let indexed = inner_join_indexed(&l, &r, &idx).unwrap();
+        assert_eq!(plain.name(), indexed.name());
+        assert_eq!(
+            plain.schema().columns().collect::<Vec<_>>(),
+            indexed.schema().columns().collect::<Vec<_>>()
+        );
+        assert_eq!(plain.rows(), indexed.rows(), "row content and order must match");
+    }
+
+    #[test]
+    fn indexed_join_reuses_one_index_across_lefts() {
+        // Two different left tables with the same join columns share one
+        // index over the right side.
+        let r = right();
+        let l1 = left();
+        let l2 = Table::build(
+            "L2",
+            &["id", "tag"],
+            &[],
+            vec![vec![V::Int(3), V::str("t")], vec![V::Int(9), V::str("u")]],
+        )
+        .unwrap();
+        let rcols = join_rcols(&l1, &r).unwrap();
+        assert_eq!(rcols, join_rcols(&l2, &r).unwrap());
+        let idx = JoinIndex::build(&r, &rcols);
+        for l in [&l1, &l2] {
+            let plain = inner_join(l, &r).unwrap();
+            let indexed = inner_join_indexed(l, &r, &idx).unwrap();
+            assert_eq!(plain.rows(), indexed.rows());
+        }
+    }
+
+    #[test]
+    fn indexed_join_skips_null_keys_both_sides() {
+        let l = left(); // has a null-id row
+        let r = Table::build(
+            "R",
+            &["id", "score"],
+            &[],
+            vec![vec![V::Int(1), V::Int(10)], vec![V::Null, V::Int(99)]],
+        )
+        .unwrap();
+        let rcols = join_rcols(&l, &r).unwrap();
+        let idx = JoinIndex::build(&r, &rcols);
+        let j = inner_join_indexed(&l, &r, &idx).unwrap();
+        assert_eq!(j.rows(), inner_join(&l, &r).unwrap().rows());
+        assert_eq!(j.n_rows(), 1, "null keys never match on either side");
     }
 
     #[test]

@@ -815,6 +815,29 @@ pub(crate) fn reclamation_json(
                     "candidates_pruned".into(),
                     Json::Int(i64::try_from(result.timings.candidates_pruned).unwrap_or(i64::MAX)),
                 ),
+                // The Expand engine's counters: best-first search effort,
+                // suffix-memo reuse, dropped keyless candidates, and
+                // deduplicated expansions.
+                (
+                    "expand_paths_considered".into(),
+                    Json::Int(
+                        i64::try_from(result.timings.expand_paths_considered).unwrap_or(i64::MAX),
+                    ),
+                ),
+                (
+                    "expand_memo_hits".into(),
+                    Json::Int(i64::try_from(result.timings.expand_memo_hits).unwrap_or(i64::MAX)),
+                ),
+                (
+                    "expand_candidates_dropped".into(),
+                    Json::Int(
+                        i64::try_from(result.timings.expand_candidates_dropped).unwrap_or(i64::MAX),
+                    ),
+                ),
+                (
+                    "expand_dedup".into(),
+                    Json::Int(i64::try_from(result.timings.expand_dedup).unwrap_or(i64::MAX)),
+                ),
             ]),
         ),
         ("originating".into(), Json::Array(originating)),
@@ -1023,7 +1046,15 @@ mod tests {
         // only one candidate, so zero rounds is legitimate here; the e2e
         // suite asserts they actually move on a real lake).
         let counter = |k: &str| t.get(k).and_then(Json::as_i64).unwrap_or_else(|| panic!("{k}"));
-        for k in ["traversal_rounds", "rows_rescored", "candidates_pruned"] {
+        for k in [
+            "traversal_rounds",
+            "rows_rescored",
+            "candidates_pruned",
+            "expand_paths_considered",
+            "expand_memo_hits",
+            "expand_candidates_dropped",
+            "expand_dedup",
+        ] {
             assert!(counter(k) >= 0, "{k} must be a non-negative counter");
         }
     }

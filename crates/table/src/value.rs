@@ -116,7 +116,10 @@ impl PartialEq for Value {
             (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
                 *b == *a as f64 && b.fract() == 0.0
             }
-            (Value::Str(a), Value::Str(b)) => a == b,
+            // Clones made by the integration operators share the original
+            // `Arc`, so most equal strings are pointer-equal — check that
+            // before falling back to a content compare.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             _ => false,
         }
     }

@@ -114,6 +114,10 @@ fn metrics_endpoint_survives_the_strict_parser() {
         "gent_traversal_rounds_total",
         "gent_traversal_rows_rescored_total",
         "gent_traversal_candidates_pruned_total",
+        "gent_expand_paths_considered_total",
+        "gent_expand_memo_hits_total",
+        "gent_expand_candidates_dropped_total",
+        "gent_expand_dedup_total",
         // store
         "gent_store_snapshot_opens_total",
         "gent_store_snapshot_open_bytes_total",
@@ -157,6 +161,13 @@ fn metrics_endpoint_survives_the_strict_parser() {
     assert!(
         exp.value("gent_store_snapshot_opens_total", &[]).is_some_and(|v| v >= 1.0),
         "the snapshot open must have been counted"
+    );
+    // The expand counters register with the pipeline instruments, so they
+    // render even when this lake's reclaims never drop or dedup a
+    // candidate — presence plus a parsable value is the contract.
+    assert!(
+        exp.value("gent_expand_paths_considered_total", &[]).is_some(),
+        "expand search-effort counter must be exposed"
     );
     assert!(
         exp.value("gent_lake_tables_decoded", &[("lake", "default")]).is_some_and(|v| v >= 1.0),
