@@ -1,0 +1,148 @@
+//! v3 sectioned-checksum open vs v2 whole-file-checksum open — the reason
+//! format v3 exists, quantified and CI-gated.
+//!
+//! A v2 open pays one fold64 pass over the *entire file* before anything
+//! can be served, no matter how little of the lake the first request will
+//! touch. A v3 open verifies only the metadata it actually decodes
+//! eagerly (header‖directory, string table, frozen index); every table
+//! and LSH section carries its own directory checksum, verified on that
+//! section's *first decode*; the inverted index — the biggest section of
+//! a TP-TR Med snapshot — is not even anchored until the first posting
+//! lookup. Time-to-open stops scaling with the bytes of structures
+//! nobody has asked for yet. The lake is the TP-TR Med suite, the corpus
+//! the CI gate names. Both files hold byte-identical lake content written
+//! by the two writers, and the bench first proves a reclaim through
+//! either open byte-identical — fidelity before speed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gent_core::{GenT, GenTConfig};
+use gent_datagen::suite::{build, BenchmarkId as SuiteId, SuiteConfig};
+use gent_discovery::{LshConfig, LshEnsembleIndex};
+use gent_store::{snapshot, InMemory, LakeSource};
+use gent_table::key::ensure_key;
+use gent_table::{csv, Table};
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gent-bench-snapv3-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Interleaved best-of-`n`, as in `snapshot_lazy`: machine drift hits both
+/// sides equally, minima filter scheduler noise.
+fn min_times<A: FnMut(), B: FnMut()>(n: usize, mut a: A, mut b: B) -> (Duration, Duration) {
+    let mut best_a = Duration::MAX;
+    let mut best_b = Duration::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        a();
+        best_a = best_a.min(t.elapsed());
+        let t = Instant::now();
+        b();
+        best_b = best_b.min(t.elapsed());
+    }
+    (best_a, best_b)
+}
+
+fn csv_bytes(t: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    csv::write_csv(t, &mut out).expect("csv render");
+    out
+}
+
+fn bench_snapshot_open_v3(c: &mut Criterion) {
+    let dir = scratch();
+    let v3_path = dir.join("v3.gentlake");
+    let v2_path = dir.join("v2.gentlake");
+
+    let bench = build(SuiteId::TpTrMed, &SuiteConfig::default());
+    let noise =
+        bench.lake_tables.iter().rev().find(|t| t.n_rows() >= 10).expect("corpus has noise tables");
+    let mut source = Table::from_rows(
+        "local_source",
+        noise.schema().clone(),
+        noise.rows().iter().take(10).cloned().collect(),
+    )
+    .expect("source from noise table");
+    assert!(ensure_key(&mut source), "noise rows must yield a minable key");
+
+    let built = InMemory::new(bench.lake_tables.clone()).load_lake().expect("ingest");
+    let lsh = LshEnsembleIndex::build(&built.lake, LshConfig::default());
+    snapshot::save(&v3_path, &built.lake, Some(&lsh)).expect("save v3");
+    snapshot::save_v2(&v2_path, &built.lake, Some(&lsh)).expect("save v2");
+    drop(lsh);
+    drop(built);
+    drop(bench);
+    let mut light = GenTConfig::default();
+    light.set_similarity.max_candidates = 2;
+    let gen_t = GenT::new(light);
+
+    // ── Fidelity first: a reclaim through either open is byte-identical,
+    //    and the v3 open's deferred checksums all verify when forced. ────
+    let v3_out = {
+        let loaded = snapshot::load(&v3_path).expect("v3 open");
+        assert_eq!(loaded.n_frames, 0, "a freshly written base has no delta frames");
+        assert!(!loaded.lake.index_ready(), "a v3 open must not materialize the index");
+        let r = gen_t.reclaim(&source, &loaded.lake).expect("v3 reclaim");
+        assert!(loaded.lake.index_ready(), "the first reclaim forces (and verifies) the index");
+        loaded.lake.decode_all(1).expect("every deferred section checksum verifies");
+        loaded.lsh.force().expect("deferred lsh checksum verifies");
+        (csv_bytes(&r.reclaimed), r.eis.to_bits())
+    };
+    let v2_out = {
+        let loaded = snapshot::load(&v2_path).expect("v2 open");
+        let r = gen_t.reclaim(&source, &loaded.lake).expect("v2 reclaim");
+        (csv_bytes(&r.reclaimed), r.eis.to_bits())
+    };
+    assert_eq!(v3_out, v2_out, "v3 and v2 opens must reclaim byte-identical tables");
+
+    // ── The gate: time-to-open. v2 folds the whole file before serving;
+    //    v3 folds header‖directory + strtab + index only. Interleaved
+    //    best-of-5, page cache warm on both sides. ───────────────────────
+    let (v2_open, v3_open) = min_times(
+        5,
+        || {
+            std::hint::black_box(snapshot::load(&v2_path).expect("v2 open"));
+        },
+        || {
+            std::hint::black_box(snapshot::load(&v3_path).expect("v3 open"));
+        },
+    );
+    let ratio = v2_open.as_secs_f64() / v3_open.as_secs_f64().max(1e-9);
+    println!(
+        "snapshot open (tp-tr-med): v3 sectioned-checksum open {v3_open:?} vs v2 \
+         whole-file-checksum open {v2_open:?} — {ratio:.1}×"
+    );
+    gent_bench::record_vs_baseline("snapshot_open_v3/open", v3_open.as_secs_f64() * 1e3);
+    // The eager side folds every byte of the file and materializes the
+    // index before returning; the v3 side reads, decodes the string table
+    // and anchors lazy table slots — every section checksum waits for its
+    // first decode. Measured ~2.5× steady-state on the 1-core dev
+    // container; the ≥2× floor sits below the noise band so a regression
+    // that sneaks an O(file) pass back into the v3 open path fails loudly
+    // without flaking CI.
+    if cfg!(not(debug_assertions)) {
+        assert!(
+            ratio >= 2.0,
+            "v3 sectioned-checksum open must be ≥2× the v2 whole-file-checksum open, got {ratio:.2}×"
+        );
+    }
+
+    let mut g = c.benchmark_group("snapshot_open_v3");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("open", "v3_sectioned"), |b| {
+        b.iter(|| snapshot::load(&v3_path).expect("v3 open"))
+    });
+    g.bench_function(BenchmarkId::new("open", "v2_whole_file"), |b| {
+        b.iter(|| snapshot::load(&v2_path).expect("v2 open"))
+    });
+    g.finish();
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_snapshot_open_v3);
+criterion_main!(benches);

@@ -13,10 +13,19 @@
 //!   lying `Content-Length`s, slow-loris partials;
 //! * **concurrent reloads** — `POST /admin/reload` alternating two tagged
 //!   snapshots on an interval, racing all of the above;
+//! * **ingest churn** — `POST /admin/ingest` appending uniquely-named
+//!   tables as crash-safe delta frames, racing the reloads and riding the
+//!   auto-compaction threshold (`--no-ingest` disables);
 //! * **strict scrapes** — `GET /metrics` parsed with [`crate::promtext`]
 //!   (a parser pickier than Prometheus itself) on every pass;
 //! * **injected faults** — `gent_faults` probability triggers armed on the
 //!   store read and serve socket sites (seeded, so a failing run replays).
+//!
+//! With `addr` set (`gent bench soak --addr host:port`) the storm targets
+//! a daemon **you already run** instead of booting one in-process: fault
+//! arming, the reloader and the worker-panic cross-check are skipped
+//! (they need in-process access), while the client mix, strict scrapes,
+//! ingest churn and the structured-error contract all still apply.
 //!
 //! The run *asserts* the robustness contract instead of merely surviving:
 //! zero worker deaths (the panic counter must equal the injected panic
@@ -59,6 +68,12 @@ pub struct SoakConfig {
     pub faults: bool,
     /// Daemon worker threads.
     pub threads: usize,
+    /// Run an ingest-churn client (`--no-ingest` clears this).
+    pub ingest: bool,
+    /// Storm an external daemon at this address instead of booting one
+    /// in-process. External mode runs no faults, no reloader and no
+    /// worker-panic cross-check — those need in-process access.
+    pub addr: Option<String>,
 }
 
 impl Default for SoakConfig {
@@ -72,6 +87,8 @@ impl Default for SoakConfig {
             reload_interval: Duration::from_millis(250),
             faults: true,
             threads: 4,
+            ingest: true,
+            addr: None,
         }
     }
 }
@@ -92,6 +109,8 @@ pub struct SoakReport {
     pub reloads: u64,
     /// Reloads refused 422 by an injected fault (only legal with faults on).
     pub reloads_faulted: u64,
+    /// Successful `/admin/ingest` delta appends.
+    pub ingests: u64,
     /// Hostile frames delivered.
     pub hostile_frames: u64,
     /// Keep-alive exchanges completed.
@@ -123,6 +142,7 @@ impl SoakReport {
         line("generation changes", self.generation_changes.to_string());
         line("reloads", self.reloads.to_string());
         line("reloads faulted", self.reloads_faulted.to_string());
+        line("ingests", self.ingests.to_string());
         line("hostile frames", self.hostile_frames.to_string());
         line("keep-alive exchanges", self.keep_alive_exchanges.to_string());
         line("strict scrapes", self.scrapes.to_string());
@@ -185,6 +205,7 @@ struct Tally {
     hostile: AtomicU64,
     keep_alive: AtomicU64,
     scrapes: AtomicU64,
+    ingests: AtomicU64,
 }
 
 /// Probability triggers armed for the storm. `serve.write.stall` stays
@@ -223,25 +244,57 @@ fn quiet_injected_panics() {
 #[allow(clippy::result_large_err)] // Err IS the report — boxing it buys nothing here
 pub fn run(cfg: &SoakConfig) -> Result<SoakReport, SoakReport> {
     quiet_injected_panics();
-    let dir = std::env::temp_dir().join(format!("gent-soak-{}-{}", std::process::id(), cfg.seed));
-    std::fs::create_dir_all(&dir).expect("soak scratch dir");
-    let v1 = dir.join("v1.gentlake");
-    let v2 = dir.join("v2.gentlake");
-    gent_store::snapshot::save(&v1, &tagged_lake("v1"), None).expect("save v1");
-    gent_store::snapshot::save(&v2, &tagged_lake("v2"), None).expect("save v2");
+    // External mode never injects faults — they would hit *this* process,
+    // not the daemon under storm — so clear the flag once here and let
+    // every downstream `cfg.faults` check read the truth.
+    let mut cfg = cfg.clone();
+    let external = cfg.addr.is_some();
+    if external {
+        cfg.faults = false;
+    }
+    let cfg = &cfg;
 
-    let mut builder = Router::builder(GenTConfig::default());
-    builder.add_snapshot("main", &v1).expect("boot snapshot");
-    let serve_cfg = ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        threads: cfg.threads,
-        read_timeout: Duration::from_secs(5),
-        ..ServeConfig::default()
+    // In-process boot (skipped with `addr` set): two tagged snapshots and
+    // a daemon on an ephemeral port, plus the scratch dir to tear down.
+    let mut boot = None;
+    let addr: SocketAddr = match &cfg.addr {
+        Some(spec) => {
+            use std::net::ToSocketAddrs;
+            match spec.to_socket_addrs().ok().and_then(|mut addrs| addrs.next()) {
+                Some(a) => a,
+                None => {
+                    return Err(SoakReport {
+                        violations: vec![format!("`{spec}` resolves to no address")],
+                        ..SoakReport::default()
+                    })
+                }
+            }
+        }
+        None => {
+            let dir =
+                std::env::temp_dir().join(format!("gent-soak-{}-{}", std::process::id(), cfg.seed));
+            std::fs::create_dir_all(&dir).expect("soak scratch dir");
+            let v1 = dir.join("v1.gentlake");
+            let v2 = dir.join("v2.gentlake");
+            gent_store::snapshot::save(&v1, &tagged_lake("v1"), None).expect("save v1");
+            gent_store::snapshot::save(&v2, &tagged_lake("v2"), None).expect("save v2");
+
+            let mut builder = Router::builder(GenTConfig::default());
+            builder.add_snapshot("main", &v1).expect("boot snapshot");
+            let serve_cfg = ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                threads: cfg.threads,
+                read_timeout: Duration::from_secs(5),
+                ..ServeConfig::default()
+            };
+            let server = Server::bind_router(&serve_cfg, builder.build().unwrap()).expect("bind");
+            let addr = server.local_addr().unwrap();
+            let handle = server.handle().unwrap();
+            let runner = std::thread::spawn(move || server.run());
+            boot = Some((dir, v1, v2, handle, runner));
+            addr
+        }
     };
-    let server = Server::bind_router(&serve_cfg, builder.build().unwrap()).expect("bind");
-    let addr = server.local_addr().unwrap();
-    let handle = server.handle().unwrap();
-    let runner = std::thread::spawn(move || server.run());
 
     // Arm faults only after boot — the initial snapshot loads must not
     // consume probability rolls meant for the storm.
@@ -282,43 +335,58 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, SoakReport> {
             scope.spawn(move || keep_alive_pool(addr, cfg.seed, pool as u64, stop, tally));
         }
         scope.spawn(move || scraper(addr, stop, tally, violations));
+        if cfg.ingest {
+            scope.spawn(move || ingest_churn(addr, cfg, stop, tally, violations));
+        }
 
-        // The reloader runs on this thread so its tallies need no sharing.
-        let mut admin = RetryClient::with_policy(
-            addr,
-            RetryPolicy {
-                max_attempts: 3,
-                base_backoff: Duration::from_millis(10),
-                max_backoff: Duration::from_millis(200),
-                request_timeout: Duration::from_secs(5),
-                seed: cfg.seed ^ 0xad31,
-            },
-        );
-        let mut swap = 0u64;
-        while Instant::now() < deadline {
-            std::thread::sleep(cfg.reload_interval.min(deadline - Instant::now()));
-            let target = if swap.is_multiple_of(2) { &v2 } else { &v1 };
-            swap += 1;
-            let body = format!(r#"{{"lake": "main", "path": "{}"}}"#, target.display());
-            match admin.post("/admin/reload", &body) {
-                Ok(r) if r.status == 200 => reloads += 1,
-                Ok(r) if r.status == 422 && cfg.faults => {
-                    // An injected store.load.read fault refused the swap —
-                    // legal, but it must still be a structured refusal.
-                    if structured_kind(&r.body).as_deref() == Some("reload_failed") {
-                        reloads_faulted += 1;
-                    } else {
-                        violations
+        match &boot {
+            // The reloader runs on this thread so its tallies need no
+            // sharing. External daemons get no reloader — their snapshot
+            // paths are not ours to swap.
+            Some((_, v1, v2, _, _)) => {
+                let mut admin = RetryClient::with_policy(
+                    addr,
+                    RetryPolicy {
+                        max_attempts: 3,
+                        base_backoff: Duration::from_millis(10),
+                        max_backoff: Duration::from_millis(200),
+                        request_timeout: Duration::from_secs(5),
+                        seed: cfg.seed ^ 0xad31,
+                    },
+                );
+                let mut swap = 0u64;
+                while Instant::now() < deadline {
+                    std::thread::sleep(cfg.reload_interval.min(deadline - Instant::now()));
+                    let target = if swap.is_multiple_of(2) { v2 } else { v1 };
+                    swap += 1;
+                    let body = format!(r#"{{"lake": "main", "path": "{}"}}"#, target.display());
+                    match admin.post("/admin/reload", &body) {
+                        Ok(r) if r.status == 200 => reloads += 1,
+                        Ok(r) if r.status == 422 && cfg.faults => {
+                            // An injected store.load.read fault refused the
+                            // swap — legal, but it must still be a
+                            // structured refusal.
+                            if structured_kind(&r.body).as_deref() == Some("reload_failed") {
+                                reloads_faulted += 1;
+                            } else {
+                                violations
+                                    .lock()
+                                    .unwrap()
+                                    .push(format!("unstructured 422 reload refusal: {}", r.body));
+                            }
+                        }
+                        Ok(r) => violations
                             .lock()
                             .unwrap()
-                            .push(format!("unstructured 422 reload refusal: {}", r.body));
+                            .push(format!("reload answered {}: {}", r.status, r.body)),
+                        Err(e) => violations.lock().unwrap().push(format!("reload gave up: {e}")),
                     }
                 }
-                Ok(r) => violations
-                    .lock()
-                    .unwrap()
-                    .push(format!("reload answered {}: {}", r.status, r.body)),
-                Err(e) => violations.lock().unwrap().push(format!("reload gave up: {e}")),
+            }
+            None => {
+                while Instant::now() < deadline {
+                    std::thread::sleep(Duration::from_millis(100).min(deadline - Instant::now()));
+                }
             }
         }
         stop.store(true, Ordering::SeqCst);
@@ -336,6 +404,7 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, SoakReport> {
         generation_changes: tally.generation_changes.load(Ordering::Relaxed),
         reloads,
         reloads_faulted,
+        ingests: tally.ingests.load(Ordering::Relaxed),
         hostile_frames: tally.hostile.load(Ordering::Relaxed),
         keep_alive_exchanges: tally.keep_alive.load(Ordering::Relaxed),
         scrapes: tally.scrapes.load(Ordering::Relaxed),
@@ -358,7 +427,9 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, SoakReport> {
             Ok(exposition) => {
                 report.worker_panics =
                     exposition.value("gent_worker_panics_total", &[]).unwrap_or(0.0) as u64;
-                if report.worker_panics != panics_injected {
+                // An external daemon's panic counter may predate our storm,
+                // so the exact cross-check is only meaningful in-process.
+                if !external && report.worker_panics != panics_injected {
                     report.violations.push(format!(
                         "worker panics {} != injected {} — a worker died for real",
                         report.worker_panics, panics_injected
@@ -377,6 +448,12 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, SoakReport> {
     }
     if cfg.faults && report.generation_changes == 0 && report.reloads > 0 {
         report.violations.push("reloads happened but no client ever saw a swap".into());
+    }
+    // In-process the default lake always has a snapshot path, so the churn
+    // must land appends; an external lake may legitimately refuse them all
+    // (e.g. a memory-only lake answers a structured 400).
+    if cfg.ingest && !external && report.ingests == 0 {
+        report.violations.push("ingest churn ran but no append ever succeeded".into());
     }
 
     // Latency flatness: p50 of the second half must stay within 4× of the
@@ -407,13 +484,15 @@ pub fn run(cfg: &SoakConfig) -> Result<SoakReport, SoakReport> {
     }
     lat.clear();
 
-    handle.stop();
-    match runner.join() {
-        Ok(Ok(())) => {}
-        Ok(Err(e)) => report.violations.push(format!("daemon exited with error: {e}")),
-        Err(_) => report.violations.push("daemon thread panicked".into()),
+    if let Some((dir, _, _, handle, runner)) = boot {
+        handle.stop();
+        match runner.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => report.violations.push(format!("daemon exited with error: {e}")),
+            Err(_) => report.violations.push("daemon thread panicked".into()),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
-    std::fs::remove_dir_all(&dir).ok();
 
     if report.violations.is_empty() {
         Ok(report)
@@ -488,6 +567,62 @@ fn well_behaved(
             }
             Err(e) => violations.lock().unwrap().push(format!("client {id} gave up: {e}")),
         }
+    }
+}
+
+/// Ingest churn: uniquely-named single-row tables appended through
+/// `POST /admin/ingest` on a steady cadence, racing the reloader and
+/// crossing the auto-compaction threshold as frames pile up. Names come
+/// from a process-global counter so they never repeat — a refusal must
+/// therefore be structured (a faulted swap's 422, or a pathless external
+/// lake's 400), never a duplicate surprise or an unstructured body.
+fn ingest_churn(
+    addr: SocketAddr,
+    cfg: &SoakConfig,
+    stop: &AtomicBool,
+    tally: &Tally,
+    violations: &Mutex<Vec<String>>,
+) {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let mut rng = Rng::derive(cfg.seed, 0x90);
+    let mut client = RetryClient::with_policy(
+        addr,
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(250),
+            request_timeout: Duration::from_secs(5),
+            seed: cfg.seed ^ 0x1697,
+        },
+    );
+    while !stop.load(Ordering::SeqCst) {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let name = format!("soak_ingest_{}_{n}", std::process::id());
+        // No "lake" field: route to the daemon's default lake, so the same
+        // churn works against an external daemon with different names.
+        let body = format!(
+            r#"{{"tables": [{{"name": "{name}", "columns": ["id", "val"], "rows": [[{n}, "{name}"]]}}]}}"#
+        );
+        match client.post("/admin/ingest", &body) {
+            Ok(r) if r.status == 200 => {
+                tally.ingests.fetch_add(1, Ordering::Relaxed);
+                if r.generation_changed {
+                    tally.generation_changes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Ok(r) if structured_kind(&r.body).is_some() => {
+                tally.structured.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(r) => violations
+                .lock()
+                .unwrap()
+                .push(format!("unstructured {} to ingest: {:?}", r.status, r.body)),
+            Err(e) if cfg.faults => {
+                let _ = e;
+            }
+            Err(e) => violations.lock().unwrap().push(format!("ingest gave up: {e}")),
+        }
+        std::thread::sleep(Duration::from_millis(20 + rng.below(40)));
     }
 }
 

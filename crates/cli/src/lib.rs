@@ -60,13 +60,14 @@ USAGE:
   gent lake     build <lake-dir> --out snap.gentlake [--lsh] [--threads N]
                 build --suite tp-tr-small --out snap.gentlake [--seed 7] [--lsh]
                 stat  <snap.gentlake>
+                fsck  <snap.gentlake> [--repair]
   gent serve    --lake [name=]snap.gentlake [--lake ...] [--addr 127.0.0.1:7744]
-                [--threads N] [--queue-depth N] [--eager]
+                [--threads N] [--queue-depth N] [--eager] [--degraded]
                 [--log-json] [--log-level error|warn|info|debug|trace|off]
   gent admin    reload <snap.gentlake> [--addr 127.0.0.1:7744] [--lake name]
   gent bench    soak [--duration 60s] [--seed 8] [--clients 4] [--hostile 2]
                 [--keep-alive 2] [--reload-interval 250ms] [--threads 4]
-                [--no-faults]
+                [--no-faults] [--no-ingest] [--addr host:port]
   gent help
 
 LOGGING:
@@ -83,11 +84,18 @@ out; see gent-serve and docs/serving.md). `--lake` repeats to host many
 snapshots behind one address — requests route with a `lake` field, the
 first lake is the default — and `gent admin reload` swaps a lake's
 snapshot atomically without dropping in-flight requests (retrying with
-jittered backoff on 503/429 per docs/robustness.md). `gent bench soak`
-boots an in-process daemon and storms it with a seeded client mix —
-retrying clients, keep-alive pools, hostile frames, concurrent reloads
-— under injected faults (on by default; --no-faults disables), failing
-on any robustness-contract violation. Snapshots open
+jittered backoff on 503/429 per docs/robustness.md). POST /admin/ingest
+appends tables to a served snapshot as crash-safe delta frames and makes
+them live without a restart; `gent lake fsck` verifies every section and
+delta frame of a snapshot (--repair rewrites a clean base, quarantining
+unrecoverable tables), and `serve --degraded` boots a damaged snapshot
+anyway — corrupt tables answer 410, the rest keep serving. `gent bench
+soak` boots an in-process daemon (or, with --addr, storms one you
+already run) with a seeded client mix — retrying clients, keep-alive
+pools, hostile frames, concurrent reloads, ingest churn (--no-ingest
+disables) — under injected faults (on by default; --no-faults disables;
+external daemons get neither faults nor reloads), failing on any
+robustness-contract violation. Snapshots open
 zero-copy and lazy — table cells decode on first touch; `serve --eager`
 pre-decodes every lake at boot. The accept queue is bounded
 (`--queue-depth`, default 128); overload sheds with 429 + Retry-After.
@@ -388,9 +396,10 @@ fn cmd_lake(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     match sub.as_str() {
         "build" => cmd_lake_build(rest, out),
         "stat" => cmd_lake_stat(rest, out),
-        other => {
-            Err(CliError::Usage(format!("unknown lake subcommand `{other}` (try build, stat)")))
-        }
+        "fsck" => cmd_lake_fsck(rest, out),
+        other => Err(CliError::Usage(format!(
+            "unknown lake subcommand `{other}` (try build, stat, fsck)"
+        ))),
     }
 }
 
@@ -479,6 +488,57 @@ fn cmd_lake_stat(args: &[String], out: &mut impl Write) -> Result<(), CliError> 
     Ok(())
 }
 
+/// `lake fsck`: verify a snapshot offline — header, directory, every
+/// per-section checksum (v3) or the whole-file checksum (v1/v2), and
+/// every delta frame. Prints one line per problem and exits nonzero on a
+/// dirty file; `--repair` rewrites a clean compacted base, quarantining
+/// tables whose sections cannot be recovered (their names are printed so
+/// the operator knows what to restore from a replica).
+fn cmd_lake_fsck(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let p = ParsedArgs::parse(args, &[], &["repair"])?;
+    let path = Path::new(p.required(0, "snapshot")?);
+    let report = gent_store::fsck(path)?;
+    writeln!(out, "fsck: {}", path.display())?;
+    writeln!(out, "  format version: {}", report.version)?;
+    writeln!(out, "  tables:         {}", report.n_tables)?;
+    writeln!(out, "  delta frames:   {}", report.n_frames)?;
+    if report.torn_tail {
+        writeln!(out, "  torn tail:      yes (an interrupted append; dropped on open)")?;
+    }
+    for problem in &report.problems {
+        writeln!(out, "  PROBLEM {}: {}", problem.what, problem.detail)?;
+    }
+    if report.is_clean() {
+        writeln!(out, "  clean")?;
+        return Ok(());
+    }
+    if !p.flag("repair") {
+        return Err(CliError::Pipeline(format!(
+            "snapshot is dirty: {} problem(s); re-run with --repair to rewrite a clean base",
+            report.problems.len()
+        )));
+    }
+    let quarantined = gent_store::fsck_repair(path)?;
+    if quarantined.is_empty() {
+        writeln!(out, "  repaired: clean base rewritten, no data lost")?;
+    } else {
+        writeln!(
+            out,
+            "  repaired: clean base rewritten; {} table(s) quarantined (unrecoverable):",
+            quarantined.len()
+        )?;
+        for q in &quarantined {
+            writeln!(out, "    - {} ({})", q.name, q.reason)?;
+        }
+    }
+    let after = gent_store::fsck(path)?;
+    if !after.is_clean() {
+        return Err(CliError::Pipeline("repair left the snapshot dirty".into()));
+    }
+    writeln!(out, "  post-repair fsck: clean")?;
+    Ok(())
+}
+
 /// `gent serve`: open one or more snapshots warm and answer reclamation
 /// requests against them until killed. Each lake (tables + FrozenIndex +
 /// LSH bands) is opened exactly once and shared by every worker thread.
@@ -497,7 +557,7 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let p = ParsedArgs::parse(
         args,
         &["lake", "addr", "threads", "queue-depth", "log-level"],
-        &["eager", "log-json"],
+        &["eager", "degraded", "log-json"],
     )?;
     apply_log_flags(&p)?;
     let lake_specs = p.options_all("lake");
@@ -510,15 +570,21 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     } else {
         threads
     };
+    let degraded = p.flag("degraded");
 
     let mut builder = Router::builder(GenTConfig::default());
+    builder.set_degraded(degraded);
     for spec in &lake_specs {
         let (name, snap) = match spec.split_once('=') {
             Some((name, path)) => (name.to_string(), PathBuf::from(path)),
             None => (gent_store::default_lake_name(Path::new(spec)), PathBuf::from(spec)),
         };
         let t0 = Instant::now();
-        let loaded = SnapshotFile(snap.clone()).load_lake()?;
+        let loaded = if degraded {
+            gent_store::load_degraded(&snap)?
+        } else {
+            SnapshotFile(snap.clone()).load_lake()?
+        };
         let open_time = t0.elapsed();
 
         let mut warmup_note = String::new();
@@ -527,6 +593,12 @@ fn cmd_serve(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             loaded.lake.decode_all(decode_threads).map_err(gent_store::StoreError::from)?;
             loaded.lsh.force()?;
             warmup_note = format!(", pre-decoded in {:.3}s", t1.elapsed().as_secs_f64());
+        }
+        if !loaded.quarantined.is_empty() {
+            warmup_note.push_str(&format!(", {} table(s) QUARANTINED", loaded.quarantined.len()));
+            for q in &loaded.quarantined {
+                writeln!(out, "  quarantined {}: {}", q.name, q.reason)?;
+            }
         }
         writeln!(
             out,
@@ -642,8 +714,17 @@ fn parse_duration(spec: &str) -> Result<std::time::Duration, CliError> {
 fn cmd_bench_soak(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
     let p = ParsedArgs::parse(
         args,
-        &["duration", "seed", "clients", "hostile", "keep-alive", "reload-interval", "threads"],
-        &["no-faults"],
+        &[
+            "duration",
+            "seed",
+            "clients",
+            "hostile",
+            "keep-alive",
+            "reload-interval",
+            "threads",
+            "addr",
+        ],
+        &["no-faults", "no-ingest"],
     )?;
     let mut cfg = gent_bench::SoakConfig::default();
     if let Some(spec) = p.option("duration") {
@@ -668,16 +749,23 @@ fn cmd_bench_soak(args: &[String], out: &mut impl Write) -> Result<(), CliError>
         cfg.threads = n;
     }
     cfg.faults = !p.flag("no-faults");
+    cfg.ingest = !p.flag("no-ingest");
+    cfg.addr = p.option("addr").map(str::to_string);
 
+    let target = match &cfg.addr {
+        Some(addr) => format!("the daemon at {addr}"),
+        None => "an in-process daemon".to_string(),
+    };
     writeln!(
         out,
-        "soaking an in-process daemon for {:.0?} (seed {}, {} clients, {} hostile, {} keep-alive, faults {})",
+        "soaking {target} for {:.0?} (seed {}, {} clients, {} hostile, {} keep-alive, faults {}, ingest {})",
         cfg.duration,
         cfg.seed,
         cfg.clients,
         cfg.hostile,
         cfg.keep_alive,
-        if cfg.faults { "on" } else { "off" },
+        if cfg.faults && cfg.addr.is_none() { "on" } else { "off" },
+        if cfg.ingest { "on" } else { "off" },
     )?;
     out.flush()?;
     match gent_bench::soak::run(&cfg) {

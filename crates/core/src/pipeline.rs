@@ -72,6 +72,10 @@ pub struct ReclamationResult {
 pub enum GentError {
     /// The source table declares no key (and none could be required of it).
     SourceHasNoKey,
+    /// The lake's inverted index failed verification when first touched —
+    /// a snapshot-loaded (v3) lake whose index section is corrupt. The
+    /// message is the store's structured reason.
+    IndexCorrupt(String),
 }
 
 impl std::fmt::Display for GentError {
@@ -79,6 +83,9 @@ impl std::fmt::Display for GentError {
         match self {
             GentError::SourceHasNoKey => {
                 write!(f, "the source table must declare a (possibly composite) key")
+            }
+            GentError::IndexCorrupt(reason) => {
+                write!(f, "the lake's inverted index failed verification: {reason}")
             }
         }
     }
@@ -144,6 +151,10 @@ impl GenT {
         if !source.schema().has_key() {
             return Err(GentError::SourceHasNoKey);
         }
+        // A v3 lake defers index verification to first touch; force it
+        // here so a corrupt section is a structured error at the pipeline
+        // boundary, not silently-empty discovery below.
+        lake.ensure_index().map_err(GentError::IndexCorrupt)?;
         let ins = crate::telemetry::instruments();
         let t0 = Instant::now();
         let discovery_span = gent_obs::span_timed("discovery", ins.stage_discovery.clone());

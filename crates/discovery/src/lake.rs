@@ -26,14 +26,108 @@ pub struct Posting {
     pub column: u16,
 }
 
-/// The inverted index's two backings: a mutable hash map while a lake is
-/// being built, or a [`FrozenIndex`] when reopened from a snapshot (flat
+/// The inverted index's backings: a mutable hash map while a lake is
+/// being built, a [`FrozenIndex`] when reopened from a snapshot (flat
 /// arrays — possibly zero-copy views into the snapshot buffer — loadable
-/// without per-value inserts). Lookups behave identically.
+/// without per-value inserts), or a [`DeferredIndex`] whose frozen base is
+/// materialized (and integrity-checked) only when a lookup first needs it.
+/// Lookups behave identically across all of them.
 #[derive(Debug, Clone)]
 enum LakeIndex {
     Map(FxHashMap<Value, Vec<Posting>>),
     Frozen(FrozenIndex),
+    /// A frozen base plus a delta overlay — a v3 snapshot whose appended
+    /// frames index tables the frozen arrays predate. Overlay lists hold
+    /// the *merged* postings (base first, then deltas) for every key any
+    /// frame touched, so lookups stay a single probe returning one slice.
+    Overlaid {
+        base: FrozenIndex,
+        overlay: FxHashMap<Value, Vec<Posting>>,
+        novel: usize,
+    },
+    Deferred(DeferredIndex),
+}
+
+/// The thunk a deferred index runs on first touch: verify the index
+/// section's bytes and materialize the [`FrozenIndex`]. Supplied by the
+/// snapshot opener, which owns the buffer, the section range, and the
+/// stored checksum — the lake stays format-agnostic.
+pub type IndexThaw = std::sync::Arc<dyn Fn() -> Result<FrozenIndex, String> + Send + Sync>;
+
+/// An index whose frozen base has not been decoded yet — the v3 open path.
+/// `open` stops paying the O(section) verification + materialization pass;
+/// the first posting lookup (or an explicit [`DataLake::ensure_index`])
+/// pays it once, and the result — success or the structured failure — is
+/// memoized. Raw frame postings ride along un-merged and are folded behind
+/// the base exactly as [`DataLake::from_slots_with_delta`] would have.
+struct DeferredIndex {
+    thaw: IndexThaw,
+    /// Per-value *new* postings from delta frames, merged at first force.
+    delta: FxHashMap<Value, Vec<Posting>>,
+    /// Distinct-value count promised by the snapshot header — exact for a
+    /// frameless lake, a floor once frames add novel values (exact again
+    /// after the first force).
+    len_hint: usize,
+    cell: std::sync::OnceLock<Result<ThawedIndex, String>>,
+}
+
+/// What a forced [`DeferredIndex`] resolves to: the frozen base plus the
+/// pre-merged overlay (empty when the snapshot carried no frames).
+#[derive(Debug, Clone)]
+struct ThawedIndex {
+    base: FrozenIndex,
+    overlay: FxHashMap<Value, Vec<Posting>>,
+    novel: usize,
+}
+
+impl DeferredIndex {
+    /// Materialize (once): run the thaw, then merge the frame delta behind
+    /// the base. A failed thaw is memoized too — retrying cannot un-corrupt
+    /// the section, and lookups after a failure must stay cheap.
+    fn force(&self) -> Result<&ThawedIndex, &String> {
+        self.cell
+            .get_or_init(|| {
+                let base = (self.thaw)()?;
+                let mut novel = 0usize;
+                let overlay: FxHashMap<Value, Vec<Posting>> = self
+                    .delta
+                    .iter()
+                    .map(|(v, fresh)| {
+                        let before = base.get(v);
+                        if before.is_empty() {
+                            novel += 1;
+                        }
+                        let mut merged = Vec::with_capacity(before.len() + fresh.len());
+                        merged.extend_from_slice(before);
+                        merged.extend(fresh.iter().copied());
+                        (v.clone(), merged)
+                    })
+                    .collect();
+                Ok(ThawedIndex { base, overlay, novel })
+            })
+            .as_ref()
+    }
+}
+
+impl Clone for DeferredIndex {
+    fn clone(&self) -> Self {
+        DeferredIndex {
+            thaw: self.thaw.clone(),
+            delta: self.delta.clone(),
+            len_hint: self.len_hint,
+            cell: self.cell.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DeferredIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeferredIndex")
+            .field("len_hint", &self.len_hint)
+            .field("delta_values", &self.delta.len())
+            .field("forced", &self.cell.get().is_some())
+            .finish()
+    }
 }
 
 /// A repository of tables with an inverted value index.
@@ -90,12 +184,41 @@ impl DataLake {
     /// (documented cost: pushing into a snapshot-loaded lake re-expands the
     /// frozen arrays into a hash map once).
     fn index_map_mut(&mut self) -> &mut FxHashMap<Value, Vec<Posting>> {
-        if let LakeIndex::Frozen(f) = &self.index {
-            self.index = LakeIndex::Map(f.to_map());
+        if !matches!(self.index, LakeIndex::Map(_)) {
+            self.index = LakeIndex::Map(self.index_to_map());
         }
         match &mut self.index {
             LakeIndex::Map(m) => m,
-            LakeIndex::Frozen(_) => unreachable!("thawed above"),
+            _ => unreachable!("thawed above"),
+        }
+    }
+
+    /// The full index as an owned map, merging any overlay.
+    ///
+    /// Panics on a deferred index whose section fails verification — call
+    /// [`DataLake::ensure_index`] first on any path that can see hostile
+    /// bytes (the store's save/compact and the pipeline entry both do).
+    fn index_to_map(&self) -> FxHashMap<Value, Vec<Posting>> {
+        match &self.index {
+            LakeIndex::Map(m) => m.clone(),
+            LakeIndex::Frozen(f) => f.to_map(),
+            LakeIndex::Overlaid { base, overlay, .. } => {
+                let mut m = base.to_map();
+                for (v, p) in overlay {
+                    m.insert(v.clone(), p.clone()); // overlay lists are pre-merged
+                }
+                m
+            }
+            LakeIndex::Deferred(d) => {
+                let t = d.force().unwrap_or_else(|e| {
+                    panic!("deferred index failed verification (ensure_index first): {e}")
+                });
+                let mut m = t.base.to_map();
+                for (v, p) in &t.overlay {
+                    m.insert(v.clone(), p.clone());
+                }
+                m
+            }
         }
     }
 
@@ -140,6 +263,81 @@ impl DataLake {
         Self::assemble(slots, LakeIndex::Frozen(index))
     }
 
+    /// [`DataLake::from_slots`] plus a delta overlay — the v3 snapshot load
+    /// path when delta frames follow the base. `delta` maps each value a
+    /// frame indexed to its *new* postings (tables the frozen base
+    /// predates); this merges them behind the base postings so
+    /// [`DataLake::postings`] stays one probe, one slice.
+    pub fn from_slots_with_delta(
+        slots: Vec<TableSlot>,
+        base: FrozenIndex,
+        delta: FxHashMap<Value, Vec<Posting>>,
+    ) -> Self {
+        if delta.is_empty() {
+            return Self::assemble(slots, LakeIndex::Frozen(base));
+        }
+        let mut novel = 0usize;
+        let overlay: FxHashMap<Value, Vec<Posting>> = delta
+            .into_iter()
+            .map(|(v, fresh)| {
+                let before = base.get(&v);
+                if before.is_empty() {
+                    novel += 1;
+                }
+                let mut merged = Vec::with_capacity(before.len() + fresh.len());
+                merged.extend_from_slice(before);
+                merged.extend(fresh);
+                (v, merged)
+            })
+            .collect();
+        Self::assemble(slots, LakeIndex::Overlaid { base, overlay, novel })
+    }
+
+    /// [`DataLake::from_slots_with_delta`], except the frozen base is not
+    /// decoded yet: `thaw` verifies and materializes it on the first
+    /// lookup — the v3 open path, where a per-section checksum lets open
+    /// skip the O(section) pass entirely. `len_hint` is the snapshot
+    /// header's distinct-value count (served by [`DataLake::index_len`]
+    /// until the force makes it exact); `delta` holds raw frame postings,
+    /// merged behind the base when the thaw runs.
+    pub fn from_slots_deferred(
+        slots: Vec<TableSlot>,
+        thaw: IndexThaw,
+        len_hint: usize,
+        delta: FxHashMap<Value, Vec<Posting>>,
+    ) -> Self {
+        Self::assemble(
+            slots,
+            LakeIndex::Deferred(DeferredIndex {
+                thaw,
+                delta,
+                len_hint,
+                cell: std::sync::OnceLock::new(),
+            }),
+        )
+    }
+
+    /// Force a deferred index now, surfacing its verification failure as a
+    /// structured error instead of empty lookups. A no-op (always `Ok`) on
+    /// every other backing. The pipeline calls this once at reclaim entry;
+    /// the store calls it before re-freezing a lake into a snapshot.
+    pub fn ensure_index(&self) -> Result<(), String> {
+        match &self.index {
+            LakeIndex::Deferred(d) => d.force().map(|_| ()).map_err(|e| e.clone()),
+            _ => Ok(()),
+        }
+    }
+
+    /// True when posting lookups can proceed without materializing
+    /// anything: always, except for a deferred index that has not been
+    /// forced yet (the observable behind lazy-open tests and benches).
+    pub fn index_ready(&self) -> bool {
+        match &self.index {
+            LakeIndex::Deferred(d) => matches!(d.cell.get(), Some(Ok(_))),
+            _ => true,
+        }
+    }
+
     fn assemble(slots: Vec<TableSlot>, index: LakeIndex) -> Self {
         let mut lake = DataLake {
             slots: Vec::with_capacity(slots.len()),
@@ -156,20 +354,34 @@ impl DataLake {
         lake
     }
 
-    /// The frozen backing, when this lake was loaded from a snapshot.
+    /// The frozen backing, when this lake was loaded from a snapshot *and*
+    /// carries no delta overlay (an overlaid index must be re-frozen to be
+    /// serialised — that re-freeze is exactly what compaction pays for).
     pub fn frozen_index(&self) -> Option<&FrozenIndex> {
         match &self.index {
             LakeIndex::Frozen(f) => Some(f),
-            LakeIndex::Map(_) => None,
+            // A frameless deferred index re-freezes to its own base; the
+            // force this costs is exactly the decode a save would pay
+            // anyway. Verification failure is `None` — the fallible saver
+            // has already called `ensure_index`.
+            LakeIndex::Deferred(d) if d.delta.is_empty() => d.force().ok().map(|t| &t.base),
+            LakeIndex::Map(_) | LakeIndex::Overlaid { .. } | LakeIndex::Deferred(_) => None,
         }
     }
 
     /// A frozen view of the index, cloning only when already frozen —
-    /// what snapshot saving serialises.
+    /// what snapshot saving serialises. For an overlaid index this merges
+    /// the delta back into one flat frozen structure (compaction).
     pub fn freeze_index(&self) -> FrozenIndex {
         match &self.index {
             LakeIndex::Map(m) => FrozenIndex::from_map(m),
             LakeIndex::Frozen(f) => f.clone(),
+            LakeIndex::Overlaid { .. } => FrozenIndex::from_map(&self.index_to_map()),
+            LakeIndex::Deferred(d) if d.delta.is_empty() => match d.force() {
+                Ok(t) => t.base.clone(),
+                Err(e) => panic!("deferred index failed verification (ensure_index first): {e}"),
+            },
+            LakeIndex::Deferred(_) => FrozenIndex::from_map(&self.index_to_map()),
         }
     }
 
@@ -253,19 +465,42 @@ impl DataLake {
         .expect("decode scope")
     }
 
-    /// Posting list for a value (empty slice when unseen).
+    /// Posting list for a value (empty slice when unseen). The first probe
+    /// of a deferred index materializes it; a section that fails
+    /// verification then yields empty postings — callers that must
+    /// distinguish "unseen" from "corrupt" gate on
+    /// [`DataLake::ensure_index`] first (the pipeline entry does).
     pub fn postings(&self, v: &Value) -> &[Posting] {
         match &self.index {
             LakeIndex::Map(m) => m.get(v).map(|p| p.as_slice()).unwrap_or(&[]),
             LakeIndex::Frozen(f) => f.get(v),
+            LakeIndex::Overlaid { base, overlay, .. } => match overlay.get(v) {
+                Some(p) => p.as_slice(),
+                None => base.get(v),
+            },
+            LakeIndex::Deferred(d) => match d.force() {
+                Ok(t) => match t.overlay.get(v) {
+                    Some(p) => p.as_slice(),
+                    None => t.base.get(v),
+                },
+                Err(_) => &[],
+            },
         }
     }
 
-    /// Number of distinct values in the inverted index.
+    /// Number of distinct values in the inverted index. For a deferred
+    /// index this never forces: before the first force it reports the
+    /// snapshot header's count (exact unless delta frames added novel
+    /// values); after it, the exact merged count.
     pub fn index_len(&self) -> usize {
         match &self.index {
             LakeIndex::Map(m) => m.len(),
             LakeIndex::Frozen(f) => f.len(),
+            LakeIndex::Overlaid { base, novel, .. } => base.len() + novel,
+            LakeIndex::Deferred(d) => match d.cell.get() {
+                Some(Ok(t)) => t.base.len() + t.novel,
+                _ => d.len_hint,
+            },
         }
     }
 
@@ -277,6 +512,23 @@ impl DataLake {
         match &self.index {
             LakeIndex::Map(m) => Box::new(m.iter().map(|(v, p)| (v.clone(), p.as_slice()))),
             LakeIndex::Frozen(f) => Box::new(f.entries()),
+            LakeIndex::Overlaid { base, overlay, .. } => Box::new(
+                base.entries()
+                    .filter(|(v, _)| !overlay.contains_key(v))
+                    .chain(overlay.iter().map(|(v, p)| (v.clone(), p.as_slice()))),
+            ),
+            // Forces; a failed verification iterates as empty (the same
+            // "gate on `ensure_index` to distinguish" contract as
+            // `postings`).
+            LakeIndex::Deferred(d) => match d.force() {
+                Ok(t) => Box::new(
+                    t.base
+                        .entries()
+                        .filter(|(v, _)| !t.overlay.contains_key(v))
+                        .chain(t.overlay.iter().map(|(v, p)| (v.clone(), p.as_slice()))),
+                ),
+                Err(_) => Box::new(std::iter::empty()),
+            },
         }
     }
 
@@ -416,6 +668,55 @@ mod tests {
         }
         let counts = frozen.containment_counts([V::Int(1), V::Int(3)].iter());
         assert_eq!(counts, l.containment_counts([V::Int(1), V::Int(3)].iter()));
+    }
+
+    /// The delta-overlay backing (v3 snapshots with appended frames) must
+    /// answer exactly like a flat index built over the same tables.
+    #[test]
+    fn overlaid_lake_matches_flat_rebuild() {
+        let l = lake();
+        let delta_table = Table::build(
+            "d",
+            &["x"],
+            &[],
+            vec![vec![V::Int(1)], vec![V::Int(42)]], // 1 overlaps `a`/`b`, 42 is novel
+        )
+        .unwrap();
+        let mut delta: FxHashMap<Value, Vec<Posting>> = FxHashMap::default();
+        delta.insert(V::Int(1), vec![Posting { table: 2, column: 0 }]);
+        delta.insert(V::Int(42), vec![Posting { table: 2, column: 0 }]);
+        let slots: Vec<TableSlot> = l
+            .tables_iter()
+            .cloned()
+            .chain(std::iter::once(delta_table.clone()))
+            .map(TableSlot::eager)
+            .collect();
+        let overlaid = DataLake::from_slots_with_delta(slots, l.freeze_index(), delta);
+
+        let mut flat_tables: Vec<Table> = l.tables_iter().cloned().collect();
+        flat_tables.push(delta_table);
+        let flat = DataLake::from_tables(flat_tables);
+
+        assert_eq!(overlaid.index_len(), flat.index_len());
+        assert!(overlaid.frozen_index().is_none(), "overlaid index is not flat-frozen");
+        for probe in [V::Int(1), V::Int(2), V::Int(3), V::Int(42), V::str("u"), V::str("zz")] {
+            let mut a = overlaid.postings(&probe).to_vec();
+            let mut b = flat.postings(&probe).to_vec();
+            a.sort_by_key(|p| (p.table, p.column));
+            b.sort_by_key(|p| (p.table, p.column));
+            assert_eq!(a, b, "postings for {probe}");
+        }
+        // index_entries covers every key exactly once; freeze folds the
+        // overlay back into a flat index that still answers identically.
+        let entries: Vec<Value> = overlaid.index_entries().map(|(v, _)| v).collect();
+        let distinct: FxHashSet<&Value> = entries.iter().collect();
+        assert_eq!(distinct.len(), entries.len(), "a key appeared twice");
+        assert_eq!(entries.len(), flat.index_len());
+        let refrozen = overlaid.freeze_index();
+        assert_eq!(refrozen.len(), flat.index_len());
+        let mut rp = refrozen.get(&V::Int(1)).to_vec();
+        rp.sort_by_key(|p| (p.table, p.column));
+        assert_eq!(rp.len(), 3);
     }
 
     #[test]

@@ -31,15 +31,28 @@
 //! | `POST /reclaim` | `{"source": {...}}` or `{"source_name": "t"}`, optional `"lake"`, `"overrides"` | metrics + reclaimed table + originating tables |
 //! | `POST /reclaim/batch` | `{"sources": [...]}` — N reclaim bodies sharing one lake | per-source results + discovery-memo stats |
 //! | `POST /admin/reload` | `{"lake": "n", "path": "new.gentlake"}` | atomic snapshot hot-swap; generation bump |
+//! | `POST /admin/ingest` | `{"lake": "n", "tables": [{...}, …]}` | crash-safe delta append + hot-swap; generation bump |
+//! | `POST /admin/compact` | `{"lake": "n"}` | fold the delta-frame log into a clean base |
 //!
 //! A daemon hosts one or many lakes ([`routing::Router`]): requests route
 //! with a `"lake"` body field / `?lake=` query parameter and fall back to
 //! the first (default) lake, `POST /reclaim/batch` amortises the discovery
 //! stage across sources sharing a lake, and `POST /admin/reload` swaps a
 //! slot's snapshot without dropping in-flight requests (they finish on the
-//! buffer they started on). When the bounded worker queue is full the
-//! accept loop sheds load with `429 Too Many Requests` + `Retry-After`
-//! instead of stalling — see `docs/serving.md`.
+//! buffer they started on). `POST /admin/ingest` makes the lake *live*:
+//! new tables append to the snapshot file as fsynced, commit-marked delta
+//! frames (acknowledged writes survive any crash), become reclaimable via
+//! the same off-lock load + pointer swap as a reload, and fold into a
+//! clean base automatically once the frame log reaches
+//! [`routing::COMPACT_FRAME_THRESHOLD`]. When the bounded worker queue is
+//! full the accept loop sheds load with `429 Too Many Requests` +
+//! `Retry-After` instead of stalling — see `docs/serving.md`.
+//!
+//! With `gent serve --degraded` ([`RouterBuilder::set_degraded`]) a
+//! snapshot that fails some per-section checksums still boots: corrupt
+//! tables are quarantined — lookups answer a structured `410 quarantined`,
+//! the `gent_lake_quarantined_tables` gauge counts them — while every
+//! healthy table keeps serving byte-identical answers.
 //!
 //! Errors are structured: every 4xx/5xx body is
 //! `{"error": {"kind": "...", "message": "...", "trace_id": "..."}}`, and no

@@ -31,14 +31,19 @@ use gent_core::GenTConfig;
 use gent_discovery::DiscoveryCache;
 use gent_store::{LakeSource, LoadedLake, SnapshotFile};
 use gent_table::Table;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::http::{HttpError, Request, Response};
 use crate::json::Json;
 use crate::service::{
-    effective_config, parse_json_body, reclamation_json, render_metrics, respond_enveloped,
-    ApiError, HttpMetrics, LakeService,
+    effective_config, parse_json_body, pipeline_error_kind, reclamation_json, render_metrics,
+    respond_enveloped, table_from_json, ApiError, HttpMetrics, LakeService,
 };
+
+/// Ingest folds the delta log back into a clean base once it reaches this
+/// many frames, so open cost and tail-scan time stay bounded no matter how
+/// long the daemon keeps accepting deltas.
+pub const COMPACT_FRAME_THRESHOLD: usize = 8;
 
 /// One hosted lake: its routing name, the snapshot path it can hot-reload
 /// from, the live service, and a monotonically increasing generation.
@@ -47,6 +52,10 @@ struct LakeSlot {
     path: RwLock<Option<PathBuf>>,
     current: RwLock<Arc<LakeService>>,
     generation: AtomicU64,
+    /// Serializes writers to the slot's snapshot file (ingest appends and
+    /// compactions). Request traffic never takes this — reads answer from
+    /// the in-memory service while an append runs.
+    ingest: Mutex<()>,
 }
 
 impl LakeSlot {
@@ -56,6 +65,7 @@ impl LakeSlot {
             path: RwLock::new(path),
             current: RwLock::new(Arc::new(service)),
             generation: AtomicU64::new(0),
+            ingest: Mutex::new(()),
         }
     }
 
@@ -81,9 +91,26 @@ pub struct RouterBuilder {
     config: GenTConfig,
     metrics: Arc<HttpMetrics>,
     slots: Vec<LakeSlot>,
+    degraded: bool,
 }
 
 impl RouterBuilder {
+    /// Open snapshots in **degraded mode** (`gent serve --degraded`):
+    /// corrupt tables are quarantined instead of failing the boot or
+    /// reload, and quarantined names answer `410 quarantined`. Call before
+    /// [`Self::add_snapshot`] — the flag applies to boot-time opens as
+    /// well as every later reload and ingest swap.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.degraded = on;
+    }
+
+    fn open_snapshot(&self, path: &Path) -> Result<LoadedLake, gent_store::StoreError> {
+        if self.degraded {
+            gent_store::load_degraded(path)
+        } else {
+            SnapshotFile(path.to_path_buf()).load_lake()
+        }
+    }
     fn check_name(&self, name: &str) -> Result<(), String> {
         if !valid_lake_name(name) {
             return Err(format!("invalid lake name `{name}`: use 1-64 alphanumerics, `-` or `_`"));
@@ -100,8 +127,8 @@ impl RouterBuilder {
     /// being told where.
     pub fn add_snapshot(&mut self, name: &str, path: &Path) -> Result<(), String> {
         self.check_name(name)?;
-        let loaded = SnapshotFile(path.to_path_buf())
-            .load_lake()
+        let loaded = self
+            .open_snapshot(path)
             .map_err(|e| format!("lake `{name}`: cannot open `{}`: {e}", path.display()))?;
         let service = LakeService::with_shared(
             loaded,
@@ -169,6 +196,7 @@ impl RouterBuilder {
             started: Instant::now(),
             served: AtomicU64::new(0),
             draining: Arc::new(AtomicBool::new(false)),
+            degraded: self.degraded,
         })
     }
 }
@@ -186,13 +214,21 @@ pub struct Router {
     /// `Connection: close`, steering load balancers and pooled clients
     /// away while in-flight work completes. Liveness is unaffected.
     draining: Arc<AtomicBool>,
+    /// Open snapshots in degraded (quarantining) mode on reload and
+    /// ingest swaps — see [`RouterBuilder::set_degraded`].
+    degraded: bool,
 }
 
 impl Router {
     /// Start building a router whose lakes all reclaim with `config` (the
     /// base that per-request overrides are applied on top of).
     pub fn builder(config: GenTConfig) -> RouterBuilder {
-        RouterBuilder { config, metrics: LakeService::fresh_metrics(), slots: Vec::new() }
+        RouterBuilder {
+            config,
+            metrics: LakeService::fresh_metrics(),
+            slots: Vec::new(),
+            degraded: false,
+        }
     }
 
     /// Wrap a single pre-built service — the compatibility path behind
@@ -208,6 +244,7 @@ impl Router {
             started: Instant::now(),
             served: AtomicU64::new(0),
             draining: Arc::new(AtomicBool::new(false)),
+            degraded: false,
         }
     }
 
@@ -284,6 +321,14 @@ impl Router {
                 let body = parse_json_body(&request.body)?;
                 self.admin_reload(&body)
             }
+            ("POST", "/admin/ingest") => {
+                let body = parse_json_body(&request.body)?;
+                self.admin_ingest(&body)
+            }
+            ("POST", "/admin/compact") => {
+                let body = parse_json_body(&request.body)?;
+                self.admin_compact(&body)
+            }
             (
                 _,
                 "/healthz" | "/healthz/live" | "/healthz/ready" | "/lakes" | "/lake/stat"
@@ -293,7 +338,11 @@ impl Router {
                 "bad_method",
                 format!("{} does not accept {}; use GET", path, request.method),
             )),
-            (_, "/reclaim" | "/reclaim/batch" | "/admin/reload") => Err(ApiError::new(
+            (
+                _,
+                "/reclaim" | "/reclaim/batch" | "/admin/reload" | "/admin/ingest"
+                | "/admin/compact",
+            ) => Err(ApiError::new(
                 405,
                 "bad_method",
                 format!("{} does not accept {}; use POST", path, request.method),
@@ -444,7 +493,7 @@ impl Router {
                     (
                         "error".into(),
                         Json::Object(vec![
-                            ("kind".into(), Json::str("pipeline")),
+                            ("kind".into(), Json::str(pipeline_error_kind(&e))),
                             ("message".into(), Json::str(e.to_string())),
                         ]),
                     ),
@@ -500,7 +549,31 @@ impl Router {
                 )
             })?,
         };
-        let loaded = SnapshotFile(path.clone()).load_lake().map_err(|e| {
+        let (service, generation) = self.swap_in(slot, &path)?;
+        self.metrics.reloads(&slot.name).inc();
+        Ok(Response::ok(
+            Json::Object(vec![
+                ("lake".into(), Json::str(slot.name.clone())),
+                ("path".into(), Json::str(path.display().to_string())),
+                ("generation".into(), Json::Int(generation as i64)),
+                ("tables".into(), Json::Int(service.lake().len() as i64)),
+            ])
+            .render(),
+        )
+        .with_header("X-Gent-Generation", generation.to_string()))
+    }
+
+    /// Load `path` (honouring degraded mode), swap it into `slot` under a
+    /// brief write lock, and bump the generation. The load runs entirely
+    /// off-lock: a corrupt file answers 422 and the live snapshot is
+    /// untouched.
+    fn swap_in(&self, slot: &LakeSlot, path: &Path) -> Result<(Arc<LakeService>, u64), ApiError> {
+        let loaded = if self.degraded {
+            gent_store::load_degraded(path)
+        } else {
+            SnapshotFile(path.to_path_buf()).load_lake()
+        }
+        .map_err(|e| {
             ApiError::new(422, "reload_failed", format!("cannot load `{}`: {e}", path.display()))
         })?;
         let service = Arc::new(LakeService::with_shared(
@@ -510,17 +583,132 @@ impl Router {
             &slot.name,
             Arc::clone(&self.metrics),
         ));
-        let tables = service.lake().len();
-        *slot.current.write() = service;
-        *slot.path.write() = Some(path.clone());
+        *slot.current.write() = Arc::clone(&service);
+        *slot.path.write() = Some(path.to_path_buf());
         let generation = slot.generation.fetch_add(1, Ordering::SeqCst) + 1;
-        self.metrics.reloads(&slot.name).inc();
+        Ok((service, generation))
+    }
+
+    /// `POST /admin/ingest`: `{"lake"?, "tables": [<inline table>, …]}` —
+    /// append the tables to the lake's snapshot as one crash-safe delta
+    /// frame, then make them live with the same off-lock load +
+    /// pointer-swap as `/admin/reload`. The append itself holds only the
+    /// slot's ingest mutex: request traffic keeps answering from the
+    /// in-memory snapshot the whole time, and the frame is fsynced +
+    /// commit-marked before the swap, so an acknowledged ingest survives
+    /// any crash. Once the frame log reaches
+    /// [`COMPACT_FRAME_THRESHOLD`], the log is folded into a clean base
+    /// inline before the swap.
+    fn admin_ingest(&self, body: &Json) -> Result<Response, ApiError> {
+        let slot = self.slot(body_lake(body)?)?;
+        let path = slot.path.read().clone().ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_json",
+                format!(
+                    "lake `{}` was not loaded from a snapshot; ingest needs a durable file",
+                    slot.name
+                ),
+            )
+        })?;
+        let tables_json = body.get("tables").and_then(Json::as_array).ok_or_else(|| {
+            ApiError::new(400, "bad_json", "`tables` must be an array of inline tables")
+        })?;
+        if tables_json.is_empty() {
+            return Err(ApiError::new(400, "empty_ingest", "`tables` must not be empty"));
+        }
+        let mut tables = Vec::with_capacity(tables_json.len());
+        let mut seen = std::collections::HashSet::new();
+        let live = slot.service();
+        for (i, item) in tables_json.iter().enumerate() {
+            let t = table_from_json(item).map_err(|e| {
+                ApiError::new(e.status, e.kind, format!("tables[{i}]: {}", e.message))
+            })?;
+            if live.lake().get_by_name(t.name()).is_some() || !seen.insert(t.name().to_string()) {
+                return Err(ApiError::new(
+                    409,
+                    "duplicate_table",
+                    format!("tables[{i}]: the lake already has a table named `{}`", t.name()),
+                ));
+            }
+            tables.push(t);
+        }
+
+        // Serialize writers; readers never wait on this lock.
+        let guard = slot.ingest.lock();
+        let outcome = gent_store::append_tables(&path, &tables).map_err(|e| {
+            ApiError::new(422, "ingest_failed", format!("append to `{}`: {e}", path.display()))
+        })?;
+        // The frame is durable from here on — compaction or swap failures
+        // can no longer lose it.
+        let compacted = if outcome.frames_after >= COMPACT_FRAME_THRESHOLD {
+            match gent_store::compact(&path) {
+                Ok(folded) => folded > 0,
+                Err(e) => {
+                    gent_obs::log(
+                        gent_obs::Level::Warn,
+                        "gent_serve::ingest",
+                        "inline compaction failed; frames remain on disk",
+                        &[("lake", slot.name.as_str().into()), ("error", e.to_string().into())],
+                    );
+                    false
+                }
+            }
+        } else {
+            false
+        };
+        let (service, generation) = self.swap_in(slot, &path)?;
+        drop(guard);
+
+        self.metrics.ingests(&slot.name).inc();
+        if compacted {
+            self.metrics.lake_compactions(&slot.name).inc();
+        }
         Ok(Response::ok(
             Json::Object(vec![
                 ("lake".into(), Json::str(slot.name.clone())),
-                ("path".into(), Json::str(path.display().to_string())),
+                ("appended".into(), Json::Int(tables.len() as i64)),
+                ("tables".into(), Json::Int(service.lake().len() as i64)),
+                ("frames".into(), Json::Int(service.n_frames() as i64)),
+                ("compacted".into(), Json::Bool(compacted)),
+                ("recovered_torn_tail".into(), Json::Bool(outcome.truncated_torn_tail)),
                 ("generation".into(), Json::Int(generation as i64)),
-                ("tables".into(), Json::Int(tables as i64)),
+            ])
+            .render(),
+        )
+        .with_header("X-Gent-Generation", generation.to_string()))
+    }
+
+    /// `POST /admin/compact`: fold the lake's delta-frame log into a clean
+    /// base file and swap the compacted snapshot live. A frameless lake
+    /// answers 200 with `folded: 0` and no swap.
+    fn admin_compact(&self, body: &Json) -> Result<Response, ApiError> {
+        let slot = self.slot(body_lake(body)?)?;
+        let path = slot.path.read().clone().ok_or_else(|| {
+            ApiError::new(
+                400,
+                "bad_json",
+                format!("lake `{}` was not loaded from a snapshot; nothing to compact", slot.name),
+            )
+        })?;
+        let guard = slot.ingest.lock();
+        let folded = gent_store::compact(&path).map_err(|e| {
+            ApiError::new(422, "compact_failed", format!("compact `{}`: {e}", path.display()))
+        })?;
+        let (service, generation) = if folded > 0 {
+            let swapped = self.swap_in(slot, &path)?;
+            self.metrics.lake_compactions(&slot.name).inc();
+            swapped
+        } else {
+            (slot.service(), slot.generation.load(Ordering::SeqCst))
+        };
+        drop(guard);
+        Ok(Response::ok(
+            Json::Object(vec![
+                ("lake".into(), Json::str(slot.name.clone())),
+                ("folded".into(), Json::Int(folded as i64)),
+                ("tables".into(), Json::Int(service.lake().len() as i64)),
+                ("generation".into(), Json::Int(generation as i64)),
             ])
             .render(),
         )
@@ -795,6 +983,93 @@ mod tests {
             200,
             "failed reload must not disturb the live snapshot"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_appends_swaps_and_compacts_at_threshold() {
+        let dir = std::env::temp_dir().join(format!("gent-routing-ingest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("live.gentlake");
+        let lake = gent_discovery::DataLake::from_tables(lake_tables("one"));
+        gent_store::snapshot::save(&snap, &lake, None).unwrap();
+
+        let mut b = Router::builder(GenTConfig::default());
+        b.add_snapshot("main", &snap).unwrap();
+        let r = b.build().unwrap();
+
+        let ingest_body = |name: &str| {
+            format!(
+                r#"{{"lake": "main", "tables": [{{"name": "{name}",
+                    "columns": ["id", "tag"],
+                    "rows": [[1, "x"], [2, "y"]]}}]}}"#
+            )
+        };
+
+        // A memory-only lake (no snapshot path) cannot ingest.
+        let memless = router().respond(Ok(post("/admin/ingest", &ingest_body("t"))));
+        assert_eq!(memless.status, 404, "{}", memless.body); // router() has no "main"
+
+        // First ingest: table appears, generation bumps, frame count is 1.
+        let first = r.respond(Ok(post("/admin/ingest", &ingest_body("fresh_a"))));
+        assert_eq!(first.status, 200, "{}", first.body);
+        let v = Json::parse(&first.body).unwrap();
+        assert_eq!(v.get("appended").and_then(Json::as_i64), Some(1));
+        assert_eq!(v.get("tables").and_then(Json::as_i64), Some(3));
+        assert_eq!(v.get("frames").and_then(Json::as_i64), Some(1));
+        assert_eq!(v.get("compacted").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("generation").and_then(Json::as_i64), Some(1));
+        assert!(
+            first.headers.iter().any(|(k, v)| k == "X-Gent-Generation" && v == "1"),
+            "{:?}",
+            first.headers
+        );
+        assert_eq!(
+            r.respond(Ok(post("/reclaim", r#"{"source_name": "fresh_a", "key": ["id"]}"#))).status,
+            200,
+            "ingested table must be reclaimable immediately"
+        );
+
+        // Duplicate names are rejected without touching the file.
+        let dup = r.respond(Ok(post("/admin/ingest", &ingest_body("fresh_a"))));
+        assert_eq!(dup.status, 409, "{}", dup.body);
+        let v = Json::parse(&dup.body).unwrap();
+        assert_eq!(
+            v.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("duplicate_table")
+        );
+        let empty = r.respond(Ok(post("/admin/ingest", r#"{"lake": "main", "tables": []}"#)));
+        assert_eq!(empty.status, 400, "{}", empty.body);
+
+        // Keep ingesting until the frame log hits the threshold: the
+        // response that crosses it reports compacted=true and frames resets.
+        let mut compacted_seen = false;
+        for i in 0..COMPACT_FRAME_THRESHOLD {
+            let resp = r.respond(Ok(post("/admin/ingest", &ingest_body(&format!("fresh_b{i}")))));
+            assert_eq!(resp.status, 200, "{}", resp.body);
+            let v = Json::parse(&resp.body).unwrap();
+            if v.get("compacted").and_then(Json::as_bool) == Some(true) {
+                assert_eq!(v.get("frames").and_then(Json::as_i64), Some(0));
+                compacted_seen = true;
+            }
+        }
+        assert!(compacted_seen, "crossing the frame threshold must auto-compact");
+        let (frames, _) = gent_store::frame_count(&snap).unwrap();
+        assert!(frames < COMPACT_FRAME_THRESHOLD, "on-disk frame log was folded");
+
+        // Explicit compact folds whatever is left and is a no-op when clean.
+        let c = r.respond(Ok(post("/admin/compact", r#"{"lake": "main"}"#)));
+        assert_eq!(c.status, 200, "{}", c.body);
+        assert_eq!(gent_store::frame_count(&snap).unwrap().0, 0);
+        let again = r.respond(Ok(post("/admin/compact", r#"{"lake": "main"}"#)));
+        let v = Json::parse(&again.body).unwrap();
+        assert_eq!(v.get("folded").and_then(Json::as_i64), Some(0));
+
+        // Everything ingested survives the compactions.
+        for name in ["one_ids", "fresh_a", "fresh_b0"] {
+            let body = format!(r#"{{"source_name": "{name}", "key": ["id"]}}"#);
+            assert_eq!(r.respond(Ok(post("/reclaim", &body))).status, 200, "{name}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -87,6 +87,8 @@ pub(crate) struct HttpMetrics {
     lakes: EndpointMetrics,
     reclaim_batch: EndpointMetrics,
     admin_reload: EndpointMetrics,
+    admin_ingest: EndpointMetrics,
+    admin_compact: EndpointMetrics,
     other: EndpointMetrics,
     /// `gent_http_connections_total` — TCP connections served.
     pub(crate) connections: Arc<Counter>,
@@ -121,6 +123,8 @@ impl HttpMetrics {
             lakes: EndpointMetrics::new(&reg, "lakes"),
             reclaim_batch: EndpointMetrics::new(&reg, "reclaim_batch"),
             admin_reload: EndpointMetrics::new(&reg, "admin_reload"),
+            admin_ingest: EndpointMetrics::new(&reg, "admin_ingest"),
+            admin_compact: EndpointMetrics::new(&reg, "admin_compact"),
             other: EndpointMetrics::new(&reg, "other"),
             connections: reg.counter(
                 "gent_http_connections_total",
@@ -172,6 +176,8 @@ impl HttpMetrics {
             Some("/lakes") => &self.lakes,
             Some("/reclaim/batch") => &self.reclaim_batch,
             Some("/admin/reload") => &self.admin_reload,
+            Some("/admin/ingest") => &self.admin_ingest,
+            Some("/admin/compact") => &self.admin_compact,
             _ => &self.other,
         }
     }
@@ -198,6 +204,11 @@ impl HttpMetrics {
                 "1 once the snapshot's LSH bands have been decoded, by lake",
                 labels,
             ),
+            quarantined_tables: self.registry.gauge(
+                "gent_lake_quarantined_tables",
+                "Tables quarantined by a degraded open (checksum failures), by lake",
+                labels,
+            ),
         }
     }
 
@@ -206,6 +217,26 @@ impl HttpMetrics {
         self.registry.counter(
             "gent_lake_reloads_total",
             "Successful atomic snapshot hot-reloads, by lake",
+            &[("lake", lake)],
+        )
+    }
+
+    /// `gent_lake_ingests_total{lake=…}` — delta frames accepted through
+    /// `POST /admin/ingest`.
+    pub(crate) fn ingests(&self, lake: &str) -> Arc<Counter> {
+        self.registry.counter(
+            "gent_lake_ingests_total",
+            "Delta-frame ingests accepted and made live, by lake",
+            &[("lake", lake)],
+        )
+    }
+
+    /// `gent_lake_compactions_total{lake=…}` — frame logs folded into a
+    /// clean base (explicit `POST /admin/compact` or the ingest threshold).
+    pub(crate) fn lake_compactions(&self, lake: &str) -> Arc<Counter> {
+        self.registry.counter(
+            "gent_lake_compactions_total",
+            "Delta-frame logs folded into a clean base snapshot, by lake",
             &[("lake", lake)],
         )
     }
@@ -263,6 +294,7 @@ pub(crate) struct LakeGauges {
     pub(crate) tables_decoded: Arc<Gauge>,
     pub(crate) tables_total: Arc<Gauge>,
     pub(crate) lsh_decoded: Arc<Gauge>,
+    pub(crate) quarantined_tables: Arc<Gauge>,
 }
 
 /// Per-lake batch-reclaim instruments (see [`HttpMetrics::batch`]).
@@ -358,6 +390,12 @@ pub struct LakeService {
     lake_label: String,
     total_rows: u64,
     total_cols: u64,
+    /// Names of tables a degraded open quarantined (empty placeholders in
+    /// the lake). Requests naming one answer a structured `410
+    /// quarantined` instead of reclaiming against an empty stand-in.
+    quarantined: std::collections::HashSet<String>,
+    /// Delta frames the snapshot carried when this service was built.
+    n_frames: usize,
     started: Instant,
     served: AtomicU64,
     metrics: Arc<HttpMetrics>,
@@ -396,10 +434,24 @@ impl LakeService {
             lake_label: lake_label.into(),
             total_rows,
             total_cols,
+            quarantined: loaded.quarantined.iter().map(|q| q.name.clone()).collect(),
+            n_frames: loaded.n_frames,
             started: Instant::now(),
             served: AtomicU64::new(0),
             metrics,
         }
+    }
+
+    /// Names of the tables quarantined by a degraded open, sorted.
+    pub fn quarantined_tables(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.quarantined.iter().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Delta frames the snapshot carried when this service went live.
+    pub fn n_frames(&self) -> usize {
+        self.n_frames
     }
 
     /// A shareable handle to the same instruments, for the router.
@@ -509,6 +561,13 @@ impl LakeService {
                 // actually been materialized so far.
                 ("tables_decoded".into(), Json::Int(self.lake.tables_decoded() as i64)),
                 ("tables_total".into(), Json::Int(self.lake.len() as i64)),
+                // Durable-lake observability: the frame log's length and
+                // whatever a degraded open had to quarantine.
+                ("frames".into(), Json::Int(self.n_frames as i64)),
+                (
+                    "quarantined".into(),
+                    Json::Array(self.quarantined_tables().into_iter().map(Json::str).collect()),
+                ),
                 ("latency".into(), self.metrics.latency_json()),
             ])
             .render(),
@@ -534,6 +593,7 @@ impl LakeService {
         g.tables_decoded.set(self.lake.tables_decoded() as i64);
         g.tables_total.set(self.lake.len() as i64);
         g.lsh_decoded.set(i64::from(self.lsh.is_decoded()));
+        g.quarantined_tables.set(self.quarantined.len() as i64);
     }
 
     /// Refresh the shared uptime gauge from this service's start time.
@@ -556,7 +616,7 @@ impl LakeService {
         let cfg = effective_config(self.gen_t.config(), body)?;
         let result = self
             .run_reclaim(&source, cfg.as_ref(), None)
-            .map_err(|e| ApiError::new(422, "pipeline", e.to_string()))?;
+            .map_err(|e| ApiError::new(422, pipeline_error_kind(&e), e.to_string()))?;
         Ok(Response::ok(reclamation_json(source.name(), &result, cfg.as_ref()).render()))
     }
 
@@ -597,6 +657,16 @@ impl LakeService {
                 let name = name.as_str().ok_or_else(|| {
                     ApiError::new(400, "bad_json", "`source_name` must be a string")
                 })?;
+                if self.quarantined.contains(name) {
+                    return Err(ApiError::new(
+                        410,
+                        "quarantined",
+                        format!(
+                            "table `{name}` is quarantined: its snapshot section failed its \
+                             checksum; restore from a replica or run `gent lake fsck --repair`"
+                        ),
+                    ));
+                }
                 Cow::Borrowed(self.lake.get_by_name(name).ok_or_else(|| {
                     ApiError::new(404, "unknown_table", format!("lake has no table named `{name}`"))
                 })?)
@@ -857,6 +927,16 @@ pub(crate) fn reclamation_json(
 
 /// Decode and parse a request body as JSON, with the structured 400s every
 /// POST endpoint answers for non-UTF-8 or malformed bodies.
+/// The structured error kind for a failed reclamation: corrupt-index
+/// failures get their own kind so clients can tell data damage from a bad
+/// request.
+pub(crate) fn pipeline_error_kind(e: &GentError) -> &'static str {
+    match e {
+        GentError::IndexCorrupt(_) => "corrupt_snapshot",
+        _ => "pipeline",
+    }
+}
+
 pub(crate) fn parse_json_body(body: &[u8]) -> Result<Json, ApiError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| ApiError::new(400, "bad_json", "request body is not UTF-8"))?;

@@ -51,18 +51,33 @@
 //! validated against the bytes actually present.
 
 use crate::error::StoreError;
-use gent_table::binary::{BinReader, BinWriter};
+use gent_table::binary::{fold64, BinReader, BinWriter};
 
 /// Magic prefix of a lake snapshot file.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"GENTLAKE";
 
-/// Current container format version: v2, the zero-copy layout with a
-/// section-offset table between header and body.
-pub const SNAPSHOT_FORMAT_VERSION: u16 = 2;
+/// Current container format version: v3, the durable live-lake layout —
+/// per-section checksums in the directory (verified on first decode of
+/// each section instead of one O(file) pass at open) plus append-only
+/// delta frames after the body.
+pub const SNAPSHOT_FORMAT_VERSION: u16 = 3;
+
+/// The zero-copy layout with a section-offset table and one whole-file
+/// trailing checksum. Still decoded (and writable via
+/// `snapshot::save_v2` for the open-cost comparison bench), no longer
+/// the default.
+pub const SNAPSHOT_FORMAT_V2: u16 = 2;
 
 /// The legacy eager layout (no section directory). Still decoded, never
 /// written (except by tests pinning back-compatibility).
 pub const SNAPSHOT_FORMAT_V1: u16 = 1;
+
+/// Magic prefix of a v3 delta frame.
+pub const FRAME_MAGIC: &[u8; 8] = b"GENTFRM1";
+
+/// Commit marker sealing a v3 delta frame. A frame without its marker is
+/// a torn tail: recovery drops it (it was never acknowledged).
+pub const FRAME_COMMIT: &[u8; 8] = b"GENTCMT1";
 
 /// Header flag: the snapshot carries a serialized LSH Ensemble index.
 pub const FLAG_HAS_LSH: u16 = 1 << 0;
@@ -133,7 +148,10 @@ impl SnapshotHeader {
             )));
         }
         let version = r.get_u16().expect("length checked");
-        if version != SNAPSHOT_FORMAT_VERSION && version != SNAPSHOT_FORMAT_V1 {
+        if version != SNAPSHOT_FORMAT_VERSION
+            && version != SNAPSHOT_FORMAT_V2
+            && version != SNAPSHOT_FORMAT_V1
+        {
             return Err(StoreError::Version { found: version, supported: SNAPSHOT_FORMAT_VERSION });
         }
         let flags = r.get_u16().expect("length checked");
@@ -292,6 +310,170 @@ impl SectionDir {
     }
 }
 
+/// One v3 directory entry: where the section lives plus the fold64 of its
+/// bytes, verified on the section's *first decode* rather than in one
+/// whole-file pass at open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// The section's placement.
+    pub range: SectionRange,
+    /// fold64 of the section's bytes.
+    pub checksum: u64,
+}
+
+/// The v3 section directory: the v2 offset table with a per-entry
+/// checksum, sealed by a **meta checksum** (fold64 of header‖directory)
+/// so a flipped offset or checksum is caught before any view is built.
+/// Unlike v2 there is no whole-file trailer and the body need not reach
+/// the end of the file — append-only delta frames may follow it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionDirV3 {
+    /// The shared string table (checksum verified at open — the strtab is
+    /// decoded eagerly anyway).
+    pub strtab: SectionEntry,
+    /// The frozen inverted index. A strict open verifies the checksum on
+    /// the index's first posting lookup (the deferred thaw); a degraded
+    /// open verifies it eagerly, because quarantine filtering has to
+    /// materialize the posting arena anyway.
+    pub index: SectionEntry,
+    /// The LSH export; checksum verified on first [`crate::LshSlot`]
+    /// decode. `None` when the LSH flag is clear (serialized as zeros).
+    pub lsh: Option<SectionEntry>,
+    /// One columnar frame per table; each checksum is verified on the
+    /// table's first cell decode (`TableSlot::force`).
+    pub tables: Vec<SectionEntry>,
+}
+
+impl SectionDirV3 {
+    /// Encoded directory size for `n_tables` tables, **including** the
+    /// trailing meta checksum. `HEADER_LEN + encoded_len(n)` is where the
+    /// body starts.
+    pub fn encoded_len(n_tables: usize) -> usize {
+        24 * (3 + n_tables) + 8
+    }
+
+    /// Append the directory to `w` (fixed entries first, then tables),
+    /// then seal it with the meta checksum over everything written so far
+    /// — `w` must already hold the header and nothing else before it.
+    pub fn encode(&self, w: &mut BinWriter) {
+        let mut put = |e: &SectionEntry| {
+            w.put_u64(e.range.offset);
+            w.put_u64(e.range.len);
+            w.put_u64(e.checksum);
+        };
+        let zero = SectionEntry { range: SectionRange { offset: 0, len: 0 }, checksum: 0 };
+        put(&self.strtab);
+        put(&self.index);
+        put(&self.lsh.unwrap_or(zero));
+        for t in &self.tables {
+            put(t);
+        }
+        let meta = fold64(w.as_bytes());
+        w.put_u64(meta);
+    }
+
+    /// Decode and validate a v3 directory from `bytes` (the whole file).
+    /// Verifies the meta checksum over header‖directory, then applies the
+    /// same contiguous-tiling rule as v2 — except the body ends wherever
+    /// the last section does, not at the end of the file: the returned
+    /// `usize` is that body end, i.e. where delta frames begin.
+    pub fn decode(
+        bytes: &[u8],
+        n_tables: usize,
+        has_lsh: bool,
+    ) -> Result<(Self, usize), StoreError> {
+        let meta_end = HEADER_LEN + Self::encoded_len(n_tables);
+        if bytes.len() < meta_end {
+            return Err(StoreError::Corrupt(format!(
+                "file too short for a v3 directory ({} bytes, need {meta_end})",
+                bytes.len()
+            )));
+        }
+        let stored_meta =
+            u64::from_le_bytes(bytes[meta_end - 8..meta_end].try_into().expect("8 bytes"));
+        let computed_meta = fold64(&bytes[..meta_end - 8]);
+        if stored_meta != computed_meta {
+            return Err(StoreError::Corrupt(format!(
+                "directory meta checksum mismatch: stored {stored_meta:#018x}, \
+                 computed {computed_meta:#018x}"
+            )));
+        }
+        let body_start = meta_end as u64;
+        let body_cap = bytes.len() as u64;
+        let mut r = BinReader::new(&bytes[HEADER_LEN..meta_end - 8]);
+        let read_entry = |r: &mut BinReader<'_>| -> Result<(u64, u64, u64), StoreError> {
+            Ok((r.get_u64()?, r.get_u64()?, r.get_u64()?))
+        };
+        let check = |(offset, len, checksum): (u64, u64, u64),
+                     what: &str|
+         -> Result<SectionEntry, StoreError> {
+            let end = offset.checked_add(len).ok_or_else(|| {
+                StoreError::Corrupt(format!("{what} section {offset}+{len} overflows"))
+            })?;
+            if offset < body_start || end > body_cap {
+                return Err(StoreError::Corrupt(format!(
+                    "{what} section {offset}..{end} outside the file body \
+                         ({body_start}..{body_cap})"
+                )));
+            }
+            Ok(SectionEntry { range: SectionRange { offset, len }, checksum })
+        };
+        let strtab = check(read_entry(&mut r)?, "strtab")?;
+        let index = check(read_entry(&mut r)?, "index")?;
+        let lsh_raw = read_entry(&mut r)?;
+        let mut tables = Vec::with_capacity(n_tables);
+        for i in 0..n_tables {
+            tables.push(check(read_entry(&mut r)?, &format!("table {i}"))?);
+        }
+        let lsh = if has_lsh {
+            Some(check(lsh_raw, "lsh")?)
+        } else {
+            if lsh_raw != (0, 0, 0) {
+                return Err(StoreError::Corrupt(format!(
+                    "lsh directory entry {}+{} set but the LSH flag is clear",
+                    lsh_raw.0, lsh_raw.1
+                )));
+            }
+            None
+        };
+        // Contiguity: the sections tile the body exactly, in body order
+        // (strtab, tables, index, lsh); frames may follow the last one.
+        let mut cursor = body_start;
+        let mut advance = |e: &SectionEntry, what: &str| -> Result<(), StoreError> {
+            if e.range.offset != cursor {
+                return Err(StoreError::Corrupt(format!(
+                    "{what} section starts at {} but the previous section ends at {cursor}",
+                    e.range.offset
+                )));
+            }
+            cursor += e.range.len;
+            Ok(())
+        };
+        advance(&strtab, "strtab")?;
+        for (i, t) in tables.iter().enumerate() {
+            advance(t, &format!("table {i}"))?;
+        }
+        advance(&index, "index")?;
+        if let Some(l) = &lsh {
+            advance(l, "lsh")?;
+        }
+        Ok((SectionDirV3 { strtab, index, lsh, tables }, cursor as usize))
+    }
+}
+
+/// Verify one section's bytes against its directory entry. The error
+/// names the section so a quarantine report can carry the reason through.
+pub fn verify_section(bytes: &[u8], entry: &SectionEntry, what: &str) -> Result<(), StoreError> {
+    let computed = fold64(&bytes[entry.range.range()]);
+    if computed != entry.checksum {
+        return Err(StoreError::Corrupt(format!(
+            "{what} section checksum mismatch: stored {:#018x}, computed {computed:#018x}",
+            entry.checksum
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +521,37 @@ mod tests {
     #[test]
     fn short_file_rejected() {
         assert!(matches!(SnapshotHeader::decode(b"GENT"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn v3_dir_round_trips_and_meta_checksum_guards_it() {
+        let h = SnapshotHeader { n_tables: 2, n_lsh_columns: 0, flags: 0, ..sample() };
+        let body = HEADER_LEN as u64 + SectionDirV3::encoded_len(2) as u64;
+        let dir = SectionDirV3 {
+            strtab: SectionEntry { range: SectionRange { offset: body, len: 10 }, checksum: 0xAA },
+            tables: vec![
+                SectionEntry { range: SectionRange { offset: body + 10, len: 5 }, checksum: 1 },
+                SectionEntry { range: SectionRange { offset: body + 15, len: 7 }, checksum: 2 },
+            ],
+            index: SectionEntry {
+                range: SectionRange { offset: body + 22, len: 4 },
+                checksum: 0xBB,
+            },
+            lsh: None,
+        };
+        let mut w = BinWriter::new();
+        h.encode(&mut w);
+        dir.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes.resize(body as usize + 26 + 3, 0); // body + trailing frame bytes
+        let (decoded, body_end) = SectionDirV3::decode(&bytes, 2, false).unwrap();
+        assert_eq!(decoded, dir);
+        assert_eq!(body_end, body as usize + 26);
+
+        // Any flip inside header‖dir trips the meta checksum.
+        bytes[HEADER_LEN + 3] ^= 0x40;
+        let err = SectionDirV3::decode(&bytes, 2, false).unwrap_err();
+        assert!(err.to_string().contains("meta checksum"), "{err}");
     }
 
     /// Sections are not length-framed, so a reader must refuse flags it

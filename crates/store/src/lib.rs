@@ -40,17 +40,24 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod error;
 pub mod format;
+pub mod fsck;
 pub mod ingest;
 pub mod snapshot;
 pub mod source;
 pub(crate) mod telemetry;
 
+pub use delta::{append_tables, compact, frame_count, AppendOutcome};
 pub use error::StoreError;
-pub use format::{SectionDir, SectionRange, SnapshotHeader, SNAPSHOT_FORMAT_VERSION};
+pub use format::{
+    SectionDir, SectionDirV3, SectionEntry, SectionRange, SnapshotHeader, SNAPSHOT_FORMAT_V2,
+    SNAPSHOT_FORMAT_VERSION,
+};
+pub use fsck::{fsck, fsck_repair, FsckProblem, FsckReport};
 pub use ingest::{ingest_tables, IngestOptions, IngestedLake};
-pub use snapshot::{LoadedLake, LshSlot, SnapshotStat};
+pub use snapshot::{load_degraded, LoadedLake, LshSlot, QuarantinedTable, SnapshotStat};
 pub use source::{InMemory, LakeSource, SnapshotFile};
 
 /// Convenience: open just the [`gent_discovery::DataLake`] from a snapshot,

@@ -22,7 +22,7 @@ use std::ops::Range;
 use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
-use gent_discovery::lake::Posting;
+use gent_discovery::lake::{IndexThaw, Posting};
 use gent_discovery::{
     DataLake, FrozenIndex, LshColumnExport, LshConfig, LshEnsembleIndex, LshIndexExport,
     LshPartitionExport,
@@ -32,30 +32,51 @@ use gent_table::binary::{
     TableSlot,
 };
 use gent_table::view::{ByteView, LakeBuf, LeWord, WordView};
+use gent_table::{FxHashMap, Table, Value};
 
 use crate::error::StoreError;
 use crate::format::{
-    SectionDir, SectionRange, SnapshotHeader, FLAG_HAS_LSH, HEADER_LEN, SNAPSHOT_FORMAT_V1,
-    SNAPSHOT_FORMAT_VERSION, TRAILER_LEN,
+    verify_section, SectionDir, SectionDirV3, SectionEntry, SectionRange, SnapshotHeader,
+    FLAG_HAS_LSH, HEADER_LEN, SNAPSHOT_FORMAT_V1, SNAPSHOT_FORMAT_V2, SNAPSHOT_FORMAT_VERSION,
+    TRAILER_LEN,
 };
+
+/// A table the degraded open replaced with an empty placeholder because
+/// its bytes failed verification. The slot keeps its name (and schema,
+/// when the preamble survived) so the serve tier can answer lookups for
+/// it with a structured `410 quarantined` instead of a decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedTable {
+    /// Index of the quarantined slot in the lake.
+    pub table: usize,
+    /// The slot's name (recovered from the preamble, or synthesized).
+    pub name: String,
+    /// Why it was quarantined.
+    pub reason: String,
+}
 
 /// A lake loaded from a snapshot: the tables + inverted index, and a slot
 /// for the LSH index when the snapshot carries one.
 #[derive(Debug, Clone)]
 pub struct LoadedLake {
     /// The lake, ready for discovery (index already served from the
-    /// snapshot buffer; tables decode lazily for v2 snapshots).
+    /// snapshot buffer; tables decode lazily for v2+ snapshots).
     pub lake: DataLake,
-    /// The LSH index slot: present-but-undecoded for v2 snapshots with
+    /// The LSH index slot: present-but-undecoded for v2+ snapshots with
     /// bands, eager for in-memory builds and v1 snapshots.
     pub lsh: LshSlot,
+    /// Tables the degraded open quarantined (always empty for a normal
+    /// open, which errors instead).
+    pub quarantined: Vec<QuarantinedTable>,
+    /// Committed delta frames folded into this lake's overlay (v3 only).
+    pub n_frames: usize,
 }
 
 impl LoadedLake {
     /// Wrap an already-materialized lake (+ optional LSH index) — the
     /// in-memory ingest path.
     pub fn eager(lake: DataLake, lsh: Option<LshEnsembleIndex>) -> Self {
-        LoadedLake { lake, lsh: LshSlot::eager(lsh) }
+        LoadedLake { lake, lsh: LshSlot::eager(lsh), quarantined: Vec::new(), n_frames: 0 }
     }
 }
 
@@ -69,6 +90,9 @@ impl LoadedLake {
 #[derive(Debug, Clone)]
 pub struct LshSlot {
     lazy: Option<(LakeBuf, Range<usize>)>,
+    /// v3 deferred integrity: the section's expected fold64, verified
+    /// before the first decode (v2 verified the whole file at open).
+    checksum: Option<u64>,
     n_columns: u32,
     cell: OnceLock<Result<Option<LshEnsembleIndex>, String>>,
 }
@@ -77,14 +101,25 @@ impl LshSlot {
     /// Wrap an already-built (or absent) index.
     pub fn eager(lsh: Option<LshEnsembleIndex>) -> Self {
         let n_columns = lsh.as_ref().map_or(0, |l| l.n_columns() as u32);
-        let slot = LshSlot { lazy: None, n_columns, cell: OnceLock::new() };
+        let slot = LshSlot { lazy: None, checksum: None, n_columns, cell: OnceLock::new() };
         let _ = slot.cell.set(Ok(lsh));
         slot
     }
 
     /// A lazy slot over the band section of an opened snapshot.
     fn lazy(buf: LakeBuf, range: Range<usize>, n_columns: u32) -> Self {
-        LshSlot { lazy: Some((buf, range)), n_columns, cell: OnceLock::new() }
+        LshSlot { lazy: Some((buf, range)), checksum: None, n_columns, cell: OnceLock::new() }
+    }
+
+    /// A lazy slot that verifies `checksum` over its section before the
+    /// first decode (the v3 per-section contract).
+    fn lazy_checked(buf: LakeBuf, range: Range<usize>, n_columns: u32, checksum: u64) -> Self {
+        LshSlot {
+            lazy: Some((buf, range)),
+            checksum: Some(checksum),
+            n_columns,
+            cell: OnceLock::new(),
+        }
     }
 
     /// Columns summarised by the bands (0 when absent) — available without
@@ -114,6 +149,15 @@ impl LshSlot {
         let Some((buf, range)) = &self.lazy else {
             return Ok(None); // eager slot: cell was pre-set, not reachable
         };
+        if let Some(stored) = self.checksum {
+            let computed = fold64(buf.slice(range.clone()));
+            if computed != stored {
+                return Err(format!(
+                    "LSH section checksum mismatch: stored {stored:#018x}, \
+                     computed {computed:#018x}"
+                ));
+            }
+        }
         crate::telemetry::instruments().lsh_decodes.inc();
         let mut r = BinReader::new(buf.slice(range.clone()));
         let export = decode_lsh(&mut r).map_err(|e| e.to_string())?;
@@ -158,8 +202,11 @@ fn encode_body(
 ) -> Result<EncodedBody, StoreError> {
     // A lazily-opened lake materializes every remaining slot up front so
     // any (checksum-defeating) cell corruption surfaces as an error here
-    // rather than a panic mid-encode.
+    // rather than a panic mid-encode; a deferred index likewise, so the
+    // header's distinct-value count is exact and the re-freeze below
+    // cannot trip on unverified bytes.
     lake.decode_all(1)?;
+    lake.ensure_index().map_err(StoreError::Corrupt)?;
     let lsh_export = lsh.map(|i| i.export());
     let header = SnapshotHeader {
         version,
@@ -215,10 +262,12 @@ fn encode_body(
 }
 
 /// Serialize `lake` (and optionally a built LSH index) to `path` in the
-/// current (v2) format. The write is atomic: bytes are assembled in memory,
-/// written to a temporary sibling file, and renamed over `path`, so a crash
-/// mid-save can neither leave a half-written snapshot nor destroy the
-/// previous one.
+/// current (v3) format: per-section checksums in the directory, no
+/// whole-file trailer, no delta frames (a freshly saved base is compact
+/// by construction). The write is atomic: bytes are assembled in memory,
+/// written to a temporary sibling file, and renamed over `path`, so a
+/// crash mid-save can neither leave a half-written snapshot nor destroy
+/// the previous one.
 ///
 /// # Examples
 ///
@@ -239,6 +288,48 @@ pub fn save(
     lsh: Option<&LshEnsembleIndex>,
 ) -> Result<(), StoreError> {
     let body = encode_body(lake, lsh, SNAPSHOT_FORMAT_VERSION)?;
+
+    let mut w = BinWriter::new();
+    body.header.encode(&mut w);
+    // Section directory: absolute offsets, contiguous, in body order,
+    // each entry carrying the fold64 of its section.
+    let mut offset = (HEADER_LEN + SectionDirV3::encoded_len(body.tables.len())) as u64;
+    let mut claim = |section: &[u8]| {
+        let e = SectionEntry {
+            range: SectionRange { offset, len: section.len() as u64 },
+            checksum: fold64(section),
+        };
+        offset += section.len() as u64;
+        e
+    };
+    let dir = SectionDirV3 {
+        strtab: claim(&body.strtab),
+        tables: body.tables.iter().map(|t| claim(t)).collect(),
+        index: claim(&body.index),
+        lsh: body.lsh.as_deref().map(&mut claim),
+    };
+    dir.encode(&mut w); // seals header‖dir with the meta checksum
+    w.put_raw(&body.strtab);
+    for t in &body.tables {
+        w.put_raw(t);
+    }
+    w.put_raw(&body.index);
+    if let Some(l) = &body.lsh {
+        w.put_raw(l);
+    }
+    write_atomic(path, w.as_bytes())
+}
+
+/// Serialize in the **v2 layout** (section directory without per-section
+/// checksums, one whole-file trailing fold64). Kept so v2 back-compat is
+/// a tested fact and so the `snapshot_open_v3` bench can measure exactly
+/// what the per-section checksums buy; production writes use [`save`].
+pub fn save_v2(
+    path: &Path,
+    lake: &DataLake,
+    lsh: Option<&LshEnsembleIndex>,
+) -> Result<(), StoreError> {
+    let body = encode_body(lake, lsh, SNAPSHOT_FORMAT_V2)?;
 
     let mut w = BinWriter::new();
     body.header.encode(&mut w);
@@ -335,7 +426,7 @@ fn write_atomic_inner(path: &Path, tmp: &Path, bytes: &[u8]) -> Result<(), Store
 /// Fsync the directory holding `path` so the rename that just landed there
 /// is durable. Directory handles can only be fsynced on unix; elsewhere the
 /// rename's atomicity is the best available guarantee.
-fn sync_parent_dir(path: &Path) -> Result<(), StoreError> {
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<(), StoreError> {
     #[cfg(unix)]
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
         let dir = fs::File::open(parent).map_err(|e| StoreError::io(parent, e))?;
@@ -344,33 +435,68 @@ fn sync_parent_dir(path: &Path) -> Result<(), StoreError> {
     Ok(())
 }
 
-/// Load a snapshot written by [`save`] (or a legacy v1 file). Verifies
-/// magic, version and the whole-file checksum, then hands v2 files to the
-/// zero-copy lazy loader and v1 files to the eager decoder.
+/// Load a snapshot written by [`save`] (or a legacy v1/v2 file). v3 files
+/// verify the directory's meta checksum plus the strtab and index section
+/// checksums (sections the open decodes anyway) and defer table/LSH
+/// verification to first decode; v1/v2 files verify their whole-file
+/// checksum as they always did.
 pub fn load(path: &Path) -> Result<LoadedLake, StoreError> {
+    load_with(path, false)
+}
+
+/// [`load`] in **degraded** mode: table sections (base or frame) that
+/// fail verification become empty quarantined placeholders instead of
+/// errors — the lake keeps serving everything else, and the
+/// [`LoadedLake::quarantined`] report says what was lost. Damage to the
+/// load-bearing sections (header, directory, strtab, index) still fails:
+/// there is no lake to degrade to without them.
+pub fn load_degraded(path: &Path) -> Result<LoadedLake, StoreError> {
+    load_with(path, true)
+}
+
+fn load_with(path: &Path, degraded: bool) -> Result<LoadedLake, StoreError> {
     if let Some(e) = gent_faults::fail_io!("store.load.read") {
         return Err(StoreError::io(path, e));
     }
     let bytes = fs::read(path).map_err(|e| StoreError::io(path, e))?;
-    load_buf(LakeBuf::new(bytes))
+    load_buf_with(LakeBuf::new(bytes), degraded)
 }
 
 /// Open a snapshot already in memory — what [`load`] does after its one
 /// `read`. Exposed so tests and benches can exercise the open path (and
 /// hostile inputs) without round-tripping the filesystem.
 pub fn load_buf(buf: LakeBuf) -> Result<LoadedLake, StoreError> {
+    load_buf_with(buf, false)
+}
+
+/// [`load_buf`] in degraded (quarantining) mode — see [`load_degraded`].
+pub fn load_buf_degraded(buf: LakeBuf) -> Result<LoadedLake, StoreError> {
+    load_buf_with(buf, true)
+}
+
+fn load_buf_with(buf: LakeBuf, degraded: bool) -> Result<LoadedLake, StoreError> {
     let ins = crate::telemetry::instruments();
     let _span = gent_obs::span_timed("snapshot_open", ins.open_duration.clone());
     ins.opens.inc();
     ins.open_bytes.add(buf.len() as u64);
     let bytes = buf.as_slice();
-    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+    if bytes.len() < HEADER_LEN {
         return Err(StoreError::Corrupt(format!(
             "file is {} bytes — too short for a snapshot",
             bytes.len()
         )));
     }
     let header = SnapshotHeader::decode(bytes)?;
+    if header.version == SNAPSHOT_FORMAT_VERSION {
+        return load_v3(buf, &header, degraded);
+    }
+    // v1/v2: one whole-file checksum ahead of the trailer.
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(StoreError::Corrupt(format!(
+            "file is {} bytes — too short for a snapshot",
+            bytes.len()
+        )));
+    }
     let body_end = bytes.len() - TRAILER_LEN;
     let mut tail = BinReader::new(&bytes[body_end..]);
     let stored = tail.get_u64().expect("trailer length checked");
@@ -382,9 +508,356 @@ pub fn load_buf(buf: LakeBuf) -> Result<LoadedLake, StoreError> {
     }
     match header.version {
         SNAPSHOT_FORMAT_V1 => load_v1(&buf, &header),
-        SNAPSHOT_FORMAT_VERSION => load_v2(buf, &header),
+        SNAPSHOT_FORMAT_V2 => load_v2(buf, &header),
         v => Err(StoreError::Version { found: v, supported: SNAPSHOT_FORMAT_VERSION }),
     }
+}
+
+/// The v3 open: like [`load_v2`] but *without* the O(file) checksum pass.
+/// The directory's meta checksum plus the strtab and index section
+/// checksums are verified here (those sections are decoded eagerly
+/// anyway); each table and the LSH bands are verified on their first
+/// decode. Delta frames after the body are scanned, checksum-verified
+/// (they are small), and folded into the lake as an index overlay; a torn
+/// tail frame is dropped with a structured warning.
+fn load_v3(
+    buf: LakeBuf,
+    header: &SnapshotHeader,
+    degraded: bool,
+) -> Result<LoadedLake, StoreError> {
+    let n_tables = header.n_tables as usize;
+    let (dir, body_end) = SectionDirV3::decode(buf.as_slice(), n_tables, header.has_lsh())?;
+
+    // String table: load-bearing for every slot, so verified and decoded
+    // now, even degraded — without it there is no lake to degrade to.
+    verify_section(buf.as_slice(), &dir.strtab, "strtab")?;
+    let mut r = BinReader::new(buf.slice(dir.strtab.range.range()));
+    let strings: Arc<[Arc<str>]> = decode_string_table(&mut r)?.into();
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the string table",
+            r.remaining()
+        )));
+    }
+
+    // Base tables: lazy slots whose section checksum is verified on first
+    // force (normal), or verified *now* with failures quarantined
+    // (degraded).
+    let mut slots = Vec::with_capacity(n_tables);
+    let mut quarantined: Vec<QuarantinedTable> = Vec::new();
+    for (i, t) in dir.tables.iter().enumerate() {
+        if !degraded {
+            slots.push(TableSlot::lazy_checked(
+                buf.clone(),
+                t.range.range(),
+                strings.clone(),
+                t.checksum,
+            )?);
+            continue;
+        }
+        let verified = verify_section(buf.as_slice(), t, &format!("table {i}"))
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                TableSlot::lazy(buf.clone(), t.range.range(), strings.clone())
+                    .map_err(|e| e.to_string())
+            });
+        match verified {
+            Ok(slot) => slots.push(slot),
+            Err(reason) => {
+                let (name, slot) = placeholder_slot(&buf, t.range.range(), i);
+                quarantined.push(QuarantinedTable { table: i, name, reason });
+                slots.push(slot);
+            }
+        }
+    }
+    if quarantined.is_empty() {
+        let (rows, cols) = slots
+            .iter()
+            .fold((0u64, 0u64), |(r, c), s| (r + s.n_rows() as u64, c + s.n_cols() as u64));
+        if rows != header.total_rows || cols != header.total_cols {
+            return Err(StoreError::Corrupt(format!(
+                "table preambles sum to {rows} rows / {cols} columns, header promised {} / {}",
+                header.total_rows, header.total_cols
+            )));
+        }
+    }
+
+    // Frames: scanned and checksum-verified eagerly (they are the small,
+    // recently-appended minority of the file); their tables become lazy
+    // slots over the already-verified bytes, their index entries an
+    // overlay over the frozen base.
+    let scan = crate::delta::scan_frames(buf.as_slice(), body_end, header.n_tables, degraded)?;
+    let mut delta: FxHashMap<Value, Vec<Posting>> = FxHashMap::default();
+    for (k, frame) in scan.frames.iter().enumerate() {
+        if let Some(reason) = &frame.corrupt {
+            for (j, range) in frame.tables.iter().enumerate() {
+                let idx = frame.first_table as usize + j;
+                let (name, slot) = placeholder_slot(&buf, range.clone(), idx);
+                quarantined.push(QuarantinedTable {
+                    table: idx,
+                    name,
+                    reason: format!("frame {k}: {reason}"),
+                });
+                slots.push(slot);
+            }
+            continue;
+        }
+        for (j, range) in frame.tables.iter().enumerate() {
+            let idx = frame.first_table as usize + j;
+            match TableSlot::lazy(buf.clone(), range.clone(), frame.strings.clone()) {
+                Ok(slot) => slots.push(slot),
+                Err(e) if degraded => {
+                    let (name, slot) = placeholder_slot(&buf, range.clone(), idx);
+                    quarantined.push(QuarantinedTable {
+                        table: idx,
+                        name,
+                        reason: format!("frame {k}: {e}"),
+                    });
+                    slots.push(slot);
+                }
+                Err(e) => return Err(StoreError::Corrupt(format!("frame {k} table {j}: {e}"))),
+            }
+        }
+        for (v, postings) in &frame.entries {
+            for p in postings {
+                let n_cols = slots.get(p.table as usize).map(|s| s.n_cols() as u16).unwrap_or(0);
+                if p.column >= n_cols {
+                    return Err(StoreError::Corrupt(format!(
+                        "frame {k} posting references column {} of table {} \
+                         ({n_cols} columns)",
+                        p.column, p.table
+                    )));
+                }
+            }
+            delta.entry(v.clone()).or_default().extend(postings.iter().copied());
+        }
+    }
+    if let Some(at) = scan.torn_tail {
+        crate::telemetry::instruments().torn_tails.inc();
+        gent_obs::log(
+            gent_obs::Level::Warn,
+            "gent_store::snapshot",
+            "torn tail frame dropped at open",
+            &[
+                ("offset", gent_obs::Value::from(at as u64)),
+                ("file_len", gent_obs::Value::from(buf.len() as u64)),
+            ],
+        );
+    }
+    if let Some(reason) = &scan.dropped {
+        gent_obs::log(
+            gent_obs::Level::Warn,
+            "gent_store::snapshot",
+            "unscannable frame region dropped in degraded open",
+            &[("reason", gent_obs::Value::from(reason.as_str()))],
+        );
+    }
+
+    // Quarantined frame tables contributed no delta entries (the scanner
+    // clears them), so the overlay needs no filtering here.
+    let lsh = match dir.lsh {
+        Some(section) => {
+            if degraded && verify_section(buf.as_slice(), &section, "lsh").is_err() {
+                gent_obs::log(
+                    gent_obs::Level::Warn,
+                    "gent_store::snapshot",
+                    "corrupt LSH section dropped in degraded open",
+                    &[],
+                );
+                LshSlot::eager(None)
+            } else {
+                LshSlot::lazy_checked(
+                    buf.clone(),
+                    section.range.range(),
+                    header.n_lsh_columns,
+                    section.checksum,
+                )
+            }
+        }
+        None => LshSlot::eager(None),
+    };
+    let n_frames = scan.frames.len();
+
+    // Index, strict open: nothing is verified or materialized here. The
+    // directory entry carries the section's own fold64, so the first
+    // posting lookup (or an explicit [`DataLake::ensure_index`]) verifies
+    // the bytes, anchors the views zero-copy and zips the posting arena
+    // *then* — open cost stops scaling with index bytes, which is the
+    // point of v3.
+    if !degraded {
+        debug_assert!(quarantined.is_empty(), "strict opens never quarantine");
+        let n_cols: Vec<u16> = slots.iter().map(|s| s.n_cols() as u16).collect();
+        let entry = dir.index;
+        let n_entries = header.n_index_entries;
+        let thaw_buf = buf.clone();
+        let thaw: IndexThaw = Arc::new(move || {
+            let err = |e: StoreError| e.to_string();
+            verify_section(thaw_buf.as_slice(), &entry, "index").map_err(err)?;
+            let raw = decode_index_views(&thaw_buf, &entry, n_entries).map_err(err)?;
+            let arena =
+                build_arena(&raw.arena_tables, &raw.arena_cols, |ti| n_cols.get(ti).copied())
+                    .map_err(err)?;
+            FrozenIndex::from_views(
+                raw.buckets,
+                raw.hashes,
+                raw.value_offsets,
+                raw.blob,
+                raw.posting_offsets,
+                arena,
+            )
+        });
+        let lake =
+            DataLake::from_slots_deferred(slots, thaw, header.n_index_entries as usize, delta);
+        return Ok(LoadedLake { lake, lsh, quarantined, n_frames });
+    }
+
+    // Degraded open: materialized (and verified) now — quarantined
+    // postings must be filtered out, and the repair path wants index
+    // damage surfaced immediately (there is no lake to degrade to without
+    // an index).
+    verify_section(buf.as_slice(), &dir.index, "index")?;
+    let IndexViews {
+        buckets,
+        hashes,
+        value_offsets,
+        blob,
+        posting_offsets,
+        arena_tables,
+        arena_cols,
+    } = decode_index_views(&buf, &dir.index, header.n_index_entries)?;
+    let frozen = if quarantined.is_empty() {
+        let arena =
+            build_arena(&arena_tables, &arena_cols, |ti| slots.get(ti).map(|s| s.n_cols() as u16))?;
+        FrozenIndex::from_views(buckets, hashes, value_offsets, blob, posting_offsets, arena)
+            .map_err(StoreError::Corrupt)?
+    } else {
+        // Quarantined tables must not be discoverable: drop their postings
+        // and rebuild the offsets (owned — the degraded open trades the
+        // zero-copy arena for a consistent index).
+        let bad: std::collections::HashSet<u32> =
+            quarantined.iter().map(|q| q.table as u32).collect();
+        let n = hashes.len();
+        if posting_offsets.len() != n + 1
+            || posting_offsets.get(n) as usize != arena_tables.len()
+            || arena_tables.len() != arena_cols.len()
+        {
+            return Err(StoreError::Corrupt("posting offsets do not span the arena".into()));
+        }
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        let mut arena = Vec::with_capacity(arena_tables.len());
+        new_offsets.push(0u32);
+        for i in 0..n {
+            let (start, end) =
+                (posting_offsets.get(i) as usize, posting_offsets.get(i + 1) as usize);
+            if start > end || end > arena_tables.len() {
+                return Err(StoreError::Corrupt("posting offsets not monotone".into()));
+            }
+            for j in start..end {
+                let (table, column) = (arena_tables[j], arena_cols[j]);
+                if bad.contains(&table) {
+                    continue;
+                }
+                match slots.get(table as usize).map(|s| s.n_cols() as u16) {
+                    Some(nc) if column < nc => arena.push(Posting { table, column }),
+                    _ => {
+                        return Err(StoreError::Corrupt(format!(
+                            "posting references column {column} of table {table}"
+                        )))
+                    }
+                }
+            }
+            new_offsets.push(arena.len() as u32);
+        }
+        FrozenIndex::from_raw_parts(
+            buckets.to_vec(),
+            hashes.to_vec(),
+            value_offsets.to_vec(),
+            blob.to_vec(),
+            new_offsets,
+            arena,
+        )
+        .map_err(StoreError::Corrupt)?
+    };
+
+    let lake = DataLake::from_slots_with_delta(slots, frozen, delta);
+    Ok(LoadedLake { lake, lsh, quarantined, n_frames })
+}
+
+/// The index section's raw parts: zero-copy views anchored in the
+/// snapshot buffer plus the copied struct-of-arrays posting encoding.
+/// Shared by the degraded (eager) open and the strict open's deferred
+/// thaw.
+struct IndexViews {
+    buckets: WordView<u32>,
+    hashes: WordView<u64>,
+    value_offsets: WordView<u32>,
+    blob: ByteView,
+    posting_offsets: WordView<u32>,
+    arena_tables: Vec<u32>,
+    arena_cols: Vec<u16>,
+}
+
+fn decode_index_views(
+    buf: &LakeBuf,
+    entry: &SectionEntry,
+    n_index_entries: u64,
+) -> Result<IndexViews, StoreError> {
+    let base = entry.range.offset as usize;
+    let mut r = BinReader::new(buf.slice(entry.range.range()));
+    let buckets = read_view::<u32>(&mut r, buf, base)?;
+    let hashes = read_view::<u64>(&mut r, buf, base)?;
+    if hashes.len() as u64 != n_index_entries {
+        return Err(StoreError::Corrupt(format!(
+            "index has {} entries, header promised {n_index_entries}",
+            hashes.len(),
+        )));
+    }
+    let value_offsets = read_view::<u32>(&mut r, buf, base)?;
+    let blob_len = r.get_u64()? as usize;
+    let blob_start = base + r.position();
+    r.take(blob_len)?;
+    let blob = ByteView::view(buf.clone(), blob_start..blob_start + blob_len)
+        .map_err(StoreError::Corrupt)?;
+    let posting_offsets = read_view::<u32>(&mut r, buf, base)?;
+    let arena_tables = r.get_u32_array()?;
+    let arena_cols = r.get_u16_array()?;
+    if r.remaining() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after the index section",
+            r.remaining()
+        )));
+    }
+    Ok(IndexViews {
+        buckets,
+        hashes,
+        value_offsets,
+        blob,
+        posting_offsets,
+        arena_tables,
+        arena_cols,
+    })
+}
+
+/// An empty stand-in for a quarantined table: keeps the name and schema
+/// when the preamble survives (so name-routed requests can answer `410
+/// quarantined` and postings keep validating), synthesizes them when it
+/// does not.
+fn placeholder_slot(buf: &LakeBuf, range: Range<usize>, index: usize) -> (String, TableSlot) {
+    let preamble = (range.start <= range.end && range.end <= buf.len())
+        .then(|| {
+            let mut r = BinReader::new(buf.slice(range));
+            gent_table::binary::decode_table_preamble(&mut r).ok()
+        })
+        .flatten();
+    if let Some(p) = preamble {
+        if let Ok(t) = Table::from_rows(p.name.clone(), p.schema, vec![]) {
+            return (p.name, TableSlot::eager(t));
+        }
+    }
+    let name = format!("__quarantined_{index}");
+    let table = Table::build(&name, &["_quarantined"], &[], vec![])
+        .expect("one-column empty table is always buildable");
+    (name.clone(), TableSlot::eager(table))
 }
 
 /// The zero-copy open: build views into `buf`, decode only preambles and
@@ -468,7 +941,12 @@ fn load_v2(buf: LakeBuf, header: &SnapshotHeader) -> Result<LoadedLake, StoreErr
         None => LshSlot::eager(None),
     };
 
-    Ok(LoadedLake { lake: DataLake::from_slots(slots, frozen), lsh })
+    Ok(LoadedLake {
+        lake: DataLake::from_slots(slots, frozen),
+        lsh,
+        quarantined: Vec::new(),
+        n_frames: 0,
+    })
 }
 
 /// The legacy eager decoder for v1 files (no section directory: sections
@@ -536,7 +1014,12 @@ fn load_v1(buf: &LakeBuf, header: &SnapshotHeader) -> Result<LoadedLake, StoreEr
         )));
     }
 
-    Ok(LoadedLake { lake: DataLake::from_frozen(tables, frozen), lsh: LshSlot::eager(lsh) })
+    Ok(LoadedLake {
+        lake: DataLake::from_frozen(tables, frozen),
+        lsh: LshSlot::eager(lsh),
+        quarantined: Vec::new(),
+        n_frames: 0,
+    })
 }
 
 /// Zip the struct-of-arrays posting encoding back into `Posting`s,
@@ -871,14 +1354,25 @@ mod tests {
     }
 
     #[test]
-    fn corruption_detected_on_load() {
+    fn corruption_detected_on_first_touch() {
         let path = scratch("corrupt.gentlake");
         save(&path, &lake(), None).unwrap();
         let mut bytes = fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x40;
         fs::write(&path, &bytes).unwrap();
-        assert!(matches!(load(&path), Err(StoreError::Corrupt(_))));
+        // v3 verifies per section, on first decode: the open itself may
+        // succeed, but forcing everything it deferred must surface the
+        // flip as a structured error — corrupt bytes are never served.
+        let surfaced = match load(&path) {
+            Err(e) => matches!(e, StoreError::Corrupt(_)),
+            Ok(loaded) => {
+                loaded.lake.decode_all(1).is_err()
+                    || loaded.lake.ensure_index().is_err()
+                    || loaded.lsh.force().is_err()
+            }
+        };
+        assert!(surfaced, "a flipped byte must fail a fully forced open");
     }
 
     #[test]

@@ -21,6 +21,15 @@ pub(crate) struct Instruments {
     /// (a [`crate::LshSlot::force`] that hits the memoized cell does not
     /// count).
     pub lsh_decodes: Arc<Counter>,
+    /// `gent_store_delta_appends_total` — delta frames appended to v3
+    /// snapshots by this process.
+    pub delta_appends: Arc<Counter>,
+    /// `gent_store_torn_tails_recovered_total` — torn (uncommitted) tail
+    /// frames detected and dropped during open or append recovery.
+    pub torn_tails: Arc<Counter>,
+    /// `gent_store_compactions_total` — delta frames folded back into a
+    /// clean base file.
+    pub compactions: Arc<Counter>,
 }
 
 /// The process-wide instrument set (registered on first use).
@@ -48,6 +57,21 @@ pub(crate) fn instruments() -> &'static Instruments {
             lsh_decodes: reg.counter(
                 "gent_store_lsh_decodes_total",
                 "LSH band sections decoded (memoized forces not counted)",
+                &[],
+            ),
+            delta_appends: reg.counter(
+                "gent_store_delta_appends_total",
+                "Delta frames appended to v3 snapshots",
+                &[],
+            ),
+            torn_tails: reg.counter(
+                "gent_store_torn_tails_recovered_total",
+                "Torn tail frames detected and dropped during recovery",
+                &[],
+            ),
+            compactions: reg.counter(
+                "gent_store_compactions_total",
+                "Delta frames folded back into a clean base snapshot",
                 &[],
             ),
         }

@@ -1,5 +1,9 @@
 //! Hostile-snapshot hardening for the zero-copy (v2) open path.
 //!
+//! Pinned to the v2 writer ([`snapshot::save_v2`]) so the retained v2
+//! decoder keeps its hostile coverage now that [`snapshot::save`] writes
+//! v3; the v3 open path has its own suite in `hostile_snapshot_v3.rs`.
+//!
 //! Since format v2, slices of the snapshot buffer outlive decode: the
 //! frozen index arrays are served as views and table cells decode lazily,
 //! so a corrupt *offset* is more dangerous than a corrupt *cell* — it
@@ -45,7 +49,7 @@ fn snapshot_bytes() -> Vec<u8> {
         std::process::id(),
         std::thread::current().id()
     ));
-    snapshot::save(&path, &lake, Some(&lsh)).expect("save");
+    snapshot::save_v2(&path, &lake, Some(&lsh)).expect("save");
     let bytes = std::fs::read(&path).expect("read back");
     let _ = std::fs::remove_file(&path);
     bytes

@@ -769,6 +769,11 @@ struct LazyCells {
     cells: Range<usize>,
     /// The snapshot-wide interned string table, shared by every slot.
     strings: Arc<[Arc<str>]>,
+    /// v3 per-section integrity: the full section range (preamble + cells)
+    /// and its expected [`fold64`], verified once before the first cell
+    /// decode. `None` for v2 slots, whose file carried a whole-file
+    /// checksum verified at open.
+    check: Option<(Range<usize>, u64)>,
 }
 
 impl TableSlot {
@@ -809,9 +814,30 @@ impl TableSlot {
             name: p.name,
             schema: p.schema,
             n_rows: p.n_rows,
-            lazy: Some(LazyCells { buf, cells, strings }),
+            lazy: Some(LazyCells { buf, cells, strings, check: None }),
             cell: OnceLock::new(),
         })
+    }
+
+    /// [`TableSlot::lazy`] plus a deferred integrity check: `checksum` is
+    /// the expected [`fold64`] of the *whole* `range` (preamble + cells),
+    /// verified once before the first cell decode. A corrupted section
+    /// surfaces as a structured decode error at first touch — the v3
+    /// snapshot's per-section replacement for v2's O(file) open-time pass.
+    /// (The preamble is decoded here, before verification: its decoder is
+    /// total, and the cross-checks at open plus the checksum at first
+    /// force bound what unverified preamble bytes can do.)
+    pub fn lazy_checked(
+        buf: LakeBuf,
+        range: Range<usize>,
+        strings: Arc<[Arc<str>]>,
+        checksum: u64,
+    ) -> Result<Self, TableError> {
+        let mut slot = Self::lazy(buf, range.clone(), strings)?;
+        if let Some(lazy) = slot.lazy.as_mut() {
+            lazy.check = Some((range, checksum));
+        }
+        Ok(slot)
     }
 
     /// Current table name (no decode).
@@ -874,6 +900,14 @@ impl TableSlot {
             .lazy
             .as_ref()
             .ok_or_else(|| TableError::Binary("eager slot holds no table".into()))?;
+        if let Some((section, stored)) = &lazy.check {
+            let computed = fold64(lazy.buf.slice(section.clone()));
+            if computed != *stored {
+                return Err(TableError::Binary(format!(
+                    "section checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )));
+            }
+        }
         let mut r = BinReader::new(lazy.buf.slice(lazy.cells.clone()));
         let rows = decode_table_cells(&mut r, &self.schema, self.n_rows, &lazy.strings)?;
         if r.remaining() != 0 {

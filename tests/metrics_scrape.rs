@@ -142,6 +142,7 @@ fn metrics_endpoint_survives_the_strict_parser() {
         "gent_lake_tables_decoded",
         "gent_lake_tables_total",
         "gent_lake_lsh_decoded",
+        "gent_lake_quarantined_tables",
         "gent_uptime_seconds",
     ])
     .unwrap_or_else(|e| panic!("{e}\n--- exposition ---\n{text}"));
@@ -173,11 +174,85 @@ fn metrics_endpoint_survives_the_strict_parser() {
         exp.value("gent_lake_tables_decoded", &[("lake", "default")]).is_some_and(|v| v >= 1.0),
         "the reclaim decoded at least one table (per-lake labelled series)"
     );
+    assert_eq!(
+        exp.value("gent_lake_quarantined_tables", &[("lake", "default")]),
+        Some(0.0),
+        "a cleanly opened lake quarantines nothing"
+    );
 
     // And the scrape is traced like any other request.
     assert!(
         head.lines().any(|l| l.to_ascii_lowercase().starts_with("x-request-id:")),
         "/metrics must carry a request ID: {head}"
+    );
+
+    handle.stop();
+    runner.join().unwrap().expect("server run");
+}
+
+/// A daemon booted `--degraded` over a snapshot with one corrupt table
+/// section: the quarantine gauge counts it, its lookups answer a
+/// structured 410, and every healthy table keeps serving.
+#[test]
+fn degraded_daemon_reports_quarantine_and_keeps_serving() {
+    use gen_t::serve::Router;
+    use gen_t::table::{Table, Value as V};
+
+    let snap = scratch("degraded.gentlake");
+    let rows = |tag: &str| (0..12).map(|i| vec![V::Int(i), V::str(format!("{tag}_{i}"))]).collect();
+    let lake = gen_t::discovery::DataLake::from_tables(vec![
+        Table::build("doomed", &["id", "val"], &["id"], rows("doomed")).unwrap(),
+        Table::build("healthy", &["id", "val"], &["id"], rows("healthy")).unwrap(),
+    ]);
+    gen_t::store::snapshot::save(&snap, &lake, None).expect("save");
+
+    // Flip a byte in the middle of `doomed`'s section (tables serialize in
+    // lake order), leaving everything else intact.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let header = gen_t::store::snapshot::stat(&snap).unwrap().header;
+    let (dir, _) =
+        gen_t::store::SectionDirV3::decode(&bytes, header.n_tables as usize, header.has_lsh())
+            .unwrap();
+    let t0 = &dir.tables[0].range;
+    bytes[(t0.offset + t0.len / 2) as usize] ^= 0x20;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let mut builder = Router::builder(GenTConfig::default());
+    builder.set_degraded(true);
+    builder.add_snapshot("deg", &snap).expect("degraded boot");
+    let cfg = ServeConfig { addr: "127.0.0.1:0".into(), threads: 2, ..ServeConfig::default() };
+    let server = Server::bind_router(&cfg, builder.build().unwrap()).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle().expect("handle");
+    let runner = std::thread::spawn(move || server.run());
+
+    // The quarantined table answers a structured 410; the healthy one 200.
+    let (status, _, body) =
+        http(addr, "POST", "/reclaim", r#"{"source_name": "doomed", "key": ["id"]}"#);
+    assert_eq!(status, 410, "{body}");
+    let v = Json::parse(&body).expect("structured 410");
+    assert_eq!(
+        v.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("quarantined"),
+        "{body}"
+    );
+    // The daemon keeps serving: /lake/stat answers with the full table
+    // count. (A full healthy-table reclaim — byte-identical to a clean
+    // open — is asserted in serve_e2e.rs; a 200 reclaim here would bump
+    // the process-global pipeline counters the sibling test pins.)
+
+    // /lake/stat names the quarantined table; the gauge counts it.
+    let (status, _, stat) = http(addr, "GET", "/lake/stat", "");
+    assert_eq!(status, 200);
+    assert!(stat.contains("quarantined") && stat.contains("doomed"), "{stat}");
+    let (status, _, text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let exp = promtext::parse_exposition(&text)
+        .unwrap_or_else(|e| panic!("/metrics failed the parser: {e}"));
+    assert_eq!(
+        exp.value("gent_lake_quarantined_tables", &[("lake", "deg")]),
+        Some(1.0),
+        "--- exposition ---\n{text}"
     );
 
     handle.stop();
